@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test vet bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One Go benchmark per paper table/figure (reduced scale).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full-scale regeneration of every table and figure (EXPERIMENTS.md source).
+experiments:
+	$(GO) run ./cmd/ethainter-bench -n 2000 -seed 20200615
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/victim
+	$(GO) run ./examples/parity
+	$(GO) run ./examples/sweep -n 500
+	$(GO) run ./examples/ablations
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,135 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure. Each
+// runs a scaled-down corpus per iteration (cmd/ethainter-bench runs the
+// full-scale sweeps and prints the paper-style tables).
+package ethainter_test
+
+import (
+	"testing"
+
+	"ethainter"
+	"ethainter/internal/bench"
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/minisol"
+)
+
+const (
+	benchN    = 150
+	benchSeed = 20200615
+)
+
+// BenchmarkExp1Kill regenerates Section 6.1: the automated end-to-end exploit
+// sweep (flag rate, pinpointed entries, destroyed contracts).
+func BenchmarkExp1Kill(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Exp1(benchN, benchSeed, 0)
+		if r.Destroyed == 0 {
+			b.Fatal("no contracts destroyed")
+		}
+	}
+}
+
+// BenchmarkTable2FlagRates regenerates the Section 6.2 flag-rate table.
+func BenchmarkTable2FlagRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Table2(benchN, benchSeed, 0)
+		if r.Flagged[core.AccessibleSelfdestruct] == 0 {
+			b.Fatal("no flags")
+		}
+	}
+}
+
+// BenchmarkFig6Precision regenerates the Figure 6 inspection sample.
+func BenchmarkFig6Precision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig6(400, benchSeed, 40, 0)
+		if r.TotalSeen == 0 {
+			b.Fatal("empty sample")
+		}
+	}
+}
+
+// BenchmarkSecurifyCompare regenerates the Securify comparison.
+func BenchmarkSecurifyCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.SecurifyCmp(benchN, benchSeed, benchN, 0)
+		if r.FlaggedCompat == 0 {
+			b.Fatal("securify flagged nothing")
+		}
+	}
+}
+
+// BenchmarkFig7Securify2 regenerates the Figure 7 source-universe comparison.
+func BenchmarkFig7Securify2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig7(600, benchSeed, 0)
+		if r.Universe == 0 {
+			b.Fatal("empty universe")
+		}
+	}
+}
+
+// BenchmarkTeetherCompare regenerates the teEther comparison.
+func BenchmarkTeetherCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.TeetherCmp(100, benchSeed, 0)
+		if r.EthainterFlagged == 0 {
+			b.Fatal("nothing flagged")
+		}
+	}
+}
+
+// BenchmarkFig8Ablations regenerates the Figure 8 design-decision ablations.
+func BenchmarkFig8Ablations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig8(benchN, benchSeed, 0)
+		if r.Default[core.AccessibleSelfdestruct] == 0 {
+			b.Fatal("no default reports")
+		}
+	}
+}
+
+// BenchmarkAnalyzeContract measures the Section 6.3 per-contract cost
+// (decompilation + analysis) on the paper's running example.
+func BenchmarkAnalyzeContract(b *testing.B) {
+	compiled := minisol.MustCompile(minisol.VictimSource)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ethainter.AnalyzeBytecode(compiled.Runtime, ethainter.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullPipelinePerContract measures compile + decompile + analyze +
+// exploit for one composite contract — the end-to-end unit of Experiment 1.
+func BenchmarkFullPipelinePerContract(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		compiled, err := ethainter.Compile(minisol.VictimSource)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report, err := ethainter.AnalyzeBytecode(compiled.Runtime, ethainter.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb := ethainter.NewTestbed()
+		addr, err := tb.DeployContract(compiled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := ethainter.Exploit(tb, addr, report); !res.Destroyed {
+			b.Fatal("victim not destroyed")
+		}
+	}
+}
+
+// BenchmarkCorpusGeneration measures corpus synthesis + compilation.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cs := corpus.Generate(corpus.DefaultProfile(100, benchSeed))
+		if len(cs) != 100 {
+			b.Fatal("bad corpus")
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"ethainter/internal/bench"
+)
+
+// experimentRunners binds every experiment to a renderer at the given scale.
+// Scales are tuned per experiment the way the paper's were (the inspection
+// sample is 40; the Securify sample 2K; Figure 7 needs enough source-
+// compatible contracts).
+func experimentRunners(n int, seed int64, workers int) map[string]func() string {
+	return map[string]func() string{
+		"exp1": func() string {
+			return bench.Exp1(n, seed, workers).Render()
+		},
+		"table2": func() string {
+			return bench.Table2(n, seed, workers).Render()
+		},
+		"fig6": func() string {
+			return bench.Fig6(n, seed, 40, workers).Render()
+		},
+		"securify": func() string {
+			sample := n
+			if sample > 2000 {
+				sample = 2000
+			}
+			return bench.SecurifyCmp(n, seed, sample, workers).Render()
+		},
+		"fig7": func() string {
+			// Figure 7's universe is the ~3% source-compatible subset;
+			// over-generate so the universe is meaningful.
+			return bench.Fig7(max(n, 1500), seed, workers).Render()
+		},
+		"teether": func() string {
+			// Symbolic execution is the costly baseline; cap its population.
+			m := n
+			if m > 600 {
+				m = 600
+			}
+			return bench.TeetherCmp(m, seed, workers).Render()
+		},
+		"rq2": func() string {
+			return bench.RQ2(n, seed, workers).Render()
+		},
+		"fig8": func() string {
+			return bench.Fig8(n, seed, workers).Render()
+		},
+	}
+}

@@ -1,0 +1,47 @@
+// Command ethainter-bench regenerates every table and figure of the paper's
+// evaluation (Section 6) over the synthetic corpus.
+//
+// Usage:
+//
+//	ethainter-bench [-n N] [-seed S] [-workers W] [-exp name]
+//
+// Experiments: exp1, table2, fig6, securify, fig7, teether, rq2, fig8, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 2000, "corpus size per experiment")
+		seed    = flag.Int64("seed", 20200615, "corpus seed (the paper's publication date)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent analysis workers (the paper used 45)")
+		exp     = flag.String("exp", "all", "experiment: exp1|table2|fig6|securify|fig7|teether|rq2|fig8|all")
+	)
+	flag.Parse()
+	if err := run(*exp, *n, *seed, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "ethainter-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, n int, seed int64, workers int) error {
+	runners := experimentRunners(n, seed, workers)
+	if exp != "all" {
+		r, ok := runners[exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+		fmt.Print(r())
+		return nil
+	}
+	for _, name := range []string{"exp1", "table2", "fig6", "securify", "fig7", "teether", "rq2", "fig8"} {
+		fmt.Print(runners[name]())
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+// Each experiment runner executes end to end at a tiny scale.
+func TestRunnersExecute(t *testing.T) {
+	runners := experimentRunners(60, 5, 2)
+	for _, name := range []string{"exp1", "table2", "fig6", "securify", "rq2", "fig8"} {
+		out := runners[name]()
+		if len(out) == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	if err := run("nosuch", 10, 1, 1); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run("table2", 40, 1, 2); err != nil {
+		t.Errorf("table2: %v", err)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ethainter/internal/minisol"
+)
+
+func TestKillToolOnVictim(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "victim.msol")
+	if err := os.WriteFile(p, []byte(minisol.VictimSource), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(p, 5000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestKillToolOnSafeContract(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "token.msol")
+	if err := os.WriteFile(p, []byte(minisol.SafeTokenSource), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(p, 100); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

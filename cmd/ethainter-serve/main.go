@@ -1,0 +1,32 @@
+// Command ethainter-serve runs the analyzer as an HTTP service — the
+// reproduction's analog of the paper's live deployment at
+// contract-library.com.
+//
+// Usage:
+//
+//	ethainter-serve [-addr :8545]
+//
+// Endpoints: POST /analyze (hex bytecode or mini-Solidity source),
+// POST /compile, POST /exploit, GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"ethainter/internal/core"
+	"ethainter/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8545", "listen address")
+	flag.Parse()
+	s := server.New(core.DefaultConfig())
+	fmt.Printf("ethainter-serve listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "ethainter-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

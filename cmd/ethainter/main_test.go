@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ethainter"
+)
+
+const vulnerableSrc = `
+contract W {
+    address owner;
+    function initOwner(address o) public { owner = o; }
+    function kill() public { if (msg.sender == owner) { selfdestruct(owner); } }
+}`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunOnSource(t *testing.T) {
+	p := writeTemp(t, "w.msol", vulnerableSrc)
+	if err := run(p, false, false, false, false, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Ablation flags work too.
+	if err := run(p, true, true, true, true, true); err != nil {
+		t.Fatalf("run with flags: %v", err)
+	}
+}
+
+func TestRunOnHexBytecode(t *testing.T) {
+	compiled, err := ethainter.Compile(vulnerableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := writeTemp(t, "w.hex", "0x"+hex.EncodeToString(compiled.Runtime))
+	if err := run(p, false, false, false, false, false); err != nil {
+		t.Fatalf("run on hex: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "absent"), false, false, false, false, false); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := writeTemp(t, "bad.msol", "contract {")
+	if err := run(bad, false, false, false, false, false); err == nil {
+		t.Error("unparseable source should error")
+	}
+	badHex := writeTemp(t, "bad.hex", "0x60zz")
+	if err := run(badHex, false, false, false, false, false); err == nil {
+		t.Error("bad hex should error")
+	}
+}
+
+func TestLooksHex(t *testing.T) {
+	cases := map[string]bool{
+		"0x6001": true, "6001": true, "0x": false, "": false,
+		"60013": false, "contract": false, "0xGG": false,
+	}
+	for in, want := range cases {
+		if got := looksHex(in); got != want {
+			t.Errorf("looksHex(%q) = %v", in, got)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command minisolc compiles mini-Solidity source to EVM bytecode.
+//
+// Usage:
+//
+//	minisolc [flags] <contract.msol>
+//
+// By default it prints the runtime bytecode as hex; flags emit deploy code,
+// the ABI, or a disassembly instead.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"ethainter"
+)
+
+func main() {
+	var (
+		deploy = flag.Bool("deploy", false, "print deployment (constructor) bytecode instead of runtime")
+		abi    = flag.Bool("abi", false, "print the public ABI")
+		disasm = flag.Bool("disasm", false, "print a runtime disassembly")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: minisolc [flags] <contract.msol>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *deploy, *abi, *disasm); err != nil {
+		fmt.Fprintf(os.Stderr, "minisolc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, deploy, abi, disasm bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	compiled, err := ethainter.Compile(string(src))
+	if err != nil {
+		return err
+	}
+	switch {
+	case abi:
+		for _, fn := range compiled.ABI {
+			ret := ""
+			if fn.Ret != nil {
+				ret = " returns (" + fn.Ret.String() + ")"
+			}
+			fmt.Printf("0x%x  %s%s\n", fn.Selector, fn.Sig, ret)
+		}
+	case disasm:
+		fmt.Print(ethainter.Disassemble(compiled.Runtime))
+	case deploy:
+		fmt.Println("0x" + hex.EncodeToString(compiled.Deploy))
+	default:
+		fmt.Println("0x" + hex.EncodeToString(compiled.Runtime))
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMinisolcModes(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "c.msol")
+	src := `contract C {
+    uint256 n;
+    function bump() public returns (uint256) { n += 1; return n; }
+    function kill() public { selfdestruct(msg.sender); }
+}`
+	if err := os.WriteFile(p, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct{ deploy, abi, disasm bool }{
+		{false, false, false}, {true, false, false}, {false, true, false}, {false, false, true},
+	} {
+		if err := run(p, mode.deploy, mode.abi, mode.disasm); err != nil {
+			t.Fatalf("run(%+v): %v", mode, err)
+		}
+	}
+	if err := run(filepath.Join(t.TempDir(), "absent"), false, false, false); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,211 @@
+// Package ethainter is the public API of this Ethainter reproduction: a
+// security analyzer detecting composite information-flow vulnerabilities in
+// Ethereum smart contracts (Brent et al., PLDI 2020).
+//
+// The typical flow is three calls:
+//
+//	compiled, err := ethainter.Compile(src)          // or bring your own bytecode
+//	report, err := ethainter.AnalyzeBytecode(compiled.Runtime, ethainter.DefaultConfig())
+//	for _, w := range report.Warnings { ... }        // five vulnerability kinds
+//
+// Each warning carries a Witness: the ordered list of public functions whose
+// successive invocation performs the escalation the analysis found. The
+// companion exploit tool replays it on an in-process chain:
+//
+//	tb := ethainter.NewTestbed()
+//	addr, _ := tb.DeployContract(compiled)
+//	result := ethainter.Exploit(tb, addr, report)    // result.Destroyed, result.Steps
+//
+// Everything is implemented in this repository from scratch: the EVM
+// interpreter and chain simulator, a Gigahorse-style decompiler to SSA
+// 3-address code, a stratified Datalog engine running the paper's formal
+// rules, the analysis itself, and the baselines it is evaluated against.
+package ethainter
+
+import (
+	"fmt"
+
+	"ethainter/internal/chain"
+	"ethainter/internal/core"
+	"ethainter/internal/decompiler"
+	"ethainter/internal/evm"
+	"ethainter/internal/kill"
+	"ethainter/internal/minisol"
+	"ethainter/internal/u256"
+)
+
+// Config selects analysis variants; see DefaultConfig and the Figure 8
+// ablations (ModelGuards, ModelStorageTaint, ConservativeStorage).
+type Config = core.Config
+
+// DefaultConfig is the production analysis configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Report is the analysis result for one contract.
+type Report = core.Report
+
+// Warning is one flagged vulnerability with its escalation witness.
+type Warning = core.Warning
+
+// Step is one transaction of a composite attack.
+type Step = core.Step
+
+// VulnKind enumerates the five vulnerability classes of the paper's
+// Section 3.
+type VulnKind = core.VulnKind
+
+// The five vulnerability kinds.
+const (
+	AccessibleSelfdestruct = core.AccessibleSelfdestruct
+	TaintedSelfdestruct    = core.TaintedSelfdestruct
+	TaintedOwner           = core.TaintedOwner
+	UncheckedStaticcall    = core.UncheckedStaticcall
+	TaintedDelegatecall    = core.TaintedDelegatecall
+)
+
+// AnalyzeBytecode decompiles runtime bytecode and runs the Ethainter
+// analysis. Decompilation failures (unresolvable jumps, stack inconsistency)
+// are returned as errors, matching how the paper counts analysis timeouts.
+func AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
+	return core.AnalyzeBytecode(code, cfg)
+}
+
+// AnalyzeSource compiles mini-Solidity source and analyzes its runtime code.
+func AnalyzeSource(src string, cfg Config) (*Report, error) {
+	compiled, err := minisol.CompileSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return core.AnalyzeBytecode(compiled.Runtime, cfg)
+}
+
+// Compiled is a compiled contract: deploy code, runtime code, and ABI.
+type Compiled = minisol.Compiled
+
+// FuncABI describes one public function's external interface.
+type FuncABI = minisol.FuncABI
+
+// Compile compiles mini-Solidity source (see docs/LANGUAGE.md for the
+// accepted subset).
+func Compile(src string) (*Compiled, error) { return minisol.CompileSource(src) }
+
+// SelectorOf computes a 4-byte function selector from a canonical signature
+// such as "transfer(address,uint256)".
+func SelectorOf(sig string) [4]byte { return minisol.SelectorOf(sig) }
+
+// DecompileToIR lifts runtime bytecode to the textual SSA 3-address form the
+// analysis consumes — useful for inspection and debugging.
+func DecompileToIR(code []byte) (string, error) {
+	prog, err := decompiler.Decompile(code)
+	if err != nil {
+		return "", err
+	}
+	return prog.String(), nil
+}
+
+// Disassemble renders runtime bytecode as an instruction listing.
+func Disassemble(code []byte) string { return evm.FormatDisassembly(code) }
+
+// --- testbed: the in-process chain ---
+
+// Address is a 160-bit account address.
+type Address = evm.Address
+
+// Wei is a 256-bit amount.
+type Wei = u256.U256
+
+// NewWei builds an amount from a uint64.
+func NewWei(v uint64) Wei { return u256.FromUint64(v) }
+
+// Testbed is an in-process blockchain: deploy contracts, send transactions,
+// observe traces. It stands in for a devnet node.
+type Testbed struct {
+	chain    *chain.Chain
+	deployer Address
+}
+
+// NewTestbed returns a fresh chain with a funded deployer account.
+func NewTestbed() *Testbed {
+	c := chain.New()
+	return &Testbed{chain: c, deployer: c.NewAccount(u256.MustHex("0xffffffffffffffff"))}
+}
+
+// NewAccount creates a funded externally-owned account.
+func (t *Testbed) NewAccount(balance Wei) Address { return t.chain.NewAccount(balance) }
+
+// DeployContract deploys compiled code (running its constructor) and returns
+// the contract address.
+func (t *Testbed) DeployContract(c *Compiled) (Address, error) {
+	r := t.chain.Deploy(t.deployer, c.Deploy, u256.Zero)
+	if r.Err != nil {
+		return Address{}, fmt.Errorf("ethainter: deploy failed: %w", r.Err)
+	}
+	return r.Created, nil
+}
+
+// Fund credits an address with the given balance.
+func (t *Testbed) Fund(a Address, amount Wei) {
+	t.chain.State.AddBalance(a, amount)
+	t.chain.State.Finalize()
+}
+
+// Balance returns the current balance of an address.
+func (t *Testbed) Balance(a Address) Wei { return t.chain.State.GetBalance(a) }
+
+// Call sends a transaction invoking the named public function with word
+// arguments, returning the raw output or the revert error.
+func (t *Testbed) Call(from Address, to Address, c *Compiled, fn string, value Wei, args ...Wei) ([]byte, error) {
+	abi, ok := minisol.FindABI(c.ABI, fn)
+	if !ok {
+		return nil, fmt.Errorf("ethainter: no public function %q", fn)
+	}
+	data, err := abi.EncodeCall(args...)
+	if err != nil {
+		return nil, err
+	}
+	r := t.chain.Call(from, to, data, value)
+	if r.Err != nil {
+		return r.Output, fmt.Errorf("ethainter: call %s reverted: %w", fn, r.Err)
+	}
+	return r.Output, nil
+}
+
+// ReturnWord decodes a single 256-bit return value.
+func ReturnWord(out []byte) (Wei, error) { return minisol.DecodeReturnWord(out) }
+
+// IsDestroyed reports whether a contract self-destructed.
+func (t *Testbed) IsDestroyed(a Address) bool { return t.chain.IsDestroyed(a) }
+
+// --- Ethainter-Kill ---
+
+// ExploitResult reports one automated exploitation attempt.
+type ExploitResult = kill.Result
+
+// Exploit runs Ethainter-Kill against the target: it replays the report's
+// witness chains with generated parameters on forks of the testbed's chain
+// and confirms destruction from the instruction trace. The testbed's primary
+// state is never modified.
+func Exploit(t *Testbed, target Address, report *Report) *ExploitResult {
+	return kill.New(t.chain).Exploit(target, report)
+}
+
+// DescribeWitness renders an escalation chain using the contract's ABI: each
+// step becomes the function signature when the selector is known, or a
+// hex-rendered selector otherwise.
+func DescribeWitness(c *Compiled, witness []Step) []string {
+	bySel := map[[4]byte]string{}
+	if c != nil {
+		for _, fn := range c.ABI {
+			bySel[fn.Selector] = fn.Sig
+		}
+	}
+	out := make([]string, len(witness))
+	for i, s := range witness {
+		if sig, ok := bySel[s.Selector]; ok {
+			out[i] = sig
+		} else {
+			out[i] = fmt.Sprintf("0x%x(%d args)", s.Selector, s.NumArgs)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package ethainter_test
+
+import (
+	"strings"
+	"testing"
+
+	"ethainter"
+)
+
+const victimSrc = `
+contract Victim {
+    mapping(address => bool) admins;
+    mapping(address => bool) users;
+    address owner;
+    constructor() { owner = msg.sender; admins[msg.sender] = true; }
+    modifier onlyAdmins() { require(admins[msg.sender]); _; }
+    modifier onlyUsers() { require(users[msg.sender]); _; }
+    function registerSelf() public { users[msg.sender] = true; }
+    function referUser(address user) public onlyUsers { users[user] = true; }
+    function referAdmin(address adm) public onlyUsers { admins[adm] = true; }
+    function changeOwner(address o) public onlyAdmins { owner = o; }
+    function kill() public onlyAdmins { selfdestruct(owner); }
+}`
+
+// The README quickstart, as a test: compile, analyze, exploit.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	compiled, err := ethainter.Compile(victimSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	report, err := ethainter.AnalyzeBytecode(compiled.Runtime, ethainter.DefaultConfig())
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if !report.Has(ethainter.AccessibleSelfdestruct) || !report.Has(ethainter.TaintedSelfdestruct) {
+		t.Fatalf("missing composite findings: %v", report.Warnings)
+	}
+
+	tb := ethainter.NewTestbed()
+	addr, err := tb.DeployContract(compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Fund(addr, ethainter.NewWei(4242))
+	res := ethainter.Exploit(tb, addr, report)
+	if !res.Destroyed {
+		t.Fatalf("exploit failed after %d attempts", res.Attempts)
+	}
+	if tb.IsDestroyed(addr) {
+		t.Fatal("primary testbed chain must stay intact")
+	}
+}
+
+func TestAnalyzeSourceShortcut(t *testing.T) {
+	report, err := ethainter.AnalyzeSource(victimSrc, ethainter.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Warnings) == 0 {
+		t.Fatal("no warnings")
+	}
+	for _, w := range report.Warnings {
+		if w.Kind == ethainter.AccessibleSelfdestruct && len(w.Witness) != 3 {
+			t.Errorf("composite witness should have 3 steps, got %v", w.Witness)
+		}
+	}
+}
+
+func TestTestbedCalls(t *testing.T) {
+	compiled, err := ethainter.Compile(`
+contract Counter {
+    uint256 n;
+    function bump() public returns (uint256) { n += 1; return n; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ethainter.NewTestbed()
+	addr, err := tb.DeployContract(compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := tb.NewAccount(ethainter.NewWei(100))
+	for want := uint64(1); want <= 3; want++ {
+		out, err := tb.Call(user, addr, compiled, "bump", ethainter.NewWei(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := ethainter.ReturnWord(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != ethainter.NewWei(want) {
+			t.Fatalf("bump #%d = %s", want, w)
+		}
+	}
+	if _, err := tb.Call(user, addr, compiled, "nope", ethainter.NewWei(0)); err == nil {
+		t.Fatal("unknown function should error")
+	}
+}
+
+func TestIRAndDisassembly(t *testing.T) {
+	compiled, err := ethainter.Compile(victimSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := ethainter.DecompileToIR(compiled.Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ir, "SELFDESTRUCT") || !strings.Contains(ir, "PHI") {
+		t.Error("IR missing expected content")
+	}
+	asm := ethainter.Disassemble(compiled.Runtime)
+	if !strings.Contains(asm, "CALLDATALOAD") {
+		t.Error("disassembly missing dispatcher")
+	}
+	sel := ethainter.SelectorOf("kill()")
+	if sel != [4]byte{0x41, 0xc0, 0xe1, 0xb5} {
+		t.Errorf("selector = %x", sel)
+	}
+}
+
+func TestDescribeWitness(t *testing.T) {
+	compiled, err := ethainter.Compile(victimSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := ethainter.AnalyzeBytecode(compiled.Runtime, ethainter.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range report.Warnings {
+		if w.Kind != ethainter.AccessibleSelfdestruct {
+			continue
+		}
+		names := ethainter.DescribeWitness(compiled, w.Witness)
+		want := []string{"registerSelf()", "referAdmin(address)", "kill()"}
+		if len(names) != len(want) {
+			t.Fatalf("witness names = %v", names)
+		}
+		for i := range want {
+			if names[i] != want[i] {
+				t.Fatalf("witness names = %v, want %v", names, want)
+			}
+		}
+	}
+	// Unknown selectors render as hex.
+	got := ethainter.DescribeWitness(nil, []ethainter.Step{{Selector: [4]byte{1, 2, 3, 4}, NumArgs: 2}})
+	if got[0] != "0x01020304(2 args)" {
+		t.Fatalf("unknown selector rendering: %q", got[0])
+	}
+}

@@ -1,0 +1,137 @@
+// Ablations: the Figure 8 design-decision study, interactively. Two contracts
+// — the composite Victim and a perfectly safe owner-guarded Sweeper — are
+// analyzed under the default configuration and the three ablations, showing
+// why each modeling decision matters:
+//
+//   - without storage modeling (8a), the composite escalation disappears
+//     (completeness loss);
+//
+//   - without guard modeling (8b), the safe Sweeper gets flagged
+//     (precision loss);
+//
+//   - with conservative storage (8c), unresolved loads inherit any taint and
+//     the array-backed vault gets flagged (precision loss).
+//
+//     go run ./examples/ablations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ethainter"
+)
+
+var fixtures = []struct {
+	name   string
+	truth  string
+	source string
+}{
+	{
+		name:  "Victim (composite, genuinely vulnerable)",
+		truth: "exploitable: registerSelf -> referAdmin -> kill",
+		source: `
+contract Victim {
+    mapping(address => bool) admins;
+    mapping(address => bool) users;
+    address owner;
+    constructor() { owner = msg.sender; admins[msg.sender] = true; }
+    modifier onlyAdmins() { require(admins[msg.sender]); _; }
+    modifier onlyUsers() { require(users[msg.sender]); _; }
+    function registerSelf() public { users[msg.sender] = true; }
+    function referAdmin(address adm) public onlyUsers { admins[adm] = true; }
+    function changeOwner(address o) public onlyAdmins { owner = o; }
+    function kill() public onlyAdmins { selfdestruct(owner); }
+}`,
+	},
+	{
+		name:  "Sweeper (owner-guarded, safe)",
+		truth: "not exploitable: every sink is behind an intact owner guard",
+		source: `
+contract Sweeper {
+    address owner;
+    constructor() { owner = msg.sender; }
+    function destroy(address to) public {
+        require(msg.sender == owner);
+        selfdestruct(to);
+    }
+}`,
+	},
+	{
+		name:  "BackupVault (array-addressed, safe)",
+		truth: "not exploitable: the beneficiary array is owner-maintained",
+		source: `
+contract BackupVault {
+    address owner;
+    uint256 memo;
+    address[4] backups;
+    constructor() { owner = msg.sender; }
+    function setMemo(uint256 m) public { memo = m; }
+    function setBackup(uint256 i, address who) public {
+        require(msg.sender == owner);
+        require(i < 4);
+        backups[i] = who;
+    }
+    function retire(uint256 i) public {
+        require(msg.sender == owner);
+        require(i < 4);
+        selfdestruct(backups[i]);
+    }
+}`,
+	},
+}
+
+func main() {
+	configs := []struct {
+		name string
+		cfg  ethainter.Config
+	}{
+		{"default (full Ethainter)", ethainter.DefaultConfig()},
+		{"8a: no storage modeling", func() ethainter.Config {
+			c := ethainter.DefaultConfig()
+			c.ModelStorageTaint = false
+			return c
+		}()},
+		{"8b: no guard modeling", func() ethainter.Config {
+			c := ethainter.DefaultConfig()
+			c.ModelGuards = false
+			return c
+		}()},
+		{"8c: conservative storage", func() ethainter.Config {
+			c := ethainter.DefaultConfig()
+			c.ConservativeStorage = true
+			return c
+		}()},
+	}
+	for _, fx := range fixtures {
+		fmt.Printf("=== %s ===\n    ground truth: %s\n", fx.name, fx.truth)
+		compiled, err := ethainter.Compile(fx.source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range configs {
+			report, err := ethainter.AnalyzeBytecode(compiled.Runtime, c.cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-28s", c.name)
+			if len(report.Warnings) == 0 {
+				fmt.Println("clean")
+				continue
+			}
+			seen := map[string]bool{}
+			for _, w := range report.Warnings {
+				if k := w.Kind.String(); !seen[k] {
+					seen[k] = true
+					fmt.Printf(" [%s]", k)
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading the output: the default analysis flags exactly the Victim;")
+	fmt.Println("8a loses it (no taint through storage = no composite), while 8b and 8c")
+	fmt.Println("flag the safe contracts too — the precision/completeness tradeoff of")
+	fmt.Println("Section 6.4, one contract at a time.")
+}

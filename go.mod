@@ -1,0 +1,3 @@
+module ethainter
+
+go 1.22

@@ -1,0 +1,376 @@
+package abstract
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// The Section 3.1 "tainted owner variable" scenario in the abstract language:
+//
+//	initOwner:  in := INPUT(); SSTORE(in, slotOwnerAddr)   (public setter)
+//	kill:       SLOAD(slotOwnerAddr, o); p := (sender = o)
+//	            g := GUARD(p, in2); SINK(g)
+func taintedOwnerProgram() *Program {
+	return &Program{
+		Instrs: []Instr{
+			Input("in"),
+			SStore("in", "ownerAddr"), // ownerAddr holds constant slot 0
+			SLoad("slot0var", "o"),
+			Eq("p", Sender, "o"),
+			Input("in2"),
+			Guard("g", "p", "in2"),
+			Sink("g"),
+		},
+		ConstValue:      map[string]string{"ownerAddr": "s0", "slot0var": "s0"},
+		StorageAlias:    map[string]string{"o": "s0"},
+		InferOwnerSinks: true,
+	}
+}
+
+func TestTaintedOwnerScenario(t *testing.T) {
+	p := taintedOwnerProgram()
+	r := Analyze(p)
+	// Transaction 1 taints slot s0 (StorageWrite-1).
+	if !r.TaintedSlots["s0"] {
+		t.Fatal("slot s0 should be tainted by the public setter")
+	}
+	// The owner variable read back is storage-tainted (StorageLoad).
+	if !r.StorageTainted["o"] {
+		t.Fatal("o should carry storage taint")
+	}
+	// The guard comparing sender to the tainted owner fails to sanitize
+	// (Uguard-T), so input taint reaches the sink (Guard-2 + Violation).
+	if !r.NonSanitizing["p"] {
+		t.Fatal("p should be non-sanitizing: it compares against tainted storage")
+	}
+	if !r.InputTainted["g"] {
+		t.Fatal("taint should pass the broken guard")
+	}
+	if !r.Violations["g"] {
+		t.Fatal("violation should be reported at the sink")
+	}
+	// The owner variable itself is an inferred sink (Section 4.5) and is
+	// tainted, so it is a violation too.
+	if !r.InferredSinks["o"] {
+		t.Fatal("o should be an inferred owner sink")
+	}
+	if !r.Violations["o"] {
+		t.Fatal("tainted owner variable should be a violation")
+	}
+}
+
+// An effective guard: the owner slot is never written from input, so the
+// sender comparison sanitizes and no violation is reported.
+func TestEffectiveGuardSanitizes(t *testing.T) {
+	p := &Program{
+		Instrs: []Instr{
+			SLoad("slot0var", "o"),
+			Eq("p", Sender, "o"),
+			Input("in"),
+			Guard("g", "p", "in"),
+			Sink("g"),
+		},
+		ConstValue:   map[string]string{"slot0var": "s0"},
+		StorageAlias: map[string]string{"o": "s0"},
+	}
+	r := Analyze(p)
+	if r.NonSanitizing["p"] {
+		t.Fatal("p compares sender to clean storage: it sanitizes")
+	}
+	if r.Tainted("g") {
+		t.Fatal("guarded value must not be tainted")
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("no violations expected, got %v", r.Violations)
+	}
+}
+
+// Storage taint penetrates guards (Guard-1): even a perfect guard cannot
+// sanitize a value that took the storage route.
+func TestStorageTaintPenetratesGuards(t *testing.T) {
+	p := &Program{
+		Instrs: []Instr{
+			Input("in"),
+			SStore("in", "addr"), // taints slot s1
+			SLoad("addr2", "loaded"),
+			SLoad("slot0var", "o"),
+			Eq("p", Sender, "o"),
+			Guard("g", "p", "loaded"),
+			Sink("g"),
+		},
+		ConstValue:   map[string]string{"addr": "s1", "addr2": "s1", "slot0var": "s0"},
+		StorageAlias: map[string]string{"o": "s0"},
+	}
+	r := Analyze(p)
+	if !r.StorageTainted["loaded"] {
+		t.Fatal("loaded should be storage-tainted")
+	}
+	if !r.StorageTainted["g"] {
+		t.Fatal("storage taint must pass even a sanitizing guard")
+	}
+	if !r.Violations["g"] {
+		t.Fatal("violation expected at sink")
+	}
+}
+
+// A guard comparing two non-sender values is non-sanitizing (Uguard-NDS).
+func TestNonSenderGuardDoesNotSanitize(t *testing.T) {
+	p := &Program{
+		Instrs: []Instr{
+			Input("a"),
+			Input("b"),
+			Eq("p", "a", "b"), // no sender involved
+			Input("in"),
+			Guard("g", "p", "in"),
+			Sink("g"),
+		},
+	}
+	r := Analyze(p)
+	if !r.NonSanitizing["p"] {
+		t.Fatal("non-sender guard should be non-sanitizing")
+	}
+	if !r.Violations["g"] {
+		t.Fatal("violation expected")
+	}
+}
+
+// A guard that looks the caller up in a sender-keyed data structure
+// sanitizes: DS/DSA (Figure 4) recognize hash-based lookups.
+func TestDataStructureLookupGuardSanitizes(t *testing.T) {
+	// h := HASH(sender); v := SLOAD(h); p := (v = allowedFlag); GUARD(p, in).
+	p := &Program{
+		Instrs: []Instr{
+			Hash("h", Sender),
+			SLoad("h", "v"),
+			Op("flag", "one", "one"),
+			Eq("p", "v", "flag"),
+			Input("in"),
+			Guard("g", "p", "in"),
+			Sink("g"),
+		},
+	}
+	r := Analyze(p)
+	if !r.DSA["h"] {
+		t.Fatal("HASH(sender) should be a sender-keyed address")
+	}
+	if !r.DS["v"] {
+		t.Fatal("load through a DSA address should be DS")
+	}
+	if r.NonSanitizing["p"] {
+		t.Fatal("sender-keyed lookup guard should sanitize")
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("no violations expected, got %v", r.Violations)
+	}
+}
+
+// Nested data structures: hashes of hashes plus address arithmetic stay DSA
+// (rules DSA-Lookup, DS-AddrOp).
+func TestNestedDataStructures(t *testing.T) {
+	p := &Program{
+		Instrs: []Instr{
+			Hash("h1", Sender),
+			Hash("h2", "h1"),
+			Op("h3", "h2", "one"), // address arithmetic
+			SLoad("h3", "elem"),
+			Eq("p", "elem", "x"),
+		},
+	}
+	r := Analyze(p)
+	for _, v := range []string{"h1", "h2", "h3"} {
+		if !r.DSA[v] {
+			t.Errorf("%s should be DSA", v)
+		}
+	}
+	if !r.DS["elem"] {
+		t.Error("elem should be DS")
+	}
+	if r.NonSanitizing["p"] {
+		t.Error("guard over a data-structure element must not be Uguard-NDS")
+	}
+}
+
+// StorageWrite-2: a tainted value stored at a tainted address taints every
+// statically known slot.
+func TestTaintedAddressTaintsAllSlots(t *testing.T) {
+	p := &Program{
+		Instrs: []Instr{
+			Input("val"),
+			Input("addr"),
+			SStore("val", "addr"),
+			SLoad("s0var", "a"),
+			SLoad("s1var", "b"),
+			Sink("a"),
+		},
+		ConstValue: map[string]string{"s0var": "s0", "s1var": "s1"},
+	}
+	r := Analyze(p)
+	if !r.TaintedSlots["s0"] || !r.TaintedSlots["s1"] {
+		t.Fatalf("all known slots should be tainted: %v", r.TaintedSlots)
+	}
+	if !r.Violations["a"] {
+		t.Fatal("violation expected via arbitrary-write")
+	}
+}
+
+// No rule taints the result of HASH in the formal model.
+func TestHashDoesNotPropagateTaint(t *testing.T) {
+	p := &Program{
+		Instrs: []Instr{
+			Input("in"),
+			Hash("h", "in"),
+			Sink("h"),
+		},
+	}
+	r := Analyze(p)
+	if r.Tainted("h") || len(r.Violations) != 0 {
+		t.Fatal("Figure 3 has no HASH taint rule; the model must not invent one")
+	}
+}
+
+// --- differential testing: direct fixpoint vs Datalog engine ---
+
+func randomProgram(r *rand.Rand) *Program {
+	nVars := 3 + r.Intn(8)
+	vars := make([]string, nVars)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("v%d", i)
+	}
+	pick := func() string {
+		if r.Intn(8) == 0 {
+			return Sender
+		}
+		return vars[r.Intn(nVars)]
+	}
+	nSlots := 1 + r.Intn(3)
+	slot := func() string { return fmt.Sprintf("s%d", r.Intn(nSlots)) }
+
+	p := &Program{
+		ConstValue:      map[string]string{},
+		StorageAlias:    map[string]string{},
+		InferOwnerSinks: r.Intn(2) == 0,
+	}
+	defSeq := 0
+	def := func() string {
+		defSeq++
+		return fmt.Sprintf("d%d", defSeq) // unique defs keep the program SSA
+	}
+	n := 3 + r.Intn(15)
+	for i := 0; i < n; i++ {
+		switch r.Intn(8) {
+		case 0:
+			p.Instrs = append(p.Instrs, Input(def()))
+		case 1:
+			p.Instrs = append(p.Instrs, Op(def(), pick(), pick()))
+		case 2:
+			p.Instrs = append(p.Instrs, Eq(def(), pick(), pick()))
+		case 3:
+			p.Instrs = append(p.Instrs, Hash(def(), pick()))
+		case 4:
+			p.Instrs = append(p.Instrs, Guard(def(), pick(), pick()))
+		case 5:
+			from, to := pick(), pick()
+			p.Instrs = append(p.Instrs, SStore(from, to))
+			if r.Intn(2) == 0 {
+				p.ConstValue[to] = slot()
+			}
+		case 6:
+			from, to := pick(), def()
+			p.Instrs = append(p.Instrs, SLoad(from, to))
+			if r.Intn(2) == 0 {
+				p.ConstValue[from] = slot()
+			}
+			if r.Intn(2) == 0 {
+				p.StorageAlias[to] = slot()
+			}
+		case 7:
+			p.Instrs = append(p.Instrs, Sink(pick()))
+		}
+	}
+	// Some uses reference vars never defined (free variables) — that is fine:
+	// both implementations treat them as untainted unknowns.
+	return p
+}
+
+func TestDirectMatchesDatalog(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomProgram(r)
+		direct := Analyze(p)
+		viaDatalog, err := AnalyzeDatalog(p)
+		if err != nil {
+			t.Logf("seed %d: datalog error: %v", seed, err)
+			return false
+		}
+		type pair struct {
+			name string
+			a, b map[string]bool
+		}
+		for _, c := range []pair{
+			{"InputTainted", direct.InputTainted, viaDatalog.InputTainted},
+			{"StorageTainted", direct.StorageTainted, viaDatalog.StorageTainted},
+			{"TaintedSlots", direct.TaintedSlots, viaDatalog.TaintedSlots},
+			{"NonSanitizing", direct.NonSanitizing, viaDatalog.NonSanitizing},
+			{"DS", direct.DS, viaDatalog.DS},
+			{"DSA", direct.DSA, viaDatalog.DSA},
+			{"Violations", direct.Violations, viaDatalog.Violations},
+			{"InferredSinks", direct.InferredSinks, viaDatalog.InferredSinks},
+		} {
+			if !sameSet(c.a, c.b) {
+				t.Logf("seed %d: %s mismatch:\ndirect:  %v\ndatalog: %v\nprogram: %v",
+					seed, c.name, c.a, c.b, p.Instrs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sameSet(a, b map[string]bool) bool {
+	na, nb := map[string]bool{}, map[string]bool{}
+	for k, v := range a {
+		if v {
+			na[k] = true
+		}
+	}
+	for k, v := range b {
+		if v {
+			nb[k] = true
+		}
+	}
+	return reflect.DeepEqual(na, nb)
+}
+
+func TestDatalogScenario(t *testing.T) {
+	r, err := AnalyzeDatalog(taintedOwnerProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Violations["g"] || !r.Violations["o"] {
+		t.Fatalf("datalog route should find both violations: %v", r.Violations)
+	}
+}
+
+func BenchmarkAnalyzeDirect(b *testing.B) {
+	p := taintedOwnerProgram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Analyze(p)
+	}
+}
+
+func BenchmarkAnalyzeDatalog(b *testing.B) {
+	p := taintedOwnerProgram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeDatalog(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

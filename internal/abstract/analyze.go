@@ -1,0 +1,163 @@
+package abstract
+
+// Analyze runs the Figure 3 / Figure 4 rules to fixpoint with a direct
+// worklist-free iteration (programs here are tiny; simple re-iteration until
+// stable is clearest and matches the monotonicity argument of Section 4.2).
+func Analyze(p *Program) *Result {
+	r := &Result{
+		InputTainted:   map[string]bool{},
+		StorageTainted: map[string]bool{},
+		TaintedSlots:   map[string]bool{},
+		NonSanitizing:  map[string]bool{},
+		DS:             map[string]bool{},
+		DSA:            map[string]bool{},
+		Violations:     map[string]bool{},
+		InferredSinks:  map[string]bool{},
+	}
+	computeDS(p, r)
+
+	universe := p.SlotUniverse()
+	allSlotsTainted := false
+
+	add := func(m map[string]bool, k string) bool {
+		if m[k] {
+			return false
+		}
+		m[k] = true
+		return true
+	}
+
+	// The four relations of Figure 3 grow monotonically in mutual recursion;
+	// iterate all rules until nothing changes.
+	for changed := true; changed; {
+		changed = false
+		mark := func(ok bool) {
+			if ok {
+				changed = true
+			}
+		}
+		for _, ins := range p.Instrs {
+			switch ins.Kind {
+			case InputI: // LoadInput
+				mark(add(r.InputTainted, ins.X))
+			case OpI, EqI: // Operation-1, Operation-2 (matching taint kinds)
+				if r.InputTainted[ins.Y] || r.InputTainted[ins.Z] {
+					mark(add(r.InputTainted, ins.X))
+				}
+				if r.StorageTainted[ins.Y] || r.StorageTainted[ins.Z] {
+					mark(add(r.StorageTainted, ins.X))
+				}
+				// Uguard-T: p := (sender = z), z ~ S(v), ↓T S(v).
+				if ins.Kind == EqI {
+					for _, pair := range [][2]string{{ins.Y, ins.Z}, {ins.Z, ins.Y}} {
+						if pair[0] == Sender {
+							if v, ok := p.StorageAlias[pair[1]]; ok && r.TaintedSlots[v] {
+								mark(add(r.NonSanitizing, ins.X))
+							}
+						}
+					}
+					// Uguard-NDS: neither side involves sender data.
+					if !r.DS[ins.Y] && !r.DS[ins.Z] {
+						mark(add(r.NonSanitizing, ins.X))
+					}
+				}
+			case GuardI:
+				// Guard-1: storage taint passes through guards.
+				if r.StorageTainted[ins.Y] {
+					mark(add(r.StorageTainted, ins.X))
+				}
+				// Guard-2: input taint passes only through non-sanitizing guards.
+				if r.InputTainted[ins.Y] && r.NonSanitizing[ins.P] {
+					mark(add(r.InputTainted, ins.X))
+				}
+				// Section 4.5 inferred sinks: GUARD(sender = z, x) with
+				// tainted x and storage-resident z makes z itself a sink.
+				if p.InferOwnerSinks && r.Tainted(ins.Y) {
+					if def := findEqDef(p, ins.P); def != nil {
+						for _, pair := range [][2]string{{def.Y, def.Z}, {def.Z, def.Y}} {
+							if pair[0] == Sender {
+								if _, ok := p.StorageAlias[pair[1]]; ok {
+									mark(add(r.InferredSinks, pair[1]))
+								}
+							}
+						}
+					}
+				}
+			case SStoreI:
+				if r.Tainted(ins.Y) {
+					// StorageWrite-1: taint into a known location.
+					if v, ok := p.ConstValue[ins.Z]; ok {
+						mark(add(r.TaintedSlots, v))
+					}
+					// StorageWrite-2: tainted address taints every known slot.
+					if r.Tainted(ins.Z) && !allSlotsTainted {
+						allSlotsTainted = true
+						for v := range universe {
+							mark(add(r.TaintedSlots, v))
+						}
+					}
+				}
+			case SLoadI: // StorageLoad
+				if v, ok := p.ConstValue[ins.Y]; ok && r.TaintedSlots[v] {
+					mark(add(r.StorageTainted, ins.Z))
+				}
+			case SinkI: // Violation
+				if r.Tainted(ins.Y) {
+					mark(add(r.Violations, ins.Y))
+				}
+			case HashI:
+				// No taint rule for HASH in Figure 3 (it only feeds DS/DSA).
+			}
+		}
+		// Violations through inferred sinks.
+		for z := range r.InferredSinks {
+			if r.Tainted(z) {
+				mark(add(r.Violations, z))
+			}
+		}
+	}
+	return r
+}
+
+// computeDS evaluates the Figure 4 rules. They are independent of taint
+// propagation and complete before the main analysis (an earlier stratum).
+func computeDS(p *Program, r *Result) {
+	r.DS[Sender] = true // DS-SenderKey
+	for changed := true; changed; {
+		changed = false
+		for _, ins := range p.Instrs {
+			switch ins.Kind {
+			case HashI:
+				// DS-Lookup and DSA-Lookup.
+				if (r.DS[ins.Y] || r.DSA[ins.Y]) && !r.DSA[ins.X] {
+					r.DSA[ins.X] = true
+					changed = true
+				}
+			case OpI, EqI:
+				// DS-AddrOp-1 and DS-AddrOp-2.
+				if (r.DSA[ins.Y] || r.DSA[ins.Z]) && !r.DSA[ins.X] {
+					r.DSA[ins.X] = true
+					changed = true
+				}
+			case SLoadI:
+				// DSA-Load: dereferencing a sender-keyed address yields
+				// sender-keyed data.
+				if r.DSA[ins.Y] && !r.DS[ins.Z] {
+					r.DS[ins.Z] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// findEqDef returns the equality instruction defining p, if any.
+func findEqDef(p *Program, name string) *Instr {
+	for i := range p.Instrs {
+		ins := &p.Instrs[i]
+		if ins.Kind == EqI && ins.X == name {
+			return ins
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package abstract
+
+import (
+	"fmt"
+
+	"ethainter/internal/datalog"
+)
+
+// Rules is the Figure 3 / Figure 4 rule set as literal Datalog, in the style
+// of the paper's Soufflé implementation. Input relations: op/3, eq/3,
+// input/1, hash/2, guard/3, sstore/2, sload/2, sink/1, constval/2, alias/2,
+// sender/1, inferSinks/0-ish flag fact.
+const Rules = `
+% ---- Figure 4: sender-keyed data structures (taint-independent stratum) ----
+ds(S) :- sender(S).
+dsa(X) :- hash(X, Y), ds(Y).
+dsa(X) :- hash(X, Y), dsa(Y).
+dsa(X) :- op2(X, Y, _), dsa(Y).
+dsa(X) :- op2(X, _, Z), dsa(Z).
+ds(Y)  :- sload(X, Y), dsa(X).
+
+% op2 covers both plain operations and equality comparisons.
+op2(X, Y, Z) :- op(X, Y, Z).
+op2(X, Y, Z) :- eq(X, Y, Z).
+
+% ---- Figure 3: information flow ----
+% LoadInput
+inTaint(X) :- input(X).
+% Operation-1 / Operation-2 (taint kinds preserved)
+inTaint(X) :- op2(X, Y, _), inTaint(Y).
+inTaint(X) :- op2(X, _, Z), inTaint(Z).
+stTaint(X) :- op2(X, Y, _), stTaint(Y).
+stTaint(X) :- op2(X, _, Z), stTaint(Z).
+% Guard-1: storage taint penetrates guards.
+stTaint(X) :- guard(X, _, Y), stTaint(Y).
+% Guard-2: input taint penetrates only non-sanitizing guards.
+inTaint(X) :- guard(X, P, Y), inTaint(Y), nonSan(P).
+% StorageWrite-1
+taintedSlot(V) :- sstore(F, T), anyTaint(F), constval(T, V).
+% StorageWrite-2: tainted value at tainted address taints every known slot.
+taintedSlot(V) :- sstore(F, T), anyTaint(F), anyTaint(T), slotU(V).
+% StorageLoad
+stTaint(T) :- sload(F, T), constval(F, V), taintedSlot(V).
+% Violation
+violation(X) :- sink(X), anyTaint(X).
+% Uguard-T: guard compares sender against a tainted storage value.
+nonSan(P) :- eq(P, S, Z), sender(S), alias(Z, V), taintedSlot(V).
+nonSan(P) :- eq(P, Z, S), sender(S), alias(Z, V), taintedSlot(V).
+% Uguard-NDS: guard does not scrutinize the caller at all.
+nonSan(P) :- eq(P, Y, Z), !ds(Y), !ds(Z).
+
+anyTaint(X) :- inTaint(X).
+anyTaint(X) :- stTaint(X).
+slotU(V) :- constval(_, V).
+slotU(V) :- alias(_, V).
+
+% ---- Section 4.5: inferred owner-variable sinks ----
+inferredSink(Z) :- wantInference(_), guard(_, P, X), anyTaint(X), eqSender(P, Z), alias(Z, _).
+eqSender(P, Z) :- eq(P, S, Z), sender(S).
+eqSender(P, Z) :- eq(P, Z, S), sender(S).
+violation(Z) :- inferredSink(Z), anyTaint(Z).
+`
+
+// AnalyzeDatalog runs the same analysis through the Datalog engine, returning
+// a Result that must agree with Analyze.
+func AnalyzeDatalog(p *Program) (*Result, error) {
+	dl := datalog.NewProgram()
+	if err := dl.Parse(Rules); err != nil {
+		return nil, err
+	}
+	if err := dl.AddFact("sender", Sender); err != nil {
+		return nil, err
+	}
+	if p.InferOwnerSinks {
+		if err := dl.AddFact("wantInference", "on"); err != nil {
+			return nil, err
+		}
+	}
+	for i, ins := range p.Instrs {
+		var err error
+		switch ins.Kind {
+		case OpI:
+			err = dl.AddFact("op", ins.X, ins.Y, ins.Z)
+		case EqI:
+			err = dl.AddFact("eq", ins.X, ins.Y, ins.Z)
+		case InputI:
+			err = dl.AddFact("input", ins.X)
+		case HashI:
+			err = dl.AddFact("hash", ins.X, ins.Y)
+		case GuardI:
+			err = dl.AddFact("guard", ins.X, ins.P, ins.Y)
+		case SStoreI:
+			err = dl.AddFact("sstore", ins.Y, ins.Z)
+		case SLoadI:
+			err = dl.AddFact("sload", ins.Y, ins.Z)
+		case SinkI:
+			err = dl.AddFact("sink", ins.Y)
+		default:
+			err = fmt.Errorf("abstract: unknown instruction kind at %d", i)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for x, v := range p.ConstValue {
+		if err := dl.AddFact("constval", x, v); err != nil {
+			return nil, err
+		}
+	}
+	for x, v := range p.StorageAlias {
+		if err := dl.AddFact("alias", x, v); err != nil {
+			return nil, err
+		}
+	}
+	// Declare every input relation even if empty, so rules referencing them
+	// resolve (Parse declares them implicitly; facts may be absent).
+	if err := dl.Run(); err != nil {
+		return nil, err
+	}
+	collect := func(rel string) map[string]bool {
+		out := map[string]bool{}
+		for _, row := range dl.Query(rel) {
+			out[row[0]] = true
+		}
+		return out
+	}
+	return &Result{
+		InputTainted:   collect("inTaint"),
+		StorageTainted: collect("stTaint"),
+		TaintedSlots:   collect("taintedSlot"),
+		NonSanitizing:  collect("nonSan"),
+		DS:             collect("ds"),
+		DSA:            collect("dsa"),
+		Violations:     collect("violation"),
+		InferredSinks:  collect("inferredSink"),
+	}, nil
+}

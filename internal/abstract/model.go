@@ -1,0 +1,141 @@
+// Package abstract implements the paper's Section 4 formalism: the abstract
+// input language of Figure 1, the analysis relations of Figure 2, and the
+// inference rules of Figures 3 and 4, plus the inferred-sink rule of
+// Section 4.5.
+//
+// The model is implemented twice — as a direct worklist fixpoint (Analyze)
+// and as literal Datalog rules on the engine in package datalog
+// (AnalyzeDatalog) — and the two are differentially tested on random
+// programs. The production bytecode analysis in package core follows the same
+// rules on the decompiled IR.
+package abstract
+
+import "fmt"
+
+// Sender is the reserved variable naming the contract caller.
+const Sender = "sender"
+
+// InstrKind enumerates the abstract instructions of Figure 1.
+type InstrKind int
+
+// Instruction kinds.
+const (
+	OpI     InstrKind = iota // X := OP(Y, Z)
+	EqI                      // X := (Y = Z), an OP that guard rules inspect
+	InputI                   // X := INPUT()
+	HashI                    // X := HASH(Y)
+	GuardI                   // X := GUARD(P, Y)
+	SStoreI                  // SSTORE(Y, Z): from local Y to storage address Z
+	SLoadI                   // SLOAD(Y, Z): from storage address Y to local Z
+	SinkI                    // SINK(Y)
+)
+
+// Instr is one abstract instruction. Field roles by kind:
+//
+//	OpI/EqI:  X := OP(Y, Z)
+//	InputI:   X := INPUT()
+//	HashI:    X := HASH(Y)
+//	GuardI:   X := GUARD(P, Y)
+//	SStoreI:  SSTORE(from=Y, to=Z)
+//	SLoadI:   SLOAD(from=Y, to=Z)
+//	SinkI:    SINK(Y)
+type Instr struct {
+	Kind InstrKind
+	X    string
+	Y    string
+	Z    string
+	P    string
+}
+
+func (i Instr) String() string {
+	switch i.Kind {
+	case OpI:
+		return fmt.Sprintf("%s := OP(%s, %s)", i.X, i.Y, i.Z)
+	case EqI:
+		return fmt.Sprintf("%s := (%s = %s)", i.X, i.Y, i.Z)
+	case InputI:
+		return fmt.Sprintf("%s := INPUT()", i.X)
+	case HashI:
+		return fmt.Sprintf("%s := HASH(%s)", i.X, i.Y)
+	case GuardI:
+		return fmt.Sprintf("%s := GUARD(%s, %s)", i.X, i.P, i.Y)
+	case SStoreI:
+		return fmt.Sprintf("SSTORE(%s, %s)", i.Y, i.Z)
+	case SLoadI:
+		return fmt.Sprintf("SLOAD(%s, %s)", i.Y, i.Z)
+	case SinkI:
+		return fmt.Sprintf("SINK(%s)", i.Y)
+	}
+	return "?"
+}
+
+// Constructors for readability in tests and fixtures.
+
+// Op builds x := OP(y, z).
+func Op(x, y, z string) Instr { return Instr{Kind: OpI, X: x, Y: y, Z: z} }
+
+// Eq builds x := (y = z).
+func Eq(x, y, z string) Instr { return Instr{Kind: EqI, X: x, Y: y, Z: z} }
+
+// Input builds x := INPUT().
+func Input(x string) Instr { return Instr{Kind: InputI, X: x} }
+
+// Hash builds x := HASH(y).
+func Hash(x, y string) Instr { return Instr{Kind: HashI, X: x, Y: y} }
+
+// Guard builds x := GUARD(p, y).
+func Guard(x, p, y string) Instr { return Instr{Kind: GuardI, X: x, P: p, Y: y} }
+
+// SStore builds SSTORE(from, to).
+func SStore(from, to string) Instr { return Instr{Kind: SStoreI, Y: from, Z: to} }
+
+// SLoad builds SLOAD(from, to).
+func SLoad(from, to string) Instr { return Instr{Kind: SLoadI, Y: from, Z: to} }
+
+// Sink builds SINK(x).
+func Sink(x string) Instr { return Instr{Kind: SinkI, Y: x} }
+
+// Program is an abstract program plus the auxiliary input relations computed
+// "in a previous stratum" per Figure 2: ConstValue (C(x) = v) and
+// StorageAliasVar (x ~ S(v)).
+type Program struct {
+	Instrs []Instr
+	// ConstValue maps a variable to the constant storage address it holds.
+	ConstValue map[string]string
+	// StorageAlias maps a variable to the storage slot it was loaded from.
+	StorageAlias map[string]string
+	// InferOwnerSinks enables the Section 4.5 rule deriving SINK(z) for
+	// storage-loaded variables that guard tainted values against sender.
+	InferOwnerSinks bool
+}
+
+// Result holds the computed relations of Figure 2.
+type Result struct {
+	InputTainted   map[string]bool // ↓I x
+	StorageTainted map[string]bool // ↓T x
+	TaintedSlots   map[string]bool // ↓T S(v)
+	NonSanitizing  map[string]bool // ↛ p
+	DS             map[string]bool // DS(x)
+	DSA            map[string]bool // DSA(x)
+	Violations     map[string]bool // SINK operands (incl. inferred) that are tainted
+	InferredSinks  map[string]bool // Section 4.5 owner-variable sinks
+}
+
+// Tainted reports whether x carries either taint kind.
+func (r *Result) Tainted(x string) bool {
+	return r.InputTainted[x] || r.StorageTainted[x]
+}
+
+// SlotUniverse returns every storage slot name mentioned in the auxiliary
+// relations — the "statically-known storage locations that arise in the
+// analysis" that rule StorageWrite-2 taints wholesale.
+func (p *Program) SlotUniverse() map[string]bool {
+	u := map[string]bool{}
+	for _, v := range p.ConstValue {
+		u[v] = true
+	}
+	for _, v := range p.StorageAlias {
+		u[v] = true
+	}
+	return u
+}

@@ -1,0 +1,332 @@
+// Package securify reimplements the two Securify "violation patterns" the
+// paper compares against (Section 6.2): "unrestricted write" and "missing
+// input validation", over the same decompiled IR Ethainter uses.
+//
+// Faithful to the paper's characterization, this baseline deliberately lacks
+// context sensitivity, data-structure modeling, ownership-guard taint, and
+// taint-through-storage: mapping stores compile to hash arithmetic, so they
+// are classified as unrestricted writes, and any calldata value that reaches
+// a store/hash/memory/call without first appearing in some branch condition
+// is a missing-input-validation violation. The result is the very high flag
+// rate (and ~zero end-to-end precision) the comparison reports.
+package securify
+
+import (
+	"fmt"
+	"sort"
+
+	"ethainter/internal/decompiler"
+	"ethainter/internal/tac"
+)
+
+// Pattern names the two violation patterns.
+type Pattern string
+
+// The implemented patterns. UnrestrictedWrite and MissingInputValidation are
+// the two the paper's comparison maps to Ethainter's vulnerabilities;
+// TODAmount stands in for Securify's further patterns, only contributing to
+// the "flagged for some violation" rate.
+const (
+	UnrestrictedWrite      Pattern = "unrestricted write"
+	MissingInputValidation Pattern = "missing input validation"
+	TODAmount              Pattern = "transaction order dependent amount"
+)
+
+// Violation is one flagged statement.
+type Violation struct {
+	Pattern Pattern
+	PC      int
+}
+
+// Analyze runs both patterns over a decompiled program.
+func Analyze(prog *tac.Program) []Violation {
+	s := &state{prog: prog, dom: tac.ComputeDominators(prog)}
+	s.computeShallowCallerGuards()
+	s.computeCalldataTaint()
+	s.computeValidated()
+
+	var out []Violation
+	seen := map[Violation]bool{}
+	add := func(v Violation) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	// TODAmount: a value-bearing CALL in a contract that also writes storage
+	// (the amount could be front-run) — standing in for Securify's remaining
+	// pattern set.
+	hasValueCall, hasStore := false, false
+	var firstCallPC int
+	prog.AllStmts(func(st *tac.Stmt) {
+		switch st.Op {
+		case tac.CallOp, tac.Callcode:
+			if !hasValueCall {
+				firstCallPC = st.PC
+			}
+			hasValueCall = true
+		case tac.Sstore:
+			hasStore = true
+		}
+	})
+	if hasValueCall && hasStore {
+		add(Violation{Pattern: TODAmount, PC: firstCallPC})
+	}
+
+	prog.AllStmts(func(st *tac.Stmt) {
+		switch st.Op {
+		case tac.Sstore:
+			// Unrestricted write: a calldata-influenced store (address or
+			// value) not dominated by a direct caller check. Mapping writes
+			// with user-supplied keys are the canonical hit: their hash
+			// addresses are calldata-derived "pointer arithmetic".
+			if !s.callerGuarded(st.Block) &&
+				(s.cdTaint[st.Args[0]] || s.cdTaint[st.Args[1]]) {
+				add(Violation{Pattern: UnrestrictedWrite, PC: st.PC})
+			}
+			s.checkMIV(st, []tac.VarID{st.Args[0], st.Args[1]}, add)
+		case tac.Sha3:
+			s.checkMIV(st, st.Args, add)
+		case tac.CallOp, tac.Delegatecall, tac.Staticcall, tac.Callcode:
+			s.checkMIV(st, st.Args[:2], add)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pattern != out[j].Pattern {
+			return out[i].Pattern < out[j].Pattern
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// AnalyzeBytecode decompiles and analyzes; decompilation failures are
+// reported as analysis failures (Securify shares the EVM-lifting stage).
+func AnalyzeBytecode(code []byte) ([]Violation, error) {
+	prog, err := decompiler.Decompile(code)
+	if err != nil {
+		return nil, fmt.Errorf("securify: %w", err)
+	}
+	return Analyze(prog), nil
+}
+
+type state struct {
+	prog *tac.Program
+	dom  *tac.Dominators
+
+	constAddr     map[tac.VarID]bool
+	guardedBlocks map[*tac.Block]bool
+	cdTaint       map[tac.VarID]bool
+	validated     map[tac.VarID]bool
+	memWrites     map[uint64][]*tac.Stmt
+}
+
+// computeShallowCallerGuards finds branches whose condition mentions CALLER
+// within a shallow def cone — no memory edges, no hashing, no storage-shape
+// reasoning (Securify's "owner-sender guards ... without propagation of
+// taintedness into guards").
+func (s *state) computeShallowCallerGuards() {
+	s.guardedBlocks = map[*tac.Block]bool{}
+	s.constAddr = map[tac.VarID]bool{}
+	s.prog.AllStmts(func(st *tac.Stmt) {
+		if st.Op == tac.Const {
+			s.constAddr[st.Def] = true
+		}
+	})
+	guardEntry := map[*tac.Block]bool{}
+	for _, b := range s.prog.Blocks {
+		term := b.Terminator()
+		if term == nil || term.Op != tac.Jumpi {
+			continue
+		}
+		if !s.mentionsCaller(term.Args[1], 0) {
+			continue
+		}
+		for _, succ := range b.Succs {
+			if len(succ.Preds) == 1 {
+				guardEntry[succ] = true
+			}
+		}
+	}
+	for _, b := range s.prog.Blocks {
+		s.dom.Walk(b, func(d *tac.Block) bool {
+			if guardEntry[d] {
+				s.guardedBlocks[b] = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (s *state) mentionsCaller(v tac.VarID, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	def := s.prog.DefSite(v)
+	if def == nil {
+		return false
+	}
+	if def.Op == tac.Caller {
+		return true
+	}
+	if def.Op.IsArith() {
+		for _, a := range def.Args {
+			if s.mentionsCaller(a, depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *state) callerGuarded(b *tac.Block) bool { return s.guardedBlocks[b] }
+
+// memIndex groups MSTOREs by constant offset (constants are visible directly
+// as Const defs; no folding — Securify's modeling is shallow on purpose).
+func (s *state) memIndex() map[uint64][]*tac.Stmt {
+	if s.memWrites != nil {
+		return s.memWrites
+	}
+	s.memWrites = map[uint64][]*tac.Stmt{}
+	s.prog.AllStmts(func(st *tac.Stmt) {
+		if st.Op != tac.Mstore {
+			return
+		}
+		if def := s.prog.DefSite(st.Args[0]); def != nil && def.Op == tac.Const && def.Val.IsUint64() {
+			off := def.Val.Uint64()
+			s.memWrites[off] = append(s.memWrites[off], st)
+		}
+	})
+	return s.memWrites
+}
+
+// computeCalldataTaint propagates calldata taint through value operations and
+// constant-offset memory cells (no storage, no guards — the pattern of the
+// Securify code the paper cites).
+func (s *state) computeCalldataTaint() {
+	s.cdTaint = map[tac.VarID]bool{}
+	mem := s.memIndex()
+	for changed := true; changed; {
+		changed = false
+		s.prog.AllStmts(func(st *tac.Stmt) {
+			if st.Def == tac.NoVar || s.cdTaint[st.Def] {
+				return
+			}
+			switch {
+			case st.Op == tac.Calldataload:
+				s.cdTaint[st.Def] = true
+				changed = true
+			case st.Op == tac.Mload:
+				if def := s.prog.DefSite(st.Args[0]); def != nil && def.Op == tac.Const && def.Val.IsUint64() {
+					for _, w := range mem[def.Val.Uint64()] {
+						if s.cdTaint[w.Args[1]] {
+							s.cdTaint[st.Def] = true
+							changed = true
+							return
+						}
+					}
+				}
+			case st.Op.IsArith():
+				for _, a := range st.Args {
+					if s.cdTaint[a] {
+						s.cdTaint[st.Def] = true
+						changed = true
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+// computeValidated marks calldata-derived variables that appear in some
+// branch condition's cone ("inputs that flow to a JUMPI"), following value
+// ops and constant-offset memory cells backwards.
+func (s *state) computeValidated() {
+	s.validated = map[tac.VarID]bool{}
+	mem := s.memIndex()
+	var markCone func(v tac.VarID, depth int)
+	markCone = func(v tac.VarID, depth int) {
+		if depth > 8 || s.validated[v] {
+			return
+		}
+		s.validated[v] = true
+		def := s.prog.DefSite(v)
+		if def == nil {
+			return
+		}
+		switch {
+		case def.Op == tac.Mload:
+			if offDef := s.prog.DefSite(def.Args[0]); offDef != nil && offDef.Op == tac.Const && offDef.Val.IsUint64() {
+				for _, w := range mem[offDef.Val.Uint64()] {
+					markCone(w.Args[1], depth+1)
+				}
+			}
+		case def.Op.IsArith():
+			for _, a := range def.Args {
+				markCone(a, depth+1)
+			}
+		}
+	}
+	s.prog.AllStmts(func(st *tac.Stmt) {
+		if st.Op == tac.Jumpi {
+			markCone(st.Args[1], 0)
+		}
+	})
+	// Forward closure: a value derived only from validated inputs is itself
+	// validated (a second load of a checked parameter's memory cell must not
+	// re-flag).
+	for changed := true; changed; {
+		changed = false
+		s.prog.AllStmts(func(st *tac.Stmt) {
+			if st.Def == tac.NoVar || s.validated[st.Def] || !s.cdTaint[st.Def] {
+				return
+			}
+			ok := false
+			switch {
+			case st.Op == tac.Mload:
+				if offDef := s.prog.DefSite(st.Args[0]); offDef != nil && offDef.Op == tac.Const && offDef.Val.IsUint64() {
+					writes := mem[offDef.Val.Uint64()]
+					ok = len(writes) > 0
+					for _, w := range writes {
+						if s.cdTaint[w.Args[1]] && !s.validated[w.Args[1]] {
+							ok = false
+						}
+					}
+				}
+			case st.Op.IsArith():
+				ok = true
+				for _, a := range st.Args {
+					if s.cdTaint[a] && !s.validated[a] {
+						ok = false
+					}
+				}
+			}
+			if ok {
+				s.validated[st.Def] = true
+				changed = true
+			}
+		})
+	}
+}
+
+// checkMIV flags tainted-but-unvalidated operands at data-flow sinks.
+func (s *state) checkMIV(st *tac.Stmt, args []tac.VarID, add func(Violation)) {
+	for _, a := range args {
+		if s.cdTaint[a] && !s.validated[a] {
+			add(Violation{Pattern: MissingInputValidation, PC: st.PC})
+			return
+		}
+	}
+}
+
+// Flagged reports whether any violation matches the pattern.
+func Flagged(vs []Violation, p Pattern) bool {
+	for _, v := range vs {
+		if v.Pattern == p {
+			return true
+		}
+	}
+	return false
+}

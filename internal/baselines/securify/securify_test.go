@@ -1,0 +1,86 @@
+package securify_test
+
+import (
+	"testing"
+
+	"ethainter/internal/baselines/securify"
+	"ethainter/internal/minisol"
+)
+
+func analyze(t *testing.T, src string) []securify.Violation {
+	t.Helper()
+	out, err := minisol.CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	vs, err := securify.AnalyzeBytecode(out.Runtime)
+	if err != nil {
+		t.Fatalf("securify: %v", err)
+	}
+	return vs
+}
+
+// The paper's central observation: the well-guarded token is heavily flagged
+// because mapping stores look like unrestricted writes (no data-structure
+// modeling) and unvalidated inputs reach stores.
+func TestSafeTokenHeavilyFlagged(t *testing.T) {
+	vs := analyze(t, minisol.SafeTokenSource)
+	if !securify.Flagged(vs, securify.UnrestrictedWrite) {
+		t.Error("mapping writes must be flagged as unrestricted (pointer arithmetic)")
+	}
+	if !securify.Flagged(vs, securify.MissingInputValidation) {
+		t.Error("the 'to' parameter flows to a store without a check")
+	}
+	if len(vs) < 5 {
+		t.Errorf("expected many violations on the token, got %d", len(vs))
+	}
+}
+
+// A direct owner-guarded constant-slot write is the one shape the pattern
+// does NOT flag as unrestricted.
+func TestDirectOwnerGuardRecognized(t *testing.T) {
+	src := `
+contract Plain {
+    address owner;
+    uint256 config;
+    constructor() { owner = msg.sender; }
+    function setConfig(uint256 v) public {
+        require(msg.sender == owner);
+        config = v;
+    }
+}`
+	vs := analyze(t, src)
+	for _, v := range vs {
+		if v.Pattern == securify.UnrestrictedWrite {
+			t.Errorf("owner-guarded constant write flagged: %+v", v)
+		}
+	}
+}
+
+// Victim's composite vulnerability is invisible: every store there is either
+// "restricted" (it cannot see taint into guards) or a mapping write flagged
+// for the wrong reason — the flag does not correspond to the real exploit.
+func TestVictimFlaggedForWrongReasons(t *testing.T) {
+	vs := analyze(t, minisol.VictimSource)
+	// Securify flags it (mapping writes), but identically to the safe token:
+	// the signal carries no exploitability information.
+	if !securify.Flagged(vs, securify.UnrestrictedWrite) {
+		t.Error("victim's mapping writes should be flagged like any mapping write")
+	}
+}
+
+// Validated inputs (used in a require comparison) are not MIV-flagged.
+func TestValidatedInputNotFlagged(t *testing.T) {
+	src := `
+contract V {
+    uint256 total;
+    function add(uint256 v) public {
+        require(v < 100);
+        total = v;
+    }
+}`
+	vs := analyze(t, src)
+	if securify.Flagged(vs, securify.MissingInputValidation) {
+		t.Errorf("checked input flagged: %+v", vs)
+	}
+}

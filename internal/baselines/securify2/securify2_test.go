@@ -1,0 +1,120 @@
+package securify2_test
+
+import (
+	"errors"
+	"testing"
+
+	"ethainter/internal/baselines/securify2"
+	"ethainter/internal/minisol"
+)
+
+func TestUnguardedSelfdestructFlagged(t *testing.T) {
+	vs, err := securify2.Analyze(minisol.AccessibleSelfdestructSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !securify2.Flagged(vs, securify2.UnrestrictedSelfdestruct) {
+		t.Error("unguarded selfdestruct should be flagged")
+	}
+}
+
+// Securify2 has no composite modeling: Victim's guarded kill() looks safe.
+func TestVictimCompositeInvisible(t *testing.T) {
+	vs, err := securify2.Analyze(minisol.VictimSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if securify2.Flagged(vs, securify2.UnrestrictedSelfdestruct) {
+		t.Error("kill() is modifier-guarded; securify2 cannot see the guard tainting")
+	}
+}
+
+func TestGuardedSelfdestructNotFlagged(t *testing.T) {
+	src := `
+contract G {
+    address owner;
+    constructor() { owner = msg.sender; }
+    function kill() public {
+        require(msg.sender == owner);
+        selfdestruct(owner);
+    }
+}`
+	vs, err := securify2.Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if securify2.Flagged(vs, securify2.UnrestrictedSelfdestruct) {
+		t.Error("require-guarded selfdestruct should pass")
+	}
+}
+
+// Parameter-target delegatecall (the real vulnerability) is invisible, while
+// a state-variable-target delegatecall in an owner-guarded function is
+// flagged anyway — the 0/3-precision, zero-completeness shape of Figure 7.
+func TestDelegatecallBlindspots(t *testing.T) {
+	vs, err := securify2.Analyze(minisol.TaintedDelegatecallSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if securify2.Flagged(vs, securify2.UnrestrictedDelegateCall) {
+		t.Error("parameter-target delegatecall lives in assembly; securify2 must miss it")
+	}
+	safeProxy := `
+contract Proxy {
+    address impl;
+    address owner;
+    constructor() { owner = msg.sender; }
+    function run() public {
+        require(msg.sender == owner);
+        delegatecall(impl);
+    }
+}`
+	vs, err = securify2.Analyze(safeProxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !securify2.Flagged(vs, securify2.UnrestrictedDelegateCall) {
+		t.Error("state-variable delegatecall should be (falsely) flagged despite the guard")
+	}
+}
+
+func TestUnrestrictedWriteNoise(t *testing.T) {
+	vs, err := securify2.Analyze(minisol.SafeTokenSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !securify2.Flagged(vs, securify2.UnrestrictedWrite) {
+		t.Error("balances[to] without a sender guard should be flagged (the FP class)")
+	}
+}
+
+func TestOwnEntryWriteNotFlagged(t *testing.T) {
+	src := `
+contract R {
+    mapping(address => bool) registered;
+    function registerSelf() public { registered[msg.sender] = true; }
+}`
+	vs, err := securify2.Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if securify2.Flagged(vs, securify2.UnrestrictedWrite) {
+		t.Error("writing the caller's own entry is permitted by the pattern")
+	}
+}
+
+func TestNoFactsOnLowLevelConstructs(t *testing.T) {
+	_, err := securify2.Analyze(minisol.UncheckedStaticcallSource)
+	if !errors.Is(err, securify2.ErrNoFacts) {
+		t.Errorf("staticcall intrinsics should abort fact extraction, got %v", err)
+	}
+	deepNest := `
+contract D {
+    mapping(address => mapping(address => mapping(uint256 => bool))) deep;
+    function f() public {}
+}`
+	_, err = securify2.Analyze(deepNest)
+	if !errors.Is(err, securify2.ErrNoFacts) {
+		t.Errorf("3-deep mappings should abort fact extraction, got %v", err)
+	}
+}

@@ -1,0 +1,424 @@
+// Package teether reimplements the teEther baseline (Krupp & Rossow, USENIX
+// Security 2018) as the paper's Section 6.2 comparison uses it: a symbolic
+// executor over EVM bytecode that searches for paths to SELFDESTRUCT,
+// solves the path constraints for concrete calldata, and emits an exploit
+// transaction sequence. Storage starts from all zeros ("we evaluate it purely
+// as a static tool"), paths and solving are budget-bounded, and unresolvable
+// constructs abort the path — the sources of the completeness gap the
+// comparison demonstrates.
+package teether
+
+import (
+	"math/rand"
+
+	"ethainter/internal/crypto"
+	"ethainter/internal/u256"
+)
+
+// symKind enumerates symbolic value node kinds.
+type symKind int
+
+const (
+	symConc     symKind = iota // concrete value
+	symCalldata                // 32-byte word at a concrete calldata offset
+	symCaller
+	symCallvalue
+	symCalldataSize
+	symOp      // operator over argument nodes
+	symSha3    // keccak over a list of 32-byte word nodes
+	symSload   // load from (symbolic address, write-log prefix)
+	symUnknown // untracked (external call results, hazy memory)
+)
+
+// sym is a node in a symbolic expression DAG.
+type sym struct {
+	kind symKind
+	val  u256.U256 // symConc
+	off  int       // symCalldata: byte offset
+	op   byte      // symOp: an evm opcode byte
+	args []*sym
+
+	// symSload: the address expression is args[0]; writes is the storage
+	// write log visible to this load (earlier writes in the same path).
+	writes []storeWrite
+}
+
+// storeWrite is one SSTORE recorded on a path.
+type storeWrite struct {
+	addr *sym
+	val  *sym
+}
+
+func conc(v u256.U256) *sym { return &sym{kind: symConc, val: v} }
+
+var (
+	zeroSym = conc(u256.Zero)
+	oneSym  = conc(u256.One)
+)
+
+func calldataWord(off int) *sym { return &sym{kind: symCalldata, off: off} }
+
+func (s *sym) isConc() bool { return s.kind == symConc }
+
+// model assigns concrete values to the symbolic inputs of one transaction.
+type model struct {
+	caller    u256.U256
+	callvalue u256.U256
+	words     map[int]u256.U256 // calldata byte offset -> 32-byte word
+	dataSize  uint64
+}
+
+func newModel(attacker u256.U256) *model {
+	return &model{caller: attacker, words: map[int]u256.U256{}}
+}
+
+// eval computes the node's concrete value under the model. Unknown nodes
+// evaluate to zero (constraints over them will generally fail, dropping the
+// candidate — the conservative choice).
+func (s *sym) eval(m *model) u256.U256 {
+	switch s.kind {
+	case symConc:
+		return s.val
+	case symCalldata:
+		return m.words[s.off]
+	case symCaller:
+		return m.caller
+	case symCallvalue:
+		return m.callvalue
+	case symCalldataSize:
+		return u256.FromUint64(m.dataSize)
+	case symUnknown:
+		return u256.Zero
+	case symSha3:
+		var buf []byte
+		for _, w := range s.args {
+			b := w.eval(m).Bytes32()
+			buf = append(buf, b[:]...)
+		}
+		return u256.FromBytes32(crypto.Keccak256(buf))
+	case symSload:
+		addr := s.args[0].eval(m)
+		out := u256.Zero
+		for _, w := range s.writes {
+			if w.addr.eval(m) == addr {
+				out = w.val.eval(m)
+			}
+		}
+		return out
+	case symOp:
+		return evalOp(s.op, s.args, m)
+	}
+	return u256.Zero
+}
+
+// evalOp applies EVM operator semantics concretely.
+func evalOp(op byte, args []*sym, m *model) u256.U256 {
+	a := func(i int) u256.U256 { return args[i].eval(m) }
+	boolW := func(b bool) u256.U256 {
+		if b {
+			return u256.One
+		}
+		return u256.Zero
+	}
+	switch op {
+	case 0x01:
+		return a(0).Add(a(1))
+	case 0x02:
+		return a(0).Mul(a(1))
+	case 0x03:
+		return a(0).Sub(a(1))
+	case 0x04:
+		return a(0).Div(a(1))
+	case 0x05:
+		return a(0).SDiv(a(1))
+	case 0x06:
+		return a(0).Mod(a(1))
+	case 0x07:
+		return a(0).SMod(a(1))
+	case 0x08:
+		return a(0).AddMod(a(1), a(2))
+	case 0x09:
+		return a(0).MulMod(a(1), a(2))
+	case 0x0a:
+		return a(0).Exp(a(1))
+	case 0x0b:
+		return a(1).SignExtend(a(0))
+	case 0x10:
+		return boolW(a(0).Lt(a(1)))
+	case 0x11:
+		return boolW(a(0).Gt(a(1)))
+	case 0x12:
+		return boolW(a(0).Slt(a(1)))
+	case 0x13:
+		return boolW(a(0).Sgt(a(1)))
+	case 0x14:
+		return boolW(a(0) == a(1))
+	case 0x15:
+		return boolW(a(0).IsZero())
+	case 0x16:
+		return a(0).And(a(1))
+	case 0x17:
+		return a(0).Or(a(1))
+	case 0x18:
+		return a(0).Xor(a(1))
+	case 0x19:
+		return a(0).Not()
+	case 0x1a:
+		return a(1).Byte(a(0))
+	case 0x1b:
+		return shiftEval(a(0), a(1), u256.U256.Shl)
+	case 0x1c:
+		return shiftEval(a(0), a(1), u256.U256.Shr)
+	case 0x1d:
+		return shiftEval(a(0), a(1), u256.U256.Sar)
+	}
+	return u256.Zero
+}
+
+func shiftEval(shift, val u256.U256, f func(u256.U256, uint) u256.U256) u256.U256 {
+	if !shift.IsUint64() || shift.Uint64() > 255 {
+		shift = u256.FromUint64(256)
+	}
+	return f(val, uint(shift.Uint64()))
+}
+
+// mkOp builds an operator node, constant-folding when every argument is
+// concrete.
+func mkOp(op byte, args ...*sym) *sym {
+	allConc := true
+	for _, a := range args {
+		if !a.isConc() {
+			allConc = false
+			break
+		}
+	}
+	n := &sym{kind: symOp, op: op, args: args}
+	if allConc {
+		return conc(n.eval(nil2()))
+	}
+	return n
+}
+
+// nil2 returns an empty model for folding concrete nodes.
+func nil2() *model { return &model{words: map[int]u256.U256{}} }
+
+// dependsOnInput reports whether the node reads calldata, the caller, or the
+// call value — the taint test classifying tainted vs accessible selfdestruct.
+func (s *sym) dependsOnInput() bool {
+	switch s.kind {
+	case symCalldata, symCaller, symCallvalue:
+		return true
+	case symConc, symUnknown, symCalldataSize:
+		return false
+	}
+	for _, a := range s.args {
+		if a.dependsOnInput() {
+			return true
+		}
+	}
+	if s.kind == symSload {
+		for _, w := range s.writes {
+			if w.addr.dependsOnInput() || w.val.dependsOnInput() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectWords gathers the calldata byte offsets the node mentions.
+func (s *sym) collectWords(into map[int]bool) {
+	switch s.kind {
+	case symCalldata:
+		into[s.off] = true
+	case symSload:
+		s.args[0].collectWords(into)
+		for _, w := range s.writes {
+			w.addr.collectWords(into)
+			w.val.collectWords(into)
+		}
+	default:
+		for _, a := range s.args {
+			a.collectWords(into)
+		}
+	}
+}
+
+// collectConsts harvests concrete leaves as solver candidates.
+func (s *sym) collectConsts(into map[u256.U256]bool) {
+	if s.kind == symConc {
+		into[s.val] = true
+		return
+	}
+	for _, a := range s.args {
+		a.collectConsts(into)
+	}
+	if s.kind == symSload {
+		for _, w := range s.writes {
+			w.addr.collectConsts(into)
+			w.val.collectConsts(into)
+		}
+	}
+}
+
+// constraint is one recorded branch decision.
+type constraint struct {
+	cond    *sym
+	nonzero bool // the branch requires cond != 0
+}
+
+func (c constraint) satisfied(m *model) bool {
+	return c.cond.eval(m).IsZero() != c.nonzero
+}
+
+// backSolve attempts to satisfy expr == target by inverting simple operator
+// chains down to a single calldata word, assigning it in the model. Returns
+// false when the chain is not invertible or the assignment conflicts.
+func backSolve(expr *sym, target u256.U256, m *model) bool {
+	switch expr.kind {
+	case symCalldata:
+		if cur, ok := m.words[expr.off]; ok {
+			return cur == target
+		}
+		m.words[expr.off] = target
+		return true
+	case symCaller:
+		return m.caller == target
+	case symCallvalue:
+		m.callvalue = target
+		return true
+	case symConc:
+		return expr.val == target
+	case symOp:
+		switch expr.op {
+		case 0x1c: // SHR(shift, x): x >> s == t  <=  x = t << s
+			if expr.args[0].isConc() && expr.args[0].val.IsUint64() {
+				s := uint(expr.args[0].val.Uint64() % 256)
+				return backSolve(expr.args[1], target.Shl(s), m)
+			}
+		case 0x1b: // SHL(shift, x)
+			if expr.args[0].isConc() && expr.args[0].val.IsUint64() {
+				s := uint(expr.args[0].val.Uint64() % 256)
+				return backSolve(expr.args[1], target.Shr(s), m)
+			}
+		case 0x16: // AND(mask, x) or AND(x, mask)
+			for i := 0; i < 2; i++ {
+				if expr.args[i].isConc() && target.And(expr.args[i].val) == target {
+					return backSolve(expr.args[1-i], target, m)
+				}
+			}
+		case 0x01: // ADD
+			for i := 0; i < 2; i++ {
+				if expr.args[i].isConc() {
+					return backSolve(expr.args[1-i], target.Sub(expr.args[i].val), m)
+				}
+			}
+		case 0x03: // SUB(x, c) == t  <=  x = t + c
+			if expr.args[1].isConc() {
+				return backSolve(expr.args[0], target.Add(expr.args[1].val), m)
+			}
+		case 0x04: // DIV(x, c) == t  <=  x = t * c (first preimage)
+			if expr.args[1].isConc() && !expr.args[1].val.IsZero() {
+				return backSolve(expr.args[0], target.Mul(expr.args[1].val), m)
+			}
+		case 0x15: // ISZERO(x) == 1  <=  x = 0
+			if target == u256.One {
+				return backSolve(expr.args[0], u256.Zero, m)
+			}
+		case 0x14: // EQ(a, b) == 1
+			if target == u256.One {
+				if expr.args[0].isConc() {
+					return backSolve(expr.args[1], expr.args[0].val, m)
+				}
+				if expr.args[1].isConc() {
+					return backSolve(expr.args[0], expr.args[1].val, m)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// solve searches for a model satisfying every constraint: unit propagation by
+// back-solving equality-shaped constraints, then candidate enumeration and
+// random hill climbing over the remaining calldata words.
+func solve(constraints []constraint, attacker u256.U256, rng *rand.Rand) (*model, bool) {
+	m := newModel(attacker)
+	// Unit propagation.
+	for _, c := range constraints {
+		if !c.nonzero {
+			continue
+		}
+		e := c.cond
+		// require-style: EQ / ISZERO chains wanting truth.
+		backSolve(e, u256.One, m)
+	}
+	// Word universe.
+	words := map[int]bool{}
+	candidates := map[u256.U256]bool{
+		u256.Zero: true, u256.One: true, attacker: true,
+		u256.FromUint64(2): true, u256.One.Shl(160).Sub(u256.One): true,
+	}
+	for _, c := range constraints {
+		c.cond.collectWords(words)
+		c.cond.collectConsts(candidates)
+	}
+	var wordList []int
+	for w := range words {
+		if _, set := m.words[w]; !set {
+			wordList = append(wordList, w)
+		}
+	}
+	var candList []u256.U256
+	for c := range candidates {
+		candList = append(candList, c)
+	}
+	fill := func() {
+		for _, w := range wordList {
+			if _, ok := m.words[w]; !ok {
+				m.words[w] = attacker
+			}
+		}
+		max := 0
+		for w := range m.words {
+			if w+32 > max {
+				max = w + 32
+			}
+		}
+		if max < 4 {
+			max = 4
+		}
+		m.dataSize = uint64(max)
+	}
+	count := func() int {
+		n := 0
+		for _, c := range constraints {
+			if c.satisfied(m) {
+				n++
+			}
+		}
+		return n
+	}
+	fill()
+	if count() == len(constraints) {
+		return m, true
+	}
+	// Hill climbing: mutate one unpropagated word at a time.
+	best := count()
+	for iter := 0; iter < 150 && len(wordList) > 0; iter++ {
+		w := wordList[rng.Intn(len(wordList))]
+		old := m.words[w]
+		m.words[w] = candList[rng.Intn(len(candList))]
+		fill()
+		n := count()
+		if n == len(constraints) {
+			return m, true
+		}
+		if n >= best {
+			best = n
+		} else {
+			m.words[w] = old
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,134 @@
+package teether
+
+import (
+	"math/rand"
+	"testing"
+
+	"ethainter/internal/u256"
+)
+
+func TestBackSolveChains(t *testing.T) {
+	attacker := u256.MustHex("0xabcd")
+	// SHR(224, cd0) == selector  =>  cd0 = selector << 224.
+	sel := u256.MustHex("0x41c0e1b5")
+	expr := mkOp(0x1c, conc(u256.FromUint64(0xe0)), calldataWord(0))
+	m := newModel(attacker)
+	if !backSolve(expr, sel, m) {
+		t.Fatal("backSolve failed on the dispatcher shape")
+	}
+	if got := m.words[0]; got != sel.Shl(224) {
+		t.Fatalf("cd0 = %s", got)
+	}
+	// AND(mask, cd4) == attacker  =>  cd4 = attacker.
+	mask := u256.One.Shl(160).Sub(u256.One)
+	expr = mkOp(0x16, conc(mask), calldataWord(4))
+	if !backSolve(expr, attacker, m) || m.words[4] != attacker {
+		t.Fatal("mask inversion failed")
+	}
+	// ADD(5, cd8) == 12  =>  cd8 = 7.
+	expr = mkOp(0x01, conc(u256.FromUint64(5)), calldataWord(8))
+	if !backSolve(expr, u256.FromUint64(12), m) || m.words[8] != u256.FromUint64(7) {
+		t.Fatal("ADD inversion failed")
+	}
+	// Conflicting assignment fails.
+	if backSolve(calldataWord(8), u256.FromUint64(9), m) {
+		t.Fatal("conflicting assignment must fail")
+	}
+	// Caller cannot be re-assigned.
+	if backSolve(&sym{kind: symCaller}, u256.Zero, m) {
+		t.Fatal("caller == 0 must be unsatisfiable for a fixed attacker")
+	}
+	if !backSolve(&sym{kind: symCaller}, attacker, m) {
+		t.Fatal("caller == attacker must hold")
+	}
+}
+
+func TestSolveSatisfiesConstraints(t *testing.T) {
+	attacker := u256.MustHex("0xa77ac3e5")
+	rng := rand.New(rand.NewSource(1))
+	// require(cd4 == 42) && dispatcher match.
+	sel := u256.MustHex("0x0d009297")
+	constraints := []constraint{
+		{cond: mkOp(0x14, mkOp(0x1c, conc(u256.FromUint64(0xe0)), calldataWord(0)), conc(sel)), nonzero: true},
+		{cond: mkOp(0x14, calldataWord(4), conc(u256.FromUint64(42))), nonzero: true},
+	}
+	m, ok := solve(constraints, attacker, rng)
+	if !ok {
+		t.Fatal("solver failed on satisfiable constraints")
+	}
+	for i, c := range constraints {
+		if !c.satisfied(m) {
+			t.Fatalf("constraint %d unsatisfied", i)
+		}
+	}
+	// Unsatisfiable: caller must be zero.
+	bad := []constraint{{cond: mkOp(0x15, &sym{kind: symCaller}), nonzero: true}}
+	if _, ok := solve(bad, attacker, rng); ok {
+		t.Fatal("caller==0 should be unsolvable")
+	}
+}
+
+func TestSymEvalStorageReplay(t *testing.T) {
+	attacker := u256.MustHex("0xbeef")
+	m := newModel(attacker)
+	// sload(addr) replays the write log: the last matching write wins.
+	addr := conc(u256.FromUint64(3))
+	writes := []storeWrite{
+		{addr: conc(u256.FromUint64(3)), val: conc(u256.FromUint64(1))},
+		{addr: conc(u256.FromUint64(9)), val: conc(u256.FromUint64(2))},
+		{addr: conc(u256.FromUint64(3)), val: &sym{kind: symCaller}},
+	}
+	load := &sym{kind: symSload, args: []*sym{addr}, writes: writes}
+	if got := load.eval(m); got != attacker {
+		t.Fatalf("sload replay = %s, want the caller", got)
+	}
+	// Unwritten slot evaluates to zero (static storage).
+	other := &sym{kind: symSload, args: []*sym{conc(u256.FromUint64(7))}, writes: writes}
+	if got := other.eval(m); !got.IsZero() {
+		t.Fatalf("unwritten slot = %s", got)
+	}
+}
+
+func TestSha3NodeEval(t *testing.T) {
+	m := newModel(u256.MustHex("0x1"))
+	m.words[4] = u256.FromUint64(99)
+	h := &sym{kind: symSha3, args: []*sym{calldataWord(4), conc(u256.FromUint64(2))}}
+	a := h.eval(m)
+	b := h.eval(m)
+	if a != b || a.IsZero() {
+		t.Fatal("sha3 node must evaluate deterministically and nontrivially")
+	}
+	m.words[4] = u256.FromUint64(100)
+	if h.eval(m) == a {
+		t.Fatal("sha3 must depend on its inputs")
+	}
+}
+
+func TestDependsOnInput(t *testing.T) {
+	if conc(u256.One).dependsOnInput() {
+		t.Error("constants are not input-dependent")
+	}
+	if !calldataWord(0).dependsOnInput() {
+		t.Error("calldata is input-dependent")
+	}
+	nested := mkOp(0x01, conc(u256.One), mkOp(0x02, &sym{kind: symCaller}, conc(u256.One)))
+	if !nested.dependsOnInput() {
+		t.Error("caller under nesting is input-dependent")
+	}
+	load := &sym{kind: symSload, args: []*sym{conc(u256.Zero)},
+		writes: []storeWrite{{addr: conc(u256.Zero), val: calldataWord(4)}}}
+	if !load.dependsOnInput() {
+		t.Error("a load over an input-written log is input-dependent")
+	}
+}
+
+func TestConstantFoldingInMkOp(t *testing.T) {
+	folded := mkOp(0x01, conc(u256.FromUint64(2)), conc(u256.FromUint64(3)))
+	if !folded.isConc() || folded.val != u256.FromUint64(5) {
+		t.Fatalf("mkOp should fold concrete operands: %+v", folded)
+	}
+	symbolic := mkOp(0x01, conc(u256.One), calldataWord(0))
+	if symbolic.isConc() {
+		t.Fatal("mkOp must stay symbolic with symbolic operands")
+	}
+}

@@ -1,0 +1,605 @@
+package teether
+
+import (
+	"math/rand"
+	"time"
+
+	"ethainter/internal/evm"
+	"ethainter/internal/u256"
+)
+
+// Config bounds the exploration, mirroring teEther's practical budgets.
+type Config struct {
+	MaxPaths  int           // paths fully explored before giving up
+	MaxSteps  int           // instructions per path
+	MaxForks  int           // branch decisions per path
+	Deadline  time.Duration // wall-clock budget (the paper's 120 s cutoff)
+	TwoPhase  bool          // search one state-changing tx before the kill tx
+	MaxStates int           // phase-1 states carried into phase 2
+	Attacker  u256.U256     // attacker address used in solving
+	Seed      int64
+}
+
+// DefaultConfig mirrors the evaluation setup.
+func DefaultConfig() Config {
+	return Config{
+		MaxPaths:  400,
+		MaxSteps:  4000,
+		MaxForks:  32,
+		Deadline:  2 * time.Second,
+		TwoPhase:  true,
+		MaxStates: 8,
+		Attacker:  u256.MustHex("0xa77ac3e5a77ac3e5a77ac3e5a77ac3e5a77ac3e5"),
+		Seed:      1,
+	}
+}
+
+// FindingKind classifies a discovered exploit.
+type FindingKind int
+
+// The two vulnerability kinds teEther-style exploitation covers.
+const (
+	AccessibleSelfdestruct FindingKind = iota
+	TaintedSelfdestruct
+)
+
+func (k FindingKind) String() string {
+	if k == AccessibleSelfdestruct {
+		return "accessible selfdestruct"
+	}
+	return "tainted selfdestruct"
+}
+
+// Finding is one proven path to SELFDESTRUCT with solved exploit calldata.
+type Finding struct {
+	Kind FindingKind
+	// Exploit is the transaction sequence (calldata per tx) realizing it.
+	Exploit [][]byte
+	PC      int
+}
+
+// Result aggregates one contract's exploration.
+type Result struct {
+	Findings []Finding
+	// TimedOut reports that the budget expired before exploration finished.
+	TimedOut bool
+	// Aborted counts paths dropped on unsupported constructs.
+	Aborted int
+	Paths   int
+}
+
+// Analyze symbolically executes the runtime bytecode from all-zero storage.
+func Analyze(code []byte, cfg Config) *Result {
+	e := &explorer{
+		code:     code,
+		cfg:      cfg,
+		dests:    evm.JumpDests(code),
+		deadline: time.Now().Add(cfg.Deadline),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		res:      &Result{},
+	}
+	// Phase 1 (optional): collect reachable storage-writing transactions.
+	var states []phaseState
+	states = append(states, phaseState{storage: map[u256.U256]*sym{}})
+	if cfg.TwoPhase {
+		for _, st := range e.findStateChanges() {
+			states = append(states, st)
+			if len(states) > cfg.MaxStates {
+				break
+			}
+		}
+	}
+	for _, st := range states {
+		e.searchSelfdestruct(st)
+		if e.expired() {
+			e.res.TimedOut = true
+			break
+		}
+	}
+	return e.res
+}
+
+// phaseState is a concrete storage state plus the transactions producing it.
+type phaseState struct {
+	storage map[u256.U256]*sym
+	prefix  [][]byte
+}
+
+type explorer struct {
+	code     []byte
+	cfg      Config
+	dests    map[int]bool
+	deadline time.Time
+	rng      *rand.Rand
+	res      *Result
+}
+
+func (e *explorer) expired() bool { return time.Now().After(e.deadline) }
+
+// pathState is one symbolic machine state.
+type pathState struct {
+	pc          int
+	stack       []*sym
+	mem         []memWrite
+	memHazy     bool
+	storage     map[u256.U256]*sym
+	writes      []storeWrite
+	constraints []constraint
+	steps       int
+	forks       int
+}
+
+type memWrite struct {
+	off uint64
+	val *sym
+}
+
+func (p *pathState) clone() *pathState {
+	q := &pathState{
+		pc:      p.pc,
+		stack:   append([]*sym{}, p.stack...),
+		mem:     append([]memWrite{}, p.mem...),
+		memHazy: p.memHazy,
+		storage: map[u256.U256]*sym{},
+		writes:  append([]storeWrite{}, p.writes...),
+		steps:   p.steps,
+		forks:   p.forks,
+	}
+	for k, v := range p.storage {
+		q.storage[k] = v
+	}
+	q.constraints = append([]constraint{}, p.constraints...)
+	return q
+}
+
+func (p *pathState) push(s *sym) { p.stack = append(p.stack, s) }
+
+func (p *pathState) pop() (*sym, bool) {
+	if len(p.stack) == 0 {
+		return nil, false
+	}
+	s := p.stack[len(p.stack)-1]
+	p.stack = p.stack[:len(p.stack)-1]
+	return s, true
+}
+
+// outcome describes how a path ended.
+type outcome int
+
+const (
+	outAbort outcome = iota
+	outStop          // STOP/RETURN: state-change commit point
+	outRevert
+	outSelfdestruct
+)
+
+// endState carries a finished path.
+type endState struct {
+	out         outcome
+	beneficiary *sym
+	pc          int
+	state       *pathState
+}
+
+// explore runs DFS from the initial state, invoking sink for every finished
+// path, within budgets.
+func (e *explorer) explore(init *pathState, sink func(endState)) {
+	stack := []*pathState{init}
+	for len(stack) > 0 {
+		if e.res.Paths >= e.cfg.MaxPaths || e.expired() {
+			e.res.TimedOut = e.expired()
+			return
+		}
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		end, forked := e.run(p)
+		stack = append(stack, forked...)
+		if end != nil {
+			e.res.Paths++
+			sink(*end)
+		}
+	}
+}
+
+// run executes one path until it ends or forks; forked continuations are
+// returned for the DFS stack.
+func (e *explorer) run(p *pathState) (*endState, []*pathState) {
+	for {
+		p.steps++
+		if p.steps > e.cfg.MaxSteps || p.pc >= len(e.code) {
+			if p.pc >= len(e.code) {
+				return &endState{out: outStop, state: p, pc: p.pc}, nil
+			}
+			e.res.Aborted++
+			return nil, nil
+		}
+		op := evm.Op(e.code[p.pc])
+		switch {
+		case op.IsPush():
+			n := op.PushSize()
+			var imm [32]byte
+			end := p.pc + 1 + n
+			src := e.code[p.pc+1 : min(end, len(e.code))]
+			copy(imm[32-n:], src)
+			p.push(conc(u256.FromBytes32(imm)))
+			p.pc = end
+		case op.IsDup():
+			n := int(op-evm.DUP1) + 1
+			if len(p.stack) < n {
+				return e.abort()
+			}
+			p.push(p.stack[len(p.stack)-n])
+			p.pc++
+		case op.IsSwap():
+			n := int(op-evm.SWAP1) + 1
+			if len(p.stack) < n+1 {
+				return e.abort()
+			}
+			top := len(p.stack) - 1
+			p.stack[top], p.stack[top-n] = p.stack[top-n], p.stack[top]
+			p.pc++
+		case op == evm.JUMP:
+			t, ok := p.pop()
+			if !ok || !t.isConc() || !t.val.IsUint64() || !e.dests[int(t.val.Uint64())] {
+				return e.abort() // symbolic jump targets are unsupported
+			}
+			p.pc = int(t.val.Uint64())
+		case op == evm.JUMPI:
+			t, ok1 := p.pop()
+			c, ok2 := p.pop()
+			if !ok1 || !ok2 {
+				return e.abort()
+			}
+			if c.isConc() {
+				if c.val.IsZero() {
+					p.pc++
+					continue
+				}
+				if !t.isConc() || !t.val.IsUint64() || !e.dests[int(t.val.Uint64())] {
+					return e.abort()
+				}
+				p.pc = int(t.val.Uint64())
+				continue
+			}
+			if p.forks >= e.cfg.MaxForks {
+				e.res.Aborted++
+				return nil, nil
+			}
+			p.forks++
+			var forks []*pathState
+			// Taken branch.
+			if t.isConc() && t.val.IsUint64() && e.dests[int(t.val.Uint64())] {
+				taken := p.clone()
+				taken.constraints = append(taken.constraints, constraint{cond: c, nonzero: true})
+				taken.pc = int(t.val.Uint64())
+				forks = append(forks, taken)
+			}
+			// Fallthrough branch.
+			p.constraints = append(p.constraints, constraint{cond: c, nonzero: false})
+			p.pc++
+			forks = append(forks, p)
+			return nil, forks
+		case op == evm.JUMPDEST:
+			p.pc++
+		case op == evm.STOP:
+			return &endState{out: outStop, state: p, pc: p.pc}, nil
+		case op == evm.RETURN:
+			p.pop()
+			p.pop()
+			return &endState{out: outStop, state: p, pc: p.pc}, nil
+		case op == evm.REVERT, op == evm.INVALID:
+			return &endState{out: outRevert, state: p, pc: p.pc}, nil
+		case op == evm.SELFDESTRUCT:
+			b, ok := p.pop()
+			if !ok {
+				return e.abort()
+			}
+			return &endState{out: outSelfdestruct, beneficiary: b, state: p, pc: p.pc}, nil
+		default:
+			if !e.step(p, op) {
+				return e.abort()
+			}
+		}
+	}
+}
+
+func (e *explorer) abort() (*endState, []*pathState) {
+	e.res.Aborted++
+	return nil, nil
+}
+
+// step handles straight-line value operations.
+func (e *explorer) step(p *pathState, op evm.Op) bool {
+	popN := func(n int) ([]*sym, bool) {
+		if len(p.stack) < n {
+			return nil, false
+		}
+		out := make([]*sym, n)
+		for i := 0; i < n; i++ {
+			v, _ := p.pop()
+			out[i] = v
+		}
+		return out, true
+	}
+	switch op {
+	case evm.CALLER:
+		p.push(&sym{kind: symCaller})
+	case evm.CALLVALUE:
+		p.push(&sym{kind: symCallvalue})
+	case evm.CALLDATASIZE:
+		p.push(&sym{kind: symCalldataSize})
+	case evm.CALLDATALOAD:
+		off, ok := p.pop()
+		if !ok {
+			return false
+		}
+		if off.isConc() && off.val.IsUint64() {
+			p.push(calldataWord(int(off.val.Uint64())))
+		} else {
+			p.push(&sym{kind: symUnknown})
+		}
+	case evm.MLOAD:
+		off, ok := p.pop()
+		if !ok {
+			return false
+		}
+		p.push(e.mload(p, off))
+	case evm.MSTORE:
+		args, ok := popN(2)
+		if !ok {
+			return false
+		}
+		if args[0].isConc() && args[0].val.IsUint64() {
+			p.mem = append(p.mem, memWrite{off: args[0].val.Uint64(), val: args[1]})
+		} else {
+			p.memHazy = true
+		}
+	case evm.MSTORE8:
+		if _, ok := popN(2); !ok {
+			return false
+		}
+		p.memHazy = true
+	case evm.SLOAD:
+		key, ok := p.pop()
+		if !ok {
+			return false
+		}
+		if key.isConc() {
+			if v, has := p.storage[key.val]; has {
+				p.push(v)
+			} else {
+				p.push(zeroSym)
+			}
+		} else {
+			p.push(&sym{kind: symSload, args: []*sym{key}, writes: append([]storeWrite{}, p.writes...)})
+		}
+	case evm.SSTORE:
+		args, ok := popN(2)
+		if !ok {
+			return false
+		}
+		if args[0].isConc() {
+			p.storage[args[0].val] = args[1]
+			p.writes = append(p.writes, storeWrite{addr: args[0], val: args[1]})
+		} else {
+			// Symbolic-address stores are recorded for symbolic loads but
+			// make the concrete map unreliable; keep going (teEther
+			// concretizes; we approximate).
+			p.writes = append(p.writes, storeWrite{addr: args[0], val: args[1]})
+		}
+	case evm.SHA3:
+		args, ok := popN(2)
+		if !ok {
+			return false
+		}
+		if words, resolved := e.hashRegion(p, args[0], args[1]); resolved {
+			p.push(&sym{kind: symSha3, args: words})
+		} else {
+			p.push(&sym{kind: symUnknown})
+		}
+	case evm.ADDRESS, evm.ORIGIN, evm.COINBASE, evm.TIMESTAMP, evm.NUMBER,
+		evm.DIFFICULTY, evm.GASLIMIT, evm.CHAINID, evm.GASPRICE, evm.MSIZE,
+		evm.GAS, evm.PC, evm.SELFBALANCE, evm.RETURNDATASIZE, evm.CODESIZE:
+		p.push(&sym{kind: symUnknown})
+	case evm.BALANCE, evm.EXTCODESIZE, evm.EXTCODEHASH, evm.BLOCKHASH:
+		if _, ok := popN(1); !ok {
+			return false
+		}
+		p.push(&sym{kind: symUnknown})
+	case evm.POP:
+		if _, ok := p.pop(); !ok {
+			return false
+		}
+	case evm.CALLDATACOPY, evm.CODECOPY, evm.RETURNDATACOPY:
+		if _, ok := popN(3); !ok {
+			return false
+		}
+		p.memHazy = true
+	case evm.EXTCODECOPY:
+		if _, ok := popN(4); !ok {
+			return false
+		}
+		p.memHazy = true
+	case evm.CALL, evm.CALLCODE:
+		if _, ok := popN(7); !ok {
+			return false
+		}
+		p.memHazy = true
+		p.push(&sym{kind: symUnknown})
+	case evm.DELEGATECALL, evm.STATICCALL:
+		if _, ok := popN(6); !ok {
+			return false
+		}
+		p.memHazy = true
+		p.push(&sym{kind: symUnknown})
+	case evm.CREATE:
+		if _, ok := popN(3); !ok {
+			return false
+		}
+		p.push(&sym{kind: symUnknown})
+	case evm.CREATE2:
+		if _, ok := popN(4); !ok {
+			return false
+		}
+		p.push(&sym{kind: symUnknown})
+	default:
+		if op.IsLog() {
+			if _, ok := popN(op.Pops()); !ok {
+				return false
+			}
+			break
+		}
+		info := op
+		pops := info.Pops()
+		args, ok := popN(pops)
+		if !ok {
+			return false
+		}
+		if info.Pushes() == 1 {
+			p.push(mkOp(byte(op), args...))
+		} else if info.Pushes() != 0 {
+			return false
+		}
+	}
+	p.pc++
+	return true
+}
+
+// mload resolves a memory read against the path's write log.
+func (e *explorer) mload(p *pathState, off *sym) *sym {
+	if !off.isConc() || !off.val.IsUint64() {
+		return &sym{kind: symUnknown}
+	}
+	o := off.val.Uint64()
+	for i := len(p.mem) - 1; i >= 0; i-- {
+		if p.mem[i].off == o {
+			return p.mem[i].val
+		}
+	}
+	if p.memHazy {
+		return &sym{kind: symUnknown}
+	}
+	return zeroSym
+}
+
+// hashRegion resolves SHA3 over 32-byte-aligned constant regions.
+func (e *explorer) hashRegion(p *pathState, off, length *sym) ([]*sym, bool) {
+	if !off.isConc() || !length.isConc() || !off.val.IsUint64() || !length.val.IsUint64() {
+		return nil, false
+	}
+	n := length.val.Uint64()
+	if n == 0 || n > 8*32 || n%32 != 0 {
+		return nil, false
+	}
+	var words []*sym
+	for w := uint64(0); w < n/32; w++ {
+		words = append(words, e.mload(p, conc(u256.FromUint64(off.val.Uint64()+32*w))))
+	}
+	return words, true
+}
+
+// findStateChanges runs phase 1: paths committing storage writes whose
+// constraints solve, yielding concrete post-states for phase 2.
+func (e *explorer) findStateChanges() []phaseState {
+	var out []phaseState
+	init := &pathState{storage: map[u256.U256]*sym{}}
+	e.explore(init, func(end endState) {
+		if end.out != outStop || len(end.state.writes) == 0 {
+			return
+		}
+		m, ok := solve(end.state.constraints, e.cfg.Attacker, e.rng)
+		if !ok {
+			return
+		}
+		// Calldata words that feed only the stores (not the path condition)
+		// are free; pick the attacker's address for them — teEther's
+		// "critical path" instantiation.
+		free := map[int]bool{}
+		for _, w := range end.state.writes {
+			w.addr.collectWords(free)
+			w.val.collectWords(free)
+		}
+		for off := range free {
+			if _, set := m.words[off]; !set {
+				m.words[off] = e.cfg.Attacker
+				if uint64(off+32) > m.dataSize {
+					m.dataSize = uint64(off + 32)
+				}
+			}
+		}
+		post := map[u256.U256]*sym{}
+		for _, w := range end.state.writes {
+			post[w.addr.eval(m)] = conc(w.val.eval(m))
+		}
+		out = append(out, phaseState{
+			storage: post,
+			prefix:  [][]byte{buildCalldata(m)},
+		})
+	})
+	return out
+}
+
+// searchSelfdestruct runs the kill search from a given storage state.
+func (e *explorer) searchSelfdestruct(st phaseState) {
+	init := &pathState{storage: map[u256.U256]*sym{}}
+	for k, v := range st.storage {
+		init.storage[k] = v
+	}
+	e.explore(init, func(end endState) {
+		if end.out != outSelfdestruct {
+			return
+		}
+		m, ok := solve(end.state.constraints, e.cfg.Attacker, e.rng)
+		if !ok {
+			return
+		}
+		kind := AccessibleSelfdestruct
+		if end.beneficiary != nil && end.beneficiary.dependsOnInput() {
+			kind = TaintedSelfdestruct
+		}
+		exploit := append(append([][]byte{}, st.prefix...), buildCalldata(m))
+		e.res.Findings = append(e.res.Findings, Finding{Kind: kind, Exploit: exploit, PC: end.pc})
+	})
+}
+
+// buildCalldata materializes the model's calldata bytes.
+func buildCalldata(m *model) []byte {
+	size := int(m.dataSize)
+	for off := range m.words {
+		if off+32 > size {
+			size = off + 32
+		}
+	}
+	if size < 4 {
+		size = 4
+	}
+	data := make([]byte, size)
+	// Apply word writes in ascending offset order so overlapping regions
+	// (offset 0 selector word vs. argument words) compose deterministically.
+	offs := make([]int, 0, len(m.words))
+	for off := range m.words {
+		offs = append(offs, off)
+	}
+	for i := 0; i < len(offs); i++ {
+		for j := i + 1; j < len(offs); j++ {
+			if offs[j] < offs[i] {
+				offs[i], offs[j] = offs[j], offs[i]
+			}
+		}
+	}
+	for _, off := range offs {
+		w := m.words[off].Bytes32()
+		copy(data[off:min(off+32, len(data))], w[:])
+	}
+	return data
+}
+
+// Flagged reports whether any finding matches the kind.
+func Flagged(r *Result, k FindingKind) bool {
+	for _, f := range r.Findings {
+		if f.Kind == k {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+// Package bench implements the evaluation harness: one runner per table and
+// figure in the paper's Section 6, over the synthetic corpus of package
+// corpus. Each runner returns a structured result and renders a table in the
+// shape of the paper's, so EXPERIMENTS.md can juxtapose paper-reported and
+// measured values.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/u256"
+)
+
+// Entry is one analyzed corpus contract.
+type Entry struct {
+	Contract *corpus.Contract
+	Report   *core.Report // nil when analysis failed
+	Err      error
+	Elapsed  time.Duration
+}
+
+// Dataset is an analyzed corpus.
+type Dataset struct {
+	Entries []Entry
+	// Workers used for the parallel sweep.
+	Workers int
+	// Wall is the total wall-clock analysis time.
+	Wall time.Duration
+}
+
+// Failed counts decompile/analysis failures (the paper's timeouts).
+func (d *Dataset) Failed() int {
+	n := 0
+	for _, e := range d.Entries {
+		if e.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Build generates the corpus and analyzes every contract with the given
+// config, using the worker count of the paper's setup scaled to this machine.
+func Build(p corpus.Profile, cfg core.Config, workers int) *Dataset {
+	contracts := corpus.Generate(p)
+	return analyzeAll(contracts, cfg, workers)
+}
+
+func analyzeAll(contracts []*corpus.Contract, cfg core.Config, workers int) *Dataset {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	d := &Dataset{Entries: make([]Entry, len(contracts)), Workers: workers}
+	start := time.Now()
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				c := contracts[i]
+				t0 := time.Now()
+				rep, err := core.AnalyzeBytecode(c.Runtime, cfg)
+				d.Entries[i] = Entry{Contract: c, Report: rep, Err: err, Elapsed: time.Since(t0)}
+			}
+		}()
+	}
+	for i := range contracts {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	d.Wall = time.Since(start)
+	return d
+}
+
+// AllKinds lists the five vulnerability classes in the paper's table order.
+func AllKinds() []core.VulnKind {
+	return []core.VulnKind{
+		core.AccessibleSelfdestruct,
+		core.TaintedSelfdestruct,
+		core.TaintedOwner,
+		core.UncheckedStaticcall,
+		core.TaintedDelegatecall,
+	}
+}
+
+// flaggedFor reports whether the entry was flagged for the kind.
+func (e Entry) flaggedFor(k core.VulnKind) bool {
+	return e.Report != nil && e.Report.Has(k)
+}
+
+// flaggedAny reports whether the entry carries any warning.
+func (e Entry) flaggedAny() bool {
+	return e.Report != nil && len(e.Report.Warnings) > 0
+}
+
+// truePositiveFor compares a flag against ground truth.
+func (e Entry) truePositiveFor(k core.VulnKind) bool {
+	return e.Contract.Truth[k]
+}
+
+// --- table rendering helpers ---
+
+type table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) note(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(num)/float64(den))
+}
+
+func ratio(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", float64(num)/float64(den))
+}
+
+func sumWei(ws []u256.U256) string {
+	total := u256.Zero
+	for _, w := range ws {
+		total = total.Add(w)
+	}
+	if total.IsUint64() {
+		return fmt.Sprintf("%d", total.Uint64())
+	}
+	return total.String()
+}
+
+// sortedKinds gives deterministic iteration for maps keyed by kind.
+func sortedKinds(m map[core.VulnKind]int) []core.VulnKind {
+	var ks []core.VulnKind
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}

@@ -1,0 +1,192 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"ethainter/internal/evm"
+	"ethainter/internal/u256"
+)
+
+// DefaultGas is the gas budget given to each transaction. Generous enough for
+// any corpus contract, small enough to kill runaway loops quickly.
+const DefaultGas = 2_000_000
+
+// Receipt records the outcome of one applied transaction.
+type Receipt struct {
+	From      evm.Address
+	To        evm.Address // zero for creation
+	Created   evm.Address // non-zero for successful creation
+	Output    []byte
+	GasUsed   uint64
+	Err       error
+	Trace     []TraceEntry
+	Destroyed []evm.Address // contracts that self-destructed in this tx
+}
+
+// Succeeded reports whether the transaction completed without error.
+func (r *Receipt) Succeeded() bool { return r.Err == nil }
+
+// TraceEntry is one executed instruction, as recorded by the tracer.
+type TraceEntry struct {
+	Depth    int
+	Contract evm.Address
+	PC       int
+	Op       evm.Op
+}
+
+// tracer accumulates the instruction trace and the set of contracts on which
+// SELFDESTRUCT actually executed — the paper's Ethainter-Kill verifies
+// destruction "by analyzing the exact VM instruction trace".
+type tracer struct {
+	entries   []TraceEntry
+	destroyed []evm.Address
+	limit     int
+}
+
+func (t *tracer) OnOp(depth int, contract evm.Address, pc int, op evm.Op) {
+	if len(t.entries) < t.limit {
+		t.entries = append(t.entries, TraceEntry{Depth: depth, Contract: contract, PC: pc, Op: op})
+	}
+	if op == evm.SELFDESTRUCT {
+		t.destroyed = append(t.destroyed, contract)
+	}
+}
+
+// Chain is a single-node blockchain simulator: a world state plus a block
+// counter. Every transaction gets its own "block" for simplicity.
+type Chain struct {
+	State   *State
+	block   evm.BlockContext
+	nextKey uint64
+}
+
+// New returns a chain with an empty state at block 1.
+func New() *Chain {
+	return &Chain{
+		State: NewState(),
+		block: evm.BlockContext{
+			Number:    1,
+			Timestamp: 1_500_000_000,
+			GasLimit:  10_000_000,
+			ChainID:   3, // Ropsten
+		},
+	}
+}
+
+// NewAccount creates a fresh externally-owned account with the given balance
+// and returns its address. Addresses are deterministic per chain instance.
+func (c *Chain) NewAccount(balance u256.U256) evm.Address {
+	c.nextKey++
+	var a evm.Address
+	k := c.nextKey
+	for i := 0; i < 8; i++ {
+		a[19-i] = byte(k >> (8 * i))
+	}
+	a[0] = 0xee // mark EOAs for readability in traces
+	c.State.CreateAccount(a)
+	if !balance.IsZero() {
+		c.State.AddBalance(a, balance)
+	}
+	return a
+}
+
+// evmFor builds a fresh interpreter for one transaction.
+func (c *Chain) evmFor(origin evm.Address, t *tracer) *evm.EVM {
+	e := evm.New(c.State, c.block)
+	e.Origin = origin
+	if t != nil {
+		e.Tracer = t
+	}
+	return e
+}
+
+// Deploy applies a contract-creation transaction running initCode. On success
+// the receipt's Created field holds the new contract address.
+func (c *Chain) Deploy(from evm.Address, initCode []byte, value u256.U256) *Receipt {
+	tr := &tracer{limit: 1 << 16}
+	e := c.evmFor(from, tr)
+	addr, out, gasLeft, err := e.Create(from, initCode, value, DefaultGas)
+	r := &Receipt{From: from, Output: out, GasUsed: DefaultGas - gasLeft, Err: err, Trace: tr.entries}
+	if err == nil {
+		r.Created = addr
+	}
+	c.finish(r, tr, err)
+	return r
+}
+
+// DeployRuntime installs runtime code directly at a fresh address without
+// running a constructor — convenient for corpus deployment where constructor
+// effects are applied via SetState.
+func (c *Chain) DeployRuntime(runtime []byte, balance u256.U256) evm.Address {
+	c.nextKey++
+	var a evm.Address
+	k := c.nextKey
+	for i := 0; i < 8; i++ {
+		a[19-i] = byte(k >> (8 * i))
+	}
+	a[0] = 0xcc // mark contracts
+	c.State.CreateAccount(a)
+	c.State.SetCode(a, runtime)
+	if !balance.IsZero() {
+		c.State.AddBalance(a, balance)
+	}
+	c.State.Finalize()
+	return a
+}
+
+// Call applies a message-call transaction.
+func (c *Chain) Call(from, to evm.Address, input []byte, value u256.U256) *Receipt {
+	tr := &tracer{limit: 1 << 16}
+	e := c.evmFor(from, tr)
+	out, gasLeft, err := e.Call(from, to, input, value, DefaultGas)
+	r := &Receipt{From: from, To: to, Output: out, GasUsed: DefaultGas - gasLeft, Err: err, Trace: tr.entries}
+	c.finish(r, tr, err)
+	return r
+}
+
+func (c *Chain) finish(r *Receipt, tr *tracer, err error) {
+	c.block.Number++
+	c.block.Timestamp += 15
+	if err != nil {
+		// The EVM already reverted state; drop any journal remnants.
+		c.State.Finalize()
+		return
+	}
+	r.Destroyed = tr.destroyed
+	c.State.Finalize()
+}
+
+// CallView runs a call and reverts all its state effects, returning only the
+// output — an eth_call equivalent.
+func (c *Chain) CallView(from, to evm.Address, input []byte) ([]byte, error) {
+	snap := c.State.Snapshot()
+	e := c.evmFor(from, nil)
+	out, _, err := e.Call(from, to, input, u256.Zero, DefaultGas)
+	c.State.RevertToSnapshot(snap)
+	return out, err
+}
+
+// IsDestroyed reports whether the contract's code has been removed by a
+// finalized SELFDESTRUCT.
+func (c *Chain) IsDestroyed(a evm.Address) bool {
+	return c.State.HasSuicided(a) && len(c.State.GetCode(a)) == 0
+}
+
+// ErrNoCode is returned by RequireCode for addresses without code.
+var ErrNoCode = errors.New("chain: account has no code")
+
+// RequireCode returns the code at addr or ErrNoCode.
+func (c *Chain) RequireCode(a evm.Address) ([]byte, error) {
+	code := c.State.GetCode(a)
+	if len(code) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoCode, a)
+	}
+	return code, nil
+}
+
+// Fork returns an independent copy of the chain (state deep-copied), sharing
+// nothing with the original — the "private fork" Ethainter-Kill attacks.
+func (c *Chain) Fork() *Chain {
+	return &Chain{State: c.State.Copy(), block: c.block, nextKey: c.nextKey}
+}

@@ -1,0 +1,210 @@
+package chain
+
+import (
+	"testing"
+
+	"ethainter/internal/evm"
+	"ethainter/internal/u256"
+)
+
+func TestSnapshotRevertRestoresEverything(t *testing.T) {
+	s := NewState()
+	var a, b evm.Address
+	a[19], b[19] = 1, 2
+	s.CreateAccount(a)
+	s.AddBalance(a, u256.FromUint64(100))
+	s.SetState(a, u256.One, u256.FromUint64(7))
+	s.Finalize()
+
+	snap := s.Snapshot()
+	s.AddBalance(a, u256.FromUint64(50))
+	s.SubBalance(a, u256.FromUint64(20))
+	s.SetState(a, u256.One, u256.FromUint64(9))
+	s.SetState(a, u256.FromUint64(2), u256.FromUint64(3))
+	s.SetCode(b, []byte{1, 2, 3})
+	s.SetNonce(b, 5)
+	s.Suicide(a, b)
+	s.RevertToSnapshot(snap)
+
+	if got := s.GetBalance(a); got != u256.FromUint64(100) {
+		t.Errorf("balance = %s", got)
+	}
+	if got := s.GetState(a, u256.One); got != u256.FromUint64(7) {
+		t.Errorf("slot1 = %s", got)
+	}
+	if got := s.GetState(a, u256.FromUint64(2)); !got.IsZero() {
+		t.Errorf("slot2 = %s", got)
+	}
+	if s.Exists(b) {
+		t.Error("account b should have been journal-deleted")
+	}
+	if s.HasSuicided(a) {
+		t.Error("suicide should have been reverted")
+	}
+}
+
+func TestNestedSnapshots(t *testing.T) {
+	s := NewState()
+	var a evm.Address
+	a[19] = 1
+	s.CreateAccount(a)
+	outer := s.Snapshot()
+	s.SetState(a, u256.Zero, u256.One)
+	inner := s.Snapshot()
+	s.SetState(a, u256.Zero, u256.FromUint64(2))
+	s.RevertToSnapshot(inner)
+	if got := s.GetState(a, u256.Zero); got != u256.One {
+		t.Fatalf("after inner revert: %s", got)
+	}
+	s.RevertToSnapshot(outer)
+	if got := s.GetState(a, u256.Zero); !got.IsZero() {
+		t.Fatalf("after outer revert: %s", got)
+	}
+}
+
+func TestFinalizeErasesSuicidedContracts(t *testing.T) {
+	s := NewState()
+	var a, b evm.Address
+	a[19], b[19] = 1, 2
+	s.CreateAccount(a)
+	s.SetCode(a, []byte{0x00})
+	s.SetState(a, u256.Zero, u256.One)
+	s.AddBalance(a, u256.FromUint64(9))
+	s.Finalize()
+
+	s.Suicide(a, b)
+	s.Finalize()
+	if len(s.GetCode(a)) != 0 {
+		t.Error("code should be erased")
+	}
+	if !s.GetState(a, u256.Zero).IsZero() {
+		t.Error("storage should be erased")
+	}
+	if got := s.GetBalance(b); got != u256.FromUint64(9) {
+		t.Errorf("beneficiary balance = %s", got)
+	}
+}
+
+func TestChainAccountsAreDistinctAndFunded(t *testing.T) {
+	c := New()
+	a := c.NewAccount(u256.FromUint64(10))
+	b := c.NewAccount(u256.FromUint64(20))
+	if a == b {
+		t.Fatal("accounts collide")
+	}
+	if c.State.GetBalance(a) != u256.FromUint64(10) || c.State.GetBalance(b) != u256.FromUint64(20) {
+		t.Fatal("balances wrong")
+	}
+}
+
+func TestCallViewDoesNotPersist(t *testing.T) {
+	c := New()
+	caller := c.NewAccount(u256.FromUint64(100))
+	code := evm.MustAssemble(`
+		PUSH1 0x01
+		PUSH1 0x00
+		SSTORE
+		STOP
+	`)
+	addr := c.DeployRuntime(code, u256.Zero)
+	if _, err := c.CallView(caller, addr, nil); err != nil {
+		t.Fatalf("view: %v", err)
+	}
+	if !c.State.GetState(addr, u256.Zero).IsZero() {
+		t.Fatal("view call persisted state")
+	}
+}
+
+func TestFailedTxLeavesNoResidue(t *testing.T) {
+	c := New()
+	caller := c.NewAccount(u256.FromUint64(100))
+	code := evm.MustAssemble(`
+		PUSH1 0x01
+		PUSH1 0x00
+		SSTORE
+		INVALID
+	`)
+	addr := c.DeployRuntime(code, u256.Zero)
+	r := c.Call(caller, addr, nil, u256.Zero)
+	if r.Err == nil {
+		t.Fatal("expected failure")
+	}
+	if !c.State.GetState(addr, u256.Zero).IsZero() {
+		t.Fatal("failed tx left storage residue")
+	}
+}
+
+func TestRequireCode(t *testing.T) {
+	c := New()
+	eoa := c.NewAccount(u256.Zero)
+	if _, err := c.RequireCode(eoa); err == nil {
+		t.Fatal("expected ErrNoCode")
+	}
+	addr := c.DeployRuntime([]byte{byte(evm.STOP)}, u256.Zero)
+	if _, err := c.RequireCode(addr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkIsolation(t *testing.T) {
+	c := New()
+	caller := c.NewAccount(u256.FromUint64(1000))
+	code := evm.MustAssemble(`
+		PUSH1 0x01
+		PUSH1 0x00
+		SSTORE
+		STOP
+	`)
+	addr := c.DeployRuntime(code, u256.FromUint64(77))
+
+	fork := c.Fork()
+	// Mutations on the fork (storage, balances, destruction) stay there.
+	if r := fork.Call(caller, addr, nil, u256.Zero); r.Err != nil {
+		t.Fatalf("fork call: %v", r.Err)
+	}
+	fork.State.AddBalance(caller, u256.FromUint64(5))
+	fork.State.Suicide(addr, caller)
+	fork.State.Finalize()
+
+	if !c.State.GetState(addr, u256.Zero).IsZero() {
+		t.Error("primary storage mutated through the fork")
+	}
+	if got := c.State.GetBalance(caller); got != u256.FromUint64(1000) {
+		t.Errorf("primary balance mutated: %s", got)
+	}
+	if c.IsDestroyed(addr) {
+		t.Error("primary contract destroyed through the fork")
+	}
+	if !fork.IsDestroyed(addr) {
+		t.Error("fork should see its own destruction")
+	}
+	// New accounts on the fork do not collide with later primary accounts.
+	fa := fork.NewAccount(u256.Zero)
+	ca := c.NewAccount(u256.Zero)
+	if fa != ca {
+		// Address sequences are deterministic per chain; after the fork they
+		// advance independently, and the first new address is the same on
+		// both — that is fine because the two states are disjoint worlds.
+		t.Logf("fork address %s, primary address %s", fa, ca)
+	}
+}
+
+func TestForkPreservesExistingState(t *testing.T) {
+	c := New()
+	a := c.NewAccount(u256.FromUint64(123))
+	c.State.SetState(a, u256.One, u256.FromUint64(9))
+	c.State.SetCode(a, []byte{1, 2})
+	c.State.SetNonce(a, 4)
+	c.State.Finalize()
+	fork := c.Fork()
+	if fork.State.GetBalance(a) != u256.FromUint64(123) ||
+		fork.State.GetState(a, u256.One) != u256.FromUint64(9) ||
+		fork.State.GetNonce(a) != 4 || len(fork.State.GetCode(a)) != 2 {
+		t.Error("fork lost account state")
+	}
+	// Deep copy: mutating the fork's code slice must not alias.
+	fork.State.GetCode(a)[0] = 0xff
+	if c.State.GetCode(a)[0] == 0xff {
+		t.Error("code slices aliased between fork and primary")
+	}
+}

@@ -1,0 +1,208 @@
+// Package chain implements an in-process blockchain state simulator: a
+// journaled StateDB for the EVM interpreter plus a transaction-level Chain
+// wrapper. It stands in for the paper's geth node / private Ropsten fork:
+// contracts are deployed into it, attack transactions are applied to it, and
+// per-transaction instruction traces confirm whether a SELFDESTRUCT executed.
+package chain
+
+import (
+	"ethainter/internal/evm"
+	"ethainter/internal/u256"
+)
+
+// account is the full state of one address.
+type account struct {
+	balance  u256.U256
+	nonce    uint64
+	code     []byte
+	storage  map[u256.U256]u256.U256
+	suicided bool
+}
+
+// journalEntry undoes one state mutation.
+type journalEntry func(s *State)
+
+// State is a journaled implementation of evm.StateDB. Snapshots are journal
+// positions; reverting replays undo entries back to the mark.
+type State struct {
+	accounts map[evm.Address]*account
+	journal  []journalEntry
+}
+
+// NewState returns an empty world state.
+func NewState() *State {
+	return &State{accounts: make(map[evm.Address]*account)}
+}
+
+func (s *State) getOrCreate(a evm.Address) *account {
+	acc := s.accounts[a]
+	if acc == nil {
+		acc = &account{storage: make(map[u256.U256]u256.U256)}
+		s.accounts[a] = acc
+		s.journal = append(s.journal, func(s *State) { delete(s.accounts, a) })
+	}
+	return acc
+}
+
+// Exists reports whether the account has been created.
+func (s *State) Exists(a evm.Address) bool { return s.accounts[a] != nil }
+
+// CreateAccount ensures an account exists.
+func (s *State) CreateAccount(a evm.Address) { s.getOrCreate(a) }
+
+// GetBalance returns the account balance (zero for absent accounts).
+func (s *State) GetBalance(a evm.Address) u256.U256 {
+	if acc := s.accounts[a]; acc != nil {
+		return acc.balance
+	}
+	return u256.Zero
+}
+
+// AddBalance credits the account, creating it if needed.
+func (s *State) AddBalance(a evm.Address, v u256.U256) {
+	acc := s.getOrCreate(a)
+	prev := acc.balance
+	s.journal = append(s.journal, func(s *State) { s.accounts[a].balance = prev })
+	acc.balance = acc.balance.Add(v)
+}
+
+// SubBalance debits the account. Callers check sufficiency first.
+func (s *State) SubBalance(a evm.Address, v u256.U256) {
+	acc := s.getOrCreate(a)
+	prev := acc.balance
+	s.journal = append(s.journal, func(s *State) { s.accounts[a].balance = prev })
+	acc.balance = acc.balance.Sub(v)
+}
+
+// GetNonce returns the account nonce.
+func (s *State) GetNonce(a evm.Address) uint64 {
+	if acc := s.accounts[a]; acc != nil {
+		return acc.nonce
+	}
+	return 0
+}
+
+// SetNonce sets the account nonce.
+func (s *State) SetNonce(a evm.Address, n uint64) {
+	acc := s.getOrCreate(a)
+	prev := acc.nonce
+	s.journal = append(s.journal, func(s *State) { s.accounts[a].nonce = prev })
+	acc.nonce = n
+}
+
+// GetCode returns the account code (nil for absent or code-less accounts).
+func (s *State) GetCode(a evm.Address) []byte {
+	if acc := s.accounts[a]; acc != nil {
+		return acc.code
+	}
+	return nil
+}
+
+// SetCode installs account code.
+func (s *State) SetCode(a evm.Address, code []byte) {
+	acc := s.getOrCreate(a)
+	prev := acc.code
+	s.journal = append(s.journal, func(s *State) { s.accounts[a].code = prev })
+	acc.code = code
+}
+
+// GetState reads a storage slot.
+func (s *State) GetState(a evm.Address, key u256.U256) u256.U256 {
+	if acc := s.accounts[a]; acc != nil {
+		return acc.storage[key]
+	}
+	return u256.Zero
+}
+
+// SetState writes a storage slot.
+func (s *State) SetState(a evm.Address, key, val u256.U256) {
+	acc := s.getOrCreate(a)
+	prev, had := acc.storage[key]
+	s.journal = append(s.journal, func(s *State) {
+		if had {
+			s.accounts[a].storage[key] = prev
+		} else {
+			delete(s.accounts[a].storage, key)
+		}
+	})
+	acc.storage[key] = val
+}
+
+// Suicide marks the account self-destructed and moves its balance to the
+// beneficiary. Code removal happens when the enclosing transaction finalizes.
+func (s *State) Suicide(a, beneficiary evm.Address) {
+	acc := s.getOrCreate(a)
+	bal := acc.balance
+	prevSuicided := acc.suicided
+	s.journal = append(s.journal, func(s *State) { s.accounts[a].suicided = prevSuicided })
+	acc.suicided = true
+	if !bal.IsZero() {
+		s.SubBalance(a, bal)
+		s.AddBalance(beneficiary, bal)
+	}
+}
+
+// HasSuicided reports whether the account self-destructed in this transaction
+// (or a previous finalized one).
+func (s *State) HasSuicided(a evm.Address) bool {
+	if acc := s.accounts[a]; acc != nil {
+		return acc.suicided
+	}
+	return false
+}
+
+// Snapshot returns a revert mark.
+func (s *State) Snapshot() int { return len(s.journal) }
+
+// RevertToSnapshot undoes every mutation after the mark.
+func (s *State) RevertToSnapshot(mark int) {
+	for i := len(s.journal) - 1; i >= mark; i-- {
+		s.journal[i](s)
+	}
+	s.journal = s.journal[:mark]
+}
+
+// Finalize commits the current transaction: clears the journal and erases the
+// code and storage of self-destructed accounts (on-chain semantics: the
+// account is gone after the transaction).
+func (s *State) Finalize() {
+	s.journal = s.journal[:0]
+	for _, acc := range s.accounts {
+		if acc.suicided && acc.code != nil {
+			acc.code = nil
+			acc.storage = make(map[u256.U256]u256.U256)
+		}
+	}
+}
+
+// Accounts returns all known addresses, in no particular order.
+func (s *State) Accounts() []evm.Address {
+	out := make([]evm.Address, 0, len(s.accounts))
+	for a := range s.accounts {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Copy returns a deep copy of the state with an empty journal — a private
+// fork. Ethainter-Kill runs exploit attempts against forks so failed attempts
+// leave the primary state untouched.
+func (s *State) Copy() *State {
+	out := NewState()
+	for addr, acc := range s.accounts {
+		cp := &account{
+			balance:  acc.balance,
+			nonce:    acc.nonce,
+			suicided: acc.suicided,
+			storage:  make(map[u256.U256]u256.U256, len(acc.storage)),
+		}
+		if acc.code != nil {
+			cp.code = append([]byte{}, acc.code...)
+		}
+		for k, v := range acc.storage {
+			cp.storage[k] = v
+		}
+		out.accounts[addr] = cp
+	}
+	return out
+}

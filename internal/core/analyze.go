@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ethainter/internal/decompiler"
+	"ethainter/internal/tac"
+)
+
+// Analyze runs the Ethainter analysis over a decompiled program.
+func Analyze(prog *tac.Program, cfg Config) *Report {
+	f := computeFacts(prog)
+	g := computeGuards(f, cfg)
+	a := newAnalysis(cfg, f, g)
+	a.run()
+
+	r := &Report{PublicFunctions: len(prog.Functions)}
+	detect(a, r)
+
+	// Stats.
+	r.Stats.Blocks = len(prog.Blocks)
+	prog.AllStmts(func(*tac.Stmt) { r.Stats.Statements++ })
+	for _, b := range prog.Blocks {
+		if a.reachable(b) {
+			r.Stats.ReachableBlocks++
+		}
+	}
+	r.Stats.TaintedVars = len(a.varTaint)
+	r.Stats.TaintedSlots = len(a.slotTainted)
+	r.Stats.BypassedGuards = len(a.bypassed)
+	for _, eff := range g.effective {
+		if eff {
+			r.Stats.EffectiveGuards++
+		}
+	}
+	r.Stats.FixpointPasses = a.passes
+	r.Stats.InferredOwnerSlot = len(g.ownerSlots)
+	return r
+}
+
+// AnalyzeBytecode decompiles and analyzes runtime bytecode.
+func AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
+	prog, err := decompiler.Decompile(code)
+	if err != nil {
+		return nil, fmt.Errorf("ethainter: %w", err)
+	}
+	return Analyze(prog, cfg), nil
+}
+
+// detect runs the five vulnerability detectors of Section 3 over the fixpoint
+// results.
+func detect(a *analysis, r *Report) {
+	type key struct {
+		kind VulnKind
+		pc   int
+	}
+	seen := map[key]bool{}
+	add := func(w Warning) {
+		k := key{kind: w.Kind, pc: w.PC}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		r.Warnings = append(r.Warnings, w)
+	}
+	f := a.f
+
+	// finishWitness appends the sink's own invoking function.
+	finishWitness := func(wit []Step, b *tac.Block) []Step {
+		out := appendSteps([]Step{}, wit)
+		if step, ok := f.stepFor(b); ok {
+			out = appendSteps(out, []Step{step})
+		}
+		return out
+	}
+	// taintedSinkArg implements the dual rule for "tainted X" sinks: input
+	// taint counts only when the sink is attacker-reachable (an effective
+	// guard sanitizes it — Guard-2); storage taint always counts (Guard-1).
+	taintedSinkArg := func(s *tac.Stmt, arg tac.VarID) ([]Step, bool) {
+		k := a.varTaint[arg]
+		if k&taintSt != 0 {
+			return a.witVar[arg], true
+		}
+		if k&(taintIn|taintSender) != 0 && a.reachable(s.Block) {
+			return a.witVar[arg], true
+		}
+		return nil, false
+	}
+
+	f.prog.AllStmts(func(s *tac.Stmt) {
+		switch s.Op {
+		case tac.SelfdestructOp:
+			if a.reachable(s.Block) {
+				add(Warning{
+					Kind:    AccessibleSelfdestruct,
+					PC:      s.PC,
+					Witness: finishWitness(a.reachWitness(s.Block), s.Block),
+					Message: "SELFDESTRUCT is executable by an arbitrary caller",
+				})
+			}
+			if wit, ok := taintedSinkArg(s, s.Args[0]); ok {
+				add(Warning{
+					Kind:    TaintedSelfdestruct,
+					PC:      s.PC,
+					Witness: finishWitness(wit, s.Block),
+					Message: "SELFDESTRUCT beneficiary is attacker-influenced",
+				})
+			}
+		case tac.Delegatecall, tac.Callcode:
+			if wit, ok := taintedSinkArg(s, s.Args[1]); ok {
+				add(Warning{
+					Kind:    TaintedDelegatecall,
+					PC:      s.PC,
+					Witness: finishWitness(wit, s.Block),
+					Message: "DELEGATECALL target is attacker-influenced",
+				})
+			}
+		case tac.Sstore:
+			cls := f.addrClass[s]
+			if cls.kind != addrConst || !a.g.ownerSlots[cls.slot] {
+				return
+			}
+			if !a.reachable(s.Block) {
+				return
+			}
+			if a.varTaint[s.Args[1]] == 0 {
+				return
+			}
+			wit := appendSteps(a.reachWitness(s.Block), a.witVar[s.Args[1]])
+			add(Warning{
+				Kind:    TaintedOwner,
+				PC:      s.PC,
+				Slot:    cls.slot,
+				Witness: finishWitness(wit, s.Block),
+				Message: fmt.Sprintf("attacker-reachable tainted write to owner slot %s", cls.slot),
+			})
+		case tac.Staticcall:
+			checkStaticcall(a, s, add)
+		}
+	})
+	sort.Slice(r.Warnings, func(i, j int) bool {
+		if r.Warnings[i].Kind != r.Warnings[j].Kind {
+			return r.Warnings[i].Kind < r.Warnings[j].Kind
+		}
+		return r.Warnings[i].PC < r.Warnings[j].PC
+	})
+}
+
+// checkStaticcall detects the 0x-exchange pattern (Section 3.5): a reachable
+// STATICCALL whose output buffer overlaps its tainted input buffer, with no
+// RETURNDATASIZE check between the call and the readback — so a short return
+// reflects attacker input as trusted output.
+func checkStaticcall(a *analysis, s *tac.Stmt, add func(Warning)) {
+	f := a.f
+	// Args: gas, addr, inOff, inLen, outOff, outLen.
+	inOff, ok1 := f.constOf[s.Args[2]]
+	outOff, ok2 := f.constOf[s.Args[4]]
+	outLen, ok3 := f.constOf[s.Args[5]]
+	if !ok1 || !ok2 || !ok3 {
+		return
+	}
+	if outLen.IsZero() || inOff != outOff {
+		return
+	}
+	if !a.reachable(s.Block) {
+		return
+	}
+	// The input region (or the callee address) must be attacker-influenced.
+	influenced := a.varTaint[s.Args[1]] != 0
+	var wit []Step
+	if !influenced && inOff.IsUint64() {
+		for _, st := range f.memSources(s, inOff.Uint64()) {
+			if a.varTaint[st.Args[1]] != 0 {
+				influenced = true
+				wit = a.witVar[st.Args[1]]
+			}
+		}
+	}
+	if !influenced {
+		return
+	}
+	// A RETURNDATASIZE in the call's block after it, or in a successor within
+	// two hops, counts as the fixed pattern.
+	if hasReturndatasizeAfter(s) {
+		return
+	}
+	out := appendSteps(a.reachWitness(s.Block), wit)
+	if step, okStep := f.stepFor(s.Block); okStep {
+		out = appendSteps(out, []Step{step})
+	}
+	add(Warning{
+		Kind:    UncheckedStaticcall,
+		PC:      s.PC,
+		Witness: out,
+		Message: "STATICCALL output overlaps tainted input with no RETURNDATASIZE check",
+	})
+}
+
+func hasReturndatasizeAfter(s *tac.Stmt) bool {
+	for _, later := range s.Block.Stmts[s.Idx:] {
+		if later.Op == tac.Returndatasize {
+			return true
+		}
+	}
+	frontier := s.Block.Succs
+	for hop := 0; hop < 2; hop++ {
+		var next []*tac.Block
+		for _, b := range frontier {
+			for _, st := range b.Stmts {
+				if st.Op == tac.Returndatasize {
+					return true
+				}
+			}
+			next = append(next, b.Succs...)
+		}
+		frontier = next
+	}
+	return false
+}

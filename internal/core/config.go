@@ -1,0 +1,146 @@
+// Package core implements the Ethainter analysis — the paper's primary
+// contribution — over the decompiled 3-address representation (package tac).
+//
+// The analysis mirrors the Figure 5 skeleton: StaticallyGuardedStatement is
+// computed from dominators over require-style branches; ReachableByAttacker,
+// TaintedFlow, and the attacker-model information flow are mutually recursive
+// and run to fixpoint; guards sanitize input taint only when they scrutinize
+// msg.sender (directly or through sender-keyed storage data structures, the
+// DS/DSA relations of Figure 4); taint that reaches persistent storage
+// survives guards (Guard-1); and owner-variable sinks are inferred per
+// Section 4.5. Every derived fact carries a witness — the ordered list of
+// public entry points whose invocation establishes it — which Ethainter-Kill
+// replays as a concrete multi-transaction exploit.
+package core
+
+import (
+	"fmt"
+
+	"ethainter/internal/u256"
+)
+
+// Config selects the analysis variants of Section 6.4 (Figure 8).
+type Config struct {
+	// ModelGuards enables guard modeling. Disabling it reproduces the
+	// "No Guard Model" ablation (Figure 8b): every guard is treated as
+	// non-sanitizing, collapsing precision.
+	ModelGuards bool
+	// ModelStorageTaint enables taint propagation through persistent storage
+	// and thus across transactions. Disabling it reproduces "No Storage
+	// Modeling" (Figure 8a): composite vulnerabilities disappear,
+	// collapsing completeness.
+	ModelStorageTaint bool
+	// ConservativeStorage treats stores to statically unknown storage
+	// addresses as writing every location and loads from unknown addresses
+	// as reading any tainted one — the Securify-style modeling of
+	// Figure 8c. Off by default (the paper's deliberate precision choice).
+	ConservativeStorage bool
+	// InferOwnerSinks enables the Section 4.5 owner-variable sink inference
+	// driving the "tainted owner variable" vulnerability.
+	InferOwnerSinks bool
+}
+
+// DefaultConfig is the production Ethainter configuration.
+func DefaultConfig() Config {
+	return Config{
+		ModelGuards:       true,
+		ModelStorageTaint: true,
+		InferOwnerSinks:   true,
+	}
+}
+
+// VulnKind enumerates the five vulnerability classes of Section 3.
+type VulnKind int
+
+// Vulnerability kinds.
+const (
+	AccessibleSelfdestruct VulnKind = iota
+	TaintedSelfdestruct
+	TaintedOwner
+	UncheckedStaticcall
+	TaintedDelegatecall
+	NumVulnKinds // bound for iteration
+)
+
+func (k VulnKind) String() string {
+	switch k {
+	case AccessibleSelfdestruct:
+		return "accessible selfdestruct"
+	case TaintedSelfdestruct:
+		return "tainted selfdestruct"
+	case TaintedOwner:
+		return "tainted owner variable"
+	case UncheckedStaticcall:
+		return "unchecked tainted staticcall"
+	case TaintedDelegatecall:
+		return "tainted delegatecall"
+	}
+	return fmt.Sprintf("vuln(%d)", int(k))
+}
+
+// Step is one transaction of a composite attack: a public function selector
+// plus the number of word arguments its call site loads.
+type Step struct {
+	Selector [4]byte
+	NumArgs  int
+}
+
+func (s Step) String() string { return fmt.Sprintf("0x%x/%d", s.Selector, s.NumArgs) }
+
+// Warning is one flagged vulnerability.
+type Warning struct {
+	Kind VulnKind
+	// PC is the bytecode offset of the sink (or the tainted write for
+	// TaintedOwner).
+	PC int
+	// Slot is the storage slot for TaintedOwner warnings.
+	Slot u256.U256
+	// Witness is the escalation chain: public functions to invoke, in order,
+	// to reach the sink (the final sink-invoking step included when known).
+	Witness []Step
+	// Message is a human-readable explanation.
+	Message string
+}
+
+// Report is the analysis output for one contract.
+type Report struct {
+	Warnings []Warning
+	// PublicFunctions is the number of dispatcher entries discovered.
+	PublicFunctions int
+	// Stats carries fixpoint sizes for debugging and the efficiency tables.
+	Stats Stats
+}
+
+// Stats summarizes fixpoint magnitudes.
+type Stats struct {
+	Blocks            int
+	Statements        int
+	ReachableBlocks   int
+	TaintedVars       int
+	TaintedSlots      int
+	BypassedGuards    int
+	EffectiveGuards   int
+	FixpointPasses    int
+	InferredOwnerSlot int
+}
+
+// Has reports whether the report contains a warning of the given kind.
+func (r *Report) Has(kind VulnKind) bool {
+	for _, w := range r.Warnings {
+		if w.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// ByKind returns the warnings of one kind.
+func (r *Report) ByKind(kind VulnKind) []Warning {
+	var out []Warning
+	for _, w := range r.Warnings {
+		if w.Kind == kind {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+package core_test
+
+import (
+	"testing"
+
+	"ethainter/internal/core"
+	"ethainter/internal/minisol"
+)
+
+func analyzeSrc(t *testing.T, src string, cfg core.Config) *core.Report {
+	t.Helper()
+	out, err := minisol.CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	r, err := core.AnalyzeBytecode(out.Runtime, cfg)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return r
+}
+
+func kinds(r *core.Report) map[core.VulnKind]bool {
+	m := map[core.VulnKind]bool{}
+	for _, w := range r.Warnings {
+		m[w.Kind] = true
+	}
+	return m
+}
+
+// The paper's Section 2 Victim: both primitive vulnerabilities must surface,
+// and the accessible-selfdestruct witness must be the composite escalation
+// registerSelf -> referAdmin -> kill.
+func TestVictimComposite(t *testing.T) {
+	r := analyzeSrc(t, minisol.VictimSource, core.DefaultConfig())
+	k := kinds(r)
+	if !k[core.AccessibleSelfdestruct] {
+		t.Error("missing accessible selfdestruct")
+	}
+	if !k[core.TaintedSelfdestruct] {
+		t.Error("missing tainted selfdestruct")
+	}
+	if k[core.TaintedDelegatecall] || k[core.UncheckedStaticcall] {
+		t.Errorf("spurious warnings: %v", r.Warnings)
+	}
+	// Witness chain of the accessible selfdestruct.
+	for _, w := range r.ByKind(core.AccessibleSelfdestruct) {
+		var names []string
+		for _, s := range w.Witness {
+			names = append(names, selName(s))
+		}
+		want := []string{"registerSelf()", "referAdmin(address)", "kill()"}
+		if len(names) != len(want) {
+			t.Fatalf("witness = %v, want %v", names, want)
+		}
+		for i := range want {
+			if names[i] != want[i] {
+				t.Fatalf("witness = %v, want %v", names, want)
+			}
+		}
+	}
+}
+
+// selName maps a selector back to a signature for the known test fixtures.
+func selName(s core.Step) string {
+	sigs := []string{
+		"registerSelf()", "referUser(address)", "referAdmin(address)",
+		"changeOwner(address)", "kill()", "initOwner(address)",
+		"initAdmin(address)", "migrate(address)", "transfer(address,uint256)",
+		"isValidSignature(address,uint256)", "settle(address,uint256)",
+	}
+	for _, sig := range sigs {
+		if minisol.SelectorOf(sig) == s.Selector {
+			return sig
+		}
+	}
+	return s.String()
+}
+
+func TestTaintedOwnerExample(t *testing.T) {
+	r := analyzeSrc(t, minisol.TaintedOwnerSource, core.DefaultConfig())
+	k := kinds(r)
+	if !k[core.TaintedOwner] {
+		t.Error("missing tainted owner variable")
+	}
+	// The broken guard also exposes the selfdestruct itself.
+	if !k[core.AccessibleSelfdestruct] {
+		t.Error("missing accessible selfdestruct (guard is taintable)")
+	}
+	if !k[core.TaintedSelfdestruct] {
+		t.Error("missing tainted selfdestruct (beneficiary is the tainted owner)")
+	}
+}
+
+func TestTaintedSelfdestructExample(t *testing.T) {
+	r := analyzeSrc(t, minisol.TaintedSelfdestructSource, core.DefaultConfig())
+	k := kinds(r)
+	if !k[core.TaintedSelfdestruct] {
+		t.Error("missing tainted selfdestruct: initAdmin taints the beneficiary")
+	}
+	// The owner guard itself is intact: owner is never written post-deploy,
+	// so the selfdestruct is NOT accessible.
+	if k[core.AccessibleSelfdestruct] {
+		t.Error("selfdestruct behind an intact owner guard must not be accessible")
+	}
+}
+
+func TestAccessibleSelfdestructExample(t *testing.T) {
+	r := analyzeSrc(t, minisol.AccessibleSelfdestructSource, core.DefaultConfig())
+	if !kinds(r)[core.AccessibleSelfdestruct] {
+		t.Error("missing accessible selfdestruct on unguarded kill()")
+	}
+	// The beneficiary is a clean storage constant: not a tainted selfdestruct.
+	if kinds(r)[core.TaintedSelfdestruct] {
+		t.Error("beneficiary is untainted; tainted selfdestruct is a false positive")
+	}
+}
+
+func TestTaintedDelegatecallExample(t *testing.T) {
+	r := analyzeSrc(t, minisol.TaintedDelegatecallSource, core.DefaultConfig())
+	if !kinds(r)[core.TaintedDelegatecall] {
+		t.Error("missing tainted delegatecall on public migrate()")
+	}
+}
+
+func TestGuardedDelegatecallNotFlagged(t *testing.T) {
+	src := `
+contract SafeProxy {
+    address owner;
+    constructor() { owner = msg.sender; }
+    function migrate(address delegate) public {
+        require(msg.sender == owner);
+        delegatecall(delegate);
+    }
+}`
+	r := analyzeSrc(t, src, core.DefaultConfig())
+	if kinds(r)[core.TaintedDelegatecall] {
+		t.Error("owner-guarded delegatecall must not be flagged")
+	}
+}
+
+func TestUncheckedStaticcallExample(t *testing.T) {
+	r := analyzeSrc(t, minisol.UncheckedStaticcallSource, core.DefaultConfig())
+	if !kinds(r)[core.UncheckedStaticcall] {
+		t.Error("missing unchecked tainted staticcall")
+	}
+}
+
+func TestCheckedStaticcallNotFlagged(t *testing.T) {
+	src := `
+contract SafeExchange {
+    function isValidSignature(address wallet, uint256 hash) public returns (uint256) {
+        return staticcall_checked(wallet, hash);
+    }
+}`
+	r := analyzeSrc(t, src, core.DefaultConfig())
+	if kinds(r)[core.UncheckedStaticcall] {
+		t.Error("RETURNDATASIZE-checked staticcall must not be flagged")
+	}
+}
+
+// The well-guarded token is the negative control: no warnings at all.
+func TestSafeTokenClean(t *testing.T) {
+	r := analyzeSrc(t, minisol.SafeTokenSource, core.DefaultConfig())
+	if len(r.Warnings) != 0 {
+		t.Errorf("safe token flagged: %v", r.Warnings)
+	}
+	if r.PublicFunctions != 6 {
+		t.Errorf("public functions = %d, want 6", r.PublicFunctions)
+	}
+}
+
+// Figure 8a: without storage modeling, composite vulnerabilities disappear.
+func TestAblationNoStorage(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.ModelStorageTaint = false
+	r := analyzeSrc(t, minisol.VictimSource, cfg)
+	k := kinds(r)
+	if k[core.AccessibleSelfdestruct] || k[core.TaintedSelfdestruct] {
+		t.Errorf("composite escalation needs storage modeling; got %v", r.Warnings)
+	}
+	// The tainted-owner example also needs storage taint.
+	r2 := analyzeSrc(t, minisol.TaintedSelfdestructSource, cfg)
+	if kinds(r2)[core.TaintedSelfdestruct] {
+		t.Error("tainted selfdestruct requires taint through storage")
+	}
+}
+
+// Figure 8b: without guard modeling, guarded sinks are flagged too (false
+// positives on the safe token).
+func TestAblationNoGuards(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.ModelGuards = false
+	r := analyzeSrc(t, minisol.SafeTokenSource, cfg)
+	if !kinds(r)[core.AccessibleSelfdestruct] {
+		t.Error("without guard modeling, the owner-guarded kill must be (wrongly) flagged")
+	}
+}
+
+// Figure 8c: conservative storage modeling flags the safe token's
+// mapping-mediated flows.
+func TestAblationConservativeStorage(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.ConservativeStorage = true
+	r := analyzeSrc(t, minisol.SafeTokenSource, cfg)
+	if len(r.Warnings) == 0 {
+		t.Skip("conservative mode produced no extra warnings on this fixture")
+	}
+}
+
+// A contract whose owner guard can be bought: the "ownership can be bought"
+// true-positive class of Figure 6.
+func TestBuyableOwnership(t *testing.T) {
+	src := `
+contract Buyable {
+    address owner;
+    uint256 price = 100;
+    constructor() { owner = msg.sender; }
+    function buyOwnership() public payable {
+        require(msg.value >= price);
+        owner = msg.sender;
+    }
+    function kill() public {
+        require(msg.sender == owner);
+        selfdestruct(owner);
+    }
+}`
+	r := analyzeSrc(t, src, core.DefaultConfig())
+	if !kinds(r)[core.AccessibleSelfdestruct] {
+		t.Error("buyable ownership should expose the selfdestruct")
+	}
+}
+
+// Inter-function flow: the tainted value takes a detour through an internal
+// helper before hitting the owner slot.
+func TestInterFunctionTaintFlow(t *testing.T) {
+	src := `
+contract Indirect {
+    address owner;
+    constructor() { owner = msg.sender; }
+    function setOwnerInner(address o) internal {
+        owner = o;
+    }
+    function update(address o) public {
+        setOwnerInner(o);
+    }
+    function kill() public {
+        require(msg.sender == owner);
+        selfdestruct(owner);
+    }
+}`
+	r := analyzeSrc(t, src, core.DefaultConfig())
+	k := kinds(r)
+	if !k[core.TaintedOwner] {
+		t.Error("missing tainted owner through internal call")
+	}
+	if !k[core.AccessibleSelfdestruct] {
+		t.Error("missing accessible selfdestruct via tainted guard")
+	}
+}
+
+// Nested mapping permission structure: allowance-style escalation.
+func TestNestedMappingGuard(t *testing.T) {
+	src := `
+contract Nested {
+    mapping(address => mapping(address => bool)) perms;
+    address treasury;
+    constructor() { treasury = msg.sender; }
+    function grant(address who) public {
+        perms[msg.sender][who] = true;
+    }
+    function kill() public {
+        require(perms[msg.sender][msg.sender]);
+        selfdestruct(treasury);
+    }
+}`
+	r := analyzeSrc(t, src, core.DefaultConfig())
+	if !kinds(r)[core.AccessibleSelfdestruct] {
+		t.Error("attacker controls perms membership; kill should be reachable")
+	}
+}
+
+// A modifier-guarded admin structure where admins can only be added by the
+// owner: no escalation path, no warnings.
+func TestClosedAdminStructureClean(t *testing.T) {
+	src := `
+contract Closed {
+    address owner;
+    mapping(address => bool) admins;
+    constructor() { owner = msg.sender; }
+    modifier onlyOwner() { require(msg.sender == owner); _; }
+    modifier onlyAdmins() { require(admins[msg.sender]); _; }
+    function addAdmin(address a) public onlyOwner {
+        admins[a] = true;
+    }
+    function kill() public onlyAdmins {
+        selfdestruct(owner);
+    }
+}`
+	r := analyzeSrc(t, src, core.DefaultConfig())
+	if len(r.Warnings) != 0 {
+		t.Errorf("closed admin structure flagged: %v", r.Warnings)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	r := analyzeSrc(t, minisol.VictimSource, core.DefaultConfig())
+	if r.Stats.Blocks == 0 || r.Stats.Statements == 0 {
+		t.Error("stats not populated")
+	}
+	if r.Stats.EffectiveGuards == 0 {
+		t.Error("victim has sender-scrutinizing guards")
+	}
+	if r.Stats.BypassedGuards == 0 {
+		t.Error("victim's guards should be bypassed by the escalation")
+	}
+}
+
+func BenchmarkAnalyzeVictim(b *testing.B) {
+	out := minisol.MustCompile(minisol.VictimSource)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnalyzeBytecode(out.Runtime, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Unresolved storage addressing (fixed arrays): the default analysis leaves
+// unresolved loads untainted (precision by under-approximation); the
+// conservative ablation lets them read any tainted slot, producing the
+// Figure 8c false positive.
+func TestConservativeStorageAblation(t *testing.T) {
+	src := `
+contract BackupVault {
+    address owner;
+    uint256 memo;
+    address[4] backups;
+    constructor() { owner = msg.sender; }
+    function setMemo(uint256 m) public { memo = m; }
+    function setBackup(uint256 i, address who) public {
+        require(msg.sender == owner);
+        require(i < 4);
+        backups[i] = who;
+    }
+    function retire(uint256 i) public {
+        require(msg.sender == owner);
+        require(i < 4);
+        selfdestruct(backups[i]);
+    }
+}`
+	def := analyzeSrc(t, src, core.DefaultConfig())
+	if len(def.Warnings) != 0 {
+		t.Errorf("default analysis should stay clean: %v", def.Warnings)
+	}
+	cfg := core.DefaultConfig()
+	cfg.ConservativeStorage = true
+	cons := analyzeSrc(t, src, cfg)
+	if !kinds(cons)[core.TaintedSelfdestruct] {
+		t.Errorf("conservative mode should flag the unresolved beneficiary load: %v", cons.Warnings)
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ethainter/internal/datalog"
+	"ethainter/internal/tac"
+	"ethainter/internal/u256"
+)
+
+// This file expresses the production analysis as declarative rules on the
+// Datalog engine, in the style of the paper's Soufflé implementation
+// (Section 5, Figure 5). The Go fixpoint in taint.go is the "compiled"
+// equivalent; AnalyzeDatalog is the interpreted one, and the two are
+// differentially tested over the corpus.
+//
+// Scope notes (documented divergences, none of which trigger on compiler-
+// generated corpus code under the default configuration):
+//   - ReachableByAttacker uses Figure 5's existential rule (a block is
+//     reachable when SOME effective guard on it is bypassed), while the Go
+//     fixpoint demands ALL effective guards bypassed; the two agree whenever
+//     no statement carries two distinct effective guards.
+//   - The StorageWrite-2 "taint everything" rule and the conservative-storage
+//     ablation are not encoded.
+//   - The unchecked-staticcall detector needs memory-region reasoning that
+//     stays in Go.
+
+// ProductionRules is the rule set. Input relations are produced by
+// exportFacts; output relations are reach/1, anyTainted/1 and violation/2.
+const ProductionRules = `
+% ---------- reachability (Figure 5 skeleton) ----------
+% A block is attacker-reachable if it has no effective guard...
+reach(B) :- block(B), !guardedEff(B).
+guardedEff(B) :- guardOf(B, C), effective(C).
+% ...or if an effective guard on it has been invalidated.
+reach(B) :- guardOf(B, C), effective(C), bypassed(C).
+
+% ---------- taint seeds (TaintedFlow base case) ----------
+% Attacker-supplied data read in attacker-reachable code.
+taintedI(V) :- inputSrc(S, V), stmtBlock(S, B), reach(B).
+% The caller's own address: attacker-chosen, but not guard-invalidating.
+taintedSnd(V) :- callerSrc(S, V), stmtBlock(S, B), reach(B).
+
+% ---------- propagation (AttackerModelInfoflow) ----------
+% flow1 is the one-step information flow: operators, phis, memory cells, and
+% hashed regions, as computed by the auxiliary stratum.
+taintedI(Y) :- taintedI(X), flow1(X, Y).
+taintedT(Y) :- taintedT(X), flow1(X, Y).
+taintedSnd(Y) :- taintedSnd(X), flow1(X, Y).
+
+% ---------- taint through storage (Guard-1: survives guards) ----------
+slotTainted(Slot) :- sstoreConst(S, Slot, V), anyTainted(V), stmtBlock(S, B), reach(B).
+taintedT(V) :- sloadConst(_, Slot, V), slotTainted(Slot).
+elemValTainted(Base) :- sstoreElem(S, Base, V), anyTainted(V), stmtBlock(S, B), reach(B).
+taintedT(V) :- sloadElem(_, Base, V), elemValTainted(Base).
+
+% Membership control: an attacker-reachable store into a data-structure
+% family whose key the attacker picks (their own sender entry or a tainted
+% key) makes guards over that family bypassable — the Section 2 escalation.
+elemWritable(Base) :- sstoreElem(S, Base, _), elemKeySender(S), stmtBlock(S, B), reach(B).
+elemWritable(Base) :- sstoreElem(S, Base, _), elemKey(S, K), anyTainted(K), stmtBlock(S, B), reach(B).
+
+anyTainted(V) :- taintedI(V).
+anyTainted(V) :- taintedT(V).
+anyTainted(V) :- taintedSnd(V).
+% Taint kinds that invalidate a guard condition (sender taint does not: the
+% comparison against the sender is exactly what sanitizes).
+guardTaint(V) :- taintedI(V).
+guardTaint(V) :- taintedT(V).
+
+% ---------- guard invalidation (Uguard-T generalized) ----------
+bypassed(C) :- cond(C), guardTaint(C).
+bypassed(C) :- guardSrcConst(C, Slot), slotTainted(Slot).
+bypassed(C) :- guardSrcElem(C, Base), elemWritable(Base).
+bypassed(C) :- guardSrcElem(C, Base), elemValTainted(Base).
+
+% ---------- sinks (Section 3 detectors) ----------
+% Tainted-sink dual rule: storage taint always counts; input/sender taint only
+% when the sink itself is attacker-reachable (Guard-2 sanitization).
+sinkTaintAt(S, V) :- sinkArg(S, V), taintedT(V).
+sinkTaintAt(S, V) :- sinkArg(S, V), taintedI(V), stmtBlock(S, B), reach(B).
+sinkTaintAt(S, V) :- sinkArg(S, V), taintedSnd(V), stmtBlock(S, B), reach(B).
+
+violation("accessible-selfdestruct", S) :- selfdestructAt(S, _), stmtBlock(S, B), reach(B).
+violation("tainted-selfdestruct", S) :- selfdestructAt(S, V), sinkTaintAt(S, V).
+violation("tainted-delegatecall", S) :- delegatecallAt(S, V), sinkTaintAt(S, V).
+violation("tainted-owner", S) :- sstoreConst(S, Slot, V), ownerSlot(Slot), anyTainted(V), stmtBlock(S, B), reach(B).
+`
+
+// AnalyzeDatalog runs the declarative variant and returns the violations as
+// (kind, pc) pairs. It shares the auxiliary fact computation (constants,
+// memory model, storage classification, DS/DSA, guards) with Analyze — those
+// are the "previous stratum" of Figure 2.
+func AnalyzeDatalog(prog *tac.Program, cfg Config) (map[VulnKind]map[int]bool, error) {
+	f := computeFacts(prog)
+	g := computeGuards(f, cfg)
+	dl := datalog.NewProgram()
+	if err := dl.Parse(ProductionRules); err != nil {
+		return nil, err
+	}
+	if err := exportFacts(f, g, dl); err != nil {
+		return nil, err
+	}
+	if err := dl.Run(); err != nil {
+		return nil, err
+	}
+
+	out := map[VulnKind]map[int]bool{}
+	add := func(kind VulnKind, pc int) {
+		if out[kind] == nil {
+			out[kind] = map[int]bool{}
+		}
+		out[kind][pc] = true
+	}
+	kindOf := map[string]VulnKind{
+		"accessible-selfdestruct": AccessibleSelfdestruct,
+		"tainted-selfdestruct":    TaintedSelfdestruct,
+		"tainted-delegatecall":    TaintedDelegatecall,
+		"tainted-owner":           TaintedOwner,
+	}
+	stmtPC := map[string]int{}
+	seq := 0
+	prog.AllStmts(func(s *tac.Stmt) {
+		stmtPC[stmtTerm(seq)] = s.PC
+		seq++
+	})
+	for _, row := range dl.Query("violation") {
+		kind, ok := kindOf[row[0]]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown violation kind %q", row[0])
+		}
+		pc, ok := stmtPC[row[1]]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown statement term %q", row[1])
+		}
+		add(kind, pc)
+	}
+	return out, nil
+}
+
+func stmtTerm(i int) string          { return fmt.Sprintf("s%d", i) }
+func varTerm(v tac.VarID) string     { return fmt.Sprintf("v%d", v) }
+func blockTerm(b *tac.Block) string  { return fmt.Sprintf("b%d", b.ID) }
+func slotTerm(slot u256.U256) string { return slot.Hex64() }
+func condTerm(c tac.VarID) string    { return varTerm(c) }
+
+// exportFacts encodes the program and the auxiliary relations as Datalog
+// input facts.
+func exportFacts(f *facts, g *guardInfo, dl *datalog.Program) error {
+	var err error
+	fact := func(rel string, terms ...string) {
+		if err == nil {
+			err = dl.AddFact(rel, terms...)
+		}
+	}
+
+	// Blocks and guards.
+	for _, b := range f.prog.Blocks {
+		fact("block", blockTerm(b))
+		for _, c := range g.guardsOf[b] {
+			fact("guardOf", blockTerm(b), condTerm(c))
+		}
+	}
+	conds := make([]tac.VarID, 0, len(g.effective))
+	for c := range g.effective {
+		conds = append(conds, c)
+	}
+	sort.Slice(conds, func(i, j int) bool { return conds[i] < conds[j] })
+	for _, c := range conds {
+		fact("cond", condTerm(c))
+		if g.effective[c] {
+			fact("effective", condTerm(c))
+		}
+		for _, src := range g.sources[c] {
+			switch src.class.kind {
+			case addrConst:
+				fact("guardSrcConst", condTerm(c), slotTerm(src.class.slot))
+			case addrElem:
+				fact("guardSrcElem", condTerm(c), slotTerm(src.class.slot))
+			}
+		}
+	}
+	for slot := range g.ownerSlots {
+		fact("ownerSlot", slotTerm(slot))
+	}
+
+	// Statements: sources, sinks, storage ops, and one-step flows.
+	seq := 0
+	f.prog.AllStmts(func(s *tac.Stmt) {
+		id := stmtTerm(seq)
+		seq++
+		if s.Block != nil {
+			fact("stmtBlock", id, blockTerm(s.Block))
+		}
+		switch s.Op {
+		case tac.Calldataload, tac.Callvalue:
+			fact("inputSrc", id, varTerm(s.Def))
+		case tac.Caller:
+			fact("callerSrc", id, varTerm(s.Def))
+		case tac.Mload:
+			if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() {
+				for _, st := range f.memSources(s, off.Uint64()) {
+					fact("flow1", varTerm(st.Args[1]), varTerm(s.Def))
+				}
+			} else {
+				for _, st := range f.memUnknown {
+					fact("flow1", varTerm(st.Args[1]), varTerm(s.Def))
+				}
+			}
+		case tac.Sha3:
+			if words, ok := f.hashWordStores(s); ok {
+				for _, stores := range words {
+					for _, st := range stores {
+						fact("flow1", varTerm(st.Args[1]), varTerm(s.Def))
+					}
+				}
+			}
+		case tac.Sload:
+			cls := f.addrClass[s]
+			switch cls.kind {
+			case addrConst:
+				fact("sloadConst", id, slotTerm(cls.slot), varTerm(s.Def))
+			case addrElem:
+				fact("sloadElem", id, slotTerm(cls.slot), varTerm(s.Def))
+			}
+		case tac.Sstore:
+			cls := f.addrClass[s]
+			switch cls.kind {
+			case addrConst:
+				fact("sstoreConst", id, slotTerm(cls.slot), varTerm(s.Args[1]))
+			case addrElem:
+				fact("sstoreElem", id, slotTerm(cls.slot), varTerm(s.Args[1]))
+				for _, k := range cls.keys {
+					if f.senderDerived[k] {
+						fact("elemKeySender", id)
+					}
+					fact("elemKey", id, varTerm(k))
+				}
+			}
+		case tac.SelfdestructOp:
+			fact("selfdestructAt", id, varTerm(s.Args[0]))
+			fact("sinkArg", id, varTerm(s.Args[0]))
+		case tac.Delegatecall, tac.Callcode:
+			fact("delegatecallAt", id, varTerm(s.Args[1]))
+			fact("sinkArg", id, varTerm(s.Args[1]))
+		default:
+			if s.Op.IsArith() && s.Def != tac.NoVar {
+				for _, a := range s.Args {
+					fact("flow1", varTerm(a), varTerm(s.Def))
+				}
+			}
+		}
+	})
+	return err
+}

@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/decompiler"
+	"ethainter/internal/minisol"
+)
+
+// kindsCompared are the vulnerability classes both implementations cover (the
+// staticcall detector's memory-region logic stays in Go).
+var kindsCompared = []core.VulnKind{
+	core.AccessibleSelfdestruct,
+	core.TaintedSelfdestruct,
+	core.TaintedOwner,
+	core.TaintedDelegatecall,
+}
+
+// compareImplementations runs the Go fixpoint and the Datalog rules on the
+// same bytecode and requires identical (kind, pc) violation sets.
+func compareImplementations(t *testing.T, label string, runtime []byte) {
+	t.Helper()
+	prog, err := decompiler.Decompile(runtime)
+	if err != nil {
+		t.Fatalf("%s: decompile: %v", label, err)
+	}
+	cfg := core.DefaultConfig()
+	goRep := core.Analyze(prog, cfg)
+	dlRep, err := core.AnalyzeDatalog(prog, cfg)
+	if err != nil {
+		t.Fatalf("%s: datalog: %v", label, err)
+	}
+	for _, kind := range kindsCompared {
+		goPCs := map[int]bool{}
+		for _, w := range goRep.ByKind(kind) {
+			goPCs[w.PC] = true
+		}
+		dlPCs := dlRep[kind]
+		for pc := range goPCs {
+			if !dlPCs[pc] {
+				t.Errorf("%s: [%s] pc=%d found by Go fixpoint, missed by Datalog rules", label, kind, pc)
+			}
+		}
+		for pc := range dlPCs {
+			if !goPCs[pc] {
+				t.Errorf("%s: [%s] pc=%d found by Datalog rules, missed by Go fixpoint", label, kind, pc)
+			}
+		}
+	}
+}
+
+// The paper fixtures: both implementations must agree statement-for-statement.
+func TestDatalogMatchesFixtures(t *testing.T) {
+	fixtures := map[string]string{
+		"victim":       minisol.VictimSource,
+		"taintedOwner": minisol.TaintedOwnerSource,
+		"delegate":     minisol.TaintedDelegatecallSource,
+		"killable":     minisol.AccessibleSelfdestructSource,
+		"taintedSelfd": minisol.TaintedSelfdestructSource,
+		"token":        minisol.SafeTokenSource,
+	}
+	for name, src := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			out, err := minisol.CompileSource(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareImplementations(t, name, out.Runtime)
+		})
+	}
+}
+
+// Differential over the corpus: every compilable contract must produce
+// identical violation sets from both implementations.
+func TestDatalogMatchesGoOnCorpus(t *testing.T) {
+	cs := corpus.Generate(corpus.Profile{
+		N: 220, VulnFraction: 0.35, TrapFraction: 0.12, ExoticFraction: 0,
+		SourceFraction: 1, Solc058Fraction: 1, Seed: 1234,
+	})
+	for _, c := range cs {
+		compareImplementations(t, fmt.Sprintf("%s/%d", c.Family, c.Index), c.Runtime)
+	}
+}
+
+// The Datalog route finds the composite escalation in the Victim contract.
+func TestDatalogVictimComposite(t *testing.T) {
+	out := minisol.MustCompile(minisol.VictimSource)
+	prog, err := decompiler.Decompile(out.Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AnalyzeDatalog(prog, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[core.AccessibleSelfdestruct]) == 0 {
+		t.Error("datalog rules missed the composite accessible selfdestruct")
+	}
+	if len(res[core.TaintedSelfdestruct]) == 0 {
+		t.Error("datalog rules missed the tainted selfdestruct")
+	}
+}
+
+func BenchmarkAnalyzeDatalogVictim(b *testing.B) {
+	out := minisol.MustCompile(minisol.VictimSource)
+	prog, err := decompiler.Decompile(out.Runtime)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnalyzeDatalog(prog, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

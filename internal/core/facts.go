@@ -1,0 +1,403 @@
+package core
+
+import (
+	"ethainter/internal/tac"
+	"ethainter/internal/u256"
+)
+
+// facts holds the taint-independent auxiliary relations — the "previous
+// stratum" of Figure 2: constant values, the local memory model, storage
+// address classification, and sender-derivation (DS/DSA).
+type facts struct {
+	prog *tac.Program
+	dom  *tac.Dominators
+
+	// constOf holds variables resolved to constants (intra-procedural
+	// constant propagation; phi of equal constants folds).
+	constOf map[tac.VarID]u256.U256
+
+	// memWrites lists MSTOREs by constant word offset; memUnknown lists
+	// MSTOREs whose offset is not constant.
+	memWrites  map[uint64][]*tac.Stmt
+	memUnknown []*tac.Stmt
+
+	// addrClass classifies each SLOAD/SSTORE address expression.
+	addrClass map[*tac.Stmt]addrClass
+
+	// senderDerived marks variables whose value derives from CALLER,
+	// including through sender-keyed data structure loads (DS), and dsaVar
+	// marks storage addresses keyed by the sender (DSA).
+	senderDerived map[tac.VarID]bool
+	dsaVar        map[tac.VarID]bool
+
+	// funcsOf maps blocks to the public functions they belong to (a block
+	// shared between functions maps to several).
+	funcsOf map[*tac.Block][]int
+	// numArgs estimates, per public function, the number of calldata word
+	// arguments (from the maximum constant CALLDATALOAD offset).
+	numArgs []int
+}
+
+// addrKind classifies a storage address.
+type addrKind int
+
+const (
+	addrUnknown addrKind = iota
+	addrConst            // a statically known slot
+	addrElem             // keccak-addressed element of a mapping family
+)
+
+// addrClass describes one storage address expression.
+type addrClass struct {
+	kind addrKind
+	slot u256.U256   // addrConst: the slot; addrElem: the base slot
+	keys []tac.VarID // addrElem: key variables, outermost first
+}
+
+func computeFacts(prog *tac.Program) *facts {
+	f := &facts{
+		prog:          prog,
+		dom:           tac.ComputeDominators(prog),
+		constOf:       map[tac.VarID]u256.U256{},
+		memWrites:     map[uint64][]*tac.Stmt{},
+		addrClass:     map[*tac.Stmt]addrClass{},
+		senderDerived: map[tac.VarID]bool{},
+		dsaVar:        map[tac.VarID]bool{},
+		funcsOf:       map[*tac.Block][]int{},
+	}
+	f.propagateConstants()
+	f.indexMemory()
+	f.classifyStorage()
+	f.computeSenderDerivation()
+	f.attributeFunctions()
+	return f
+}
+
+// propagateConstants folds constants through pure ops and phis of equal
+// constants, iterating to fixpoint (the CFG is small).
+func (f *facts) propagateConstants() {
+	for changed := true; changed; {
+		changed = false
+		f.prog.AllStmts(func(s *tac.Stmt) {
+			if s.Def == tac.NoVar {
+				return
+			}
+			if _, done := f.constOf[s.Def]; done {
+				return
+			}
+			switch s.Op {
+			case tac.Const:
+				f.constOf[s.Def] = s.Val
+				changed = true
+			case tac.Phi:
+				if len(s.Args) == 0 {
+					return
+				}
+				first, ok := f.constOf[s.Args[0]]
+				if !ok {
+					return
+				}
+				for _, a := range s.Args[1:] {
+					v, ok := f.constOf[a]
+					if !ok || v != first {
+						return
+					}
+				}
+				f.constOf[s.Def] = first
+				changed = true
+			default:
+				if !s.Op.IsArith() || len(s.Args) != 2 {
+					return
+				}
+				a, okA := f.constOf[s.Args[0]]
+				b, okB := f.constOf[s.Args[1]]
+				if !okA || !okB {
+					return
+				}
+				if v, ok := foldConst(s.Op, a, b); ok {
+					f.constOf[s.Def] = v
+					changed = true
+				}
+			}
+		})
+	}
+}
+
+func foldConst(op tac.OpKind, a, b u256.U256) (u256.U256, bool) {
+	switch op {
+	case tac.Add:
+		return a.Add(b), true
+	case tac.Sub:
+		return a.Sub(b), true
+	case tac.Mul:
+		return a.Mul(b), true
+	case tac.Div:
+		return a.Div(b), true
+	case tac.And:
+		return a.And(b), true
+	case tac.Or:
+		return a.Or(b), true
+	case tac.Xor:
+		return a.Xor(b), true
+	case tac.Shl:
+		if !a.IsUint64() || a.Uint64() > 255 {
+			return u256.Zero, true
+		}
+		return b.Shl(uint(a.Uint64())), true
+	case tac.Shr:
+		if !a.IsUint64() || a.Uint64() > 255 {
+			return u256.Zero, true
+		}
+		return b.Shr(uint(a.Uint64())), true
+	case tac.Eq:
+		if a == b {
+			return u256.One, true
+		}
+		return u256.Zero, true
+	case tac.Iszero:
+		// Unary, handled here defensively (Args len check prevents arrival).
+		return u256.Zero, false
+	}
+	return u256.Zero, false
+}
+
+// indexMemory groups MSTOREs by constant offset.
+func (f *facts) indexMemory() {
+	f.prog.AllStmts(func(s *tac.Stmt) {
+		if s.Op != tac.Mstore && s.Op != tac.Mstore8 {
+			return
+		}
+		if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() {
+			f.memWrites[off.Uint64()] = append(f.memWrites[off.Uint64()], s)
+		} else {
+			f.memUnknown = append(f.memUnknown, s)
+		}
+	})
+}
+
+// memSources returns the MSTORE statements an MLOAD (or hash word read) at
+// the given offset may observe: same-block latest store first if present,
+// otherwise every store to that offset plus unknown-offset stores.
+func (f *facts) memSources(at *tac.Stmt, off uint64) []*tac.Stmt {
+	// Prefer the nearest preceding store in the same block (the precise,
+	// "local" modeling the paper describes).
+	var latest *tac.Stmt
+	for _, w := range f.memWrites[off] {
+		if w.Block == at.Block && w.Idx < at.Idx {
+			if latest == nil || w.Idx > latest.Idx {
+				latest = w
+			}
+		}
+	}
+	if latest != nil {
+		return []*tac.Stmt{latest}
+	}
+	out := append([]*tac.Stmt{}, f.memWrites[off]...)
+	out = append(out, f.memUnknown...)
+	return out
+}
+
+// hashWordStores resolves the MSTOREs feeding a SHA3(off, len) when both are
+// constants: one store set per 32-byte word of the hashed region.
+func (f *facts) hashWordStores(s *tac.Stmt) ([][]*tac.Stmt, bool) {
+	off, okOff := f.constOf[s.Args[0]]
+	length, okLen := f.constOf[s.Args[1]]
+	if !okOff || !okLen || !off.IsUint64() || !length.IsUint64() {
+		return nil, false
+	}
+	n := length.Uint64()
+	if n == 0 || n > 32*8 || n%32 != 0 {
+		return nil, false
+	}
+	var words [][]*tac.Stmt
+	for w := uint64(0); w < n/32; w++ {
+		words = append(words, f.memSources(s, off.Uint64()+32*w))
+	}
+	return words, true
+}
+
+// classifyStorage resolves the address operand of every SLOAD/SSTORE into a
+// constant slot, a mapping-element address (keccak of key ++ base), or
+// unknown.
+func (f *facts) classifyStorage() {
+	f.prog.AllStmts(func(s *tac.Stmt) {
+		if s.Op != tac.Sload && s.Op != tac.Sstore {
+			return
+		}
+		f.addrClass[s] = f.classifyAddr(s.Args[0])
+	})
+}
+
+// classifyAddr resolves a storage address variable.
+func (f *facts) classifyAddr(v tac.VarID) addrClass {
+	if c, ok := f.constOf[v]; ok {
+		return addrClass{kind: addrConst, slot: c}
+	}
+	def := f.prog.DefSite(v)
+	if def == nil {
+		return addrClass{kind: addrUnknown}
+	}
+	switch def.Op {
+	case tac.Sha3:
+		// The Solidity mapping layout: SHA3 over [key (32) ++ slotWord (32)].
+		words, ok := f.hashWordStores(def)
+		if !ok || len(words) != 2 {
+			return addrClass{kind: addrUnknown}
+		}
+		keyStores, slotStores := words[0], words[1]
+		if len(keyStores) != 1 || len(slotStores) != 1 {
+			return addrClass{kind: addrUnknown}
+		}
+		keyVar := keyStores[0].Args[1]
+		slotVar := slotStores[0].Args[1]
+		if base, ok := f.constOf[slotVar]; ok {
+			return addrClass{kind: addrElem, slot: base, keys: []tac.VarID{keyVar}}
+		}
+		// Nested mapping: the slot word is itself an element address.
+		inner := f.classifyAddr(slotVar)
+		if inner.kind == addrElem {
+			keys := append(append([]tac.VarID{}, inner.keys...), keyVar)
+			return addrClass{kind: addrElem, slot: inner.slot, keys: keys}
+		}
+		return addrClass{kind: addrUnknown}
+	case tac.Phi:
+		// A phi of classifications that agree (same const, or same family).
+		var agg *addrClass
+		for _, a := range def.Args {
+			if a == v {
+				continue
+			}
+			c := f.classifyAddr(a)
+			if agg == nil {
+				cc := c
+				agg = &cc
+				continue
+			}
+			if c.kind != agg.kind || c.slot != agg.slot {
+				return addrClass{kind: addrUnknown}
+			}
+		}
+		if agg != nil {
+			return *agg
+		}
+	}
+	return addrClass{kind: addrUnknown}
+}
+
+// computeSenderDerivation computes, to fixpoint:
+//   - dsaVar: storage addresses keyed (transitively) by the caller — SHA3
+//     over a region containing a sender-derived word, plus arithmetic on such
+//     addresses (Figure 4's DSA);
+//   - senderDerived: CALLER results, values loaded through DSA addresses
+//     (Figure 4's DS), and anything computed from them.
+func (f *facts) computeSenderDerivation() {
+	for changed := true; changed; {
+		changed = false
+		f.prog.AllStmts(func(s *tac.Stmt) {
+			if s.Def == tac.NoVar {
+				return
+			}
+			switch s.Op {
+			case tac.Caller:
+				if !f.senderDerived[s.Def] {
+					f.senderDerived[s.Def] = true
+					changed = true
+				}
+			case tac.Sha3:
+				if f.dsaVar[s.Def] {
+					return
+				}
+				words, ok := f.hashWordStores(s)
+				if !ok {
+					return
+				}
+				for _, stores := range words {
+					for _, st := range stores {
+						val := st.Args[1]
+						if f.senderDerived[val] || f.dsaVar[val] {
+							f.dsaVar[s.Def] = true
+							changed = true
+							return
+						}
+					}
+				}
+			case tac.Sload:
+				if !f.senderDerived[s.Def] && f.dsaVar[s.Args[0]] {
+					f.senderDerived[s.Def] = true
+					changed = true
+				}
+			case tac.Mload:
+				// Sender values round-tripping through memory cells.
+				if f.senderDerived[s.Def] {
+					return
+				}
+				if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() {
+					for _, st := range f.memSources(s, off.Uint64()) {
+						if f.senderDerived[st.Args[1]] {
+							f.senderDerived[s.Def] = true
+							changed = true
+							return
+						}
+					}
+				}
+			default:
+				if !s.Op.IsArith() {
+					return
+				}
+				for _, a := range s.Args {
+					if f.senderDerived[a] && !f.senderDerived[s.Def] {
+						f.senderDerived[s.Def] = true
+						changed = true
+					}
+					if f.dsaVar[a] && !f.dsaVar[s.Def] {
+						f.dsaVar[s.Def] = true
+						changed = true
+					}
+				}
+			}
+		})
+	}
+}
+
+// attributeFunctions assigns blocks to the public functions that can reach
+// them (forward CFG walk from each entry) and estimates argument counts.
+func (f *facts) attributeFunctions() {
+	f.numArgs = make([]int, len(f.prog.Functions))
+	for idx, fn := range f.prog.Functions {
+		seen := map[*tac.Block]bool{}
+		stack := []*tac.Block{fn.Entry}
+		maxArg := 0
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			f.funcsOf[b] = append(f.funcsOf[b], idx)
+			for _, s := range b.Stmts {
+				if s.Op == tac.Calldataload {
+					if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() && off.Uint64() >= 4 {
+						arg := int(off.Uint64()-4)/32 + 1
+						if arg > maxArg {
+							maxArg = arg
+						}
+					}
+				}
+			}
+			stack = append(stack, b.Succs...)
+		}
+		f.numArgs[idx] = maxArg
+	}
+}
+
+// stepFor builds the witness step invoking the function that owns the block
+// (first owner wins; ok=false for dispatcher-only blocks).
+func (f *facts) stepFor(b *tac.Block) (Step, bool) {
+	owners := f.funcsOf[b]
+	if len(owners) == 0 {
+		return Step{}, false
+	}
+	fn := f.prog.Functions[owners[0]]
+	return Step{Selector: fn.SelectorBytes(), NumArgs: f.numArgs[owners[0]]}, true
+}

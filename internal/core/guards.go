@@ -1,0 +1,144 @@
+package core
+
+import (
+	"ethainter/internal/tac"
+	"ethainter/internal/u256"
+)
+
+// guardInfo describes the guards of the program: which condition variables
+// dominate which blocks (StaticallyGuardedStatement), which conditions
+// scrutinize the sender (the under-approximate effectiveness test built on
+// DS/DSA), what storage each guard condition reads, and which constant slots
+// behave as owner variables (Section 4.5).
+type guardInfo struct {
+	// guardsOf lists the condition variables guarding each block.
+	guardsOf map[*tac.Block][]tac.VarID
+	// effective marks sender-scrutinizing conditions.
+	effective map[tac.VarID]bool
+	// sources lists the storage reads in each guard condition's def cone.
+	sources map[tac.VarID][]guardSource
+	// ownerSlots are constant slots whose loaded value is compared against
+	// the sender in some guard — the inferred sinks of Section 4.5.
+	ownerSlots map[u256.U256]bool
+}
+
+// guardSource is one storage read feeding a guard condition.
+type guardSource struct {
+	class addrClass
+}
+
+func computeGuards(f *facts, cfg Config) *guardInfo {
+	g := &guardInfo{
+		guardsOf:   map[*tac.Block][]tac.VarID{},
+		effective:  map[tac.VarID]bool{},
+		sources:    map[tac.VarID][]guardSource{},
+		ownerSlots: map[u256.U256]bool{},
+	}
+	// guardEntry: blocks with a unique predecessor ending in JUMPI are
+	// guarded by that branch's condition from their entry onward.
+	guardEntry := map[*tac.Block][]tac.VarID{}
+	conds := map[tac.VarID]bool{}
+	for _, b := range f.prog.Blocks {
+		term := b.Terminator()
+		if term == nil || term.Op != tac.Jumpi {
+			continue
+		}
+		cond := term.Args[1]
+		conds[cond] = true
+		for _, succ := range b.Succs {
+			if len(succ.Preds) == 1 {
+				guardEntry[succ] = append(guardEntry[succ], cond)
+			}
+		}
+	}
+	// guardsOf(x) = union of guardEntry over x's dominators.
+	for _, b := range f.prog.Blocks {
+		var acc []tac.VarID
+		f.dom.Walk(b, func(d *tac.Block) bool {
+			acc = append(acc, guardEntry[d]...)
+			return true
+		})
+		if len(acc) > 0 {
+			g.guardsOf[b] = acc
+		}
+	}
+	// Effectiveness and storage sources per condition.
+	for cond := range conds {
+		g.effective[cond] = cfg.ModelGuards && f.senderDerived[cond]
+		g.sources[cond] = storageSources(f, cond)
+	}
+	if cfg.InferOwnerSinks {
+		g.computeOwnerSlots(f, conds)
+	}
+	return g
+}
+
+// storageSources walks the condition's definition cone (through value ops,
+// phis, and constant-offset memory cells) collecting storage reads.
+func storageSources(f *facts, root tac.VarID) []guardSource {
+	var out []guardSource
+	seen := map[tac.VarID]bool{}
+	var walk func(v tac.VarID)
+	walk = func(v tac.VarID) {
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		def := f.prog.DefSite(v)
+		if def == nil {
+			return
+		}
+		switch {
+		case def.Op == tac.Sload:
+			out = append(out, guardSource{class: f.addrClass[def]})
+		case def.Op == tac.Mload:
+			if off, ok := f.constOf[def.Args[0]]; ok && off.IsUint64() {
+				for _, st := range f.memSources(def, off.Uint64()) {
+					walk(st.Args[1])
+				}
+			}
+		case def.Op.IsArith():
+			for _, a := range def.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(root)
+	return out
+}
+
+// computeOwnerSlots finds constant storage slots z with a guard of the shape
+// sender == z (through ISZERO chains): per Section 4.5, "a variable that
+// determines a potentially-sanitizing guard is by itself a sink".
+func (g *guardInfo) computeOwnerSlots(f *facts, conds map[tac.VarID]bool) {
+	for cond := range conds {
+		base := peelIszero(f, cond)
+		def := f.prog.DefSite(base)
+		if def == nil || def.Op != tac.Eq {
+			continue
+		}
+		for _, pair := range [][2]tac.VarID{{def.Args[0], def.Args[1]}, {def.Args[1], def.Args[0]}} {
+			if !f.senderDerived[pair[0]] {
+				continue
+			}
+			// The other side must be loaded from a constant slot.
+			for _, src := range storageSources(f, pair[1]) {
+				if src.class.kind == addrConst {
+					g.ownerSlots[src.class.slot] = true
+				}
+			}
+		}
+	}
+}
+
+// peelIszero follows ISZERO chains to the underlying comparison.
+func peelIszero(f *facts, v tac.VarID) tac.VarID {
+	for i := 0; i < 8; i++ {
+		def := f.prog.DefSite(v)
+		if def == nil || def.Op != tac.Iszero {
+			return v
+		}
+		v = def.Args[0]
+	}
+	return v
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"ethainter/internal/tac"
+	"ethainter/internal/u256"
+)
+
+// Taint kinds, bit-ored: input taint is sanitized by effective guards,
+// storage taint is not (Guard-1 vs Guard-2). Sender taint marks values
+// derived from msg.sender: the attacker chooses their own address, so such
+// values taint storage they are written to ("ownership can be bought"), but
+// they do not invalidate a guard that *compares* the sender — that comparison
+// is exactly what sanitizes.
+const (
+	taintIn uint8 = 1 << iota
+	taintSt
+	taintSender
+
+	// guardBypassTaint is the mask of kinds that invalidate a guard when
+	// present on its condition value.
+	guardBypassTaint = taintIn | taintSt
+)
+
+// analysis is the mutable fixpoint state implementing the Figure 5 mutual
+// recursion between TaintedFlow, AttackerModelInfoflow and
+// ReachableByAttacker.
+type analysis struct {
+	cfg Config
+	f   *facts
+	g   *guardInfo
+
+	varTaint map[tac.VarID]uint8
+	// slotTainted marks constant storage slots holding attacker-influenced
+	// values (↓T S(v)).
+	slotTainted map[u256.U256]bool
+	// elemValueTainted marks mapping families into which an attacker-
+	// reachable store put a tainted value.
+	elemValueTainted map[u256.U256]bool
+	// elemWritable marks mapping families whose membership the attacker
+	// controls: an attacker-reachable store whose key is the sender or
+	// tainted. Guards looking permissions up in such a family are bypassable
+	// — the mechanism behind the paper's Section 2 composite escalation.
+	elemWritable map[u256.U256]bool
+	// allTainted is rule StorageWrite-2 (or conservative mode): every slot
+	// and family is considered attacker-influenced.
+	allTainted bool
+	// bypassed marks guard conditions the attacker can satisfy.
+	bypassed map[tac.VarID]bool
+
+	// Witnesses: the first-derivation escalation chain per fact.
+	witVar   map[tac.VarID][]Step
+	witSlot  map[u256.U256][]Step
+	witElemW map[u256.U256][]Step
+	witElemV map[u256.U256][]Step
+	witByp   map[tac.VarID][]Step
+	witAll   []Step
+
+	passes int
+}
+
+func newAnalysis(cfg Config, f *facts, g *guardInfo) *analysis {
+	return &analysis{
+		cfg: cfg, f: f, g: g,
+		varTaint:         map[tac.VarID]uint8{},
+		slotTainted:      map[u256.U256]bool{},
+		elemValueTainted: map[u256.U256]bool{},
+		elemWritable:     map[u256.U256]bool{},
+		bypassed:         map[tac.VarID]bool{},
+		witVar:           map[tac.VarID][]Step{},
+		witSlot:          map[u256.U256][]Step{},
+		witElemW:         map[u256.U256][]Step{},
+		witElemV:         map[u256.U256][]Step{},
+		witByp:           map[tac.VarID][]Step{},
+	}
+}
+
+// reachable implements ReachableByAttacker at block granularity: every
+// effective guard on the block must be bypassed. (Blocks are all behind the
+// public dispatcher; non-sender guards do not restrict the attacker.)
+func (a *analysis) reachable(b *tac.Block) bool {
+	for _, g := range a.g.guardsOf[b] {
+		if a.g.effective[g] && !a.bypassed[g] {
+			return false
+		}
+	}
+	return true
+}
+
+// reachWitness collects the escalation steps that made the block reachable.
+func (a *analysis) reachWitness(b *tac.Block) []Step {
+	var out []Step
+	for _, g := range a.g.guardsOf[b] {
+		if a.g.effective[g] {
+			out = appendSteps(out, a.witByp[g])
+		}
+	}
+	return out
+}
+
+// appendSteps concatenates witness chains, dropping immediate duplicates and
+// capping length.
+func appendSteps(dst []Step, src []Step) []Step {
+	for _, s := range src {
+		dup := false
+		for _, d := range dst {
+			if d == s {
+				dup = true
+				break
+			}
+		}
+		if !dup && len(dst) < 12 {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+func (a *analysis) taintVar(v tac.VarID, kind uint8, wit []Step) bool {
+	if a.varTaint[v]&kind == kind {
+		return false
+	}
+	if _, has := a.witVar[v]; !has {
+		a.witVar[v] = wit
+	}
+	a.varTaint[v] |= kind
+	return true
+}
+
+// run executes the fixpoint.
+func (a *analysis) run() {
+	for changed := true; changed; {
+		changed = false
+		a.passes++
+		if a.pass() {
+			changed = true
+		}
+	}
+}
+
+// pass makes one sweep over every statement, applying introduction,
+// propagation, storage, and guard-bypass rules. Returns whether anything new
+// was derived.
+func (a *analysis) pass() bool {
+	changed := false
+	mark := func(ok bool) {
+		if ok {
+			changed = true
+		}
+	}
+	f := a.f
+	f.prog.AllStmts(func(s *tac.Stmt) {
+		switch s.Op {
+		case tac.Calldataload, tac.Callvalue:
+			// TaintedFlow seeds: attacker-supplied data in attacker-reachable
+			// code.
+			if a.reachable(s.Block) {
+				mark(a.taintVar(s.Def, taintIn, a.reachWitness(s.Block)))
+			}
+		case tac.Caller:
+			if a.reachable(s.Block) {
+				mark(a.taintVar(s.Def, taintSender, a.reachWitness(s.Block)))
+			}
+		case tac.Mload:
+			if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() {
+				for _, st := range f.memSources(s, off.Uint64()) {
+					if k := a.varTaint[st.Args[1]]; k != 0 {
+						mark(a.taintVar(s.Def, k, a.witVar[st.Args[1]]))
+					}
+				}
+			} else {
+				// Unknown offset: reads any tainted memory word.
+				for _, sets := range [][]*tac.Stmt{f.memUnknown} {
+					for _, st := range sets {
+						if k := a.varTaint[st.Args[1]]; k != 0 {
+							mark(a.taintVar(s.Def, k, a.witVar[st.Args[1]]))
+						}
+					}
+				}
+			}
+		case tac.Sha3:
+			// Taint of hashed memory words propagates to the hash (address
+			// taint for StorageWrite-2-style reasoning).
+			if words, ok := f.hashWordStores(s); ok {
+				for _, stores := range words {
+					for _, st := range stores {
+						if k := a.varTaint[st.Args[1]]; k != 0 {
+							mark(a.taintVar(s.Def, k, a.witVar[st.Args[1]]))
+						}
+					}
+				}
+			}
+		case tac.Sload:
+			cls := f.addrClass[s]
+			switch cls.kind {
+			case addrConst:
+				if a.slotTainted[cls.slot] {
+					mark(a.taintVar(s.Def, taintSt, a.witSlot[cls.slot]))
+				}
+			case addrElem:
+				if a.elemValueTainted[cls.slot] {
+					mark(a.taintVar(s.Def, taintSt, a.witElemV[cls.slot]))
+				}
+			case addrUnknown:
+				if a.cfg.ConservativeStorage && a.anySlotTainted() {
+					mark(a.taintVar(s.Def, taintSt, a.witAll))
+				}
+			}
+			if a.allTainted {
+				mark(a.taintVar(s.Def, taintSt, a.witAll))
+			}
+		case tac.Sstore:
+			if !a.cfg.ModelStorageTaint {
+				return
+			}
+			if !a.reachable(s.Block) {
+				return
+			}
+			valTaint := a.varTaint[s.Args[1]]
+			keyTaint := a.varTaint[s.Args[0]]
+			reachWit := a.reachWitness(s.Block)
+			step, hasStep := f.stepFor(s.Block)
+			withStep := func(wit []Step) []Step {
+				out := appendSteps([]Step{}, reachWit)
+				out = appendSteps(out, wit)
+				if hasStep {
+					out = appendSteps(out, []Step{step})
+				}
+				return out
+			}
+			cls := f.addrClass[s]
+			switch cls.kind {
+			case addrConst:
+				if valTaint != 0 && !a.slotTainted[cls.slot] {
+					a.slotTainted[cls.slot] = true
+					a.witSlot[cls.slot] = withStep(a.witVar[s.Args[1]])
+					mark(true)
+				}
+			case addrElem:
+				if valTaint != 0 && !a.elemValueTainted[cls.slot] {
+					a.elemValueTainted[cls.slot] = true
+					a.witElemV[cls.slot] = withStep(a.witVar[s.Args[1]])
+					mark(true)
+				}
+				// Membership control: the attacker chooses which element is
+				// written — their own entry (sender key) or any entry
+				// (tainted key).
+				keyControlled := false
+				var keyWit []Step
+				for _, k := range cls.keys {
+					if f.senderDerived[k] {
+						keyControlled = true
+					}
+					if a.varTaint[k] != 0 {
+						keyControlled = true
+						keyWit = a.witVar[k]
+					}
+				}
+				if keyControlled && !a.elemWritable[cls.slot] {
+					a.elemWritable[cls.slot] = true
+					a.witElemW[cls.slot] = withStep(keyWit)
+					mark(true)
+				}
+			case addrUnknown:
+				// StorageWrite-2: tainted value at a tainted address taints
+				// everything statically known. Conservative mode does so for
+				// any tainted value at an unknown address.
+				if valTaint != 0 && (keyTaint != 0 || a.cfg.ConservativeStorage) && !a.allTainted {
+					a.allTainted = true
+					a.witAll = withStep(a.witVar[s.Args[1]])
+					mark(true)
+				}
+			}
+		default:
+			if s.Op.IsArith() && s.Def != tac.NoVar {
+				for _, arg := range s.Args {
+					if k := a.varTaint[arg]; k != 0 && a.varTaint[s.Def]&k != k {
+						mark(a.taintVar(s.Def, k, a.witVar[arg]))
+					}
+				}
+			}
+		}
+	})
+	// Guard bypasses (Uguard-T generalized): a guard falls when its condition
+	// value is tainted, or when its storage sources are attacker-writable.
+	for cond, eff := range a.g.effective {
+		if !eff || a.bypassed[cond] {
+			continue
+		}
+		if a.varTaint[cond]&guardBypassTaint != 0 {
+			a.bypassed[cond] = true
+			a.witByp[cond] = a.witVar[cond]
+			changed = true
+			continue
+		}
+		for _, src := range a.g.sources[cond] {
+			bypass := false
+			var wit []Step
+			switch src.class.kind {
+			case addrConst:
+				if a.slotTainted[src.class.slot] {
+					bypass, wit = true, a.witSlot[src.class.slot]
+				}
+			case addrElem:
+				if a.elemWritable[src.class.slot] {
+					bypass, wit = true, a.witElemW[src.class.slot]
+				}
+				if a.elemValueTainted[src.class.slot] {
+					bypass, wit = true, a.witElemV[src.class.slot]
+				}
+			case addrUnknown:
+				// Conservative mode: an unresolved guard source may read any
+				// tainted location (Figure 8c's precision loss).
+				if a.cfg.ConservativeStorage && a.anySlotTainted() {
+					bypass, wit = true, a.witAll
+				}
+			}
+			if a.allTainted {
+				bypass, wit = true, a.witAll
+			}
+			if bypass {
+				a.bypassed[cond] = true
+				a.witByp[cond] = wit
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+func (a *analysis) anySlotTainted() bool {
+	return a.allTainted || len(a.slotTainted) > 0 || len(a.elemValueTainted) > 0
+}

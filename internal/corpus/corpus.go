@@ -1,0 +1,176 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ethainter/internal/core"
+	"ethainter/internal/minisol"
+	"ethainter/internal/u256"
+)
+
+// Contract is one corpus entry: compiled code, ground truth, and the
+// metadata the experiments condition on.
+type Contract struct {
+	// Family names the generating template.
+	Family string
+	// Index is the instance number within the run.
+	Index int
+	// Source is the mini-Solidity source ("" for exotic raw bytecode).
+	Source string
+	// Compiled holds the compilation output (nil for exotic contracts).
+	Compiled *minisol.Compiled
+	// Runtime is the runtime bytecode (always set).
+	Runtime []byte
+	// Truth is the set of genuinely exploitable vulnerability kinds.
+	Truth map[core.VulnKind]bool
+	// Killable marks contracts Ethainter-Kill should be able to destroy.
+	Killable bool
+	// Balance is the simulated ETH (wei) the deployed instance holds.
+	Balance u256.U256
+	// HasVerifiedSource mirrors Etherscan source availability.
+	HasVerifiedSource bool
+	// Solc058 mirrors compiler-version compatibility with Securify2.
+	Solc058 bool
+	// Exotic marks decompiler-hostile raw bytecode.
+	Exotic bool
+}
+
+// Vulnerable reports whether the contract has any true vulnerability.
+func (c *Contract) Vulnerable() bool { return len(c.Truth) > 0 }
+
+// Profile parameterizes corpus generation.
+type Profile struct {
+	// N is the number of contracts.
+	N int
+	// VulnFraction is the share drawn from vulnerable families (the mainnet
+	// base rate is low; experiments use 0.03-0.15).
+	VulnFraction float64
+	// TrapFraction is the share drawn from false-positive trap families.
+	TrapFraction float64
+	// ExoticFraction is the share of decompiler-hostile bytecode (the ~2%
+	// decompilation failures of Section 6).
+	ExoticFraction float64
+	// SourceFraction is the share with verified source on the explorer.
+	SourceFraction float64
+	// Solc058Fraction is the share of source-available contracts whose
+	// source compiles with Solidity 0.5.8+ (the Securify2 universe).
+	Solc058Fraction float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultProfile mirrors the paper's population shape at configurable scale.
+func DefaultProfile(n int, seed int64) Profile {
+	return Profile{
+		N:               n,
+		VulnFraction:    0.06,
+		TrapFraction:    0.02,
+		ExoticFraction:  0.02,
+		SourceFraction:  0.35,
+		Solc058Fraction: 0.10,
+		Seed:            seed,
+	}
+}
+
+// Generate builds the corpus. Compilation failures in templates are bugs and
+// panic; the exotic family is intentionally uncompilable-by-design and is
+// emitted as raw bytecode.
+func Generate(p Profile) []*Contract {
+	r := rand.New(rand.NewSource(p.Seed))
+	all := templates()
+	var benign, vuln, trap, exotic []template
+	for _, t := range all {
+		switch {
+		case t.exotic:
+			exotic = append(exotic, t)
+		case t.vulnerable:
+			vuln = append(vuln, t)
+		case len(t.name) > 4 && t.name[:4] == "trap":
+			trap = append(trap, t)
+		default:
+			benign = append(benign, t)
+		}
+	}
+	var out []*Contract
+	for i := 0; i < p.N; i++ {
+		roll := r.Float64()
+		var tpl template
+		switch {
+		case roll < p.ExoticFraction:
+			tpl = exotic[r.Intn(len(exotic))]
+		case roll < p.ExoticFraction+p.VulnFraction:
+			tpl = vuln[r.Intn(len(vuln))]
+		case roll < p.ExoticFraction+p.VulnFraction+p.TrapFraction:
+			tpl = trap[r.Intn(len(trap))]
+		default:
+			tpl = benign[r.Intn(len(benign))]
+		}
+		out = append(out, instantiate(tpl, i, r, p))
+	}
+	return out
+}
+
+func instantiate(tpl template, idx int, r *rand.Rand, p Profile) *Contract {
+	c := &Contract{
+		Family: tpl.name,
+		Index:  idx,
+		Truth:  map[core.VulnKind]bool{},
+	}
+	g := &gen{r: r, suffix: fmt.Sprintf("_%d", idx)}
+	if tpl.exotic {
+		c.Exotic = true
+		c.Runtime = tpl.renderRaw(g)
+		for _, k := range tpl.truth {
+			c.Truth[k] = true
+		}
+		c.Balance = drawBalance(r, tpl.vulnerable)
+		return c
+	}
+	c.Source = tpl.render(g)
+	compiled, err := minisol.CompileSource(c.Source)
+	if err != nil {
+		panic(fmt.Sprintf("corpus: template %s produced uncompilable source: %v\n%s", tpl.name, err, c.Source))
+	}
+	c.Compiled = compiled
+	c.Runtime = compiled.Runtime
+	for _, k := range tpl.truth {
+		c.Truth[k] = true
+	}
+	c.Killable = tpl.killable
+	c.HasVerifiedSource = r.Float64() < p.SourceFraction
+	if c.HasVerifiedSource {
+		c.Solc058 = r.Float64() < p.Solc058Fraction/maxf(p.SourceFraction, 0.01)
+	}
+	// Balance: heavy-tailed, strongly biased toward non-vulnerable contracts
+	// (Section 6.2: "the fact that a contract contains substantial ETH is
+	// typically strong evidence that it is not exploitable").
+	c.Balance = drawBalance(r, tpl.vulnerable)
+	return c
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// drawBalance samples a heavy-tailed wei balance.
+func drawBalance(r *rand.Rand, vulnerable bool) u256.U256 {
+	roll := r.Float64()
+	switch {
+	case vulnerable:
+		// Mostly dust; the occasional honeypot-scale outlier.
+		if roll < 0.85 {
+			return u256.FromUint64(uint64(r.Intn(1000)))
+		}
+		return u256.FromUint64(uint64(1+r.Intn(50)) * 1_000)
+	case roll < 0.60:
+		return u256.Zero
+	case roll < 0.95:
+		return u256.FromUint64(uint64(r.Intn(100_000)))
+	default:
+		return u256.FromUint64(uint64(1+r.Intn(500)) * 1_000_000)
+	}
+}

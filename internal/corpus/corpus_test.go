@@ -1,0 +1,184 @@
+package corpus_test
+
+import (
+	"testing"
+
+	"ethainter/internal/chain"
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/decompiler"
+	"ethainter/internal/kill"
+	"ethainter/internal/minisol"
+	"ethainter/internal/u256"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := corpus.DefaultProfile(50, 7)
+	a := corpus.Generate(p)
+	b := corpus.Generate(p)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i].Family != b[i].Family || string(a[i].Runtime) != string(b[i].Runtime) {
+			t.Fatalf("instance %d differs between runs", i)
+		}
+	}
+}
+
+func TestEveryTemplateCompilesAndDecompiles(t *testing.T) {
+	// A large-enough sample hits every family with both guard styles.
+	cs := corpus.Generate(corpus.Profile{
+		N: 300, VulnFraction: 0.4, TrapFraction: 0.2, ExoticFraction: 0.05,
+		SourceFraction: 0.5, Solc058Fraction: 0.2, Seed: 42,
+	})
+	families := map[string]int{}
+	for _, c := range cs {
+		families[c.Family]++
+		if c.Exotic {
+			if _, err := decompiler.Decompile(c.Runtime); err == nil {
+				t.Errorf("exotic contract %d unexpectedly decompiled", c.Index)
+			}
+			continue
+		}
+		if _, err := decompiler.Decompile(c.Runtime); err != nil {
+			t.Errorf("%s/%d failed to decompile: %v", c.Family, c.Index, err)
+		}
+	}
+	if len(families) < 15 {
+		t.Errorf("only %d families sampled; want broad coverage", len(families))
+	}
+}
+
+// Ground truth sanity: the analysis must flag every vulnerable family for at
+// least one of its labeled kinds, and the labeled-killable families must be
+// destroyable end to end.
+func TestGroundTruthConsistency(t *testing.T) {
+	cs := corpus.Generate(corpus.Profile{
+		N: 150, VulnFraction: 0.9, TrapFraction: 0.0, ExoticFraction: 0.0,
+		SourceFraction: 1, Solc058Fraction: 1, Seed: 11,
+	})
+	cfg := core.DefaultConfig()
+	seenFamily := map[string]bool{}
+	for _, c := range cs {
+		if !c.Vulnerable() || seenFamily[c.Family] {
+			continue
+		}
+		seenFamily[c.Family] = true
+		rep, err := core.AnalyzeBytecode(c.Runtime, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Family, err)
+		}
+		hit := false
+		for k := range c.Truth {
+			if rep.Has(k) {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("%s: analysis missed all labeled kinds %v; got %v", c.Family, c.Truth, rep.Warnings)
+		}
+		if c.Killable {
+			ch := chain.New()
+			deployer := ch.NewAccount(u256.FromUint64(1_000_000))
+			r := ch.Deploy(deployer, c.Compiled.Deploy, u256.Zero)
+			if r.Err != nil {
+				t.Fatalf("%s: deploy: %v", c.Family, r.Err)
+			}
+			res := kill.New(ch).Exploit(r.Created, rep)
+			if !res.Destroyed {
+				t.Errorf("%s: labeled killable but not destroyed (attempts %d)", c.Family, res.Attempts)
+			}
+		}
+	}
+	if len(seenFamily) < 8 {
+		t.Errorf("only %d vulnerable families checked", len(seenFamily))
+	}
+}
+
+// Trap families must be flagged by the analysis (they are designed FPs) while
+// carrying no ground-truth vulnerability.
+func TestTrapsAreFalsePositives(t *testing.T) {
+	cs := corpus.Generate(corpus.Profile{
+		N: 200, VulnFraction: 0, TrapFraction: 1.0, ExoticFraction: 0,
+		SourceFraction: 1, Solc058Fraction: 1, Seed: 3,
+	})
+	cfg := core.DefaultConfig()
+	flaggedPerFamily := map[string]bool{}
+	for _, c := range cs {
+		if c.Vulnerable() {
+			t.Fatalf("trap %s labeled vulnerable", c.Family)
+		}
+		rep, err := core.AnalyzeBytecode(c.Runtime, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Warnings) > 0 {
+			flaggedPerFamily[c.Family] = true
+		}
+	}
+	for _, fam := range []string{"trapRevokeOnly", "trapThreshold", "trapScratch"} {
+		if !flaggedPerFamily[fam] {
+			t.Errorf("%s: expected the analysis to (falsely) flag this family", fam)
+		}
+	}
+	// Killing a trap must fail: the flag is not exploitable.
+	for _, c := range cs[:20] {
+		rep, _ := core.AnalyzeBytecode(c.Runtime, cfg)
+		ch := chain.New()
+		deployer := ch.NewAccount(u256.FromUint64(1_000_000))
+		r := ch.Deploy(deployer, c.Compiled.Deploy, u256.Zero)
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if res := kill.New(ch).Exploit(r.Created, rep); res.Destroyed {
+			t.Errorf("%s: trap was actually destroyed — it is not a false positive", c.Family)
+		}
+	}
+}
+
+// Benign families stay clean under the default analysis.
+func TestBenignFamiliesClean(t *testing.T) {
+	cs := corpus.Generate(corpus.Profile{
+		N: 150, VulnFraction: 0, TrapFraction: 0, ExoticFraction: 0,
+		SourceFraction: 1, Solc058Fraction: 1, Seed: 23,
+	})
+	cfg := core.DefaultConfig()
+	for _, c := range cs {
+		rep, err := core.AnalyzeBytecode(c.Runtime, cfg)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", c.Family, c.Index, err)
+		}
+		if len(rep.Warnings) != 0 {
+			t.Errorf("%s/%d flagged: %v", c.Family, c.Index, rep.Warnings)
+		}
+	}
+}
+
+func TestSourceFlagsRoughlyMatchProfile(t *testing.T) {
+	p := corpus.DefaultProfile(1000, 5)
+	cs := corpus.Generate(p)
+	src, solc := 0, 0
+	for _, c := range cs {
+		if c.HasVerifiedSource {
+			src++
+		}
+		if c.Solc058 {
+			solc++
+		}
+	}
+	if src < 250 || src > 450 {
+		t.Errorf("source-available = %d/1000, profile wants ~350", src)
+	}
+	if solc < 40 || solc > 180 {
+		t.Errorf("solc-0.5.8 = %d/1000, profile wants ~100", solc)
+	}
+	// All Solc058 contracts must actually parse for Securify2's front-end.
+	for _, c := range cs {
+		if c.Solc058 && c.Source != "" {
+			if _, err := minisol.Parse(c.Source); err != nil {
+				t.Fatalf("unparseable source in corpus: %v", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,1008 @@
+// Package corpus generates the synthetic contract population standing in for
+// the paper's blockchain snapshots (the 240K-unique-contract mainnet set of
+// Section 6.2 and the Ropsten block range of Section 6.1).
+//
+// Contracts are drawn from ~20 template families — benign DeFi-era shapes
+// (tokens, banks, registries, crowdsales, wallets), the five vulnerability
+// classes of Section 3 (including the paper's own running examples), and
+// "trap" families engineered to reproduce the false-positive causes listed in
+// Figure 6 (imprecise data-structure inference, complex path conditions,
+// inter-function flow). Identifier renaming, declaration-order shuffling,
+// guard-style variation, and filler members make instances lexically diverse
+// while preserving each family's ground truth.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ethainter/internal/core"
+	"ethainter/internal/evm"
+)
+
+// template produces one source instance plus its ground truth.
+type template struct {
+	// name identifies the family.
+	name string
+	// vulnerable marks families with at least one real end-to-end
+	// vulnerability.
+	vulnerable bool
+	// exotic families emit raw bytecode instead of source (decompiler-hostile).
+	exotic bool
+	// truth lists the end-to-end exploitable vulnerabilities, by kind.
+	truth []core.VulnKind
+	// killable marks families Ethainter-Kill can actually destroy.
+	killable bool
+	// render produces a source instance (ignored for exotic).
+	render func(g *gen) string
+	// renderRaw produces runtime bytecode for exotic families.
+	renderRaw func(g *gen) []byte
+}
+
+// gen carries per-instance randomization.
+type gen struct {
+	r      *rand.Rand
+	suffix string
+}
+
+func (g *gen) id(base string) string { return base + g.suffix }
+
+// pick returns one of the options.
+func (g *gen) pick(options ...string) string { return options[g.r.Intn(len(options))] }
+
+// amount returns a random round number.
+func (g *gen) amount() int { return (1 + g.r.Intn(99)) * 100 }
+
+// ownerGuard renders an owner check in one of the common styles. The
+// modifier/require split exercises both compilation paths.
+func (g *gen) ownerGuard(ownerVar string) (decl, use, inline string) {
+	if g.r.Intn(2) == 0 {
+		name := g.id("onlyOwner")
+		return fmt.Sprintf("modifier %s() { require(msg.sender == %s); _; }", name, ownerVar),
+			name, ""
+	}
+	return "", "", fmt.Sprintf("require(msg.sender == %s);", ownerVar)
+}
+
+// fillerMembers renders harmless extra state and getters for lexical volume.
+func (g *gen) fillerMembers() string {
+	var b strings.Builder
+	n := g.r.Intn(3)
+	for i := 0; i < n; i++ {
+		v := fmt.Sprintf("%s%d", g.id("meta"), i)
+		fmt.Fprintf(&b, "    uint256 %s;\n", v)
+		fmt.Fprintf(&b, "    function get%s%d() public view returns (uint256) { return %s; }\n", g.id("Meta"), i, v)
+	}
+	return b.String()
+}
+
+// templates returns the full family list.
+func templates() []template {
+	return []template{
+		// --- benign families ---
+		{name: "token", render: renderToken},
+		{name: "bank", render: renderBank},
+		{name: "registry", render: renderRegistry},
+		{name: "crowdsale", render: renderCrowdsale},
+		{name: "vault", render: renderVault},
+		{name: "airdrop", render: renderAirdrop},
+		{name: "voting", render: renderVoting},
+		{name: "escrow", render: renderEscrow},
+		{name: "closedAdmin", render: renderClosedAdmin},
+		{name: "pausable", render: renderPausable},
+		{name: "sweeper", render: renderSweeper},
+		{name: "upgradeProxy", render: renderUpgradeProxy},
+		{name: "guardedExchange", render: renderGuardedExchange},
+		{name: "backupVault", render: renderBackupVault},
+		{name: "slotBoard", render: renderSlotBoard},
+		{name: "timelock", render: renderTimelock},
+		{name: "auction", render: renderAuction},
+		{name: "nameRegistry", render: renderNameRegistry},
+
+		// --- vulnerable families (Section 3 + Section 2) ---
+		{name: "victimComposite", vulnerable: true, killable: true,
+			truth:  []core.VulnKind{core.AccessibleSelfdestruct, core.TaintedSelfdestruct, core.TaintedOwner},
+			render: renderVictim},
+		{name: "taintedOwner", vulnerable: true, killable: true,
+			truth:  []core.VulnKind{core.TaintedOwner, core.AccessibleSelfdestruct, core.TaintedSelfdestruct},
+			render: renderInitOwner},
+		{name: "accessibleKill", vulnerable: true, killable: true,
+			truth:  []core.VulnKind{core.AccessibleSelfdestruct},
+			render: renderAccessibleKill},
+		{name: "taintedBeneficiary", vulnerable: true,
+			truth:  []core.VulnKind{core.TaintedSelfdestruct},
+			render: renderTaintedBeneficiary},
+		{name: "openDelegate", vulnerable: true,
+			truth:  []core.VulnKind{core.TaintedDelegatecall},
+			render: renderOpenDelegate},
+		{name: "zeroExchange", vulnerable: true,
+			truth:  []core.VulnKind{core.UncheckedStaticcall},
+			render: renderZeroExchange},
+		{name: "buyableOwner", vulnerable: true, killable: true,
+			truth:  []core.VulnKind{core.AccessibleSelfdestruct, core.TaintedOwner},
+			render: renderBuyableOwner},
+		{name: "parityWallet", vulnerable: true, killable: true,
+			truth:  []core.VulnKind{core.TaintedOwner, core.AccessibleSelfdestruct, core.TaintedSelfdestruct},
+			render: renderParityWallet},
+		{name: "openMint", vulnerable: true,
+			truth:  []core.VulnKind{core.TaintedOwner},
+			render: renderOpenMint},
+		{name: "paramKill", vulnerable: true, killable: true,
+			truth:  []core.VulnKind{core.AccessibleSelfdestruct, core.TaintedSelfdestruct},
+			render: renderParamKill},
+		{name: "deepChain", vulnerable: true, killable: true,
+			truth:  []core.VulnKind{core.AccessibleSelfdestruct, core.TaintedSelfdestruct, core.TaintedOwner},
+			render: renderDeepChain},
+
+		// --- trap families: expected analysis false positives (Figure 6) ---
+		{name: "trapRevokeOnly", render: renderTrapRevokeOnly},
+		{name: "trapThreshold", render: renderTrapThreshold},
+		{name: "trapScratch", render: renderTrapScratch},
+
+		// --- decompiler-hostile raw bytecode ---
+		{name: "exoticJump", exotic: true, renderRaw: renderExoticJump},
+		// vsaBuster is genuinely destroyable, but the 20-way return-address
+		// fan-out exceeds the decompiler's bounded value sets: Ethainter
+		// fails to lift it while per-path symbolic execution (teEther)
+		// resolves each return concretely — the honest mechanism behind the
+		// paper's non-overlap between the two tools.
+		{name: "vsaBuster", exotic: true, vulnerable: true,
+			truth:     []core.VulnKind{core.AccessibleSelfdestruct},
+			renderRaw: renderVSABuster},
+	}
+}
+
+// renderExoticJump emits a runtime whose first jump target is computed from
+// calldata — valid on-chain, unresolvable for the value-set decompiler.
+func renderExoticJump(g *gen) []byte {
+	pad := make([]byte, g.r.Intn(16))
+	code := append([]byte{}, evm.MustAssemble(`
+		PUSH1 0x00
+		CALLDATALOAD
+		PUSH1 0xff
+		AND
+		JUMP
+	`)...)
+	// A spray of JUMPDESTs so some calldata values actually execute.
+	for i := 0; i < 24; i++ {
+		code = append(code, byte(evm.JUMPDEST), byte(evm.STOP))
+	}
+	return append(code, pad...)
+}
+
+// renderVSABuster emits a dispatcher with 20 call sites sharing one
+// subroutine. Each call site pushes its own return address; the subroutine's
+// return JUMP therefore carries a 20-constant value set — beyond the
+// decompiler's per-slot bound — while every concrete execution (and every
+// symbolically explored path) is straightforward. Every branch ends in an
+// unguarded SELFDESTRUCT(CALLER).
+func renderVSABuster(g *gen) []byte {
+	const sites = 20
+	var b strings.Builder
+	b.WriteString(`
+		PUSH1 0x00
+		CALLDATALOAD
+		PUSH1 0xf8
+		SHR
+	`)
+	for i := 0; i < sites; i++ {
+		fmt.Fprintf(&b, `
+		DUP1
+		PUSH1 %d
+		EQ
+		PUSH @site%d
+		JUMPI
+		`, i, i)
+	}
+	b.WriteString("\nSTOP\n")
+	for i := 0; i < sites; i++ {
+		fmt.Fprintf(&b, `
+	site%d:
+		POP
+		PUSH @ret%d
+		PUSH @sub
+		JUMP
+	ret%d:
+		CALLER
+		SELFDESTRUCT
+		`, i, i, i)
+	}
+	b.WriteString(`
+	sub:
+		JUMP
+	`)
+	return evm.MustAssemble(b.String())
+}
+
+// --- benign renderers ---
+
+func renderToken(g *gen) string {
+	guardDecl, guardUse, inline := g.ownerGuard(g.id("owner"))
+	body := fmt.Sprintf(`
+contract %s {
+    address %s;
+    uint256 %s;
+    mapping(address => uint256) %s;
+    mapping(address => mapping(address => uint256)) %s;
+%s
+    constructor() {
+        %s = msg.sender;
+        %s = %d;
+        %s[msg.sender] = %d;
+    }
+    %s
+    function transfer(address to, uint256 value) public returns (bool) {
+        require(%s[msg.sender] >= value);
+        %s[msg.sender] -= value;
+        %s[to] += value;
+        return true;
+    }
+    function approve(address spender, uint256 value) public returns (bool) {
+        %s[msg.sender][spender] = value;
+        return true;
+    }
+    function transferFrom(address from, address to, uint256 value) public returns (bool) {
+        require(%s[from] >= value);
+        require(%s[from][msg.sender] >= value);
+        %s[from][msg.sender] -= value;
+        %s[from] -= value;
+        %s[to] += value;
+        return true;
+    }
+    function balanceOf(address who) public view returns (uint256) { return %s[who]; }
+    function mint(address to, uint256 value) public %s {
+        %s
+        %s += value;
+        %s[to] += value;
+    }
+    function transferOwnership(address newOwner) public %s {
+        %s
+        %s = newOwner;
+    }
+}`,
+		g.id("Token"), g.id("owner"), g.id("supply"), g.id("balances"), g.id("allowed"),
+		g.fillerMembers(),
+		g.id("owner"), g.id("supply"), g.amount()*1000, g.id("balances"), g.amount()*1000,
+		guardDecl,
+		g.id("balances"), g.id("balances"), g.id("balances"),
+		g.id("allowed"),
+		g.id("balances"), g.id("allowed"), g.id("allowed"), g.id("balances"), g.id("balances"),
+		g.id("balances"),
+		guardUse, inline,
+		g.id("supply"), g.id("balances"),
+		guardUse, inline, g.id("owner"))
+	return body
+}
+
+func renderBank(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    mapping(address => uint256) %s;
+%s
+    function deposit() public payable {
+        %s[msg.sender] += msg.value;
+    }
+    function withdraw(uint256 amount) public {
+        require(%s[msg.sender] >= amount);
+        %s[msg.sender] -= amount;
+        send(msg.sender, amount);
+    }
+    function balanceOf(address who) public view returns (uint256) { return %s[who]; }
+}`, g.id("Bank"), g.id("deposits"), g.fillerMembers(),
+		g.id("deposits"), g.id("deposits"), g.id("deposits"), g.id("deposits"))
+}
+
+func renderRegistry(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    mapping(address => uint256) %s;
+    mapping(address => bool) %s;
+    function claim(uint256 tag) public {
+        require(!%s[msg.sender]);
+        %s[msg.sender] = tag;
+        %s[msg.sender] = true;
+    }
+    function tagOf(address who) public view returns (uint256) { return %s[who]; }
+}`, g.id("Registry"), g.id("tags"), g.id("claimed"),
+		g.id("claimed"), g.id("tags"), g.id("claimed"), g.id("tags"))
+}
+
+func renderCrowdsale(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    uint256 %s;
+    uint256 %s = %d;
+    mapping(address => uint256) %s;
+    constructor() { %s = msg.sender; }
+    function contribute() public payable {
+        require(%s + msg.value <= %s);
+        %s += msg.value;
+        %s[msg.sender] += msg.value;
+    }
+    function collect() public {
+        require(msg.sender == %s);
+        send(%s, balance(this));
+    }
+}`, g.id("Crowdsale"), g.id("beneficiary"), g.id("raised"), g.id("cap"), g.amount()*100,
+		g.id("contributions"), g.id("beneficiary"),
+		g.id("raised"), g.id("cap"), g.id("raised"), g.id("contributions"),
+		g.id("beneficiary"), g.id("beneficiary"))
+}
+
+func renderVault(g *gen) string {
+	guardDecl, guardUse, inline := g.ownerGuard(g.id("owner"))
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    uint256 %s;
+    constructor() { %s = msg.sender; }
+    %s
+    function lock(uint256 until) public %s {
+        %s
+        %s = until;
+    }
+    function drain(address to, uint256 amount) public %s {
+        %s
+        require(block.timestamp > %s);
+        send(to, amount);
+    }
+    function transferOwnership(address newOwner) public %s {
+        %s
+        %s = newOwner;
+    }
+    function kill() public %s {
+        %s
+        selfdestruct(%s);
+    }
+}`, g.id("Vault"), g.id("owner"), g.id("lockedUntil"), g.id("owner"),
+		guardDecl, guardUse, inline, g.id("lockedUntil"),
+		guardUse, inline, g.id("lockedUntil"),
+		guardUse, inline, g.id("owner"),
+		guardUse, inline, g.id("owner"))
+}
+
+func renderAirdrop(g *gen) string {
+	guardDecl, guardUse, inline := g.ownerGuard(g.id("admin"))
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    mapping(address => uint256) %s;
+    constructor() { %s = msg.sender; }
+    %s
+    function fund(address who, uint256 amount) public %s {
+        %s
+        %s[who] += amount;
+    }
+    function fundBatch(address who, uint256 n) public %s {
+        %s
+        require(n < 64);
+        uint256 i = 0;
+        while (i < n) {
+            %s[who] += 1;
+            i += 1;
+        }
+    }
+    function redeem() public {
+        uint256 due = %s[msg.sender];
+        %s[msg.sender] = 0;
+        send(msg.sender, due);
+    }
+}`, g.id("Airdrop"), g.id("admin"), g.id("grants"), g.id("admin"),
+		guardDecl, guardUse, inline, g.id("grants"),
+		guardUse, inline, g.id("grants"),
+		g.id("grants"), g.id("grants"))
+}
+
+func renderVoting(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    mapping(uint256 => uint256) %s;
+    mapping(address => bool) %s;
+    function vote(uint256 option) public {
+        require(!%s[msg.sender]);
+        require(option < 4);
+        %s[msg.sender] = true;
+        %s[option] += 1;
+    }
+    function tally(uint256 option) public view returns (uint256) { return %s[option]; }
+    function total() public view returns (uint256) {
+        uint256 sum = 0;
+        uint256 i = 0;
+        while (i < 4) {
+            sum += %s[i];
+            i += 1;
+        }
+        return sum;
+    }
+}`, g.id("Voting"), g.id("votes"), g.id("voted"),
+		g.id("voted"), g.id("voted"), g.id("votes"), g.id("votes"),
+		g.id("votes"))
+}
+
+func renderEscrow(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    address %s;
+    uint256 %s;
+    constructor() { %s = msg.sender; }
+    function fund(address payee) public payable {
+        require(msg.sender == %s);
+        %s = payee;
+        %s += msg.value;
+    }
+    function release() public {
+        require(msg.sender == %s);
+        uint256 amount = %s;
+        %s = 0;
+        send(%s, amount);
+    }
+}`, g.id("Escrow"), g.id("payer"), g.id("payee"), g.id("held"), g.id("payer"),
+		g.id("payer"), g.id("payee"), g.id("held"),
+		g.id("payer"), g.id("held"), g.id("held"), g.id("payee"))
+}
+
+func renderClosedAdmin(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    mapping(address => bool) %s;
+    constructor() { %s = msg.sender; %s[msg.sender] = true; }
+    modifier %s() { require(msg.sender == %s); _; }
+    modifier %s() { require(%s[msg.sender]); _; }
+    function addAdmin(address a) public %s { %s[a] = true; }
+    function removeAdmin(address a) public %s { %s[a] = false; }
+    function kill() public %s { selfdestruct(%s); }
+}`, g.id("Managed"), g.id("root"), g.id("admins"), g.id("root"), g.id("admins"),
+		g.id("onlyRoot"), g.id("root"), g.id("onlyAdmins"), g.id("admins"),
+		g.id("onlyRoot"), g.id("admins"), g.id("onlyRoot"), g.id("admins"),
+		g.id("onlyAdmins"), g.id("root"))
+}
+
+func renderPausable(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    bool %s;
+    mapping(address => uint256) %s;
+    constructor() { %s = msg.sender; }
+    function pause() public { require(msg.sender == %s); %s = true; }
+    function unpause() public { require(msg.sender == %s); %s = false; }
+    function put() public payable {
+        require(!%s);
+        %s[msg.sender] += msg.value;
+    }
+    function take(uint256 amount) public {
+        require(!%s);
+        require(%s[msg.sender] >= amount);
+        %s[msg.sender] -= amount;
+        send(msg.sender, amount);
+    }
+}`, g.id("Pausable"), g.id("owner"), g.id("paused"), g.id("holdings"), g.id("owner"),
+		g.id("owner"), g.id("paused"), g.id("owner"), g.id("paused"),
+		g.id("paused"), g.id("holdings"),
+		g.id("paused"), g.id("holdings"), g.id("holdings"))
+}
+
+// renderSweeper is the pattern Section 6.4 singles out: "oftentimes contracts
+// are designed to take an address as a parameter to the public function that
+// calls selfdestruct, to transfer the remaining balance of the contract to
+// this address". With guard modeling this is safe (the function is
+// owner-guarded); without it, the parameter beneficiary makes it a massive
+// tainted-selfdestruct false positive — the Figure 8b blow-up.
+func renderSweeper(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    constructor() { %s = msg.sender; }
+    function sweep(address to) public {
+        require(msg.sender == %s);
+        send(to, balance(this));
+    }
+    function destroy(address to) public {
+        require(msg.sender == %s);
+        selfdestruct(to);
+    }
+}`, g.id("Sweeper"), g.id("owner"), g.id("owner"),
+		g.id("owner"), g.id("owner"))
+}
+
+// renderUpgradeProxy is an owner-guarded upgradeable proxy. Benign: the
+// implementation address is set only behind the owner guard. Under the
+// Figure 8b ablation the delegatecall gets (wrongly) flagged; for the
+// Securify2 comparison its state-variable delegatecall is a source-level
+// false positive (the guard-insensitive UnrestrictedDelegateCall pattern).
+func renderUpgradeProxy(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    address %s;
+    constructor() { %s = msg.sender; }
+    function upgrade(address impl) public {
+        require(msg.sender == %s);
+        %s = impl;
+    }
+    function run() public {
+        delegatecall(%s);
+    }
+    function transferOwnership(address newOwner) public {
+        require(msg.sender == %s);
+        %s = newOwner;
+    }
+}`, g.id("Proxy"), g.id("owner"), g.id("impl"), g.id("owner"),
+		g.id("owner"), g.id("impl"),
+		g.id("impl"),
+		g.id("owner"), g.id("owner"))
+}
+
+// renderGuardedExchange uses the buggy 0x staticcall pattern, but only behind
+// an owner guard — safe in practice, flagged only under the no-guards
+// ablation.
+func renderGuardedExchange(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    mapping(address => bool) %s;
+    constructor() { %s = msg.sender; }
+    function adminSettle(address wallet, uint256 hash) public {
+        require(msg.sender == %s);
+        require(staticcall_unchecked(wallet, hash) == 1);
+        %s[wallet] = true;
+    }
+}`, g.id("DarkPool"), g.id("operator"), g.id("cleared"), g.id("operator"),
+		g.id("operator"), g.id("cleared"))
+}
+
+// renderBackupVault keeps beneficiary addresses in a fixed array — a storage
+// region addressed by baseSlot + index, which the analysis cannot resolve to
+// a data structure. Benign in the default analysis (the unresolved load is
+// left untainted — the paper's deliberate under-approximation); a false
+// positive under the Figure 8c conservative-storage ablation, where an
+// unresolved load may read any tainted slot (here: the harmless public memo).
+func renderBackupVault(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    uint256 %s;
+    address[4] %s;
+    constructor() { %s = msg.sender; }
+    function setMemo(uint256 m) public {
+        %s = m;
+    }
+    function setBackup(uint256 i, address who) public {
+        require(msg.sender == %s);
+        require(i < 4);
+        %s[i] = who;
+    }
+    function retire(uint256 i) public {
+        require(msg.sender == %s);
+        require(i < 4);
+        selfdestruct(%s[i]);
+    }
+}`, g.id("BackupVault"), g.id("owner"), g.id("memo"), g.id("backups"), g.id("owner"),
+		g.id("memo"),
+		g.id("owner"), g.id("backups"),
+		g.id("owner"), g.id("backups"))
+}
+
+// renderSlotBoard writes constant values into a bounds-checked fixed array —
+// unresolved store addresses with untainted values, exercising the
+// default-vs-conservative split on the write side.
+func renderSlotBoard(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    uint256[8] %s;
+    mapping(address => bool) %s;
+    function claim(uint256 i) public {
+        require(i < 8);
+        require(%s[i] == 0);
+        require(!%s[msg.sender]);
+        %s[i] = 1;
+        %s[msg.sender] = true;
+    }
+    function taken(uint256 i) public view returns (uint256) {
+        require(i < 8);
+        return %s[i];
+    }
+}`, g.id("SlotBoard"), g.id("board"), g.id("played"),
+		g.id("board"), g.id("played"), g.id("board"), g.id("played"),
+		g.id("board"))
+}
+
+// --- vulnerable renderers ---
+
+// renderParamKill is the simplest single-transaction tainted selfdestruct:
+// the beneficiary is a public parameter, no guard at all. (The bulk of the
+// paper's directly-exploitable population.)
+func renderParamKill(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+%s
+    function cleanup(address refund) public {
+        selfdestruct(refund);
+    }
+}`, g.id("Disposable"), g.fillerMembers())
+}
+
+func renderVictim(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    mapping(address => bool) %s;
+    mapping(address => bool) %s;
+    address %s;
+%s
+    constructor() {
+        %s = msg.sender;
+        %s[msg.sender] = true;
+    }
+    modifier %s() { require(%s[msg.sender]); _; }
+    modifier %s() { require(%s[msg.sender]); _; }
+    function registerSelf() public { %s[msg.sender] = true; }
+    function referUser(address user) public %s { %s[user] = true; }
+    function referAdmin(address adm) public %s { %s[adm] = true; }
+    function changeOwner(address o) public %s { %s = o; }
+    function kill() public %s { selfdestruct(%s); }
+}`, g.id("Victim"), g.id("admins"), g.id("users"), g.id("owner"), g.fillerMembers(),
+		g.id("owner"), g.id("admins"),
+		g.id("onlyAdmins"), g.id("admins"), g.id("onlyUsers"), g.id("users"),
+		g.id("users"),
+		g.id("onlyUsers"), g.id("users"),
+		g.id("onlyUsers"), g.id("admins"), // the copy-paste bug
+		g.id("onlyAdmins"), g.id("owner"),
+		g.id("onlyAdmins"), g.id("owner"))
+}
+
+func renderInitOwner(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+%s
+    function initOwner(address newOwner) public {
+        %s = newOwner;
+    }
+    function kill() public {
+        if (msg.sender == %s) {
+            selfdestruct(%s);
+        }
+    }
+}`, g.id("Ownable"), g.id("owner"), g.fillerMembers(),
+		g.id("owner"), g.id("owner"), g.id("owner"))
+}
+
+func renderAccessibleKill(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+%s
+    constructor() { %s = msg.sender; }
+    function ping() public view returns (address) { return %s; }
+    function kill() public {
+        selfdestruct(%s);
+    }
+}`, g.id("Killable"), g.id("beneficiary"), g.fillerMembers(),
+		g.id("beneficiary"), g.id("beneficiary"), g.id("beneficiary"))
+}
+
+func renderTaintedBeneficiary(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    address %s;
+    constructor() { %s = msg.sender; }
+    function initAdmin(address admin) public {
+        %s = admin;
+    }
+    function kill() public {
+        if (msg.sender == %s) {
+            selfdestruct(%s);
+        }
+    }
+}`, g.id("AdminPay"), g.id("owner"), g.id("administrator"), g.id("owner"),
+		g.id("administrator"), g.id("owner"), g.id("administrator"))
+}
+
+func renderOpenDelegate(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+%s
+    function migrate(address delegate) public {
+        delegatecall(delegate);
+    }
+    function version() public view returns (uint256) { return %d; }
+}`, g.id("Migrator"), g.fillerMembers(), 1+g.r.Intn(9))
+}
+
+func renderZeroExchange(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    mapping(address => bool) %s;
+    function isValidSignature(address wallet, uint256 hash) public returns (uint256) {
+        uint256 ok = staticcall_unchecked(wallet, hash);
+        return ok;
+    }
+    function settle(address wallet, uint256 hash) public {
+        require(staticcall_unchecked(wallet, hash) == 1);
+        %s[msg.sender] = true;
+    }
+}`, g.id("Exchange"), g.id("settled"), g.id("settled"))
+}
+
+func renderBuyableOwner(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    uint256 %s = %d;
+    constructor() { %s = msg.sender; }
+    function buyOwnership() public payable {
+        require(msg.value >= %s);
+        %s = msg.sender;
+    }
+    function kill() public {
+        require(msg.sender == %s);
+        selfdestruct(%s);
+    }
+}`, g.id("KingOfHill"), g.id("owner"), g.id("price"), g.amount(),
+		g.id("owner"), g.id("price"), g.id("owner"), g.id("owner"), g.id("owner"))
+}
+
+// renderParityWallet models the Parity hack shape: an initWallet intended to
+// run once from the constructor is left publicly callable, reinitializing the
+// owner before the guarded kill.
+func renderParityWallet(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    uint256 %s;
+    bool %s;
+    function initWallet(address ownerIn, uint256 limit) public {
+        %s = ownerIn;
+        %s = limit;
+        %s = true;
+    }
+    function execute(address to, uint256 amount) public {
+        require(msg.sender == %s);
+        require(amount <= %s);
+        send(to, amount);
+    }
+    function kill() public {
+        require(msg.sender == %s);
+        selfdestruct(%s);
+    }
+}`, g.id("Wallet"), g.id("walletOwner"), g.id("dailyLimit"), g.id("initialized"),
+		g.id("walletOwner"), g.id("dailyLimit"), g.id("initialized"),
+		g.id("walletOwner"), g.id("dailyLimit"),
+		g.id("walletOwner"), g.id("walletOwner"))
+}
+
+// renderOpenMint is a tainted-owner-variable case without selfdestruct: the
+// supply controller can be replaced by anyone, diluting the token (the ERC20
+// value-manipulation the paper motivates in Section 3.1).
+func renderOpenMint(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    uint256 %s;
+    mapping(address => uint256) %s;
+    function setController(address c) public {
+        %s = c;
+    }
+    function mint(address to, uint256 value) public {
+        require(msg.sender == %s);
+        %s += value;
+        %s[to] += value;
+    }
+    function balanceOf(address who) public view returns (uint256) { return %s[who]; }
+}`, g.id("MintableToken"), g.id("controller"), g.id("supply"), g.id("holdings"),
+		g.id("controller"), g.id("controller"), g.id("supply"), g.id("holdings"), g.id("holdings"))
+}
+
+// renderTimelock is a benign two-role vault with a time delay.
+func renderTimelock(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    uint256 %s;
+    uint256 %s;
+    address %s;
+    constructor() { %s = msg.sender; }
+    function queue(address to, uint256 amount) public {
+        require(msg.sender == %s);
+        %s = to;
+        %s = amount;
+        %s = block.timestamp + %d;
+    }
+    function execute() public {
+        require(msg.sender == %s);
+        require(block.timestamp >= %s);
+        require(%s > 0);
+        uint256 amount = %s;
+        %s = 0;
+        send(%s, amount);
+    }
+}`, g.id("Timelock"), g.id("admin"), g.id("eta"), g.id("pendingAmount"), g.id("pendingTo"),
+		g.id("admin"),
+		g.id("admin"), g.id("pendingTo"), g.id("pendingAmount"), g.id("eta"), 3600*(1+g.r.Intn(48)),
+		g.id("admin"), g.id("eta"), g.id("pendingAmount"), g.id("pendingAmount"),
+		g.id("pendingAmount"), g.id("pendingTo"))
+}
+
+// renderAuction is a benign highest-bidder auction with refunds.
+func renderAuction(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    address %s;
+    uint256 %s;
+    mapping(address => uint256) %s;
+    constructor() { %s = msg.sender; }
+    function bid() public payable {
+        require(msg.value > %s);
+        if (%s != address(0)) {
+            %s[%s] += %s;
+        }
+        %s = msg.sender;
+        %s = msg.value;
+    }
+    function refund() public {
+        uint256 due = %s[msg.sender];
+        require(due > 0);
+        %s[msg.sender] = 0;
+        send(msg.sender, due);
+    }
+    function settle() public {
+        require(msg.sender == %s);
+        send(%s, %s);
+    }
+}`, g.id("Auction"), g.id("seller"), g.id("highBidder"), g.id("highBid"), g.id("refunds"),
+		g.id("seller"),
+		g.id("highBid"), g.id("highBidder"),
+		g.id("refunds"), g.id("highBidder"), g.id("highBid"),
+		g.id("highBidder"), g.id("highBid"),
+		g.id("refunds"), g.id("refunds"),
+		g.id("seller"), g.id("seller"), g.id("highBid"))
+}
+
+// renderNameRegistry is a benign first-come registry with owner transfer of
+// individual entries (sender-keyed writes only).
+func renderNameRegistry(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    mapping(uint256 => address) %s;
+    mapping(address => uint256) %s;
+    function register(uint256 nameHash) public {
+        require(%s[nameHash] == address(0));
+        %s[nameHash] = msg.sender;
+        %s[msg.sender] = nameHash;
+    }
+    function release(uint256 nameHash) public {
+        require(%s[nameHash] == msg.sender);
+        %s[nameHash] = address(0);
+        %s[msg.sender] = 0;
+    }
+    function ownerOf(uint256 nameHash) public view returns (address) {
+        return %s[nameHash];
+    }
+}`, g.id("Names"), g.id("owners"), g.id("names"),
+		g.id("owners"), g.id("owners"), g.id("names"),
+		g.id("owners"), g.id("owners"), g.id("names"),
+		g.id("owners"))
+}
+
+// renderDeepChain escalates through three privilege tiers before the owner
+// write — a five-transaction composite (register -> promote2 -> promote3 ->
+// setOwner -> kill) far beyond any bounded symbolic search.
+func renderDeepChain(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    mapping(address => bool) %s;
+    mapping(address => bool) %s;
+    mapping(address => bool) %s;
+    address %s;
+    constructor() { %s = msg.sender; }
+    function enroll() public { %s[msg.sender] = true; }
+    function promote2(address a) public {
+        require(%s[msg.sender]);
+        %s[a] = true;
+    }
+    function promote3(address a) public {
+        require(%s[msg.sender]);
+        %s[a] = true;
+    }
+    function setOwner(address a) public {
+        require(%s[msg.sender]);
+        %s = a;
+    }
+    function kill() public {
+        require(msg.sender == %s);
+        selfdestruct(%s);
+    }
+}`, g.id("Hierarchy"), g.id("tier1"), g.id("tier2"), g.id("tier3"), g.id("owner"),
+		g.id("owner"),
+		g.id("tier1"),
+		g.id("tier1"), g.id("tier2"),
+		g.id("tier2"), g.id("tier3"),
+		g.id("tier3"), g.id("owner"),
+		g.id("owner"), g.id("owner"))
+}
+
+// --- trap renderers: engineered analysis false positives ---
+
+// renderTrapRevokeOnly: the public function can only REMOVE the caller from
+// the admin set, but a membership-granularity analysis sees an
+// attacker-reachable write into the guard's data structure — Figure 6's
+// "imprecise data structure inference" false positive.
+func renderTrapRevokeOnly(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    mapping(address => bool) %s;
+    constructor() { %s = msg.sender; %s[msg.sender] = true; }
+    function renounce() public {
+        %s[msg.sender] = false;
+    }
+    function addAdmin(address a) public {
+        require(msg.sender == %s);
+        %s[a] = true;
+    }
+    function kill() public {
+        require(%s[msg.sender]);
+        selfdestruct(%s);
+    }
+}`, g.id("Renounceable"), g.id("root"), g.id("admins"), g.id("root"), g.id("admins"),
+		g.id("admins"),
+		g.id("root"), g.id("admins"),
+		g.id("admins"), g.id("root"))
+}
+
+// renderTrapThreshold: membership value is capped at 1 but the guard demands
+// at least 2 — satisfiable only with value reasoning the analysis lacks
+// (Figure 6's "complex path condition" false positive).
+func renderTrapThreshold(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    mapping(address => uint256) %s;
+    constructor() { %s = msg.sender; %s[msg.sender] = 2; }
+    function enroll() public {
+        %s[msg.sender] = 1;
+    }
+    function kill() public {
+        require(%s[msg.sender] >= 2);
+        selfdestruct(%s);
+    }
+}`, g.id("Quorum"), g.id("root"), g.id("weight"), g.id("root"), g.id("weight"),
+		g.id("weight"),
+		g.id("weight"), g.id("root"))
+}
+
+// renderTrapScratch: an internal helper shared by a public logger and an
+// owner-guarded rotation. The helper's parameter cell receives taint from the
+// public call site; flow-insensitive inter-procedural merging leaks it into
+// the guarded path's owner write, which only ever re-assigns owner := owner —
+// Figure 6's "bug in inter-function flow" false positive.
+func renderTrapScratch(g *gen) string {
+	return fmt.Sprintf(`
+contract %s {
+    address %s;
+    address %s;
+    constructor() { %s = msg.sender; }
+    function echo(address v) internal returns (address) {
+        return v;
+    }
+    function audit(address x) public {
+        %s = echo(x);
+    }
+    function rotate() public {
+        %s = echo(%s);
+    }
+    function kill() public {
+        require(msg.sender == %s);
+        selfdestruct(%s);
+    }
+}`, g.id("Auditor"), g.id("owner"), g.id("lastSeen"), g.id("owner"),
+		g.id("lastSeen"),
+		g.id("owner"), g.id("owner"),
+		g.id("owner"), g.id("owner"))
+}

@@ -1,0 +1,150 @@
+// Package crypto implements Keccak-256, the hash function used by the
+// Ethereum Virtual Machine (the SHA3 opcode) and by the Solidity storage
+// layout for mappings and dynamic arrays.
+//
+// This is the original Keccak submission (domain-separation byte 0x01), not
+// FIPS-202 SHA3 (0x06) — Ethereum froze on pre-standard Keccak. The sponge has
+// rate 1088 bits (136 bytes) and capacity 512 bits over the keccak-f[1600]
+// permutation.
+package crypto
+
+import "math/bits"
+
+// roundConstants are the 24 iota-step constants of keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
+	0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotationOffsets gives the rho-step rotation for lane (x, y), flattened as
+// x + 5*y.
+var rotationOffsets = [25]uint{
+	0, 1, 62, 28, 27,
+	36, 44, 6, 55, 20,
+	3, 10, 43, 25, 39,
+	41, 45, 15, 21, 8,
+	18, 2, 61, 56, 14,
+}
+
+// keccakF1600 applies the 24-round keccak-f[1600] permutation in place.
+func keccakF1600(a *[25]uint64) {
+	var c [5]uint64
+	var d [5]uint64
+	var b [25]uint64
+	for round := 0; round < 24; round++ {
+		// Theta.
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
+		}
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= d[x]
+			}
+		}
+		// Rho and pi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = bits.RotateLeft64(a[x+5*y], int(rotationOffsets[x+5*y]))
+			}
+		}
+		// Chi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+		// Iota.
+		a[0] ^= roundConstants[round]
+	}
+}
+
+const rate = 136 // bytes absorbed per permutation for Keccak-256
+
+// Hasher is an incremental Keccak-256 state. The zero value is ready to use.
+type Hasher struct {
+	state  [25]uint64
+	buf    [rate]byte
+	buffed int
+}
+
+// Write absorbs p into the sponge. It never fails.
+func (h *Hasher) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		space := rate - h.buffed
+		take := len(p)
+		if take > space {
+			take = space
+		}
+		copy(h.buf[h.buffed:], p[:take])
+		h.buffed += take
+		p = p[take:]
+		if h.buffed == rate {
+			h.absorb()
+		}
+	}
+	return n, nil
+}
+
+func (h *Hasher) absorb() {
+	for i := 0; i < rate/8; i++ {
+		h.state[i] ^= le64(h.buf[8*i:])
+	}
+	keccakF1600(&h.state)
+	h.buffed = 0
+}
+
+// Sum256 finalizes a copy of the state and returns the 32-byte digest; the
+// receiver can keep absorbing afterwards.
+func (h *Hasher) Sum256() [32]byte {
+	dup := *h
+	// Pad: multi-rate padding 0x01 ... 0x80 (original Keccak domain byte).
+	for i := dup.buffed; i < rate; i++ {
+		dup.buf[i] = 0
+	}
+	dup.buf[dup.buffed] ^= 0x01
+	dup.buf[rate-1] ^= 0x80
+	dup.buffed = rate
+	dup.absorb()
+	var out [32]byte
+	for i := 0; i < 4; i++ {
+		putLE64(out[8*i:], dup.state[i])
+	}
+	return out
+}
+
+// Reset restores the hasher to its initial state.
+func (h *Hasher) Reset() { *h = Hasher{} }
+
+// Keccak256 returns the Keccak-256 digest of the concatenation of the given
+// byte slices.
+func Keccak256(data ...[]byte) [32]byte {
+	var h Hasher
+	for _, d := range data {
+		h.Write(d)
+	}
+	return h.Sum256()
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,247 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransitiveClosure(t *testing.T) {
+	p := NewProgram()
+	p.MustParse(`
+		path(X, Y) :- edge(X, Y).
+		path(X, Z) :- path(X, Y), edge(Y, Z).
+	`)
+	edges := [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"x", "y"}}
+	for _, e := range edges {
+		if err := p.AddFact("edge", e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]string{{"a", "b"}, {"a", "c"}, {"a", "d"}, {"b", "c"}, {"b", "d"}, {"c", "d"}, {"x", "y"}}
+	if got := p.Count("path"); got != len(want) {
+		t.Fatalf("path count = %d, want %d\n%s", got, len(want), p.DumpRelation("path"))
+	}
+	for _, w := range want {
+		if !p.Has("path", w[0], w[1]) {
+			t.Errorf("missing path(%s, %s)", w[0], w[1])
+		}
+	}
+	if p.Has("path", "a", "x") {
+		t.Error("spurious path(a, x)")
+	}
+}
+
+// Transitive closure against a reference Floyd-Warshall on random graphs.
+func TestTransitiveClosureRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		p := NewProgram()
+		p.MustParse(`
+			path(X, Y) :- edge(X, Y).
+			path(X, Z) :- path(X, Y), edge(Y, Z).
+		`)
+		for k := 0; k < n*2; k++ {
+			i, j := r.Intn(n), r.Intn(n)
+			adj[i][j] = true
+			p.AddFact("edge", fmt.Sprint(i), fmt.Sprint(j))
+		}
+		if err := p.Run(); err != nil {
+			t.Log(err)
+			return false
+		}
+		// Floyd-Warshall reachability.
+		reach := make([][]bool, n)
+		for i := range reach {
+			reach[i] = append([]bool{}, adj[i]...)
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if reach[i][k] && reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if p.Has("path", fmt.Sprint(i), fmt.Sprint(j)) != reach[i][j] {
+					t.Logf("seed %d: path(%d,%d) mismatch", seed, i, j)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegationStratified(t *testing.T) {
+	p := NewProgram()
+	p.MustParse(`
+		node(X) :- edge(X, _).
+		node(Y) :- edge(_, Y).
+		hasOut(X) :- edge(X, _).
+		sink(X) :- node(X), !hasOut(X).
+	`)
+	p.AddFact("edge", "a", "b")
+	p.AddFact("edge", "b", "c")
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Has("sink", "c") {
+		t.Error("c should be a sink")
+	}
+	if p.Has("sink", "a") || p.Has("sink", "b") {
+		t.Error("a/b are not sinks")
+	}
+}
+
+func TestUnstratifiableRejected(t *testing.T) {
+	p := NewProgram()
+	p.MustParse(`
+		win(X) :- move(X, Y), !win(Y).
+	`)
+	p.AddFact("move", "a", "b")
+	if err := p.Run(); err == nil {
+		t.Fatal("win-move is not stratifiable; Run must fail")
+	}
+}
+
+func TestUnsafeRuleRejected(t *testing.T) {
+	p := NewProgram()
+	if err := p.Parse(`bad(X) :- other(Y).`); err == nil {
+		t.Fatal("head variable unbound in body must be rejected")
+	}
+	p2 := NewProgram()
+	if err := p2.Parse(`ok(X) :- rel(X), !neg(Z).`); err == nil {
+		t.Fatal("negated atom with free variable must be rejected")
+	}
+}
+
+func TestConstantsInRules(t *testing.T) {
+	p := NewProgram()
+	p.MustParse(`
+		special(X) :- kind(X, "admin").
+		boot("init").
+	`)
+	p.AddFact("kind", "u1", "admin")
+	p.AddFact("kind", "u2", "user")
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Has("special", "u1") || p.Has("special", "u2") {
+		t.Error("constant matching failed")
+	}
+	if !p.Has("boot", "init") {
+		t.Error("fact-rule failed")
+	}
+}
+
+func TestWildcards(t *testing.T) {
+	p := NewProgram()
+	p.MustParse(`used(X) :- pair(X, _).`)
+	p.AddFact("pair", "a", "1")
+	p.AddFact("pair", "a", "2")
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Count("used") != 1 || !p.Has("used", "a") {
+		t.Errorf("wildcard projection wrong: %s", p.DumpRelation("used"))
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	p := NewProgram()
+	p.MustParse(`
+		even(X) :- zero(X).
+		even(Y) :- odd(X), succ(X, Y).
+		odd(Y) :- even(X), succ(X, Y).
+	`)
+	p.AddFact("zero", "0")
+	for i := 0; i < 9; i++ {
+		p.AddFact("succ", fmt.Sprint(i), fmt.Sprint(i+1))
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 9; i++ {
+		wantEven := i%2 == 0
+		if p.Has("even", fmt.Sprint(i)) != wantEven {
+			t.Errorf("even(%d) = %v, want %v", i, !wantEven, wantEven)
+		}
+		if p.Has("odd", fmt.Sprint(i)) == wantEven {
+			t.Errorf("odd(%d) wrong", i)
+		}
+	}
+}
+
+func TestArityMismatchRejected(t *testing.T) {
+	p := NewProgram()
+	p.MustParse(`r(X, Y) :- s(X, Y).`)
+	if err := p.Parse(`t(X) :- r(X).`); err == nil {
+		t.Fatal("arity conflict must be rejected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`missing dot(X) :- a(X)`,
+		`!neg(X) :- a(X).`,
+		`bad syntax here.`,
+		`unclosed(X :- a(X).`,
+		`str("unterminated) :- a(X).`,
+	} {
+		p := NewProgram()
+		if err := p.Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestSemiNaiveMatchesNaiveOnChains(t *testing.T) {
+	// A long chain stresses iteration count: path over 200 nodes.
+	p := NewProgram()
+	p.MustParse(`
+		path(X, Y) :- edge(X, Y).
+		path(X, Z) :- path(X, Y), edge(Y, Z).
+	`)
+	const n = 200
+	for i := 0; i < n; i++ {
+		p.AddFact("edge", fmt.Sprint(i), fmt.Sprint(i+1))
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Count("path"), (n+1)*n/2; got != want {
+		t.Fatalf("path count = %d, want %d", got, want)
+	}
+}
+
+func BenchmarkTransitiveClosureChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := NewProgram()
+		p.MustParse(`
+			path(X, Y) :- edge(X, Y).
+			path(X, Z) :- path(X, Y), edge(Y, Z).
+		`)
+		for j := 0; j < 100; j++ {
+			p.AddFact("edge", fmt.Sprint(j), fmt.Sprint(j+1))
+		}
+		if err := p.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run stratifies the program and evaluates every stratum to fixpoint with
+// semi-naive iteration. It returns an error if negation occurs inside a
+// recursive cycle (the program is not stratifiable).
+func (p *Program) Run() error {
+	strata, err := p.stratify()
+	if err != nil {
+		return err
+	}
+	for _, stratum := range strata {
+		p.evalStratum(stratum)
+	}
+	return nil
+}
+
+// stratify groups rules into evaluation strata. Relations are partitioned
+// into strongly connected components of the dependency graph; a negative
+// dependency inside an SCC is an error. Strata are SCCs in topological order.
+func (p *Program) stratify() ([][]*Rule, error) {
+	// Dependency edges: head depends on each body relation.
+	type dep struct {
+		to  string
+		neg bool
+	}
+	deps := map[string][]dep{}
+	for _, r := range p.rules {
+		for _, a := range r.Body {
+			deps[r.Head.Rel] = append(deps[r.Head.Rel], dep{to: a.Rel, neg: a.Neg})
+		}
+	}
+	// Tarjan SCC over all relations.
+	var names []string
+	for name := range p.rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	counter := 0
+	nComps := 0
+	var strongConnect func(v string)
+	strongConnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, d := range deps[v] {
+			w := d.to
+			if _, seen := index[w]; !seen {
+				strongConnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nComps
+				if w == v {
+					break
+				}
+			}
+			nComps++
+		}
+	}
+	for _, name := range names {
+		if _, seen := index[name]; !seen {
+			strongConnect(name)
+		}
+	}
+	// Negative edge within one SCC => unstratifiable.
+	for from, ds := range deps {
+		for _, d := range ds {
+			if d.neg && comp[from] == comp[d.to] {
+				return nil, fmt.Errorf("datalog: not stratifiable: %s depends negatively on %s within a cycle", from, d.to)
+			}
+		}
+	}
+	// Stratum number per component: longest-path layering so every dependency
+	// (and strictly every negative dependency) is in an earlier-or-equal
+	// stratum. Tarjan emits components in reverse topological order, so a
+	// simple pass assigning stratum = max(dep strata (+1 if crossing
+	// components)) converges by processing components in emission order.
+	compStratum := make([]int, nComps)
+	changed := true
+	for changed {
+		changed = false
+		for from, ds := range deps {
+			for _, d := range ds {
+				want := compStratum[comp[d.to]]
+				if comp[d.to] != comp[from] {
+					want++
+				}
+				if compStratum[comp[from]] < want {
+					compStratum[comp[from]] = want
+					changed = true
+				}
+			}
+		}
+	}
+	// Group rules by their head's stratum, ordered.
+	maxStratum := 0
+	for _, s := range compStratum {
+		if s > maxStratum {
+			maxStratum = s
+		}
+	}
+	out := make([][]*Rule, maxStratum+1)
+	for _, r := range p.rules {
+		s := compStratum[comp[r.Head.Rel]]
+		out[s] = append(out[s], r)
+	}
+	return out, nil
+}
+
+// evalStratum runs the stratum's rules to fixpoint. The first pass is naive
+// (all facts); subsequent passes are semi-naive, re-firing only rules whose
+// positive body atoms can match a tuple derived in the previous pass.
+func (p *Program) evalStratum(rules []*Rule) {
+	// delta: tuples derived in the previous iteration, per relation.
+	delta := map[string]map[string]bool{}
+	mark := func(rel string, tuple []Term, into map[string]map[string]bool) {
+		if into[rel] == nil {
+			into[rel] = map[string]bool{}
+		}
+		into[rel][key(tuple)] = true
+	}
+	// First pass: evaluate every rule against all current facts.
+	next := map[string]map[string]bool{}
+	for _, r := range rules {
+		p.fireRule(r, nil, func(tuple []Term) {
+			if p.rels[r.Head.Rel].insert(tuple) {
+				mark(r.Head.Rel, tuple, next)
+			}
+		})
+	}
+	for len(next) > 0 {
+		delta, next = next, map[string]map[string]bool{}
+		for _, r := range rules {
+			// Semi-naive: fire once per positive atom that has a delta.
+			for i, a := range r.Body {
+				if a.Neg || delta[a.Rel] == nil {
+					continue
+				}
+				p.fireRule(r, &seminaive{atomIdx: i, delta: delta[a.Rel]}, func(tuple []Term) {
+					if p.rels[r.Head.Rel].insert(tuple) {
+						mark(r.Head.Rel, tuple, next)
+					}
+				})
+			}
+		}
+	}
+}
+
+// seminaive restricts one body atom to the delta set.
+type seminaive struct {
+	atomIdx int
+	delta   map[string]bool
+}
+
+// fireRule enumerates all substitutions satisfying the rule body and emits
+// the corresponding head tuples.
+func (p *Program) fireRule(r *Rule, sn *seminaive, emit func([]Term)) {
+	env := map[string]Term{}
+	var solve func(i int)
+	solve = func(i int) {
+		if i == len(r.Body) {
+			tuple := make([]Term, len(r.Head.Args))
+			for k, arg := range r.Head.Args {
+				if arg.IsVar {
+					tuple[k] = env[arg.Var]
+				} else {
+					tuple[k] = arg.Const
+				}
+			}
+			emit(tuple)
+			return
+		}
+		atom := r.Body[i]
+		rel := p.rels[atom.Rel]
+		if atom.Neg {
+			tuple := make([]Term, len(atom.Args))
+			for k, arg := range atom.Args {
+				if arg.IsVar {
+					tuple[k] = env[arg.Var]
+				} else {
+					tuple[k] = arg.Const
+				}
+			}
+			if !rel.Has(tuple) {
+				solve(i + 1)
+			}
+			return
+		}
+		// Choose candidates: a bound column's index if available.
+		candidates := rel.tuples
+		for pos, arg := range atom.Args {
+			var bound Term
+			ok := false
+			if !arg.IsVar {
+				bound, ok = arg.Const, true
+			} else if arg.Var != "_" {
+				bound, ok = envLookup(env, arg.Var)
+			}
+			if ok {
+				candidates = rel.index(pos)[bound]
+				break
+			}
+		}
+		for _, tuple := range candidates {
+			if sn != nil && i == sn.atomIdx && !sn.delta[key(tuple)] {
+				continue
+			}
+			var bound []string
+			match := true
+			for k, arg := range atom.Args {
+				switch {
+				case !arg.IsVar:
+					if tuple[k] != arg.Const {
+						match = false
+					}
+				case arg.Var == "_":
+					// wildcard
+				default:
+					if v, ok := env[arg.Var]; ok {
+						if v != tuple[k] {
+							match = false
+						}
+					} else {
+						env[arg.Var] = tuple[k]
+						bound = append(bound, arg.Var)
+					}
+				}
+				if !match {
+					break
+				}
+			}
+			if match {
+				solve(i + 1)
+			}
+			for _, v := range bound {
+				delete(env, v)
+			}
+		}
+	}
+	solve(0)
+}
+
+func envLookup(env map[string]Term, v string) (Term, bool) {
+	t, ok := env[v]
+	return t, ok
+}

@@ -1,0 +1,225 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse adds rules written in conventional Datalog syntax:
+//
+//	path(X, Y) :- edge(X, Y).
+//	path(X, Z) :- path(X, Y), edge(Y, Z).
+//	reachable(S) :- statement(S), !guarded(S, _).
+//	fact("a", "b").
+//
+// Identifiers starting with an uppercase letter are variables; `_` is a
+// wildcard; quoted strings, bare lowercase identifiers in argument position,
+// and numbers are constants. `%` starts a line comment.
+func (p *Program) Parse(src string) error {
+	toks, err := tokenizeRules(src)
+	if err != nil {
+		return err
+	}
+	pos := 0
+	peek := func() ruleTok {
+		if pos < len(toks) {
+			return toks[pos]
+		}
+		return ruleTok{kind: tokEnd}
+	}
+	next := func() ruleTok {
+		t := peek()
+		if t.kind != tokEnd {
+			pos++
+		}
+		return t
+	}
+	expect := func(kind int, what string) (ruleTok, error) {
+		t := next()
+		if t.kind != kind {
+			return t, fmt.Errorf("datalog: line %d: expected %s, found %q", t.line, what, t.text)
+		}
+		return t, nil
+	}
+	parseAtom := func() (Atom, error) {
+		var a Atom
+		t := peek()
+		if t.kind == tokBang {
+			next()
+			a.Neg = true
+		}
+		name, err := expect(tokIdent, "relation name")
+		if err != nil {
+			return a, err
+		}
+		a.Rel = name.text
+		if _, err := expect(tokLParen, "'('"); err != nil {
+			return a, err
+		}
+		for peek().kind != tokRParen {
+			if len(a.Args) > 0 {
+				if _, err := expect(tokComma, "','"); err != nil {
+					return a, err
+				}
+			}
+			arg := next()
+			switch arg.kind {
+			case tokIdent:
+				first := rune(arg.text[0])
+				if arg.text == "_" || unicode.IsUpper(first) {
+					a.Args = append(a.Args, Arg{IsVar: true, Var: arg.text})
+				} else {
+					a.Args = append(a.Args, Arg{Const: p.Terms.Intern(arg.text)})
+				}
+			case tokString, tokNumber:
+				a.Args = append(a.Args, Arg{Const: p.Terms.Intern(arg.text)})
+			default:
+				return a, fmt.Errorf("datalog: line %d: expected an argument, found %q", arg.line, arg.text)
+			}
+		}
+		next() // ')'
+		return a, nil
+	}
+
+	for peek().kind != tokEnd {
+		head, err := parseAtom()
+		if err != nil {
+			return err
+		}
+		if head.Neg {
+			return fmt.Errorf("datalog: negated head in rule for %s", head.Rel)
+		}
+		rule := &Rule{Head: head}
+		if peek().kind == tokTurnstile {
+			next()
+			for {
+				atom, err := parseAtom()
+				if err != nil {
+					return err
+				}
+				rule.Body = append(rule.Body, atom)
+				if peek().kind == tokComma {
+					next()
+					continue
+				}
+				break
+			}
+		}
+		if _, err := expect(tokDot, "'.'"); err != nil {
+			return err
+		}
+		if err := p.AddRule(rule); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustParse is Parse that panics on error; for rule sets embedded in code.
+func (p *Program) MustParse(src string) {
+	if err := p.Parse(src); err != nil {
+		panic(err)
+	}
+}
+
+const (
+	tokEnd = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokBang
+	tokTurnstile
+)
+
+type ruleTok struct {
+	kind int
+	text string
+	line int
+}
+
+func tokenizeRules(src string) ([]ruleTok, error) {
+	var out []ruleTok
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '%':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(':
+			out = append(out, ruleTok{tokLParen, "(", line})
+			i++
+		case c == ')':
+			out = append(out, ruleTok{tokRParen, ")", line})
+			i++
+		case c == ',':
+			out = append(out, ruleTok{tokComma, ",", line})
+			i++
+		case c == '.':
+			out = append(out, ruleTok{tokDot, ".", line})
+			i++
+		case c == '!':
+			out = append(out, ruleTok{tokBang, "!", line})
+			i++
+		case c == ':' && i+1 < len(src) && src[i+1] == '-':
+			out = append(out, ruleTok{tokTurnstile, ":-", line})
+			i += 2
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, fmt.Errorf("datalog: line %d: unterminated string", line)
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("datalog: line %d: unterminated string", line)
+			}
+			out = append(out, ruleTok{tokString, src[i+1 : j], line})
+			i = j + 1
+		case isRuleIdent(c) || c == '_':
+			j := i
+			for j < len(src) && (isRuleIdent(src[j]) || src[j] == '_' || (src[j] >= '0' && src[j] <= '9')) {
+				j++
+			}
+			out = append(out, ruleTok{tokIdent, src[i:j], line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && ((src[j] >= '0' && src[j] <= '9') || src[j] == 'x' ||
+				(src[j] >= 'a' && src[j] <= 'f') || (src[j] >= 'A' && src[j] <= 'F')) {
+				j++
+			}
+			out = append(out, ruleTok{tokNumber, src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("datalog: line %d: unexpected character %q", line, string(c))
+		}
+	}
+	return out, nil
+}
+
+func isRuleIdent(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '$'
+}
+
+// DumpRelation renders a relation for debugging.
+func (p *Program) DumpRelation(rel string) string {
+	var b strings.Builder
+	for _, row := range p.Query(rel) {
+		fmt.Fprintf(&b, "%s(%s)\n", rel, strings.Join(row, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package decompiler
+
+import (
+	"sort"
+
+	"ethainter/internal/tac"
+	"ethainter/internal/u256"
+)
+
+// discoverFunctions finds public entry points by recognizing the standard
+// Solidity dispatch pattern: the 4-byte selector is extracted from
+// CALLDATALOAD(0) with SHR 224 (or DIV 2^224 in older compilers) and compared
+// against constants, each match jumping to a function body.
+func discoverFunctions(p *tac.Program) {
+	selectorVars := findSelectorVars(p)
+	if len(selectorVars) == 0 {
+		return
+	}
+	// A variable "carries the selector" if it is one of the extraction
+	// results or a phi fed (transitively) by one.
+	memoized := map[tac.VarID]bool{}
+	var reaches func(v tac.VarID) bool
+	reaches = func(v tac.VarID) bool {
+		if selectorVars[v] {
+			return true
+		}
+		if done, ok := memoized[v]; ok {
+			return done
+		}
+		memoized[v] = false // cycle guard
+		def := p.DefSite(v)
+		if def != nil && def.Op == tac.Phi {
+			for _, a := range def.Args {
+				if reaches(a) {
+					memoized[v] = true
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	type entry struct {
+		selector u256.U256
+		block    *tac.Block
+	}
+	var found []entry
+	seen := map[int]bool{} // dedupe per target pc
+	p.AllStmts(func(s *tac.Stmt) {
+		if s.Op != tac.Jumpi {
+			return
+		}
+		condDef := p.DefSite(s.Args[1])
+		if condDef == nil || condDef.Op != tac.Eq {
+			return
+		}
+		var c *tac.Stmt
+		var other tac.VarID
+		if d := p.DefSite(condDef.Args[0]); d != nil && d.Op == tac.Const {
+			c, other = d, condDef.Args[1]
+		} else if d := p.DefSite(condDef.Args[1]); d != nil && d.Op == tac.Const {
+			c, other = d, condDef.Args[0]
+		} else {
+			return
+		}
+		if c.Val.BitLen() > 32 || !reaches(other) {
+			return
+		}
+		// The JUMPI's jump successors (same pc as the const target) are the
+		// function entry. Successors that are the fallthrough have the pc of
+		// the next dispatcher block; disambiguate via the target constant.
+		targetDef := p.DefSite(s.Args[0])
+		if targetDef == nil || targetDef.Op != tac.Const || !targetDef.Val.IsUint64() {
+			return
+		}
+		targetPC := int(targetDef.Val.Uint64())
+		for _, succ := range s.Block.Succs {
+			if succ.PC == targetPC && !seen[succ.PC] {
+				seen[succ.PC] = true
+				found = append(found, entry{selector: c.Val, block: succ})
+			}
+		}
+	})
+	sort.Slice(found, func(i, j int) bool { return found[i].selector.Cmp(found[j].selector) < 0 })
+	for _, f := range found {
+		p.Functions = append(p.Functions, &tac.PublicFunction{Selector: f.selector, Entry: f.block})
+	}
+}
+
+// findSelectorVars locates variables that hold CALLDATALOAD(0) >> 224 (or the
+// equivalent division by 2^224).
+func findSelectorVars(p *tac.Program) map[tac.VarID]bool {
+	shift224 := u256.FromUint64(0xe0)
+	pow224 := u256.One.Shl(224)
+	out := map[tac.VarID]bool{}
+	isCD0 := func(v tac.VarID) bool {
+		d := p.DefSite(v)
+		if d == nil || d.Op != tac.Calldataload {
+			return false
+		}
+		off := p.DefSite(d.Args[0])
+		return off != nil && off.Op == tac.Const && off.Val.IsZero()
+	}
+	constEq := func(v tac.VarID, want u256.U256) bool {
+		d := p.DefSite(v)
+		return d != nil && d.Op == tac.Const && d.Val == want
+	}
+	p.AllStmts(func(s *tac.Stmt) {
+		switch s.Op {
+		case tac.Shr: // SHR(shift, value)
+			if constEq(s.Args[0], shift224) && isCD0(s.Args[1]) {
+				out[s.Def] = true
+			}
+		case tac.Div: // DIV(numerator, denominator)
+			if isCD0(s.Args[0]) && constEq(s.Args[1], pow224) {
+				out[s.Def] = true
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,140 @@
+package evm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ethainter/internal/u256"
+)
+
+// Assemble translates assembly text to bytecode. The syntax is one
+// instruction per line:
+//
+//	; comment, or // comment
+//	label:              ; defines a jump destination (emits JUMPDEST)
+//	PUSH1 0x40          ; sized push with hex or decimal immediate
+//	PUSH @label         ; auto-sized push of a label address
+//	PUSH 123            ; auto-sized push of a value
+//	JUMP
+//
+// Labels are resolved in a second pass. Because a label's byte address can
+// grow the size of the PUSH that references it, label pushes are encoded with
+// a fixed width of 2 bytes (sufficient for 64 KiB of code, far beyond the
+// contract size limit).
+func Assemble(src string) ([]byte, error) {
+	type labelRef struct {
+		patchAt int    // offset of the first immediate byte
+		name    string // label to resolve
+		line    int
+	}
+	var (
+		code   []byte
+		labels = make(map[string]int)
+		refs   []labelRef
+	)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSpace(strings.TrimSuffix(line, ":"))
+			if name == "" {
+				return nil, fmt.Errorf("asm line %d: empty label", lineNo+1)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("asm line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(code)
+			code = append(code, byte(JUMPDEST))
+			continue
+		}
+		fields := strings.Fields(line)
+		mnemonic := strings.ToUpper(fields[0])
+		switch {
+		case mnemonic == "PUSH" && len(fields) == 2 && strings.HasPrefix(fields[1], "@"):
+			code = append(code, byte(PushN(2)))
+			refs = append(refs, labelRef{patchAt: len(code), name: fields[1][1:], line: lineNo + 1})
+			code = append(code, 0, 0)
+		case mnemonic == "PUSH" && len(fields) == 2:
+			v, err := parseImmediate(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("asm line %d: %v", lineNo+1, err)
+			}
+			n := (v.BitLen() + 7) / 8
+			if n == 0 {
+				n = 1
+			}
+			code = append(code, byte(PushN(n)))
+			b := v.Bytes32()
+			code = append(code, b[32-n:]...)
+		case strings.HasPrefix(mnemonic, "PUSH"):
+			n, err := strconv.Atoi(mnemonic[4:])
+			if err != nil || n < 1 || n > 32 {
+				return nil, fmt.Errorf("asm line %d: bad push mnemonic %q", lineNo+1, mnemonic)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("asm line %d: %s needs an immediate", lineNo+1, mnemonic)
+			}
+			v, err := parseImmediate(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("asm line %d: %v", lineNo+1, err)
+			}
+			if (v.BitLen()+7)/8 > n {
+				return nil, fmt.Errorf("asm line %d: immediate %s does not fit in PUSH%d", lineNo+1, v, n)
+			}
+			code = append(code, byte(PushN(n)))
+			b := v.Bytes32()
+			code = append(code, b[32-n:]...)
+		default:
+			op, ok := OpByName(mnemonic)
+			if !ok {
+				return nil, fmt.Errorf("asm line %d: unknown mnemonic %q", lineNo+1, mnemonic)
+			}
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("asm line %d: %s takes no operand", lineNo+1, mnemonic)
+			}
+			code = append(code, byte(op))
+		}
+	}
+	for _, ref := range refs {
+		addr, ok := labels[ref.name]
+		if !ok {
+			return nil, fmt.Errorf("asm line %d: undefined label %q", ref.line, ref.name)
+		}
+		if addr > 0xffff {
+			return nil, fmt.Errorf("asm: label %q address %d exceeds 2-byte pushes", ref.name, addr)
+		}
+		code[ref.patchAt] = byte(addr >> 8)
+		code[ref.patchAt+1] = byte(addr)
+	}
+	return code, nil
+}
+
+func parseImmediate(s string) (u256.U256, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return u256.FromHex(s)
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return u256.Zero, fmt.Errorf("bad immediate %q: %w", s, err)
+	}
+	return u256.FromUint64(v), nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and fixtures.
+func MustAssemble(src string) []byte {
+	code, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return code
+}

@@ -1,0 +1,73 @@
+package evm
+
+import (
+	"fmt"
+	"strings"
+
+	"ethainter/internal/u256"
+)
+
+// Instruction is one decoded bytecode instruction.
+type Instruction struct {
+	PC  int       // byte offset of the opcode
+	Op  Op        // the opcode
+	Arg u256.U256 // immediate value for PUSH opcodes (zero otherwise)
+}
+
+// Size returns the encoded byte length of the instruction.
+func (ins Instruction) Size() int { return 1 + ins.Op.PushSize() }
+
+// String renders the instruction as "PC: MNEMONIC [arg]".
+func (ins Instruction) String() string {
+	if ins.Op.IsPush() {
+		return fmt.Sprintf("%5d: %s %s", ins.PC, ins.Op, ins.Arg)
+	}
+	return fmt.Sprintf("%5d: %s", ins.PC, ins.Op)
+}
+
+// Disassemble decodes code into an instruction list. PUSH immediates that run
+// off the end of the code are zero-padded, matching EVM execution semantics.
+// Undefined opcodes are kept (they behave as INVALID when executed).
+func Disassemble(code []byte) []Instruction {
+	var out []Instruction
+	for pc := 0; pc < len(code); {
+		op := Op(code[pc])
+		ins := Instruction{PC: pc, Op: op}
+		if n := op.PushSize(); n > 0 {
+			var imm [32]byte
+			end := pc + 1 + n
+			src := code[pc+1 : min(end, len(code))]
+			copy(imm[32-n:], src)
+			ins.Arg = u256.FromBytes32(imm)
+			pc = end
+		} else {
+			pc++
+		}
+		out = append(out, ins)
+	}
+	return out
+}
+
+// JumpDests returns the set of valid JUMPDEST byte offsets in code, honoring
+// the rule that a 0x5b inside a PUSH immediate is data, not a destination.
+func JumpDests(code []byte) map[int]bool {
+	dests := make(map[int]bool)
+	for pc := 0; pc < len(code); {
+		op := Op(code[pc])
+		if op == JUMPDEST {
+			dests[pc] = true
+		}
+		pc += 1 + op.PushSize()
+	}
+	return dests
+}
+
+// FormatDisassembly renders code as a human-readable listing.
+func FormatDisassembly(code []byte) string {
+	var b strings.Builder
+	for _, ins := range Disassemble(code) {
+		b.WriteString(ins.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,448 @@
+package evm_test
+
+import (
+	"errors"
+	"testing"
+
+	"ethainter/internal/chain"
+	"ethainter/internal/evm"
+	"ethainter/internal/u256"
+)
+
+// runCode deploys runtime code on a fresh chain and calls it once.
+func runCode(t *testing.T, asm string, input []byte) (*chain.Chain, *chain.Receipt, evm.Address) {
+	t.Helper()
+	code, err := evm.Assemble(asm)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(1_000_000))
+	addr := c.DeployRuntime(code, u256.Zero)
+	return c, c.Call(caller, addr, input, u256.Zero), addr
+}
+
+func wantWord(t *testing.T, r *chain.Receipt, want u256.U256) {
+	t.Helper()
+	if r.Err != nil {
+		t.Fatalf("call failed: %v (output %x)", r.Err, r.Output)
+	}
+	if len(r.Output) != 32 {
+		t.Fatalf("output length %d, want 32", len(r.Output))
+	}
+	if got := u256.FromBytes(r.Output); got != want {
+		t.Fatalf("output %s, want %s", got, want)
+	}
+}
+
+const returnTop = `
+	PUSH1 0x00
+	MSTORE
+	PUSH1 0x20
+	PUSH1 0x00
+	RETURN
+`
+
+func TestArithmeticProgram(t *testing.T) {
+	// (7 + 5) * 3 - 1 = 35
+	_, r, _ := runCode(t, `
+		PUSH1 0x05
+		PUSH1 0x07
+		ADD
+		PUSH1 0x03
+		MUL
+		PUSH1 0x01
+		SWAP1
+		SUB
+	`+returnTop, nil)
+	wantWord(t, r, u256.FromUint64(35))
+}
+
+func TestStackOpsDupSwap(t *testing.T) {
+	// DUP2 copies the second item; SWAP1 exchanges; result = 2*10 + 3 = 23.
+	_, r, _ := runCode(t, `
+		PUSH1 0x03
+		PUSH1 0x0a
+		DUP1
+		ADD        ; 20, 3
+		ADD        ; 23
+	`+returnTop, nil)
+	wantWord(t, r, u256.FromUint64(23))
+}
+
+func TestCalldataLoadAndSize(t *testing.T) {
+	input := make([]byte, 36)
+	input[3] = 0xaa  // selector area
+	input[35] = 0x2a // arg word = 42
+	_, r, _ := runCode(t, ` // return CALLDATALOAD(4) + CALLDATASIZE
+		PUSH1 0x04
+		CALLDATALOAD
+		CALLDATASIZE
+		ADD
+	`+returnTop, input)
+	wantWord(t, r, u256.FromUint64(42+36))
+}
+
+func TestCalldataLoadPastEndIsZeroPadded(t *testing.T) {
+	_, r, _ := runCode(t, `
+		PUSH1 0x64
+		CALLDATALOAD
+	`+returnTop, []byte{1, 2, 3})
+	wantWord(t, r, u256.Zero)
+}
+
+func TestJumpAndLoop(t *testing.T) {
+	// Sum 1..5 with a loop: i in slot of stack, acc in memory 0x20.
+	_, r, _ := runCode(t, `
+		PUSH1 0x05      ; i = 5
+	loop:
+		DUP1
+		ISZERO
+		PUSH @done
+		JUMPI
+		DUP1            ; acc += i
+		PUSH1 0x20
+		MLOAD
+		ADD
+		PUSH1 0x20
+		MSTORE
+		PUSH1 0x01      ; i -= 1
+		SWAP1
+		SUB
+		PUSH @loop
+		JUMP
+	done:
+		POP
+		PUSH1 0x20
+		MLOAD
+	`+returnTop, nil)
+	wantWord(t, r, u256.FromUint64(15))
+}
+
+func TestInvalidJumpFails(t *testing.T) {
+	_, r, _ := runCode(t, `
+		PUSH1 0x03
+		JUMP
+		STOP
+	`, nil)
+	if !errors.Is(r.Err, evm.ErrInvalidJump) {
+		t.Fatalf("err = %v, want ErrInvalidJump", r.Err)
+	}
+}
+
+func TestJumpIntoPushImmediateFails(t *testing.T) {
+	// 0x5b hidden inside a PUSH immediate is not a valid destination.
+	code := []byte{byte(evm.PUSH1), byte(evm.JUMPDEST), byte(evm.PUSH1), 0x01, byte(evm.JUMP)}
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(1000))
+	addr := c.DeployRuntime(code, u256.Zero)
+	r := c.Call(caller, addr, nil, u256.Zero)
+	if !errors.Is(r.Err, evm.ErrInvalidJump) {
+		t.Fatalf("err = %v, want ErrInvalidJump", r.Err)
+	}
+}
+
+func TestStorageRoundTrip(t *testing.T) {
+	c, r, addr := runCode(t, `
+		PUSH1 0x2a
+		PUSH1 0x07
+		SSTORE
+		PUSH1 0x07
+		SLOAD
+	`+returnTop, nil)
+	wantWord(t, r, u256.FromUint64(42))
+	if got := c.State.GetState(addr, u256.FromUint64(7)); got != u256.FromUint64(42) {
+		t.Fatalf("persisted storage = %s", got)
+	}
+}
+
+func TestRevertRollsBackStorage(t *testing.T) {
+	c, r, addr := runCode(t, `
+		PUSH1 0x2a
+		PUSH1 0x07
+		SSTORE
+		PUSH1 0x00
+		PUSH1 0x00
+		REVERT
+	`, nil)
+	if !errors.Is(r.Err, evm.ErrExecutionReverted) {
+		t.Fatalf("err = %v, want revert", r.Err)
+	}
+	if got := c.State.GetState(addr, u256.FromUint64(7)); !got.IsZero() {
+		t.Fatalf("storage not rolled back: %s", got)
+	}
+}
+
+func TestCallerAndAddressOpcodes(t *testing.T) {
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(1000))
+	code := evm.MustAssemble(`
+		CALLER
+	` + returnTop)
+	addr := c.DeployRuntime(code, u256.Zero)
+	r := c.Call(caller, addr, nil, u256.Zero)
+	wantWord(t, r, caller.Word())
+}
+
+func TestSelfdestructMovesBalanceAndRemovesCode(t *testing.T) {
+	c := chain.New()
+	attacker := c.NewAccount(u256.FromUint64(100))
+	code := evm.MustAssemble(`
+		CALLER
+		SELFDESTRUCT
+	`)
+	victim := c.DeployRuntime(code, u256.FromUint64(5000))
+	r := c.Call(attacker, victim, nil, u256.Zero)
+	if r.Err != nil {
+		t.Fatalf("call: %v", r.Err)
+	}
+	if len(r.Destroyed) != 1 || r.Destroyed[0] != victim {
+		t.Fatalf("Destroyed = %v", r.Destroyed)
+	}
+	if !c.IsDestroyed(victim) {
+		t.Fatal("victim should be destroyed")
+	}
+	if got := c.State.GetBalance(attacker); got != u256.FromUint64(5100) {
+		t.Fatalf("attacker balance = %s, want 5100", got)
+	}
+}
+
+func TestInnerCallTransfersValueAndReturnsData(t *testing.T) {
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(1000))
+	// Callee returns CALLVALUE.
+	callee := c.DeployRuntime(evm.MustAssemble(`
+		CALLVALUE
+	`+returnTop), u256.Zero)
+	// Caller forwards 7 wei and returns the callee's output.
+	calleeWord := callee.Word()
+	callerCode := evm.MustAssemble(`
+		PUSH1 0x20     ; outLen
+		PUSH1 0x00     ; outOff
+		PUSH1 0x00     ; inLen
+		PUSH1 0x00     ; inOff
+		PUSH1 0x07     ; value
+		PUSH20 ` + calleeWord.String() + `
+		GAS
+		CALL
+		POP
+		PUSH1 0x20
+		PUSH1 0x00
+		RETURN
+	`)
+	proxy := c.DeployRuntime(callerCode, u256.FromUint64(50))
+	r := c.Call(caller, proxy, nil, u256.Zero)
+	wantWord(t, r, u256.FromUint64(7))
+	if got := c.State.GetBalance(callee); got != u256.FromUint64(7) {
+		t.Fatalf("callee balance = %s", got)
+	}
+}
+
+func TestDelegatecallRunsInCallerStorage(t *testing.T) {
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(1000))
+	// Library writes 99 to slot 0.
+	lib := c.DeployRuntime(evm.MustAssemble(`
+		PUSH1 0x63
+		PUSH1 0x00
+		SSTORE
+		STOP
+	`), u256.Zero)
+	proxyCode := evm.MustAssemble(`
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH20 ` + lib.Word().String() + `
+		GAS
+		DELEGATECALL
+		POP
+		STOP
+	`)
+	proxy := c.DeployRuntime(proxyCode, u256.Zero)
+	if r := c.Call(caller, proxy, nil, u256.Zero); r.Err != nil {
+		t.Fatalf("call: %v", r.Err)
+	}
+	if got := c.State.GetState(proxy, u256.Zero); got != u256.FromUint64(0x63) {
+		t.Fatalf("proxy slot0 = %s, want 0x63 (delegatecall must write caller storage)", got)
+	}
+	if got := c.State.GetState(lib, u256.Zero); !got.IsZero() {
+		t.Fatalf("lib slot0 = %s, want 0 (library storage untouched)", got)
+	}
+}
+
+func TestStaticcallBlocksWrites(t *testing.T) {
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(1000))
+	writer := c.DeployRuntime(evm.MustAssemble(`
+		PUSH1 0x01
+		PUSH1 0x00
+		SSTORE
+		STOP
+	`), u256.Zero)
+	proxyCode := evm.MustAssemble(`
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH20 ` + writer.Word().String() + `
+		GAS
+		STATICCALL
+	` + returnTop)
+	proxy := c.DeployRuntime(proxyCode, u256.Zero)
+	r := c.Call(caller, proxy, nil, u256.Zero)
+	// The inner frame fails; the outer call must see success=0.
+	wantWord(t, r, u256.Zero)
+	if got := c.State.GetState(writer, u256.Zero); !got.IsZero() {
+		t.Fatalf("static call wrote storage: %s", got)
+	}
+}
+
+// The 0x-exchange bug shape: a STATICCALL whose callee returns fewer bytes
+// than the output size leaves the rest of the output buffer holding the
+// untrusted input. This test pins that semantics (the vulnerability the
+// "unchecked tainted staticcall" analysis detects).
+func TestStaticcallShortReturnLeavesInputInBuffer(t *testing.T) {
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(1000))
+	empty := c.DeployRuntime(evm.MustAssemble(`STOP`), u256.Zero) // returns 0 bytes
+	proxyCode := evm.MustAssemble(`
+		PUSH1 0x2a      ; write "attacker input" 42 at memory 0
+		PUSH1 0x00
+		MSTORE
+		PUSH1 0x20      ; outLen = 32, outOff = 0 (over input)
+		PUSH1 0x00
+		PUSH1 0x20      ; inLen = 32, inOff = 0
+		PUSH1 0x00
+		PUSH20 ` + empty.Word().String() + `
+		GAS
+		STATICCALL
+		POP
+		PUSH1 0x00      ; "isValid := mload(cdStart)"
+		MLOAD
+	` + returnTop)
+	proxy := c.DeployRuntime(proxyCode, u256.Zero)
+	r := c.Call(caller, proxy, nil, u256.Zero)
+	wantWord(t, r, u256.FromUint64(42)) // input read back as output
+}
+
+func TestReturndataSizeAndCopy(t *testing.T) {
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(1000))
+	callee := c.DeployRuntime(evm.MustAssemble(`
+		PUSH1 0x11
+	`+returnTop), u256.Zero)
+	proxyCode := evm.MustAssemble(`
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH20 ` + callee.Word().String() + `
+		GAS
+		STATICCALL
+		POP
+		RETURNDATASIZE  ; 32
+		PUSH1 0x00
+		PUSH1 0x40
+		RETURNDATACOPY  ; copy return word to 0x40
+		PUSH1 0x40
+		MLOAD
+		RETURNDATASIZE
+		ADD             ; 0x11 + 32 = 49
+	` + returnTop)
+	proxy := c.DeployRuntime(proxyCode, u256.Zero)
+	r := c.Call(caller, proxy, nil, u256.Zero)
+	wantWord(t, r, u256.FromUint64(49))
+}
+
+func TestOutOfGasOnInfiniteLoop(t *testing.T) {
+	_, r, _ := runCode(t, `
+	loop:
+		PUSH @loop
+		JUMP
+	`, nil)
+	if !errors.Is(r.Err, evm.ErrOutOfGas) {
+		t.Fatalf("err = %v, want ErrOutOfGas", r.Err)
+	}
+}
+
+func TestHugeMemoryOffsetDiesAsOutOfGas(t *testing.T) {
+	_, r, _ := runCode(t, `
+		PUSH1 0x01
+		PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff
+		MSTORE
+	`, nil)
+	if !errors.Is(r.Err, evm.ErrOutOfGas) {
+		t.Fatalf("err = %v, want ErrOutOfGas", r.Err)
+	}
+}
+
+func TestSha3Opcode(t *testing.T) {
+	// keccak256(pad32(0)) — the mapping-slot hash for key 0, slot 0 would be
+	// keccak over 64 bytes; here hash 32 zero bytes and compare low byte.
+	_, r, _ := runCode(t, `
+		PUSH1 0x20
+		PUSH1 0x00
+		SHA3
+	`+returnTop, nil)
+	if r.Err != nil {
+		t.Fatalf("call: %v", r.Err)
+	}
+	want := u256.MustHex("0x290decd9548b62a8d60345a988386fc84ba6bc95484008f6362f93160ef3e563")
+	if got := u256.FromBytes(r.Output); got != want {
+		t.Fatalf("keccak(32 zero bytes) = %s, want %s", got, want)
+	}
+}
+
+func TestValueTransferInsufficientFunds(t *testing.T) {
+	c := chain.New()
+	poor := c.NewAccount(u256.FromUint64(5))
+	target := c.NewAccount(u256.Zero)
+	r := c.Call(poor, target, nil, u256.FromUint64(100))
+	if !errors.Is(r.Err, evm.ErrInsufficientFunds) {
+		t.Fatalf("err = %v", r.Err)
+	}
+	if got := c.State.GetBalance(poor); got != u256.FromUint64(5) {
+		t.Fatalf("balance changed: %s", got)
+	}
+}
+
+func TestCreateDeploysReturnedCode(t *testing.T) {
+	c := chain.New()
+	creator := c.NewAccount(u256.FromUint64(1000))
+	// Init code returns a 1-byte runtime: STOP.
+	init := evm.MustAssemble(`
+		PUSH1 0x00      ; STOP opcode byte
+		PUSH1 0x00
+		MSTORE8
+		PUSH1 0x01
+		PUSH1 0x00
+		RETURN
+	`)
+	r := c.Deploy(creator, init, u256.Zero)
+	if r.Err != nil {
+		t.Fatalf("deploy: %v", r.Err)
+	}
+	if code := c.State.GetCode(r.Created); len(code) != 1 || code[0] != byte(evm.STOP) {
+		t.Fatalf("deployed code = %x", code)
+	}
+}
+
+func TestTraceRecordsSelfdestruct(t *testing.T) {
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(100))
+	victim := c.DeployRuntime(evm.MustAssemble(`
+		CALLER
+		SELFDESTRUCT
+	`), u256.Zero)
+	r := c.Call(caller, victim, nil, u256.Zero)
+	found := false
+	for _, e := range r.Trace {
+		if e.Op == evm.SELFDESTRUCT && e.Contract == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("trace missing SELFDESTRUCT entry")
+	}
+}

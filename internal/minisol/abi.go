@@ -1,0 +1,97 @@
+package minisol
+
+import (
+	"fmt"
+
+	"ethainter/internal/crypto"
+	"ethainter/internal/u256"
+)
+
+// FuncABI describes one public function's external interface.
+type FuncABI struct {
+	Name     string
+	Sig      string // canonical signature, e.g. "transfer(address,uint256)"
+	Selector [4]byte
+	Params   []*Type
+	Ret      *Type // nil for void
+	Payable  bool
+}
+
+// SelectorOf computes the 4-byte function selector of a canonical signature.
+func SelectorOf(sig string) [4]byte {
+	h := crypto.Keccak256([]byte(sig))
+	var s [4]byte
+	copy(s[:], h[:4])
+	return s
+}
+
+// SelectorWord returns the selector as it appears on the EVM stack after
+// `CALLDATALOAD(0) >> 224`.
+func (a FuncABI) SelectorWord() u256.U256 {
+	return u256.FromBytes(a.Selector[:])
+}
+
+// EncodeCall builds calldata for the function: selector followed by one
+// 32-byte word per argument.
+func (a FuncABI) EncodeCall(args ...u256.U256) ([]byte, error) {
+	if len(args) != len(a.Params) {
+		return nil, fmt.Errorf("minisol: %s takes %d arguments, got %d", a.Sig, len(a.Params), len(args))
+	}
+	out := make([]byte, 4+32*len(args))
+	copy(out, a.Selector[:])
+	for i, arg := range args {
+		w := arg.Bytes32()
+		copy(out[4+32*i:], w[:])
+	}
+	return out, nil
+}
+
+// MustEncodeCall is EncodeCall that panics on arity mismatch.
+func (a FuncABI) MustEncodeCall(args ...u256.U256) []byte {
+	b, err := a.EncodeCall(args...)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// DecodeReturnWord extracts the single return word from call output.
+func DecodeReturnWord(out []byte) (u256.U256, error) {
+	if len(out) < 32 {
+		return u256.Zero, fmt.Errorf("minisol: return data too short: %d bytes", len(out))
+	}
+	return u256.FromBytes(out[:32]), nil
+}
+
+// ABIOf derives the external interface of the contract's public functions.
+func ABIOf(c *Contract) []FuncABI {
+	var out []FuncABI
+	for _, fn := range c.Functions {
+		if !fn.Public {
+			continue
+		}
+		sig := fn.Signature()
+		abi := FuncABI{
+			Name:     fn.Name,
+			Sig:      sig,
+			Selector: SelectorOf(sig),
+			Ret:      fn.Ret,
+			Payable:  fn.Payable,
+		}
+		for _, p := range fn.Params {
+			abi.Params = append(abi.Params, p.Type)
+		}
+		out = append(out, abi)
+	}
+	return out
+}
+
+// FindABI returns the ABI entry for name, if present.
+func FindABI(abis []FuncABI, name string) (FuncABI, bool) {
+	for _, a := range abis {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return FuncABI{}, false
+}

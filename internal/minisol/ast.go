@@ -1,0 +1,365 @@
+package minisol
+
+import "fmt"
+
+// Type is a minisol type: an elementary type, a (possibly nested) mapping, or
+// a fixed-size array.
+type Type struct {
+	Kind TypeKind
+	Key  *Type // mapping key (elementary)
+	Val  *Type // mapping or array element type
+	Len  int   // array length
+}
+
+// TypeKind enumerates the type constructors.
+type TypeKind int
+
+// Type kinds.
+const (
+	TyUint TypeKind = iota
+	TyAddress
+	TyBool
+	TyMapping
+	TyArray
+)
+
+// Elementary type singletons.
+var (
+	Uint256T = &Type{Kind: TyUint}
+	AddressT = &Type{Kind: TyAddress}
+	BoolT    = &Type{Kind: TyBool}
+)
+
+// Elementary reports whether t fits in one storage word.
+func (t *Type) Elementary() bool { return t.Kind != TyMapping && t.Kind != TyArray }
+
+// Slots returns the number of consecutive storage slots a state variable of
+// this type reserves (the Solidity layout: one per elementary/mapping head,
+// Len for fixed arrays).
+func (t *Type) Slots() int {
+	if t.Kind == TyArray {
+		return t.Len
+	}
+	return 1
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TyMapping:
+		return t.Key.Equal(o.Key) && t.Val.Equal(o.Val)
+	case TyArray:
+		return t.Len == o.Len && t.Val.Equal(o.Val)
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TyUint:
+		return "uint256"
+	case TyAddress:
+		return "address"
+	case TyBool:
+		return "bool"
+	case TyMapping:
+		return fmt.Sprintf("mapping(%s => %s)", t.Key, t.Val)
+	case TyArray:
+		return fmt.Sprintf("%s[%d]", t.Val, t.Len)
+	}
+	return "?"
+}
+
+// Contract is a parsed contract.
+type Contract struct {
+	Name      string
+	Vars      []*StateVar
+	Modifiers []*Modifier
+	Functions []*Function
+	Ctor      *Function // nil if absent
+}
+
+// StateVar is a contract-level variable. Slot is assigned by declaration
+// order, matching the Solidity storage layout.
+type StateVar struct {
+	Name string
+	Type *Type
+	Slot int
+	Init Expr // optional initializer (constant expression), applied at deploy
+}
+
+// Modifier is a function modifier with a single `_;` placeholder.
+type Modifier struct {
+	Name string
+	Body []Stmt // contains exactly one *PlaceholderStmt
+	Line int
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// Function is a contract function (or constructor when Name == "").
+type Function struct {
+	Name      string
+	Params    []*Param
+	Ret       *Type // nil for void
+	Public    bool
+	Payable   bool
+	Modifiers []string
+	Body      []Stmt
+	Line      int
+	// Cells is the number of 32-byte memory cells (params, locals, hoisted
+	// temporaries) the function needs; set by Check.
+	Cells int
+}
+
+// Signature returns the canonical ABI signature, e.g. "kill()" or
+// "transfer(address,uint256)".
+func (f *Function) Signature() string {
+	s := f.Name + "("
+	for i, p := range f.Params {
+		if i > 0 {
+			s += ","
+		}
+		s += p.Type.String()
+	}
+	return s + ")"
+}
+
+// --- Statements ---
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares and initializes a local variable.
+type DeclStmt struct {
+	Name string
+	Type *Type
+	Init Expr
+	Line int
+	// binding is the memory-cell binding allocated by the checker.
+	binding *Binding
+}
+
+// AssignStmt assigns to an lvalue. Op is '=' for plain assignment, '+' or '-'
+// for the compound forms.
+type AssignStmt struct {
+	LHS  Expr // *IdentExpr or *IndexExpr
+	Op   byte
+	RHS  Expr
+	Line int
+}
+
+// IfStmt is a conditional.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt is a loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// RequireStmt is require(e) or assert(e): revert unless e holds.
+type RequireStmt struct {
+	Cond     Expr
+	IsAssert bool
+	Line     int
+}
+
+// RevertStmt aborts unconditionally.
+type RevertStmt struct{ Line int }
+
+// ReturnStmt exits the function, optionally with a value.
+type ReturnStmt struct {
+	Value Expr // nil for bare return
+	Line  int
+}
+
+// ExprStmt evaluates an expression for effect (internal or builtin call).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// SelfdestructStmt is selfdestruct(beneficiary).
+type SelfdestructStmt struct {
+	Beneficiary Expr
+	Line        int
+}
+
+// DelegatecallStmt is the low-level `delegatecall(target);` builtin: a
+// DELEGATECALL with empty calldata, result discarded. It models the
+// inline-assembly usage of the paper's "tainted delegatecall" examples.
+type DelegatecallStmt struct {
+	Target Expr
+	Line   int
+}
+
+// TransferStmt is `send(to, amount);`: a value-bearing CALL with empty
+// calldata; reverts on failure (the semantics of Solidity's
+// `to.transfer(amount)`).
+type TransferStmt struct {
+	To     Expr
+	Amount Expr
+	Line   int
+}
+
+// PlaceholderStmt is the `_;` inside a modifier body.
+type PlaceholderStmt struct{ Line int }
+
+func (*DeclStmt) stmtNode()         {}
+func (*AssignStmt) stmtNode()       {}
+func (*IfStmt) stmtNode()           {}
+func (*WhileStmt) stmtNode()        {}
+func (*RequireStmt) stmtNode()      {}
+func (*RevertStmt) stmtNode()       {}
+func (*ReturnStmt) stmtNode()       {}
+func (*ExprStmt) stmtNode()         {}
+func (*SelfdestructStmt) stmtNode() {}
+func (*DelegatecallStmt) stmtNode() {}
+func (*TransferStmt) stmtNode()     {}
+func (*PlaceholderStmt) stmtNode()  {}
+
+// --- Expressions ---
+
+// Expr is an expression node. Checked expressions carry their type.
+type Expr interface {
+	exprNode()
+	// Type returns the checked type (nil before checking).
+	Type() *Type
+}
+
+type typed struct{ ty *Type }
+
+func (t *typed) Type() *Type { return t.ty }
+
+// NumberExpr is an integer literal (uint256).
+type NumberExpr struct {
+	typed
+	Text string
+	Line int
+}
+
+// BoolExpr is true/false.
+type BoolExpr struct {
+	typed
+	Value bool
+	Line  int
+}
+
+// IdentExpr references a local, parameter, or state variable.
+type IdentExpr struct {
+	typed
+	Name string
+	Line int
+	// Resolved binding, set by the checker.
+	Binding *Binding
+}
+
+// Binding records what an identifier resolves to.
+type Binding struct {
+	Kind     BindKind
+	StateVar *StateVar // for BindState
+	LocalIdx int       // for BindLocal/BindParam: memory cell index
+	Ty       *Type
+}
+
+// BindKind enumerates identifier binding kinds.
+type BindKind int
+
+// Binding kinds.
+const (
+	BindState BindKind = iota
+	BindLocal
+	BindParam
+)
+
+// MsgExpr is msg.sender or msg.value.
+type MsgExpr struct {
+	typed
+	Field string // "sender" or "value"
+	Line  int
+}
+
+// BlockExpr is block.number or block.timestamp.
+type BlockExpr struct {
+	typed
+	Field string
+	Line  int
+}
+
+// ThisExpr is `this` (the contract's own address).
+type ThisExpr struct {
+	typed
+	Line int
+}
+
+// IndexExpr is base[key] on a mapping.
+type IndexExpr struct {
+	typed
+	Base Expr
+	Key  Expr
+	Line int
+}
+
+// BinaryExpr is a binary operation; Op is the token kind.
+type BinaryExpr struct {
+	typed
+	Op   TokKind
+	L, R Expr
+	Line int
+}
+
+// UnaryExpr is !x or -x.
+type UnaryExpr struct {
+	typed
+	Op   TokKind
+	X    Expr
+	Line int
+}
+
+// CallExpr calls an internal function or a builtin.
+type CallExpr struct {
+	typed
+	Name string
+	Args []Expr
+	Line int
+	// Resolved target for internal calls; nil for builtins.
+	Target *Function
+	// Builtin is set for recognized builtins: "balance", "keccak256",
+	// "staticcall_unchecked", "staticcall_checked", "address", "uint256".
+	Builtin string
+}
+
+// Builtin names recognized by the checker.
+var builtinNames = map[string]bool{
+	"balance":              true, // balance(address) -> uint256
+	"keccak256":            true, // keccak256(word) -> uint256
+	"staticcall_unchecked": true, // 0x-style staticcall, NO returndatasize check
+	"staticcall_checked":   true, // same call with the post-fix check
+	"address":              true, // cast
+	"uint256":              true, // cast
+}
+
+func (*NumberExpr) exprNode() {}
+func (*BoolExpr) exprNode()   {}
+func (*IdentExpr) exprNode()  {}
+func (*MsgExpr) exprNode()    {}
+func (*BlockExpr) exprNode()  {}
+func (*ThisExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}

@@ -1,0 +1,730 @@
+package minisol
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Check resolves names, inlines modifiers, type-checks the contract, and
+// lowers internal calls to statement position. It mutates the AST in place
+// (bindings, types, rewritten bodies) and must run before Compile.
+func Check(c *Contract) error {
+	ck := &checker{contract: c}
+	ck.modifiers = make(map[string]*Modifier, len(c.Modifiers))
+	for _, m := range c.Modifiers {
+		if _, dup := ck.modifiers[m.Name]; dup {
+			return fmt.Errorf("minisol: duplicate modifier %q", m.Name)
+		}
+		ck.modifiers[m.Name] = m
+	}
+	ck.functions = make(map[string]*Function, len(c.Functions))
+	ck.stateVars = make(map[string]*StateVar, len(c.Vars))
+	for _, v := range c.Vars {
+		if _, dup := ck.stateVars[v.Name]; dup {
+			return fmt.Errorf("minisol: duplicate state variable %q", v.Name)
+		}
+		ck.stateVars[v.Name] = v
+		if v.Type.Kind == TyMapping && !mappingValOK(v.Type.Val) {
+			return fmt.Errorf("minisol: mapping %q values must be elementary or mappings", v.Name)
+		}
+		if v.Init != nil {
+			if !v.Type.Elementary() {
+				return fmt.Errorf("minisol: %s %q cannot have an initializer", v.Type, v.Name)
+			}
+			if !isConstExpr(v.Init) {
+				return fmt.Errorf("minisol: initializer of %q must be a constant", v.Name)
+			}
+			ck.scopes = []map[string]*Binding{{}}
+			init, _, err := ck.checkExpr(v.Init, false)
+			ck.scopes = nil
+			if err != nil {
+				return err
+			}
+			if !init.Type().Equal(v.Type) {
+				return fmt.Errorf("minisol: cannot initialize %s %q with %s", v.Type, v.Name, init.Type())
+			}
+			v.Init = init
+		}
+	}
+	for _, fn := range c.Functions {
+		if _, dup := ck.functions[fn.Name]; dup {
+			return fmt.Errorf("minisol: duplicate function %q", fn.Name)
+		}
+		if builtinNames[fn.Name] || fn.Name == "delegatecall" || fn.Name == "send" {
+			return fmt.Errorf("minisol: function name %q collides with a builtin", fn.Name)
+		}
+		ck.functions[fn.Name] = fn
+	}
+	// Inline modifiers, then check each function.
+	all := append([]*Function{}, c.Functions...)
+	if c.Ctor != nil {
+		all = append(all, c.Ctor)
+	}
+	for _, fn := range all {
+		if len(fn.Modifiers) > 0 {
+			body, err := ck.inlineModifiers(fn)
+			if err != nil {
+				return err
+			}
+			fn.Body = body
+			fn.Modifiers = nil
+		}
+	}
+	for _, fn := range all {
+		if err := ck.checkFunction(fn); err != nil {
+			return err
+		}
+	}
+	if err := ck.rejectRecursion(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func isConstExpr(e Expr) bool {
+	switch e := e.(type) {
+	case *NumberExpr, *BoolExpr:
+		return true
+	case *CallExpr:
+		// address(0)-style constant casts.
+		if (e.Name == "address" || e.Name == "uint256") && len(e.Args) == 1 {
+			return isConstExpr(e.Args[0])
+		}
+	}
+	return false
+}
+
+type checker struct {
+	contract  *Contract
+	modifiers map[string]*Modifier
+	functions map[string]*Function
+	stateVars map[string]*StateVar
+
+	// Per-function state.
+	fn       *Function
+	scopes   []map[string]*Binding
+	nextCell int
+	tempSeq  int
+	calls    map[string]map[string]bool // caller -> callees (for recursion check)
+}
+
+// inlineModifiers expands the function's modifier chain around its body,
+// deep-copying each modifier body so bindings stay per-function.
+func (ck *checker) inlineModifiers(fn *Function) ([]Stmt, error) {
+	body := fn.Body
+	for i := len(fn.Modifiers) - 1; i >= 0; i-- {
+		m, ok := ck.modifiers[fn.Modifiers[i]]
+		if !ok {
+			return nil, fmt.Errorf("minisol:%d: unknown modifier %q on %s", fn.Line, fn.Modifiers[i], fn.Name)
+		}
+		body = substitutePlaceholder(copyStmts(m.Body), body)
+	}
+	return body, nil
+}
+
+func substitutePlaceholder(stmts, replacement []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *PlaceholderStmt:
+			out = append(out, replacement...)
+		case *IfStmt:
+			s.Then = substitutePlaceholder(s.Then, replacement)
+			s.Else = substitutePlaceholder(s.Else, replacement)
+			out = append(out, s)
+		case *WhileStmt:
+			s.Body = substitutePlaceholder(s.Body, replacement)
+			out = append(out, s)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// copyStmts deep-copies statements (expressions included) so each modifier
+// inlining gets fresh nodes.
+func copyStmts(stmts []Stmt) []Stmt {
+	out := make([]Stmt, len(stmts))
+	for i, s := range stmts {
+		out[i] = copyStmt(s)
+	}
+	return out
+}
+
+func copyStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *DeclStmt:
+		return &DeclStmt{Name: s.Name, Type: s.Type, Init: copyExpr(s.Init), Line: s.Line}
+	case *AssignStmt:
+		return &AssignStmt{LHS: copyExpr(s.LHS), Op: s.Op, RHS: copyExpr(s.RHS), Line: s.Line}
+	case *IfStmt:
+		return &IfStmt{Cond: copyExpr(s.Cond), Then: copyStmts(s.Then), Else: copyStmts(s.Else), Line: s.Line}
+	case *WhileStmt:
+		return &WhileStmt{Cond: copyExpr(s.Cond), Body: copyStmts(s.Body), Line: s.Line}
+	case *RequireStmt:
+		return &RequireStmt{Cond: copyExpr(s.Cond), IsAssert: s.IsAssert, Line: s.Line}
+	case *RevertStmt:
+		return &RevertStmt{Line: s.Line}
+	case *ReturnStmt:
+		return &ReturnStmt{Value: copyExpr(s.Value), Line: s.Line}
+	case *ExprStmt:
+		return &ExprStmt{X: copyExpr(s.X), Line: s.Line}
+	case *SelfdestructStmt:
+		return &SelfdestructStmt{Beneficiary: copyExpr(s.Beneficiary), Line: s.Line}
+	case *DelegatecallStmt:
+		return &DelegatecallStmt{Target: copyExpr(s.Target), Line: s.Line}
+	case *TransferStmt:
+		return &TransferStmt{To: copyExpr(s.To), Amount: copyExpr(s.Amount), Line: s.Line}
+	case *PlaceholderStmt:
+		return &PlaceholderStmt{Line: s.Line}
+	}
+	panic(fmt.Sprintf("minisol: copyStmt: unknown statement %T", s))
+}
+
+func copyExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *NumberExpr:
+		return &NumberExpr{Text: e.Text, Line: e.Line}
+	case *BoolExpr:
+		return &BoolExpr{Value: e.Value, Line: e.Line}
+	case *IdentExpr:
+		return &IdentExpr{Name: e.Name, Line: e.Line}
+	case *MsgExpr:
+		return &MsgExpr{Field: e.Field, Line: e.Line}
+	case *BlockExpr:
+		return &BlockExpr{Field: e.Field, Line: e.Line}
+	case *ThisExpr:
+		return &ThisExpr{Line: e.Line}
+	case *IndexExpr:
+		return &IndexExpr{Base: copyExpr(e.Base), Key: copyExpr(e.Key), Line: e.Line}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: e.Op, L: copyExpr(e.L), R: copyExpr(e.R), Line: e.Line}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: e.Op, X: copyExpr(e.X), Line: e.Line}
+	case *CallExpr:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = copyExpr(a)
+		}
+		return &CallExpr{Name: e.Name, Args: args, Line: e.Line}
+	}
+	panic(fmt.Sprintf("minisol: copyExpr: unknown expression %T", e))
+}
+
+func (ck *checker) errf(line int, format string, args ...any) error {
+	where := ck.contract.Name
+	if ck.fn != nil {
+		if ck.fn.Name == "" {
+			where += ".constructor"
+		} else {
+			where += "." + ck.fn.Name
+		}
+	}
+	return fmt.Errorf("minisol:%d: %s: %s", line, where, fmt.Sprintf(format, args...))
+}
+
+func (ck *checker) pushScope() { ck.scopes = append(ck.scopes, map[string]*Binding{}) }
+func (ck *checker) popScope()  { ck.scopes = ck.scopes[:len(ck.scopes)-1] }
+
+func (ck *checker) declare(name string, kind BindKind, ty *Type, line int) (*Binding, error) {
+	top := ck.scopes[len(ck.scopes)-1]
+	if _, dup := top[name]; dup {
+		return nil, ck.errf(line, "duplicate declaration of %q", name)
+	}
+	b := &Binding{Kind: kind, LocalIdx: ck.nextCell, Ty: ty}
+	ck.nextCell++
+	top[name] = b
+	return b, nil
+}
+
+func (ck *checker) lookup(name string) *Binding {
+	for i := len(ck.scopes) - 1; i >= 0; i-- {
+		if b, ok := ck.scopes[i][name]; ok {
+			return b
+		}
+	}
+	if v, ok := ck.stateVars[name]; ok {
+		return &Binding{Kind: BindState, StateVar: v, Ty: v.Type}
+	}
+	return nil
+}
+
+func (ck *checker) checkFunction(fn *Function) error {
+	ck.fn = fn
+	ck.scopes = nil
+	ck.nextCell = 0
+	ck.tempSeq = 0
+	ck.pushScope()
+	defer ck.popScope()
+	for _, p := range fn.Params {
+		if _, err := ck.declare(p.Name, BindParam, p.Type, fn.Line); err != nil {
+			return err
+		}
+	}
+	body, err := ck.checkStmts(fn.Body)
+	if err != nil {
+		return err
+	}
+	fn.Body = body
+	fn.Cells = ck.nextCell
+	return nil
+}
+
+// checkStmts checks a statement list, returning the (possibly rewritten) list
+// with internal calls hoisted to statement position.
+func (ck *checker) checkStmts(stmts []Stmt) ([]Stmt, error) {
+	var out []Stmt
+	for _, s := range stmts {
+		hoisted, checked, err := ck.checkStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, hoisted...)
+		out = append(out, checked)
+	}
+	return out, nil
+}
+
+// checkStmt returns hoisted prelude statements (temp declarations for
+// internal calls) plus the checked statement.
+func (ck *checker) checkStmt(s Stmt) (prelude []Stmt, checked Stmt, err error) {
+	switch s := s.(type) {
+	case *DeclStmt:
+		if !s.Type.Elementary() {
+			return nil, nil, ck.errf(s.Line, "local variables must be elementary, not %s", s.Type)
+		}
+		if s.Init != nil {
+			s.Init, prelude, err = ck.checkExpr(s.Init, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !s.Init.Type().Equal(s.Type) {
+				return nil, nil, ck.errf(s.Line, "cannot initialize %s with %s", s.Type, s.Init.Type())
+			}
+		}
+		b, err := ck.declare(s.Name, BindLocal, s.Type, s.Line)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.binding = b
+		return prelude, s, nil
+	case *AssignStmt:
+		var pre2 []Stmt
+		s.RHS, prelude, err = ck.checkExpr(s.RHS, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.LHS, pre2, err = ck.checkExpr(s.LHS, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		prelude = append(prelude, pre2...)
+		if err := ck.checkAssignable(s.LHS, s.Line); err != nil {
+			return nil, nil, err
+		}
+		if s.Op != '=' && s.LHS.Type().Kind != TyUint {
+			return nil, nil, ck.errf(s.Line, "compound assignment needs uint256, got %s", s.LHS.Type())
+		}
+		if !s.LHS.Type().Equal(s.RHS.Type()) {
+			return nil, nil, ck.errf(s.Line, "cannot assign %s to %s", s.RHS.Type(), s.LHS.Type())
+		}
+		return prelude, s, nil
+	case *IfStmt:
+		s.Cond, prelude, err = ck.checkExpr(s.Cond, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		if s.Cond.Type().Kind != TyBool {
+			return nil, nil, ck.errf(s.Line, "if condition must be bool, got %s", s.Cond.Type())
+		}
+		ck.pushScope()
+		s.Then, err = ck.checkStmts(s.Then)
+		ck.popScope()
+		if err != nil {
+			return nil, nil, err
+		}
+		ck.pushScope()
+		s.Else, err = ck.checkStmts(s.Else)
+		ck.popScope()
+		if err != nil {
+			return nil, nil, err
+		}
+		return prelude, s, nil
+	case *WhileStmt:
+		var pre []Stmt
+		s.Cond, pre, err = ck.checkExpr(s.Cond, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(pre) > 0 {
+			return nil, nil, ck.errf(s.Line, "internal calls are not allowed in while conditions")
+		}
+		if s.Cond.Type().Kind != TyBool {
+			return nil, nil, ck.errf(s.Line, "while condition must be bool, got %s", s.Cond.Type())
+		}
+		ck.pushScope()
+		s.Body, err = ck.checkStmts(s.Body)
+		ck.popScope()
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, s, nil
+	case *RequireStmt:
+		s.Cond, prelude, err = ck.checkExpr(s.Cond, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		if s.Cond.Type().Kind != TyBool {
+			return nil, nil, ck.errf(s.Line, "require condition must be bool, got %s", s.Cond.Type())
+		}
+		return prelude, s, nil
+	case *RevertStmt:
+		return nil, s, nil
+	case *ReturnStmt:
+		if s.Value != nil {
+			s.Value, prelude, err = ck.checkExpr(s.Value, true)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		switch {
+		case ck.fn.Ret == nil && s.Value != nil:
+			return nil, nil, ck.errf(s.Line, "function returns nothing")
+		case ck.fn.Ret != nil && s.Value == nil:
+			return nil, nil, ck.errf(s.Line, "function must return %s", ck.fn.Ret)
+		case ck.fn.Ret != nil && !s.Value.Type().Equal(ck.fn.Ret):
+			return nil, nil, ck.errf(s.Line, "cannot return %s as %s", s.Value.Type(), ck.fn.Ret)
+		}
+		return prelude, s, nil
+	case *ExprStmt:
+		// A bare internal call stays in place (it IS at statement position);
+		// other expressions are checked for effect.
+		if call, ok := s.X.(*CallExpr); ok {
+			checkedCall, pre, err := ck.checkCall(call, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.X = checkedCall
+			return pre, s, nil
+		}
+		s.X, prelude, err = ck.checkExpr(s.X, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		return prelude, s, nil
+	case *SelfdestructStmt:
+		s.Beneficiary, prelude, err = ck.checkExpr(s.Beneficiary, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		if s.Beneficiary.Type().Kind != TyAddress {
+			return nil, nil, ck.errf(s.Line, "selfdestruct needs an address, got %s", s.Beneficiary.Type())
+		}
+		return prelude, s, nil
+	case *DelegatecallStmt:
+		s.Target, prelude, err = ck.checkExpr(s.Target, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		if s.Target.Type().Kind != TyAddress {
+			return nil, nil, ck.errf(s.Line, "delegatecall needs an address, got %s", s.Target.Type())
+		}
+		return prelude, s, nil
+	case *TransferStmt:
+		var pre2 []Stmt
+		s.To, prelude, err = ck.checkExpr(s.To, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.Amount, pre2, err = ck.checkExpr(s.Amount, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		prelude = append(prelude, pre2...)
+		if s.To.Type().Kind != TyAddress || s.Amount.Type().Kind != TyUint {
+			return nil, nil, ck.errf(s.Line, "transfer needs (address, uint256)")
+		}
+		return prelude, s, nil
+	case *PlaceholderStmt:
+		return nil, nil, ck.errf(s.Line, "`_;` outside a modifier")
+	}
+	return nil, nil, ck.errf(0, "unknown statement %T", s)
+}
+
+func (ck *checker) checkAssignable(e Expr, line int) error {
+	switch e := e.(type) {
+	case *IdentExpr:
+		if e.Binding.Kind == BindState && !e.Binding.StateVar.Type.Elementary() {
+			return ck.errf(line, "cannot assign to a whole %s", e.Binding.StateVar.Type)
+		}
+		return nil
+	case *IndexExpr:
+		if !e.Type().Elementary() {
+			return ck.errf(line, "cannot assign to a whole %s", e.Type())
+		}
+		return nil
+	}
+	return ck.errf(line, "expression is not assignable")
+}
+
+// checkExpr type-checks e. When hoist is true, internal calls inside e are
+// replaced by temporaries declared in the returned prelude.
+func (ck *checker) checkExpr(e Expr, hoist bool) (Expr, []Stmt, error) {
+	switch e := e.(type) {
+	case *NumberExpr:
+		e.ty = Uint256T
+		return e, nil, nil
+	case *BoolExpr:
+		e.ty = BoolT
+		return e, nil, nil
+	case *IdentExpr:
+		b := ck.lookup(e.Name)
+		if b == nil {
+			return nil, nil, ck.errf(e.Line, "undefined identifier %q", e.Name)
+		}
+		e.Binding = b
+		e.ty = b.Ty
+		return e, nil, nil
+	case *MsgExpr:
+		if e.Field == "sender" {
+			e.ty = AddressT
+		} else {
+			e.ty = Uint256T
+		}
+		return e, nil, nil
+	case *BlockExpr:
+		e.ty = Uint256T
+		return e, nil, nil
+	case *ThisExpr:
+		e.ty = AddressT
+		return e, nil, nil
+	case *IndexExpr:
+		base, pre1, err := ck.checkExpr(e.Base, hoist)
+		if err != nil {
+			return nil, nil, err
+		}
+		key, pre2, err := ck.checkExpr(e.Key, hoist)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.Base, e.Key = base, key
+		switch base.Type().Kind {
+		case TyMapping:
+			if !key.Type().Equal(base.Type().Key) {
+				return nil, nil, ck.errf(e.Line, "mapping key must be %s, got %s", base.Type().Key, key.Type())
+			}
+		case TyArray:
+			if key.Type().Kind != TyUint {
+				return nil, nil, ck.errf(e.Line, "array index must be uint256, got %s", key.Type())
+			}
+		default:
+			return nil, nil, ck.errf(e.Line, "cannot index %s", base.Type())
+		}
+		e.ty = base.Type().Val
+		return e, append(pre1, pre2...), nil
+	case *BinaryExpr:
+		l, pre1, err := ck.checkExpr(e.L, hoist)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, pre2, err := ck.checkExpr(e.R, hoist)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.L, e.R = l, r
+		pre := append(pre1, pre2...)
+		lt, rt := l.Type(), r.Type()
+		switch e.Op {
+		case TokAndAnd, TokOrOr:
+			if lt.Kind != TyBool || rt.Kind != TyBool {
+				return nil, nil, ck.errf(e.Line, "logical operator needs bool operands")
+			}
+			e.ty = BoolT
+		case TokEq, TokNeq:
+			if !lt.Equal(rt) || !lt.Elementary() {
+				return nil, nil, ck.errf(e.Line, "cannot compare %s and %s", lt, rt)
+			}
+			e.ty = BoolT
+		case TokLt, TokGt, TokLe, TokGe:
+			if lt.Kind != TyUint || rt.Kind != TyUint {
+				return nil, nil, ck.errf(e.Line, "ordering needs uint256 operands, got %s and %s", lt, rt)
+			}
+			e.ty = BoolT
+		default: // arithmetic / bitwise / shifts
+			if lt.Kind != TyUint || rt.Kind != TyUint {
+				return nil, nil, ck.errf(e.Line, "arithmetic needs uint256 operands, got %s and %s", lt, rt)
+			}
+			e.ty = Uint256T
+		}
+		return e, pre, nil
+	case *UnaryExpr:
+		x, pre, err := ck.checkExpr(e.X, hoist)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.X = x
+		if e.Op == TokBang {
+			if x.Type().Kind != TyBool {
+				return nil, nil, ck.errf(e.Line, "! needs bool")
+			}
+			e.ty = BoolT
+		} else {
+			if x.Type().Kind != TyUint {
+				return nil, nil, ck.errf(e.Line, "unary - needs uint256")
+			}
+			e.ty = Uint256T
+		}
+		return e, pre, nil
+	case *CallExpr:
+		return ck.checkCall(e, hoist)
+	}
+	return nil, nil, ck.errf(0, "unknown expression %T", e)
+}
+
+// checkCall checks a call. For internal calls with hoist=true, the call is
+// replaced by a temporary local.
+func (ck *checker) checkCall(e *CallExpr, hoist bool) (Expr, []Stmt, error) {
+	var prelude []Stmt
+	for i, a := range e.Args {
+		ca, pre, err := ck.checkExpr(a, hoist)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.Args[i] = ca
+		prelude = append(prelude, pre...)
+	}
+	if builtinNames[e.Name] {
+		e.Builtin = e.Name
+		switch e.Name {
+		case "balance":
+			if len(e.Args) != 1 || e.Args[0].Type().Kind != TyAddress {
+				return nil, nil, ck.errf(e.Line, "balance(address)")
+			}
+			e.ty = Uint256T
+		case "keccak256":
+			if len(e.Args) != 1 || e.Args[0].Type().Kind != TyUint {
+				return nil, nil, ck.errf(e.Line, "keccak256(uint256)")
+			}
+			e.ty = Uint256T
+		case "staticcall_unchecked", "staticcall_checked":
+			if len(e.Args) != 2 || e.Args[0].Type().Kind != TyAddress || e.Args[1].Type().Kind != TyUint {
+				return nil, nil, ck.errf(e.Line, "%s(address, uint256)", e.Name)
+			}
+			e.ty = Uint256T
+		case "address":
+			if len(e.Args) != 1 || !e.Args[0].Type().Elementary() {
+				return nil, nil, ck.errf(e.Line, "address(x) needs an elementary value")
+			}
+			e.ty = AddressT
+		case "uint256":
+			if len(e.Args) != 1 || !e.Args[0].Type().Elementary() {
+				return nil, nil, ck.errf(e.Line, "uint256(x) needs an elementary value")
+			}
+			e.ty = Uint256T
+		}
+		return e, prelude, nil
+	}
+	target, ok := ck.functions[e.Name]
+	if !ok {
+		return nil, nil, ck.errf(e.Line, "call to undefined function %q", e.Name)
+	}
+	if target.Public {
+		return nil, nil, ck.errf(e.Line, "internal calls to public functions are not supported (make %q internal)", e.Name)
+	}
+	if len(e.Args) != len(target.Params) {
+		return nil, nil, ck.errf(e.Line, "%s takes %d arguments, got %d", e.Name, len(target.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		if !a.Type().Equal(target.Params[i].Type) {
+			return nil, nil, ck.errf(e.Line, "argument %d of %s must be %s, got %s", i+1, e.Name, target.Params[i].Type, a.Type())
+		}
+	}
+	e.Target = target
+	if target.Ret != nil {
+		e.ty = target.Ret
+	}
+	ck.recordCall(ck.fn, target)
+	if !hoist {
+		return e, prelude, nil
+	}
+	if target.Ret == nil {
+		return nil, nil, ck.errf(e.Line, "void function %q used as a value", e.Name)
+	}
+	// Hoist: tmp := call; use tmp.
+	ck.tempSeq++
+	tmpName := fmt.Sprintf("$t%d", ck.tempSeq)
+	b, err := ck.declare(tmpName, BindLocal, target.Ret, e.Line)
+	if err != nil {
+		return nil, nil, err
+	}
+	decl := &DeclStmt{Name: tmpName, Type: target.Ret, Init: e, Line: e.Line, binding: b}
+	prelude = append(prelude, decl)
+	use := &IdentExpr{Name: tmpName, Line: e.Line, Binding: b}
+	use.ty = target.Ret
+	return use, prelude, nil
+}
+
+func (ck *checker) recordCall(from, to *Function) {
+	if ck.calls == nil {
+		ck.calls = map[string]map[string]bool{}
+	}
+	name := from.Name
+	if name == "" {
+		name = "<constructor>"
+	}
+	if ck.calls[name] == nil {
+		ck.calls[name] = map[string]bool{}
+	}
+	ck.calls[name][to.Name] = true
+}
+
+// rejectRecursion fails on call-graph cycles: frames live at fixed memory
+// offsets, so recursion would corrupt locals.
+func (ck *checker) rejectRecursion() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var path []string
+	var visit func(name string) error
+	visit = func(name string) error {
+		color[name] = gray
+		path = append(path, name)
+		for callee := range ck.calls[name] {
+			switch color[callee] {
+			case gray:
+				return fmt.Errorf("minisol: recursion is not supported: %s -> %s", strings.Join(path, " -> "), callee)
+			case white:
+				if err := visit(callee); err != nil {
+					return err
+				}
+			}
+		}
+		color[name] = black
+		path = path[:len(path)-1]
+		return nil
+	}
+	for name := range ck.calls {
+		if color[name] == white {
+			if err := visit(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mappingValOK restricts mapping values to single-word types or nested
+// mappings (the layouts the storage addressing scheme supports).
+func mappingValOK(t *Type) bool {
+	if t.Kind == TyMapping {
+		return mappingValOK(t.Val)
+	}
+	return t.Elementary()
+}

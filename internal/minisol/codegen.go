@@ -1,0 +1,888 @@
+package minisol
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"ethainter/internal/evm"
+	"ethainter/internal/u256"
+)
+
+// Memory layout of compiled contracts:
+//
+//	0x00..0x3f  hash scratch (mapping slot computation, return buffer)
+//	0x40..0x7f  external-call buffer (delegatecall/staticcall/transfer)
+//	0x80...     function frames: one 32-byte cell per param/local/temp,
+//	            plus one return-value cell per function. Frames are at
+//	            fixed, per-function offsets (recursion is rejected).
+const (
+	scratchBase = 0x00
+	callBuf     = 0x40
+	frameStart  = 0x80
+)
+
+// Compiled is the output of compilation.
+type Compiled struct {
+	Contract *Contract
+	Runtime  []byte // code executed by transactions
+	Deploy   []byte // init code: constructor + CODECOPY of runtime
+	ABI      []FuncABI
+	Source   string // original source when compiled via CompileSource
+}
+
+// CompileSource parses, checks, and compiles a contract.
+func CompileSource(src string) (*Compiled, error) {
+	c, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(c); err != nil {
+		return nil, err
+	}
+	out, err := Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	out.Source = src
+	return out, nil
+}
+
+// MustCompile is CompileSource that panics on error; for tests and fixtures.
+func MustCompile(src string) *Compiled {
+	out, err := CompileSource(src)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Compile generates bytecode for a checked contract.
+func Compile(c *Contract) (*Compiled, error) {
+	cg := newCodegen(c)
+	runtime, err := cg.runtime()
+	if err != nil {
+		return nil, err
+	}
+	deploy, err := cg.deploy(runtime)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Contract: c, Runtime: runtime, Deploy: deploy, ABI: ABIOf(c)}, nil
+}
+
+// --- emitter: bytecode buffer with label fixups ---
+
+type fixup struct {
+	at    int // offset of the two immediate bytes
+	label string
+}
+
+type emitter struct {
+	code   []byte
+	labels map[string]int
+	fixups []fixup
+	seq    int
+}
+
+func newEmitter() *emitter { return &emitter{labels: map[string]int{}} }
+
+func (e *emitter) op(ops ...evm.Op) {
+	for _, op := range ops {
+		e.code = append(e.code, byte(op))
+	}
+}
+
+// push emits a minimally-sized PUSH of v.
+func (e *emitter) push(v u256.U256) {
+	n := (v.BitLen() + 7) / 8
+	if n == 0 {
+		n = 1
+	}
+	e.code = append(e.code, byte(evm.PushN(n)))
+	b := v.Bytes32()
+	e.code = append(e.code, b[32-n:]...)
+}
+
+func (e *emitter) pushInt(n uint64) { e.push(u256.FromUint64(n)) }
+
+// pushLabel emits a PUSH2 of a label address, patched at finish.
+func (e *emitter) pushLabel(name string) {
+	e.code = append(e.code, byte(evm.PushN(2)))
+	e.fixups = append(e.fixups, fixup{at: len(e.code), label: name})
+	e.code = append(e.code, 0, 0)
+}
+
+// label defines name at the current offset and emits a JUMPDEST.
+func (e *emitter) label(name string) {
+	if _, dup := e.labels[name]; dup {
+		panic(fmt.Sprintf("minisol: duplicate label %q", name))
+	}
+	e.labels[name] = len(e.code)
+	e.op(evm.JUMPDEST)
+}
+
+func (e *emitter) fresh(prefix string) string {
+	e.seq++
+	return fmt.Sprintf("%s_%d", prefix, e.seq)
+}
+
+func (e *emitter) finish() ([]byte, error) {
+	for _, f := range e.fixups {
+		addr, ok := e.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("minisol: undefined label %q", f.label)
+		}
+		if addr > 0xffff {
+			return nil, fmt.Errorf("minisol: code too large: label %q at %d", f.label, addr)
+		}
+		e.code[f.at] = byte(addr >> 8)
+		e.code[f.at+1] = byte(addr)
+	}
+	return e.code, nil
+}
+
+// --- code generator ---
+
+type codegen struct {
+	c         *Contract
+	e         *emitter
+	frameBase map[string]int // function name ("" = ctor) -> frame byte offset
+	retCell   map[string]int // function name -> return-cell byte offset
+	fn        *Function      // function being generated
+	inCtor    bool
+}
+
+func newCodegen(c *Contract) *codegen {
+	cg := &codegen{c: c, frameBase: map[string]int{}, retCell: map[string]int{}}
+	offset := frameStart
+	assign := func(fn *Function) {
+		cg.frameBase[fn.Name] = offset
+		offset += 32 * fn.Cells
+		cg.retCell[fn.Name] = offset
+		offset += 32
+	}
+	for _, fn := range c.Functions {
+		assign(fn)
+	}
+	if c.Ctor != nil {
+		assign(c.Ctor)
+	}
+	return cg
+}
+
+func (cg *codegen) cellAddr(b *Binding) uint64 {
+	return uint64(cg.frameBase[cg.fn.Name] + 32*b.LocalIdx)
+}
+
+var addressMask = u256.One.Shl(160).Sub(u256.One)
+
+// runtime emits the dispatcher, public function bodies, and internal
+// functions.
+func (cg *codegen) runtime() ([]byte, error) {
+	cg.e = newEmitter()
+	e := cg.e
+
+	// Dispatcher: selector := calldataload(0) >> 224.
+	e.pushInt(0)
+	e.op(evm.CALLDATALOAD)
+	e.pushInt(0xe0)
+	e.op(evm.SHR)
+	var publics []*Function
+	for _, fn := range cg.c.Functions {
+		if fn.Public {
+			publics = append(publics, fn)
+		}
+	}
+	// Deterministic dispatch order (by selector) like solc.
+	sort.Slice(publics, func(i, j int) bool {
+		a, b := SelectorOf(publics[i].Signature()), SelectorOf(publics[j].Signature())
+		return strings.Compare(string(a[:]), string(b[:])) < 0
+	})
+	for _, fn := range publics {
+		sel := SelectorOf(fn.Signature())
+		e.op(evm.DUP1)
+		e.push(u256.FromBytes(sel[:]))
+		e.op(evm.EQ)
+		e.pushLabel("pub_" + fn.Name)
+		e.op(evm.JUMPI)
+	}
+	// Fallback: revert.
+	cg.emitRevert()
+
+	for _, fn := range publics {
+		if err := cg.publicFunction(fn); err != nil {
+			return nil, err
+		}
+	}
+	for _, fn := range cg.c.Functions {
+		if fn.Public {
+			continue
+		}
+		if err := cg.internalFunction(fn); err != nil {
+			return nil, err
+		}
+	}
+	return e.finish()
+}
+
+func (cg *codegen) emitRevert() {
+	cg.e.pushInt(0)
+	cg.e.pushInt(0)
+	cg.e.op(evm.REVERT)
+}
+
+func (cg *codegen) publicFunction(fn *Function) error {
+	cg.fn = fn
+	e := cg.e
+	e.label("pub_" + fn.Name)
+	e.op(evm.POP) // drop the dispatcher's selector copy
+	if !fn.Payable {
+		// Non-payable check, as solc emits it.
+		ok := e.fresh("nonpay")
+		e.op(evm.CALLVALUE, evm.ISZERO)
+		e.pushLabel(ok)
+		e.op(evm.JUMPI)
+		cg.emitRevert()
+		e.label(ok)
+	}
+	// Load parameters from calldata into frame cells.
+	for i, p := range fn.Params {
+		e.pushInt(uint64(4 + 32*i))
+		e.op(evm.CALLDATALOAD)
+		if p.Type.Kind == TyAddress {
+			e.push(addressMask)
+			e.op(evm.AND)
+		}
+		if p.Type.Kind == TyBool {
+			e.op(evm.ISZERO, evm.ISZERO) // normalize to 0/1
+		}
+		e.pushInt(uint64(cg.frameBase[fn.Name] + 32*i))
+		e.op(evm.MSTORE)
+	}
+	if err := cg.stmts(fn.Body); err != nil {
+		return err
+	}
+	// Implicit end: void functions STOP; value functions return zero.
+	if fn.Ret == nil {
+		e.op(evm.STOP)
+	} else {
+		e.pushInt(0)
+		cg.emitReturnWord()
+	}
+	return nil
+}
+
+// emitReturnWord returns the word on top of the stack as the 32-byte output.
+func (cg *codegen) emitReturnWord() {
+	e := cg.e
+	e.pushInt(scratchBase)
+	e.op(evm.MSTORE)
+	e.pushInt(32)
+	e.pushInt(scratchBase)
+	e.op(evm.RETURN)
+}
+
+func (cg *codegen) internalFunction(fn *Function) error {
+	cg.fn = fn
+	e := cg.e
+	e.label("fn_" + fn.Name)
+	// Zero the return cell so fall-through returns are defined.
+	if fn.Ret != nil {
+		e.pushInt(0)
+		e.pushInt(uint64(cg.retCell[fn.Name]))
+		e.op(evm.MSTORE)
+	}
+	if err := cg.stmts(fn.Body); err != nil {
+		return err
+	}
+	e.label("fnexit_" + fn.Name)
+	e.op(evm.JUMP) // return address is the only stack residue
+	return nil
+}
+
+// deploy builds init code: state-variable initializers, the constructor body,
+// then CODECOPY + RETURN of the runtime appended after the init code.
+func (cg *codegen) deploy(runtime []byte) ([]byte, error) {
+	cg.e = newEmitter()
+	e := cg.e
+	ctor := cg.c.Ctor
+	if ctor == nil {
+		ctor = &Function{Name: "", Line: 0}
+		cg.frameBase[""] = frameStart
+		cg.retCell[""] = frameStart
+	}
+	cg.fn = ctor
+	cg.inCtor = true
+	defer func() { cg.inCtor = false }()
+
+	for _, v := range cg.c.Vars {
+		if v.Init == nil {
+			continue
+		}
+		if err := cg.expr(v.Init); err != nil {
+			return nil, err
+		}
+		e.pushInt(uint64(v.Slot))
+		e.op(evm.SSTORE)
+	}
+	if err := cg.stmts(ctor.Body); err != nil {
+		return nil, err
+	}
+	// CODECOPY(0, runtimeStart, len) ; RETURN(0, len). The runtime offset is
+	// only known after the epilogue is emitted, so patch it via a label-like
+	// fixup: emit with placeholder PUSH2s and resolve manually.
+	e.labels["__runtime_len"] = len(runtime)
+	e.pushLabel("__runtime_len")
+	e.pushLabel("__runtime_start")
+	e.pushInt(0)
+	e.op(evm.CODECOPY)
+	e.pushLabel("__runtime_len")
+	e.pushInt(0)
+	e.op(evm.RETURN)
+	e.labels["__runtime_start"] = len(e.code)
+	init, err := e.finish()
+	if err != nil {
+		return nil, err
+	}
+	return append(init, runtime...), nil
+}
+
+// --- statements ---
+
+func (cg *codegen) stmts(list []Stmt) error {
+	for _, s := range list {
+		if err := cg.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cg *codegen) stmt(s Stmt) error {
+	e := cg.e
+	switch s := s.(type) {
+	case *DeclStmt:
+		b := cg.lookupLocal(s)
+		if call, ok := s.Init.(*CallExpr); ok && call.Target != nil {
+			if err := cg.internalCall(call, true); err != nil {
+				return err
+			}
+		} else if s.Init != nil {
+			if err := cg.expr(s.Init); err != nil {
+				return err
+			}
+		} else {
+			e.pushInt(0)
+		}
+		e.pushInt(uint64(cg.frameBase[cg.fn.Name] + 32*b.LocalIdx))
+		e.op(evm.MSTORE)
+		return nil
+	case *AssignStmt:
+		return cg.assign(s)
+	case *IfStmt:
+		if err := cg.expr(s.Cond); err != nil {
+			return err
+		}
+		thenL, endL := e.fresh("then"), e.fresh("endif")
+		e.pushLabel(thenL)
+		e.op(evm.JUMPI)
+		if err := cg.stmts(s.Else); err != nil {
+			return err
+		}
+		e.pushLabel(endL)
+		e.op(evm.JUMP)
+		e.label(thenL)
+		if err := cg.stmts(s.Then); err != nil {
+			return err
+		}
+		e.label(endL)
+		return nil
+	case *WhileStmt:
+		startL, bodyL, endL := e.fresh("loop"), e.fresh("body"), e.fresh("endloop")
+		e.label(startL)
+		if err := cg.expr(s.Cond); err != nil {
+			return err
+		}
+		e.pushLabel(bodyL)
+		e.op(evm.JUMPI)
+		e.pushLabel(endL)
+		e.op(evm.JUMP)
+		e.label(bodyL)
+		if err := cg.stmts(s.Body); err != nil {
+			return err
+		}
+		e.pushLabel(startL)
+		e.op(evm.JUMP)
+		e.label(endL)
+		return nil
+	case *RequireStmt:
+		if err := cg.expr(s.Cond); err != nil {
+			return err
+		}
+		ok := e.fresh("req")
+		e.pushLabel(ok)
+		e.op(evm.JUMPI)
+		if s.IsAssert {
+			e.op(evm.INVALID)
+		} else {
+			cg.emitRevert()
+		}
+		e.label(ok)
+		return nil
+	case *RevertStmt:
+		cg.emitRevert()
+		return nil
+	case *ReturnStmt:
+		if cg.inCtor {
+			return fmt.Errorf("minisol:%d: return is not allowed in constructors", s.Line)
+		}
+		if cg.fn.Public {
+			if s.Value == nil {
+				e.op(evm.STOP)
+				return nil
+			}
+			if err := cg.expr(s.Value); err != nil {
+				return err
+			}
+			cg.emitReturnWord()
+			return nil
+		}
+		if s.Value != nil {
+			if err := cg.expr(s.Value); err != nil {
+				return err
+			}
+			e.pushInt(uint64(cg.retCell[cg.fn.Name]))
+			e.op(evm.MSTORE)
+		}
+		e.pushLabel("fnexit_" + cg.fn.Name)
+		e.op(evm.JUMP)
+		return nil
+	case *ExprStmt:
+		if call, ok := s.X.(*CallExpr); ok && call.Target != nil {
+			return cg.internalCall(call, false)
+		}
+		if err := cg.expr(s.X); err != nil {
+			return err
+		}
+		e.op(evm.POP)
+		return nil
+	case *SelfdestructStmt:
+		if err := cg.expr(s.Beneficiary); err != nil {
+			return err
+		}
+		e.op(evm.SELFDESTRUCT)
+		return nil
+	case *DelegatecallStmt:
+		// delegatecall(target) with empty calldata; success flag dropped —
+		// the inline-assembly shape of the paper's migrate() example.
+		e.pushInt(0)       // outLen
+		e.pushInt(callBuf) // outOff
+		e.pushInt(0)       // inLen
+		e.pushInt(callBuf) // inOff
+		if err := cg.expr(s.Target); err != nil {
+			return err
+		}
+		e.op(evm.GAS, evm.DELEGATECALL, evm.POP)
+		return nil
+	case *TransferStmt:
+		e.pushInt(0)
+		e.pushInt(0)
+		e.pushInt(0)
+		e.pushInt(0)
+		if err := cg.expr(s.Amount); err != nil {
+			return err
+		}
+		if err := cg.expr(s.To); err != nil {
+			return err
+		}
+		e.op(evm.GAS, evm.CALL)
+		ok := cg.e.fresh("xfer")
+		e.pushLabel(ok)
+		e.op(evm.JUMPI)
+		cg.emitRevert()
+		e.label(ok)
+		return nil
+	case *PlaceholderStmt:
+		return fmt.Errorf("minisol:%d: internal error: placeholder survived inlining", s.Line)
+	}
+	return fmt.Errorf("minisol: internal error: unknown statement %T", s)
+}
+
+// lookupLocal finds the binding a DeclStmt created during checking. The
+// checker allocated the cell; recover it by name through the statement's own
+// scope-free identity: bindings are attached to IdentExpr uses, so re-derive
+// from the declaration order. To keep this robust we store bindings on first
+// use: the checker guarantees LocalIdx uniqueness, so we track a per-function
+// map populated from declarations as we walk them.
+func (cg *codegen) lookupLocal(s *DeclStmt) *Binding {
+	if s.binding == nil {
+		panic(fmt.Sprintf("minisol: declaration of %q has no binding (Check not run?)", s.Name))
+	}
+	return s.binding
+}
+
+func (cg *codegen) assign(s *AssignStmt) error {
+	e := cg.e
+	switch lhs := s.LHS.(type) {
+	case *IdentExpr:
+		b := lhs.Binding
+		switch b.Kind {
+		case BindLocal, BindParam:
+			cell := cg.cellAddr(b)
+			if s.Op == '=' {
+				if err := cg.expr(s.RHS); err != nil {
+					return err
+				}
+			} else {
+				e.pushInt(cell)
+				e.op(evm.MLOAD)
+				if err := cg.expr(s.RHS); err != nil {
+					return err
+				}
+				cg.emitCompound(s.Op)
+			}
+			e.pushInt(cell)
+			e.op(evm.MSTORE)
+			return nil
+		case BindState:
+			slot := uint64(b.StateVar.Slot)
+			if s.Op == '=' {
+				if err := cg.expr(s.RHS); err != nil {
+					return err
+				}
+			} else {
+				e.pushInt(slot)
+				e.op(evm.SLOAD)
+				if err := cg.expr(s.RHS); err != nil {
+					return err
+				}
+				cg.emitCompound(s.Op)
+			}
+			e.pushInt(slot)
+			e.op(evm.SSTORE)
+			return nil
+		}
+	case *IndexExpr:
+		if s.Op == '=' {
+			if err := cg.expr(s.RHS); err != nil {
+				return err
+			}
+			if err := cg.mappingSlot(lhs); err != nil {
+				return err
+			}
+			e.op(evm.SSTORE)
+			return nil
+		}
+		// Compound: addr; DUP1 SLOAD; rhs; combine; SWAP1; SSTORE.
+		if err := cg.mappingSlot(lhs); err != nil {
+			return err
+		}
+		e.op(evm.DUP1, evm.SLOAD)
+		if err := cg.expr(s.RHS); err != nil {
+			return err
+		}
+		cg.emitCompound(s.Op)
+		e.op(evm.SwapN(1), evm.SSTORE)
+		return nil
+	}
+	return fmt.Errorf("minisol:%d: internal error: unassignable LHS %T", s.Line, s.LHS)
+}
+
+// emitCompound combines [cur, rhs] (rhs on top) into cur+rhs or cur-rhs.
+func (cg *codegen) emitCompound(op byte) {
+	if op == '+' {
+		cg.e.op(evm.ADD)
+	} else {
+		cg.e.op(evm.SwapN(1), evm.SUB)
+	}
+}
+
+// mappingSlot leaves the storage address of the indexed element on the stack.
+// Mappings use keccak256(pad32(key) ++ pad32(slotWord)) per nesting level;
+// fixed arrays use baseSlot + index (the Solidity layouts).
+func (cg *codegen) mappingSlot(x *IndexExpr) error {
+	e := cg.e
+	if base, ok := x.Base.(*IdentExpr); ok && base.Type().Kind == TyArray {
+		if err := cg.expr(x.Key); err != nil {
+			return err
+		}
+		e.pushInt(uint64(base.Binding.StateVar.Slot))
+		e.op(evm.ADD)
+		return nil
+	}
+	// Key word at scratch+0.
+	if err := cg.expr(x.Key); err != nil {
+		return err
+	}
+	e.pushInt(scratchBase)
+	e.op(evm.MSTORE)
+	// Slot word at scratch+32: constant slot for a state mapping, or the
+	// recursively computed address for a nested mapping.
+	switch base := x.Base.(type) {
+	case *IdentExpr:
+		e.pushInt(uint64(base.Binding.StateVar.Slot))
+	case *IndexExpr:
+		if err := cg.mappingSlot(base); err != nil {
+			return err
+		}
+		// The recursive call clobbers scratch+0; rewrite the key after it.
+		e.pushInt(scratchBase + 32)
+		e.op(evm.MSTORE)
+		if err := cg.expr(x.Key); err != nil {
+			return err
+		}
+		e.pushInt(scratchBase)
+		e.op(evm.MSTORE)
+		e.pushInt(64)
+		e.pushInt(scratchBase)
+		e.op(evm.SHA3)
+		return nil
+	default:
+		return fmt.Errorf("minisol: internal error: mapping base %T", x.Base)
+	}
+	e.pushInt(scratchBase + 32)
+	e.op(evm.MSTORE)
+	e.pushInt(64)
+	e.pushInt(scratchBase)
+	e.op(evm.SHA3)
+	return nil
+}
+
+// internalCall stores arguments into the callee frame, jumps, and optionally
+// loads the return value.
+func (cg *codegen) internalCall(call *CallExpr, wantValue bool) error {
+	if cg.inCtor {
+		return fmt.Errorf("minisol:%d: internal calls are not supported in constructors", call.Line)
+	}
+	e := cg.e
+	callee := call.Target
+	for i, a := range call.Args {
+		if err := cg.expr(a); err != nil {
+			return err
+		}
+		e.pushInt(uint64(cg.frameBase[callee.Name] + 32*i))
+		e.op(evm.MSTORE)
+	}
+	ret := e.fresh("ret")
+	e.pushLabel(ret)
+	e.pushLabel("fn_" + callee.Name)
+	e.op(evm.JUMP)
+	e.label(ret)
+	if wantValue {
+		if callee.Ret == nil {
+			return fmt.Errorf("minisol:%d: internal error: void call used as value", call.Line)
+		}
+		e.pushInt(uint64(cg.retCell[callee.Name]))
+		e.op(evm.MLOAD)
+	}
+	return nil
+}
+
+// --- expressions ---
+
+func (cg *codegen) expr(x Expr) error {
+	e := cg.e
+	switch x := x.(type) {
+	case *NumberExpr:
+		v, err := parseNumber(x.Text)
+		if err != nil {
+			return fmt.Errorf("minisol:%d: %v", x.Line, err)
+		}
+		e.push(v)
+		return nil
+	case *BoolExpr:
+		if x.Value {
+			e.pushInt(1)
+		} else {
+			e.pushInt(0)
+		}
+		return nil
+	case *IdentExpr:
+		b := x.Binding
+		switch b.Kind {
+		case BindLocal, BindParam:
+			e.pushInt(cg.cellAddr(b))
+			e.op(evm.MLOAD)
+		case BindState:
+			e.pushInt(uint64(b.StateVar.Slot))
+			e.op(evm.SLOAD)
+		}
+		return nil
+	case *MsgExpr:
+		if x.Field == "sender" {
+			e.op(evm.CALLER)
+		} else {
+			e.op(evm.CALLVALUE)
+		}
+		return nil
+	case *BlockExpr:
+		if x.Field == "number" {
+			e.op(evm.NUMBER)
+		} else {
+			e.op(evm.TIMESTAMP)
+		}
+		return nil
+	case *ThisExpr:
+		e.op(evm.ADDRESS)
+		return nil
+	case *IndexExpr:
+		if err := cg.mappingSlot(x); err != nil {
+			return err
+		}
+		e.op(evm.SLOAD)
+		return nil
+	case *BinaryExpr:
+		return cg.binary(x)
+	case *UnaryExpr:
+		if err := cg.expr(x.X); err != nil {
+			return err
+		}
+		if x.Op == TokBang {
+			e.op(evm.ISZERO)
+		} else { // unary minus: 0 - x
+			e.pushInt(0)
+			e.op(evm.SUB)
+		}
+		return nil
+	case *CallExpr:
+		return cg.builtinCall(x)
+	}
+	return fmt.Errorf("minisol: internal error: unknown expression %T", x)
+}
+
+func parseNumber(text string) (u256.U256, error) {
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+		return u256.FromHex(text)
+	}
+	b, ok := new(big.Int).SetString(text, 10)
+	if !ok {
+		return u256.Zero, fmt.Errorf("bad number literal %q", text)
+	}
+	if b.BitLen() > 256 {
+		return u256.Zero, fmt.Errorf("number literal %q exceeds 256 bits", text)
+	}
+	return u256.FromBig(b), nil
+}
+
+func (cg *codegen) binary(x *BinaryExpr) error {
+	e := cg.e
+	if err := cg.expr(x.L); err != nil {
+		return err
+	}
+	if err := cg.expr(x.R); err != nil {
+		return err
+	}
+	// Stack: [L, R] with R on top.
+	switch x.Op {
+	case TokPlus:
+		e.op(evm.ADD)
+	case TokStar:
+		e.op(evm.MUL)
+	case TokMinus:
+		e.op(evm.SwapN(1), evm.SUB)
+	case TokSlash:
+		e.op(evm.SwapN(1), evm.DIV)
+	case TokPercent:
+		e.op(evm.SwapN(1), evm.MOD)
+	case TokAmp, TokAndAnd:
+		e.op(evm.AND)
+	case TokPipe, TokOrOr:
+		e.op(evm.OR)
+	case TokCaret:
+		e.op(evm.XOR)
+	case TokShl:
+		e.op(evm.SHL) // SHL(shift=R, value=L)
+	case TokShr:
+		e.op(evm.SHR)
+	case TokEq:
+		e.op(evm.EQ)
+	case TokNeq:
+		e.op(evm.EQ, evm.ISZERO)
+	case TokLt:
+		e.op(evm.SwapN(1), evm.LT)
+	case TokGt:
+		e.op(evm.SwapN(1), evm.GT)
+	case TokLe:
+		e.op(evm.SwapN(1), evm.GT, evm.ISZERO)
+	case TokGe:
+		e.op(evm.SwapN(1), evm.LT, evm.ISZERO)
+	default:
+		return fmt.Errorf("minisol:%d: internal error: unknown binary op %d", x.Line, x.Op)
+	}
+	return nil
+}
+
+func (cg *codegen) builtinCall(x *CallExpr) error {
+	e := cg.e
+	switch x.Builtin {
+	case "balance":
+		if err := cg.expr(x.Args[0]); err != nil {
+			return err
+		}
+		e.op(evm.BALANCE)
+		return nil
+	case "keccak256":
+		if err := cg.expr(x.Args[0]); err != nil {
+			return err
+		}
+		e.pushInt(scratchBase)
+		e.op(evm.MSTORE)
+		e.pushInt(32)
+		e.pushInt(scratchBase)
+		e.op(evm.SHA3)
+		return nil
+	case "address":
+		if err := cg.expr(x.Args[0]); err != nil {
+			return err
+		}
+		if x.Args[0].Type().Kind == TyUint {
+			e.push(addressMask)
+			e.op(evm.AND)
+		}
+		return nil
+	case "uint256":
+		return cg.expr(x.Args[0])
+	case "staticcall_unchecked", "staticcall_checked":
+		// The 0x-exchange pattern: call a wallet contract with a 32-byte
+		// input, writing the output over the input buffer.
+		if err := cg.expr(x.Args[1]); err != nil { // input word
+			return err
+		}
+		e.pushInt(callBuf)
+		e.op(evm.MSTORE)
+		e.pushInt(32)                              // outLen
+		e.pushInt(callBuf)                         // outOff: over the input
+		e.pushInt(32)                              // inLen
+		e.pushInt(callBuf)                         // inOff
+		if err := cg.expr(x.Args[0]); err != nil { // wallet address
+			return err
+		}
+		e.op(evm.GAS, evm.STATICCALL)
+		if x.Builtin == "staticcall_checked" {
+			// The fixed pattern: on failure or a short return, clear the
+			// buffer instead of reading the stale input back.
+			ok := e.fresh("scok")
+			e.op(evm.ISZERO) // [fail]
+			e.pushInt(32)
+			e.op(evm.RETURNDATASIZE, evm.LT) // [fail, rds<32]
+			e.op(evm.OR, evm.ISZERO)
+			e.pushLabel(ok)
+			e.op(evm.JUMPI)
+			e.pushInt(0)
+			e.pushInt(callBuf)
+			e.op(evm.MSTORE)
+			e.label(ok)
+		} else {
+			e.op(evm.POP) // success flag dropped, no checks: the bug
+		}
+		e.pushInt(callBuf)
+		e.op(evm.MLOAD) // "isValid := mload(cdStart)"
+		return nil
+	}
+	if x.Target != nil {
+		return fmt.Errorf("minisol:%d: internal error: unhoisted internal call to %q", x.Line, x.Name)
+	}
+	return fmt.Errorf("minisol:%d: internal error: unknown builtin %q", x.Line, x.Name)
+}

@@ -1,0 +1,419 @@
+package minisol_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ethainter/internal/chain"
+	"ethainter/internal/evm"
+	"ethainter/internal/minisol"
+	"ethainter/internal/u256"
+)
+
+// This file differentially tests the compiler + EVM against the source-level
+// reference interpreter: random well-typed programs are executed both ways
+// under random call sequences, and every observable outcome (revert or not,
+// returned word) must agree. Divergence means a bug in the code generator,
+// the decoder, the interpreter, or the EVM.
+
+// pgen generates random well-typed contracts as source text.
+type pgen struct {
+	r       *rand.Rand
+	b       strings.Builder
+	uints   []string // state vars of type uint256
+	addrs   []string
+	bools   []string
+	maps    []string // mapping(uint256 => uint256)
+	amaps   []string // mapping(address => uint256)
+	arrays  []string // uint256[4]
+	locals  []string // current function's uint locals (incl. uint params)
+	aparam  []string // current function's address params
+	helper  []helperSig
+	loopSeq int
+}
+
+type helperSig struct {
+	name   string
+	params int
+}
+
+type pubFn struct {
+	name    string
+	params  []byte // 'u' or 'a'
+	returns bool
+	payable bool
+}
+
+func (g *pgen) pick(list []string) string { return list[g.r.Intn(len(list))] }
+
+func (g *pgen) generate() (string, []pubFn) {
+	g.b.WriteString("contract Fuzz {\n")
+	// State variables.
+	for i := 0; i < 2+g.r.Intn(3); i++ {
+		n := fmt.Sprintf("su%d", i)
+		g.uints = append(g.uints, n)
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(&g.b, "  uint256 %s = %d;\n", n, g.r.Intn(1000))
+		} else {
+			fmt.Fprintf(&g.b, "  uint256 %s;\n", n)
+		}
+	}
+	for i := 0; i < 1+g.r.Intn(2); i++ {
+		n := fmt.Sprintf("sa%d", i)
+		g.addrs = append(g.addrs, n)
+		fmt.Fprintf(&g.b, "  address %s;\n", n)
+	}
+	for i := 0; i < g.r.Intn(2); i++ {
+		n := fmt.Sprintf("sb%d", i)
+		g.bools = append(g.bools, n)
+		fmt.Fprintf(&g.b, "  bool %s;\n", n)
+	}
+	for i := 0; i < 1+g.r.Intn(2); i++ {
+		n := fmt.Sprintf("m%d", i)
+		g.maps = append(g.maps, n)
+		fmt.Fprintf(&g.b, "  mapping(uint256 => uint256) %s;\n", n)
+	}
+	for i := 0; i < g.r.Intn(2); i++ {
+		n := fmt.Sprintf("am%d", i)
+		g.amaps = append(g.amaps, n)
+		fmt.Fprintf(&g.b, "  mapping(address => uint256) %s;\n", n)
+	}
+	if g.r.Intn(2) == 0 {
+		g.arrays = append(g.arrays, "arr0")
+		g.b.WriteString("  uint256[4] arr0;\n")
+	}
+	// Constructor sometimes seeds state from the deployer.
+	if g.r.Intn(2) == 0 {
+		fmt.Fprintf(&g.b, "  constructor() { %s = msg.sender; }\n", g.pick(g.addrs))
+	}
+	// Internal helpers (non-recursive by construction: no helper calls).
+	for i := 0; i < g.r.Intn(3); i++ {
+		h := helperSig{name: fmt.Sprintf("help%d", i), params: 1 + g.r.Intn(2)}
+		g.helper = append(g.helper, h)
+		var params []string
+		g.locals = nil
+		g.aparam = nil
+		for p := 0; p < h.params; p++ {
+			pn := fmt.Sprintf("hp%d", p)
+			params = append(params, "uint256 "+pn)
+			g.locals = append(g.locals, pn)
+		}
+		fmt.Fprintf(&g.b, "  function %s(%s) internal returns (uint256) {\n", h.name, strings.Join(params, ", "))
+		g.stmts(2, 2, false)
+		fmt.Fprintf(&g.b, "    return %s;\n  }\n", g.uintExpr(2))
+	}
+	// Public functions.
+	var pubs []pubFn
+	for i := 0; i < 2+g.r.Intn(3); i++ {
+		fn := pubFn{name: fmt.Sprintf("pub%d", i), returns: g.r.Intn(2) == 0, payable: g.r.Intn(4) == 0}
+		g.locals = nil
+		g.aparam = nil
+		var params []string
+		for p := 0; p < g.r.Intn(3); p++ {
+			if g.r.Intn(3) == 0 {
+				pn := fmt.Sprintf("pa%d", p)
+				params = append(params, "address "+pn)
+				fn.params = append(fn.params, 'a')
+				g.aparam = append(g.aparam, pn)
+			} else {
+				pn := fmt.Sprintf("pu%d", p)
+				params = append(params, "uint256 "+pn)
+				fn.params = append(fn.params, 'u')
+				g.locals = append(g.locals, pn)
+			}
+		}
+		attrs := "public"
+		if fn.payable {
+			attrs += " payable"
+		}
+		ret := ""
+		if fn.returns {
+			ret = " returns (uint256)"
+		}
+		fmt.Fprintf(&g.b, "  function %s(%s) %s%s {\n", fn.name, strings.Join(params, ", "), attrs, ret)
+		// Declare a couple of locals up front (block scoping kept simple).
+		for l := 0; l < 1+g.r.Intn(2); l++ {
+			ln := fmt.Sprintf("loc%d", l)
+			fmt.Fprintf(&g.b, "    uint256 %s = %s;\n", ln, g.uintExpr(2))
+			g.locals = append(g.locals, ln)
+		}
+		g.stmts(3+g.r.Intn(4), 3, true)
+		if fn.returns {
+			fmt.Fprintf(&g.b, "    return %s;\n", g.uintExpr(3))
+		}
+		g.b.WriteString("  }\n")
+		pubs = append(pubs, fn)
+	}
+	g.b.WriteString("}\n")
+	return g.b.String(), pubs
+}
+
+// stmts emits up to n random statements at the given expression depth.
+func (g *pgen) stmts(n, depth int, allowHelpers bool) {
+	for i := 0; i < n; i++ {
+		switch g.r.Intn(10) {
+		case 0, 1, 2: // state assignment
+			g.assignment(depth)
+		case 3:
+			if len(g.locals) > 0 {
+				op := []string{"=", "+=", "-="}[g.r.Intn(3)]
+				fmt.Fprintf(&g.b, "    %s %s %s;\n", g.pick(g.locals), op, g.uintExpr(depth))
+			}
+		case 4: // if/else
+			fmt.Fprintf(&g.b, "    if (%s) {\n", g.boolExpr(depth))
+			g.stmts(1+g.r.Intn(2), depth-1, allowHelpers)
+			if g.r.Intn(2) == 0 {
+				g.b.WriteString("    } else {\n")
+				g.stmts(1, depth-1, allowHelpers)
+			}
+			g.b.WriteString("    }\n")
+		case 5: // bounded loop with a fresh counter
+			g.loopSeq++
+			c := fmt.Sprintf("it%d", g.loopSeq)
+			bound := 1 + g.r.Intn(3)
+			fmt.Fprintf(&g.b, "    uint256 %s = 0;\n    while (%s < %d) {\n", c, c, bound)
+			g.stmts(1, depth-1, false)
+			fmt.Fprintf(&g.b, "      %s += 1;\n    }\n", c)
+		case 6: // occasional require (reverts are compared too)
+			if g.r.Intn(3) == 0 {
+				fmt.Fprintf(&g.b, "    require(%s);\n", g.boolExpr(depth))
+			}
+		case 7: // helper call into a local
+			if allowHelpers && len(g.helper) > 0 && len(g.locals) > 0 {
+				h := g.helper[g.r.Intn(len(g.helper))]
+				args := make([]string, h.params)
+				for a := range args {
+					args[a] = g.uintExpr(depth - 1)
+				}
+				fmt.Fprintf(&g.b, "    %s = %s(%s);\n", g.pick(g.locals), h.name, strings.Join(args, ", "))
+			}
+		default:
+			g.assignment(depth)
+		}
+	}
+}
+
+func (g *pgen) assignment(depth int) {
+	switch g.r.Intn(6) {
+	case 0:
+		fmt.Fprintf(&g.b, "    %s = %s;\n", g.pick(g.uints), g.uintExpr(depth))
+	case 1:
+		fmt.Fprintf(&g.b, "    %s = %s;\n", g.pick(g.maps)+"["+g.uintExpr(depth-1)+"]", g.uintExpr(depth))
+	case 2:
+		if len(g.amaps) > 0 {
+			fmt.Fprintf(&g.b, "    %s[%s] = %s;\n", g.pick(g.amaps), g.addrExpr(), g.uintExpr(depth))
+		}
+	case 3:
+		if len(g.arrays) > 0 {
+			fmt.Fprintf(&g.b, "    %s[(%s) %% 4] = %s;\n", g.pick(g.arrays), g.uintExpr(depth-1), g.uintExpr(depth))
+		}
+	case 4:
+		fmt.Fprintf(&g.b, "    %s = %s;\n", g.pick(g.addrs), g.addrExpr())
+	case 5:
+		if len(g.bools) > 0 {
+			fmt.Fprintf(&g.b, "    %s = %s;\n", g.pick(g.bools), g.boolExpr(depth))
+		}
+	}
+}
+
+func (g *pgen) uintExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(5) {
+		case 0:
+			return fmt.Sprint(g.r.Intn(50))
+		case 1:
+			if len(g.locals) > 0 {
+				return g.pick(g.locals)
+			}
+			return fmt.Sprint(g.r.Intn(10))
+		case 2:
+			return g.pick(g.uints)
+		case 3:
+			return "msg.value"
+		default:
+			return fmt.Sprintf("%s[%d]", g.pick(g.maps), g.r.Intn(8))
+		}
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.uintExpr(depth-1), g.uintExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.uintExpr(depth-1), g.uintExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.uintExpr(depth-1), g.uintExpr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s / %s)", g.uintExpr(depth-1), g.uintExpr(depth-1))
+	case 4:
+		return fmt.Sprintf("(%s %% %s)", g.uintExpr(depth-1), g.uintExpr(depth-1))
+	case 5:
+		return fmt.Sprintf("(%s %s %s)", g.uintExpr(depth-1), g.pick([]string{"&", "|", "^", "<<", ">>"}), fmt.Sprint(g.r.Intn(9)))
+	case 6:
+		return fmt.Sprintf("%s[%s]", g.pick(g.maps), g.uintExpr(depth-1))
+	default:
+		return fmt.Sprintf("keccak256(%s)", g.uintExpr(depth-1))
+	}
+}
+
+func (g *pgen) boolExpr(depth int) string {
+	if depth <= 0 {
+		if len(g.bools) > 0 && g.r.Intn(2) == 0 {
+			return g.pick(g.bools)
+		}
+		return g.pick([]string{"true", "false"})
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s < %s)", g.uintExpr(depth-1), g.uintExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s >= %s)", g.uintExpr(depth-1), g.uintExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s == %s)", g.uintExpr(depth-1), g.uintExpr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s == %s)", g.addrExpr(), g.addrExpr())
+	case 4:
+		return fmt.Sprintf("(!%s)", g.boolExpr(depth-1))
+	default:
+		return fmt.Sprintf("(%s %s %s)", g.boolExpr(depth-1), g.pick([]string{"&&", "||"}), g.boolExpr(depth-1))
+	}
+}
+
+func (g *pgen) addrExpr() string {
+	options := []string{"msg.sender"}
+	options = append(options, g.addrs...)
+	options = append(options, g.aparam...)
+	if g.r.Intn(5) == 0 {
+		return fmt.Sprintf("address(%d)", g.r.Intn(500))
+	}
+	return options[g.r.Intn(len(options))]
+}
+
+// TestCompiledMatchesInterpreter is the differential harness.
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	const programs = 60
+	const callsPerProgram = 25
+	for seed := int64(0); seed < programs; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			g := &pgen{r: rand.New(rand.NewSource(seed*7919 + 13))}
+			src, pubs := g.generate()
+
+			contract, err := minisol.Parse(src)
+			if err != nil {
+				t.Fatalf("generated program does not parse: %v\n%s", err, src)
+			}
+			if err := minisol.Check(contract); err != nil {
+				t.Fatalf("generated program does not check: %v\n%s", err, src)
+			}
+			compiled, err := minisol.Compile(contract)
+			if err != nil {
+				t.Fatalf("compile: %v\n%s", err, src)
+			}
+
+			// EVM side.
+			c := chain.New()
+			deployer := c.NewAccount(u256.MustHex("0xffffffff"))
+			rec := c.Deploy(deployer, compiled.Deploy, u256.Zero)
+			if rec.Err != nil {
+				t.Fatalf("deploy: %v\n%s", rec.Err, src)
+			}
+			target := rec.Created
+			senders := []evm.Address{deployer, c.NewAccount(u256.MustHex("0xffffffff")), c.NewAccount(u256.MustHex("0xffffffff"))}
+
+			// Interpreter side: reparse so the interpreter gets its own AST
+			// (Compile mutates bodies in place during checking).
+			ref, err := minisol.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := minisol.Check(ref); err != nil {
+				t.Fatal(err)
+			}
+			ip, err := minisol.NewInterp(ref, deployer.Word())
+			if err != nil {
+				t.Fatalf("interp init: %v\n%s", err, src)
+			}
+
+			r := rand.New(rand.NewSource(seed * 104729))
+			for call := 0; call < callsPerProgram; call++ {
+				fn := pubs[r.Intn(len(pubs))]
+				sender := senders[r.Intn(len(senders))]
+				value := u256.Zero
+				if fn.payable && r.Intn(2) == 0 {
+					value = u256.FromUint64(uint64(r.Intn(100)))
+				}
+				args := make([]u256.U256, len(fn.params))
+				for i, kind := range fn.params {
+					if kind == 'a' {
+						args[i] = senders[r.Intn(len(senders))].Word()
+					} else {
+						args[i] = u256.FromUint64(uint64(r.Intn(60)))
+					}
+				}
+				abi, _ := minisol.FindABI(compiled.ABI, fn.name)
+				receipt := c.Call(sender, target, abi.MustEncodeCall(args...), value)
+				got, err := ip.Call(fn.name, sender.Word(), value, args...)
+				if err != nil {
+					t.Fatalf("interp call: %v\n%s", err, src)
+				}
+				evmReverted := receipt.Err != nil
+				if evmReverted != got.Reverted {
+					t.Fatalf("call %d %s(%v) from %s value=%s: EVM reverted=%v, interp reverted=%v\n%s",
+						call, fn.name, args, sender, value, evmReverted, got.Reverted, src)
+				}
+				if !evmReverted && fn.returns {
+					w, err := minisol.DecodeReturnWord(receipt.Output)
+					if err != nil {
+						t.Fatalf("decode: %v", err)
+					}
+					if got.Ret == nil || w != *got.Ret {
+						t.Fatalf("call %d %s(%v): EVM returned %s, interp returned %v\n%s",
+							call, fn.name, args, w, got.Ret, src)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The interpreter agrees with the EVM on the curated fixtures too, including
+// the full Victim attack replayed at source level.
+func TestInterpreterVictimAttack(t *testing.T) {
+	contract, err := minisol.Parse(minisol.VictimSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minisol.Check(contract); err != nil {
+		t.Fatal(err)
+	}
+	deployer := u256.MustHex("0xd001")
+	attacker := u256.MustHex("0xbad1")
+	ip, err := minisol.NewInterp(contract, deployer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip.Balance = u256.FromUint64(5000)
+
+	mustOK := func(name string, args ...u256.U256) {
+		t.Helper()
+		res, err := ip.Call(name, attacker, u256.Zero, args...)
+		if err != nil || res.Reverted {
+			t.Fatalf("%s: err=%v reverted=%v", name, err, res.Reverted)
+		}
+	}
+	// Premature kill reverts.
+	if res, _ := ip.Call("kill", attacker, u256.Zero); !res.Reverted {
+		t.Fatal("premature kill should revert")
+	}
+	mustOK("registerSelf")
+	mustOK("referAdmin", attacker)
+	mustOK("changeOwner", attacker)
+	mustOK("kill")
+	if !ip.Destroyed {
+		t.Fatal("victim should be destroyed at source level")
+	}
+	if len(ip.Sent) != 1 || ip.Sent[0].To != attacker || ip.Sent[0].Amount != u256.FromUint64(5000) {
+		t.Fatalf("funds should go to the attacker: %+v", ip.Sent)
+	}
+}

@@ -1,0 +1,524 @@
+package minisol
+
+import (
+	"fmt"
+	"strings"
+
+	"ethainter/internal/crypto"
+	"ethainter/internal/u256"
+)
+
+// Interp is a reference tree-walking interpreter for checked contracts. It
+// executes at source level with its own storage model, independent of the
+// code generator, the EVM, and the storage layout — which makes it a
+// differential-testing oracle for the whole compile-and-execute pipeline:
+// random programs are run both ways and their observable behaviour (returned
+// words, reverts, state read back through getters) must agree.
+type Interp struct {
+	contract *Contract
+	// elem holds elementary state variables by name.
+	elem map[string]u256.U256
+	// aggr holds mapping and array elements, keyed by variable name plus the
+	// full key path.
+	aggr map[string]u256.U256
+	// Destroyed is set once selfdestruct executes.
+	Destroyed bool
+	// Balance is the contract's own balance (msg.value accrues; send debits).
+	Balance u256.U256
+	// Sent records send(to, amount) transfers, in order.
+	Sent []Transfer
+
+	steps int
+}
+
+// Transfer is one value transfer performed by send().
+type Transfer struct {
+	To     u256.U256
+	Amount u256.U256
+}
+
+// CallResult is the outcome of one source-level call.
+type CallResult struct {
+	Ret      *u256.U256 // nil for void functions
+	Reverted bool
+}
+
+// interpRevert signals require/assert/revert unwinding.
+type interpRevert struct{ reason string }
+
+// interpStop signals a return statement, carrying the value.
+type interpStop struct{ val *u256.U256 }
+
+// interpHalt signals selfdestruct: the whole call halts successfully, past
+// any internal-call frames.
+type interpHalt struct{}
+
+const maxInterpSteps = 1_000_000
+
+// NewInterp builds an interpreter for a checked contract and runs its state
+// initializers and constructor with the given deployer as msg.sender.
+func NewInterp(c *Contract, deployer u256.U256) (*Interp, error) {
+	ip := &Interp{
+		contract: c,
+		elem:     map[string]u256.U256{},
+		aggr:     map[string]u256.U256{},
+	}
+	for _, v := range c.Vars {
+		if v.Init != nil {
+			val, err := constEval(v.Init)
+			if err != nil {
+				return nil, err
+			}
+			ip.elem[v.Name] = val
+		}
+	}
+	if c.Ctor != nil {
+		res := ip.run(c.Ctor, frameEnv{sender: deployer})
+		if res.Reverted {
+			return nil, fmt.Errorf("minisol: constructor reverted")
+		}
+	}
+	return ip, nil
+}
+
+// constEval evaluates constant initializer expressions.
+func constEval(e Expr) (u256.U256, error) {
+	switch e := e.(type) {
+	case *NumberExpr:
+		return parseNumber(e.Text)
+	case *BoolExpr:
+		if e.Value {
+			return u256.One, nil
+		}
+		return u256.Zero, nil
+	case *CallExpr:
+		if e.Builtin == "address" || e.Builtin == "uint256" {
+			v, err := constEval(e.Args[0])
+			if err != nil {
+				return u256.Zero, err
+			}
+			if e.Builtin == "address" {
+				v = v.And(addressMask)
+			}
+			return v, nil
+		}
+	}
+	return u256.Zero, fmt.Errorf("minisol: non-constant initializer")
+}
+
+// frameEnv is the per-call environment.
+type frameEnv struct {
+	sender u256.U256
+	value  u256.U256
+	locals map[string]u256.U256
+	fn     *Function
+}
+
+// Call invokes a public function by name.
+func (ip *Interp) Call(name string, sender, value u256.U256, args ...u256.U256) (CallResult, error) {
+	if ip.Destroyed {
+		// Calls to destroyed contracts succeed with empty output on chain;
+		// mirror that as a void success.
+		return CallResult{}, nil
+	}
+	var fn *Function
+	for _, f := range ip.contract.Functions {
+		if f.Name == name && f.Public {
+			fn = f
+		}
+	}
+	if fn == nil {
+		return CallResult{}, fmt.Errorf("minisol: no public function %q", name)
+	}
+	if len(args) != len(fn.Params) {
+		return CallResult{}, fmt.Errorf("minisol: %s takes %d args, got %d", name, len(fn.Params), len(args))
+	}
+	if !fn.Payable && !value.IsZero() {
+		return CallResult{Reverted: true}, nil
+	}
+	env := frameEnv{sender: sender, value: value, locals: map[string]u256.U256{}, fn: fn}
+	for i, p := range fn.Params {
+		v := args[i]
+		if p.Type.Kind == TyAddress {
+			v = v.And(addressMask)
+		}
+		if p.Type.Kind == TyBool {
+			if !v.IsZero() {
+				v = u256.One
+			}
+		}
+		env.locals[p.Name] = v
+	}
+	// State changes roll back on revert: snapshot.
+	snapElem, snapAggr := copyState(ip.elem), copyState(ip.aggr)
+	snapBal, snapSent := ip.Balance, len(ip.Sent)
+	ip.Balance = ip.Balance.Add(value)
+	res := ip.run(fn, env)
+	if res.Reverted {
+		ip.elem, ip.aggr = snapElem, snapAggr
+		ip.Balance, ip.Sent = snapBal, ip.Sent[:snapSent]
+	}
+	return res, nil
+}
+
+func copyState(m map[string]u256.U256) map[string]u256.U256 {
+	out := make(map[string]u256.U256, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// run executes a function body, translating the revert/return panics into a
+// CallResult.
+func (ip *Interp) run(fn *Function, env frameEnv) (res CallResult) {
+	if env.locals == nil {
+		env.locals = map[string]u256.U256{}
+	}
+	env.fn = fn
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case interpRevert:
+			res = CallResult{Reverted: true}
+		case interpStop:
+			res = CallResult{Ret: r.val}
+		case interpHalt:
+			res = CallResult{}
+		default:
+			panic(r)
+		}
+	}()
+	ip.stmts(fn.Body, env)
+	if fn.Ret != nil {
+		zero := u256.Zero
+		return CallResult{Ret: &zero}
+	}
+	return CallResult{}
+}
+
+func (ip *Interp) tick() {
+	ip.steps++
+	if ip.steps > maxInterpSteps {
+		panic(interpRevert{reason: "step budget exceeded"})
+	}
+}
+
+func (ip *Interp) stmts(list []Stmt, env frameEnv) {
+	for _, s := range list {
+		ip.stmt(s, env)
+	}
+}
+
+func (ip *Interp) stmt(s Stmt, env frameEnv) {
+	ip.tick()
+	switch s := s.(type) {
+	case *DeclStmt:
+		v := u256.Zero
+		if s.Init != nil {
+			v = ip.eval(s.Init, env)
+		}
+		env.locals[s.Name] = ip.coerce(v, s.Type)
+	case *AssignStmt:
+		rhs := ip.eval(s.RHS, env)
+		if s.Op != '=' {
+			cur := ip.eval(s.LHS, env)
+			if s.Op == '+' {
+				rhs = cur.Add(rhs)
+			} else {
+				rhs = cur.Sub(rhs)
+			}
+		}
+		ip.assign(s.LHS, rhs, env)
+	case *IfStmt:
+		if !ip.eval(s.Cond, env).IsZero() {
+			ip.stmts(s.Then, env)
+		} else {
+			ip.stmts(s.Else, env)
+		}
+	case *WhileStmt:
+		for !ip.eval(s.Cond, env).IsZero() {
+			ip.tick()
+			ip.stmts(s.Body, env)
+		}
+	case *RequireStmt:
+		if ip.eval(s.Cond, env).IsZero() {
+			panic(interpRevert{reason: "require"})
+		}
+	case *RevertStmt:
+		panic(interpRevert{reason: "revert"})
+	case *ReturnStmt:
+		if s.Value == nil {
+			panic(interpStop{})
+		}
+		v := ip.eval(s.Value, env)
+		panic(interpStop{val: &v})
+	case *ExprStmt:
+		if call, ok := s.X.(*CallExpr); ok && call.Target != nil {
+			ip.callInternal(call, env)
+			return
+		}
+		ip.eval(s.X, env)
+	case *SelfdestructStmt:
+		beneficiary := ip.eval(s.Beneficiary, env)
+		ip.Sent = append(ip.Sent, Transfer{To: beneficiary, Amount: ip.Balance})
+		ip.Balance = u256.Zero
+		ip.Destroyed = true
+		panic(interpHalt{})
+	case *DelegatecallStmt:
+		ip.eval(s.Target, env) // target evaluated; the call itself is a no-op
+	case *TransferStmt:
+		to := ip.eval(s.To, env)
+		amount := ip.eval(s.Amount, env)
+		if ip.Balance.Lt(amount) {
+			panic(interpRevert{reason: "send: insufficient balance"})
+		}
+		ip.Balance = ip.Balance.Sub(amount)
+		ip.Sent = append(ip.Sent, Transfer{To: to, Amount: amount})
+	default:
+		panic(fmt.Sprintf("minisol: interp: unknown statement %T", s))
+	}
+}
+
+func (ip *Interp) assign(lhs Expr, val u256.U256, env frameEnv) {
+	switch lhs := lhs.(type) {
+	case *IdentExpr:
+		val = ip.coerce(val, lhs.Type())
+		switch lhs.Binding.Kind {
+		case BindLocal, BindParam:
+			env.locals[lhs.Name] = val
+		case BindState:
+			ip.elem[lhs.Name] = val
+		}
+	case *IndexExpr:
+		ip.aggr[ip.aggrKey(lhs, env)] = ip.coerce(val, lhs.Type())
+	default:
+		panic(fmt.Sprintf("minisol: interp: unassignable %T", lhs))
+	}
+}
+
+// aggrKey derives the state key for a mapping/array element access.
+func (ip *Interp) aggrKey(x *IndexExpr, env frameEnv) string {
+	var parts []string
+	cur := Expr(x)
+	for {
+		idx, ok := cur.(*IndexExpr)
+		if !ok {
+			break
+		}
+		k := ip.eval(idx.Key, env)
+		parts = append(parts, k.Hex64())
+		cur = idx.Base
+	}
+	base := cur.(*IdentExpr)
+	// parts are innermost-key-first; reverse for a stable path.
+	var b strings.Builder
+	b.WriteString(base.Name)
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteString("\x00")
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}
+
+// coerce normalizes a value for the destination type the way the compiled
+// code does (address masking, bool canonicalization).
+func (ip *Interp) coerce(v u256.U256, t *Type) u256.U256 {
+	if t == nil {
+		return v
+	}
+	switch t.Kind {
+	case TyAddress:
+		return v.And(addressMask)
+	case TyBool:
+		if v.IsZero() {
+			return u256.Zero
+		}
+		return u256.One
+	}
+	return v
+}
+
+func (ip *Interp) eval(e Expr, env frameEnv) u256.U256 {
+	ip.tick()
+	switch e := e.(type) {
+	case *NumberExpr:
+		v, err := parseNumber(e.Text)
+		if err != nil {
+			panic(err)
+		}
+		return v
+	case *BoolExpr:
+		if e.Value {
+			return u256.One
+		}
+		return u256.Zero
+	case *IdentExpr:
+		switch e.Binding.Kind {
+		case BindLocal, BindParam:
+			return env.locals[e.Name]
+		case BindState:
+			return ip.elem[e.Name]
+		}
+	case *MsgExpr:
+		if e.Field == "sender" {
+			return env.sender
+		}
+		return env.value
+	case *BlockExpr:
+		// The differential harness pins block.number/timestamp to the chain
+		// defaults; random programs avoid them, targeted tests may not.
+		if e.Field == "number" {
+			return u256.FromUint64(1)
+		}
+		return u256.FromUint64(1_500_000_000)
+	case *ThisExpr:
+		return u256.Zero // the harness compares only behaviours not using `this` as a value
+	case *IndexExpr:
+		return ip.aggr[ip.aggrKey(e, env)]
+	case *BinaryExpr:
+		return ip.binary(e, env)
+	case *UnaryExpr:
+		x := ip.eval(e.X, env)
+		if e.Op == TokBang {
+			if x.IsZero() {
+				return u256.One
+			}
+			return u256.Zero
+		}
+		return u256.Zero.Sub(x)
+	case *CallExpr:
+		if e.Target != nil {
+			ret := ip.callInternal(e, env)
+			if ret == nil {
+				panic("minisol: interp: void call as value")
+			}
+			return *ret
+		}
+		return ip.builtin(e, env)
+	}
+	panic(fmt.Sprintf("minisol: interp: unknown expression %T", e))
+}
+
+func boolWord(b bool) u256.U256 {
+	if b {
+		return u256.One
+	}
+	return u256.Zero
+}
+
+func (ip *Interp) binary(e *BinaryExpr, env frameEnv) u256.U256 {
+	l := ip.eval(e.L, env)
+	r := ip.eval(e.R, env)
+	switch e.Op {
+	case TokPlus:
+		return l.Add(r)
+	case TokMinus:
+		return l.Sub(r)
+	case TokStar:
+		return l.Mul(r)
+	case TokSlash:
+		return l.Div(r)
+	case TokPercent:
+		return l.Mod(r)
+	case TokAmp:
+		return l.And(r)
+	case TokPipe:
+		return l.Or(r)
+	case TokCaret:
+		return l.Xor(r)
+	case TokShl:
+		return shiftByWord(l, r, u256.U256.Shl)
+	case TokShr:
+		return shiftByWord(l, r, u256.U256.Shr)
+	case TokAndAnd:
+		return l.And(r) // operands are canonical 0/1 bools
+	case TokOrOr:
+		return l.Or(r)
+	case TokEq:
+		return boolWord(l == r)
+	case TokNeq:
+		return boolWord(l != r)
+	case TokLt:
+		return boolWord(l.Lt(r))
+	case TokGt:
+		return boolWord(l.Gt(r))
+	case TokLe:
+		return boolWord(!l.Gt(r))
+	case TokGe:
+		return boolWord(!l.Lt(r))
+	}
+	panic(fmt.Sprintf("minisol: interp: unknown binary op %d", e.Op))
+}
+
+func shiftByWord(val, by u256.U256, f func(u256.U256, uint) u256.U256) u256.U256 {
+	if !by.IsUint64() || by.Uint64() > 255 {
+		return f(val, 256)
+	}
+	return f(val, uint(by.Uint64()))
+}
+
+func (ip *Interp) callInternal(call *CallExpr, env frameEnv) *u256.U256 {
+	callee := call.Target
+	inner := frameEnv{sender: env.sender, value: env.value, locals: map[string]u256.U256{}}
+	for i, a := range call.Args {
+		inner.locals[callee.Params[i].Name] = ip.coerce(ip.eval(a, env), callee.Params[i].Type)
+	}
+	res := ip.runInternal(callee, inner)
+	return res
+}
+
+// runInternal executes an internal function, propagating reverts to the
+// caller but containing returns.
+func (ip *Interp) runInternal(fn *Function, env frameEnv) (ret *u256.U256) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case interpStop:
+			ret = r.val
+			if ret == nil && fn.Ret != nil {
+				zero := u256.Zero
+				ret = &zero
+			}
+		default:
+			panic(r) // reverts (and selfdestruct stops) unwind further
+		}
+	}()
+	env.fn = fn
+	ip.stmts(fn.Body, env)
+	if fn.Ret != nil {
+		zero := u256.Zero
+		return &zero
+	}
+	return nil
+}
+
+func (ip *Interp) builtin(e *CallExpr, env frameEnv) u256.U256 {
+	switch e.Builtin {
+	case "address":
+		return ip.eval(e.Args[0], env).And(addressMask)
+	case "uint256":
+		return ip.eval(e.Args[0], env)
+	case "balance":
+		addr := ip.eval(e.Args[0], env)
+		if addr.IsZero() {
+			return ip.Balance // balance(this) under the harness's ThisExpr model
+		}
+		return u256.Zero
+	case "keccak256":
+		v := ip.eval(e.Args[0], env)
+		b := v.Bytes32()
+		return u256.FromBytes32(crypto.Keccak256(b[:]))
+	case "staticcall_unchecked", "staticcall_checked":
+		// No external world at source level: evaluate operands for effect;
+		// the unchecked variant reflects its input (the empty-callee case),
+		// the checked variant yields zero.
+		ip.eval(e.Args[0], env)
+		in := ip.eval(e.Args[1], env)
+		if e.Builtin == "staticcall_unchecked" {
+			return in
+		}
+		return u256.Zero
+	}
+	panic(fmt.Sprintf("minisol: interp: unknown builtin %q", e.Builtin))
+}

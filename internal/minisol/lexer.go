@@ -1,0 +1,254 @@
+package minisol
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lexer converts source text to tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// Lex tokenizes src, returning the token stream or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByte2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByte2() == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByte2() == '*':
+			startLine := l.line
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return fmt.Errorf("minisol:%d: unterminated block comment", startLine)
+				}
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		start.Kind = TokEOF
+		return start, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		begin := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[begin:l.pos]
+		if text == "_" {
+			start.Kind = TokUnderscore
+			start.Text = text
+			return start, nil
+		}
+		start.Kind = TokIdent
+		start.Text = text
+		return start, nil
+	case isDigit(c):
+		begin := l.pos
+		if c == '0' && (l.peekByte2() == 'x' || l.peekByte2() == 'X') {
+			l.advance()
+			l.advance()
+			if !isHexDigit(l.peekByte()) {
+				return Token{}, fmt.Errorf("minisol:%d:%d: malformed hex literal", start.Line, start.Col)
+			}
+			for l.pos < len(l.src) && isHexDigit(l.peekByte()) {
+				l.advance()
+			}
+		} else {
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+		start.Kind = TokNumber
+		start.Text = l.src[begin:l.pos]
+		return start, nil
+	case c == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("minisol:%d:%d: unterminated string", start.Line, start.Col)
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			b.WriteByte(ch)
+		}
+		start.Kind = TokString
+		start.Text = b.String()
+		return start, nil
+	}
+
+	two := func(kind TokKind) (Token, error) {
+		l.advance()
+		l.advance()
+		start.Kind = kind
+		return start, nil
+	}
+	one := func(kind TokKind) (Token, error) {
+		l.advance()
+		start.Kind = kind
+		return start, nil
+	}
+	d := l.peekByte2()
+	switch c {
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case '[':
+		return one(TokLBracket)
+	case ']':
+		return one(TokRBracket)
+	case ';':
+		return one(TokSemi)
+	case ',':
+		return one(TokComma)
+	case '.':
+		return one(TokDot)
+	case '=':
+		if d == '=' {
+			return two(TokEq)
+		}
+		if d == '>' {
+			return two(TokArrow)
+		}
+		return one(TokAssign)
+	case '!':
+		if d == '=' {
+			return two(TokNeq)
+		}
+		return one(TokBang)
+	case '<':
+		if d == '=' {
+			return two(TokLe)
+		}
+		if d == '<' {
+			return two(TokShl)
+		}
+		return one(TokLt)
+	case '>':
+		if d == '=' {
+			return two(TokGe)
+		}
+		if d == '>' {
+			return two(TokShr)
+		}
+		return one(TokGt)
+	case '+':
+		if d == '=' {
+			return two(TokPlusAssign)
+		}
+		return one(TokPlus)
+	case '-':
+		if d == '=' {
+			return two(TokMinusAssign)
+		}
+		return one(TokMinus)
+	case '*':
+		return one(TokStar)
+	case '/':
+		return one(TokSlash)
+	case '%':
+		return one(TokPercent)
+	case '&':
+		if d == '&' {
+			return two(TokAndAnd)
+		}
+		return one(TokAmp)
+	case '|':
+		if d == '|' {
+			return two(TokOrOr)
+		}
+		return one(TokPipe)
+	case '^':
+		return one(TokCaret)
+	}
+	return Token{}, fmt.Errorf("minisol:%d:%d: unexpected character %q", start.Line, start.Col, string(c))
+}

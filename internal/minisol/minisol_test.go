@@ -1,0 +1,625 @@
+package minisol_test
+
+import (
+	"strings"
+	"testing"
+
+	"ethainter/internal/chain"
+	"ethainter/internal/crypto"
+	"ethainter/internal/evm"
+	"ethainter/internal/minisol"
+	"ethainter/internal/u256"
+)
+
+// deploy compiles src and deploys it from a fresh account, returning the
+// chain, the deployer, and the contract address.
+func deploy(t *testing.T, src string) (*chain.Chain, evm.Address, evm.Address, *minisol.Compiled) {
+	t.Helper()
+	out, err := minisol.CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	c := chain.New()
+	deployer := c.NewAccount(u256.FromUint64(1_000_000))
+	r := c.Deploy(deployer, out.Deploy, u256.Zero)
+	if r.Err != nil {
+		t.Fatalf("deploy: %v", r.Err)
+	}
+	return c, deployer, r.Created, out
+}
+
+// call invokes a public function and fails the test on revert.
+func call(t *testing.T, c *chain.Chain, from, to evm.Address, out *minisol.Compiled, fn string, args ...u256.U256) *chain.Receipt {
+	t.Helper()
+	abi, ok := minisol.FindABI(out.ABI, fn)
+	if !ok {
+		t.Fatalf("no ABI entry for %q", fn)
+	}
+	r := c.Call(from, to, abi.MustEncodeCall(args...), u256.Zero)
+	return r
+}
+
+func mustWord(t *testing.T, r *chain.Receipt) u256.U256 {
+	t.Helper()
+	if r.Err != nil {
+		t.Fatalf("call failed: %v", r.Err)
+	}
+	w, err := minisol.DecodeReturnWord(r.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestCompileAndRunToken(t *testing.T) {
+	c, deployer, token, out := deploy(t, minisol.SafeTokenSource)
+	alice := c.NewAccount(u256.FromUint64(1000))
+	bob := c.NewAccount(u256.FromUint64(1000))
+
+	// Deployer got the initial supply in the constructor.
+	if got := mustWord(t, call(t, c, deployer, token, out, "balanceOf", deployer.Word())); got != u256.FromUint64(1_000_000) {
+		t.Fatalf("deployer balance = %s", got)
+	}
+	// Transfer to alice.
+	r := call(t, c, deployer, token, out, "transfer", alice.Word(), u256.FromUint64(500))
+	if mustWord(t, r) != u256.One {
+		t.Fatal("transfer should return true")
+	}
+	if got := mustWord(t, call(t, c, alice, token, out, "balanceOf", alice.Word())); got != u256.FromUint64(500) {
+		t.Fatalf("alice balance = %s", got)
+	}
+	// Overdraft reverts.
+	if r := call(t, c, alice, token, out, "transfer", bob.Word(), u256.FromUint64(501)); r.Err == nil {
+		t.Fatal("overdraft transfer should revert")
+	}
+	// approve / transferFrom through the nested mapping.
+	call(t, c, alice, token, out, "approve", bob.Word(), u256.FromUint64(200))
+	r = call(t, c, bob, token, out, "transferFrom", alice.Word(), bob.Word(), u256.FromUint64(150))
+	if r.Err != nil {
+		t.Fatalf("transferFrom: %v", r.Err)
+	}
+	if got := mustWord(t, call(t, c, bob, token, out, "balanceOf", bob.Word())); got != u256.FromUint64(150) {
+		t.Fatalf("bob balance = %s", got)
+	}
+	// Allowance was decremented: a second pull over the limit reverts.
+	if r := call(t, c, bob, token, out, "transferFrom", alice.Word(), bob.Word(), u256.FromUint64(100)); r.Err == nil {
+		t.Fatal("transferFrom beyond allowance should revert")
+	}
+	// Owner-guarded mint: non-owner reverts, owner succeeds.
+	if r := call(t, c, alice, token, out, "mint", alice.Word(), u256.FromUint64(1)); r.Err == nil {
+		t.Fatal("mint by non-owner should revert")
+	}
+	if r := call(t, c, deployer, token, out, "mint", alice.Word(), u256.FromUint64(7)); r.Err != nil {
+		t.Fatalf("mint by owner: %v", r.Err)
+	}
+	if got := mustWord(t, call(t, c, alice, token, out, "balanceOf", alice.Word())); got != u256.FromUint64(350+7) {
+		t.Fatalf("alice post-mint balance = %s", got)
+	}
+	// Guarded kill: attacker fails, owner succeeds.
+	if r := call(t, c, alice, token, out, "kill"); r.Err == nil {
+		t.Fatal("kill by non-owner should revert")
+	}
+	if r := call(t, c, deployer, token, out, "kill"); r.Err != nil {
+		t.Fatalf("kill by owner: %v", r.Err)
+	}
+	if !c.IsDestroyed(token) {
+		t.Fatal("token should be destroyed by owner kill")
+	}
+}
+
+// The paper's Section 2 attack, executed end to end: the mis-guarded
+// referAdmin lets a fresh attacker escalate to admin, become owner, and
+// destroy the contract, receiving its balance.
+func TestVictimCompositeAttack(t *testing.T) {
+	c, _, victim, out := deploy(t, minisol.VictimSource)
+	c.State.AddBalance(victim, u256.FromUint64(9999))
+	attacker := c.NewAccount(u256.FromUint64(100))
+
+	// kill() straight away must fail: attacker is not an admin.
+	if r := call(t, c, attacker, victim, out, "kill"); r.Err == nil {
+		t.Fatal("premature kill should revert")
+	}
+	// referAdmin before registering must fail: not a user yet.
+	if r := call(t, c, attacker, victim, out, "referAdmin", attacker.Word()); r.Err == nil {
+		t.Fatal("referAdmin before registerSelf should revert")
+	}
+
+	steps := []struct {
+		fn   string
+		args []u256.U256
+	}{
+		{"registerSelf", nil},
+		{"referAdmin", []u256.U256{attacker.Word()}},
+		{"changeOwner", []u256.U256{attacker.Word()}},
+		{"kill", nil},
+	}
+	for _, s := range steps {
+		if r := call(t, c, attacker, victim, out, s.fn, s.args...); r.Err != nil {
+			t.Fatalf("attack step %s failed: %v", s.fn, r.Err)
+		}
+	}
+	if !c.IsDestroyed(victim) {
+		t.Fatal("victim should be destroyed")
+	}
+	if got := c.State.GetBalance(attacker); got != u256.FromUint64(100+9999) {
+		t.Fatalf("attacker balance = %s, want the victim's funds", got)
+	}
+}
+
+func TestTaintedOwnerExploit(t *testing.T) {
+	c, _, target, out := deploy(t, minisol.TaintedOwnerSource)
+	attacker := c.NewAccount(u256.FromUint64(10))
+	// kill is a no-op while attacker is not the owner (if-guard, no revert).
+	if r := call(t, c, attacker, target, out, "kill"); r.Err != nil {
+		t.Fatalf("kill: %v", r.Err)
+	}
+	if c.IsDestroyed(target) {
+		t.Fatal("destroyed too early")
+	}
+	call(t, c, attacker, target, out, "initOwner", attacker.Word())
+	if r := call(t, c, attacker, target, out, "kill"); r.Err != nil {
+		t.Fatalf("kill after initOwner: %v", r.Err)
+	}
+	if !c.IsDestroyed(target) {
+		t.Fatal("contract should be destroyed after owner tainting")
+	}
+}
+
+func TestDelegatecallRunsForeignCodeInContractState(t *testing.T) {
+	c, _, migrator, out := deploy(t, minisol.TaintedDelegatecallSource)
+	attacker := c.NewAccount(u256.FromUint64(10))
+	// Attacker contract: selfdestruct(origin) — run via delegatecall it
+	// destroys the *migrator*.
+	evil := c.DeployRuntime(evm.MustAssemble(`
+		ORIGIN
+		SELFDESTRUCT
+	`), u256.Zero)
+	r := call(t, c, attacker, migrator, out, "migrate", evil.Word())
+	if r.Err != nil {
+		t.Fatalf("migrate: %v", r.Err)
+	}
+	if !c.IsDestroyed(migrator) {
+		t.Fatal("delegatecall selfdestruct must destroy the caller contract")
+	}
+}
+
+func TestUncheckedStaticcallReflectsInput(t *testing.T) {
+	c, _, exch, out := deploy(t, minisol.UncheckedStaticcallSource)
+	user := c.NewAccount(u256.FromUint64(10))
+	// A wallet with no code returns nothing: the input word is read back.
+	emptyWallet := c.DeployRuntime(evm.MustAssemble("STOP"), u256.Zero)
+	hash := u256.FromUint64(0x1234)
+	got := mustWord(t, call(t, c, user, exch, out, "isValidSignature", emptyWallet.Word(), hash))
+	if got != hash {
+		t.Fatalf("isValidSignature = %s, want the reflected input %s", got, hash)
+	}
+	// settle() demands == 1, so pass 1 as the "hash": forged approval.
+	if r := call(t, c, user, exch, out, "settle", emptyWallet.Word(), u256.One); r.Err != nil {
+		t.Fatalf("settle forged: %v", r.Err)
+	}
+}
+
+func TestInternalCallsAndReturns(t *testing.T) {
+	src := `
+contract Math {
+    uint256 sink;
+
+    function addmul(uint256 a, uint256 b, uint256 c) internal returns (uint256) {
+        uint256 s = a + b;
+        return s * c;
+    }
+    function twice(uint256 x) internal returns (uint256) {
+        return addmul(x, x, 1);
+    }
+    function compute(uint256 x) public returns (uint256) {
+        uint256 r = addmul(x, 2, 3) + twice(10);
+        sink = r;
+        return r;
+    }
+    function stored() public returns (uint256) { return sink; }
+}`
+	c, _, addr, out := deploy(t, src)
+	user := c.NewAccount(u256.FromUint64(10))
+	// (5+2)*3 + (10+10)*1 = 21 + 20 = 41
+	got := mustWord(t, call(t, c, user, addr, out, "compute", u256.FromUint64(5)))
+	if got != u256.FromUint64(41) {
+		t.Fatalf("compute(5) = %s, want 41", got)
+	}
+	if got := mustWord(t, call(t, c, user, addr, out, "stored")); got != u256.FromUint64(41) {
+		t.Fatalf("stored = %s", got)
+	}
+}
+
+func TestWhileLoopAndLocals(t *testing.T) {
+	src := `
+contract Loop {
+    function sum(uint256 n) public returns (uint256) {
+        uint256 acc = 0;
+        uint256 i = 1;
+        while (i <= n) {
+            acc += i;
+            i += 1;
+        }
+        return acc;
+    }
+}`
+	c, _, addr, out := deploy(t, src)
+	user := c.NewAccount(u256.FromUint64(10))
+	if got := mustWord(t, call(t, c, user, addr, out, "sum", u256.FromUint64(10))); got != u256.FromUint64(55) {
+		t.Fatalf("sum(10) = %s", got)
+	}
+	if got := mustWord(t, call(t, c, user, addr, out, "sum", u256.Zero)); !got.IsZero() {
+		t.Fatalf("sum(0) = %s", got)
+	}
+}
+
+func TestIfElseChains(t *testing.T) {
+	src := `
+contract Cmp {
+    function classify(uint256 x) public returns (uint256) {
+        if (x < 10) { return 1; }
+        else {
+            if (x == 10) { return 2; }
+        }
+        return 3;
+    }
+    function logic(bool a, bool b) public returns (uint256) {
+        if (a && !b) { return 1; }
+        if (a || b) { return 2; }
+        return 0;
+    }
+}`
+	c, _, addr, out := deploy(t, src)
+	u := c.NewAccount(u256.FromUint64(10))
+	cases := map[uint64]uint64{5: 1, 10: 2, 11: 3}
+	for in, want := range cases {
+		if got := mustWord(t, call(t, c, u, addr, out, "classify", u256.FromUint64(in))); got != u256.FromUint64(want) {
+			t.Errorf("classify(%d) = %s, want %d", in, got, want)
+		}
+	}
+	if got := mustWord(t, call(t, c, u, addr, out, "logic", u256.One, u256.Zero)); got != u256.One {
+		t.Errorf("logic(true,false) = %s", got)
+	}
+	if got := mustWord(t, call(t, c, u, addr, out, "logic", u256.Zero, u256.One)); got != u256.FromUint64(2) {
+		t.Errorf("logic(false,true) = %s", got)
+	}
+	if got := mustWord(t, call(t, c, u, addr, out, "logic", u256.Zero, u256.Zero)); !got.IsZero() {
+		t.Errorf("logic(false,false) = %s", got)
+	}
+}
+
+func TestArithmeticOperators(t *testing.T) {
+	src := `
+contract Ops {
+    function f(uint256 a, uint256 b) public returns (uint256) {
+        return ((a - b) * 3 + a / b) % 100;
+    }
+    function shifts(uint256 a) public returns (uint256) {
+        return (a << 4) | (a >> 1) ^ 5 & 7;
+    }
+}`
+	c, _, addr, out := deploy(t, src)
+	u := c.NewAccount(u256.FromUint64(10))
+	// ((20-3)*3 + 20/3) % 100 = (51+6)%100 = 57
+	if got := mustWord(t, call(t, c, u, addr, out, "f", u256.FromUint64(20), u256.FromUint64(3))); got != u256.FromUint64(57) {
+		t.Fatalf("f = %s", got)
+	}
+	// (6<<4) | (6>>1) ^ (5&7) = 96 | (3 ^ 5) = 96|6 = 102
+	if got := mustWord(t, call(t, c, u, addr, out, "shifts", u256.FromUint64(6))); got != u256.FromUint64(102) {
+		t.Fatalf("shifts = %s", got)
+	}
+}
+
+func TestPayableAndNonPayable(t *testing.T) {
+	src := `
+contract Pay {
+    uint256 received;
+
+    function depositIt() public payable {
+        received += msg.value;
+    }
+    function plain() public {}
+    function got() public returns (uint256) { return received; }
+}`
+	c, _, addr, out := deploy(t, src)
+	user := c.NewAccount(u256.FromUint64(1000))
+	abi, _ := minisol.FindABI(out.ABI, "depositIt")
+	if r := c.Call(user, addr, abi.MustEncodeCall(), u256.FromUint64(77)); r.Err != nil {
+		t.Fatalf("payable deposit: %v", r.Err)
+	}
+	if got := mustWord(t, call(t, c, user, addr, out, "got")); got != u256.FromUint64(77) {
+		t.Fatalf("received = %s", got)
+	}
+	plain, _ := minisol.FindABI(out.ABI, "plain")
+	if r := c.Call(user, addr, plain.MustEncodeCall(), u256.FromUint64(1)); r.Err == nil {
+		t.Fatal("sending value to non-payable must revert")
+	}
+}
+
+func TestTransferBuiltin(t *testing.T) {
+	src := `
+contract Bank {
+    mapping(address => uint256) deposits;
+
+    function deposit() public payable {
+        deposits[msg.sender] += msg.value;
+    }
+    function withdraw(uint256 amount) public {
+        require(deposits[msg.sender] >= amount);
+        deposits[msg.sender] -= amount;
+        send(msg.sender, amount);
+    }
+}`
+	c, _, bank, out := deploy(t, src)
+	user := c.NewAccount(u256.FromUint64(1000))
+	dep, _ := minisol.FindABI(out.ABI, "deposit")
+	if r := c.Call(user, bank, dep.MustEncodeCall(), u256.FromUint64(300)); r.Err != nil {
+		t.Fatalf("deposit: %v", r.Err)
+	}
+	if r := call(t, c, user, bank, out, "withdraw", u256.FromUint64(120)); r.Err != nil {
+		t.Fatalf("withdraw: %v", r.Err)
+	}
+	if got := c.State.GetBalance(user); got != u256.FromUint64(1000-300+120) {
+		t.Fatalf("user balance = %s", got)
+	}
+	if r := call(t, c, user, bank, out, "withdraw", u256.FromUint64(500)); r.Err == nil {
+		t.Fatal("over-withdraw should revert")
+	}
+}
+
+func TestAssertCompilesToInvalid(t *testing.T) {
+	src := `
+contract A {
+    function check(uint256 x) public returns (uint256) {
+        assert(x != 0);
+        return 100 / x;
+    }
+}`
+	c, _, addr, out := deploy(t, src)
+	u := c.NewAccount(u256.FromUint64(10))
+	if got := mustWord(t, call(t, c, u, addr, out, "check", u256.FromUint64(4))); got != u256.FromUint64(25) {
+		t.Fatalf("check(4) = %s", got)
+	}
+	r := call(t, c, u, addr, out, "check", u256.Zero)
+	if r.Err == nil {
+		t.Fatal("assert(0) should fail")
+	}
+}
+
+func TestStateVarInitializers(t *testing.T) {
+	src := `
+contract Init {
+    uint256 cap = 5000;
+    bool open = true;
+    address root = address(0x1234);
+
+    function getCap() public returns (uint256) { return cap; }
+    function isOpen() public returns (uint256) { if (open) { return 1; } return 0; }
+    function getRoot() public returns (address) { return root; }
+}`
+	c, _, addr, out := deploy(t, src)
+	u := c.NewAccount(u256.FromUint64(10))
+	if got := mustWord(t, call(t, c, u, addr, out, "getCap")); got != u256.FromUint64(5000) {
+		t.Fatalf("cap = %s", got)
+	}
+	if got := mustWord(t, call(t, c, u, addr, out, "isOpen")); got != u256.One {
+		t.Fatalf("open = %s", got)
+	}
+	if got := mustWord(t, call(t, c, u, addr, out, "getRoot")); got != u256.FromUint64(0x1234) {
+		t.Fatalf("root = %s", got)
+	}
+}
+
+func TestUnknownSelectorReverts(t *testing.T) {
+	c, _, addr, _ := deploy(t, minisol.SafeTokenSource)
+	u := c.NewAccount(u256.FromUint64(10))
+	r := c.Call(u, addr, []byte{0xde, 0xad, 0xbe, 0xef}, u256.Zero)
+	if r.Err == nil {
+		t.Fatal("unknown selector should revert")
+	}
+	// Short calldata also reverts rather than running something arbitrary.
+	r = c.Call(u, addr, []byte{0x01}, u256.Zero)
+	if r.Err == nil {
+		t.Fatal("short calldata should revert")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"type mismatch": `contract X { function f() public { uint256 a = true; } }`,
+		"undefined var": `contract X { function f() public { y = 1; } }`,
+		"undefined fn":  `contract X { function f() public { g(); } }`,
+		"bad arg count": `contract X {
+			function g(uint256 a) internal returns (uint256) { return a; }
+			function f() public { uint256 x = g(); }
+		}`,
+		"recursion": `contract X {
+			function g(uint256 a) internal returns (uint256) { return g(a); }
+			function f() public { uint256 x = g(1); }
+		}`,
+		"mutual recursion": `contract X {
+			function g() internal returns (uint256) { return h(); }
+			function h() internal returns (uint256) { return g(); }
+			function f() public { uint256 x = g(); }
+		}`,
+		"placeholder outside modifier": `contract X { function f() public { _; } }`,
+		"modifier without placeholder": `contract X { modifier m() { require(true); } function f() public m {} }`,
+		"unknown modifier":             `contract X { function f() public nosuch {} }`,
+		"call public internally": `contract X {
+			function g() public returns (uint256) { return 1; }
+			function f() public { uint256 x = g(); }
+		}`,
+		"mapping comparison": `contract X {
+			mapping(address => bool) m;
+			function f() public { require(m == m); }
+		}`,
+		"assign to mapping": `contract X {
+			mapping(address => bool) m;
+			mapping(address => bool) n;
+			function f() public { m = n; }
+		}`,
+		"bad mapping key": `contract X {
+			mapping(address => bool) m;
+			function f() public { m[1] = true; }
+		}`,
+		"non-bool require":   `contract X { function f() public { require(1); } }`,
+		"duplicate function": `contract X { function f() public {} function f() public {} }`,
+		"duplicate state":    `contract X { uint256 a; uint256 a; }`,
+		"return in ctor":     `contract X { constructor() { return; } }`,
+		"void as value": `contract X {
+			function g() internal {}
+			function f() public { uint256 x = g(); }
+		}`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := minisol.CompileSource(src)
+			if err == nil {
+				t.Fatalf("expected a compile error")
+			}
+		})
+	}
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	_, err := minisol.CompileSource("contract X {\n  function f( public {}\n}")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("error should carry line 2 position: %v", err)
+	}
+}
+
+func TestSelectorMatchesKnownValue(t *testing.T) {
+	// kill() has the well-known selector 0x41c0e1b5.
+	sel := minisol.SelectorOf("kill()")
+	if sel != [4]byte{0x41, 0xc0, 0xe1, 0xb5} {
+		t.Fatalf("selector of kill() = %x", sel)
+	}
+}
+
+func TestKeccakBuiltinMatchesMappingLayout(t *testing.T) {
+	// Storing into m[k] (slot 0) then reading storage directly at
+	// keccak256(pad(k) ++ pad(0)) must agree.
+	src := `
+contract M {
+    mapping(uint256 => uint256) m;
+    function put(uint256 k, uint256 v) public { m[k] = v; }
+}`
+	c, _, addr, out := deploy(t, src)
+	u := c.NewAccount(u256.FromUint64(10))
+	k, v := u256.FromUint64(99), u256.FromUint64(1234)
+	if r := call(t, c, u, addr, out, "put", k, v); r.Err != nil {
+		t.Fatalf("put: %v", r.Err)
+	}
+	kb, sb := k.Bytes32(), u256.Zero.Bytes32()
+	slot := u256.FromBytes32(keccakConcat(kb, sb))
+	if got := c.State.GetState(addr, slot); got != v {
+		t.Fatalf("storage[hash] = %s, want %s", got, v)
+	}
+}
+
+func keccakConcat(a, b [32]byte) [32]byte {
+	buf := append(append([]byte{}, a[:]...), b[:]...)
+	return keccak(buf)
+}
+
+func keccak(b []byte) [32]byte { return crypto.Keccak256(b) }
+
+func TestFixedArrays(t *testing.T) {
+	src := `
+contract Arr {
+    uint256 before;
+    uint256[4] vals;
+    uint256 after;
+
+    function set(uint256 i, uint256 v) public {
+        require(i < 4);
+        vals[i] = v;
+    }
+    function get(uint256 i) public returns (uint256) {
+        require(i < 4);
+        return vals[i];
+    }
+    function setAfter(uint256 v) public { after = v; }
+    function getAfter() public returns (uint256) { return after; }
+}`
+	c, _, addr, out := deploy(t, src)
+	u := c.NewAccount(u256.FromUint64(10))
+	for i := uint64(0); i < 4; i++ {
+		if r := call(t, c, u, addr, out, "set", u256.FromUint64(i), u256.FromUint64(100+i)); r.Err != nil {
+			t.Fatalf("set(%d): %v", i, r.Err)
+		}
+	}
+	for i := uint64(0); i < 4; i++ {
+		if got := mustWord(t, call(t, c, u, addr, out, "get", u256.FromUint64(i))); got != u256.FromUint64(100+i) {
+			t.Fatalf("get(%d) = %s", i, got)
+		}
+	}
+	// Out of bounds reverts via the explicit check.
+	if r := call(t, c, u, addr, out, "set", u256.FromUint64(4), u256.One); r.Err == nil {
+		t.Fatal("out-of-bounds set should revert")
+	}
+	// Array elements land at slots base..base+3; `after` must not clash.
+	call(t, c, u, addr, out, "setAfter", u256.FromUint64(777))
+	if got := mustWord(t, call(t, c, u, addr, out, "getAfter")); got != u256.FromUint64(777) {
+		t.Fatalf("after = %s", got)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if got := c.State.GetState(addr, u256.FromUint64(1+i)); got != u256.FromUint64(100+i) {
+			t.Fatalf("slot %d = %s (array must occupy consecutive slots)", 1+i, got)
+		}
+	}
+	if got := c.State.GetState(addr, u256.FromUint64(5)); got != u256.FromUint64(777) {
+		t.Fatalf("after slot = %s", got)
+	}
+}
+
+func TestArrayRestrictions(t *testing.T) {
+	bad := map[string]string{
+		"array param":    `contract X { function f(uint256[2] a) public {} }`,
+		"array return":   `contract X { function f() public returns (uint256[2]) {} }`,
+		"array local":    `contract X { function f() public { uint256[2] a; } }`,
+		"array init":     `contract X { uint256[2] a = 5; }`,
+		"mapping array":  `contract X { mapping(address => uint256[2]) m; }`,
+		"array of maps":  `contract X { mapping(address => bool)[3] m; }`,
+		"zero length":    `contract X { uint256[0] a; }`,
+		"whole-array =":  `contract X { uint256[2] a; uint256[2] b; function f() public { a = b; } }`,
+		"bad index type": `contract X { uint256[2] a; function f(address p) public { a[p] = 1; } }`,
+	}
+	for name, src := range bad {
+		if _, err := minisol.CompileSource(src); err == nil {
+			t.Errorf("%s: expected a compile error", name)
+		}
+	}
+}
+
+func TestMultipleModifiersCompose(t *testing.T) {
+	src := `
+contract Multi {
+    address owner;
+    bool open;
+    uint256 hits;
+    constructor() { owner = msg.sender; open = true; }
+    modifier onlyOwner() { require(msg.sender == owner); _; }
+    modifier whenOpen() { require(open); _; hits += 1; }
+    function poke() public whenOpen onlyOwner { hits += 10; }
+    function close() public onlyOwner { open = false; }
+    function getHits() public returns (uint256) { return hits; }
+}`
+	c, deployer, addr, out := deploy(t, src)
+	stranger := c.NewAccount(u256.FromUint64(10))
+	// Both guards apply, in order; the trailing modifier code after `_;` runs.
+	if r := call(t, c, stranger, addr, out, "poke"); r.Err == nil {
+		t.Fatal("stranger must fail the owner modifier")
+	}
+	if r := call(t, c, deployer, addr, out, "poke"); r.Err != nil {
+		t.Fatalf("owner poke: %v", r.Err)
+	}
+	// hits = 10 (body) + 1 (whenOpen trailer).
+	if got := mustWord(t, call(t, c, deployer, addr, out, "getHits")); got != u256.FromUint64(11) {
+		t.Fatalf("hits = %s, want 11 (modifier trailer must run)", got)
+	}
+	call(t, c, deployer, addr, out, "close")
+	if r := call(t, c, deployer, addr, out, "poke"); r.Err == nil {
+		t.Fatal("poke after close must fail the whenOpen modifier")
+	}
+}

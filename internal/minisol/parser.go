@@ -1,0 +1,797 @@
+package minisol
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a single contract.
+func Parse(src string) (*Contract, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	c, err := p.parseContract()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errf("trailing input after contract")
+	}
+	return c, nil
+}
+
+func (p *parser) peek() Token  { return p.toks[p.pos] }
+func (p *parser) peek2() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("minisol:%s: %s", t.Pos(), fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind TokKind, what string) (Token, error) {
+	t := p.peek()
+	if t.Kind != kind {
+		return t, p.errf("expected %s, found %s", what, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.Kind != TokIdent || t.Text != kw {
+		return p.errf("expected %q, found %s", kw, t)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokIdent && t.Text == kw
+}
+
+func (p *parser) parseContract() (*Contract, error) {
+	if err := p.expectKeyword("contract"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "contract name")
+	if err != nil {
+		return nil, err
+	}
+	if keywords[name.Text] {
+		return nil, p.errf("keyword %q cannot name a contract", name.Text)
+	}
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	c := &Contract{Name: name.Text}
+	slot := 0
+	for p.peek().Kind != TokRBrace {
+		switch {
+		case p.atKeyword("function"):
+			fn, err := p.parseFunction()
+			if err != nil {
+				return nil, err
+			}
+			c.Functions = append(c.Functions, fn)
+		case p.atKeyword("constructor"):
+			fn, err := p.parseConstructor()
+			if err != nil {
+				return nil, err
+			}
+			if c.Ctor != nil {
+				return nil, p.errf("duplicate constructor")
+			}
+			c.Ctor = fn
+		case p.atKeyword("modifier"):
+			m, err := p.parseModifier()
+			if err != nil {
+				return nil, err
+			}
+			c.Modifiers = append(c.Modifiers, m)
+		case p.atKeyword("event"):
+			// Event declarations are accepted and ignored (no logs needed).
+			if err := p.skipThrough(TokSemi); err != nil {
+				return nil, err
+			}
+		default:
+			v, err := p.parseStateVar()
+			if err != nil {
+				return nil, err
+			}
+			v.Slot = slot
+			slot += v.Type.Slots()
+			c.Vars = append(c.Vars, v)
+		}
+	}
+	p.next() // '}'
+	return c, nil
+}
+
+func (p *parser) skipThrough(kind TokKind) error {
+	for {
+		t := p.next()
+		if t.Kind == kind {
+			return nil
+		}
+		if t.Kind == TokEOF {
+			return p.errf("unexpected end of input")
+		}
+	}
+}
+
+func (p *parser) parseType() (*Type, error) {
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	// Fixed-size array suffix: uint256[8].
+	if p.peek().Kind == TokLBracket {
+		if !base.Elementary() {
+			return nil, p.errf("arrays of %s are not supported", base)
+		}
+		p.next()
+		num, err := p.expect(TokNumber, "array length")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(num.Text)
+		if err != nil || n < 1 || n > 1024 {
+			return nil, p.errf("bad array length %q", num.Text)
+		}
+		if _, err := p.expect(TokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		return &Type{Kind: TyArray, Val: base, Len: n}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) parseBaseType() (*Type, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return nil, p.errf("expected a type, found %s", t)
+	}
+	switch t.Text {
+	case "uint256", "uint":
+		p.next()
+		return Uint256T, nil
+	case "address":
+		p.next()
+		return AddressT, nil
+	case "bool":
+		p.next()
+		return BoolT, nil
+	case "mapping":
+		p.next()
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		key, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if !key.Elementary() {
+			return nil, p.errf("mapping keys must be elementary")
+		}
+		if _, err := p.expect(TokArrow, "'=>'"); err != nil {
+			return nil, err
+		}
+		val, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return &Type{Kind: TyMapping, Key: key, Val: val}, nil
+	}
+	return nil, p.errf("unknown type %q", t.Text)
+}
+
+func (p *parser) parseStateVar() (*StateVar, error) {
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "variable name")
+	if err != nil {
+		return nil, err
+	}
+	if keywords[name.Text] {
+		return nil, p.errf("keyword %q cannot name a variable", name.Text)
+	}
+	// Optional visibility keyword, ignored for state vars (no auto-getters).
+	if p.atKeyword("public") || p.atKeyword("internal") {
+		p.next()
+	}
+	v := &StateVar{Name: name.Text, Type: ty}
+	if p.peek().Kind == TokAssign {
+		p.next()
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		v.Init = init
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (p *parser) parseModifier() (*Modifier, error) {
+	line := p.peek().Line
+	p.next() // 'modifier'
+	name, err := p.expect(TokIdent, "modifier name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen, "')' (modifier parameters are not supported)"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	count := countPlaceholders(body)
+	if count != 1 {
+		return nil, fmt.Errorf("minisol:%d: modifier %s must contain exactly one `_;` (found %d)", line, name.Text, count)
+	}
+	return &Modifier{Name: name.Text, Body: body, Line: line}, nil
+}
+
+func countPlaceholders(stmts []Stmt) int {
+	n := 0
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *PlaceholderStmt:
+			n++
+		case *IfStmt:
+			n += countPlaceholders(s.Then) + countPlaceholders(s.Else)
+		case *WhileStmt:
+			n += countPlaceholders(s.Body)
+		}
+	}
+	return n
+}
+
+func (p *parser) parseConstructor() (*Function, error) {
+	line := p.peek().Line
+	p.next() // 'constructor'
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen, "')' (constructor parameters are not supported)"); err != nil {
+		return nil, err
+	}
+	for p.atKeyword("public") || p.atKeyword("payable") {
+		p.next()
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Function{Name: "", Body: body, Public: false, Line: line}, nil
+}
+
+func (p *parser) parseFunction() (*Function, error) {
+	line := p.peek().Line
+	p.next() // 'function'
+	name, err := p.expect(TokIdent, "function name")
+	if err != nil {
+		return nil, err
+	}
+	if keywords[name.Text] {
+		return nil, p.errf("keyword %q cannot name a function", name.Text)
+	}
+	fn := &Function{Name: name.Text, Line: line}
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	for p.peek().Kind != TokRParen {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(TokComma, "','"); err != nil {
+				return nil, err
+			}
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if !ty.Elementary() {
+			return nil, p.errf("%s parameters are not supported", ty)
+		}
+		pname, err := p.expect(TokIdent, "parameter name")
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, &Param{Name: pname.Text, Type: ty})
+	}
+	p.next() // ')'
+	// Attributes: visibility, payable/view, modifiers, returns.
+	seenVisibility := false
+	for {
+		switch {
+		case p.atKeyword("public"):
+			p.next()
+			fn.Public = true
+			seenVisibility = true
+		case p.atKeyword("internal"):
+			p.next()
+			seenVisibility = true
+		case p.atKeyword("payable"):
+			p.next()
+			fn.Payable = true
+		case p.atKeyword("view"):
+			p.next()
+		case p.atKeyword("returns"):
+			p.next()
+			if _, err := p.expect(TokLParen, "'('"); err != nil {
+				return nil, err
+			}
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if !ty.Elementary() {
+				return nil, p.errf("%s returns are not supported", ty)
+			}
+			fn.Ret = ty
+			if _, err := p.expect(TokRParen, "')'"); err != nil {
+				return nil, err
+			}
+		case p.peek().Kind == TokIdent && !keywords[p.peek().Text]:
+			fn.Modifiers = append(fn.Modifiers, p.next().Text)
+		default:
+			goto attrsDone
+		}
+	}
+attrsDone:
+	_ = seenVisibility // Solidity <0.5 defaulted to public; we default private.
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if countPlaceholders(body) != 0 {
+		return nil, fmt.Errorf("minisol:%d: `_;` is only allowed in modifiers", line)
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.peek().Kind != TokRBrace {
+		if p.peek().Kind == TokEOF {
+			return nil, p.errf("unexpected end of input in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // '}'
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	line := t.Line
+	switch {
+	case t.Kind == TokUnderscore:
+		p.next()
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &PlaceholderStmt{Line: line}, nil
+	case p.atKeyword("if"):
+		p.next()
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		thenB, err := p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		var elseB []Stmt
+		if p.atKeyword("else") {
+			p.next()
+			elseB, err = p.parseStmtOrBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: thenB, Else: elseB, Line: line}, nil
+	case p.atKeyword("while"):
+		p.next()
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+	case p.atKeyword("require"), p.atKeyword("assert"):
+		isAssert := t.Text == "assert"
+		p.next()
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		// Optional message argument, ignored.
+		if p.peek().Kind == TokComma {
+			p.next()
+			if _, err := p.expect(TokString, "revert message string"); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &RequireStmt{Cond: cond, IsAssert: isAssert, Line: line}, nil
+	case p.atKeyword("revert"):
+		p.next()
+		if p.peek().Kind == TokLParen {
+			p.next()
+			if p.peek().Kind == TokString {
+				p.next()
+			}
+			if _, err := p.expect(TokRParen, "')'"); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &RevertStmt{Line: line}, nil
+	case p.atKeyword("return"):
+		p.next()
+		var val Expr
+		if p.peek().Kind != TokSemi {
+			var err error
+			val, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: val, Line: line}, nil
+	case p.atKeyword("selfdestruct"):
+		p.next()
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &SelfdestructStmt{Beneficiary: b, Line: line}, nil
+	case p.atKeyword("emit"):
+		// `emit Name(args);` accepted and discarded.
+		if err := p.skipThrough(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: &BoolExpr{Value: true, Line: line}, Line: line}, nil
+	case t.Kind == TokIdent && t.Text == "delegatecall":
+		p.next()
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		target, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &DelegatecallStmt{Target: target, Line: line}, nil
+	case t.Kind == TokIdent && t.Text == "send":
+		p.next()
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		to, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma, "','"); err != nil {
+			return nil, err
+		}
+		amt, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &TransferStmt{To: to, Amount: amt, Line: line}, nil
+	case t.Kind == TokIdent && isTypeName(t.Text) && p.peek2().Kind == TokIdent:
+		// Local declaration: `uint256 x = e;`
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent, "variable name")
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.peek().Kind == TokAssign {
+			p.next()
+			init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Name: name.Text, Type: ty, Init: init, Line: line}, nil
+	}
+	// Assignment or expression statement.
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek().Kind {
+	case TokAssign, TokPlusAssign, TokMinusAssign:
+		opTok := p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		op := byte('=')
+		if opTok.Kind == TokPlusAssign {
+			op = '+'
+		} else if opTok.Kind == TokMinusAssign {
+			op = '-'
+		}
+		return &AssignStmt{LHS: lhs, Op: op, RHS: rhs, Line: line}, nil
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: lhs, Line: line}, nil
+}
+
+func isTypeName(s string) bool {
+	switch s {
+	case "uint256", "uint", "address", "bool", "mapping":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseStmtOrBlock() ([]Stmt, error) {
+	if p.peek().Kind == TokLBrace {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+// --- Expressions (precedence climbing) ---
+
+// Binding powers, loosest first: || && | ^ & ==/!= <cmp> <</>> +- */%.
+func binPrec(k TokKind) int {
+	switch k {
+	case TokOrOr:
+		return 1
+	case TokAndAnd:
+		return 2
+	case TokPipe:
+		return 3
+	case TokCaret:
+		return 4
+	case TokAmp:
+		return 5
+	case TokEq, TokNeq:
+		return 6
+	case TokLt, TokGt, TokLe, TokGe:
+		return 7
+	case TokShl, TokShr:
+		return 8
+	case TokPlus, TokMinus:
+		return 9
+	case TokStar, TokSlash, TokPercent:
+		return 10
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().Kind
+		prec := binPrec(k)
+		if prec == 0 || prec < minPrec {
+			return lhs, nil
+		}
+		line := p.peek().Line
+		p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: k, L: lhs, R: rhs, Line: line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokBang || t.Kind == TokMinus {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Kind, X: x, Line: t.Line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokLBracket {
+		line := p.peek().Line
+		p.next()
+		key, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{Base: x, Key: key, Line: line}
+	}
+	return x, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		return &NumberExpr{Text: t.Text, Line: t.Line}, nil
+	case TokLParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TokIdent:
+		switch t.Text {
+		case "true", "false":
+			p.next()
+			return &BoolExpr{Value: t.Text == "true", Line: t.Line}, nil
+		case "msg":
+			p.next()
+			if _, err := p.expect(TokDot, "'.'"); err != nil {
+				return nil, err
+			}
+			f, err := p.expect(TokIdent, "msg field")
+			if err != nil {
+				return nil, err
+			}
+			if f.Text != "sender" && f.Text != "value" {
+				return nil, p.errf("unknown msg field %q", f.Text)
+			}
+			return &MsgExpr{Field: f.Text, Line: t.Line}, nil
+		case "block":
+			p.next()
+			if _, err := p.expect(TokDot, "'.'"); err != nil {
+				return nil, err
+			}
+			f, err := p.expect(TokIdent, "block field")
+			if err != nil {
+				return nil, err
+			}
+			if f.Text != "number" && f.Text != "timestamp" {
+				return nil, p.errf("unknown block field %q", f.Text)
+			}
+			return &BlockExpr{Field: f.Text, Line: t.Line}, nil
+		case "this":
+			p.next()
+			return &ThisExpr{Line: t.Line}, nil
+		}
+		// Call or plain identifier.
+		p.next()
+		if p.peek().Kind == TokLParen {
+			p.next()
+			call := &CallExpr{Name: t.Text, Line: t.Line}
+			for p.peek().Kind != TokRParen {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(TokComma, "','"); err != nil {
+						return nil, err
+					}
+				}
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+			}
+			p.next() // ')'
+			return call, nil
+		}
+		return &IdentExpr{Name: t.Text, Line: t.Line}, nil
+	}
+	return nil, p.errf("expected an expression, found %s", t)
+}

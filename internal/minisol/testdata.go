@@ -1,0 +1,171 @@
+package minisol
+
+// VictimSource is the paper's Section 2 running example: a contract whose
+// referAdmin is guarded by onlyUsers instead of onlyAdmins, enabling the
+// four-step composite escalation user -> admin -> owner -> selfdestruct.
+const VictimSource = `
+contract Victim {
+    mapping(address => bool) admins;
+    mapping(address => bool) users;
+    address owner;
+
+    constructor() {
+        owner = msg.sender;
+        admins[msg.sender] = true;
+    }
+
+    modifier onlyAdmins() {
+        require(admins[msg.sender]);
+        _;
+    }
+    modifier onlyUsers() {
+        require(users[msg.sender]);
+        _;
+    }
+
+    function registerSelf() public {
+        users[msg.sender] = true;
+    }
+    function referUser(address user) public onlyUsers {
+        users[user] = true;
+    }
+    function referAdmin(address adm) public onlyUsers {
+        admins[adm] = true;
+    }
+    function changeOwner(address o) public onlyAdmins {
+        owner = o;
+    }
+    function kill() public onlyAdmins {
+        selfdestruct(owner);
+    }
+}
+`
+
+// TaintedOwnerSource is the Section 3.1 example: a public initOwner lets
+// anyone overwrite the owner used to guard kill().
+const TaintedOwnerSource = `
+contract InitOwner {
+    address owner;
+
+    function initOwner(address _owner) public {
+        owner = _owner;
+    }
+    function kill() public {
+        if (msg.sender == owner) {
+            selfdestruct(owner);
+        }
+    }
+}
+`
+
+// TaintedDelegatecallSource is the Section 3.2 migrate() example.
+const TaintedDelegatecallSource = `
+contract Migrator {
+    function migrate(address delegate) public {
+        delegatecall(delegate);
+    }
+}
+`
+
+// AccessibleSelfdestructSource is the Section 3.3 unguarded kill().
+const AccessibleSelfdestructSource = `
+contract Killable {
+    address beneficiary;
+
+    constructor() {
+        beneficiary = msg.sender;
+    }
+    function kill() public {
+        selfdestruct(beneficiary);
+    }
+}
+`
+
+// TaintedSelfdestructSource is the Section 3.4 example: the selfdestruct is
+// owner-guarded, but any user can taint the beneficiary address first.
+const TaintedSelfdestructSource = `
+contract AdminPay {
+    address owner;
+    address administrator;
+
+    constructor() {
+        owner = msg.sender;
+    }
+    function initAdmin(address admin) public {
+        administrator = admin;
+    }
+    function kill() public {
+        if (msg.sender == owner) {
+            selfdestruct(administrator);
+        }
+    }
+}
+`
+
+// UncheckedStaticcallSource is the Section 3.5 0x-exchange pattern.
+const UncheckedStaticcallSource = `
+contract Exchange {
+    mapping(address => bool) settled;
+
+    function isValidSignature(address wallet, uint256 hash) public returns (uint256) {
+        uint256 isValid = staticcall_unchecked(wallet, hash);
+        return isValid;
+    }
+    function settle(address wallet, uint256 hash) public {
+        require(staticcall_unchecked(wallet, hash) == 1);
+        settled[msg.sender] = true;
+    }
+}
+`
+
+// SafeTokenSource is a well-guarded ERC20-style token used as a negative
+// control: its writes are all to sender-keyed data structures or properly
+// owner-guarded.
+const SafeTokenSource = `
+contract Token {
+    address owner;
+    uint256 totalSupply;
+    mapping(address => uint256) balances;
+    mapping(address => mapping(address => uint256)) allowed;
+
+    constructor() {
+        owner = msg.sender;
+        totalSupply = 1000000;
+        balances[msg.sender] = 1000000;
+    }
+
+    modifier onlyOwner() {
+        require(msg.sender == owner);
+        _;
+    }
+
+    function transfer(address to, uint256 value) public returns (bool) {
+        require(balances[msg.sender] >= value);
+        balances[msg.sender] -= value;
+        balances[to] += value;
+        return true;
+    }
+    function approve(address spender, uint256 value) public returns (bool) {
+        allowed[msg.sender][spender] = value;
+        return true;
+    }
+    function transferFrom(address from, address to, uint256 value) public returns (bool) {
+        require(balances[from] >= value);
+        require(allowed[from][msg.sender] >= value);
+        allowed[from][msg.sender] -= value;
+        balances[from] -= value;
+        balances[to] += value;
+        return true;
+    }
+    function balanceOf(address who) public view returns (uint256) {
+        return balances[who];
+    }
+    function mint(address to, uint256 value) public onlyOwner {
+        totalSupply += value;
+        balances[to] += value;
+    }
+    function kill() public onlyOwner {
+        selfdestruct(owner);
+    }
+}
+`

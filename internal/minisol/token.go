@@ -1,0 +1,96 @@
+// Package minisol implements a compiler for a Solidity subset to EVM
+// bytecode. It exists so the reproduction can generate unlimited, realistic
+// contract bytecode with known source and known ground truth: corpus
+// contracts, the paper's running examples (the Victim contract of Section 2,
+// the Parity-style wallet), and the source-level domain of the Securify2
+// baseline.
+//
+// The subset covers what the paper's vulnerability classes need: contracts
+// with state variables (uint256, address, bool, arbitrarily nested mappings),
+// modifiers, require/assert guards, public/internal functions, msg.sender /
+// msg.value, selfdestruct, low-level delegatecall and the 0x-style staticcall
+// patterns, value transfer, and internal calls. Compiled output uses the
+// standard Solidity ABI: a 4-byte-selector dispatcher, slot-per-variable
+// storage layout, and keccak256(key ++ slot) mapping addressing — the layout
+// the Ethainter data-structure rules (DS/DSA) are designed around.
+package minisol
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber // decimal or 0x hex literal
+	TokString // quoted string (used only in event-like constructs; reserved)
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokDot
+	TokArrow // =>
+
+	// Operators.
+	TokAssign     // =
+	TokPlusAssign // +=
+	TokMinusAssign
+	TokEq  // ==
+	TokNeq // !=
+	TokLt
+	TokGt
+	TokLe
+	TokGe
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokShl // <<
+	TokShr // >>
+	TokAndAnd
+	TokOrOr
+	TokBang
+	TokUnderscore // the modifier placeholder `_`
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return fmt.Sprintf("tok(%d)", t.Kind)
+}
+
+// Keywords of the subset. Identifiers are checked against this set by the
+// parser rather than the lexer so error messages can be contextual.
+var keywords = map[string]bool{
+	"contract": true, "function": true, "modifier": true, "constructor": true,
+	"mapping": true, "returns": true, "return": true, "if": true, "else": true,
+	"while": true, "require": true, "assert": true, "revert": true,
+	"public": true, "internal": true, "payable": true, "view": true,
+	"true": true, "false": true, "selfdestruct": true,
+	"uint256": true, "address": true, "bool": true, "msg": true, "block": true,
+	"this": true, "emit": true, "event": true,
+}
+
+// Pos renders a token position for diagnostics.
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }

@@ -1,0 +1,265 @@
+// Package server exposes the analyzer as an HTTP service — the reproduction's
+// analog of the paper's live deployment at contract-library.com, where
+// Ethainter results are "updated in quasi-real time". Endpoints accept
+// bytecode or mini-Solidity source and return JSON reports; an exploit
+// endpoint runs the full Ethainter-Kill pipeline on an ephemeral testbed.
+package server
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"ethainter/internal/chain"
+	"ethainter/internal/core"
+	"ethainter/internal/kill"
+	"ethainter/internal/minisol"
+	"ethainter/internal/u256"
+)
+
+// Server handles analysis requests. It is stateless per request; the zero
+// cost of our analysis makes per-request work practical, like the paper's
+// quasi-real-time deployment.
+type Server struct {
+	cfg core.Config
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// New returns a server analyzing with the given configuration.
+func New(cfg core.Config) *Server {
+	return &Server{cfg: cfg, MaxBodyBytes: 1 << 20}
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/exploit", s.handleExploit)
+	mux.HandleFunc("/", s.handleIndex)
+	return mux
+}
+
+// WarningJSON is the wire form of one warning.
+type WarningJSON struct {
+	Kind    string   `json:"kind"`
+	PC      int      `json:"pc"`
+	Message string   `json:"message"`
+	Slot    string   `json:"slot,omitempty"`
+	Witness []string `json:"witness,omitempty"`
+}
+
+// ReportJSON is the wire form of an analysis report.
+type ReportJSON struct {
+	PublicFunctions int           `json:"publicFunctions"`
+	Warnings        []WarningJSON `json:"warnings"`
+}
+
+func reportToJSON(rep *core.Report) ReportJSON {
+	out := ReportJSON{PublicFunctions: rep.PublicFunctions, Warnings: []WarningJSON{}}
+	for _, w := range rep.Warnings {
+		wj := WarningJSON{Kind: w.Kind.String(), PC: w.PC, Message: w.Message}
+		if w.Kind == core.TaintedOwner {
+			wj.Slot = w.Slot.String()
+		}
+		for _, step := range w.Witness {
+			wj.Witness = append(wj.Witness, fmt.Sprintf("0x%x", step.Selector))
+		}
+		out.Warnings = append(out.Warnings, wj)
+	}
+	return out
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `ethainter analysis service
+
+POST /analyze   hex runtime bytecode (or mini-Solidity source) -> JSON report
+POST /compile   mini-Solidity source -> JSON {runtime, deploy, abi}
+POST /exploit   mini-Solidity source -> deploy + analyze + Ethainter-Kill
+GET  /healthz
+`)
+}
+
+// readBody loads the bounded request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return nil, false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return nil, false
+	}
+	if len(strings.TrimSpace(string(body))) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty body"))
+		return nil, false
+	}
+	return body, true
+}
+
+// decodeInput interprets the body as hex bytecode when it looks like hex,
+// otherwise compiles it as source.
+func decodeInput(body []byte) (runtime []byte, compiled *minisol.Compiled, err error) {
+	text := strings.TrimSpace(string(body))
+	hexText := strings.TrimPrefix(text, "0x")
+	if isHexString(hexText) {
+		code, err := hex.DecodeString(hexText)
+		if err != nil {
+			return nil, nil, err
+		}
+		return code, nil, nil
+	}
+	compiled, err = minisol.CompileSource(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	return compiled.Runtime, compiled, nil
+}
+
+func isHexString(s string) bool {
+	if len(s) == 0 || len(s)%2 != 0 {
+		return false
+	}
+	for _, c := range s {
+		if !strings.ContainsRune("0123456789abcdefABCDEF", c) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	runtime, _, err := decodeInput(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := core.AnalyzeBytecode(runtime, s.cfg)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reportToJSON(rep))
+}
+
+// CompileJSON is the wire form of a compilation result.
+type CompileJSON struct {
+	Runtime string    `json:"runtime"`
+	Deploy  string    `json:"deploy"`
+	ABI     []ABIJSON `json:"abi"`
+}
+
+// ABIJSON is one public function.
+type ABIJSON struct {
+	Name     string `json:"name"`
+	Sig      string `json:"sig"`
+	Selector string `json:"selector"`
+	Payable  bool   `json:"payable"`
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	compiled, err := minisol.CompileSource(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := CompileJSON{
+		Runtime: "0x" + hex.EncodeToString(compiled.Runtime),
+		Deploy:  "0x" + hex.EncodeToString(compiled.Deploy),
+		ABI:     []ABIJSON{},
+	}
+	for _, fn := range compiled.ABI {
+		out.ABI = append(out.ABI, ABIJSON{
+			Name:     fn.Name,
+			Sig:      fn.Sig,
+			Selector: fmt.Sprintf("0x%x", fn.Selector),
+			Payable:  fn.Payable,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ExploitJSON is the wire form of an Ethainter-Kill run.
+type ExploitJSON struct {
+	Report     ReportJSON `json:"report"`
+	Pinpointed bool       `json:"pinpointed"`
+	Destroyed  bool       `json:"destroyed"`
+	Attempts   int        `json:"attempts"`
+	Steps      []string   `json:"steps,omitempty"`
+	ProfitWei  string     `json:"profitWei"`
+}
+
+func (s *Server) handleExploit(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	compiled, err := minisol.CompileSource(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := core.AnalyzeBytecode(compiled.Runtime, s.cfg)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	// Ephemeral testbed: deploy, fund, attack a fork.
+	c := chain.New()
+	deployer := c.NewAccount(u256.MustHex("0xffffffffffff"))
+	receipt := c.Deploy(deployer, compiled.Deploy, u256.Zero)
+	if receipt.Err != nil {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("deploy failed: %w", receipt.Err))
+		return
+	}
+	c.State.AddBalance(receipt.Created, u256.FromUint64(1_000_000))
+	c.State.Finalize()
+	res := kill.New(c).Exploit(receipt.Created, rep)
+	out := ExploitJSON{
+		Report:     reportToJSON(rep),
+		Pinpointed: res.Pinpointed,
+		Destroyed:  res.Destroyed,
+		Attempts:   res.Attempts,
+		ProfitWei:  res.Profit.Dec(),
+	}
+	for _, step := range res.Steps {
+		out.Steps = append(out.Steps, fmt.Sprintf("0x%x", step.Selector))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

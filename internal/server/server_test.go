@@ -1,0 +1,193 @@
+package server_test
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ethainter/internal/core"
+	"ethainter/internal/minisol"
+	"ethainter/internal/server"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(core.DefaultConfig()).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := buf.WriteString(readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return resp, []byte(buf.String())
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	b := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(b)
+		sb.Write(b[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestAnalyzeSourceEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := post(t, ts, "/analyze", minisol.VictimSource)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rep server.ReportJSON
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.PublicFunctions != 5 {
+		t.Errorf("publicFunctions = %d", rep.PublicFunctions)
+	}
+	kinds := map[string]bool{}
+	for _, w := range rep.Warnings {
+		kinds[w.Kind] = true
+		if w.Kind == "accessible selfdestruct" && len(w.Witness) != 3 {
+			t.Errorf("composite witness = %v", w.Witness)
+		}
+	}
+	if !kinds["accessible selfdestruct"] || !kinds["tainted selfdestruct"] {
+		t.Errorf("missing composite kinds: %v", kinds)
+	}
+}
+
+func TestAnalyzeHexEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	compiled := minisol.MustCompile(minisol.AccessibleSelfdestructSource)
+	resp, body := post(t, ts, "/analyze", "0x"+hex.EncodeToString(compiled.Runtime))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rep server.ReportJSON
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Warnings) == 0 {
+		t.Error("no warnings for the unguarded kill")
+	}
+}
+
+func TestCompileEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := post(t, ts, "/compile", minisol.SafeTokenSource)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out server.CompileJSON
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.Runtime, "0x") || len(out.ABI) != 6 {
+		t.Errorf("unexpected compile output: runtime prefix %q, abi %d", out.Runtime[:4], len(out.ABI))
+	}
+	for _, fn := range out.ABI {
+		if fn.Name == "kill" && fn.Selector != "0x41c0e1b5" {
+			t.Errorf("kill selector = %s", fn.Selector)
+		}
+	}
+}
+
+func TestExploitEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := post(t, ts, "/exploit", minisol.VictimSource)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out server.ExploitJSON
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Pinpointed || !out.Destroyed {
+		t.Fatalf("victim should be destroyed: %+v", out)
+	}
+	if len(out.Steps) != 3 {
+		t.Errorf("steps = %v, want the 3-step escalation", out.Steps)
+	}
+	if out.ProfitWei == "0" {
+		t.Log("note: 3-step witness sends funds to the pre-attack owner; profit may be zero")
+	}
+}
+
+func TestErrorHandling(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		path, body string
+		wantStatus int
+	}{
+		{"/analyze", "", http.StatusBadRequest},
+		{"/analyze", "contract X {", http.StatusBadRequest},
+		{"/analyze", "0xzz", http.StatusBadRequest},
+		{"/compile", "not a contract", http.StatusBadRequest},
+		{"/exploit", "contract X {}", http.StatusOK}, // nothing to exploit, still a report
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts, c.path, c.body)
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("POST %s %q: status %d want %d (%s)", c.path, c.body, resp.StatusCode, c.wantStatus, body)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /analyze: status %d", resp.StatusCode)
+	}
+	// Undecompilable bytecode is a 422, not a 500.
+	resp2, body := post(t, ts, "/analyze", "0x60003556") // PUSH1 0; CALLDATALOAD; JUMP
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("undecompilable bytecode: status %d (%s)", resp2.StatusCode, body)
+	}
+}
+
+func TestIndexAndHealth(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, resp); !strings.Contains(got, "/analyze") {
+		t.Errorf("index missing usage text: %q", got)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: %d", resp.StatusCode)
+	}
+}

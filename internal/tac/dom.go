@@ -1,0 +1,133 @@
+package tac
+
+// Dominators holds the immediate-dominator tree of a Program's CFG and
+// answers dominance queries. Blocks unreachable from the entry have no idom
+// and dominate nothing.
+type Dominators struct {
+	idom  map[*Block]*Block
+	depth map[*Block]int
+}
+
+// ComputeDominators builds the dominator tree with the iterative
+// Cooper-Harper-Kennedy algorithm over a reverse-postorder numbering.
+func ComputeDominators(p *Program) *Dominators {
+	// Reverse postorder over reachable blocks.
+	var order []*Block
+	index := map[*Block]int{}
+	seen := map[*Block]bool{}
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	if p.Entry != nil {
+		dfs(p.Entry)
+	}
+	// order is postorder; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	for i, b := range order {
+		index[b] = i
+	}
+
+	idom := map[*Block]*Block{}
+	if p.Entry != nil {
+		idom[p.Entry] = p.Entry
+	}
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == p.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, pred := range b.Preds {
+				if idom[pred] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = pred
+				} else {
+					newIdom = intersect(pred, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	d := &Dominators{idom: idom, depth: map[*Block]int{}}
+	var depthOf func(b *Block) int
+	depthOf = func(b *Block) int {
+		if b == p.Entry {
+			return 0
+		}
+		if dep, ok := d.depth[b]; ok {
+			return dep
+		}
+		d.depth[b] = depthOf(idom[b]) + 1
+		return d.depth[b]
+	}
+	for b := range idom {
+		depthOf(b)
+	}
+	return d
+}
+
+// Idom returns the immediate dominator of b (entry's idom is itself), or nil
+// for unreachable blocks.
+func (d *Dominators) Idom(b *Block) *Block { return d.idom[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *Dominators) Dominates(a, b *Block) bool {
+	if d.idom[b] == nil || d.idom[a] == nil {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b]
+		if next == b {
+			return false // reached entry
+		}
+		b = next
+	}
+}
+
+// Walk visits b and each of its dominators up to the entry.
+func (d *Dominators) Walk(b *Block, visit func(*Block) bool) {
+	if d.idom[b] == nil {
+		return
+	}
+	for {
+		if !visit(b) {
+			return
+		}
+		next := d.idom[b]
+		if next == b {
+			return
+		}
+		b = next
+	}
+}

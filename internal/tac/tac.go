@@ -1,0 +1,301 @@
+// Package tac defines the functional 3-address-code representation that the
+// decompiler produces and the Ethainter analysis consumes. It corresponds to
+// the Gigahorse-style IR the paper's Datalog implementation runs on: SSA
+// statements grouped into basic blocks with an explicit CFG, phi functions at
+// block entries, and a dominator tree.
+package tac
+
+import (
+	"fmt"
+	"strings"
+
+	"ethainter/internal/u256"
+)
+
+// VarID identifies an SSA variable. NoVar marks statements without a result.
+type VarID int
+
+// NoVar is the absent-variable sentinel.
+const NoVar VarID = -1
+
+// OpKind enumerates TAC operations. They mirror EVM opcodes, but with
+// explicit operands and results instead of stack effects, plus Const and Phi.
+type OpKind int
+
+// TAC operations.
+const (
+	Const OpKind = iota // Def := Val
+	Phi                 // Def := phi(Args...), one arg per predecessor
+
+	Add
+	Mul
+	Sub
+	Div
+	Sdiv
+	Mod
+	Smod
+	Addmod
+	Mulmod
+	Exp
+	Signextend
+	Lt
+	Gt
+	Slt
+	Sgt
+	Eq
+	Iszero
+	And
+	Or
+	Xor
+	Not
+	Byte
+	Shl
+	Shr
+	Sar
+
+	Sha3 // Def := hash of memory [Args[0], Args[0]+Args[1])
+
+	Address
+	Balance
+	Origin
+	Caller
+	Callvalue
+	Calldataload
+	Calldatasize
+	Calldatacopy // (dstOff, srcOff, len)
+	Codesize
+	Codecopy
+	Gasprice
+	Extcodesize
+	Extcodecopy
+	Returndatasize
+	Returndatacopy
+	Extcodehash
+	Blockhash
+	Coinbase
+	Timestamp
+	Number
+	Difficulty
+	Gaslimit
+	Chainid
+	Selfbalance
+
+	Mload   // Def := memory[Args[0]]
+	Mstore  // memory[Args[0]] := Args[1]
+	Mstore8 // memory byte
+	Sload   // Def := storage[Args[0]]
+	Sstore  // storage[Args[0]] := Args[1]
+
+	Jump  // unconditional; Args[0] is the target expression
+	Jumpi // conditional; Args[0] target, Args[1] condition
+	Pc
+	Msize
+	Gas
+
+	Log // Args: off, len, topics...
+
+	Create       // Def := new address; Args: value, off, len
+	Create2      // Args: value, off, len, salt
+	CallOp       // Def := success; Args: gas, addr, value, inOff, inLen, outOff, outLen
+	Callcode     // same shape as CallOp
+	Delegatecall // Def := success; Args: gas, addr, inOff, inLen, outOff, outLen
+	Staticcall   // Def := success; Args: gas, addr, inOff, inLen, outOff, outLen
+	ReturnOp     // Args: off, len
+	RevertOp     // Args: off, len
+	Invalid
+	SelfdestructOp // Args: beneficiary
+	Stop
+)
+
+var opNames = map[OpKind]string{
+	Const: "CONST", Phi: "PHI",
+	Add: "ADD", Mul: "MUL", Sub: "SUB", Div: "DIV", Sdiv: "SDIV", Mod: "MOD",
+	Smod: "SMOD", Addmod: "ADDMOD", Mulmod: "MULMOD", Exp: "EXP",
+	Signextend: "SIGNEXTEND", Lt: "LT", Gt: "GT", Slt: "SLT", Sgt: "SGT",
+	Eq: "EQ", Iszero: "ISZERO", And: "AND", Or: "OR", Xor: "XOR", Not: "NOT",
+	Byte: "BYTE", Shl: "SHL", Shr: "SHR", Sar: "SAR", Sha3: "SHA3",
+	Address: "ADDRESS", Balance: "BALANCE", Origin: "ORIGIN", Caller: "CALLER",
+	Callvalue: "CALLVALUE", Calldataload: "CALLDATALOAD", Calldatasize: "CALLDATASIZE",
+	Calldatacopy: "CALLDATACOPY", Codesize: "CODESIZE", Codecopy: "CODECOPY",
+	Gasprice: "GASPRICE", Extcodesize: "EXTCODESIZE", Extcodecopy: "EXTCODECOPY",
+	Returndatasize: "RETURNDATASIZE", Returndatacopy: "RETURNDATACOPY",
+	Extcodehash: "EXTCODEHASH", Blockhash: "BLOCKHASH", Coinbase: "COINBASE",
+	Timestamp: "TIMESTAMP", Number: "NUMBER", Difficulty: "DIFFICULTY",
+	Gaslimit: "GASLIMIT", Chainid: "CHAINID", Selfbalance: "SELFBALANCE",
+	Mload: "MLOAD", Mstore: "MSTORE", Mstore8: "MSTORE8", Sload: "SLOAD",
+	Sstore: "SSTORE", Jump: "JUMP", Jumpi: "JUMPI", Pc: "PC", Msize: "MSIZE",
+	Gas: "GAS", Log: "LOG", Create: "CREATE", Create2: "CREATE2",
+	CallOp: "CALL", Callcode: "CALLCODE", Delegatecall: "DELEGATECALL",
+	Staticcall: "STATICCALL", ReturnOp: "RETURN", RevertOp: "REVERT",
+	Invalid: "INVALID", SelfdestructOp: "SELFDESTRUCT", Stop: "STOP",
+}
+
+func (k OpKind) String() string {
+	if n, ok := opNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("OP(%d)", int(k))
+}
+
+// IsTerminator reports whether the operation ends its block with no
+// fallthrough successor.
+func (k OpKind) IsTerminator() bool {
+	switch k {
+	case Jump, ReturnOp, RevertOp, Invalid, SelfdestructOp, Stop:
+		return true
+	}
+	return false
+}
+
+// IsArith reports whether the operation is a pure value operation ("OP" in
+// the paper's abstract language): taint propagates from every argument to the
+// result.
+func (k OpKind) IsArith() bool {
+	switch k {
+	case Add, Mul, Sub, Div, Sdiv, Mod, Smod, Addmod, Mulmod, Exp, Signextend,
+		Lt, Gt, Slt, Sgt, Eq, Iszero, And, Or, Xor, Not, Byte, Shl, Shr, Sar, Phi:
+		return true
+	}
+	return false
+}
+
+// Stmt is one TAC statement.
+type Stmt struct {
+	Op    OpKind
+	Def   VarID
+	Args  []VarID
+	Val   u256.U256 // Const only
+	PC    int       // originating bytecode offset
+	Block *Block
+	Idx   int // position within Block.Stmts (phis excluded)
+}
+
+func (s *Stmt) String() string {
+	var b strings.Builder
+	if s.Def != NoVar {
+		fmt.Fprintf(&b, "v%d := ", s.Def)
+	}
+	b.WriteString(s.Op.String())
+	if s.Op == Const {
+		fmt.Fprintf(&b, " %s", s.Val)
+		return b.String()
+	}
+	b.WriteString("(")
+	for i, a := range s.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "v%d", a)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Block is a basic block. Phis precede Stmts conceptually; each phi's Args
+// align with Preds.
+type Block struct {
+	ID    int
+	PC    int // entry bytecode offset
+	Depth int // operand-stack depth at entry (decompiler context)
+	Phis  []*Stmt
+	Stmts []*Stmt
+	Preds []*Block
+	Succs []*Block
+}
+
+// Label renders a stable human-readable block name.
+func (b *Block) Label() string { return fmt.Sprintf("B%d@%d/%d", b.ID, b.PC, b.Depth) }
+
+// Terminator returns the block's last statement, or nil for empty blocks.
+func (b *Block) Terminator() *Stmt {
+	if len(b.Stmts) == 0 {
+		return nil
+	}
+	return b.Stmts[len(b.Stmts)-1]
+}
+
+// PublicFunction is a dispatcher-discovered external entry point.
+type PublicFunction struct {
+	Selector u256.U256 // the 4-byte selector as a stack word
+	Entry    *Block
+}
+
+// SelectorBytes returns the selector as 4 bytes.
+func (f *PublicFunction) SelectorBytes() [4]byte {
+	b := f.Selector.Bytes32()
+	return [4]byte{b[28], b[29], b[30], b[31]}
+}
+
+// Program is a decompiled contract.
+type Program struct {
+	Blocks    []*Block
+	Entry     *Block
+	Functions []*PublicFunction
+	NumVars   int
+
+	defSite map[VarID]*Stmt
+	uses    map[VarID][]*Stmt
+}
+
+// AllStmts iterates over every statement (phis first per block) in block
+// order.
+func (p *Program) AllStmts(visit func(*Stmt)) {
+	for _, b := range p.Blocks {
+		for _, s := range b.Phis {
+			visit(s)
+		}
+		for _, s := range b.Stmts {
+			visit(s)
+		}
+	}
+}
+
+// BuildIndex computes the def-site and use maps; call after construction or
+// mutation.
+func (p *Program) BuildIndex() {
+	p.defSite = make(map[VarID]*Stmt)
+	p.uses = make(map[VarID][]*Stmt)
+	p.AllStmts(func(s *Stmt) {
+		if s.Def != NoVar {
+			p.defSite[s.Def] = s
+		}
+		for _, a := range s.Args {
+			p.uses[a] = append(p.uses[a], s)
+		}
+	})
+}
+
+// DefSite returns the statement defining v, or nil.
+func (p *Program) DefSite(v VarID) *Stmt { return p.defSite[v] }
+
+// Uses returns the statements using v.
+func (p *Program) Uses(v VarID) []*Stmt { return p.uses[v] }
+
+// String renders the whole program for debugging.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, blk := range p.Blocks {
+		fmt.Fprintf(&b, "%s:", blk.Label())
+		if len(blk.Preds) > 0 {
+			b.WriteString(" ; preds:")
+			for _, pr := range blk.Preds {
+				fmt.Fprintf(&b, " %s", pr.Label())
+			}
+		}
+		b.WriteString("\n")
+		for _, s := range blk.Phis {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+		for _, s := range blk.Stmts {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+		if len(blk.Succs) > 0 {
+			b.WriteString("  ; succs:")
+			for _, su := range blk.Succs {
+				fmt.Fprintf(&b, " %s", su.Label())
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package tac
+
+import (
+	"strings"
+	"testing"
+
+	"ethainter/internal/u256"
+)
+
+// buildDiamond constructs the classic diamond CFG:
+//
+//	  A
+//	 / \
+//	B   C
+//	 \ /
+//	  D ── E
+func buildDiamond() (*Program, map[string]*Block) {
+	p := &Program{}
+	blocks := map[string]*Block{}
+	for i, name := range []string{"A", "B", "C", "D", "E"} {
+		b := &Block{ID: i, PC: i * 10}
+		blocks[name] = b
+		p.Blocks = append(p.Blocks, b)
+	}
+	link := func(from, to string) {
+		blocks[from].Succs = append(blocks[from].Succs, blocks[to])
+		blocks[to].Preds = append(blocks[to].Preds, blocks[from])
+	}
+	link("A", "B")
+	link("A", "C")
+	link("B", "D")
+	link("C", "D")
+	link("D", "E")
+	p.Entry = blocks["A"]
+	return p, blocks
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	p, b := buildDiamond()
+	dom := ComputeDominators(p)
+	cases := []struct {
+		a, c string
+		want bool
+	}{
+		{"A", "A", true}, {"A", "B", true}, {"A", "C", true}, {"A", "D", true}, {"A", "E", true},
+		{"B", "D", false}, {"C", "D", false}, // join point: neither branch dominates
+		{"D", "E", true},
+		{"B", "C", false}, {"E", "D", false},
+	}
+	for _, c := range cases {
+		if got := dom.Dominates(b[c.a], b[c.c]); got != c.want {
+			t.Errorf("Dominates(%s, %s) = %v, want %v", c.a, c.c, got, c.want)
+		}
+	}
+	if dom.Idom(b["D"]) != b["A"] {
+		t.Errorf("idom(D) = %v, want A", dom.Idom(b["D"]).Label())
+	}
+	if dom.Idom(b["E"]) != b["D"] {
+		t.Errorf("idom(E) = %v, want D", dom.Idom(b["E"]).Label())
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	// A -> H; H -> B -> H (back edge); H -> X.
+	p := &Program{}
+	mk := func(id int) *Block {
+		b := &Block{ID: id, PC: id * 10}
+		p.Blocks = append(p.Blocks, b)
+		return b
+	}
+	a, h, body, x := mk(0), mk(1), mk(2), mk(3)
+	link := func(from, to *Block) {
+		from.Succs = append(from.Succs, to)
+		to.Preds = append(to.Preds, from)
+	}
+	link(a, h)
+	link(h, body)
+	link(body, h)
+	link(h, x)
+	p.Entry = a
+	dom := ComputeDominators(p)
+	if !dom.Dominates(h, body) || !dom.Dominates(h, x) {
+		t.Error("loop header must dominate body and exit")
+	}
+	if dom.Dominates(body, x) {
+		t.Error("loop body must not dominate the exit")
+	}
+	// Walk from body reaches h then a then stops.
+	var seen []string
+	dom.Walk(body, func(b *Block) bool {
+		seen = append(seen, b.Label())
+		return true
+	})
+	if len(seen) != 3 {
+		t.Errorf("walk from body visited %v", seen)
+	}
+}
+
+func TestUnreachableBlocks(t *testing.T) {
+	p, b := buildDiamond()
+	orphan := &Block{ID: 99, PC: 990}
+	p.Blocks = append(p.Blocks, orphan)
+	dom := ComputeDominators(p)
+	if dom.Dominates(b["A"], orphan) || dom.Dominates(orphan, b["A"]) {
+		t.Error("unreachable blocks dominate nothing and are dominated by nothing")
+	}
+	if dom.Idom(orphan) != nil {
+		t.Error("unreachable block has no idom")
+	}
+}
+
+func TestProgramIndex(t *testing.T) {
+	p := &Program{}
+	b := &Block{ID: 0}
+	p.Blocks = []*Block{b}
+	p.Entry = b
+	s1 := &Stmt{Op: Const, Def: 0, Val: u256.FromUint64(7), Block: b, Idx: 0}
+	s2 := &Stmt{Op: Iszero, Def: 1, Args: []VarID{0}, Block: b, Idx: 1}
+	s3 := &Stmt{Op: Add, Def: 2, Args: []VarID{0, 1}, Block: b, Idx: 2}
+	b.Stmts = []*Stmt{s1, s2, s3}
+	p.BuildIndex()
+	if p.DefSite(1) != s2 || p.DefSite(2) != s3 {
+		t.Error("DefSite wrong")
+	}
+	uses := p.Uses(0)
+	if len(uses) != 2 {
+		t.Fatalf("Uses(0) = %d, want 2", len(uses))
+	}
+	if p.DefSite(42) != nil {
+		t.Error("unknown var should have nil def site")
+	}
+}
+
+func TestStmtAndProgramString(t *testing.T) {
+	s := &Stmt{Op: Const, Def: 3, Val: u256.FromUint64(255)}
+	if got := s.String(); !strings.Contains(got, "v3 := CONST 0xff") {
+		t.Errorf("Stmt.String() = %q", got)
+	}
+	s2 := &Stmt{Op: Sstore, Def: NoVar, Args: []VarID{1, 2}}
+	if got := s2.String(); got != "SSTORE(v1, v2)" {
+		t.Errorf("Stmt.String() = %q", got)
+	}
+	p, _ := buildDiamond()
+	if !strings.Contains(p.String(), "B0@0/0") {
+		t.Error("Program.String() missing block labels")
+	}
+}
+
+func TestOpKindClassification(t *testing.T) {
+	for _, k := range []OpKind{Jump, ReturnOp, RevertOp, Invalid, SelfdestructOp, Stop} {
+		if !k.IsTerminator() {
+			t.Errorf("%s should be a terminator", k)
+		}
+	}
+	for _, k := range []OpKind{Jumpi, Add, Sstore, CallOp} {
+		if k.IsTerminator() {
+			t.Errorf("%s should not be a terminator", k)
+		}
+	}
+	for _, k := range []OpKind{Add, Phi, Eq, Iszero, Shr} {
+		if !k.IsArith() {
+			t.Errorf("%s should be arithmetic", k)
+		}
+	}
+	for _, k := range []OpKind{Sload, Mload, Sha3, CallOp, Const} {
+		if k.IsArith() {
+			t.Errorf("%s should not be arithmetic", k)
+		}
+	}
+}
+
+func TestSelectorBytes(t *testing.T) {
+	f := &PublicFunction{Selector: u256.MustHex("0x41c0e1b5")}
+	if f.SelectorBytes() != [4]byte{0x41, 0xc0, 0xe1, 0xb5} {
+		t.Errorf("SelectorBytes = %x", f.SelectorBytes())
+	}
+}

@@ -1,0 +1,517 @@
+// Package u256 implements 256-bit unsigned integer arithmetic with the
+// wrap-around (mod 2^256) semantics of the Ethereum Virtual Machine.
+//
+// Values are immutable: every operation returns a new U256. The representation
+// is four 64-bit limbs in little-endian limb order (limb 0 holds the least
+// significant 64 bits). The package is self-contained apart from math/bits and
+// math/big (the latter only for conversions and for EXP/division fallbacks
+// kept simple on purpose — this is an analysis substrate, not a node).
+package u256
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/big"
+	"math/bits"
+	"strings"
+)
+
+// U256 is a 256-bit unsigned integer. The zero value is the number 0.
+type U256 [4]uint64
+
+// Common constants.
+var (
+	Zero = U256{}
+	One  = U256{1, 0, 0, 0}
+	Max  = U256{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+)
+
+// FromUint64 returns v as a U256.
+func FromUint64(v uint64) U256 { return U256{v, 0, 0, 0} }
+
+// FromBig converts a big.Int (interpreted mod 2^256; negative values are
+// two's-complement wrapped) to a U256.
+func FromBig(b *big.Int) U256 {
+	m := new(big.Int).Set(b)
+	mod := new(big.Int).Lsh(big.NewInt(1), 256)
+	m.Mod(m, mod)
+	if m.Sign() < 0 {
+		m.Add(m, mod)
+	}
+	var x U256
+	words := m.Bits()
+	// big.Word is 64-bit on all platforms we target.
+	for i := 0; i < len(words) && i < 4; i++ {
+		x[i] = uint64(words[i])
+	}
+	return x
+}
+
+// ToBig converts x to a non-negative big.Int.
+func (x U256) ToBig() *big.Int {
+	b := new(big.Int)
+	for i := 3; i >= 0; i-- {
+		b.Lsh(b, 64)
+		b.Or(b, new(big.Int).SetUint64(x[i]))
+	}
+	return b
+}
+
+// FromBytes interprets b as a big-endian unsigned integer. Inputs longer than
+// 32 bytes keep only the low-order 32 bytes (EVM semantics); shorter inputs
+// are zero-extended on the left.
+func FromBytes(b []byte) U256 {
+	if len(b) > 32 {
+		b = b[len(b)-32:]
+	}
+	var buf [32]byte
+	copy(buf[32-len(b):], b)
+	return FromBytes32(buf)
+}
+
+// FromBytes32 interprets the 32-byte array as a big-endian unsigned integer.
+func FromBytes32(b [32]byte) U256 {
+	var x U256
+	for limb := 0; limb < 4; limb++ {
+		off := 24 - 8*limb
+		x[limb] = uint64(b[off])<<56 | uint64(b[off+1])<<48 | uint64(b[off+2])<<40 |
+			uint64(b[off+3])<<32 | uint64(b[off+4])<<24 | uint64(b[off+5])<<16 |
+			uint64(b[off+6])<<8 | uint64(b[off+7])
+	}
+	return x
+}
+
+// Bytes32 returns the big-endian 32-byte representation of x.
+func (x U256) Bytes32() [32]byte {
+	var b [32]byte
+	for limb := 0; limb < 4; limb++ {
+		off := 24 - 8*limb
+		v := x[limb]
+		b[off] = byte(v >> 56)
+		b[off+1] = byte(v >> 48)
+		b[off+2] = byte(v >> 40)
+		b[off+3] = byte(v >> 32)
+		b[off+4] = byte(v >> 24)
+		b[off+5] = byte(v >> 16)
+		b[off+6] = byte(v >> 8)
+		b[off+7] = byte(v)
+	}
+	return b
+}
+
+// FromHex parses a hex string with optional 0x prefix. It returns an error on
+// empty or malformed input or input longer than 64 hex digits.
+func FromHex(s string) (U256, error) {
+	s = strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X")
+	if s == "" {
+		return Zero, fmt.Errorf("u256: empty hex literal")
+	}
+	if len(s) > 64 {
+		return Zero, fmt.Errorf("u256: hex literal %q longer than 256 bits", s)
+	}
+	if len(s)%2 == 1 {
+		s = "0" + s
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return Zero, fmt.Errorf("u256: bad hex literal: %w", err)
+	}
+	return FromBytes(raw), nil
+}
+
+// MustHex is FromHex that panics on malformed input; for tests and tables.
+func MustHex(s string) U256 {
+	x, err := FromHex(s)
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+// String renders x as minimal 0x-prefixed hex.
+func (x U256) String() string {
+	if x.IsZero() {
+		return "0x0"
+	}
+	b := x.Bytes32()
+	s := hex.EncodeToString(b[:])
+	return "0x" + strings.TrimLeft(s, "0")
+}
+
+// Hex64 renders x as full-width 0x-prefixed 64-digit hex.
+func (x U256) Hex64() string {
+	b := x.Bytes32()
+	return "0x" + hex.EncodeToString(b[:])
+}
+
+// IsZero reports whether x == 0.
+func (x U256) IsZero() bool { return x[0]|x[1]|x[2]|x[3] == 0 }
+
+// Eq reports whether x == y.
+func (x U256) Eq(y U256) bool { return x == y }
+
+// IsUint64 reports whether x fits in a uint64.
+func (x U256) IsUint64() bool { return x[1]|x[2]|x[3] == 0 }
+
+// Uint64 returns the low 64 bits of x.
+func (x U256) Uint64() uint64 { return x[0] }
+
+// Cmp returns -1, 0, or +1 comparing x and y as unsigned integers.
+func (x U256) Cmp(y U256) int {
+	for i := 3; i >= 0; i-- {
+		if x[i] < y[i] {
+			return -1
+		}
+		if x[i] > y[i] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Lt reports x < y (unsigned).
+func (x U256) Lt(y U256) bool { return x.Cmp(y) < 0 }
+
+// Gt reports x > y (unsigned).
+func (x U256) Gt(y U256) bool { return x.Cmp(y) > 0 }
+
+// Sign returns 0 if x is zero, -1 if the sign bit is set (two's complement),
+// and +1 otherwise.
+func (x U256) Sign() int {
+	if x.IsZero() {
+		return 0
+	}
+	if x[3]>>63 == 1 {
+		return -1
+	}
+	return 1
+}
+
+// Slt reports x < y as signed two's-complement integers.
+func (x U256) Slt(y U256) bool {
+	xs, ys := x[3]>>63, y[3]>>63
+	if xs != ys {
+		return xs == 1
+	}
+	return x.Cmp(y) < 0
+}
+
+// Sgt reports x > y as signed two's-complement integers.
+func (x U256) Sgt(y U256) bool { return y.Slt(x) }
+
+// Add returns x + y mod 2^256.
+func (x U256) Add(y U256) U256 {
+	var z U256
+	var c uint64
+	z[0], c = bits.Add64(x[0], y[0], 0)
+	z[1], c = bits.Add64(x[1], y[1], c)
+	z[2], c = bits.Add64(x[2], y[2], c)
+	z[3], _ = bits.Add64(x[3], y[3], c)
+	return z
+}
+
+// Sub returns x - y mod 2^256.
+func (x U256) Sub(y U256) U256 {
+	var z U256
+	var b uint64
+	z[0], b = bits.Sub64(x[0], y[0], 0)
+	z[1], b = bits.Sub64(x[1], y[1], b)
+	z[2], b = bits.Sub64(x[2], y[2], b)
+	z[3], _ = bits.Sub64(x[3], y[3], b)
+	return z
+}
+
+// Neg returns -x mod 2^256.
+func (x U256) Neg() U256 { return Zero.Sub(x) }
+
+// Mul returns x * y mod 2^256.
+func (x U256) Mul(y U256) U256 {
+	var z U256
+	var carry uint64
+	// Schoolbook multiplication keeping only the low 256 bits.
+	carry, z[0] = bits.Mul64(x[0], y[0])
+	carry, z[1] = mulAddc(x[0], y[1], carry)
+	carry, z[2] = mulAddc(x[0], y[2], carry)
+	_, z[3] = mulAddc(x[0], y[3], carry)
+
+	carry, z[1] = mulAdd2(x[1], y[0], z[1])
+	carry, z[2] = mulAdd3(x[1], y[1], z[2], carry)
+	_, z[3] = mulAdd3(x[1], y[2], z[3], carry)
+
+	carry, z[2] = mulAdd2(x[2], y[0], z[2])
+	_, z[3] = mulAdd3(x[2], y[1], z[3], carry)
+
+	_, z[3] = mulAdd2(x[3], y[0], z[3])
+	return z
+}
+
+// mulAddc computes a*b + c, returning (hi, lo).
+func mulAddc(a, b, c uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(a, b)
+	lo, cc := bits.Add64(lo, c, 0)
+	hi += cc
+	return hi, lo
+}
+
+// mulAdd2 computes a*b + c, returning (hi, lo).
+func mulAdd2(a, b, c uint64) (hi, lo uint64) { return mulAddc(a, b, c) }
+
+// mulAdd3 computes a*b + c + d, returning (hi, lo).
+func mulAdd3(a, b, c, d uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(a, b)
+	lo, cc := bits.Add64(lo, c, 0)
+	hi += cc
+	lo, cc = bits.Add64(lo, d, 0)
+	hi += cc
+	return hi, lo
+}
+
+// Div returns x / y (unsigned). Division by zero yields 0 (EVM semantics).
+func (x U256) Div(y U256) U256 {
+	if y.IsZero() {
+		return Zero
+	}
+	if x.Cmp(y) < 0 {
+		return Zero
+	}
+	if y.IsUint64() && x.IsUint64() {
+		return FromUint64(x[0] / y[0])
+	}
+	q, _ := udivrem(x, y)
+	return q
+}
+
+// Mod returns x % y (unsigned). Mod by zero yields 0 (EVM semantics).
+func (x U256) Mod(y U256) U256 {
+	if y.IsZero() {
+		return Zero
+	}
+	if x.Cmp(y) < 0 {
+		return x
+	}
+	if y.IsUint64() && x.IsUint64() {
+		return FromUint64(x[0] % y[0])
+	}
+	_, r := udivrem(x, y)
+	return r
+}
+
+// udivrem computes the unsigned quotient and remainder via big.Int. Simplicity
+// beats speed here: division is rare in both compiled contracts and analysis.
+func udivrem(x, y U256) (q, r U256) {
+	qb, rb := new(big.Int).QuoRem(x.ToBig(), y.ToBig(), new(big.Int))
+	return FromBig(qb), FromBig(rb)
+}
+
+// SDiv returns x / y as signed two's-complement integers, truncating toward
+// zero; division by zero yields 0.
+func (x U256) SDiv(y U256) U256 {
+	if y.IsZero() {
+		return Zero
+	}
+	xn, yn := x.Sign() < 0, y.Sign() < 0
+	ax, ay := x, y
+	if xn {
+		ax = x.Neg()
+	}
+	if yn {
+		ay = y.Neg()
+	}
+	q := ax.Div(ay)
+	if xn != yn {
+		q = q.Neg()
+	}
+	return q
+}
+
+// SMod returns x % y as signed two's-complement integers; the result takes the
+// sign of x. Mod by zero yields 0.
+func (x U256) SMod(y U256) U256 {
+	if y.IsZero() {
+		return Zero
+	}
+	xn := x.Sign() < 0
+	ax, ay := x, y
+	if xn {
+		ax = x.Neg()
+	}
+	if y.Sign() < 0 {
+		ay = y.Neg()
+	}
+	r := ax.Mod(ay)
+	if xn {
+		r = r.Neg()
+	}
+	return r
+}
+
+// AddMod returns (x + y) % m with the intermediate sum taken at full
+// precision; m == 0 yields 0.
+func (x U256) AddMod(y, m U256) U256 {
+	if m.IsZero() {
+		return Zero
+	}
+	s := new(big.Int).Add(x.ToBig(), y.ToBig())
+	s.Mod(s, m.ToBig())
+	return FromBig(s)
+}
+
+// MulMod returns (x * y) % m with the intermediate product taken at full
+// precision; m == 0 yields 0.
+func (x U256) MulMod(y, m U256) U256 {
+	if m.IsZero() {
+		return Zero
+	}
+	p := new(big.Int).Mul(x.ToBig(), y.ToBig())
+	p.Mod(p, m.ToBig())
+	return FromBig(p)
+}
+
+// Exp returns x ** y mod 2^256 by square-and-multiply.
+func (x U256) Exp(y U256) U256 {
+	result := One
+	base := x
+	for limb := 0; limb < 4; limb++ {
+		w := y[limb]
+		for bit := 0; bit < 64; bit++ {
+			if w&1 == 1 {
+				result = result.Mul(base)
+			}
+			w >>= 1
+			if w == 0 && y.highLimbsZeroAbove(limb) {
+				return result
+			}
+			base = base.Mul(base)
+		}
+	}
+	return result
+}
+
+func (x U256) highLimbsZeroAbove(limb int) bool {
+	for i := limb + 1; i < 4; i++ {
+		if x[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// And returns the bitwise AND of x and y.
+func (x U256) And(y U256) U256 {
+	return U256{x[0] & y[0], x[1] & y[1], x[2] & y[2], x[3] & y[3]}
+}
+
+// Or returns the bitwise OR of x and y.
+func (x U256) Or(y U256) U256 {
+	return U256{x[0] | y[0], x[1] | y[1], x[2] | y[2], x[3] | y[3]}
+}
+
+// Xor returns the bitwise XOR of x and y.
+func (x U256) Xor(y U256) U256 {
+	return U256{x[0] ^ y[0], x[1] ^ y[1], x[2] ^ y[2], x[3] ^ y[3]}
+}
+
+// Not returns the bitwise complement of x.
+func (x U256) Not() U256 { return U256{^x[0], ^x[1], ^x[2], ^x[3]} }
+
+// Shl returns x << n; shifts of 256 or more yield 0.
+func (x U256) Shl(n uint) U256 {
+	if n >= 256 {
+		return Zero
+	}
+	limbShift, bitShift := n/64, n%64
+	var z U256
+	for i := 3; i >= 0; i-- {
+		src := i - int(limbShift)
+		if src < 0 {
+			continue
+		}
+		z[i] = x[src] << bitShift
+		if bitShift > 0 && src-1 >= 0 {
+			z[i] |= x[src-1] >> (64 - bitShift)
+		}
+	}
+	return z
+}
+
+// Shr returns x >> n (logical); shifts of 256 or more yield 0.
+func (x U256) Shr(n uint) U256 {
+	if n >= 256 {
+		return Zero
+	}
+	limbShift, bitShift := n/64, n%64
+	var z U256
+	for i := 0; i < 4; i++ {
+		src := i + int(limbShift)
+		if src > 3 {
+			continue
+		}
+		z[i] = x[src] >> bitShift
+		if bitShift > 0 && src+1 <= 3 {
+			z[i] |= x[src+1] << (64 - bitShift)
+		}
+	}
+	return z
+}
+
+// Sar returns x >> n with sign extension (arithmetic shift). Shifts of 256 or
+// more yield 0 for non-negative x and all-ones for negative x.
+func (x U256) Sar(n uint) U256 {
+	neg := x[3]>>63 == 1
+	if n >= 256 {
+		if neg {
+			return Max
+		}
+		return Zero
+	}
+	z := x.Shr(n)
+	if neg && n > 0 {
+		z = z.Or(Max.Shl(256 - n))
+	}
+	return z
+}
+
+// Byte returns the i-th byte of x counting from the most significant (EVM BYTE
+// semantics); i >= 32 yields 0.
+func (x U256) Byte(i U256) U256 {
+	if !i.IsUint64() || i[0] >= 32 {
+		return Zero
+	}
+	b := x.Bytes32()
+	return FromUint64(uint64(b[i[0]]))
+}
+
+// SignExtend extends the sign bit of the (k+1)-byte-wide value x to the full
+// 256 bits (EVM SIGNEXTEND semantics); k >= 31 returns x unchanged.
+func (x U256) SignExtend(k U256) U256 {
+	if !k.IsUint64() || k[0] >= 31 {
+		return x
+	}
+	bit := uint(k[0]*8 + 7)
+	mask := Max.Shl(bit + 1)
+	if x.Bit(bit) == 1 {
+		return x.Or(mask)
+	}
+	return x.And(mask.Not())
+}
+
+// Bit returns bit i of x (0 or 1); i >= 256 yields 0.
+func (x U256) Bit(i uint) uint {
+	if i >= 256 {
+		return 0
+	}
+	return uint(x[i/64]>>(i%64)) & 1
+}
+
+// BitLen returns the minimum number of bits needed to represent x.
+func (x U256) BitLen() int {
+	for i := 3; i >= 0; i-- {
+		if x[i] != 0 {
+			return 64*i + bits.Len64(x[i])
+		}
+	}
+	return 0
+}
+
+// Dec renders x in decimal.
+func (x U256) Dec() string { return x.ToBig().String() }

@@ -1,0 +1,290 @@
+package u256
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var two256 = new(big.Int).Lsh(big.NewInt(1), 256)
+
+func wrap(b *big.Int) *big.Int {
+	m := new(big.Int).Mod(b, two256)
+	if m.Sign() < 0 {
+		m.Add(m, two256)
+	}
+	return m
+}
+
+// randU256 builds interesting random values: full-width, sparse, and small.
+func randU256(r *rand.Rand) U256 {
+	switch r.Intn(4) {
+	case 0:
+		return FromUint64(r.Uint64())
+	case 1:
+		return U256{r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()}
+	case 2:
+		return FromUint64(uint64(r.Intn(5))) // 0..4: boundary values
+	default:
+		x := U256{r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()}
+		return x.Shl(uint(r.Intn(256))) // values with low zero bits
+	}
+}
+
+// U256Value wraps U256 for testing/quick so we can attach a Generate method
+// producing diverse values (boundary, sparse, full-width).
+type U256Value struct{ V U256 }
+
+// Generate implements quick.Generator.
+func (U256Value) Generate(r *rand.Rand, _ int) U256Value { return U256Value{randU256(r)} }
+
+func checkBinary(t *testing.T, name string, got func(x, y U256) U256, want func(x, y *big.Int) *big.Int) {
+	t.Helper()
+	f := func(a, b U256Value) bool {
+		g := got(a.V, b.V)
+		w := FromBig(wrap(want(a.V.ToBig(), b.V.ToBig())))
+		if g != w {
+			t.Logf("%s(%s, %s) = %s, want %s", name, a.V, b.V, g, w)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+func TestAddSubMulAgainstBig(t *testing.T) {
+	checkBinary(t, "Add", U256.Add, func(x, y *big.Int) *big.Int { return new(big.Int).Add(x, y) })
+	checkBinary(t, "Sub", U256.Sub, func(x, y *big.Int) *big.Int { return new(big.Int).Sub(x, y) })
+	checkBinary(t, "Mul", U256.Mul, func(x, y *big.Int) *big.Int { return new(big.Int).Mul(x, y) })
+	checkBinary(t, "And", U256.And, func(x, y *big.Int) *big.Int { return new(big.Int).And(x, y) })
+	checkBinary(t, "Or", U256.Or, func(x, y *big.Int) *big.Int { return new(big.Int).Or(x, y) })
+	checkBinary(t, "Xor", U256.Xor, func(x, y *big.Int) *big.Int { return new(big.Int).Xor(x, y) })
+}
+
+func TestDivModAgainstBig(t *testing.T) {
+	checkBinary(t, "Div", U256.Div, func(x, y *big.Int) *big.Int {
+		if y.Sign() == 0 {
+			return big.NewInt(0)
+		}
+		return new(big.Int).Div(x, y)
+	})
+	checkBinary(t, "Mod", U256.Mod, func(x, y *big.Int) *big.Int {
+		if y.Sign() == 0 {
+			return big.NewInt(0)
+		}
+		return new(big.Int).Mod(x, y)
+	})
+}
+
+func toSigned(b *big.Int) *big.Int {
+	s := new(big.Int).Set(b)
+	if s.Bit(255) == 1 {
+		s.Sub(s, two256)
+	}
+	return s
+}
+
+func TestSignedDivModAgainstBig(t *testing.T) {
+	checkBinary(t, "SDiv", U256.SDiv, func(x, y *big.Int) *big.Int {
+		sy := toSigned(y)
+		if sy.Sign() == 0 {
+			return big.NewInt(0)
+		}
+		return new(big.Int).Quo(toSigned(x), sy)
+	})
+	checkBinary(t, "SMod", U256.SMod, func(x, y *big.Int) *big.Int {
+		sy := toSigned(y)
+		if sy.Sign() == 0 {
+			return big.NewInt(0)
+		}
+		return new(big.Int).Rem(toSigned(x), sy)
+	})
+}
+
+func TestComparisonsAgainstBig(t *testing.T) {
+	f := func(a, b U256Value) bool {
+		x, y := a.V, b.V
+		bx, by := x.ToBig(), y.ToBig()
+		if x.Lt(y) != (bx.Cmp(by) < 0) || x.Gt(y) != (bx.Cmp(by) > 0) || x.Eq(y) != (bx.Cmp(by) == 0) {
+			return false
+		}
+		sx, sy := toSigned(bx), toSigned(by)
+		return x.Slt(y) == (sx.Cmp(sy) < 0) && x.Sgt(y) == (sx.Cmp(sy) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftsAgainstBig(t *testing.T) {
+	f := func(a U256Value, nRaw uint16) bool {
+		x := a.V
+		n := uint(nRaw % 300)
+		wantShl := FromBig(wrap(new(big.Int).Lsh(x.ToBig(), n)))
+		wantShr := FromBig(new(big.Int).Rsh(x.ToBig(), n))
+		if x.Shl(n) != wantShl || x.Shr(n) != wantShr {
+			return false
+		}
+		sar := x.Sar(n)
+		signed := toSigned(x.ToBig())
+		wantSar := FromBig(wrap(new(big.Int).Rsh(signed, n)))
+		return sar == wantSar
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpAgainstBig(t *testing.T) {
+	f := func(a U256Value, eRaw uint16) bool {
+		e := FromUint64(uint64(eRaw % 40))
+		want := FromBig(new(big.Int).Exp(a.V.ToBig(), e.ToBig(), two256))
+		return a.V.Exp(e) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// A full-width exponent must terminate and agree with big.Int.
+	x := MustHex("0x3")
+	e := MustHex("0x10000000000000001")
+	want := FromBig(new(big.Int).Exp(x.ToBig(), e.ToBig(), two256))
+	if got := x.Exp(e); got != want {
+		t.Errorf("Exp wide: got %s want %s", got, want)
+	}
+}
+
+func TestAddModMulMod(t *testing.T) {
+	f := func(a, b, m U256Value) bool {
+		if m.V.IsZero() {
+			return a.V.AddMod(b.V, m.V).IsZero() && a.V.MulMod(b.V, m.V).IsZero()
+		}
+		wantAdd := FromBig(new(big.Int).Mod(new(big.Int).Add(a.V.ToBig(), b.V.ToBig()), m.V.ToBig()))
+		wantMul := FromBig(new(big.Int).Mod(new(big.Int).Mul(a.V.ToBig(), b.V.ToBig()), m.V.ToBig()))
+		return a.V.AddMod(b.V, m.V) == wantAdd && a.V.MulMod(b.V, m.V) == wantMul
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(a U256Value) bool {
+		return FromBytes32(a.V.Bytes32()) == a.V && FromBig(a.V.ToBig()) == a.V
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromBytesShortAndLong(t *testing.T) {
+	if got := FromBytes([]byte{0x01, 0x02}); got != FromUint64(0x0102) {
+		t.Errorf("short FromBytes: got %s", got)
+	}
+	long := make([]byte, 40)
+	long[39] = 7
+	if got := FromBytes(long); got != FromUint64(7) {
+		t.Errorf("long FromBytes: got %s", got)
+	}
+}
+
+func TestHexParsing(t *testing.T) {
+	cases := map[string]U256{
+		"0x0":    Zero,
+		"0xff":   FromUint64(255),
+		"1234":   FromUint64(0x1234),
+		"0xdead": FromUint64(0xdead),
+	}
+	for in, want := range cases {
+		got, err := FromHex(in)
+		if err != nil {
+			t.Fatalf("FromHex(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("FromHex(%q) = %s, want %s", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "0x", "0xzz", "0x" + string(make([]byte, 100))} {
+		if _, err := FromHex(bad); err == nil {
+			t.Errorf("FromHex(%q): expected error", bad)
+		}
+	}
+}
+
+func TestByteOpcode(t *testing.T) {
+	x := MustHex("0x0102030405060708091011121314151617181920212223242526272829303132")
+	if got := x.Byte(FromUint64(0)); got != FromUint64(1) {
+		t.Errorf("Byte(0) = %s", got)
+	}
+	if got := x.Byte(FromUint64(31)); got != FromUint64(0x32) {
+		t.Errorf("Byte(31) = %s", got)
+	}
+	if got := x.Byte(FromUint64(32)); !got.IsZero() {
+		t.Errorf("Byte(32) = %s, want 0", got)
+	}
+	if got := x.Byte(Max); !got.IsZero() {
+		t.Errorf("Byte(max) = %s, want 0", got)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	// 0xff sign-extended from byte 0 is -1.
+	if got := FromUint64(0xff).SignExtend(FromUint64(0)); got != Max {
+		t.Errorf("SignExtend(0xff, 0) = %s", got)
+	}
+	// 0x7f stays positive.
+	if got := FromUint64(0x7f).SignExtend(FromUint64(0)); got != FromUint64(0x7f) {
+		t.Errorf("SignExtend(0x7f, 0) = %s", got)
+	}
+	// Extension also clears high garbage when the sign bit is 0.
+	x := MustHex("0xff00000000000000000000000000000000000000000000000000000000000012")
+	if got := x.SignExtend(FromUint64(0)); got != FromUint64(0x12) {
+		t.Errorf("SignExtend clears high bits: got %s", got)
+	}
+	// k >= 31 is identity.
+	if got := x.SignExtend(FromUint64(31)); got != x {
+		t.Errorf("SignExtend(31) should be identity")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if Zero.String() != "0x0" {
+		t.Errorf("Zero.String() = %q", Zero.String())
+	}
+	if FromUint64(255).String() != "0xff" {
+		t.Errorf("255 = %q", FromUint64(255).String())
+	}
+	if len(Max.Hex64()) != 66 {
+		t.Errorf("Hex64 width: %q", Max.Hex64())
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	if Zero.BitLen() != 0 || One.BitLen() != 1 || Max.BitLen() != 256 {
+		t.Errorf("BitLen basics wrong: %d %d %d", Zero.BitLen(), One.BitLen(), Max.BitLen())
+	}
+	if got := One.Shl(200).BitLen(); got != 201 {
+		t.Errorf("BitLen(1<<200) = %d", got)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x := MustHex("0xdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef")
+	y := MustHex("0x123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef0")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y)
+	}
+	_ = x
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := Max, One
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Add(y)
+	}
+	_ = x
+}
