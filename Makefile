@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench experiments examples clean
+.PHONY: all build test vet bench bench-json experiments examples clean
 
 all: build vet test
 
@@ -16,6 +16,11 @@ test:
 # One Go benchmark per paper table/figure (reduced scale).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable core performance numbers: per-stage timings and cache hit
+# rates, written to BENCH_core.json.
+bench-json:
+	$(GO) run ./cmd/ethainter-bench -exp core -n 2000 -seed 20200615 -json BENCH_core.json
 
 # Full-scale regeneration of every table and figure (EXPERIMENTS.md source).
 experiments:

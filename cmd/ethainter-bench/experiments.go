@@ -1,6 +1,9 @@
 package main
 
 import (
+	"fmt"
+	"os"
+
 	"ethainter/internal/bench"
 )
 
@@ -8,8 +11,24 @@ import (
 // Scales are tuned per experiment the way the paper's were (the inspection
 // sample is 40; the Securify sample 2K; Figure 7 needs enough source-
 // compatible contracts).
-func experimentRunners(n int, seed int64, workers int) map[string]func() string {
+func experimentRunners(n int, seed int64, workers int, jsonPath string) map[string]func() string {
 	return map[string]func() string{
+		"core": func() string {
+			r := bench.CoreBench(n, seed, workers)
+			out := r.Render()
+			if jsonPath != "" {
+				data, err := r.JSON()
+				if err == nil {
+					err = os.WriteFile(jsonPath, data, 0o644)
+				}
+				if err != nil {
+					out += fmt.Sprintf("note: writing %s failed: %v\n", jsonPath, err)
+				} else {
+					out += fmt.Sprintf("note: wrote %s\n", jsonPath)
+				}
+			}
+			return out
+		},
 		"exp1": func() string {
 			return bench.Exp1(n, seed, workers).Render()
 		},

@@ -4,8 +4,11 @@
 // Usage:
 //
 //	ethainter-bench [-n N] [-seed S] [-workers W] [-exp name]
+//	                [-json file] [-cpuprofile file] [-memprofile file]
 //
-// Experiments: exp1, table2, fig6, securify, fig7, teether, rq2, fig8, all.
+// Experiments: exp1, table2, fig6, securify, fig7, teether, rq2, fig8,
+// core, all. The core experiment additionally emits a machine-readable
+// BENCH_core.json (per-stage timings, cache hit rates) at the -json path.
 package main
 
 import (
@@ -13,24 +16,54 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 )
 
 func main() {
 	var (
-		n       = flag.Int("n", 2000, "corpus size per experiment")
-		seed    = flag.Int64("seed", 20200615, "corpus seed (the paper's publication date)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent analysis workers (the paper used 45)")
-		exp     = flag.String("exp", "all", "experiment: exp1|table2|fig6|securify|fig7|teether|rq2|fig8|all")
+		n          = flag.Int("n", 2000, "corpus size per experiment")
+		seed       = flag.Int64("seed", 20200615, "corpus seed (the paper's publication date)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent analysis workers (the paper used 45)")
+		exp        = flag.String("exp", "all", "experiment: exp1|table2|fig6|securify|fig7|teether|rq2|fig8|core|all")
+		jsonPath   = flag.String("json", "BENCH_core.json", "output path for the core experiment's JSON result")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
-	if err := run(*exp, *n, *seed, *workers); err != nil {
-		fmt.Fprintf(os.Stderr, "ethainter-bench: %v\n", err)
-		os.Exit(1)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(*exp, *n, *seed, *workers, *jsonPath); err != nil {
+		fatal(err)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 }
 
-func run(exp string, n int, seed int64, workers int) error {
-	runners := experimentRunners(n, seed, workers)
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ethainter-bench: %v\n", err)
+	os.Exit(1)
+}
+
+func run(exp string, n int, seed int64, workers int, jsonPath string) error {
+	runners := experimentRunners(n, seed, workers, jsonPath)
 	if exp != "all" {
 		r, ok := runners[exp]
 		if !ok {
@@ -39,7 +72,7 @@ func run(exp string, n int, seed int64, workers int) error {
 		fmt.Print(r())
 		return nil
 	}
-	for _, name := range []string{"exp1", "table2", "fig6", "securify", "fig7", "teether", "rq2", "fig8"} {
+	for _, name := range []string{"exp1", "table2", "fig6", "securify", "fig7", "teether", "rq2", "fig8", "core"} {
 		fmt.Print(runners[name]())
 		fmt.Println()
 	}

@@ -1,23 +1,32 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
-// Each experiment runner executes end to end at a tiny scale.
+// Each experiment runner executes end to end at a tiny scale. The core
+// runner's JSON output goes to a temp dir so tests leave no artifacts.
 func TestRunnersExecute(t *testing.T) {
-	runners := experimentRunners(60, 5, 2)
-	for _, name := range []string{"exp1", "table2", "fig6", "securify", "rq2", "fig8"} {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_core.json")
+	runners := experimentRunners(60, 5, 2, jsonPath)
+	for _, name := range []string{"exp1", "table2", "fig6", "securify", "rq2", "fig8", "core"} {
 		out := runners[name]()
 		if len(out) == 0 {
 			t.Errorf("%s produced no output", name)
 		}
 	}
+	if _, err := os.Stat(jsonPath); err != nil {
+		t.Errorf("core runner did not write %s: %v", jsonPath, err)
+	}
 }
 
 func TestRunDispatch(t *testing.T) {
-	if err := run("nosuch", 10, 1, 1); err == nil {
+	if err := run("nosuch", 10, 1, 1, ""); err == nil {
 		t.Error("unknown experiment should error")
 	}
-	if err := run("table2", 40, 1, 2); err != nil {
+	if err := run("table2", 40, 1, 2, ""); err != nil {
 		t.Errorf("table2: %v", err)
 	}
 }

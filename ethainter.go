@@ -70,6 +70,18 @@ func AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
 	return core.AnalyzeBytecode(code, cfg)
 }
 
+// Cache memoizes decompilation and analysis reports across a sweep,
+// content-addressed by keccak-256 of the runtime bytecode and a config
+// fingerprint — the unique-contract deduplication of the paper's Section 6.
+type Cache = core.Cache
+
+// CacheStats are a Cache's hit/miss/eviction counters.
+type CacheStats = core.CacheStats
+
+// NewCache returns an analysis cache bounded to maxEntries reports;
+// maxEntries <= 0 selects a default capacity.
+func NewCache(maxEntries int) *Cache { return core.NewCache(maxEntries) }
+
 // AnalyzeSource compiles mini-Solidity source and analyzes its runtime code.
 func AnalyzeSource(src string, cfg Config) (*Report, error) {
 	compiled, err := minisol.CompileSource(src)

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/crypto"
+)
+
+// StageNS is a per-stage wall-clock breakdown in nanoseconds, summed over a
+// sweep. Cached sweeps attribute each stage once per unique (bytecode, config)
+// pair — a hit costs a lookup, not a re-analysis.
+type StageNS struct {
+	Decompile int64 `json:"decompile_ns"`
+	Facts     int64 `json:"facts_ns"`
+	Guards    int64 `json:"guards_ns"`
+	Fixpoint  int64 `json:"fixpoint_ns"`
+	Detect    int64 `json:"detect_ns"`
+}
+
+func (s *StageNS) add(t core.StageTimings) {
+	s.Decompile += int64(t.Decompile)
+	s.Facts += int64(t.Facts)
+	s.Guards += int64(t.Guards)
+	s.Fixpoint += int64(t.Fixpoint)
+	s.Detect += int64(t.Detect)
+}
+
+func (s StageNS) total() int64 {
+	return s.Decompile + s.Facts + s.Guards + s.Fixpoint + s.Detect
+}
+
+// SweepResult is one pass over the corpus.
+type SweepResult struct {
+	WallNS   int64           `json:"wall_ns"`
+	Analyzed int             `json:"analyzed"`
+	Failed   int             `json:"failed"`
+	Warnings int             `json:"warnings"`
+	Stages   StageNS         `json:"stage_ns"`
+	Cache    core.CacheStats `json:"cache,omitzero"`
+}
+
+// CoreBenchResult is the core performance experiment: the same corpus swept
+// without and with the content-addressed cache, with per-stage attribution.
+type CoreBenchResult struct {
+	Name            string      `json:"name"`
+	N               int         `json:"n"`
+	Seed            int64       `json:"seed"`
+	Workers         int         `json:"workers"`
+	UniqueBytecodes int         `json:"unique_bytecodes"`
+	Uncached        SweepResult `json:"uncached"`
+	Cached          SweepResult `json:"cached"`
+	Speedup         float64     `json:"speedup"`
+}
+
+// CoreBench generates the default corpus profile and sweeps it twice with the
+// production config: once analyzing every contract from scratch, once through
+// a core.Cache. The synthetic corpus reuses bytecodes across contracts the way
+// the chain does (the paper dedups ~2.5M deployed contracts down to ~240K
+// unique ones), so the cached sweep's hit rate is the headline number.
+func CoreBench(n int, seed int64, workers int) *CoreBenchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	contracts := corpus.Generate(corpus.DefaultProfile(n, seed))
+	cfg := core.DefaultConfig()
+
+	unique := map[[32]byte]bool{}
+	for _, c := range contracts {
+		unique[crypto.Keccak256(c.Runtime)] = true
+	}
+
+	res := &CoreBenchResult{
+		Name:            "core",
+		N:               n,
+		Seed:            seed,
+		Workers:         workers,
+		UniqueBytecodes: len(unique),
+	}
+	res.Uncached = sweep(contracts, cfg, workers, nil)
+	cache := core.NewCache(0)
+	res.Cached = sweep(contracts, cfg, workers, cache)
+	res.Cached.Cache = cache.Stats()
+	if res.Cached.WallNS > 0 {
+		res.Speedup = float64(res.Uncached.WallNS) / float64(res.Cached.WallNS)
+	}
+	return res
+}
+
+// sweep analyzes every contract, through the cache when one is given. Stage
+// times are summed per distinct report, so shared (cached) reports are
+// attributed once — matching the work actually done.
+func sweep(contracts []*corpus.Contract, cfg core.Config, workers int, cache *core.Cache) SweepResult {
+	reports := make([]*core.Report, len(contracts))
+	errs := make([]error, len(contracts))
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if cache != nil {
+					reports[i], errs[i] = cache.AnalyzeBytecode(contracts[i].Runtime, cfg)
+				} else {
+					reports[i], errs[i] = core.AnalyzeBytecode(contracts[i].Runtime, cfg)
+				}
+			}
+		}()
+	}
+	for i := range contracts {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := SweepResult{WallNS: int64(time.Since(start))}
+	seen := map[*core.Report]bool{}
+	for i, rep := range reports {
+		if errs[i] != nil {
+			out.Failed++
+			continue
+		}
+		out.Analyzed++
+		out.Warnings += len(rep.Warnings)
+		if seen[rep] {
+			continue
+		}
+		seen[rep] = true
+		out.Stages.add(rep.Stats.Timings)
+	}
+	return out
+}
+
+// Render draws the core performance table.
+func (r *CoreBenchResult) Render() string {
+	t := &table{
+		title:   "Core performance: per-stage timings and analysis cache",
+		headers: []string{"sweep", "wall", "decompile", "facts", "guards", "fixpoint", "detect", "analyzed", "failed"},
+	}
+	row := func(name string, s SweepResult) {
+		t.add(name,
+			fmtNS(s.WallNS),
+			fmtNS(s.Stages.Decompile),
+			fmtNS(s.Stages.Facts),
+			fmtNS(s.Stages.Guards),
+			fmtNS(s.Stages.Fixpoint),
+			fmtNS(s.Stages.Detect),
+			fmt.Sprintf("%d", s.Analyzed),
+			fmt.Sprintf("%d", s.Failed),
+		)
+	}
+	row("uncached", r.Uncached)
+	row("cached", r.Cached)
+	cs := r.Cached.Cache
+	t.note("corpus: %d contracts, %d unique bytecodes (%.1f%% duplication), seed %d, %d workers",
+		r.N, r.UniqueBytecodes, 100*(1-float64(r.UniqueBytecodes)/float64(max(r.N, 1))), r.Seed, r.Workers)
+	t.note("cache: %d hits / %d misses (%.1f%% hit rate), %d evictions, %d entries",
+		cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions, cs.Entries)
+	t.note("cached sweep speedup: %.2fx wall clock", r.Speedup)
+	if tot := r.Uncached.Stages.total(); tot > 0 {
+		t.note("uncached stage split: decompile %.0f%%, facts %.0f%%, guards %.0f%%, fixpoint %.0f%%, detect %.0f%%",
+			100*float64(r.Uncached.Stages.Decompile)/float64(tot),
+			100*float64(r.Uncached.Stages.Facts)/float64(tot),
+			100*float64(r.Uncached.Stages.Guards)/float64(tot),
+			100*float64(r.Uncached.Stages.Fixpoint)/float64(tot),
+			100*float64(r.Uncached.Stages.Detect)/float64(tot))
+	}
+	return t.String()
+}
+
+// JSON serializes the result for BENCH_core.json.
+func (r *CoreBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+func fmtNS(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	}
+}

@@ -3,20 +3,47 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"ethainter/internal/decompiler"
 	"ethainter/internal/tac"
 )
 
-// Analyze runs the Ethainter analysis over a decompiled program.
+// Analyze runs the Ethainter analysis over a decompiled program using the
+// worklist fixpoint.
 func Analyze(prog *tac.Program, cfg Config) *Report {
+	return analyze(prog, cfg, false)
+}
+
+// AnalyzeReference runs the same analysis with the pre-worklist fixpoint
+// (every pass re-evaluates every statement). It exists as the differential-
+// testing oracle: its reports — warnings, witnesses, and stats — must be
+// identical to Analyze's up to stage timings.
+func AnalyzeReference(prog *tac.Program, cfg Config) *Report {
+	return analyze(prog, cfg, true)
+}
+
+func analyze(prog *tac.Program, cfg Config, reference bool) *Report {
+	t0 := time.Now()
 	f := computeFacts(prog)
+	t1 := time.Now()
 	g := computeGuards(f, cfg)
+	t2 := time.Now()
 	a := newAnalysis(cfg, f, g)
-	a.run()
+	if reference {
+		a.runReference()
+	} else {
+		a.run()
+	}
+	t3 := time.Now()
 
 	r := &Report{PublicFunctions: len(prog.Functions)}
 	detect(a, r)
+	t4 := time.Now()
+	r.Stats.Timings.Facts = t1.Sub(t0)
+	r.Stats.Timings.Guards = t2.Sub(t1)
+	r.Stats.Timings.Fixpoint = t3.Sub(t2)
+	r.Stats.Timings.Detect = t4.Sub(t3)
 
 	// Stats.
 	r.Stats.Blocks = len(prog.Blocks)
@@ -41,11 +68,15 @@ func Analyze(prog *tac.Program, cfg Config) *Report {
 
 // AnalyzeBytecode decompiles and analyzes runtime bytecode.
 func AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
+	t0 := time.Now()
 	prog, err := decompiler.Decompile(code)
 	if err != nil {
 		return nil, fmt.Errorf("ethainter: %w", err)
 	}
-	return Analyze(prog, cfg), nil
+	decompileTime := time.Since(t0)
+	r := Analyze(prog, cfg)
+	r.Stats.Timings.Decompile = decompileTime
+	return r, nil
 }
 
 // detect runs the five vulnerability detectors of Section 3 over the fixpoint

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"ethainter/internal/crypto"
+	"ethainter/internal/decompiler"
+	"ethainter/internal/tac"
+)
+
+// Fingerprint returns a stable digest of the configuration. Cache entries
+// are partitioned by it: reports computed under different configs never
+// alias. Every behavior-affecting Config field must be folded in here.
+func (c Config) Fingerprint() uint64 {
+	bits := byte(0)
+	if c.ModelGuards {
+		bits |= 1 << 0
+	}
+	if c.ModelStorageTaint {
+		bits |= 1 << 1
+	}
+	if c.ConservativeStorage {
+		bits |= 1 << 2
+	}
+	if c.InferOwnerSinks {
+		bits |= 1 << 3
+	}
+	h := crypto.Keccak256([]byte("ethainter-config-v1"), []byte{bits})
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// CacheStats are the counters of one Cache.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// HitRate is hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// reportKey addresses one analysis result: the keccak-256 of the runtime
+// bytecode plus the config fingerprint.
+type reportKey struct {
+	code [32]byte
+	cfg  uint64
+}
+
+type reportEntry struct {
+	rep *Report
+	err error
+}
+
+type progEntry struct {
+	prog *tac.Program
+	err  error
+}
+
+// inflight tracks one in-progress computation so concurrent lookups of the
+// same key wait for it instead of duplicating the work.
+type inflight struct {
+	done chan struct{}
+	rep  *Report
+	err  error
+}
+
+// Cache memoizes decompilation and full analysis Reports across a sweep —
+// the unique-contract deduplication behind the paper's 38 MLoC scalability
+// claim (Section 6: ~240K unique contracts stand in for millions deployed).
+// Reports are content-addressed by keccak-256 of the runtime bytecode plus a
+// Config fingerprint; decompiled programs are shared across configs (they
+// are read-only after construction). Both stores evict FIFO past a capacity
+// bound. Safe for concurrent use.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+
+	reports     map[reportKey]reportEntry
+	reportOrder []reportKey
+	progs       map[[32]byte]progEntry
+	progOrder   [][32]byte
+	pending     map[reportKey]*inflight
+
+	stats CacheStats
+}
+
+// DefaultCacheEntries bounds each cache store when NewCache is given a
+// non-positive capacity — comfortably above the unique-contract count of any
+// corpus profile shipped in this repository.
+const DefaultCacheEntries = 1 << 16
+
+// NewCache returns a cache bounded to maxEntries reports (and as many
+// decompiled programs); maxEntries <= 0 selects DefaultCacheEntries.
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		reports:    map[reportKey]reportEntry{},
+		progs:      map[[32]byte]progEntry{},
+		pending:    map[reportKey]*inflight{},
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.reports)
+	return s
+}
+
+// AnalyzeBytecode is the cached equivalent of the package-level
+// AnalyzeBytecode. On a hit the memoized Report is returned directly (shared,
+// so callers must treat reports as immutable — everything else in this
+// repository already does). Decompile errors are cached negatively: retrying
+// a hostile bytecode costs one lookup, not one decompilation.
+func (c *Cache) AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
+	key := reportKey{code: crypto.Keccak256(code), cfg: cfg.Fingerprint()}
+
+	c.mu.Lock()
+	if e, ok := c.reports[key]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return e.rep, e.err
+	}
+	if fl, ok := c.pending[key]; ok {
+		// Another goroutine is computing this key; waiting for it is a hit —
+		// the work is not duplicated.
+		c.stats.Hits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.rep, fl.err
+	}
+	c.stats.Misses++
+	fl := &inflight{done: make(chan struct{})}
+	c.pending[key] = fl
+	c.mu.Unlock()
+
+	fl.rep, fl.err = c.computeReport(key, code, cfg)
+
+	c.mu.Lock()
+	c.storeReport(key, reportEntry{rep: fl.rep, err: fl.err})
+	delete(c.pending, key)
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.rep, fl.err
+}
+
+func (c *Cache) computeReport(key reportKey, code []byte, cfg Config) (*Report, error) {
+	prog, decompileTime, err := c.decompile(key.code, code)
+	if err != nil {
+		return nil, err
+	}
+	rep := Analyze(prog, cfg)
+	rep.Stats.Timings.Decompile = decompileTime
+	return rep, nil
+}
+
+// decompile returns the (shared, read-only) decompiled program for the
+// bytecode, computing and memoizing it on first use. The recorded duration
+// is zero on a hit: the sweep did not pay for it again.
+func (c *Cache) decompile(hash [32]byte, code []byte) (*tac.Program, time.Duration, error) {
+	c.mu.Lock()
+	if e, ok := c.progs[hash]; ok {
+		c.mu.Unlock()
+		return e.prog, 0, e.err
+	}
+	c.mu.Unlock()
+
+	t0 := time.Now()
+	prog, err := decompiler.Decompile(code)
+	elapsed := time.Since(t0)
+
+	c.mu.Lock()
+	if _, ok := c.progs[hash]; !ok {
+		if len(c.progs) >= c.maxEntries && len(c.progOrder) > 0 {
+			delete(c.progs, c.progOrder[0])
+			c.progOrder = c.progOrder[1:]
+			c.stats.Evictions++
+		}
+		c.progs[hash] = progEntry{prog: prog, err: err}
+		c.progOrder = append(c.progOrder, hash)
+	}
+	c.mu.Unlock()
+	return prog, elapsed, err
+}
+
+// storeReport inserts under c.mu, evicting the oldest entry past capacity.
+func (c *Cache) storeReport(key reportKey, e reportEntry) {
+	if _, ok := c.reports[key]; ok {
+		return
+	}
+	if len(c.reports) >= c.maxEntries && len(c.reportOrder) > 0 {
+		delete(c.reports, c.reportOrder[0])
+		c.reportOrder = c.reportOrder[1:]
+		c.stats.Evictions++
+	}
+	c.reports[key] = e
+	c.reportOrder = append(c.reportOrder, key)
+}

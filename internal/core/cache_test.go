@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/minisol"
+)
+
+// TestCacheReportsEqualFresh pins cached results to fresh analysis: for every
+// corpus contract and every ablation config, the report served by the cache
+// deep-equals the one computed from scratch (up to stage timings, which
+// measure wall clock and differ on a hit by construction).
+func TestCacheReportsEqualFresh(t *testing.T) {
+	contracts := corpus.Generate(corpus.DefaultProfile(80, 7))
+	cache := core.NewCache(0)
+	for name, cfg := range ablationConfigs() {
+		for _, c := range contracts {
+			fresh, freshErr := core.AnalyzeBytecode(c.Runtime, cfg)
+			cached, cachedErr := cache.AnalyzeBytecode(c.Runtime, cfg)
+			if (freshErr == nil) != (cachedErr == nil) {
+				t.Fatalf("%s %s#%d: fresh err %v, cached err %v", name, c.Family, c.Index, freshErr, cachedErr)
+			}
+			if freshErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(stripTimings(fresh), stripTimings(cached)) {
+				t.Fatalf("%s %s#%d: cached report diverges from fresh\nfresh:  %+v\ncached: %+v",
+					name, c.Family, c.Index, fresh, cached)
+			}
+		}
+	}
+	if s := cache.Stats(); s.Hits == 0 {
+		t.Errorf("corpus has duplicated bytecode but cache recorded no hits: %+v", s)
+	}
+}
+
+// TestCacheConfigIsolation checks that configs with different fingerprints
+// never share report entries: the same bytecode analyzed under default and
+// noGuards configs must reflect each config's own rules, not the first
+// cached answer.
+func TestCacheConfigIsolation(t *testing.T) {
+	compiled := minisol.MustCompile(minisol.VictimSource)
+	def := core.DefaultConfig()
+	noGuards := core.DefaultConfig()
+	noGuards.ModelGuards = false
+	if def.Fingerprint() == noGuards.Fingerprint() {
+		t.Fatal("distinct configs share a fingerprint")
+	}
+
+	cache := core.NewCache(0)
+	gotDef, err := cache.AnalyzeBytecode(compiled.Runtime, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotNG, err := cache.AnalyzeBytecode(compiled.Runtime, noGuards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDef, _ := core.AnalyzeBytecode(compiled.Runtime, def)
+	wantNG, _ := core.AnalyzeBytecode(compiled.Runtime, noGuards)
+	if !reflect.DeepEqual(stripTimings(gotDef), stripTimings(wantDef)) {
+		t.Error("default-config entry corrupted by config sharing")
+	}
+	if !reflect.DeepEqual(stripTimings(gotNG), stripTimings(wantNG)) {
+		t.Error("noGuards-config entry corrupted by config sharing")
+	}
+	if reflect.DeepEqual(stripTimings(gotDef), stripTimings(gotNG)) {
+		t.Error("default and noGuards reports identical — configs appear to share cache entries")
+	}
+	if s := cache.Stats(); s.Misses != 2 || s.Hits != 0 || s.Entries != 2 {
+		t.Errorf("want 2 misses / 0 hits / 2 entries, got %+v", s)
+	}
+}
+
+// TestCacheCounters exercises hits, misses, negative caching, and eviction.
+func TestCacheCounters(t *testing.T) {
+	a := minisol.MustCompile(minisol.VictimSource).Runtime
+	cfg := core.DefaultConfig()
+
+	cache := core.NewCache(1)
+	if _, err := cache.AnalyzeBytecode(a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.AnalyzeBytecode(a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("want 1 hit / 1 miss, got %+v", s)
+	}
+
+	// Garbage bytecode: the decompile error itself is cached.
+	bad := []byte{0x56} // bare JUMP: unresolvable target
+	if _, err := cache.AnalyzeBytecode(bad, cfg); err == nil {
+		t.Fatal("garbage bytecode should fail")
+	}
+	if _, err := cache.AnalyzeBytecode(bad, cfg); err == nil {
+		t.Fatal("cached failure should still fail")
+	}
+	s := cache.Stats()
+	if s.Hits != 2 {
+		t.Errorf("negative entry should hit, got %+v", s)
+	}
+	// Capacity 1: inserting the bad entry evicted the good one.
+	if s.Evictions == 0 || s.Entries != 1 {
+		t.Errorf("want eviction at capacity 1, got %+v", s)
+	}
+	if _, err := cache.AnalyzeBytecode(a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Misses != 3 {
+		t.Errorf("evicted entry should miss again, got %+v", s)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines over a small
+// corpus; the race detector checks the locking, and every result must match
+// the fresh analysis.
+func TestCacheConcurrent(t *testing.T) {
+	contracts := corpus.Generate(corpus.DefaultProfile(20, 11))
+	cfg := core.DefaultConfig()
+	cache := core.NewCache(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range contracts {
+				c := contracts[(i+g)%len(contracts)]
+				cache.AnalyzeBytecode(c.Runtime, cfg)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, c := range contracts {
+		fresh, err := core.AnalyzeBytecode(c.Runtime, cfg)
+		if err != nil {
+			continue
+		}
+		cached, err := cache.AnalyzeBytecode(c.Runtime, cfg)
+		if err != nil {
+			t.Fatalf("%s#%d: cached err %v after concurrent fill", c.Family, c.Index, err)
+		}
+		if !reflect.DeepEqual(stripTimings(fresh), stripTimings(cached)) {
+			t.Fatalf("%s#%d: concurrent cache diverges from fresh", c.Family, c.Index)
+		}
+	}
+}

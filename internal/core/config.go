@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ethainter/internal/u256"
 )
@@ -122,6 +123,32 @@ type Stats struct {
 	EffectiveGuards   int
 	FixpointPasses    int
 	InferredOwnerSlot int
+	// Timings is the per-stage wall-clock breakdown of the analysis that
+	// produced this report. Excluded from differential report comparisons.
+	Timings StageTimings
+}
+
+// StageTimings is the per-stage wall-clock breakdown of one analysis.
+type StageTimings struct {
+	Decompile time.Duration `json:"decompile_ns"`
+	Facts     time.Duration `json:"facts_ns"`
+	Guards    time.Duration `json:"guards_ns"`
+	Fixpoint  time.Duration `json:"fixpoint_ns"`
+	Detect    time.Duration `json:"detect_ns"`
+}
+
+// Total sums the stage timings.
+func (t StageTimings) Total() time.Duration {
+	return t.Decompile + t.Facts + t.Guards + t.Fixpoint + t.Detect
+}
+
+// Add accumulates another breakdown into this one.
+func (t *StageTimings) Add(o StageTimings) {
+	t.Decompile += o.Decompile
+	t.Facts += o.Facts
+	t.Guards += o.Guards
+	t.Fixpoint += o.Fixpoint
+	t.Detect += o.Detect
 }
 
 // Has reports whether the report contains a warning of the given kind.

@@ -20,6 +20,11 @@ type facts struct {
 	// MSTOREs whose offset is not constant.
 	memWrites  map[uint64][]*tac.Stmt
 	memUnknown []*tac.Stmt
+	// memSrcMemo and hashMemo cache memSources / hashWordStores results;
+	// both are pure functions of the (static) memory model, and the fixpoint
+	// re-asks them every time a load or hash statement is re-evaluated.
+	memSrcMemo map[memSrcKey][]*tac.Stmt
+	hashMemo   map[*tac.Stmt]hashWordsMemo
 
 	// addrClass classifies each SLOAD/SSTORE address expression.
 	addrClass map[*tac.Stmt]addrClass
@@ -60,6 +65,8 @@ func computeFacts(prog *tac.Program) *facts {
 		dom:           tac.ComputeDominators(prog),
 		constOf:       map[tac.VarID]u256.U256{},
 		memWrites:     map[uint64][]*tac.Stmt{},
+		memSrcMemo:    map[memSrcKey][]*tac.Stmt{},
+		hashMemo:      map[*tac.Stmt]hashWordsMemo{},
 		addrClass:     map[*tac.Stmt]addrClass{},
 		senderDerived: map[tac.VarID]bool{},
 		dsaVar:        map[tac.VarID]bool{},
@@ -175,10 +182,27 @@ func (f *facts) indexMemory() {
 	})
 }
 
+// memSrcKey identifies one memoized memSources query.
+type memSrcKey struct {
+	at  *tac.Stmt
+	off uint64
+}
+
+// hashWordsMemo is one memoized hashWordStores result.
+type hashWordsMemo struct {
+	words [][]*tac.Stmt
+	ok    bool
+}
+
 // memSources returns the MSTORE statements an MLOAD (or hash word read) at
 // the given offset may observe: same-block latest store first if present,
-// otherwise every store to that offset plus unknown-offset stores.
+// otherwise every store to that offset plus unknown-offset stores. Results
+// are memoized (the model is static); callers must not mutate them.
 func (f *facts) memSources(at *tac.Stmt, off uint64) []*tac.Stmt {
+	key := memSrcKey{at: at, off: off}
+	if out, ok := f.memSrcMemo[key]; ok {
+		return out
+	}
 	// Prefer the nearest preceding store in the same block (the precise,
 	// "local" modeling the paper describes).
 	var latest *tac.Stmt
@@ -189,17 +213,30 @@ func (f *facts) memSources(at *tac.Stmt, off uint64) []*tac.Stmt {
 			}
 		}
 	}
+	var out []*tac.Stmt
 	if latest != nil {
-		return []*tac.Stmt{latest}
+		out = []*tac.Stmt{latest}
+	} else {
+		out = append([]*tac.Stmt{}, f.memWrites[off]...)
+		out = append(out, f.memUnknown...)
 	}
-	out := append([]*tac.Stmt{}, f.memWrites[off]...)
-	out = append(out, f.memUnknown...)
+	f.memSrcMemo[key] = out
 	return out
 }
 
 // hashWordStores resolves the MSTOREs feeding a SHA3(off, len) when both are
-// constants: one store set per 32-byte word of the hashed region.
+// constants: one store set per 32-byte word of the hashed region. Results are
+// memoized; callers must not mutate them.
 func (f *facts) hashWordStores(s *tac.Stmt) ([][]*tac.Stmt, bool) {
+	if m, ok := f.hashMemo[s]; ok {
+		return m.words, m.ok
+	}
+	words, ok := f.hashWordStoresUncached(s)
+	f.hashMemo[s] = hashWordsMemo{words: words, ok: ok}
+	return words, ok
+}
+
+func (f *facts) hashWordStoresUncached(s *tac.Stmt) ([][]*tac.Stmt, bool) {
 	off, okOff := f.constOf[s.Args[0]]
 	length, okLen := f.constOf[s.Args[1]]
 	if !okOff || !okLen || !off.IsUint64() || !length.IsUint64() {

@@ -29,6 +29,13 @@ type analysis struct {
 	f   *facts
 	g   *guardInfo
 
+	// stmts is every statement in program order — the iteration order of both
+	// fixpoint drivers, so first-derivation witnesses agree bit-for-bit.
+	stmts []*tac.Stmt
+	// deps, when non-nil, receives change notifications and drives the
+	// worklist fixpoint; the reference fixpoint leaves it nil.
+	deps *depGraph
+
 	varTaint map[tac.VarID]uint8
 	// slotTainted marks constant storage slots holding attacker-influenced
 	// values (↓T S(v)).
@@ -59,7 +66,7 @@ type analysis struct {
 }
 
 func newAnalysis(cfg Config, f *facts, g *guardInfo) *analysis {
-	return &analysis{
+	a := &analysis{
 		cfg: cfg, f: f, g: g,
 		varTaint:         map[tac.VarID]uint8{},
 		slotTainted:      map[u256.U256]bool{},
@@ -72,6 +79,8 @@ func newAnalysis(cfg Config, f *facts, g *guardInfo) *analysis {
 		witElemV:         map[u256.U256][]Step{},
 		witByp:           map[tac.VarID][]Step{},
 	}
+	f.prog.AllStmts(func(s *tac.Stmt) { a.stmts = append(a.stmts, s) })
+	return a
 }
 
 // reachable implements ReachableByAttacker at block granularity: every
@@ -115,6 +124,9 @@ func appendSteps(dst []Step, src []Step) []Step {
 	return dst
 }
 
+// --- fact mutators: every derivation flows through one of these, so the
+// --- worklist learns about exactly the facts that changed.
+
 func (a *analysis) taintVar(v tac.VarID, kind uint8, wit []Step) bool {
 	if a.varTaint[v]&kind == kind {
 		return false
@@ -123,24 +135,108 @@ func (a *analysis) taintVar(v tac.VarID, kind uint8, wit []Step) bool {
 		a.witVar[v] = wit
 	}
 	a.varTaint[v] |= kind
+	if a.deps != nil {
+		a.deps.varChanged(v)
+	}
 	return true
 }
 
-// run executes the fixpoint.
+func (a *analysis) setSlotTainted(slot u256.U256, wit []Step) {
+	a.slotTainted[slot] = true
+	a.witSlot[slot] = wit
+	if a.deps != nil {
+		a.deps.slotChanged(slot)
+	}
+}
+
+func (a *analysis) setElemValueTainted(slot u256.U256, wit []Step) {
+	a.elemValueTainted[slot] = true
+	a.witElemV[slot] = wit
+	if a.deps != nil {
+		a.deps.elemValChanged(slot)
+	}
+}
+
+func (a *analysis) setElemWritable(slot u256.U256, wit []Step) {
+	// Only the guard sweep reads elemWritable, and it runs in full every
+	// round, so no statements need re-marking.
+	a.elemWritable[slot] = true
+	a.witElemW[slot] = wit
+}
+
+func (a *analysis) setAllTainted(wit []Step) {
+	a.allTainted = true
+	a.witAll = wit
+	if a.deps != nil {
+		a.deps.allChanged()
+	}
+}
+
+func (a *analysis) setBypassed(cond tac.VarID, wit []Step) {
+	a.bypassed[cond] = true
+	a.witByp[cond] = wit
+	if a.deps != nil {
+		a.deps.bypassChanged(cond)
+	}
+}
+
+// run executes the worklist fixpoint: rounds in statement program order, but
+// re-evaluating only statements whose inputs (a tainted variable, slot,
+// mapping family, or the reachability of their block) changed since their
+// last evaluation. Derivations per round — and therefore first-derivation
+// witnesses and the round count — match the reference global re-pass
+// fixpoint bit-for-bit, because a statement with unchanged inputs cannot
+// derive anything new (every rule is a monotone function of its read set).
 func (a *analysis) run() {
-	for changed := true; changed; {
-		changed = false
+	a.deps = buildDeps(a)
+	d := a.deps
+	for i := range d.dirty {
+		d.dirty[i] = true
+	}
+	for {
 		a.passes++
-		if a.pass() {
+		changed := false
+		for i, s := range a.stmts {
+			if !d.dirty[i] {
+				continue
+			}
+			d.dirty[i] = false
+			if a.stepStmt(s) {
+				changed = true
+			}
+		}
+		if a.stepGuards() {
 			changed = true
+		}
+		if !changed {
+			return
 		}
 	}
 }
 
-// pass makes one sweep over every statement, applying introduction,
-// propagation, storage, and guard-bypass rules. Returns whether anything new
-// was derived.
-func (a *analysis) pass() bool {
+// runReference executes the pre-worklist fixpoint: every pass re-evaluates
+// every statement. Kept as the differential-testing oracle for run.
+func (a *analysis) runReference() {
+	for {
+		a.passes++
+		changed := false
+		for _, s := range a.stmts {
+			if a.stepStmt(s) {
+				changed = true
+			}
+		}
+		if a.stepGuards() {
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// stepStmt applies the introduction, propagation, and storage rules of one
+// statement, returning whether any fact changed.
+func (a *analysis) stepStmt(s *tac.Stmt) bool {
 	changed := false
 	mark := func(ok bool) {
 		if ok {
@@ -148,147 +244,145 @@ func (a *analysis) pass() bool {
 		}
 	}
 	f := a.f
-	f.prog.AllStmts(func(s *tac.Stmt) {
-		switch s.Op {
-		case tac.Calldataload, tac.Callvalue:
-			// TaintedFlow seeds: attacker-supplied data in attacker-reachable
-			// code.
-			if a.reachable(s.Block) {
-				mark(a.taintVar(s.Def, taintIn, a.reachWitness(s.Block)))
+	switch s.Op {
+	case tac.Calldataload, tac.Callvalue:
+		// TaintedFlow seeds: attacker-supplied data in attacker-reachable
+		// code.
+		if a.reachable(s.Block) {
+			mark(a.taintVar(s.Def, taintIn, a.reachWitness(s.Block)))
+		}
+	case tac.Caller:
+		if a.reachable(s.Block) {
+			mark(a.taintVar(s.Def, taintSender, a.reachWitness(s.Block)))
+		}
+	case tac.Mload:
+		if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() {
+			for _, st := range f.memSources(s, off.Uint64()) {
+				if k := a.varTaint[st.Args[1]]; k != 0 {
+					mark(a.taintVar(s.Def, k, a.witVar[st.Args[1]]))
+				}
 			}
-		case tac.Caller:
-			if a.reachable(s.Block) {
-				mark(a.taintVar(s.Def, taintSender, a.reachWitness(s.Block)))
+		} else {
+			// Unknown offset: reads any tainted memory word.
+			for _, st := range f.memUnknown {
+				if k := a.varTaint[st.Args[1]]; k != 0 {
+					mark(a.taintVar(s.Def, k, a.witVar[st.Args[1]]))
+				}
 			}
-		case tac.Mload:
-			if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() {
-				for _, st := range f.memSources(s, off.Uint64()) {
+		}
+	case tac.Sha3:
+		// Taint of hashed memory words propagates to the hash (address
+		// taint for StorageWrite-2-style reasoning).
+		if words, ok := f.hashWordStores(s); ok {
+			for _, stores := range words {
+				for _, st := range stores {
 					if k := a.varTaint[st.Args[1]]; k != 0 {
 						mark(a.taintVar(s.Def, k, a.witVar[st.Args[1]]))
 					}
 				}
-			} else {
-				// Unknown offset: reads any tainted memory word.
-				for _, sets := range [][]*tac.Stmt{f.memUnknown} {
-					for _, st := range sets {
-						if k := a.varTaint[st.Args[1]]; k != 0 {
-							mark(a.taintVar(s.Def, k, a.witVar[st.Args[1]]))
-						}
-					}
-				}
 			}
-		case tac.Sha3:
-			// Taint of hashed memory words propagates to the hash (address
-			// taint for StorageWrite-2-style reasoning).
-			if words, ok := f.hashWordStores(s); ok {
-				for _, stores := range words {
-					for _, st := range stores {
-						if k := a.varTaint[st.Args[1]]; k != 0 {
-							mark(a.taintVar(s.Def, k, a.witVar[st.Args[1]]))
-						}
-					}
-				}
+		}
+	case tac.Sload:
+		cls := f.addrClass[s]
+		switch cls.kind {
+		case addrConst:
+			if a.slotTainted[cls.slot] {
+				mark(a.taintVar(s.Def, taintSt, a.witSlot[cls.slot]))
 			}
-		case tac.Sload:
-			cls := f.addrClass[s]
-			switch cls.kind {
-			case addrConst:
-				if a.slotTainted[cls.slot] {
-					mark(a.taintVar(s.Def, taintSt, a.witSlot[cls.slot]))
-				}
-			case addrElem:
-				if a.elemValueTainted[cls.slot] {
-					mark(a.taintVar(s.Def, taintSt, a.witElemV[cls.slot]))
-				}
-			case addrUnknown:
-				if a.cfg.ConservativeStorage && a.anySlotTainted() {
-					mark(a.taintVar(s.Def, taintSt, a.witAll))
-				}
+		case addrElem:
+			if a.elemValueTainted[cls.slot] {
+				mark(a.taintVar(s.Def, taintSt, a.witElemV[cls.slot]))
 			}
-			if a.allTainted {
+		case addrUnknown:
+			if a.cfg.ConservativeStorage && a.anySlotTainted() {
 				mark(a.taintVar(s.Def, taintSt, a.witAll))
 			}
-		case tac.Sstore:
-			if !a.cfg.ModelStorageTaint {
-				return
+		}
+		if a.allTainted {
+			mark(a.taintVar(s.Def, taintSt, a.witAll))
+		}
+	case tac.Sstore:
+		if !a.cfg.ModelStorageTaint {
+			return false
+		}
+		if !a.reachable(s.Block) {
+			return false
+		}
+		valTaint := a.varTaint[s.Args[1]]
+		keyTaint := a.varTaint[s.Args[0]]
+		reachWit := a.reachWitness(s.Block)
+		step, hasStep := f.stepFor(s.Block)
+		withStep := func(wit []Step) []Step {
+			out := appendSteps([]Step{}, reachWit)
+			out = appendSteps(out, wit)
+			if hasStep {
+				out = appendSteps(out, []Step{step})
 			}
-			if !a.reachable(s.Block) {
-				return
+			return out
+		}
+		cls := f.addrClass[s]
+		switch cls.kind {
+		case addrConst:
+			if valTaint != 0 && !a.slotTainted[cls.slot] {
+				a.setSlotTainted(cls.slot, withStep(a.witVar[s.Args[1]]))
+				mark(true)
 			}
-			valTaint := a.varTaint[s.Args[1]]
-			keyTaint := a.varTaint[s.Args[0]]
-			reachWit := a.reachWitness(s.Block)
-			step, hasStep := f.stepFor(s.Block)
-			withStep := func(wit []Step) []Step {
-				out := appendSteps([]Step{}, reachWit)
-				out = appendSteps(out, wit)
-				if hasStep {
-					out = appendSteps(out, []Step{step})
-				}
-				return out
+		case addrElem:
+			if valTaint != 0 && !a.elemValueTainted[cls.slot] {
+				a.setElemValueTainted(cls.slot, withStep(a.witVar[s.Args[1]]))
+				mark(true)
 			}
-			cls := f.addrClass[s]
-			switch cls.kind {
-			case addrConst:
-				if valTaint != 0 && !a.slotTainted[cls.slot] {
-					a.slotTainted[cls.slot] = true
-					a.witSlot[cls.slot] = withStep(a.witVar[s.Args[1]])
-					mark(true)
+			// Membership control: the attacker chooses which element is
+			// written — their own entry (sender key) or any entry
+			// (tainted key).
+			keyControlled := false
+			var keyWit []Step
+			for _, k := range cls.keys {
+				if f.senderDerived[k] {
+					keyControlled = true
 				}
-			case addrElem:
-				if valTaint != 0 && !a.elemValueTainted[cls.slot] {
-					a.elemValueTainted[cls.slot] = true
-					a.witElemV[cls.slot] = withStep(a.witVar[s.Args[1]])
-					mark(true)
-				}
-				// Membership control: the attacker chooses which element is
-				// written — their own entry (sender key) or any entry
-				// (tainted key).
-				keyControlled := false
-				var keyWit []Step
-				for _, k := range cls.keys {
-					if f.senderDerived[k] {
-						keyControlled = true
-					}
-					if a.varTaint[k] != 0 {
-						keyControlled = true
-						keyWit = a.witVar[k]
-					}
-				}
-				if keyControlled && !a.elemWritable[cls.slot] {
-					a.elemWritable[cls.slot] = true
-					a.witElemW[cls.slot] = withStep(keyWit)
-					mark(true)
-				}
-			case addrUnknown:
-				// StorageWrite-2: tainted value at a tainted address taints
-				// everything statically known. Conservative mode does so for
-				// any tainted value at an unknown address.
-				if valTaint != 0 && (keyTaint != 0 || a.cfg.ConservativeStorage) && !a.allTainted {
-					a.allTainted = true
-					a.witAll = withStep(a.witVar[s.Args[1]])
-					mark(true)
+				if a.varTaint[k] != 0 {
+					keyControlled = true
+					keyWit = a.witVar[k]
 				}
 			}
-		default:
-			if s.Op.IsArith() && s.Def != tac.NoVar {
-				for _, arg := range s.Args {
-					if k := a.varTaint[arg]; k != 0 && a.varTaint[s.Def]&k != k {
-						mark(a.taintVar(s.Def, k, a.witVar[arg]))
-					}
+			if keyControlled && !a.elemWritable[cls.slot] {
+				a.setElemWritable(cls.slot, withStep(keyWit))
+				mark(true)
+			}
+		case addrUnknown:
+			// StorageWrite-2: tainted value at a tainted address taints
+			// everything statically known. Conservative mode does so for
+			// any tainted value at an unknown address.
+			if valTaint != 0 && (keyTaint != 0 || a.cfg.ConservativeStorage) && !a.allTainted {
+				a.setAllTainted(withStep(a.witVar[s.Args[1]]))
+				mark(true)
+			}
+		}
+	default:
+		if s.Op.IsArith() && s.Def != tac.NoVar {
+			for _, arg := range s.Args {
+				if k := a.varTaint[arg]; k != 0 && a.varTaint[s.Def]&k != k {
+					mark(a.taintVar(s.Def, k, a.witVar[arg]))
 				}
 			}
 		}
-	})
-	// Guard bypasses (Uguard-T generalized): a guard falls when its condition
-	// value is tainted, or when its storage sources are attacker-writable.
+	}
+	return changed
+}
+
+// stepGuards applies the guard-bypass rules (Uguard-T generalized): a guard
+// falls when its condition value is tainted, or when its storage sources are
+// attacker-writable. The sweep is over guard conditions — a small set — so
+// both fixpoints run it in full every round.
+func (a *analysis) stepGuards() bool {
+	changed := false
 	for cond, eff := range a.g.effective {
 		if !eff || a.bypassed[cond] {
 			continue
 		}
 		if a.varTaint[cond]&guardBypassTaint != 0 {
-			a.bypassed[cond] = true
-			a.witByp[cond] = a.witVar[cond]
+			a.setBypassed(cond, a.witVar[cond])
 			changed = true
 			continue
 		}
@@ -318,8 +412,7 @@ func (a *analysis) pass() bool {
 				bypass, wit = true, a.witAll
 			}
 			if bypass {
-				a.bypassed[cond] = true
-				a.witByp[cond] = wit
+				a.setBypassed(cond, wit)
 				changed = true
 				break
 			}

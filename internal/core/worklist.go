@@ -1,0 +1,145 @@
+package core
+
+import (
+	"ethainter/internal/tac"
+	"ethainter/internal/u256"
+)
+
+// depGraph inverts every statement's fixpoint read set: which statements must
+// be re-evaluated when a variable's taint, a storage slot, a mapping family,
+// or the reachability of a block changes. It is the index behind the worklist
+// fixpoint — a fact change dirties exactly its dependents instead of
+// triggering a whole-program re-pass.
+//
+// The guard-bypass sweep is not tracked here: it runs in full every round
+// (guard conditions are few), and a bypass feeds back into statements through
+// bypassChanged → block reachability.
+type depGraph struct {
+	// dirty[i] marks stmts[i] (program order, as held by analysis.stmts) for
+	// re-evaluation in the current or next round.
+	dirty []bool
+
+	// varDeps lists the statements reading varTaint[v].
+	varDeps map[tac.VarID][]int32
+	// slotDeps lists the statements reading slotTainted[slot].
+	slotDeps map[u256.U256][]int32
+	// elemValDeps lists the statements reading elemValueTainted[family].
+	elemValDeps map[u256.U256][]int32
+	// anyDeps lists the statements reading anySlotTainted (conservative-mode
+	// loads from unknown storage addresses).
+	anyDeps []int32
+	// allDeps lists the statements reading allTainted (every SLOAD).
+	allDeps []int32
+	// blockDeps lists the statements whose rules condition on reachable(b).
+	blockDeps map[*tac.Block][]int32
+	// condBlocks lists the blocks whose reachability an effective guard
+	// condition gates.
+	condBlocks map[tac.VarID][]*tac.Block
+}
+
+// buildDeps scans the program once, mirroring the read set of each stepStmt
+// case.
+func buildDeps(a *analysis) *depGraph {
+	f := a.f
+	d := &depGraph{
+		dirty:       make([]bool, len(a.stmts)),
+		varDeps:     map[tac.VarID][]int32{},
+		slotDeps:    map[u256.U256][]int32{},
+		elemValDeps: map[u256.U256][]int32{},
+		blockDeps:   map[*tac.Block][]int32{},
+		condBlocks:  map[tac.VarID][]*tac.Block{},
+	}
+	onVar := func(v tac.VarID, i int32) { d.varDeps[v] = append(d.varDeps[v], i) }
+	for i, s := range a.stmts {
+		idx := int32(i)
+		switch s.Op {
+		case tac.Calldataload, tac.Callvalue, tac.Caller:
+			d.blockDeps[s.Block] = append(d.blockDeps[s.Block], idx)
+		case tac.Mload:
+			if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() {
+				for _, st := range f.memSources(s, off.Uint64()) {
+					onVar(st.Args[1], idx)
+				}
+			} else {
+				for _, st := range f.memUnknown {
+					onVar(st.Args[1], idx)
+				}
+			}
+		case tac.Sha3:
+			if words, ok := f.hashWordStores(s); ok {
+				for _, stores := range words {
+					for _, st := range stores {
+						onVar(st.Args[1], idx)
+					}
+				}
+			}
+		case tac.Sload:
+			switch cls := f.addrClass[s]; cls.kind {
+			case addrConst:
+				d.slotDeps[cls.slot] = append(d.slotDeps[cls.slot], idx)
+			case addrElem:
+				d.elemValDeps[cls.slot] = append(d.elemValDeps[cls.slot], idx)
+			case addrUnknown:
+				if a.cfg.ConservativeStorage {
+					d.anyDeps = append(d.anyDeps, idx)
+				}
+			}
+			d.allDeps = append(d.allDeps, idx)
+		case tac.Sstore:
+			if !a.cfg.ModelStorageTaint {
+				break
+			}
+			d.blockDeps[s.Block] = append(d.blockDeps[s.Block], idx)
+			onVar(s.Args[0], idx)
+			onVar(s.Args[1], idx)
+			if cls := f.addrClass[s]; cls.kind == addrElem {
+				for _, k := range cls.keys {
+					onVar(k, idx)
+				}
+			}
+		default:
+			if s.Op.IsArith() && s.Def != tac.NoVar {
+				for _, arg := range s.Args {
+					onVar(arg, idx)
+				}
+			}
+		}
+	}
+	for b, conds := range a.g.guardsOf {
+		for _, c := range conds {
+			if a.g.effective[c] {
+				d.condBlocks[c] = append(d.condBlocks[c], b)
+			}
+		}
+	}
+	return d
+}
+
+func (d *depGraph) markAll(ids []int32) {
+	for _, i := range ids {
+		d.dirty[i] = true
+	}
+}
+
+func (d *depGraph) varChanged(v tac.VarID) { d.markAll(d.varDeps[v]) }
+
+func (d *depGraph) slotChanged(slot u256.U256) {
+	d.markAll(d.slotDeps[slot])
+	d.markAll(d.anyDeps)
+}
+
+func (d *depGraph) elemValChanged(slot u256.U256) {
+	d.markAll(d.elemValDeps[slot])
+	d.markAll(d.anyDeps)
+}
+
+func (d *depGraph) allChanged() {
+	d.markAll(d.allDeps)
+	d.markAll(d.anyDeps)
+}
+
+func (d *depGraph) bypassChanged(cond tac.VarID) {
+	for _, b := range d.condBlocks[cond] {
+		d.markAll(d.blockDeps[b])
+	}
+}

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/decompiler"
+)
+
+// ablationConfigs covers the default configuration and every Figure 8
+// variant, so the worklist fixpoint is differentially pinned to the reference
+// under each rule set.
+func ablationConfigs() map[string]core.Config {
+	noGuards := core.DefaultConfig()
+	noGuards.ModelGuards = false
+	noStorage := core.DefaultConfig()
+	noStorage.ModelStorageTaint = false
+	conservative := core.DefaultConfig()
+	conservative.ConservativeStorage = true
+	noOwner := core.DefaultConfig()
+	noOwner.InferOwnerSinks = false
+	return map[string]core.Config{
+		"default":      core.DefaultConfig(),
+		"noGuards":     noGuards,
+		"noStorage":    noStorage,
+		"conservative": conservative,
+		"noOwnerSinks": noOwner,
+	}
+}
+
+// stripTimings clears the stage timing fields, the only part of a report the
+// two fixpoints are allowed to differ on.
+func stripTimings(r *core.Report) core.Report {
+	out := *r
+	out.Stats.Timings = core.StageTimings{}
+	return out
+}
+
+// TestWorklistMatchesReferenceCorpus requires the worklist fixpoint to
+// reproduce the reference (global re-pass) fixpoint bit-for-bit — warnings,
+// witness chains, and stats including the pass count — over the full default
+// corpus and every ablation config.
+func TestWorklistMatchesReferenceCorpus(t *testing.T) {
+	contracts := corpus.Generate(corpus.DefaultProfile(200, 20200615))
+	configs := ablationConfigs()
+	compared := 0
+	for _, c := range contracts {
+		prog, err := decompiler.Decompile(c.Runtime)
+		if err != nil {
+			continue // exotic contracts; decompile failures count as timeouts
+		}
+		for name, cfg := range configs {
+			got := stripTimings(core.Analyze(prog, cfg))
+			want := stripTimings(core.AnalyzeReference(prog, cfg))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s #%d [%s]: worklist report diverges from reference\nworklist:  %+v\nreference: %+v",
+					c.Family, c.Index, name, got, want)
+			}
+			compared++
+		}
+	}
+	if compared == 0 {
+		t.Fatal("no contracts compared")
+	}
+	t.Logf("compared %d (contract, config) pairs", compared)
+}

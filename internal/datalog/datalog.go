@@ -1,7 +1,8 @@
 // Package datalog implements a small stratified Datalog engine: interned
-// terms, relations with lazily built single-column indices, rules with
-// negation, stratification with negative-cycle detection, and semi-naive
-// fixpoint evaluation.
+// terms, relations stored in flat arenas with hashed tuple sets, lazily built
+// single- and two-column indices, rules with negation, stratification with
+// negative-cycle detection, and semi-naive fixpoint evaluation driven by a
+// bound-variable join planner.
 //
 // It stands in for the paper's Soufflé back-end. The abstract information
 // flow model of Section 4 (package abstract) runs its Figure 3 / Figure 4
@@ -12,7 +13,6 @@ package datalog
 import (
 	"fmt"
 	"sort"
-	"strings"
 )
 
 // Term is an interned constant.
@@ -46,68 +46,95 @@ func (in *Interner) Lookup(s string) (Term, bool) {
 	return t, ok
 }
 
-// String returns the string for t.
-func (in *Interner) String(t Term) string { return in.toStr[t] }
+// String returns the string for t, or a "term#N" placeholder for terms this
+// interner never produced (the defensive path hit when callers mix interners).
+func (in *Interner) String(t Term) string {
+	if t < 0 || int(t) >= len(in.toStr) {
+		return fmt.Sprintf("term#%d", t)
+	}
+	return in.toStr[t]
+}
 
-// Relation is a set of tuples of fixed arity.
+// Relation is a set of tuples of fixed arity, stored in a flat arena with a
+// hashed membership set.
 type Relation struct {
 	Name  string
 	Arity int
 
-	tuples  [][]Term
-	present map[string]bool
-	// indices[pos][term] lists tuples whose pos-th column is term.
-	indices []map[Term][][]Term
+	set *tupleSet
+	// indices[pos] maps a term to the row ids whose pos-th column holds it.
+	indices []map[Term][]int32
+	// comps holds lazily built two-column composite indices, keyed by column
+	// pair, mapping the packed column values to row ids.
+	comps map[[2]uint8]map[uint64][]int32
 }
 
 func newRelation(name string, arity int) *Relation {
-	return &Relation{Name: name, Arity: arity, present: map[string]bool{}}
-}
-
-func key(tuple []Term) string {
-	var b strings.Builder
-	for _, t := range tuple {
-		fmt.Fprintf(&b, "%d,", t)
-	}
-	return b.String()
+	return &Relation{Name: name, Arity: arity, set: newTupleSet(arity)}
 }
 
 // insert adds the tuple, reporting whether it was new.
 func (r *Relation) insert(tuple []Term) bool {
-	k := key(tuple)
-	if r.present[k] {
+	id, added := r.set.insert(tuple)
+	if !added {
 		return false
 	}
-	r.present[k] = true
-	cp := append([]Term{}, tuple...)
-	r.tuples = append(r.tuples, cp)
+	row := r.set.row(id)
 	for pos, idx := range r.indices {
 		if idx != nil {
-			idx[cp[pos]] = append(idx[cp[pos]], cp)
+			idx[row[pos]] = append(idx[row[pos]], id)
 		}
+	}
+	for cols, comp := range r.comps {
+		k := pairKey(row[cols[0]], row[cols[1]])
+		comp[k] = append(comp[k], id)
 	}
 	return true
 }
 
 // Has reports membership.
-func (r *Relation) Has(tuple []Term) bool { return r.present[key(tuple)] }
+func (r *Relation) Has(tuple []Term) bool { return r.set.has(tuple) }
 
 // Len returns the tuple count.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.set.n }
 
-// index returns (building if needed) the index on column pos.
-func (r *Relation) index(pos int) map[Term][][]Term {
+// index returns (building if needed) the single-column index on pos.
+func (r *Relation) index(pos int) map[Term][]int32 {
 	if r.indices == nil {
-		r.indices = make([]map[Term][][]Term, r.Arity)
+		r.indices = make([]map[Term][]int32, r.Arity)
 	}
 	if r.indices[pos] == nil {
-		idx := map[Term][][]Term{}
-		for _, t := range r.tuples {
-			idx[t[pos]] = append(idx[t[pos]], t)
+		idx := map[Term][]int32{}
+		for id := int32(0); int(id) < r.set.n; id++ {
+			t := r.set.row(id)[pos]
+			idx[t] = append(idx[t], id)
 		}
 		r.indices[pos] = idx
 	}
 	return r.indices[pos]
+}
+
+func pairKey(a, b Term) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// compIndex returns (building if needed) the composite index on (p1, p2).
+func (r *Relation) compIndex(p1, p2 int) map[uint64][]int32 {
+	cols := [2]uint8{uint8(p1), uint8(p2)}
+	if r.comps == nil {
+		r.comps = map[[2]uint8]map[uint64][]int32{}
+	}
+	if idx, ok := r.comps[cols]; ok {
+		return idx
+	}
+	idx := map[uint64][]int32{}
+	for id := int32(0); int(id) < r.set.n; id++ {
+		row := r.set.row(id)
+		k := pairKey(row[p1], row[p2])
+		idx[k] = append(idx[k], id)
+	}
+	r.comps[cols] = idx
+	return idx
 }
 
 // Arg is one argument of an atom: a variable name or a constant term.
@@ -128,6 +155,8 @@ type Atom struct {
 type Rule struct {
 	Head Atom
 	Body []Atom
+
+	c *compiledRule // filled by AddRule
 }
 
 // Program holds relations and rules.
@@ -135,6 +164,11 @@ type Program struct {
 	Terms *Interner
 	rels  map[string]*Relation
 	rules []*Rule
+
+	// Evaluation scratch (the engine is single-goroutine per Program).
+	env     []Term
+	headBuf []Term
+	factBuf []Term
 }
 
 // NewProgram returns an empty program.
@@ -161,7 +195,10 @@ func (p *Program) AddFact(rel string, terms ...string) error {
 	if err != nil {
 		return err
 	}
-	tuple := make([]Term, len(terms))
+	if cap(p.factBuf) < len(terms) {
+		p.factBuf = make([]Term, len(terms))
+	}
+	tuple := p.factBuf[:len(terms)]
 	for i, s := range terms {
 		tuple[i] = p.Terms.Intern(s)
 	}
@@ -171,7 +208,7 @@ func (p *Program) AddFact(rel string, terms ...string) error {
 
 // AddRule registers a rule after validating it: every head variable and every
 // variable in a negated atom must appear in a positive body atom (range
-// restriction / safety).
+// restriction / safety). The rule is compiled to slot-indexed form.
 func (p *Program) AddRule(rule *Rule) error {
 	positive := map[string]bool{}
 	for _, a := range rule.Body {
@@ -214,6 +251,7 @@ func (p *Program) AddRule(rule *Rule) error {
 			return err
 		}
 	}
+	rule.c = p.compileRule(rule)
 	p.rules = append(p.rules, rule)
 	return nil
 }
@@ -224,8 +262,9 @@ func (p *Program) Query(rel string) [][]string {
 	if r == nil {
 		return nil
 	}
-	out := make([][]string, 0, len(r.tuples))
-	for _, t := range r.tuples {
+	out := make([][]string, 0, r.Len())
+	for id := int32(0); int(id) < r.Len(); id++ {
+		t := r.set.row(id)
 		row := make([]string, len(t))
 		for i, term := range t {
 			row[i] = p.Terms.String(term)

@@ -129,139 +129,366 @@ func (p *Program) stratify() ([][]*Rule, error) {
 }
 
 // evalStratum runs the stratum's rules to fixpoint. The first pass is naive
-// (all facts); subsequent passes are semi-naive, re-firing only rules whose
-// positive body atoms can match a tuple derived in the previous pass.
+// (all facts); subsequent passes are semi-naive. Because relations are
+// append-only arenas with dense row ids, the delta derived by one pass is
+// simply the row range [lo, hi) that grew during it — no tuples are copied or
+// re-marked between iterations.
 func (p *Program) evalStratum(rules []*Rule) {
-	// delta: tuples derived in the previous iteration, per relation.
-	delta := map[string]map[string]bool{}
-	mark := func(rel string, tuple []Term, into map[string]map[string]bool) {
-		if into[rel] == nil {
-			into[rel] = map[string]bool{}
+	// Head relations of this stratum are the only ones that can grow.
+	base := map[*Relation]int{}
+	for _, r := range rules {
+		rel := r.c.head.rel
+		if _, ok := base[rel]; !ok {
+			base[rel] = rel.Len()
 		}
-		into[rel][key(tuple)] = true
 	}
 	// First pass: evaluate every rule against all current facts.
-	next := map[string]map[string]bool{}
 	for _, r := range rules {
-		p.fireRule(r, nil, func(tuple []Term) {
-			if p.rels[r.Head.Rel].insert(tuple) {
-				mark(r.Head.Rel, tuple, next)
-			}
-		})
+		p.fireRule(r, -1, 0, 0)
 	}
-	for len(next) > 0 {
-		delta, next = next, map[string]map[string]bool{}
+	// Delta per relation: rows derived in the previous pass.
+	lo := map[*Relation]int{}
+	hi := map[*Relation]int{}
+	for rel, b := range base {
+		lo[rel], hi[rel] = b, rel.Len()
+	}
+	for {
+		cur := map[*Relation]int{}
+		for rel := range base {
+			cur[rel] = rel.Len()
+		}
 		for _, r := range rules {
-			// Semi-naive: fire once per positive atom that has a delta.
-			for i, a := range r.Body {
-				if a.Neg || delta[a.Rel] == nil {
+			// Semi-naive: fire once per positive atom with a non-empty delta.
+			for i := range r.c.body {
+				a := &r.c.body[i]
+				if a.neg {
 					continue
 				}
-				p.fireRule(r, &seminaive{atomIdx: i, delta: delta[a.Rel]}, func(tuple []Term) {
-					if p.rels[r.Head.Rel].insert(tuple) {
-						mark(r.Head.Rel, tuple, next)
-					}
-				})
+				l, h := lo[a.rel], hi[a.rel]
+				if l >= h {
+					continue
+				}
+				p.fireRule(r, i, l, h)
 			}
+		}
+		grown := false
+		for rel := range base {
+			lo[rel], hi[rel] = cur[rel], rel.Len()
+			if lo[rel] < hi[rel] {
+				grown = true
+			}
+		}
+		if !grown {
+			break
 		}
 	}
 }
 
-// seminaive restricts one body atom to the delta set.
-type seminaive struct {
-	atomIdx int
-	delta   map[string]bool
+// compiledRule is the slot-indexed form of a rule: variables are numbered
+// into env slots, constants are pre-interned, and relations are resolved to
+// pointers. Join orders are planned lazily per delta atom.
+type compiledRule struct {
+	nVars int
+	head  catom
+	body  []catom
+	// orders[i+1] caches the planned join order with body atom i as the
+	// semi-naive delta atom; orders[0] is the naive-pass order.
+	orders [][]int
 }
 
-// fireRule enumerates all substitutions satisfying the rule body and emits
-// the corresponding head tuples.
-func (p *Program) fireRule(r *Rule, sn *seminaive, emit func([]Term)) {
-	env := map[string]Term{}
-	var solve func(i int)
-	solve = func(i int) {
-		if i == len(r.Body) {
-			tuple := make([]Term, len(r.Head.Args))
-			for k, arg := range r.Head.Args {
-				if arg.IsVar {
-					tuple[k] = env[arg.Var]
-				} else {
-					tuple[k] = arg.Const
+type catom struct {
+	rel  *Relation
+	neg  bool
+	args []carg
+}
+
+const (
+	slotWild  = -1 // wildcard argument
+	slotConst = -2 // constant argument (konst holds the term)
+)
+
+// carg is one compiled argument: a variable slot, or slotWild/slotConst.
+type carg struct {
+	slot  int32
+	konst Term
+}
+
+func (p *Program) compileRule(rule *Rule) *compiledRule {
+	slots := map[string]int32{}
+	compileAtom := func(a Atom) catom {
+		rel := p.rels[a.Rel]
+		out := catom{rel: rel, neg: a.Neg, args: make([]carg, len(a.Args))}
+		for i, arg := range a.Args {
+			switch {
+			case !arg.IsVar:
+				out.args[i] = carg{slot: slotConst, konst: arg.Const}
+			case arg.Var == "_":
+				out.args[i] = carg{slot: slotWild}
+			default:
+				s, ok := slots[arg.Var]
+				if !ok {
+					s = int32(len(slots))
+					slots[arg.Var] = s
 				}
-			}
-			emit(tuple)
-			return
-		}
-		atom := r.Body[i]
-		rel := p.rels[atom.Rel]
-		if atom.Neg {
-			tuple := make([]Term, len(atom.Args))
-			for k, arg := range atom.Args {
-				if arg.IsVar {
-					tuple[k] = env[arg.Var]
-				} else {
-					tuple[k] = arg.Const
-				}
-			}
-			if !rel.Has(tuple) {
-				solve(i + 1)
-			}
-			return
-		}
-		// Choose candidates: a bound column's index if available.
-		candidates := rel.tuples
-		for pos, arg := range atom.Args {
-			var bound Term
-			ok := false
-			if !arg.IsVar {
-				bound, ok = arg.Const, true
-			} else if arg.Var != "_" {
-				bound, ok = envLookup(env, arg.Var)
-			}
-			if ok {
-				candidates = rel.index(pos)[bound]
-				break
+				out.args[i] = carg{slot: s}
 			}
 		}
-		for _, tuple := range candidates {
-			if sn != nil && i == sn.atomIdx && !sn.delta[key(tuple)] {
+		return out
+	}
+	c := &compiledRule{body: make([]catom, 0, len(rule.Body))}
+	for _, a := range rule.Body {
+		c.body = append(c.body, compileAtom(a))
+	}
+	// Head last so body-bound slots are already numbered (safety guarantees
+	// every head variable occurs in the body).
+	c.head = compileAtom(rule.Head)
+	c.nVars = len(slots)
+	return c
+}
+
+// orderFor plans the join order: the delta atom (if any) first, then greedily
+// the atom with the most bound arguments — the bound-variable-count heuristic
+// standing in for Soufflé's automatic index selection. Negated atoms are
+// scheduled as soon as they are fully bound, to prune early.
+func (c *compiledRule) orderFor(deltaAtom int) []int {
+	cacheIdx := deltaAtom + 1
+	if c.orders == nil {
+		c.orders = make([][]int, len(c.body)+1)
+	}
+	if c.orders[cacheIdx] != nil {
+		return c.orders[cacheIdx]
+	}
+	order := make([]int, 0, len(c.body))
+	bound := make([]bool, c.nVars)
+	placed := make([]bool, len(c.body))
+	place := func(ai int) {
+		for _, a := range c.body[ai].args {
+			if a.slot >= 0 {
+				bound[a.slot] = true
+			}
+		}
+		placed[ai] = true
+		order = append(order, ai)
+	}
+	if deltaAtom >= 0 {
+		place(deltaAtom)
+	}
+	for len(order) < len(c.body) {
+		best, bestScore := -1, -1
+		for ai := range c.body {
+			if placed[ai] {
 				continue
 			}
-			var bound []string
-			match := true
-			for k, arg := range atom.Args {
+			a := &c.body[ai]
+			nb, free := 0, 0
+			for _, arg := range a.args {
 				switch {
-				case !arg.IsVar:
-					if tuple[k] != arg.Const {
-						match = false
-					}
-				case arg.Var == "_":
+				case arg.slot == slotConst:
+					nb++
+				case arg.slot >= 0 && bound[arg.slot]:
+					nb++
+				case arg.slot >= 0:
+					free++
+				}
+			}
+			score := nb
+			if a.neg {
+				if free > 0 {
+					continue // a negated atom waits until fully bound
+				}
+				score = len(a.args) + 1 // then filters as early as possible
+			}
+			if score > bestScore {
+				best, bestScore = ai, score
+			}
+		}
+		place(best)
+	}
+	c.orders[cacheIdx] = order
+	return order
+}
+
+// fireRule enumerates all substitutions satisfying the rule body and inserts
+// the corresponding head tuples. deltaAtom (when ≥ 0) restricts that body
+// atom's candidates to the row range [deltaLo, deltaHi) of its relation.
+func (p *Program) fireRule(r *Rule, deltaAtom, deltaLo, deltaHi int) {
+	c := r.c
+	order := c.orderFor(deltaAtom)
+	if cap(p.env) < c.nVars {
+		p.env = make([]Term, c.nVars)
+	}
+	env := p.env[:c.nVars]
+	for i := range env {
+		env[i] = -1
+	}
+	if cap(p.headBuf) < len(c.head.args) {
+		p.headBuf = make([]Term, len(c.head.args))
+	}
+
+	var solve func(oi int)
+	solve = func(oi int) {
+		if oi == len(order) {
+			tuple := p.headBuf[:len(c.head.args)]
+			for k, a := range c.head.args {
+				if a.slot >= 0 {
+					tuple[k] = env[a.slot]
+				} else {
+					tuple[k] = a.konst
+				}
+			}
+			c.head.rel.insert(tuple)
+			return
+		}
+		ai := order[oi]
+		atom := &c.body[ai]
+		if atom.neg {
+			if !p.negMatch(atom, env) {
+				solve(oi + 1)
+			}
+			return
+		}
+		candidates, scanTo := p.selectCandidates(atom, env)
+		isDelta := ai == deltaAtom
+		match := func(id int32) {
+			if isDelta && (int(id) < deltaLo || int(id) >= deltaHi) {
+				return
+			}
+			row := atom.rel.set.row(id)
+			var boundSlots [8]int32
+			extra := boundSlots[:0]
+			ok := true
+			for k, a := range atom.args {
+				switch {
+				case a.slot == slotConst:
+					ok = row[k] == a.konst
+				case a.slot == slotWild:
 					// wildcard
 				default:
-					if v, ok := env[arg.Var]; ok {
-						if v != tuple[k] {
-							match = false
-						}
+					if v := env[a.slot]; v >= 0 {
+						ok = v == row[k]
 					} else {
-						env[arg.Var] = tuple[k]
-						bound = append(bound, arg.Var)
+						env[a.slot] = row[k]
+						extra = append(extra, a.slot)
 					}
 				}
-				if !match {
+				if !ok {
 					break
 				}
 			}
-			if match {
-				solve(i + 1)
+			if ok {
+				solve(oi + 1)
 			}
-			for _, v := range bound {
-				delete(env, v)
+			for _, s := range extra {
+				env[s] = -1
+			}
+		}
+		if candidates != nil {
+			for _, id := range candidates {
+				match(id)
+			}
+		} else {
+			// Full scan; the delta restriction shrinks it to the new rows.
+			from, to := 0, scanTo
+			if isDelta {
+				from, to = deltaLo, deltaHi
+			}
+			for id := from; id < to; id++ {
+				match(int32(id))
 			}
 		}
 	}
 	solve(0)
 }
 
-func envLookup(env map[string]Term, v string) (Term, bool) {
-	t, ok := env[v]
-	return t, ok
+// selectCandidates picks the access path for a positive atom given the bound
+// environment: a two-column composite index when ≥ 2 columns are bound, a
+// single-column index for one, or a full scan (candidates nil, scan bound
+// returned) when none are.
+func (p *Program) selectCandidates(atom *catom, env []Term) ([]int32, int) {
+	var pos [2]int
+	var val [2]Term
+	nb := 0
+	for k, a := range atom.args {
+		var v Term
+		switch {
+		case a.slot == slotConst:
+			v = a.konst
+		case a.slot >= 0 && env[a.slot] >= 0:
+			v = env[a.slot]
+		default:
+			continue
+		}
+		if nb < 2 {
+			pos[nb], val[nb] = k, v
+			nb++
+		}
+	}
+	switch nb {
+	case 0:
+		return nil, atom.rel.Len()
+	case 1:
+		return atom.rel.index(pos[0])[val[0]], 0
+	default:
+		return atom.rel.compIndex(pos[0], pos[1])[pairKey(val[0], val[1])], 0
+	}
+}
+
+// negMatch reports whether any tuple matches the negated atom under env.
+// Fully bound atoms are a hashed membership probe; atoms with wildcards (or,
+// defensively, unbound variables) fall back to candidate enumeration — an
+// existential check, where the previous engine probed a zero term.
+func (p *Program) negMatch(atom *catom, env []Term) bool {
+	fullyBound := true
+	for _, a := range atom.args {
+		if a.slot == slotWild || (a.slot >= 0 && env[a.slot] < 0) {
+			fullyBound = false
+			break
+		}
+	}
+	if fullyBound {
+		var buf [8]Term
+		probe := buf[:0]
+		if len(atom.args) > len(buf) {
+			probe = make([]Term, 0, len(atom.args))
+		}
+		for _, a := range atom.args {
+			if a.slot >= 0 {
+				probe = append(probe, env[a.slot])
+			} else {
+				probe = append(probe, a.konst)
+			}
+		}
+		return atom.rel.Has(probe)
+	}
+	candidates, scanTo := p.selectCandidates(atom, env)
+	check := func(id int32) bool {
+		row := atom.rel.set.row(id)
+		for k, a := range atom.args {
+			switch {
+			case a.slot == slotConst:
+				if row[k] != a.konst {
+					return false
+				}
+			case a.slot >= 0 && env[a.slot] >= 0:
+				if row[k] != env[a.slot] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if candidates != nil {
+		for _, id := range candidates {
+			if check(id) {
+				return true
+			}
+		}
+		return false
+	}
+	for id := 0; id < scanTo; id++ {
+		if check(int32(id)) {
+			return true
+		}
+	}
+	return false
 }

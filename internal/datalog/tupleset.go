@@ -1,0 +1,117 @@
+package datalog
+
+// tupleSet stores fixed-arity tuples in one flat row-major arena with hashed,
+// allocation-free membership tests. Tuples of arity ≤ 4 pack directly into a
+// [4]int32 map key (terms are non-negative, so -1 padding never collides);
+// wider tuples hash with FNV-1a into buckets of row ids and are compared
+// against the arena on collision.
+//
+// Rows are append-only and identified by dense int32 ids in insertion order —
+// the property the semi-naive evaluator exploits to represent deltas as plain
+// [lo, hi) row ranges instead of copied tuple sets.
+type tupleSet struct {
+	arity int
+	n     int
+	// flat is the arena: row i occupies flat[i*arity : (i+1)*arity].
+	flat []Term
+
+	small map[[4]int32]int32 // arity ≤ 4: packed tuple → row id
+	wide  map[uint64][]int32 // arity > 4: hash bucket → candidate row ids
+
+	// hash computes the bucket key for wide tuples. Tests swap in degenerate
+	// functions to force collisions.
+	hash func([]Term) uint64
+}
+
+func newTupleSet(arity int) *tupleSet {
+	s := &tupleSet{arity: arity, hash: fnvTerms}
+	if arity <= 4 {
+		s.small = map[[4]int32]int32{}
+	} else {
+		s.wide = map[uint64][]int32{}
+	}
+	return s
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvTerms is FNV-1a over the 32-bit term values.
+func fnvTerms(tuple []Term) uint64 {
+	h := uint64(fnvOffset64)
+	for _, t := range tuple {
+		v := uint32(t)
+		h = (h ^ uint64(v&0xff)) * fnvPrime64
+		h = (h ^ uint64((v>>8)&0xff)) * fnvPrime64
+		h = (h ^ uint64((v>>16)&0xff)) * fnvPrime64
+		h = (h ^ uint64(v>>24)) * fnvPrime64
+	}
+	return h
+}
+
+func pack4(tuple []Term) [4]int32 {
+	k := [4]int32{-1, -1, -1, -1}
+	for i, t := range tuple {
+		k[i] = int32(t)
+	}
+	return k
+}
+
+// row returns the arena slice of row id (aliasing the arena; callers must not
+// mutate or retain it across inserts).
+func (s *tupleSet) row(id int32) []Term {
+	base := int(id) * s.arity
+	return s.flat[base : base+s.arity : base+s.arity]
+}
+
+// insert adds the tuple if absent, returning its row id and whether it was new.
+func (s *tupleSet) insert(tuple []Term) (int32, bool) {
+	if s.small != nil {
+		k := pack4(tuple)
+		if id, ok := s.small[k]; ok {
+			return id, false
+		}
+		id := int32(s.n)
+		s.small[k] = id
+		s.flat = append(s.flat, tuple...)
+		s.n++
+		return id, true
+	}
+	h := s.hash(tuple)
+	for _, id := range s.wide[h] {
+		if termsEqual(s.row(id), tuple) {
+			return id, false
+		}
+	}
+	id := int32(s.n)
+	s.wide[h] = append(s.wide[h], id)
+	s.flat = append(s.flat, tuple...)
+	s.n++
+	return id, true
+}
+
+// has reports membership without inserting.
+func (s *tupleSet) has(tuple []Term) bool {
+	if s.small != nil {
+		_, ok := s.small[pack4(tuple)]
+		return ok
+	}
+	h := s.hash(tuple)
+	for _, id := range s.wide[h] {
+		if termsEqual(s.row(id), tuple) {
+			return true
+		}
+	}
+	return false
+}
+
+func termsEqual(a, b []Term) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package datalog
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzTupleSet drives interleaved insert/has against a naive map-of-strings
+// oracle. The byte stream decodes to operations: each op consumes one opcode
+// byte (even = insert, odd = has) and `arity` term bytes. Three set variants
+// run in lockstep — packed (arity clamped ≤ 4), wide FNV-hashed (arity ≥ 5),
+// and wide with a degenerate constant hash — so both key paths and the
+// collision-resolution path are covered with identical semantics.
+func FuzzTupleSet(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3, 1, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, 2, 0, 0, 1, 1, 0, 0, 0, 3, 0, 0, 1})
+	f.Add([]byte{0, 255, 255, 255, 0, 255, 255, 254, 1, 255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		// First byte selects arity 1..6, covering both representations.
+		arity := int(data[0])%6 + 1
+		data = data[1:]
+
+		sets := []*tupleSet{newTupleSet(arity)}
+		if arity > 4 {
+			collider := newTupleSet(arity)
+			collider.hash = func([]Term) uint64 { return 42 }
+			sets = append(sets, collider)
+		}
+		oracle := map[string]bool{}
+		oracleKey := func(tuple []Term) string { return fmt.Sprint(tuple) }
+
+		tuple := make([]Term, arity)
+		for len(data) >= 1+arity {
+			op := data[0]
+			for i := 0; i < arity; i++ {
+				// Terms are interner indices: non-negative by construction.
+				tuple[i] = Term(data[1+i])
+			}
+			data = data[1+arity:]
+
+			key := oracleKey(tuple)
+			if op%2 == 0 {
+				_, wantNew := oracle[key]
+				wantNew = !wantNew
+				oracle[key] = true
+				for si, s := range sets {
+					if _, gotNew := s.insert(tuple); gotNew != wantNew {
+						t.Fatalf("set %d: insert(%v) new = %v, oracle says %v", si, tuple, gotNew, wantNew)
+					}
+				}
+			} else {
+				want := oracle[key]
+				for si, s := range sets {
+					if got := s.has(tuple); got != want {
+						t.Fatalf("set %d: has(%v) = %v, oracle says %v", si, tuple, got, want)
+					}
+				}
+			}
+		}
+
+		// Final agreement: every set holds exactly the oracle's tuples, and the
+		// arena reproduces each inserted row.
+		for si, s := range sets {
+			if s.n != len(oracle) {
+				t.Fatalf("set %d: %d rows, oracle has %d", si, s.n, len(oracle))
+			}
+			for id := int32(0); id < int32(s.n); id++ {
+				if !oracle[oracleKey(s.row(id))] {
+					t.Fatalf("set %d: arena row %d = %v not in oracle", si, id, s.row(id))
+				}
+				if !s.has(s.row(id)) {
+					t.Fatalf("set %d: arena row %d = %v fails has", si, id, s.row(id))
+				}
+			}
+		}
+	})
+}
