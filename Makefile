@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-json experiments examples clean
+.PHONY: all build test vet bench bench-json experiments examples serve-smoke clean
 
 all: build vet test
 
@@ -25,6 +25,11 @@ bench-json:
 # Full-scale regeneration of every table and figure (EXPERIMENTS.md source).
 experiments:
 	$(GO) run ./cmd/ethainter-bench -n 2000 -seed 20200615
+
+# Boot ethainter-serve, exercise /healthz, /analyze (cache hit), /batch and
+# /statsz, then assert clean SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,31 +1,129 @@
-// Command ethainter-serve runs the analyzer as an HTTP service — the
-// reproduction's analog of the paper's live deployment at
-// contract-library.com.
+// Command ethainter-serve runs the analyzer as a production-shaped HTTP
+// service — the reproduction's analog of the paper's live deployment at
+// contract-library.com. All analysis endpoints share one content-addressed
+// report cache; requests run under per-request deadlines behind an in-flight
+// limiter; SIGINT/SIGTERM drain in-flight requests before exit.
 //
 // Usage:
 //
-//	ethainter-serve [-addr :8545]
+//	ethainter-serve [-addr :8545] [-timeout 30s] [-max-inflight 64]
+//	                [-cache-entries N] [-batch-workers N] [-max-body N]
+//	                [-read-timeout 10s] [-write-timeout 2m] [-idle-timeout 2m]
+//	                [-shutdown-grace 15s]
 //
-// Endpoints: POST /analyze (hex bytecode or mini-Solidity source),
-// POST /compile, POST /exploit, GET /healthz.
+// Endpoints: POST /analyze (hex runtime bytecode or mini-Solidity source),
+// POST /batch (JSON array of such inputs), POST /compile, POST /exploit,
+// GET /healthz, GET /statsz (cache/request/latency counters).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ethainter/internal/core"
 	"ethainter/internal/server"
 )
 
+// options carries the parsed serving configuration.
+type options struct {
+	addr         string
+	timeout      time.Duration
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	idleTimeout  time.Duration
+	grace        time.Duration
+	maxInFlight  int
+	cacheEntries int
+	batchWorkers int
+	maxBody      int64
+}
+
+func parseFlags(args []string) (options, error) {
+	var opts options
+	fs := flag.NewFlagSet("ethainter-serve", flag.ContinueOnError)
+	fs.StringVar(&opts.addr, "addr", ":8545", "listen address")
+	fs.DurationVar(&opts.timeout, "timeout", 30*time.Second, "per-request analysis deadline (0 disables)")
+	fs.DurationVar(&opts.readTimeout, "read-timeout", 10*time.Second, "HTTP read timeout")
+	fs.DurationVar(&opts.writeTimeout, "write-timeout", 2*time.Minute, "HTTP write timeout (must exceed -timeout)")
+	fs.DurationVar(&opts.idleTimeout, "idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
+	fs.DurationVar(&opts.grace, "shutdown-grace", 15*time.Second, "drain period for in-flight requests on SIGINT/SIGTERM")
+	fs.IntVar(&opts.maxInFlight, "max-inflight", 64, "max concurrently-served analysis requests; excess get 503 (0 = unlimited)")
+	fs.IntVar(&opts.cacheEntries, "cache-entries", 0, "report cache capacity (0 = default)")
+	fs.IntVar(&opts.batchWorkers, "batch-workers", 0, "per-request /batch worker pool size (0 = default)")
+	fs.Int64Var(&opts.maxBody, "max-body", 1<<20, "max request body bytes")
+	if err := fs.Parse(args); err != nil {
+		return opts, err
+	}
+	return opts, nil
+}
+
+// run serves until the listener fails or a signal arrives on shutdown, then
+// drains in-flight requests for at most opts.grace. When ready is non-nil it
+// receives the bound address once the listener is up (the smoke tests bind
+// :0 and need the assigned port).
+func run(opts options, logger *slog.Logger, ready chan<- net.Addr, shutdown <-chan os.Signal) error {
+	srv := server.NewWithCache(core.DefaultConfig(), core.NewCache(opts.cacheEntries))
+	srv.Timeout = opts.timeout
+	srv.MaxInFlight = opts.maxInFlight
+	srv.BatchWorkers = opts.batchWorkers
+	if opts.maxBody > 0 {
+		srv.MaxBodyBytes = opts.maxBody
+	}
+	srv.Logger = logger
+
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"timeout", opts.timeout.String(), "max_inflight", opts.maxInFlight)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	hs := &http.Server{
+		Handler:      srv.Handler(),
+		ReadTimeout:  opts.readTimeout,
+		WriteTimeout: opts.writeTimeout,
+		IdleTimeout:  opts.idleTimeout,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-shutdown:
+		logger.Info("shutting down", "signal", fmt.Sprint(sig), "grace", opts.grace.String())
+		ctx, cancel := context.WithTimeout(context.Background(), opts.grace)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			// Grace expired with requests still in flight: hard-close.
+			hs.Close()
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		logger.Info("drained, exiting")
+		return nil
+	}
+}
+
 func main() {
-	addr := flag.String("addr", ":8545", "listen address")
-	flag.Parse()
-	s := server.New(core.DefaultConfig())
-	fmt.Printf("ethainter-serve listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+	opts, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	shutdown := make(chan os.Signal, 1)
+	signal.Notify(shutdown, os.Interrupt, syscall.SIGTERM)
+	if err := run(opts, logger, nil, shutdown); err != nil {
 		fmt.Fprintf(os.Stderr, "ethainter-serve: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ethainter/internal/minisol"
+)
+
+func TestParseFlags(t *testing.T) {
+	opts, err := parseFlags([]string{"-addr", "127.0.0.1:9999", "-timeout", "5s", "-max-inflight", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.addr != "127.0.0.1:9999" || opts.timeout != 5*time.Second || opts.maxInFlight != 7 {
+		t.Errorf("opts = %+v", opts)
+	}
+	if _, err := parseFlags([]string{"-timeout", "soon"}); err == nil {
+		t.Error("bad duration parsed without error")
+	}
+}
+
+// TestServeLifecycle boots the real server loop on an ephemeral port, drives
+// /healthz, a cache-hitting pair of /analyze calls, and /statsz, then
+// delivers SIGTERM and asserts a clean drain.
+func TestServeLifecycle(t *testing.T) {
+	opts, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-shutdown-grace", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ready := make(chan net.Addr, 1)
+	shutdown := make(chan os.Signal, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(opts, logger, ready, shutdown) }()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr.String()
+	case err := <-errCh:
+		t.Fatalf("server exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+
+	body := "0x" + hex.EncodeToString(minisol.MustCompile(minisol.AccessibleSelfdestructSource).Runtime)
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/analyze", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/analyze %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, err = http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Cache struct {
+			Hits uint64 `json:"hits"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Cache.Hits < 1 {
+		t.Errorf("repeated /analyze recorded no cache hit: %+v", stats)
+	}
+
+	shutdown <- syscall.SIGTERM
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still serving after clean shutdown")
+	}
+}

@@ -23,6 +23,7 @@
 package ethainter
 
 import (
+	"context"
 	"fmt"
 
 	"ethainter/internal/chain"
@@ -68,6 +69,14 @@ const (
 // are returned as errors, matching how the paper counts analysis timeouts.
 func AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
 	return core.AnalyzeBytecode(code, cfg)
+}
+
+// AnalyzeBytecodeContext is AnalyzeBytecode with cancellation: the fixpoint
+// polls ctx between passes, so a deadline or disconnect aborts the analysis
+// with ctx.Err() instead of running to convergence. Cache (which has the
+// same method) never memoizes cancellations.
+func AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Config) (*Report, error) {
+	return core.AnalyzeBytecodeContext(ctx, code, cfg)
 }
 
 // Cache memoizes decompilation and analysis reports across a sweep,

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -12,7 +14,15 @@ import (
 // Analyze runs the Ethainter analysis over a decompiled program using the
 // worklist fixpoint.
 func Analyze(prog *tac.Program, cfg Config) *Report {
-	return analyze(prog, cfg, false)
+	r, _ := analyze(context.Background(), prog, cfg, false)
+	return r
+}
+
+// AnalyzeContext is Analyze with cancellation: the fixpoint checks ctx
+// between passes and aborts with ctx.Err() once the deadline expires or the
+// caller goes away. The serving layer uses it to bound per-request work.
+func AnalyzeContext(ctx context.Context, prog *tac.Program, cfg Config) (*Report, error) {
+	return analyze(ctx, prog, cfg, false)
 }
 
 // AnalyzeReference runs the same analysis with the pre-worklist fixpoint
@@ -20,20 +30,29 @@ func Analyze(prog *tac.Program, cfg Config) *Report {
 // testing oracle: its reports — warnings, witnesses, and stats — must be
 // identical to Analyze's up to stage timings.
 func AnalyzeReference(prog *tac.Program, cfg Config) *Report {
-	return analyze(prog, cfg, true)
+	r, _ := analyze(context.Background(), prog, cfg, true)
+	return r
 }
 
-func analyze(prog *tac.Program, cfg Config, reference bool) *Report {
+func analyze(ctx context.Context, prog *tac.Program, cfg Config, reference bool) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	t0 := time.Now()
 	f := computeFacts(prog)
 	t1 := time.Now()
 	g := computeGuards(f, cfg)
 	t2 := time.Now()
 	a := newAnalysis(cfg, f, g)
+	a.ctx = ctx
+	var runErr error
 	if reference {
-		a.runReference()
+		runErr = a.runReference()
 	} else {
-		a.run()
+		runErr = a.run()
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	t3 := time.Now()
 
@@ -63,20 +82,40 @@ func analyze(prog *tac.Program, cfg Config, reference bool) *Report {
 	}
 	r.Stats.FixpointPasses = a.passes
 	r.Stats.InferredOwnerSlot = len(g.ownerSlots)
-	return r
+	return r, nil
 }
 
 // AnalyzeBytecode decompiles and analyzes runtime bytecode.
 func AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
+	return AnalyzeBytecodeContext(context.Background(), code, cfg)
+}
+
+// AnalyzeBytecodeContext is AnalyzeBytecode with cancellation: the returned
+// error is ctx.Err() when the deadline expires or the caller disconnects
+// before the analysis converges.
+func AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Config) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	prog, err := decompiler.Decompile(code)
 	if err != nil {
 		return nil, fmt.Errorf("ethainter: %w", err)
 	}
 	decompileTime := time.Since(t0)
-	r := Analyze(prog, cfg)
+	r, err := AnalyzeContext(ctx, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
 	r.Stats.Timings.Decompile = decompileTime
 	return r, nil
+}
+
+// IsCancellation reports whether err is a context cancellation or deadline
+// error — the class of analysis failures that reflect the caller's budget
+// rather than the bytecode, and that the Cache therefore never memoizes.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // detect runs the five vulnerability detectors of Section 3 over the fixpoint

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"sync"
 	"time"
@@ -126,6 +127,15 @@ func (c *Cache) Stats() CacheStats {
 // repository already does). Decompile errors are cached negatively: retrying
 // a hostile bytecode costs one lookup, not one decompilation.
 func (c *Cache) AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
+	return c.AnalyzeBytecodeContext(context.Background(), code, cfg)
+}
+
+// AnalyzeBytecodeContext is the cancellable cached analysis. Cancellation
+// errors are never memoized: a request that ran out of budget must not
+// poison the key for later callers with more patience. When a waiter
+// coalesces onto a computation that is itself cancelled, the waiter retries
+// the analysis under its own context.
+func (c *Cache) AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Config) (*Report, error) {
 	key := reportKey{code: crypto.Keccak256(code), cfg: cfg.Fingerprint()}
 
 	c.mu.Lock()
@@ -139,7 +149,16 @@ func (c *Cache) AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
 		// the work is not duplicated.
 		c.stats.Hits++
 		c.mu.Unlock()
-		<-fl.done
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if IsCancellation(fl.err) {
+			// The computing request was cancelled; its failure says nothing
+			// about the bytecode. Redo the work under our own context.
+			return c.AnalyzeBytecodeContext(ctx, code, cfg)
+		}
 		return fl.rep, fl.err
 	}
 	c.stats.Misses++
@@ -147,22 +166,27 @@ func (c *Cache) AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
 	c.pending[key] = fl
 	c.mu.Unlock()
 
-	fl.rep, fl.err = c.computeReport(key, code, cfg)
+	fl.rep, fl.err = c.computeReport(ctx, key, code, cfg)
 
 	c.mu.Lock()
-	c.storeReport(key, reportEntry{rep: fl.rep, err: fl.err})
+	if !IsCancellation(fl.err) {
+		c.storeReport(key, reportEntry{rep: fl.rep, err: fl.err})
+	}
 	delete(c.pending, key)
 	c.mu.Unlock()
 	close(fl.done)
 	return fl.rep, fl.err
 }
 
-func (c *Cache) computeReport(key reportKey, code []byte, cfg Config) (*Report, error) {
+func (c *Cache) computeReport(ctx context.Context, key reportKey, code []byte, cfg Config) (*Report, error) {
 	prog, decompileTime, err := c.decompile(key.code, code)
 	if err != nil {
 		return nil, err
 	}
-	rep := Analyze(prog, cfg)
+	rep, err := AnalyzeContext(ctx, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
 	rep.Stats.Timings.Decompile = decompileTime
 	return rep, nil
 }

@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ethainter/internal/core"
+	"ethainter/internal/minisol"
+)
+
+// TestAnalyzeContextCancelled pins the cancellation contract: an
+// already-expired context aborts the analysis with the context's error and a
+// nil report, both uncached and through the cache.
+func TestAnalyzeContextCancelled(t *testing.T) {
+	compiled := minisol.MustCompile(minisol.VictimSource)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	expired, cancel2 := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel2()
+
+	cases := []struct {
+		name string
+		ctx  context.Context
+		want error
+	}{
+		{"cancelled", cancelled, context.Canceled},
+		{"expired", expired, context.DeadlineExceeded},
+	}
+	for _, c := range cases {
+		rep, err := core.AnalyzeBytecodeContext(c.ctx, compiled.Runtime, core.DefaultConfig())
+		if rep != nil || !errors.Is(err, c.want) {
+			t.Errorf("%s: AnalyzeBytecodeContext = (%v, %v), want (nil, %v)", c.name, rep, err, c.want)
+		}
+		if !core.IsCancellation(err) {
+			t.Errorf("%s: IsCancellation(%v) = false", c.name, err)
+		}
+	}
+}
+
+// TestCacheNeverMemoizesCancellation verifies a cancelled request does not
+// poison the cache: the same bytecode analyzed again with a live context
+// succeeds, and the cancelled attempt is not served as a negative hit.
+func TestCacheNeverMemoizesCancellation(t *testing.T) {
+	compiled := minisol.MustCompile(minisol.VictimSource)
+	cache := core.NewCache(0)
+	cfg := core.DefaultConfig()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cache.AnalyzeBytecodeContext(ctx, compiled.Runtime, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled analysis: err = %v, want context.Canceled", err)
+	}
+
+	rep, err := cache.AnalyzeBytecodeContext(context.Background(), compiled.Runtime, cfg)
+	if err != nil || rep == nil {
+		t.Fatalf("retry after cancellation: (%v, %v), want a report", rep, err)
+	}
+	if len(rep.Warnings) == 0 {
+		t.Error("retry returned an empty report for the Victim contract")
+	}
+
+	// The successful report is now memoized: a third call is a hit and
+	// returns the identical pointer.
+	rep2, err := cache.AnalyzeBytecodeContext(context.Background(), compiled.Runtime, cfg)
+	if err != nil || rep2 != rep {
+		t.Errorf("post-retry lookup: rep2 == rep is %v, err %v", rep2 == rep, err)
+	}
+	if s := cache.Stats(); s.Hits != 1 {
+		t.Errorf("stats after cancel+miss+hit: %+v, want exactly 1 hit", s)
+	}
+}
+
+// TestContextVariantsMatchPlain pins that the context-threaded entry points
+// with a background context produce reports identical to the plain ones.
+func TestContextVariantsMatchPlain(t *testing.T) {
+	compiled := minisol.MustCompile(minisol.VictimSource)
+	cfg := core.DefaultConfig()
+	plain, err := core.AnalyzeBytecode(compiled.Runtime, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := core.AnalyzeBytecodeContext(context.Background(), compiled.Runtime, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Warnings) != len(ctxed.Warnings) || plain.Stats.FixpointPasses != ctxed.Stats.FixpointPasses {
+		t.Errorf("context variant diverges: plain %d warnings/%d passes, ctx %d/%d",
+			len(plain.Warnings), plain.Stats.FixpointPasses, len(ctxed.Warnings), ctxed.Stats.FixpointPasses)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"ethainter/internal/tac"
 	"ethainter/internal/u256"
 )
@@ -28,6 +30,10 @@ type analysis struct {
 	cfg Config
 	f   *facts
 	g   *guardInfo
+	// ctx bounds the fixpoint: both drivers poll it between passes, so a
+	// request deadline or client disconnect aborts the analysis at the next
+	// pass boundary instead of running to convergence.
+	ctx context.Context
 
 	// stmts is every statement in program order — the iteration order of both
 	// fixpoint drivers, so first-derivation witnesses agree bit-for-bit.
@@ -68,6 +74,7 @@ type analysis struct {
 func newAnalysis(cfg Config, f *facts, g *guardInfo) *analysis {
 	a := &analysis{
 		cfg: cfg, f: f, g: g,
+		ctx:              context.Background(),
 		varTaint:         map[tac.VarID]uint8{},
 		slotTainted:      map[u256.U256]bool{},
 		elemValueTainted: map[u256.U256]bool{},
@@ -187,13 +194,16 @@ func (a *analysis) setBypassed(cond tac.VarID, wit []Step) {
 // witnesses and the round count — match the reference global re-pass
 // fixpoint bit-for-bit, because a statement with unchanged inputs cannot
 // derive anything new (every rule is a monotone function of its read set).
-func (a *analysis) run() {
+func (a *analysis) run() error {
 	a.deps = buildDeps(a)
 	d := a.deps
 	for i := range d.dirty {
 		d.dirty[i] = true
 	}
 	for {
+		if err := a.ctx.Err(); err != nil {
+			return err
+		}
 		a.passes++
 		changed := false
 		for i, s := range a.stmts {
@@ -209,15 +219,18 @@ func (a *analysis) run() {
 			changed = true
 		}
 		if !changed {
-			return
+			return nil
 		}
 	}
 }
 
 // runReference executes the pre-worklist fixpoint: every pass re-evaluates
 // every statement. Kept as the differential-testing oracle for run.
-func (a *analysis) runReference() {
+func (a *analysis) runReference() error {
 	for {
+		if err := a.ctx.Err(); err != nil {
+			return err
+		}
 		a.passes++
 		changed := false
 		for _, s := range a.stmts {
@@ -229,7 +242,7 @@ func (a *analysis) runReference() {
 			changed = true
 		}
 		if !changed {
-			return
+			return nil
 		}
 	}
 }

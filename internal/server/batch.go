@@ -1,0 +1,125 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Defaults for the /batch endpoint; override via Server.BatchWorkers and
+// Server.MaxBatchItems.
+const (
+	defaultBatchWorkers  = 8
+	defaultMaxBatchItems = 256
+)
+
+// BatchItemJSON is one per-input result of a /batch call: exactly one of
+// Report and Error is set.
+type BatchItemJSON struct {
+	Index  int         `json:"index"`
+	Report *ReportJSON `json:"report,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// BatchJSON is the /batch response: per-item results in input order. A batch
+// is 200 as long as the request itself was well-formed; individual inputs
+// fail individually (Failed counts them).
+type BatchJSON struct {
+	Items  []BatchItemJSON `json:"items"`
+	Failed int             `json:"failed"`
+}
+
+func (s *Server) batchWorkers() int {
+	if s.BatchWorkers > 0 {
+		return s.BatchWorkers
+	}
+	return defaultBatchWorkers
+}
+
+func (s *Server) maxBatchItems() int {
+	if s.MaxBatchItems > 0 {
+		return s.MaxBatchItems
+	}
+	return defaultMaxBatchItems
+}
+
+// handleBatch analyzes a JSON array of inputs (each hex bytecode or
+// mini-Solidity source, same as /analyze) over a bounded worker pool. All
+// items share the request's deadline and the server-wide cache, so a batch
+// of largely-duplicated bytecode — the dominant bulk workload per Section 6 —
+// costs one analysis per distinct contract; duplicates within one batch
+// coalesce through the cache's singleflight even when analyzed concurrently.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var inputs []string
+	if err := json.Unmarshal(body, &inputs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch body must be a JSON array of strings: %w", err))
+		return
+	}
+	if len(inputs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if max := s.maxBatchItems(); len(inputs) > max {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch too large: %d items (max %d)", len(inputs), max))
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	items := make([]BatchItemJSON, len(inputs))
+	workers := s.batchWorkers()
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				items[i] = s.analyzeBatchItem(ctx, i, inputs[i])
+			}
+		}()
+	}
+	for i := range inputs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	out := BatchJSON{Items: items}
+	for _, it := range items {
+		if it.Error != "" {
+			out.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// analyzeBatchItem runs one batch input through decode + cached analysis,
+// folding every failure into the item's Error field so one bad input cannot
+// fail its siblings.
+func (s *Server) analyzeBatchItem(ctx context.Context, i int, input string) BatchItemJSON {
+	if strings.TrimSpace(input) == "" {
+		return BatchItemJSON{Index: i, Error: "empty input"}
+	}
+	runtime, _, err := decodeInput([]byte(input))
+	if err != nil {
+		return BatchItemJSON{Index: i, Error: err.Error()}
+	}
+	rep, err := s.cache.AnalyzeBytecodeContext(ctx, runtime, s.cfg)
+	if err != nil {
+		return BatchItemJSON{Index: i, Error: err.Error()}
+	}
+	rj := reportToJSON(rep)
+	return BatchItemJSON{Index: i, Report: &rj}
+}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ethainter/internal/core"
+)
+
+// TestLimiterShedsWhenSaturated drives the in-flight limiter to saturation
+// deterministically: one request parks inside the handler, the next is shed
+// with 503 + Retry-After, and a request after release is admitted again.
+// Run under -race in CI: the limiter, gauge, and counters are all concurrent.
+func TestLimiterShedsWhenSaturated(t *testing.T) {
+	s := New(core.DefaultConfig())
+	s.MaxInFlight = 1
+	lim := newLimiter(1)
+
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	blocking := s.instrument("/block", lim, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release // closed once; re-entries pass straight through
+		writeJSON(w, http.StatusOK, map[string]string{"status": "done"})
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rw := httptest.NewRecorder()
+		blocking.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/block", nil))
+	}()
+	<-entered
+
+	if got := s.metrics.inFlight.Load(); got != 1 {
+		t.Errorf("inFlight gauge = %d with one parked request", got)
+	}
+	rw := httptest.NewRecorder()
+	blocking.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/block", nil))
+	if rw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated request: status %d, want 503", rw.Code)
+	}
+	if rw.Header().Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After")
+	}
+	var payload map[string]string
+	if err := json.Unmarshal(rw.Body.Bytes(), &payload); err != nil || !strings.Contains(payload["error"], "saturated") {
+		t.Errorf("503 body = %q", rw.Body)
+	}
+	if got := s.metrics.rejected.Load(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+
+	close(release)
+	wg.Wait()
+	rw = httptest.NewRecorder()
+	// The limiter slot is free again; this request must be admitted. Reuse
+	// the handler but pre-close release so it returns immediately.
+	blocking.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/block", nil))
+	if rw.Code != http.StatusOK {
+		t.Errorf("post-release request: status %d, want 200", rw.Code)
+	}
+	if got := s.metrics.inFlight.Load(); got != 0 {
+		t.Errorf("inFlight gauge = %d after drain", got)
+	}
+}
+
+// TestWriteJSONPropagatesEncodeError pins the bugfix that encoder failures
+// are surfaced: writeJSON returns the error and notes it on the response
+// recorder, from where the access log picks it up.
+func TestWriteJSONPropagatesEncodeError(t *testing.T) {
+	rec := &responseRecorder{ResponseWriter: httptest.NewRecorder(), status: http.StatusOK}
+	if err := writeJSON(rec, http.StatusOK, math.NaN()); err == nil {
+		t.Fatal("encoding NaN did not fail")
+	}
+	if rec.encodeErr == nil {
+		t.Fatal("encode error was not noted on the recorder")
+	}
+
+	// End to end: a handler whose response cannot be encoded lands the
+	// failure in the structured access log.
+	var buf bytes.Buffer
+	s := New(core.DefaultConfig())
+	s.Logger = slog.New(slog.NewTextHandler(&buf, nil))
+	h := s.instrument("/nan", nil, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, math.Inf(1))
+	})
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/nan", nil))
+	if !strings.Contains(buf.String(), "encode_error") {
+		t.Errorf("access log missing encode_error: %q", buf.String())
+	}
+}
+
+// TestAccessLogFields pins the structured access-log record shape.
+func TestAccessLogFields(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(core.DefaultConfig())
+	s.Logger = slog.New(slog.NewJSONHandler(&buf, nil))
+	s.Handler().ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/healthz", nil))
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("access log is not one JSON record: %v (%q)", err, buf.String())
+	}
+	for _, key := range []string{"method", "path", "route", "status", "bytes", "duration_ms", "remote"} {
+		if _, ok := rec[key]; !ok {
+			t.Errorf("access log record missing %q: %v", key, rec)
+		}
+	}
+	if rec["status"] != float64(http.StatusOK) || rec["route"] != "/healthz" {
+		t.Errorf("unexpected access log record: %v", rec)
+	}
+}
+
+// TestHistogramBuckets pins the bucket search: observations land in the
+// first bucket whose bound is >= the sample, overflow in the +Inf bucket.
+func TestHistogramBuckets(t *testing.T) {
+	var h histogram
+	h.observe(latencyBuckets[0] / 2)
+	h.observe(latencyBuckets[3])
+	h.observe(latencyBuckets[numLatencyBuckets-1] * 2)
+	if h.counts[0] != 1 || h.counts[3] != 1 || h.counts[numLatencyBuckets] != 1 {
+		t.Errorf("bucket counts = %v", h.counts)
+	}
+	if h.total != 3 {
+		t.Errorf("total = %d", h.total)
+	}
+}

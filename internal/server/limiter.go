@@ -1,0 +1,49 @@
+package server
+
+import "errors"
+
+var (
+	errSaturated   = errors.New("server saturated: too many in-flight requests")
+	errGetRequired = errors.New("GET required")
+)
+
+// limiter bounds concurrently-served analysis requests with a semaphore.
+// Acquisition never blocks: when the server is saturated the request is shed
+// immediately with 503 + Retry-After, the backpressure mode appropriate for a
+// bulk-analysis clientele that can simply resubmit (the alternative —
+// queueing — only moves the timeout somewhere less observable). A nil sem
+// admits everything (MaxInFlight <= 0); a nil *limiter marks a route that is
+// not an analysis endpoint at all (no limiting, no in-flight gauge).
+type limiter struct {
+	sem chan struct{}
+}
+
+// newLimiter returns a limiter admitting n concurrent requests; n <= 0 is
+// unlimited (but the route still counts toward the in-flight gauge).
+func newLimiter(n int) *limiter {
+	if n <= 0 {
+		return &limiter{}
+	}
+	return &limiter{sem: make(chan struct{}, n)}
+}
+
+// tryAcquire claims a slot without blocking. Nil limiters and unlimited
+// limiters always admit.
+func (l *limiter) tryAcquire() bool {
+	if l == nil || l.sem == nil {
+		return true
+	}
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release frees a slot claimed by tryAcquire.
+func (l *limiter) release() {
+	if l != nil && l.sem != nil {
+		<-l.sem
+	}
+}

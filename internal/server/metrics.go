@@ -1,0 +1,169 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ethainter/internal/core"
+)
+
+// numLatencyBuckets is the bucket count of the latency histogram (excluding
+// the +Inf overflow bucket).
+const numLatencyBuckets = 15
+
+// latencyBuckets are the upper bounds of the request-latency histogram,
+// spanning cache-hit lookups (sub-millisecond) through full Ethainter-Kill
+// exploit runs (seconds).
+var latencyBuckets = [numLatencyBuckets]time.Duration{
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// histogram is a fixed-bucket latency histogram; counts[len(latencyBuckets)]
+// is the +Inf overflow bucket.
+type histogram struct {
+	counts [numLatencyBuckets + 1]uint64
+	sum    time.Duration
+	total  uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	i := sort.Search(len(latencyBuckets), func(i int) bool { return d <= latencyBuckets[i] })
+	h.counts[i]++
+	h.sum += d
+	h.total++
+}
+
+// endpointStats are the per-route counters.
+type endpointStats struct {
+	count   uint64
+	errors  uint64 // responses with status >= 400
+	latency histogram
+}
+
+// metrics aggregates the serving counters exposed on /statsz. Safe for
+// concurrent use.
+type metrics struct {
+	start    time.Time
+	inFlight atomic.Int64
+	rejected atomic.Uint64 // requests shed by the in-flight limiter
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), endpoints: map[string]*endpointStats{}}
+}
+
+// observe records one finished request on its route.
+func (m *metrics) observe(route string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es := m.endpoints[route]
+	if es == nil {
+		es = &endpointStats{}
+		m.endpoints[route] = es
+	}
+	es.count++
+	if status >= 400 {
+		es.errors++
+	}
+	es.latency.observe(d)
+}
+
+// BucketJSON is one histogram bucket: the count of requests at or under LeMs
+// milliseconds (cumulative counts are left to the consumer).
+type BucketJSON struct {
+	LeMs  float64 `json:"le_ms"`
+	Count uint64  `json:"count"`
+}
+
+// LatencyJSON is the wire form of one latency histogram.
+type LatencyJSON struct {
+	Count   uint64       `json:"count"`
+	SumMs   float64      `json:"sum_ms"`
+	MeanMs  float64      `json:"mean_ms"`
+	Buckets []BucketJSON `json:"buckets"`
+	OverMax uint64       `json:"over_max"`
+}
+
+// EndpointJSON is the wire form of one route's counters.
+type EndpointJSON struct {
+	Count   uint64      `json:"count"`
+	Errors  uint64      `json:"errors"`
+	Latency LatencyJSON `json:"latency"`
+}
+
+// CacheJSON is the wire form of the shared analysis cache's counters.
+type CacheJSON struct {
+	core.CacheStats
+	HitRate float64 `json:"hitRate"`
+}
+
+// StatszJSON is the /statsz response body.
+type StatszJSON struct {
+	UptimeSeconds float64                 `json:"uptime_s"`
+	Cache         CacheJSON               `json:"cache"`
+	InFlight      int64                   `json:"inFlight"`
+	Rejected      uint64                  `json:"rejected"`
+	Endpoints     map[string]EndpointJSON `json:"endpoints"`
+}
+
+// snapshot renders the counters for /statsz.
+func (m *metrics) snapshot(cache *core.Cache) StatszJSON {
+	out := StatszJSON{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		InFlight:      m.inFlight.Load(),
+		Rejected:      m.rejected.Load(),
+		Endpoints:     map[string]EndpointJSON{},
+	}
+	cs := cache.Stats()
+	out.Cache = CacheJSON{CacheStats: cs, HitRate: cs.HitRate()}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for route, es := range m.endpoints {
+		lj := LatencyJSON{
+			Count:   es.latency.total,
+			SumMs:   float64(es.latency.sum) / float64(time.Millisecond),
+			OverMax: es.latency.counts[len(latencyBuckets)],
+		}
+		if es.latency.total > 0 {
+			lj.MeanMs = lj.SumMs / float64(es.latency.total)
+		}
+		for i, le := range latencyBuckets {
+			lj.Buckets = append(lj.Buckets, BucketJSON{
+				LeMs:  float64(le) / float64(time.Millisecond),
+				Count: es.latency.counts[i],
+			})
+		}
+		out.Endpoints[route] = EndpointJSON{Count: es.count, Errors: es.errors, Latency: lj}
+	}
+	return out
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errGetRequired)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache))
+}

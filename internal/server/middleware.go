@@ -1,0 +1,86 @@
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// responseRecorder captures the status code, byte count, and any JSON-encode
+// failure of one response for the metrics and the access log.
+type responseRecorder struct {
+	http.ResponseWriter
+	status      int
+	bytes       int
+	wroteHeader bool
+	encodeErr   error
+}
+
+func (r *responseRecorder) WriteHeader(status int) {
+	if !r.wroteHeader {
+		r.status = status
+		r.wroteHeader = true
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	if !r.wroteHeader {
+		r.wroteHeader = true
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+func (r *responseRecorder) noteEncodeError(err error) {
+	if r.encodeErr == nil {
+		r.encodeErr = err
+	}
+}
+
+// instrument wraps a handler with the serving middleware stack: in-flight
+// limiting and the in-flight gauge (analysis routes, lim non-nil), per-route
+// request/error/latency metrics, and structured access logging. Shed
+// requests are metered and logged like any other response.
+func (s *Server) instrument(route string, lim *limiter, next http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &responseRecorder{ResponseWriter: w, status: http.StatusOK}
+		if !lim.tryAcquire() {
+			s.metrics.rejected.Add(1)
+			rec.Header().Set("Retry-After", "1")
+			writeError(rec, http.StatusServiceUnavailable, errSaturated)
+		} else {
+			if lim != nil {
+				s.metrics.inFlight.Add(1)
+			}
+			func() {
+				defer func() {
+					if lim != nil {
+						s.metrics.inFlight.Add(-1)
+					}
+					lim.release()
+				}()
+				next(rec, r)
+			}()
+		}
+		elapsed := time.Since(t0)
+		s.metrics.observe(route, rec.status, elapsed)
+		if s.Logger != nil {
+			attrs := []any{
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", rec.status,
+				"bytes", rec.bytes,
+				"duration_ms", float64(elapsed) / float64(time.Millisecond),
+				"remote", r.RemoteAddr,
+			}
+			if rec.encodeErr != nil {
+				attrs = append(attrs, "encode_error", rec.encodeErr.Error())
+			}
+			s.Logger.Info("request", attrs...)
+		}
+	})
+}

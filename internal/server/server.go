@@ -3,16 +3,28 @@
 // Ethainter results are "updated in quasi-real time". Endpoints accept
 // bytecode or mini-Solidity source and return JSON reports; an exploit
 // endpoint runs the full Ethainter-Kill pipeline on an ephemeral testbed.
+//
+// The serving path is production-shaped: analysis requests share one
+// content-addressed core.Cache (repeat bytecode is served from memory, the
+// dominant real-world workload per Section 6), /batch fans a JSON array of
+// inputs over a bounded worker pool, every analysis runs under the request
+// context plus an optional per-request deadline, an in-flight limiter sheds
+// load with 503 when saturated, and /statsz exposes cache counters,
+// per-endpoint request/error counts, an in-flight gauge, and latency
+// histograms.
 package server
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
+	"time"
 
 	"ethainter/internal/chain"
 	"ethainter/internal/core"
@@ -21,28 +33,71 @@ import (
 	"ethainter/internal/u256"
 )
 
-// Server handles analysis requests. It is stateless per request; the zero
-// cost of our analysis makes per-request work practical, like the paper's
-// quasi-real-time deployment.
+// Server handles analysis requests. All analysis endpoints share one
+// core.Cache, so repeated submissions of identical bytecode cost one lookup —
+// the unique-contract deduplication that makes the paper's quasi-real-time
+// deployment affordable.
 type Server struct {
-	cfg core.Config
+	cfg   core.Config
+	cache *core.Cache
+
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Timeout bounds each analysis request (and each whole /batch call);
+	// zero means no per-request deadline. Expired deadlines surface as 504.
+	Timeout time.Duration
+	// MaxInFlight bounds concurrently-served analysis requests; excess
+	// requests are shed with 503. Zero or negative means unlimited.
+	MaxInFlight int
+	// BatchWorkers bounds the per-request worker pool of /batch
+	// (default defaultBatchWorkers).
+	BatchWorkers int
+	// MaxBatchItems bounds the number of inputs one /batch call may carry
+	// (default defaultMaxBatchItems).
+	MaxBatchItems int
+	// Logger, when non-nil, receives one structured access-log record per
+	// request (method, route, status, duration, bytes, encode errors).
+	Logger *slog.Logger
+
+	metrics *metrics
 }
 
-// New returns a server analyzing with the given configuration.
+// New returns a server analyzing with the given configuration and a fresh
+// default-capacity cache.
 func New(cfg core.Config) *Server {
-	return &Server{cfg: cfg, MaxBodyBytes: 1 << 20}
+	return NewWithCache(cfg, core.NewCache(0))
 }
 
-// Handler returns the HTTP routing table.
+// NewWithCache returns a server sharing the given analysis cache — use it to
+// share one cache across several serving surfaces or to bound its capacity.
+func NewWithCache(cfg core.Config, cache *core.Cache) *Server {
+	if cache == nil {
+		cache = core.NewCache(0)
+	}
+	return &Server{
+		cfg:          cfg,
+		cache:        cache,
+		MaxBodyBytes: 1 << 20,
+		metrics:      newMetrics(),
+	}
+}
+
+// Cache returns the shared analysis cache (for stats inspection and tests).
+func (s *Server) Cache() *core.Cache { return s.cache }
+
+// Handler returns the HTTP routing table with per-endpoint instrumentation:
+// analysis endpoints run behind the in-flight limiter; every endpoint is
+// metered and access-logged.
 func (s *Server) Handler() http.Handler {
+	lim := newLimiter(s.MaxInFlight)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/analyze", s.handleAnalyze)
-	mux.HandleFunc("/compile", s.handleCompile)
-	mux.HandleFunc("/exploit", s.handleExploit)
-	mux.HandleFunc("/", s.handleIndex)
+	mux.Handle("/healthz", s.instrument("/healthz", nil, s.handleHealth))
+	mux.Handle("/statsz", s.instrument("/statsz", nil, s.handleStatsz))
+	mux.Handle("/analyze", s.instrument("/analyze", lim, s.handleAnalyze))
+	mux.Handle("/compile", s.instrument("/compile", lim, s.handleCompile))
+	mux.Handle("/exploit", s.instrument("/exploit", lim, s.handleExploit))
+	mux.Handle("/batch", s.instrument("/batch", lim, s.handleBatch))
+	mux.Handle("/", s.instrument("/", nil, s.handleIndex))
 	return mux
 }
 
@@ -89,21 +144,55 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `ethainter analysis service
 
 POST /analyze   hex runtime bytecode (or mini-Solidity source) -> JSON report
+POST /batch     JSON array of inputs -> per-item JSON reports
 POST /compile   mini-Solidity source -> JSON {runtime, deploy, abi}
 POST /exploit   mini-Solidity source -> deploy + analyze + Ethainter-Kill
 GET  /healthz
+GET  /statsz    cache, request, and latency counters
 `)
+}
+
+// requestContext derives the analysis context: the request's own context
+// (cancelled on client disconnect) plus the per-request deadline when one is
+// configured.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.Timeout > 0 {
+		return context.WithTimeout(r.Context(), s.Timeout)
+	}
+	return r.Context(), func() {}
+}
+
+// writeAnalysisError maps an analysis failure to a status: expired deadlines
+// are 504 (the server gave up), client disconnects 503 (logged, though the
+// client is gone), anything else a 422 on the bytecode itself.
+func writeAnalysisError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, errors.New("analysis deadline exceeded"))
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, errors.New("analysis cancelled"))
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
 }
 
 // readBody loads the bounded request body.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return nil, false
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
 	if err != nil {
-		writeError(w, http.StatusRequestEntityTooLarge, err)
+		// Only an exceeded body bound is 413; any other read failure (short
+		// write, aborted upload) is the client's malformed request.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
+		}
 		return nil, false
 	}
 	if len(strings.TrimSpace(string(body))) == 0 {
@@ -113,15 +202,26 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	return body, true
 }
 
-// decodeInput interprets the body as hex bytecode when it looks like hex,
-// otherwise compiles it as source.
+// decodeInput interprets the body as hex bytecode when it is 0x-prefixed or
+// looks like bare hex, otherwise compiles it as mini-Solidity source. A
+// 0x-prefixed body is always bytecode: odd length or a stray non-hex rune is
+// reported as invalid hex, never silently fed to the source compiler.
 func decodeInput(body []byte) (runtime []byte, compiled *minisol.Compiled, err error) {
 	text := strings.TrimSpace(string(body))
-	hexText := strings.TrimPrefix(text, "0x")
-	if isHexString(hexText) {
-		code, err := hex.DecodeString(hexText)
+	if rest, ok := strings.CutPrefix(text, "0x"); ok {
+		if len(rest) == 0 {
+			return nil, nil, errors.New("invalid hex bytecode: empty after 0x prefix")
+		}
+		code, err := hex.DecodeString(rest)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, fmt.Errorf("invalid hex bytecode: %w", err)
+		}
+		return code, nil, nil
+	}
+	if isHexString(text) {
+		code, err := hex.DecodeString(text)
+		if err != nil {
+			return nil, nil, fmt.Errorf("invalid hex bytecode: %w", err)
 		}
 		return code, nil, nil
 	}
@@ -154,9 +254,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	rep, err := core.AnalyzeBytecode(runtime, s.cfg)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	rep, err := s.cache.AnalyzeBytecodeContext(ctx, runtime, s.cfg)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeAnalysisError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, reportToJSON(rep))
@@ -223,9 +325,11 @@ func (s *Server) handleExploit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	rep, err := core.AnalyzeBytecode(compiled.Runtime, s.cfg)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	rep, err := s.cache.AnalyzeBytecodeContext(ctx, compiled.Runtime, s.cfg)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeAnalysisError(w, err)
 		return
 	}
 	// Ephemeral testbed: deploy, fund, attack a fork.
@@ -252,12 +356,25 @@ func (s *Server) handleExploit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// encodeErrorNoter is implemented by the access-log response recorder; when
+// writeJSON fails to encode mid-response, the failure lands in the access log
+// instead of being discarded.
+type encodeErrorNoter interface {
+	noteEncodeError(error)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		if n, ok := w.(encodeErrorNoter); ok {
+			n.noteEncodeError(err)
+		}
+		return err
+	}
+	return nil
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

@@ -1,0 +1,320 @@
+package server_test
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ethainter/internal/core"
+	"ethainter/internal/minisol"
+	"ethainter/internal/server"
+)
+
+// newServer returns the server value itself (for field configuration and
+// cache inspection) alongside a test HTTP server around its handler.
+func newServer(t *testing.T, mutate func(*server.Server)) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv := server.New(core.DefaultConfig())
+	if mutate != nil {
+		mutate(srv)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func killableHex(t *testing.T) string {
+	t.Helper()
+	return "0x" + hex.EncodeToString(minisol.MustCompile(minisol.AccessibleSelfdestructSource).Runtime)
+}
+
+// TestDecodeInputStatuses is the table-driven pin for the decode bugfixes: a
+// 0x-prefixed body is always treated as hex bytecode — odd length or a stray
+// non-hex rune gets a clear 400, never a baffling mini-Solidity compile
+// error — while bare hex and source bodies keep working.
+func TestDecodeInputStatuses(t *testing.T) {
+	_, ts := newServer(t, nil)
+	compiled := minisol.MustCompile(minisol.AccessibleSelfdestructSource)
+	bare := hex.EncodeToString(compiled.Runtime)
+
+	cases := []struct {
+		name, body  string
+		wantStatus  int
+		wantMessage string
+	}{
+		{"prefixed hex", "0x" + bare, http.StatusOK, ""},
+		{"bare hex", bare, http.StatusOK, ""},
+		{"odd-length 0x body", "0x" + bare[:len(bare)-1], http.StatusBadRequest, "invalid hex bytecode"},
+		{"non-hex rune after 0x", "0xzz", http.StatusBadRequest, "invalid hex bytecode"},
+		{"0x then source-ish text", "0xcontract X {}", http.StatusBadRequest, "invalid hex bytecode"},
+		{"bare 0x", "0x", http.StatusBadRequest, "invalid hex bytecode"},
+		{"source body", minisol.AccessibleSelfdestructSource, http.StatusOK, ""},
+		{"broken source", "contract X {", http.StatusBadRequest, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body := post(t, ts, "/analyze", c.body)
+			if resp.StatusCode != c.wantStatus {
+				t.Fatalf("status = %d want %d (%s)", resp.StatusCode, c.wantStatus, body)
+			}
+			if c.wantMessage != "" && !strings.Contains(string(body), c.wantMessage) {
+				t.Errorf("body %q does not mention %q", body, c.wantMessage)
+			}
+		})
+	}
+}
+
+// TestMethodNotAllowedHeader pins the Allow header on 405 responses.
+func TestMethodNotAllowedHeader(t *testing.T) {
+	_, ts := newServer(t, nil)
+	for _, path := range []string{"/analyze", "/compile", "/exploit", "/batch"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+			t.Errorf("GET %s: Allow = %q, want %q", path, allow, http.MethodPost)
+		}
+	}
+	// /statsz is GET-only and advertises that.
+	resp, err := http.Post(ts.URL+"/statsz", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodGet {
+		t.Errorf("POST /statsz: status %d Allow %q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+// TestBodyReadStatuses pins 413-vs-400: only an exceeded MaxBodyBytes bound
+// is 413; any other body-read failure is the client's 400.
+func TestBodyReadStatuses(t *testing.T) {
+	srv, ts := newServer(t, func(s *server.Server) { s.MaxBodyBytes = 16 })
+	resp, body := post(t, ts, "/analyze", strings.Repeat("a", 64))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d (%s)", resp.StatusCode, body)
+	}
+
+	// A body reader that fails mid-read is not a 413 — exercised directly
+	// against the handler, since a real client cannot easily truncate.
+	req := httptest.NewRequest(http.MethodPost, "/analyze", failingReader{})
+	rw := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rw, req)
+	if rw.Code != http.StatusBadRequest {
+		t.Errorf("failing body read: status %d, want 400 (%s)", rw.Code, rw.Body)
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, errors.New("connection torn down") }
+
+// TestBatchEndpoint runs a mixed batch: valid bytecode (twice — the duplicate
+// must be served from the shared cache), source, and one invalid input that
+// fails alone without failing its siblings.
+func TestBatchEndpoint(t *testing.T) {
+	srv, ts := newServer(t, nil)
+	hexBody := killableHex(t)
+	inputs := []string{hexBody, minisol.VictimSource, "0xzz", hexBody}
+	payload, err := json.Marshal(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, ts, "/batch", string(payload))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out server.BatchJSON
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != len(inputs) || out.Failed != 1 {
+		t.Fatalf("items = %d failed = %d, want %d/1 (%s)", len(out.Items), out.Failed, len(inputs), body)
+	}
+	for i, item := range out.Items {
+		if item.Index != i {
+			t.Errorf("item %d: index %d out of order", i, item.Index)
+		}
+	}
+	for _, i := range []int{0, 1, 3} {
+		if out.Items[i].Report == nil || out.Items[i].Error != "" {
+			t.Errorf("item %d: want a report, got error %q", i, out.Items[i].Error)
+		}
+	}
+	if out.Items[0].Report != nil && len(out.Items[0].Report.Warnings) == 0 {
+		t.Error("Killable bytecode produced no warnings")
+	}
+	if !strings.Contains(out.Items[2].Error, "invalid hex bytecode") {
+		t.Errorf("item 2 error = %q", out.Items[2].Error)
+	}
+	// The duplicate input was a cache hit (either a memoized report or a
+	// coalesced in-flight computation — both count as hits).
+	if s := srv.Cache().Stats(); s.Hits < 1 {
+		t.Errorf("duplicate batch input recorded no cache hit: %+v", s)
+	}
+}
+
+// TestBatchRejectsMalformed pins the request-level 400s of /batch.
+func TestBatchRejectsMalformed(t *testing.T) {
+	_, ts := newServer(t, func(s *server.Server) { s.MaxBatchItems = 2 })
+	cases := []struct {
+		name, body  string
+		wantMessage string
+	}{
+		{"not json", "contract X {}", "JSON array"},
+		{"empty array", "[]", "empty batch"},
+		{"oversized batch", `["a","b","c"]`, "batch too large"},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts, "/batch", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s)", c.name, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), c.wantMessage) {
+			t.Errorf("%s: body %q does not mention %q", c.name, body, c.wantMessage)
+		}
+	}
+}
+
+// TestRequestTimeout pins deadline enforcement: with an immediately-expiring
+// per-request budget the handler returns 504 without running the analysis to
+// convergence, both on /analyze and per-item within /batch.
+func TestRequestTimeout(t *testing.T) {
+	_, ts := newServer(t, func(s *server.Server) { s.Timeout = time.Nanosecond })
+	resp, body := post(t, ts, "/analyze", killableHex(t))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("/analyze under 1ns deadline: status %d, want 504 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Errorf("timeout body %q does not mention the deadline", body)
+	}
+
+	payload := `["` + killableHex(t) + `"]`
+	resp, body = post(t, ts, "/batch", payload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/batch under deadline: status %d (%s)", resp.StatusCode, body)
+	}
+	var out server.BatchJSON
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed != 1 || !strings.Contains(out.Items[0].Error, "deadline") {
+		t.Errorf("batch item under expired deadline = %+v, want a per-item deadline error", out.Items[0])
+	}
+}
+
+// TestStatszCounters drives repeat traffic and checks the observability
+// surface: the cache hit counter rises on the repeated /analyze, request
+// counts and latency histograms accumulate per endpoint, and errors are
+// tallied separately.
+func TestStatszCounters(t *testing.T) {
+	_, ts := newServer(t, nil)
+	hexBody := killableHex(t)
+	for i := 0; i < 3; i++ {
+		if resp, body := post(t, ts, "/analyze", hexBody); resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze %d: status %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	if resp, _ := post(t, ts, "/analyze", "0xzz"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad analyze: status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/statsz: status %d (%s)", resp.StatusCode, body)
+	}
+	var stats server.StatszJSON
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("decoding statsz: %v (%s)", err, body)
+	}
+	if stats.Cache.Hits < 2 {
+		t.Errorf("cache hits = %d, want >= 2 from repeated /analyze", stats.Cache.Hits)
+	}
+	if stats.Cache.Misses < 1 || stats.Cache.HitRate <= 0 {
+		t.Errorf("cache counters look dead: %+v", stats.Cache)
+	}
+	ep, ok := stats.Endpoints["/analyze"]
+	if !ok {
+		t.Fatalf("no /analyze endpoint entry: %v", stats.Endpoints)
+	}
+	if ep.Count != 4 || ep.Errors != 1 {
+		t.Errorf("/analyze counters = %d requests / %d errors, want 4/1", ep.Count, ep.Errors)
+	}
+	if ep.Latency.Count != 4 || len(ep.Latency.Buckets) == 0 {
+		t.Errorf("/analyze latency histogram = %+v, want 4 observations", ep.Latency)
+	}
+	var bucketSum uint64
+	for _, b := range ep.Latency.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum+ep.Latency.OverMax != ep.Latency.Count {
+		t.Errorf("histogram buckets sum to %d (+%d overflow), want %d",
+			bucketSum, ep.Latency.OverMax, ep.Latency.Count)
+	}
+	if stats.InFlight != 0 {
+		t.Errorf("inFlight = %d with no outstanding requests", stats.InFlight)
+	}
+	if stats.UptimeSeconds <= 0 {
+		t.Errorf("uptime = %v", stats.UptimeSeconds)
+	}
+}
+
+// TestRepeatAnalyzeServedFromCache is the acceptance pin: a repeated /analyze
+// of identical bytecode is a cache hit observable via the stats counters.
+func TestRepeatAnalyzeServedFromCache(t *testing.T) {
+	srv, ts := newServer(t, nil)
+	hexBody := killableHex(t)
+	var first, second []byte
+	for i := 0; i < 2; i++ {
+		resp, body := post(t, ts, "/analyze", hexBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze %d: status %d", i, resp.StatusCode)
+		}
+		if i == 0 {
+			first = body
+		} else {
+			second = body
+		}
+	}
+	if string(first) != string(second) {
+		t.Error("cached response differs from fresh response")
+	}
+	s := srv.Cache().Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want exactly 1 hit and 1 miss", s)
+	}
+}
+
+// TestExploitSharesCache pins that /exploit analyses go through the same
+// shared cache as /analyze.
+func TestExploitSharesCache(t *testing.T) {
+	srv, ts := newServer(t, nil)
+	compiled := minisol.MustCompile(minisol.VictimSource)
+	if resp, _ := post(t, ts, "/analyze", "0x"+hex.EncodeToString(compiled.Runtime)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d", resp.StatusCode)
+	}
+	if resp, body := post(t, ts, "/exploit", minisol.VictimSource); resp.StatusCode != http.StatusOK {
+		t.Fatalf("exploit: %d (%s)", resp.StatusCode, body)
+	}
+	if s := srv.Cache().Stats(); s.Hits != 1 {
+		t.Errorf("exploit after analyze of the same runtime: stats %+v, want 1 hit", s)
+	}
+}
+
+var _ io.Reader = failingReader{}

@@ -1,0 +1,54 @@
+#!/bin/sh
+# serve_smoke.sh — build ethainter-serve, boot it, hit the main endpoints,
+# and assert a clean drain on SIGTERM. Run via `make serve-smoke`.
+set -eu
+
+PORT="${SMOKE_PORT:-18545}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)/ethainter-serve"
+
+go build -o "$BIN" ./cmd/ethainter-serve
+"$BIN" -addr "127.0.0.1:$PORT" -timeout 30s &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the listener.
+up=0
+i=0
+while [ "$i" -lt 50 ]; do
+    if curl -fs "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+    i=$((i + 1))
+    sleep 0.1
+done
+[ "$up" = 1 ] || { echo "serve-smoke: server never came up" >&2; exit 1; }
+
+SRC='contract Killable {
+    address beneficiary;
+    constructor() { beneficiary = msg.sender; }
+    function kill() public { selfdestruct(beneficiary); }
+}'
+
+echo "== /healthz"
+curl -fs "$BASE/healthz"
+echo "== /analyze (miss)"
+curl -fs -X POST --data-binary "$SRC" "$BASE/analyze" | grep -q selfdestruct
+echo "ok"
+echo "== /analyze (repeat, must hit the cache)"
+curl -fs -X POST --data-binary "$SRC" "$BASE/analyze" >/dev/null
+echo "== /batch"
+curl -fs -X POST --data-binary '["0x00", "0xzz"]' "$BASE/batch" | grep -q '"failed"'
+echo "ok"
+echo "== /statsz"
+STATS="$(curl -fs "$BASE/statsz")"
+echo "$STATS" | grep -q '"hits": [1-9]' || { echo "serve-smoke: no cache hit recorded: $STATS" >&2; exit 1; }
+echo "cache hit recorded"
+
+echo "== SIGTERM drain"
+kill -TERM "$PID"
+if wait "$PID"; then
+    echo "serve-smoke: clean shutdown"
+else
+    echo "serve-smoke: server exited non-zero on SIGTERM" >&2
+    exit 1
+fi
+trap - EXIT
