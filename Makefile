@@ -1,6 +1,9 @@
 GO ?= go
+# Max fractional wall-clock regression bench-check tolerates (0.5 = +50%,
+# loose enough for shared CI runners; counts are always compared exactly).
+BENCH_TOLERANCE ?= 0.5
 
-.PHONY: all build test vet bench bench-json experiments examples serve-smoke clean
+.PHONY: all build test vet bench bench-json bench-check experiments examples serve-smoke clean
 
 all: build vet test
 
@@ -21,6 +24,15 @@ bench:
 # rates, written to BENCH_core.json.
 bench-json:
 	$(GO) run ./cmd/ethainter-bench -exp core -n 2000 -seed 20200615 -json BENCH_core.json
+
+# Regenerate the core numbers into a scratch file and diff them against the
+# committed BENCH_core.json: counts must match exactly, wall clocks may only
+# regress within BENCH_TOLERANCE. Non-blocking in CI (timings are noisy on
+# shared runners) but the exit code is real for local use.
+bench-check:
+	$(GO) run ./cmd/ethainter-bench -exp core -n 2000 -seed 20200615 -json BENCH_fresh.json > /dev/null
+	$(GO) run ./scripts -baseline BENCH_core.json -fresh BENCH_fresh.json -tolerance $(BENCH_TOLERANCE)
+	rm -f BENCH_fresh.json
 
 # Full-scale regeneration of every table and figure (EXPERIMENTS.md source).
 experiments:

@@ -5,6 +5,7 @@ package ethainter_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"ethainter"
@@ -201,6 +202,38 @@ func BenchmarkDatalogFixpoint(b *testing.B) {
 		if p.Count("path") == 0 {
 			b.Fatal("empty closure")
 		}
+	}
+}
+
+// BenchmarkDatalogFixpointParallel is the same workload fanned across the
+// engine's intra-fixpoint worker pool: one sub-benchmark per worker count, so
+// the scaling curve (and the sequential overhead of the parallel machinery)
+// lands in benchmark output next to BenchmarkDatalogFixpoint.
+func BenchmarkDatalogFixpointParallel(b *testing.B) {
+	const n = 120
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := datalog.NewProgram()
+				p.MustParse(`
+					path(X, Y) :- edge(X, Y).
+					path(X, Z) :- path(X, Y), edge(Y, Z).
+					meet(X) :- path(X, Y), path(Y, X).
+				`)
+				for j := 0; j < n; j++ {
+					p.AddFact("edge", fmt.Sprint(j), fmt.Sprint((j+1)%n))
+					p.AddFact("edge", fmt.Sprint(j), fmt.Sprint((j+7)%n))
+				}
+				p.SetParallelism(workers)
+				if err := p.Run(); err != nil {
+					b.Fatal(err)
+				}
+				if p.Count("path") == 0 {
+					b.Fatal("empty closure")
+				}
+			}
+		})
 	}
 }
 

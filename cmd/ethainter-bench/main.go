@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	ethainter-bench [-n N] [-seed S] [-workers W] [-exp name]
-//	                [-json file] [-cpuprofile file] [-memprofile file]
+//	ethainter-bench [-n N] [-seed S] [-workers W] [-parallelism P] [-exp name]
+//	                [-progress] [-json file] [-cpuprofile file] [-memprofile file]
 //
 // Experiments: exp1, table2, fig6, securify, fig7, teether, rq2, fig8,
 // core, all. The core experiment additionally emits a machine-readable
@@ -17,6 +17,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"ethainter/internal/bench"
 )
 
 func main() {
@@ -24,12 +26,17 @@ func main() {
 		n          = flag.Int("n", 2000, "corpus size per experiment")
 		seed       = flag.Int64("seed", 20200615, "corpus seed (the paper's publication date)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent analysis workers (the paper used 45)")
+		par        = flag.Int("parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core)")
+		progress   = flag.Bool("progress", false, "draw sweep progress lines on stderr")
 		exp        = flag.String("exp", "all", "experiment: exp1|table2|fig6|securify|fig7|teether|rq2|fig8|core|all")
 		jsonPath   = flag.String("json", "BENCH_core.json", "output path for the core experiment's JSON result")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+	if *progress {
+		bench.SetProgressOutput(os.Stderr)
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -41,7 +48,7 @@ func main() {
 		defer f.Close()
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*exp, *n, *seed, *workers, *jsonPath); err != nil {
+	if err := run(*exp, *n, *seed, *workers, *par, *jsonPath); err != nil {
 		fatal(err)
 	}
 	if *memProfile != "" {
@@ -62,8 +69,8 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(exp string, n int, seed int64, workers int, jsonPath string) error {
-	runners := experimentRunners(n, seed, workers, jsonPath)
+func run(exp string, n int, seed int64, workers, parallelism int, jsonPath string) error {
+	runners := experimentRunners(n, seed, workers, parallelism, jsonPath)
 	if exp != "all" {
 		r, ok := runners[exp]
 		if !ok {

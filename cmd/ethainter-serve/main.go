@@ -7,9 +7,9 @@
 // Usage:
 //
 //	ethainter-serve [-addr :8545] [-timeout 30s] [-max-inflight 64]
-//	                [-cache-entries N] [-batch-workers N] [-max-body N]
-//	                [-read-timeout 10s] [-write-timeout 2m] [-idle-timeout 2m]
-//	                [-shutdown-grace 15s]
+//	                [-cache-entries N] [-batch-workers N] [-parallelism P]
+//	                [-max-body N] [-read-timeout 10s] [-write-timeout 2m]
+//	                [-idle-timeout 2m] [-shutdown-grace 15s]
 //
 // Endpoints: POST /analyze (hex runtime bytecode or mini-Solidity source),
 // POST /batch (JSON array of such inputs), POST /compile, POST /exploit,
@@ -43,6 +43,7 @@ type options struct {
 	maxInFlight  int
 	cacheEntries int
 	batchWorkers int
+	parallelism  int
 	maxBody      int64
 }
 
@@ -58,6 +59,7 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&opts.maxInFlight, "max-inflight", 64, "max concurrently-served analysis requests; excess get 503 (0 = unlimited)")
 	fs.IntVar(&opts.cacheEntries, "cache-entries", 0, "report cache capacity (0 = default)")
 	fs.IntVar(&opts.batchWorkers, "batch-workers", 0, "per-request /batch worker pool size (0 = default)")
+	fs.IntVar(&opts.parallelism, "parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core); multiplies with -max-inflight request concurrency")
 	fs.Int64Var(&opts.maxBody, "max-body", 1<<20, "max request body bytes")
 	if err := fs.Parse(args); err != nil {
 		return opts, err
@@ -70,7 +72,9 @@ func parseFlags(args []string) (options, error) {
 // receives the bound address once the listener is up (the smoke tests bind
 // :0 and need the assigned port).
 func run(opts options, logger *slog.Logger, ready chan<- net.Addr, shutdown <-chan os.Signal) error {
-	srv := server.NewWithCache(core.DefaultConfig(), core.NewCache(opts.cacheEntries))
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = opts.parallelism
+	srv := server.NewWithCache(cfg, core.NewCache(opts.cacheEntries))
 	srv.Timeout = opts.timeout
 	srv.MaxInFlight = opts.maxInFlight
 	srv.BatchWorkers = opts.batchWorkers

@@ -6,8 +6,9 @@
 //	ethainter [flags] <file>
 //
 // The file is mini-Solidity source (.msol/.sol) or hex runtime bytecode
-// (.hex, with or without 0x prefix). Flags select the Figure 8 ablations and
-// output detail.
+// (.hex, with or without 0x prefix). Flags select the Figure 8 ablations,
+// the fixpoint engine (-engine go|datalog, with -parallelism workers for the
+// Datalog one), and output detail.
 package main
 
 import (
@@ -15,9 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"ethainter"
+	"ethainter/internal/core"
+	"ethainter/internal/decompiler"
 )
 
 func main() {
@@ -27,6 +31,9 @@ func main() {
 		conservative = flag.Bool("conservative-storage", false, "conservative unknown-storage modeling (Figure 8c ablation)")
 		showIR       = flag.Bool("ir", false, "print the decompiled 3-address IR")
 		showAsm      = flag.Bool("disasm", false, "print the disassembly")
+		engine       = flag.String("engine", "go", "fixpoint engine: go (compiled worklist) or datalog (declarative rules)")
+		par          = flag.Int("parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core; go engine ignores it)")
+		timings      = flag.Bool("timings", false, "print the per-stage timing breakdown (datalog engine)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ethainter [flags] <contract.msol | contract.hex>\n")
@@ -37,13 +44,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *noGuards, *noStorage, *conservative, *showIR, *showAsm); err != nil {
+	cfg := ethainter.DefaultConfig()
+	cfg.ModelGuards = !*noGuards
+	cfg.ModelStorageTaint = !*noStorage
+	cfg.ConservativeStorage = *conservative
+	cfg.Parallelism = *par
+	if err := run(flag.Arg(0), cfg, *engine, *showIR, *showAsm, *timings); err != nil {
 		fmt.Fprintf(os.Stderr, "ethainter: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, noGuards, noStorage, conservative, showIR, showAsm bool) error {
+func run(path string, cfg ethainter.Config, engine string, showIR, showAsm, timings bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -62,10 +74,17 @@ func run(path string, noGuards, noStorage, conservative, showIR, showAsm bool) e
 		}
 		fmt.Print(ir)
 	}
-	cfg := ethainter.DefaultConfig()
-	cfg.ModelGuards = !noGuards
-	cfg.ModelStorageTaint = !noStorage
-	cfg.ConservativeStorage = conservative
+	switch engine {
+	case "go":
+		return runGoEngine(code, cfg)
+	case "datalog":
+		return runDatalogEngine(code, cfg, timings)
+	default:
+		return fmt.Errorf("unknown engine %q (want go or datalog)", engine)
+	}
+}
+
+func runGoEngine(code []byte, cfg ethainter.Config) error {
 	report, err := ethainter.AnalyzeBytecode(code, cfg)
 	if err != nil {
 		return err
@@ -87,6 +106,40 @@ func run(path string, noGuards, noStorage, conservative, showIR, showAsm bool) e
 			}
 			fmt.Println()
 		}
+	}
+	return nil
+}
+
+// runDatalogEngine analyzes through the declarative rules — the path the
+// -parallelism knob fans out — and prints the (kind, pc) violations plus,
+// on request, the engine's stage breakdown.
+func runDatalogEngine(code []byte, cfg ethainter.Config, timings bool) error {
+	prog, err := decompiler.Decompile(code)
+	if err != nil {
+		return err
+	}
+	res, t, err := core.AnalyzeDatalogTimed(prog, cfg)
+	if err != nil {
+		return err
+	}
+	flagged := 0
+	for kind := core.VulnKind(0); kind < core.NumVulnKinds; kind++ {
+		pcs := make([]int, 0, len(res[kind]))
+		for pc := range res[kind] {
+			pcs = append(pcs, pc)
+		}
+		sort.Ints(pcs)
+		for _, pc := range pcs {
+			fmt.Printf("[%s] pc=%d\n", kind, pc)
+			flagged++
+		}
+	}
+	if flagged == 0 {
+		fmt.Println("no vulnerabilities flagged")
+	}
+	if timings {
+		fmt.Printf("timings: facts %v, guards %v, fixpoint %v (index %v, join %v, merge %v)\n",
+			t.Facts, t.Guards, t.Fixpoint, t.EngineIndex, t.EngineJoin, t.EngineMerge)
 	}
 	return nil
 }

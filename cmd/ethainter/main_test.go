@@ -27,11 +27,12 @@ func writeTemp(t *testing.T, name, content string) string {
 
 func TestRunOnSource(t *testing.T) {
 	p := writeTemp(t, "w.msol", vulnerableSrc)
-	if err := run(p, false, false, false, false, false); err != nil {
+	if err := run(p, ethainter.DefaultConfig(), "go", false, false, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// Ablation flags work too.
-	if err := run(p, true, true, true, true, true); err != nil {
+	ablated := ethainter.Config{}
+	if err := run(p, ablated, "go", true, true, false); err != nil {
 		t.Fatalf("run with flags: %v", err)
 	}
 }
@@ -42,21 +43,38 @@ func TestRunOnHexBytecode(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := writeTemp(t, "w.hex", "0x"+hex.EncodeToString(compiled.Runtime))
-	if err := run(p, false, false, false, false, false); err != nil {
+	if err := run(p, ethainter.DefaultConfig(), "go", false, false, false); err != nil {
 		t.Fatalf("run on hex: %v", err)
 	}
 }
 
+// The datalog engine route works at several worker counts, and unknown
+// engines are rejected.
+func TestRunDatalogEngine(t *testing.T) {
+	p := writeTemp(t, "w.msol", vulnerableSrc)
+	for _, workers := range []int{0, 2, -1} {
+		cfg := ethainter.DefaultConfig()
+		cfg.Parallelism = workers
+		if err := run(p, cfg, "datalog", false, false, true); err != nil {
+			t.Fatalf("datalog run (parallelism=%d): %v", workers, err)
+		}
+	}
+	if err := run(p, ethainter.DefaultConfig(), "prolog", false, false, false); err == nil {
+		t.Error("unknown engine should error")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "absent"), false, false, false, false, false); err == nil {
+	cfg := ethainter.DefaultConfig()
+	if err := run(filepath.Join(t.TempDir(), "absent"), cfg, "go", false, false, false); err == nil {
 		t.Error("missing file should error")
 	}
 	bad := writeTemp(t, "bad.msol", "contract {")
-	if err := run(bad, false, false, false, false, false); err == nil {
+	if err := run(bad, cfg, "go", false, false, false); err == nil {
 		t.Error("unparseable source should error")
 	}
 	badHex := writeTemp(t, "bad.hex", "0x60zz")
-	if err := run(badHex, false, false, false, false, false); err == nil {
+	if err := run(badHex, cfg, "go", false, false, false); err == nil {
 		t.Error("bad hex should error")
 	}
 }

@@ -58,6 +58,7 @@ func analyzeAll(contracts []*corpus.Contract, cfg core.Config, workers int) *Dat
 		workers = runtime.GOMAXPROCS(0)
 	}
 	d := &Dataset{Entries: make([]Entry, len(contracts)), Workers: workers}
+	prog := newProgress("analyze", len(contracts))
 	start := time.Now()
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -70,6 +71,7 @@ func analyzeAll(contracts []*corpus.Contract, cfg core.Config, workers int) *Dat
 				t0 := time.Now()
 				rep, err := core.AnalyzeBytecode(c.Runtime, cfg)
 				d.Entries[i] = Entry{Contract: c, Report: rep, Err: err, Elapsed: time.Since(t0)}
+				prog.step()
 			}
 		}()
 	}
@@ -78,6 +80,7 @@ func analyzeAll(contracts []*corpus.Contract, cfg core.Config, workers int) *Dat
 	}
 	close(jobs)
 	wg.Wait()
+	prog.finish()
 	d.Wall = time.Since(start)
 	return d
 }

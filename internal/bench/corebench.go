@@ -21,6 +21,12 @@ type StageNS struct {
 	Guards    int64 `json:"guards_ns"`
 	Fixpoint  int64 `json:"fixpoint_ns"`
 	Detect    int64 `json:"detect_ns"`
+
+	// The engine sub-stages refine Fixpoint when the Datalog engine ran it;
+	// the compiled Go fixpoint leaves them zero.
+	EngineIndex int64 `json:"engine_index_ns,omitempty"`
+	EngineJoin  int64 `json:"engine_join_ns,omitempty"`
+	EngineMerge int64 `json:"engine_merge_ns,omitempty"`
 }
 
 func (s *StageNS) add(t core.StageTimings) {
@@ -29,6 +35,9 @@ func (s *StageNS) add(t core.StageTimings) {
 	s.Guards += int64(t.Guards)
 	s.Fixpoint += int64(t.Fixpoint)
 	s.Detect += int64(t.Detect)
+	s.EngineIndex += int64(t.EngineIndex)
+	s.EngineJoin += int64(t.EngineJoin)
+	s.EngineMerge += int64(t.EngineMerge)
 }
 
 func (s StageNS) total() int64 {
@@ -52,10 +61,14 @@ type CoreBenchResult struct {
 	N               int         `json:"n"`
 	Seed            int64       `json:"seed"`
 	Workers         int         `json:"workers"`
+	Parallelism     int         `json:"parallelism"`
 	UniqueBytecodes int         `json:"unique_bytecodes"`
 	Uncached        SweepResult `json:"uncached"`
 	Cached          SweepResult `json:"cached"`
 	Speedup         float64     `json:"speedup"`
+	// EngineScaling is the Datalog fixpoint scaling curve: the same
+	// transitive-closure workload at increasing intra-fixpoint worker counts.
+	EngineScaling []EngineScalingPoint `json:"engine_scaling"`
 }
 
 // CoreBench generates the default corpus profile and sweeps it twice with the
@@ -63,12 +76,13 @@ type CoreBenchResult struct {
 // a core.Cache. The synthetic corpus reuses bytecodes across contracts the way
 // the chain does (the paper dedups ~2.5M deployed contracts down to ~240K
 // unique ones), so the cached sweep's hit rate is the headline number.
-func CoreBench(n int, seed int64, workers int) *CoreBenchResult {
+func CoreBench(n int, seed int64, workers, parallelism int) *CoreBenchResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	contracts := corpus.Generate(corpus.DefaultProfile(n, seed))
 	cfg := core.DefaultConfig()
+	cfg.Parallelism = parallelism
 
 	unique := map[[32]byte]bool{}
 	for _, c := range contracts {
@@ -80,6 +94,7 @@ func CoreBench(n int, seed int64, workers int) *CoreBenchResult {
 		N:               n,
 		Seed:            seed,
 		Workers:         workers,
+		Parallelism:     parallelism,
 		UniqueBytecodes: len(unique),
 	}
 	res.Uncached = sweep(contracts, cfg, workers, nil)
@@ -89,6 +104,7 @@ func CoreBench(n int, seed int64, workers int) *CoreBenchResult {
 	if res.Cached.WallNS > 0 {
 		res.Speedup = float64(res.Uncached.WallNS) / float64(res.Cached.WallNS)
 	}
+	res.EngineScaling = EngineScaling(engineScalingN, scalingWorkerCounts(parallelism))
 	return res
 }
 
@@ -99,6 +115,11 @@ func sweep(contracts []*corpus.Contract, cfg core.Config, workers int, cache *co
 	reports := make([]*core.Report, len(contracts))
 	errs := make([]error, len(contracts))
 
+	label := "sweep(uncached)"
+	if cache != nil {
+		label = "sweep(cached)"
+	}
+	prog := newProgress(label, len(contracts))
 	start := time.Now()
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -112,6 +133,7 @@ func sweep(contracts []*corpus.Contract, cfg core.Config, workers int, cache *co
 				} else {
 					reports[i], errs[i] = core.AnalyzeBytecode(contracts[i].Runtime, cfg)
 				}
+				prog.step()
 			}
 		}()
 	}
@@ -120,6 +142,7 @@ func sweep(contracts []*corpus.Contract, cfg core.Config, workers int, cache *co
 	}
 	close(jobs)
 	wg.Wait()
+	prog.finish()
 
 	out := SweepResult{WallNS: int64(time.Since(start))}
 	seen := map[*core.Report]bool{}
@@ -172,6 +195,10 @@ func (r *CoreBenchResult) Render() string {
 			100*float64(r.Uncached.Stages.Guards)/float64(tot),
 			100*float64(r.Uncached.Stages.Fixpoint)/float64(tot),
 			100*float64(r.Uncached.Stages.Detect)/float64(tot))
+	}
+	for _, p := range r.EngineScaling {
+		t.note("engine scaling: %d worker(s): wall %s (index %s, join %s, merge %s), %d tuples, %.2fx",
+			p.Workers, fmtNS(p.WallNS), fmtNS(p.IndexNS), fmtNS(p.JoinNS), fmtNS(p.MergeNS), p.Tuples, p.Speedup)
 	}
 	return t.String()
 }

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"ethainter/internal/datalog"
+)
+
+// engineScalingN is the ladder size of the scaling workload — the same
+// join-heavy chain transitive closure as BenchmarkDatalogFixpoint, scaled up
+// so per-iteration delta ranges are wide enough to chunk across workers.
+const engineScalingN = 400
+
+// EngineScalingPoint is one worker count on the Datalog fixpoint scaling
+// curve: best-of-three wall clock plus the engine's own stage attribution.
+type EngineScalingPoint struct {
+	Workers    int   `json:"workers"`
+	WallNS     int64 `json:"wall_ns"`
+	IndexNS    int64 `json:"index_ns"`
+	JoinNS     int64 `json:"join_ns"`
+	MergeNS    int64 `json:"merge_ns"`
+	Iterations int   `json:"iterations"`
+	Tasks      int   `json:"tasks"`
+	Tuples     int   `json:"tuples"`
+	// Speedup is sequential wall / this wall (1.0 for the workers=1 point).
+	Speedup float64 `json:"speedup"`
+}
+
+// scalingWorkerCounts picks the curve's x axis: sequential, 2, 4, one worker
+// per core, and the explicitly requested parallelism, deduplicated and
+// sorted. On a single-core machine the curve still runs (documenting the
+// coordination overhead) — the speedup column is only meaningful with cores
+// to spread across.
+func scalingWorkerCounts(parallelism int) []int {
+	want := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	if parallelism > 1 {
+		want = append(want, parallelism)
+	}
+	seen := map[int]bool{}
+	out := make([]int, 0, len(want))
+	for _, w := range want {
+		if w >= 1 && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// engineLadder builds the scaling workload: a ladder graph (two successors
+// per node) closed transitively, plus a cycle-membership rule.
+func engineLadder(n int) *datalog.Program {
+	p := datalog.NewProgram()
+	p.MustParse(`
+		path(X, Y) :- edge(X, Y).
+		path(X, Z) :- path(X, Y), edge(Y, Z).
+		meet(X) :- path(X, Y), path(Y, X).
+	`)
+	for j := 0; j < n; j++ {
+		p.AddFact("edge", fmt.Sprint(j), fmt.Sprint((j+1)%n))
+		p.AddFact("edge", fmt.Sprint(j), fmt.Sprint((j+7)%n))
+	}
+	return p
+}
+
+// EngineScaling runs the fixpoint at each worker count (best of three runs
+// per point, fresh program each run so arenas and indices are cold) and
+// reports the curve. The derived tuple counts must be identical at every
+// point — the parallel engine is exact, not approximate — and are included so
+// bench_compare can assert that.
+func EngineScaling(n int, workerCounts []int) []EngineScalingPoint {
+	out := make([]EngineScalingPoint, 0, len(workerCounts))
+	var seqWall int64
+	for _, workers := range workerCounts {
+		var best EngineScalingPoint
+		for rep := 0; rep < 3; rep++ {
+			p := engineLadder(n)
+			p.SetParallelism(workers)
+			start := time.Now()
+			if err := p.Run(); err != nil {
+				panic(fmt.Sprintf("bench: engine scaling run failed: %v", err))
+			}
+			wall := int64(time.Since(start))
+			if rep == 0 || wall < best.WallNS {
+				st := p.EngineStats()
+				best = EngineScalingPoint{
+					Workers:    workers,
+					WallNS:     wall,
+					IndexNS:    int64(st.IndexBuild),
+					JoinNS:     int64(st.Join),
+					MergeNS:    int64(st.Merge),
+					Iterations: st.Iterations,
+					Tasks:      st.Tasks,
+					Tuples:     p.Count("path") + p.Count("meet"),
+				}
+			}
+		}
+		if workers == 1 {
+			seqWall = best.WallNS
+		}
+		if seqWall > 0 && best.WallNS > 0 {
+			best.Speedup = float64(seqWall) / float64(best.WallNS)
+		}
+		out = append(out, best)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// progressOut is where sweep progress goes; nil (the default) disables it so
+// tests and JSON consumers get clean output. cmd/ethainter-bench points it at
+// stderr under -progress.
+var (
+	progressMu  sync.Mutex
+	progressOut io.Writer
+)
+
+// SetProgressOutput routes sweep progress lines to w (nil disables). Multiple
+// concurrent sweeps share the writer; every redraw is serialized.
+func SetProgressOutput(w io.Writer) {
+	progressMu.Lock()
+	defer progressMu.Unlock()
+	progressOut = w
+}
+
+func progressOutput() io.Writer {
+	progressMu.Lock()
+	defer progressMu.Unlock()
+	return progressOut
+}
+
+// progress redraws one carriage-return-terminated counter line as concurrent
+// sweep workers report completions. All updates funnel through one mutex and
+// each redraw is a single Write call, so multi-worker sweeps cannot
+// interleave partial lines — the bug this type exists to prevent. A nil
+// *progress is a no-op, so call sites never branch on whether progress is on.
+type progress struct {
+	mu     sync.Mutex
+	w      io.Writer
+	label  string
+	done   int
+	total  int
+	stride int // redraw every stride completions (and on the last)
+}
+
+// newProgress starts a progress line over total units; returns nil (silent)
+// when the package-level output is unset or total is zero.
+func newProgress(label string, total int) *progress {
+	w := progressOutput()
+	if w == nil || total <= 0 {
+		return nil
+	}
+	return &progress{w: w, label: label, total: total, stride: max(1, total/100)}
+}
+
+// step records one completed unit and redraws the line at stride boundaries.
+func (p *progress) step() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if p.done%p.stride == 0 || p.done == p.total {
+		fmt.Fprintf(p.w, "\r%s: %d/%d", p.label, p.done, p.total)
+	}
+}
+
+// finish terminates the line so subsequent output starts on a fresh one.
+func (p *progress) finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "\r%s: %d/%d done\n", p.label, p.done, p.total)
+}

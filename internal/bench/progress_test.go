@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"regexp"
+	"sync"
+	"testing"
+
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+)
+
+// writeRecorder captures every individual Write call, so a test can assert
+// each one is a complete progress line — a torn line would surface as a
+// fragmentary write.
+type writeRecorder struct {
+	mu     sync.Mutex
+	writes []string
+}
+
+func (r *writeRecorder) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.writes = append(r.writes, string(p))
+	return len(p), nil
+}
+
+// TestProgressWritesAreWholeLines drives a real multi-worker sweep through
+// the progress writer and checks that every single Write is one whole
+// "\rlabel: d/t" redraw: concurrent workers must never interleave fragments,
+// which is exactly what corrupted multi-worker bench output before writes
+// were serialized.
+func TestProgressWritesAreWholeLines(t *testing.T) {
+	rec := &writeRecorder{}
+	SetProgressOutput(rec)
+	defer SetProgressOutput(nil)
+
+	contracts := corpus.Generate(corpus.DefaultProfile(40, 7))
+	d := analyzeAll(contracts, core.DefaultConfig(), 8)
+	if len(d.Entries) != 40 {
+		t.Fatalf("analyzed %d entries, want 40", len(d.Entries))
+	}
+
+	line := regexp.MustCompile(`^\ranalyze: \d+/40( done\n)?$`)
+	if len(rec.writes) == 0 {
+		t.Fatal("progress produced no writes")
+	}
+	for i, w := range rec.writes {
+		if !line.MatchString(w) {
+			t.Fatalf("write %d is not one whole progress line: %q", i, w)
+		}
+	}
+	last := rec.writes[len(rec.writes)-1]
+	if last != "\ranalyze: 40/40 done\n" {
+		t.Errorf("final write = %q, want the finished line", last)
+	}
+}
+
+// TestProgressDisabled pins the default: with no output configured the sweep
+// writes nothing and the nil *progress path is exercised end to end.
+func TestProgressDisabled(t *testing.T) {
+	SetProgressOutput(nil)
+	if p := newProgress("x", 10); p != nil {
+		t.Fatalf("newProgress with no output = %v, want nil", p)
+	}
+	// nil receiver methods must be safe.
+	var p *progress
+	p.step()
+	p.finish()
+}

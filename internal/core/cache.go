@@ -14,6 +14,9 @@ import (
 // Fingerprint returns a stable digest of the configuration. Cache entries
 // are partitioned by it: reports computed under different configs never
 // alias. Every behavior-affecting Config field must be folded in here.
+// Parallelism is deliberately NOT folded in: it changes only how the Datalog
+// fixpoint is scheduled, never what it derives, so reports computed at
+// different worker counts are interchangeable and share cache entries.
 func (c Config) Fingerprint() uint64 {
 	bits := byte(0)
 	if c.ModelGuards {

@@ -39,6 +39,14 @@ type Config struct {
 	// InferOwnerSinks enables the Section 4.5 owner-variable sink inference
 	// driving the "tainted owner variable" vulnerability.
 	InferOwnerSinks bool
+	// Parallelism is the Datalog engine worker count for the declarative
+	// analysis path (AnalyzeDatalog): 0 or 1 evaluates sequentially, larger
+	// values fan every fixpoint iteration across that many workers, and
+	// negative values resolve to GOMAXPROCS. Reports are bit-identical at
+	// any setting — the engine's least fixpoint is unique and its merge
+	// order deterministic — so this knob is deliberately excluded from
+	// Fingerprint and cache entries are shared across settings.
+	Parallelism int
 }
 
 // DefaultConfig is the production Ethainter configuration.
@@ -128,16 +136,24 @@ type Stats struct {
 	Timings StageTimings
 }
 
-// StageTimings is the per-stage wall-clock breakdown of one analysis.
+// StageTimings is the per-stage wall-clock breakdown of one analysis. The
+// Engine* stages refine Fixpoint when the Datalog engine ran the fixpoint
+// (AnalyzeDatalog): index builds, delta joins, and barrier merges. The
+// compiled Go fixpoint leaves them zero.
 type StageTimings struct {
 	Decompile time.Duration `json:"decompile_ns"`
 	Facts     time.Duration `json:"facts_ns"`
 	Guards    time.Duration `json:"guards_ns"`
 	Fixpoint  time.Duration `json:"fixpoint_ns"`
 	Detect    time.Duration `json:"detect_ns"`
+
+	EngineIndex time.Duration `json:"engine_index_ns,omitempty"`
+	EngineJoin  time.Duration `json:"engine_join_ns,omitempty"`
+	EngineMerge time.Duration `json:"engine_merge_ns,omitempty"`
 }
 
-// Total sums the stage timings.
+// Total sums the top-level stage timings. The Engine* stages are a
+// sub-breakdown of Fixpoint and are deliberately not re-added.
 func (t StageTimings) Total() time.Duration {
 	return t.Decompile + t.Facts + t.Guards + t.Fixpoint + t.Detect
 }
@@ -149,6 +165,9 @@ func (t *StageTimings) Add(o StageTimings) {
 	t.Guards += o.Guards
 	t.Fixpoint += o.Fixpoint
 	t.Detect += o.Detect
+	t.EngineIndex += o.EngineIndex
+	t.EngineJoin += o.EngineJoin
+	t.EngineMerge += o.EngineMerge
 }
 
 // Has reports whether the report contains a warning of the given kind.

@@ -2,12 +2,27 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"time"
 
 	"ethainter/internal/datalog"
 	"ethainter/internal/tac"
 	"ethainter/internal/u256"
 )
+
+// engineWorkers resolves a Config.Parallelism value to a concrete engine
+// worker count: non-positive means sequential except negative, which asks for
+// one worker per available CPU.
+func engineWorkers(parallelism int) int {
+	if parallelism < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if parallelism == 0 {
+		return 1
+	}
+	return parallelism
+}
 
 // This file expresses the production analysis as declarative rules on the
 // Datalog engine, in the style of the paper's Soufflé implementation
@@ -91,20 +106,44 @@ violation("tainted-owner", S) :- sstoreConst(S, Slot, V), ownerSlot(Slot), anyTa
 // AnalyzeDatalog runs the declarative variant and returns the violations as
 // (kind, pc) pairs. It shares the auxiliary fact computation (constants,
 // memory model, storage classification, DS/DSA, guards) with Analyze — those
-// are the "previous stratum" of Figure 2.
+// are the "previous stratum" of Figure 2. The engine evaluates with
+// cfg.Parallelism workers; the violation sets are identical at any setting.
 func AnalyzeDatalog(prog *tac.Program, cfg Config) (map[VulnKind]map[int]bool, error) {
+	out, _, err := AnalyzeDatalogTimed(prog, cfg)
+	return out, err
+}
+
+// AnalyzeDatalogTimed is AnalyzeDatalog with the per-stage wall-clock
+// breakdown of the run: Facts covers fact computation and export, Fixpoint
+// the whole engine run, and the Engine* stages split the fixpoint into index
+// builds, delta joins, and barrier merges.
+func AnalyzeDatalogTimed(prog *tac.Program, cfg Config) (map[VulnKind]map[int]bool, StageTimings, error) {
+	var timings StageTimings
+	t0 := time.Now()
 	f := computeFacts(prog)
+	t1 := time.Now()
 	g := computeGuards(f, cfg)
+	t2 := time.Now()
 	dl := datalog.NewProgram()
+	dl.SetParallelism(engineWorkers(cfg.Parallelism))
 	if err := dl.Parse(ProductionRules); err != nil {
-		return nil, err
+		return nil, timings, err
 	}
 	if err := exportFacts(f, g, dl); err != nil {
-		return nil, err
+		return nil, timings, err
 	}
+	t3 := time.Now()
 	if err := dl.Run(); err != nil {
-		return nil, err
+		return nil, timings, err
 	}
+	t4 := time.Now()
+	es := dl.EngineStats()
+	timings.Facts = t1.Sub(t0) + t3.Sub(t2) // fact computation + export
+	timings.Guards = t2.Sub(t1)
+	timings.Fixpoint = t4.Sub(t3)
+	timings.EngineIndex = es.IndexBuild
+	timings.EngineJoin = es.Join
+	timings.EngineMerge = es.Merge
 
 	out := map[VulnKind]map[int]bool{}
 	add := func(kind VulnKind, pc int) {
@@ -128,15 +167,15 @@ func AnalyzeDatalog(prog *tac.Program, cfg Config) (map[VulnKind]map[int]bool, e
 	for _, row := range dl.Query("violation") {
 		kind, ok := kindOf[row[0]]
 		if !ok {
-			return nil, fmt.Errorf("core: unknown violation kind %q", row[0])
+			return nil, timings, fmt.Errorf("core: unknown violation kind %q", row[0])
 		}
 		pc, ok := stmtPC[row[1]]
 		if !ok {
-			return nil, fmt.Errorf("core: unknown statement term %q", row[1])
+			return nil, timings, fmt.Errorf("core: unknown statement term %q", row[1])
 		}
 		add(kind, pc)
 	}
-	return out, nil
+	return out, timings, nil
 }
 
 func stmtTerm(i int) string          { return fmt.Sprintf("s%d", i) }

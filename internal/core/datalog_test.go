@@ -19,8 +19,15 @@ var kindsCompared = []core.VulnKind{
 	core.TaintedDelegatecall,
 }
 
+// engineWorkerCounts are the Datalog worker counts every differential runs
+// at: sequential, the smallest genuinely parallel setting, and an
+// oversubscribed one (more workers than this machine has cores).
+var engineWorkerCounts = []int{1, 2, 8}
+
 // compareImplementations runs the Go fixpoint and the Datalog rules on the
-// same bytecode and requires identical (kind, pc) violation sets.
+// same bytecode and requires identical (kind, pc) violation sets. The Datalog
+// side runs at several worker counts: parallelism must change neither the
+// rules' agreement with the Go fixpoint nor anything else observable.
 func compareImplementations(t *testing.T, label string, runtime []byte) {
 	t.Helper()
 	prog, err := decompiler.Decompile(runtime)
@@ -29,24 +36,27 @@ func compareImplementations(t *testing.T, label string, runtime []byte) {
 	}
 	cfg := core.DefaultConfig()
 	goRep := core.Analyze(prog, cfg)
-	dlRep, err := core.AnalyzeDatalog(prog, cfg)
-	if err != nil {
-		t.Fatalf("%s: datalog: %v", label, err)
-	}
-	for _, kind := range kindsCompared {
-		goPCs := map[int]bool{}
-		for _, w := range goRep.ByKind(kind) {
-			goPCs[w.PC] = true
+	for _, workers := range engineWorkerCounts {
+		cfg.Parallelism = workers
+		dlRep, err := core.AnalyzeDatalog(prog, cfg)
+		if err != nil {
+			t.Fatalf("%s: datalog (workers=%d): %v", label, workers, err)
 		}
-		dlPCs := dlRep[kind]
-		for pc := range goPCs {
-			if !dlPCs[pc] {
-				t.Errorf("%s: [%s] pc=%d found by Go fixpoint, missed by Datalog rules", label, kind, pc)
+		for _, kind := range kindsCompared {
+			goPCs := map[int]bool{}
+			for _, w := range goRep.ByKind(kind) {
+				goPCs[w.PC] = true
 			}
-		}
-		for pc := range dlPCs {
-			if !goPCs[pc] {
-				t.Errorf("%s: [%s] pc=%d found by Datalog rules, missed by Go fixpoint", label, kind, pc)
+			dlPCs := dlRep[kind]
+			for pc := range goPCs {
+				if !dlPCs[pc] {
+					t.Errorf("%s: [%s] workers=%d pc=%d found by Go fixpoint, missed by Datalog rules", label, kind, workers, pc)
+				}
+			}
+			for pc := range dlPCs {
+				if !goPCs[pc] {
+					t.Errorf("%s: [%s] workers=%d pc=%d found by Datalog rules, missed by Go fixpoint", label, kind, workers, pc)
+				}
 			}
 		}
 	}
@@ -101,6 +111,56 @@ func TestDatalogVictimComposite(t *testing.T) {
 	}
 	if len(res[core.TaintedSelfdestruct]) == 0 {
 		t.Error("datalog rules missed the tainted selfdestruct")
+	}
+}
+
+// TestParallelismFingerprintNeutral pins the cache contract: Parallelism is
+// scheduling, not semantics, so configs differing only in it must share a
+// fingerprint (and therefore cache entries), while every behavior-affecting
+// field must still split it.
+func TestParallelismFingerprintNeutral(t *testing.T) {
+	base := core.DefaultConfig()
+	want := base.Fingerprint()
+	for _, workers := range []int{-1, 0, 1, 2, 64} {
+		cfg := base
+		cfg.Parallelism = workers
+		if got := cfg.Fingerprint(); got != want {
+			t.Errorf("Parallelism=%d changed the fingerprint: %x vs %x", workers, got, want)
+		}
+	}
+	flipped := base
+	flipped.ModelGuards = !flipped.ModelGuards
+	if flipped.Fingerprint() == want {
+		t.Error("flipping ModelGuards did not change the fingerprint")
+	}
+}
+
+// TestAnalyzeDatalogTimedStages checks the engine stage breakdown surfaces
+// through StageTimings: a parallel run must report fixpoint time and populate
+// the engine sub-stages that refine it.
+func TestAnalyzeDatalogTimedStages(t *testing.T) {
+	out := minisol.MustCompile(minisol.VictimSource)
+	prog, err := decompiler.Decompile(out.Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = 2
+	res, timings, err := core.AnalyzeDatalogTimed(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[core.AccessibleSelfdestruct]) == 0 {
+		t.Error("timed variant lost the composite accessible selfdestruct")
+	}
+	if timings.Fixpoint <= 0 {
+		t.Errorf("Fixpoint stage not timed: %+v", timings)
+	}
+	if timings.EngineJoin <= 0 {
+		t.Errorf("EngineJoin stage not timed: %+v", timings)
+	}
+	if sub := timings.EngineIndex + timings.EngineJoin + timings.EngineMerge; sub > timings.Total() {
+		t.Errorf("engine sub-stages (%v) exceed Total (%v): sub-breakdown leaked into the top-level sum", sub, timings.Total())
 	}
 }
 

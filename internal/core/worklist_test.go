@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"ethainter/internal/core"
@@ -45,6 +46,10 @@ func stripTimings(r *core.Report) core.Report {
 func TestWorklistMatchesReferenceCorpus(t *testing.T) {
 	contracts := corpus.Generate(corpus.DefaultProfile(200, 20200615))
 	configs := ablationConfigs()
+	// Parallelism is fingerprint-neutral scheduling: the report must match the
+	// oracle at any worker count, so each pair is checked sequentially, at two
+	// workers, and at one worker per core.
+	workerCounts := []int{1, 2, runtime.NumCPU()}
 	compared := 0
 	for _, c := range contracts {
 		prog, err := decompiler.Decompile(c.Runtime)
@@ -52,11 +57,14 @@ func TestWorklistMatchesReferenceCorpus(t *testing.T) {
 			continue // exotic contracts; decompile failures count as timeouts
 		}
 		for name, cfg := range configs {
-			got := stripTimings(core.Analyze(prog, cfg))
 			want := stripTimings(core.AnalyzeReference(prog, cfg))
-			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("%s #%d [%s]: worklist report diverges from reference\nworklist:  %+v\nreference: %+v",
-					c.Family, c.Index, name, got, want)
+			for _, workers := range workerCounts {
+				cfg.Parallelism = workers
+				got := stripTimings(core.Analyze(prog, cfg))
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s #%d [%s] workers=%d: worklist report diverges from reference\nworklist:  %+v\nreference: %+v",
+						c.Family, c.Index, name, workers, got, want)
+				}
 			}
 			compared++
 		}

@@ -165,7 +165,15 @@ type Program struct {
 	rels  map[string]*Relation
 	rules []*Rule
 
-	// Evaluation scratch (the engine is single-goroutine per Program).
+	// parallelism is the Run worker count (≤ 1 evaluates sequentially); see
+	// SetParallelism. A Program still serves one Run at a time — parallelism
+	// is inside the fixpoint, not across calls.
+	parallelism int
+	// stats is the stage breakdown of the most recent Run.
+	stats EngineStats
+
+	// Evaluation scratch for the sequential path (parallel workers use the
+	// pooled scratch of parallel.go instead).
 	env     []Term
 	headBuf []Term
 	factBuf []Term

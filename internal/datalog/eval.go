@@ -3,18 +3,34 @@ package datalog
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Run stratifies the program and evaluates every stratum to fixpoint with
-// semi-naive iteration. It returns an error if negation occurs inside a
-// recursive cycle (the program is not stratifiable).
+// semi-naive iteration — sequentially, or with the worker pool configured via
+// SetParallelism (the derived tuple sets are identical either way). It
+// returns an error if negation occurs inside a recursive cycle (the program
+// is not stratifiable).
 func (p *Program) Run() error {
 	strata, err := p.stratify()
 	if err != nil {
 		return err
 	}
+	workers := p.parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	p.stats = EngineStats{Parallelism: workers, Strata: len(strata)}
 	for _, stratum := range strata {
-		p.evalStratum(stratum)
+		if workers > 1 {
+			p.evalStratumParallel(stratum, workers)
+		} else {
+			start := time.Now()
+			p.evalStratum(stratum)
+			// Sequential evaluation interleaves lazy index builds and inline
+			// inserts with the joins, so the whole stratum lands in Join.
+			p.stats.Join += time.Since(start)
+		}
 	}
 	return nil
 }
@@ -143,6 +159,7 @@ func (p *Program) evalStratum(rules []*Rule) {
 		}
 	}
 	// First pass: evaluate every rule against all current facts.
+	p.stats.Iterations++
 	for _, r := range rules {
 		p.fireRule(r, -1, 0, 0)
 	}
@@ -153,6 +170,7 @@ func (p *Program) evalStratum(rules []*Rule) {
 		lo[rel], hi[rel] = b, rel.Len()
 	}
 	for {
+		p.stats.Iterations++
 		cur := map[*Relation]int{}
 		for rel := range base {
 			cur[rel] = rel.Len()
@@ -194,6 +212,9 @@ type compiledRule struct {
 	// orders[i+1] caches the planned join order with body atom i as the
 	// semi-naive delta atom; orders[0] is the naive-pass order.
 	orders [][]int
+	// plans caches the static access path of every atom per order (same
+	// indexing as orders); computed by planFor for parallel evaluation.
+	plans [][]access
 }
 
 type catom struct {

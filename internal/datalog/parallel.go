@@ -1,0 +1,622 @@
+package datalog
+
+// Parallel semi-naive evaluation: each fixpoint iteration reads a frozen
+// snapshot of every relation, fans the per-rule delta row ranges across a
+// bounded worker pool, and merges the workers' private tuple buffers into the
+// global arenas at a barrier. Results are bit-identical to the sequential
+// engine at any worker count because a stratum's least fixpoint is unique and
+// the merge order is deterministic (task index, then derivation order within
+// a task) — see DESIGN.md §8 for the full argument.
+//
+// Workers never mutate shared state: the access path of every atom is planned
+// statically per join order, the indices those paths need are built before
+// the join phase (in parallel, one build per missing index), and all scratch
+// (environments, head buffers, output buffers, dedup sets) is pooled with
+// sync.Pool so repeated Run calls — one per analyzed contract in a sweep —
+// allocate nothing on the steady state.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EngineStats is the per-stage breakdown of one Run call.
+type EngineStats struct {
+	// Parallelism is the effective worker count (1 = sequential).
+	Parallelism int
+	// Strata evaluated and total fixpoint iterations across them.
+	Strata     int
+	Iterations int
+	// Tasks is the number of (rule, delta chunk) units evaluated. Zero in
+	// sequential mode, where rules fire inline.
+	Tasks int
+	// IndexBuild is time spent materializing single- and two-column indices
+	// before join phases. Sequential evaluation builds indices lazily inside
+	// joins, so there it is folded into Join.
+	IndexBuild time.Duration
+	// Join is time spent enumerating rule bodies (the delta joins).
+	Join time.Duration
+	// Merge is time spent deduplicating worker buffers into the global tuple
+	// sets at iteration barriers. Zero in sequential mode (inline inserts).
+	Merge time.Duration
+}
+
+// SetParallelism sets the worker count for subsequent Run calls: values of
+// one or less evaluate sequentially; larger values evaluate every fixpoint
+// iteration with up to n workers. The derived tuple sets are identical at any
+// setting; only row insertion order (invisible through Query/Has/Count) and
+// wall-clock change.
+func (p *Program) SetParallelism(n int) { p.parallelism = n }
+
+// EngineStats returns the stage breakdown of the most recent Run call.
+func (p *Program) EngineStats() EngineStats { return p.stats }
+
+// access is one atom's statically planned access path: the index (if any) it
+// probes given the variables bound by earlier atoms in the join order.
+type access struct {
+	kind accessKind
+	pos  [2]uint8 // bound columns for single/pair access
+}
+
+type accessKind uint8
+
+const (
+	accessScan   accessKind = iota // no bound column: full arena scan
+	accessSingle                   // one bound column: single-column index
+	accessPair                     // two bound columns: composite index
+	accessProbe                    // fully bound negated atom: membership probe
+)
+
+// planFor returns the cached join order for deltaAtom together with the
+// access plan of each atom in that order. The plan replays orderFor's
+// boundness walk, so it agrees exactly with what selectCandidates would pick
+// dynamically — the property that lets workers read prebuilt indices without
+// ever triggering a lazy build.
+func (c *compiledRule) planFor(deltaAtom int) ([]int, []access) {
+	order := c.orderFor(deltaAtom)
+	cacheIdx := deltaAtom + 1
+	if c.plans == nil {
+		c.plans = make([][]access, len(c.body)+1)
+	}
+	if c.plans[cacheIdx] != nil {
+		return order, c.plans[cacheIdx]
+	}
+	bound := make([]bool, c.nVars)
+	plan := make([]access, len(order))
+	for oi, ai := range order {
+		a := &c.body[ai]
+		var pos [2]uint8
+		nb := 0
+		fullyBound := true
+		for k, arg := range a.args {
+			isBound := arg.slot == slotConst || (arg.slot >= 0 && bound[arg.slot])
+			if !isBound {
+				fullyBound = false
+				continue
+			}
+			if nb < 2 {
+				pos[nb] = uint8(k)
+				nb++
+			}
+		}
+		switch {
+		case a.neg && fullyBound:
+			plan[oi] = access{kind: accessProbe}
+		case nb == 0:
+			plan[oi] = access{kind: accessScan}
+		case nb == 1:
+			plan[oi] = access{kind: accessSingle, pos: pos}
+		default:
+			plan[oi] = access{kind: accessPair, pos: pos}
+		}
+		if !a.neg {
+			for _, arg := range a.args {
+				if arg.slot >= 0 {
+					bound[arg.slot] = true
+				}
+			}
+		}
+	}
+	c.plans[cacheIdx] = plan
+	return order, plan
+}
+
+// evalTask is one unit of parallel work: a rule fired with its first-ordered
+// atom (the delta atom, or the naive pass's scan atom) restricted to the row
+// range [lo, hi). Derived head tuples land in the private out buffer.
+type evalTask struct {
+	rule       *Rule
+	order      []int
+	plan       []access
+	restricted bool
+	lo, hi     int
+	out        []Term
+	buf        *outBuf // pool token: returned (with the grown out) at merge
+}
+
+// scratch is one worker's private evaluation state, pooled across Run calls.
+type scratch struct {
+	env   []Term
+	head  []Term
+	probe []Term
+	// seen dedups derived tuples within one task (head arity ≤ 4 only; wider
+	// heads rely on the merge dedup alone).
+	seen map[[4]int32]struct{}
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{seen: make(map[[4]int32]struct{})}
+}}
+
+// outBuf wraps a pooled flat tuple buffer.
+type outBuf struct{ data []Term }
+
+var outBufPool = sync.Pool{New: func() any { return new(outBuf) }}
+
+// evalStratumParallel runs the stratum to fixpoint with the worker pool.
+// Every iteration is: plan tasks → build missing indices → parallel join into
+// private buffers → barrier → deterministic merge.
+func (p *Program) evalStratumParallel(rules []*Rule, workers int) {
+	base := map[*Relation]int{}
+	for _, r := range rules {
+		rel := r.c.head.rel
+		if _, ok := base[rel]; !ok {
+			base[rel] = rel.Len()
+		}
+	}
+	lo := map[*Relation]int{}
+	hi := map[*Relation]int{}
+	naive := true
+	for {
+		prev := map[*Relation]int{}
+		for rel := range base {
+			prev[rel] = rel.Len()
+		}
+		var tasks []*evalTask
+		if naive {
+			tasks = p.naiveTasks(rules, workers)
+			naive = false
+		} else {
+			tasks = p.deltaTasks(rules, lo, hi, workers)
+		}
+		if len(tasks) == 0 {
+			break
+		}
+		t0 := time.Now()
+		p.prebuildIndices(tasks, workers)
+		t1 := time.Now()
+		runTasks(p, tasks, workers)
+		t2 := time.Now()
+		p.mergeTasks(tasks)
+		t3 := time.Now()
+		p.stats.IndexBuild += t1.Sub(t0)
+		p.stats.Join += t2.Sub(t1)
+		p.stats.Merge += t3.Sub(t2)
+		p.stats.Iterations++
+		p.stats.Tasks += len(tasks)
+
+		grown := false
+		for rel := range base {
+			lo[rel], hi[rel] = prev[rel], rel.Len()
+			if lo[rel] < hi[rel] {
+				grown = true
+			}
+		}
+		if !grown {
+			break
+		}
+	}
+}
+
+// chunkSize picks the delta partition granularity: enough chunks to keep the
+// pool busy, but never chunks so small the scheduling overhead dominates. It
+// depends only on (n, workers), keeping task decomposition deterministic.
+func chunkSize(n, workers int) int {
+	chunks := workers * 2
+	size := (n + chunks - 1) / chunks
+	if size < 16 {
+		size = 16
+	}
+	return size
+}
+
+// naiveTasks plans the first (all-facts) pass: one task per rule, chunked by
+// the first-ordered atom's row range when that atom is a full scan.
+func (p *Program) naiveTasks(rules []*Rule, workers int) []*evalTask {
+	var tasks []*evalTask
+	for _, r := range rules {
+		order, plan := r.c.planFor(-1)
+		if len(order) > 0 && plan[0].kind == accessScan {
+			// An empty scan relation yields no chunks — and the rule cannot
+			// fire this pass, matching the sequential engine.
+			n := r.c.body[order[0]].rel.Len()
+			size := chunkSize(n, workers)
+			for start := 0; start < n; start += size {
+				end := start + size
+				if end > n {
+					end = n
+				}
+				tasks = append(tasks, newTask(r, order, plan, true, start, end))
+			}
+		} else {
+			tasks = append(tasks, newTask(r, order, plan, false, 0, 0))
+		}
+	}
+	return tasks
+}
+
+// deltaTasks plans one semi-naive iteration: for every rule and every
+// positive body atom whose relation grew last iteration, fire the rule with
+// that atom restricted to chunks of the delta range.
+func (p *Program) deltaTasks(rules []*Rule, lo, hi map[*Relation]int, workers int) []*evalTask {
+	var tasks []*evalTask
+	for _, r := range rules {
+		for i := range r.c.body {
+			a := &r.c.body[i]
+			if a.neg {
+				continue
+			}
+			l, h := lo[a.rel], hi[a.rel]
+			if l >= h {
+				continue
+			}
+			order, plan := r.c.planFor(i)
+			size := chunkSize(h-l, workers)
+			for start := l; start < h; start += size {
+				end := start + size
+				if end > h {
+					end = h
+				}
+				tasks = append(tasks, newTask(r, order, plan, true, start, end))
+			}
+		}
+	}
+	return tasks
+}
+
+func newTask(r *Rule, order []int, plan []access, restricted bool, lo, hi int) *evalTask {
+	buf := outBufPool.Get().(*outBuf)
+	return &evalTask{rule: r, order: order, plan: plan, restricted: restricted, lo: lo, hi: hi, out: buf.data[:0], buf: buf}
+}
+
+// indexReq identifies one index a join phase needs: a single-column index on
+// pos[0], or (pair) a composite index on (pos[0], pos[1]).
+type indexReq struct {
+	rel  *Relation
+	pair bool
+	pos  [2]uint8
+}
+
+// prebuildIndices materializes every index the tasks' access plans will
+// probe, building the missing ones in parallel. Workers then only ever read
+// index maps, so the join phase is data-race free by construction.
+func (p *Program) prebuildIndices(tasks []*evalTask, workers int) {
+	seen := map[indexReq]bool{}
+	var reqs []indexReq
+	for _, t := range tasks {
+		for oi, acc := range t.plan {
+			atom := &t.rule.c.body[t.order[oi]]
+			var req indexReq
+			switch acc.kind {
+			case accessSingle:
+				req = indexReq{rel: atom.rel, pos: [2]uint8{acc.pos[0], 0}}
+			case accessPair:
+				req = indexReq{rel: atom.rel, pair: true, pos: acc.pos}
+			default:
+				continue
+			}
+			if seen[req] {
+				continue
+			}
+			seen[req] = true
+			if req.pair {
+				if req.rel.comps != nil {
+					if _, ok := req.rel.comps[req.pos]; ok {
+						continue
+					}
+				}
+			} else {
+				if req.rel.indices != nil && req.rel.indices[req.pos[0]] != nil {
+					continue
+				}
+			}
+			reqs = append(reqs, req)
+		}
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	// Allocate the holders single-threaded; fill the distinct slots in
+	// parallel; publish after the barrier.
+	for _, req := range reqs {
+		if req.pair && req.rel.comps == nil {
+			req.rel.comps = map[[2]uint8]map[uint64][]int32{}
+		}
+		if !req.pair && req.rel.indices == nil {
+			req.rel.indices = make([]map[Term][]int32, req.rel.Arity)
+		}
+	}
+	singles := make([]map[Term][]int32, len(reqs))
+	pairs := make([]map[uint64][]int32, len(reqs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	n := workers
+	if n > len(reqs) {
+		n = len(reqs)
+	}
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				req := reqs[i]
+				set := req.rel.set
+				if req.pair {
+					idx := map[uint64][]int32{}
+					p1, p2 := int(req.pos[0]), int(req.pos[1])
+					for id := int32(0); int(id) < set.n; id++ {
+						row := set.row(id)
+						k := pairKey(row[p1], row[p2])
+						idx[k] = append(idx[k], id)
+					}
+					pairs[i] = idx
+				} else {
+					idx := map[Term][]int32{}
+					pos := int(req.pos[0])
+					for id := int32(0); int(id) < set.n; id++ {
+						t := set.row(id)[pos]
+						idx[t] = append(idx[t], id)
+					}
+					singles[i] = idx
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, req := range reqs {
+		if req.pair {
+			req.rel.comps[req.pos] = pairs[i]
+		} else {
+			req.rel.indices[req.pos[0]] = singles[i]
+		}
+	}
+}
+
+// runTasks drains the task list with up to `workers` pooled goroutines.
+func runTasks(p *Program, tasks []*evalTask, workers int) {
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		sc := scratchPool.Get().(*scratch)
+		for _, t := range tasks {
+			p.runTask(t, sc)
+		}
+		scratchPool.Put(sc)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := scratchPool.Get().(*scratch)
+			defer scratchPool.Put(sc)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				p.runTask(tasks[i], sc)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeTasks folds every task's private buffer into the global tuple sets in
+// task order. Insertion dedups; together with the deterministic task
+// decomposition this makes row ids reproducible run-to-run.
+func (p *Program) mergeTasks(tasks []*evalTask) {
+	for _, t := range tasks {
+		rel := t.rule.c.head.rel
+		ar := rel.Arity
+		for off := 0; off+ar <= len(t.out); off += ar {
+			rel.insert(t.out[off : off+ar])
+		}
+		// Recycle the grown buffer: every Get in newTask is matched by
+		// exactly one Put here.
+		t.buf.data = t.out[:0]
+		outBufPool.Put(t.buf)
+		t.out, t.buf = nil, nil
+	}
+}
+
+// runTask enumerates all substitutions of the task's rule with the restricted
+// first atom, appending new head tuples (pre-filtered against the frozen
+// global set and deduplicated task-locally) to the private buffer.
+func (p *Program) runTask(t *evalTask, sc *scratch) {
+	c := t.rule.c
+	order, plan := t.order, t.plan
+	if cap(sc.env) < c.nVars {
+		sc.env = make([]Term, c.nVars)
+	}
+	env := sc.env[:c.nVars]
+	for i := range env {
+		env[i] = -1
+	}
+	headArity := len(c.head.args)
+	if cap(sc.head) < headArity {
+		sc.head = make([]Term, headArity)
+	}
+	localDedup := headArity <= 4
+	if localDedup && len(sc.seen) > 0 {
+		clear(sc.seen)
+	}
+	headRel := c.head.rel
+
+	var solve func(oi int)
+	solve = func(oi int) {
+		if oi == len(order) {
+			tuple := sc.head[:headArity]
+			for k, a := range c.head.args {
+				if a.slot >= 0 {
+					tuple[k] = env[a.slot]
+				} else {
+					tuple[k] = a.konst
+				}
+			}
+			if headRel.set.has(tuple) {
+				return
+			}
+			if localDedup {
+				k := pack4(tuple)
+				if _, dup := sc.seen[k]; dup {
+					return
+				}
+				sc.seen[k] = struct{}{}
+			}
+			t.out = append(t.out, tuple...)
+			return
+		}
+		ai := order[oi]
+		atom := &c.body[ai]
+		acc := plan[oi]
+		if atom.neg {
+			if !negMatchPlanned(atom, acc, env, sc) {
+				solve(oi + 1)
+			}
+			return
+		}
+		candidates, scanTo := plannedCandidates(atom, acc, env)
+		restricted := t.restricted && oi == 0
+		match := func(id int32) {
+			if restricted && (int(id) < t.lo || int(id) >= t.hi) {
+				return
+			}
+			row := atom.rel.set.row(id)
+			var boundSlots [8]int32
+			extra := boundSlots[:0]
+			ok := true
+			for k, a := range atom.args {
+				switch {
+				case a.slot == slotConst:
+					ok = row[k] == a.konst
+				case a.slot == slotWild:
+					// wildcard
+				default:
+					if v := env[a.slot]; v >= 0 {
+						ok = v == row[k]
+					} else {
+						env[a.slot] = row[k]
+						extra = append(extra, a.slot)
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				solve(oi + 1)
+			}
+			for _, s := range extra {
+				env[s] = -1
+			}
+		}
+		if candidates != nil {
+			for _, id := range candidates {
+				match(id)
+			}
+		} else {
+			from, to := 0, scanTo
+			if restricted {
+				from, to = t.lo, t.hi
+			}
+			for id := from; id < to; id++ {
+				match(int32(id))
+			}
+		}
+	}
+	solve(0)
+}
+
+// plannedCandidates is selectCandidates with the access path fixed at plan
+// time: a pure read of prebuilt index maps, safe under concurrency.
+func plannedCandidates(atom *catom, acc access, env []Term) ([]int32, int) {
+	switch acc.kind {
+	case accessSingle:
+		pos := int(acc.pos[0])
+		return atom.rel.indices[pos][plannedValue(atom, pos, env)], 0
+	case accessPair:
+		p1, p2 := int(acc.pos[0]), int(acc.pos[1])
+		k := pairKey(plannedValue(atom, p1, env), plannedValue(atom, p2, env))
+		return atom.rel.comps[acc.pos][k], 0
+	default:
+		return nil, atom.rel.Len()
+	}
+}
+
+// plannedValue resolves the bound value of column k (a constant or a bound
+// environment slot — the planner guarantees one of the two).
+func plannedValue(atom *catom, k int, env []Term) Term {
+	if a := atom.args[k]; a.slot == slotConst {
+		return a.konst
+	}
+	return env[atom.args[k].slot]
+}
+
+// negMatchPlanned is negMatch with the access path fixed at plan time.
+func negMatchPlanned(atom *catom, acc access, env []Term, sc *scratch) bool {
+	if acc.kind == accessProbe {
+		if cap(sc.probe) < len(atom.args) {
+			sc.probe = make([]Term, 0, len(atom.args))
+		}
+		probe := sc.probe[:0]
+		for _, a := range atom.args {
+			if a.slot >= 0 {
+				probe = append(probe, env[a.slot])
+			} else {
+				probe = append(probe, a.konst)
+			}
+		}
+		sc.probe = probe
+		return atom.rel.Has(probe)
+	}
+	candidates, scanTo := plannedCandidates(atom, acc, env)
+	check := func(id int32) bool {
+		row := atom.rel.set.row(id)
+		for k, a := range atom.args {
+			switch {
+			case a.slot == slotConst:
+				if row[k] != a.konst {
+					return false
+				}
+			case a.slot >= 0 && env[a.slot] >= 0:
+				if row[k] != env[a.slot] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if candidates != nil {
+		for _, id := range candidates {
+			if check(id) {
+				return true
+			}
+		}
+		return false
+	}
+	for id := 0; id < scanTo; id++ {
+		if check(int32(id)) {
+			return true
+		}
+	}
+	return false
+}

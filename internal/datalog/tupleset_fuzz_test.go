@@ -5,6 +5,86 @@ import (
 	"testing"
 )
 
+// FuzzMergeDedup drives the parallel engine's buffer-then-merge protocol
+// against the same naive oracle: tuples accumulate in per-task flat buffers
+// (pre-filtered against the frozen global set and deduplicated task-locally,
+// exactly as runTask does), then barrier-merge into the global set in task
+// order. The global set must always equal the set of merged tuples, and the
+// final merge must land exactly on the oracle regardless of how duplicates
+// were spread across buffers.
+func FuzzMergeDedup(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 2, 3, 0, 1, 2, 3, 2, 0, 0, 0, 0, 5, 1, 2, 3})
+	f.Add([]byte{4, 0, 9, 9, 9, 3, 9, 9, 9, 2, 0, 0, 0, 0, 9, 9, 8})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		const arity = 3
+		numBufs := int(data[0])%4 + 1
+		data = data[1:]
+
+		global := newTupleSet(arity)
+		bufs := make([][]Term, numBufs)
+		seens := make([]map[[4]int32]struct{}, numBufs)
+		for i := range seens {
+			seens[i] = map[[4]int32]struct{}{}
+		}
+		merged := map[string]bool{} // oracle for the global set
+		pending := map[string]bool{}
+
+		key := func(tuple []Term) string { return fmt.Sprint(tuple) }
+		barrier := func() {
+			for i := range bufs {
+				for off := 0; off+arity <= len(bufs[i]); off += arity {
+					global.insert(bufs[i][off : off+arity])
+				}
+				bufs[i] = bufs[i][:0]
+				clear(seens[i])
+			}
+			for k := range pending {
+				merged[k] = true
+				delete(pending, k)
+			}
+			if global.n != len(merged) {
+				t.Fatalf("after barrier: global has %d rows, oracle %d", global.n, len(merged))
+			}
+		}
+
+		tuple := make([]Term, arity)
+		for len(data) >= 1+arity {
+			op := data[0]
+			for i := 0; i < arity; i++ {
+				tuple[i] = Term(data[1+i])
+			}
+			data = data[1+arity:]
+			switch op % 3 {
+			case 0, 1: // buffered emit into task (op/3)%numBufs — runTask's filter
+				b := int(op/3) % numBufs
+				if global.has(tuple) {
+					continue
+				}
+				k4 := pack4(tuple)
+				if _, dup := seens[b][k4]; dup {
+					continue
+				}
+				seens[b][k4] = struct{}{}
+				bufs[b] = append(bufs[b], tuple...)
+				pending[key(tuple)] = true
+			case 2: // iteration barrier
+				barrier()
+			}
+		}
+		barrier()
+
+		for id := int32(0); id < int32(global.n); id++ {
+			if !merged[key(global.row(id))] {
+				t.Fatalf("arena row %d = %v not in oracle", id, global.row(id))
+			}
+		}
+	})
+}
+
 // FuzzTupleSet drives interleaved insert/has against a naive map-of-strings
 // oracle. The byte stream decodes to operations: each op consumes one opcode
 // byte (even = insert, odd = has) and `arity` term bytes. Three set variants

@@ -120,6 +120,7 @@ func (s *Server) analyzeBatchItem(ctx context.Context, i int, input string) Batc
 	if err != nil {
 		return BatchItemJSON{Index: i, Error: err.Error()}
 	}
+	s.metrics.recordStages(rep.Stats.Timings)
 	rj := reportToJSON(rep)
 	return BatchItemJSON{Index: i, Report: &rj}
 }

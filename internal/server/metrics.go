@@ -66,10 +66,24 @@ type metrics struct {
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
+	// stages sums the per-stage analysis breakdown of every report served,
+	// over stageReports reports. A cache hit contributes the memoized
+	// breakdown of the original computation, so the sums measure the analysis
+	// cost represented by the traffic, not CPU burned by this process.
+	stages       core.StageTimings
+	stageReports uint64
 }
 
 func newMetrics() *metrics {
 	return &metrics{start: time.Now(), endpoints: map[string]*endpointStats{}}
+}
+
+// recordStages accumulates one served report's stage breakdown.
+func (m *metrics) recordStages(t core.StageTimings) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stages.Add(t)
+	m.stageReports++
 }
 
 // observe records one finished request on its route.
@@ -117,12 +131,22 @@ type CacheJSON struct {
 	HitRate float64 `json:"hitRate"`
 }
 
+// StagesJSON is the wire form of the accumulated analysis stage breakdown:
+// nanoseconds summed per stage over Reports served reports. The engine_*
+// fields refine fixpoint_ns and stay zero unless requests ran through the
+// Datalog engine.
+type StagesJSON struct {
+	Reports uint64 `json:"reports"`
+	core.StageTimings
+}
+
 // StatszJSON is the /statsz response body.
 type StatszJSON struct {
 	UptimeSeconds float64                 `json:"uptime_s"`
 	Cache         CacheJSON               `json:"cache"`
 	InFlight      int64                   `json:"inFlight"`
 	Rejected      uint64                  `json:"rejected"`
+	Stages        StagesJSON              `json:"stages"`
 	Endpoints     map[string]EndpointJSON `json:"endpoints"`
 }
 
@@ -139,6 +163,7 @@ func (m *metrics) snapshot(cache *core.Cache) StatszJSON {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	out.Stages = StagesJSON{Reports: m.stageReports, StageTimings: m.stages}
 	for route, es := range m.endpoints {
 		lj := LatencyJSON{
 			Count:   es.latency.total,

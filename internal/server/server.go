@@ -261,6 +261,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeAnalysisError(w, err)
 		return
 	}
+	s.metrics.recordStages(rep.Stats.Timings)
 	writeJSON(w, http.StatusOK, reportToJSON(rep))
 }
 
@@ -332,6 +333,7 @@ func (s *Server) handleExploit(w http.ResponseWriter, r *http.Request) {
 		writeAnalysisError(w, err)
 		return
 	}
+	s.metrics.recordStages(rep.Stats.Timings)
 	// Ephemeral testbed: deploy, fund, attack a fork.
 	c := chain.New()
 	deployer := c.NewAccount(u256.MustHex("0xffffffffffff"))

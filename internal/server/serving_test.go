@@ -273,6 +273,17 @@ func TestStatszCounters(t *testing.T) {
 	if stats.UptimeSeconds <= 0 {
 		t.Errorf("uptime = %v", stats.UptimeSeconds)
 	}
+	// The stage accumulator covers the three successful analyses (cache hits
+	// contribute the memoized breakdown) and shows real analysis time.
+	if stats.Stages.Reports != 3 {
+		t.Errorf("stage accumulator covers %d reports, want 3", stats.Stages.Reports)
+	}
+	if stats.Stages.Total() <= 0 {
+		t.Errorf("stage timings sum to %v, want > 0: %+v", stats.Stages.Total(), stats.Stages)
+	}
+	if stats.Stages.Decompile <= 0 || stats.Stages.Fixpoint <= 0 {
+		t.Errorf("decompile/fixpoint stages not populated: %+v", stats.Stages.StageTimings)
+	}
 }
 
 // TestRepeatAnalyzeServedFromCache is the acceptance pin: a repeated /analyze

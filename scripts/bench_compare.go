@@ -1,0 +1,155 @@
+// Command bench_compare diffs a freshly generated BENCH_core.json against the
+// committed baseline and fails (exit 1) on regressions.
+//
+// Usage:
+//
+//	go run ./scripts -baseline BENCH_core.json -fresh /tmp/BENCH_fresh.json [-tolerance 0.5]
+//
+// Two classes of checks run:
+//
+//   - Exactness: when the two results cover the same corpus (equal n and
+//     seed), the analyzed/failed/warning counts and the unique-bytecode count
+//     must match bit-for-bit — the analysis is deterministic, so any drift is
+//     a correctness bug, not noise. Within the fresh result, every engine
+//     scaling point must derive the identical tuple count: the parallel
+//     evaluator is exact at any worker count.
+//
+//   - Timing: the fresh uncached and cached sweep walls may exceed the
+//     baseline by at most the fractional -tolerance (default 0.5, i.e. +50%,
+//     loose enough for shared CI runners). Timing checks are skipped when the
+//     corpora differ, since the walls are not comparable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ethainter/internal/bench"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_core.json", "committed baseline result")
+		freshPath    = flag.String("fresh", "", "freshly generated result to vet (required)")
+		tolerance    = flag.Float64("tolerance", 0.5, "max fractional wall-clock regression (0.5 = +50%)")
+	)
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "bench_compare: -fresh is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fatal(err)
+	}
+	problems := compare(baseline, fresh, *tolerance)
+	for _, p := range problems {
+		fmt.Printf("REGRESSION: %s\n", p)
+	}
+	if len(problems) > 0 {
+		fmt.Printf("bench_compare: %d regression(s) against %s\n", len(problems), *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("bench_compare: OK (uncached %s vs baseline %s, cached %s vs %s, tolerance +%.0f%%)\n",
+		fmtNS(fresh.Uncached.WallNS), fmtNS(baseline.Uncached.WallNS),
+		fmtNS(fresh.Cached.WallNS), fmtNS(baseline.Cached.WallNS), *tolerance*100)
+}
+
+func load(path string) (*bench.CoreBenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.CoreBenchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compare returns the list of regressions of fresh against baseline.
+func compare(baseline, fresh *bench.CoreBenchResult, tolerance float64) []string {
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	sameCorpus := baseline.N == fresh.N && baseline.Seed == fresh.Seed
+	if !sameCorpus {
+		fmt.Printf("note: corpora differ (baseline n=%d seed=%d, fresh n=%d seed=%d); only internal consistency is checked\n",
+			baseline.N, baseline.Seed, fresh.N, fresh.Seed)
+	}
+
+	if sameCorpus {
+		// Determinism: identical corpus must yield identical counts.
+		if fresh.UniqueBytecodes != baseline.UniqueBytecodes {
+			bad("unique bytecodes: %d, baseline %d", fresh.UniqueBytecodes, baseline.UniqueBytecodes)
+		}
+		for _, s := range []struct {
+			name           string
+			fresh, against bench.SweepResult
+		}{
+			{"uncached", fresh.Uncached, baseline.Uncached},
+			{"cached", fresh.Cached, baseline.Cached},
+		} {
+			if s.fresh.Analyzed != s.against.Analyzed {
+				bad("%s sweep analyzed %d contracts, baseline %d", s.name, s.fresh.Analyzed, s.against.Analyzed)
+			}
+			if s.fresh.Failed != s.against.Failed {
+				bad("%s sweep failed on %d contracts, baseline %d", s.name, s.fresh.Failed, s.against.Failed)
+			}
+			if s.fresh.Warnings != s.against.Warnings {
+				bad("%s sweep produced %d warnings, baseline %d", s.name, s.fresh.Warnings, s.against.Warnings)
+			}
+		}
+
+		// Walls may only regress within tolerance.
+		checkWall := func(name string, freshNS, baseNS int64) {
+			if baseNS <= 0 {
+				return
+			}
+			limit := float64(baseNS) * (1 + tolerance)
+			if float64(freshNS) > limit {
+				bad("%s sweep wall %s exceeds baseline %s by more than +%.0f%%",
+					name, fmtNS(freshNS), fmtNS(baseNS), tolerance*100)
+			}
+		}
+		checkWall("uncached", fresh.Uncached.WallNS, baseline.Uncached.WallNS)
+		checkWall("cached", fresh.Cached.WallNS, baseline.Cached.WallNS)
+	}
+
+	// The parallel engine is exact: every scaling point derives the same sets.
+	if len(fresh.EngineScaling) > 0 {
+		want := fresh.EngineScaling[0].Tuples
+		for _, p := range fresh.EngineScaling[1:] {
+			if p.Tuples != want {
+				bad("engine scaling at %d workers derived %d tuples, %d workers derived %d — parallel evaluation is not exact",
+					p.Workers, p.Tuples, fresh.EngineScaling[0].Workers, want)
+			}
+		}
+	}
+	return problems
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.0fµs", float64(ns)/1e3)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bench_compare: %v\n", err)
+	os.Exit(1)
+}
