@@ -3,7 +3,7 @@ GO ?= go
 # loose enough for shared CI runners; counts are always compared exactly).
 BENCH_TOLERANCE ?= 0.5
 
-.PHONY: all build test vet bench bench-json bench-check experiments examples serve-smoke clean
+.PHONY: all build test vet bench bench-json bench-check experiments examples serve-smoke fuzz-smoke clean
 
 all: build vet test
 
@@ -42,6 +42,12 @@ experiments:
 # /statsz, then assert clean SIGTERM drain.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Short mutation-fuzz run of the full analysis pipeline (decompile through
+# detect) under tight work budgets. The committed seed corpus already replays
+# on every plain `go test`; this exercises the mutation engine itself.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzAnalyzeBytecode -fuzztime=20s ./internal/core
 
 examples:
 	$(GO) run ./examples/quickstart

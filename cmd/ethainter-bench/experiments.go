@@ -5,16 +5,17 @@ import (
 	"os"
 
 	"ethainter/internal/bench"
+	"ethainter/internal/decompiler"
 )
 
 // experimentRunners binds every experiment to a renderer at the given scale.
 // Scales are tuned per experiment the way the paper's were (the inspection
 // sample is 40; the Securify sample 2K; Figure 7 needs enough source-
 // compatible contracts).
-func experimentRunners(n int, seed int64, workers, parallelism int, jsonPath string) map[string]func() string {
+func experimentRunners(n int, seed int64, workers, parallelism int, jsonPath string, limits decompiler.Limits) map[string]func() string {
 	return map[string]func() string{
 		"core": func() string {
-			r := bench.CoreBench(n, seed, workers, parallelism)
+			r := bench.CoreBench(n, seed, workers, parallelism, limits)
 			out := r.Render()
 			if jsonPath != "" {
 				data, err := r.JSON()

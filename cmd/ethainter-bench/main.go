@@ -19,21 +19,30 @@ import (
 	"runtime/pprof"
 
 	"ethainter/internal/bench"
+	"ethainter/internal/decompiler"
 )
 
 func main() {
 	var (
-		n          = flag.Int("n", 2000, "corpus size per experiment")
-		seed       = flag.Int64("seed", 20200615, "corpus seed (the paper's publication date)")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent analysis workers (the paper used 45)")
-		par        = flag.Int("parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core)")
-		progress   = flag.Bool("progress", false, "draw sweep progress lines on stderr")
-		exp        = flag.String("exp", "all", "experiment: exp1|table2|fig6|securify|fig7|teether|rq2|fig8|core|all")
-		jsonPath   = flag.String("json", "BENCH_core.json", "output path for the core experiment's JSON result")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		n           = flag.Int("n", 2000, "corpus size per experiment")
+		seed        = flag.Int64("seed", 20200615, "corpus seed (the paper's publication date)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent analysis workers (the paper used 45)")
+		par         = flag.Int("parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core)")
+		progress    = flag.Bool("progress", false, "draw sweep progress lines on stderr")
+		exp         = flag.String("exp", "all", "experiment: exp1|table2|fig6|securify|fig7|teether|rq2|fig8|core|all")
+		jsonPath    = flag.String("json", "BENCH_core.json", "output path for the core experiment's JSON result")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file")
+		maxContexts = flag.Int("decompile-max-contexts", 0, "decompile budget: max (block, depth) contexts (0 = default; core experiment)")
+		maxSteps    = flag.Int("decompile-max-steps", 0, "decompile budget: max value-set worklist steps (0 = default; core experiment)")
+		maxStmts    = flag.Int("decompile-max-stmts", 0, "decompile budget: max translated statements (0 = default; core experiment)")
 	)
 	flag.Parse()
+	limits := decompiler.Limits{
+		MaxContexts:      *maxContexts,
+		MaxWorklistSteps: *maxSteps,
+		MaxStatements:    *maxStmts,
+	}
 	if *progress {
 		bench.SetProgressOutput(os.Stderr)
 	}
@@ -48,7 +57,7 @@ func main() {
 		defer f.Close()
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*exp, *n, *seed, *workers, *par, *jsonPath); err != nil {
+	if err := run(*exp, *n, *seed, *workers, *par, *jsonPath, limits); err != nil {
 		fatal(err)
 	}
 	if *memProfile != "" {
@@ -69,8 +78,8 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(exp string, n int, seed int64, workers, parallelism int, jsonPath string) error {
-	runners := experimentRunners(n, seed, workers, parallelism, jsonPath)
+func run(exp string, n int, seed int64, workers, parallelism int, jsonPath string, limits decompiler.Limits) error {
+	runners := experimentRunners(n, seed, workers, parallelism, jsonPath, limits)
 	if exp != "all" {
 		r, ok := runners[exp]
 		if !ok {

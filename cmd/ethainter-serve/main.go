@@ -10,6 +10,8 @@
 //	                [-cache-entries N] [-batch-workers N] [-parallelism P]
 //	                [-max-body N] [-read-timeout 10s] [-write-timeout 2m]
 //	                [-idle-timeout 2m] [-shutdown-grace 15s]
+//	                [-decompile-max-contexts N] [-decompile-max-steps N]
+//	                [-decompile-max-stmts N]
 //
 // Endpoints: POST /analyze (hex runtime bytecode or mini-Solidity source),
 // POST /batch (JSON array of such inputs), POST /compile, POST /exploit,
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"ethainter/internal/core"
+	"ethainter/internal/decompiler"
 	"ethainter/internal/server"
 )
 
@@ -45,6 +48,7 @@ type options struct {
 	batchWorkers int
 	parallelism  int
 	maxBody      int64
+	limits       decompiler.Limits
 }
 
 func parseFlags(args []string) (options, error) {
@@ -61,6 +65,9 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&opts.batchWorkers, "batch-workers", 0, "per-request /batch worker pool size (0 = default)")
 	fs.IntVar(&opts.parallelism, "parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core); multiplies with -max-inflight request concurrency")
 	fs.Int64Var(&opts.maxBody, "max-body", 1<<20, "max request body bytes")
+	fs.IntVar(&opts.limits.MaxContexts, "decompile-max-contexts", 0, "decompile budget: max (block, depth) contexts per contract (0 = default); exhaustion is a deterministic 422, negatively cached")
+	fs.IntVar(&opts.limits.MaxWorklistSteps, "decompile-max-steps", 0, "decompile budget: max value-set worklist steps (0 = default)")
+	fs.IntVar(&opts.limits.MaxStatements, "decompile-max-stmts", 0, "decompile budget: max translated statements (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return opts, err
 	}
@@ -74,6 +81,7 @@ func parseFlags(args []string) (options, error) {
 func run(opts options, logger *slog.Logger, ready chan<- net.Addr, shutdown <-chan os.Signal) error {
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = opts.parallelism
+	cfg.DecompileLimits = opts.limits
 	srv := server.NewWithCache(cfg, core.NewCache(opts.cacheEntries))
 	srv.Timeout = opts.timeout
 	srv.MaxInFlight = opts.maxInFlight

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -34,6 +35,9 @@ func main() {
 		engine       = flag.String("engine", "go", "fixpoint engine: go (compiled worklist) or datalog (declarative rules)")
 		par          = flag.Int("parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core; go engine ignores it)")
 		timings      = flag.Bool("timings", false, "print the per-stage timing breakdown (datalog engine)")
+		maxContexts  = flag.Int("decompile-max-contexts", 0, "decompile budget: max (block, depth) contexts (0 = default)")
+		maxSteps     = flag.Int("decompile-max-steps", 0, "decompile budget: max value-set worklist steps (0 = default)")
+		maxStmts     = flag.Int("decompile-max-stmts", 0, "decompile budget: max translated statements (0 = default)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ethainter [flags] <contract.msol | contract.hex>\n")
@@ -49,6 +53,11 @@ func main() {
 	cfg.ModelStorageTaint = !*noStorage
 	cfg.ConservativeStorage = *conservative
 	cfg.Parallelism = *par
+	cfg.DecompileLimits = decompiler.Limits{
+		MaxContexts:      *maxContexts,
+		MaxWorklistSteps: *maxSteps,
+		MaxStatements:    *maxStmts,
+	}
 	if err := run(flag.Arg(0), cfg, *engine, *showIR, *showAsm, *timings); err != nil {
 		fmt.Fprintf(os.Stderr, "ethainter: %v\n", err)
 		os.Exit(1)
@@ -114,7 +123,7 @@ func runGoEngine(code []byte, cfg ethainter.Config) error {
 // -parallelism knob fans out — and prints the (kind, pc) violations plus,
 // on request, the engine's stage breakdown.
 func runDatalogEngine(code []byte, cfg ethainter.Config, timings bool) error {
-	prog, err := decompiler.Decompile(code)
+	prog, err := decompiler.DecompileContext(context.Background(), code, cfg.DecompileLimits)
 	if err != nil {
 		return err
 	}

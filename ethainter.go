@@ -79,6 +79,34 @@ func AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Config) (*Repo
 	return core.AnalyzeBytecodeContext(ctx, code, cfg)
 }
 
+// DecompileLimits is the decompilation work budget carried by
+// Config.DecompileLimits: MaxContexts bounds (block, stack-depth)
+// specializations, MaxWorklistSteps the value-set fixpoint, MaxStatements
+// emitted TAC. The zero value selects the defaults, which reproduce the
+// unbudgeted decompiler exactly; exhausting any budget is a deterministic
+// error matching ErrBudgetExhausted.
+type DecompileLimits = decompiler.Limits
+
+// DefaultDecompileLimits returns the production work budgets.
+func DefaultDecompileLimits() DecompileLimits { return decompiler.DefaultLimits() }
+
+// ErrBudgetExhausted classifies deterministic decompilation-budget failures;
+// test with errors.Is or IsBudgetExhaustion.
+var ErrBudgetExhausted = decompiler.ErrBudgetExhausted
+
+// IsCancellation reports whether an analysis error is a context cancellation
+// or deadline — the caller's budget, never memoized by Cache.
+func IsCancellation(err error) bool { return core.IsCancellation(err) }
+
+// IsBudgetExhaustion reports whether an analysis error is a deterministic
+// decompilation work-budget failure — a property of (bytecode, limits) that
+// Cache memoizes negatively.
+func IsBudgetExhaustion(err error) bool { return core.IsBudgetExhaustion(err) }
+
+// IsInternal reports whether an analysis error is a recovered analyzer panic
+// (an analyzer defect, not an input property).
+func IsInternal(err error) bool { return core.IsInternal(err) }
+
 // Cache memoizes decompilation and analysis reports across a sweep,
 // content-addressed by keccak-256 of the runtime bytecode and a config
 // fingerprint — the unique-contract deduplication of the paper's Section 6.

@@ -10,6 +10,7 @@ import (
 	"ethainter/internal/core"
 	"ethainter/internal/corpus"
 	"ethainter/internal/crypto"
+	"ethainter/internal/decompiler"
 )
 
 // StageNS is a per-stage wall-clock breakdown in nanoseconds, summed over a
@@ -75,14 +76,17 @@ type CoreBenchResult struct {
 // production config: once analyzing every contract from scratch, once through
 // a core.Cache. The synthetic corpus reuses bytecodes across contracts the way
 // the chain does (the paper dedups ~2.5M deployed contracts down to ~240K
-// unique ones), so the cached sweep's hit rate is the headline number.
-func CoreBench(n int, seed int64, workers, parallelism int) *CoreBenchResult {
+// unique ones), so the cached sweep's hit rate is the headline number. The
+// limits are the decompilation work budget (zero value = defaults), letting
+// the bench measure the cost of tighter budgets under real sweep load.
+func CoreBench(n int, seed int64, workers, parallelism int, limits decompiler.Limits) *CoreBenchResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	contracts := corpus.Generate(corpus.DefaultProfile(n, seed))
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = parallelism
+	cfg.DecompileLimits = limits
 
 	unique := map[[32]byte]bool{}
 	for _, c := range contracts {

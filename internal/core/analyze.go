@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -85,21 +84,32 @@ func analyze(ctx context.Context, prog *tac.Program, cfg Config, reference bool)
 	return r, nil
 }
 
-// AnalyzeBytecode decompiles and analyzes runtime bytecode.
+// AnalyzeBytecode decompiles and analyzes runtime bytecode under the
+// config's decompilation budgets.
 func AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
 	return AnalyzeBytecodeContext(context.Background(), code, cfg)
 }
 
-// AnalyzeBytecodeContext is AnalyzeBytecode with cancellation: the returned
-// error is ctx.Err() when the deadline expires or the caller disconnects
-// before the analysis converges.
-func AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Config) (*Report, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+// AnalyzeBytecodeContext is AnalyzeBytecode with cancellation and resource
+// governance, end to end: the decompiler's value-set fixpoint, translation,
+// and function discovery all poll ctx on a cheap stride and charge against
+// cfg.DecompileLimits, and the analysis fixpoint polls ctx between passes.
+// The returned error is ctx.Err() when the deadline expires or the caller
+// disconnects (classify with IsCancellation), a decompiler.ErrBudgetExhausted
+// wrapper when the bytecode demands more work than the budget allows
+// (IsBudgetExhaustion — deterministic, cacheable), or an ErrInternal wrapper
+// when a panic was recovered at this boundary (IsInternal). There is
+// deliberately no pre-flight ctx check here: cancellation is enforced by the
+// real polling inside the pipeline, which an already-expired context trips
+// on its first stride.
+func AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Config) (rep *Report, err error) {
+	defer recoverToError(&err)
 	t0 := time.Now()
-	prog, err := decompiler.Decompile(code)
+	prog, err := decompiler.DecompileContext(ctx, code, cfg.DecompileLimits)
 	if err != nil {
+		if IsCancellation(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("ethainter: %w", err)
 	}
 	decompileTime := time.Since(t0)
@@ -109,13 +119,6 @@ func AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Config) (*Repo
 	}
 	r.Stats.Timings.Decompile = decompileTime
 	return r, nil
-}
-
-// IsCancellation reports whether err is a context cancellation or deadline
-// error — the class of analysis failures that reflect the caller's budget
-// rather than the bytecode, and that the Cache therefore never memoizes.
-func IsCancellation(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // detect runs the five vulnerability detectors of Section 3 over the fixpoint

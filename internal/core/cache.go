@@ -13,10 +13,12 @@ import (
 
 // Fingerprint returns a stable digest of the configuration. Cache entries
 // are partitioned by it: reports computed under different configs never
-// alias. Every behavior-affecting Config field must be folded in here.
-// Parallelism is deliberately NOT folded in: it changes only how the Datalog
-// fixpoint is scheduled, never what it derives, so reports computed at
-// different worker counts are interchangeable and share cache entries.
+// alias. Every behavior-affecting Config field must be folded in here —
+// including the decompilation budgets, normalized first so the zero value
+// and explicit defaults fingerprint identically. Parallelism is deliberately
+// NOT folded in: it changes only how the Datalog fixpoint is scheduled,
+// never what it derives, so reports computed at different worker counts are
+// interchangeable and share cache entries.
 func (c Config) Fingerprint() uint64 {
 	bits := byte(0)
 	if c.ModelGuards {
@@ -31,7 +33,12 @@ func (c Config) Fingerprint() uint64 {
 	if c.InferOwnerSinks {
 		bits |= 1 << 3
 	}
-	h := crypto.Keccak256([]byte("ethainter-config-v1"), []byte{bits})
+	lim := c.DecompileLimits.Normalized()
+	var limBytes [24]byte
+	binary.BigEndian.PutUint64(limBytes[0:], uint64(lim.MaxContexts))
+	binary.BigEndian.PutUint64(limBytes[8:], uint64(lim.MaxWorklistSteps))
+	binary.BigEndian.PutUint64(limBytes[16:], uint64(lim.MaxStatements))
+	h := crypto.Keccak256([]byte("ethainter-config-v2"), []byte{bits}, limBytes[:])
 	return binary.BigEndian.Uint64(h[:8])
 }
 
@@ -63,6 +70,15 @@ type reportEntry struct {
 	err error
 }
 
+// progKey addresses one decompiled program: bytecode hash plus the
+// normalized decompilation budget. Programs are shared across analysis
+// configs but never across budgets — a bytecode near a limit decompiles
+// under one budget and exhausts another.
+type progKey struct {
+	code   [32]byte
+	limits decompiler.Limits
+}
+
 type progEntry struct {
 	prog *tac.Program
 	err  error
@@ -89,8 +105,8 @@ type Cache struct {
 
 	reports     map[reportKey]reportEntry
 	reportOrder []reportKey
-	progs       map[[32]byte]progEntry
-	progOrder   [][32]byte
+	progs       map[progKey]progEntry
+	progOrder   []progKey
 	pending     map[reportKey]*inflight
 
 	stats CacheStats
@@ -110,7 +126,7 @@ func NewCache(maxEntries int) *Cache {
 	return &Cache{
 		maxEntries: maxEntries,
 		reports:    map[reportKey]reportEntry{},
-		progs:      map[[32]byte]progEntry{},
+		progs:      map[progKey]progEntry{},
 		pending:    map[reportKey]*inflight{},
 	}
 }
@@ -127,8 +143,10 @@ func (c *Cache) Stats() CacheStats {
 // AnalyzeBytecode is the cached equivalent of the package-level
 // AnalyzeBytecode. On a hit the memoized Report is returned directly (shared,
 // so callers must treat reports as immutable — everything else in this
-// repository already does). Decompile errors are cached negatively: retrying
-// a hostile bytecode costs one lookup, not one decompilation.
+// repository already does). Decompile errors — including budget exhaustion,
+// which is deterministic for a (bytecode, limits) pair — are cached
+// negatively: retrying a hostile bytecode costs one lookup, not seconds of
+// re-decompilation.
 func (c *Cache) AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
 	return c.AnalyzeBytecodeContext(context.Background(), code, cfg)
 }
@@ -181,12 +199,17 @@ func (c *Cache) AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Con
 	return fl.rep, fl.err
 }
 
-func (c *Cache) computeReport(ctx context.Context, key reportKey, code []byte, cfg Config) (*Report, error) {
-	prog, decompileTime, err := c.decompile(key.code, code)
+// computeReport runs decompile + analysis under ctx and cfg's budgets. The
+// deferred recover converts any residual panic on hostile bytecode into
+// ErrInternal so one poisonous input can never take down a serving process —
+// the same guarantee the uncached AnalyzeBytecodeContext boundary makes.
+func (c *Cache) computeReport(ctx context.Context, key reportKey, code []byte, cfg Config) (rep *Report, err error) {
+	defer recoverToError(&err)
+	prog, decompileTime, err := c.decompile(ctx, key.code, code, cfg.DecompileLimits)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := AnalyzeContext(ctx, prog, cfg)
+	rep, err = AnalyzeContext(ctx, prog, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -195,29 +218,33 @@ func (c *Cache) computeReport(ctx context.Context, key reportKey, code []byte, c
 }
 
 // decompile returns the (shared, read-only) decompiled program for the
-// bytecode, computing and memoizing it on first use. The recorded duration
-// is zero on a hit: the sweep did not pay for it again.
-func (c *Cache) decompile(hash [32]byte, code []byte) (*tac.Program, time.Duration, error) {
+// (bytecode, budget) pair, computing and memoizing it on first use. The
+// recorded duration is zero on a hit: the sweep did not pay for it again.
+// Deterministic failures — including budget exhaustion — are memoized;
+// cancellations are not, since they reflect the caller's deadline rather
+// than the bytecode.
+func (c *Cache) decompile(ctx context.Context, hash [32]byte, code []byte, limits decompiler.Limits) (*tac.Program, time.Duration, error) {
+	key := progKey{code: hash, limits: limits.Normalized()}
 	c.mu.Lock()
-	if e, ok := c.progs[hash]; ok {
+	if e, ok := c.progs[key]; ok {
 		c.mu.Unlock()
 		return e.prog, 0, e.err
 	}
 	c.mu.Unlock()
 
 	t0 := time.Now()
-	prog, err := decompiler.Decompile(code)
+	prog, err := decompiler.DecompileContext(ctx, code, limits)
 	elapsed := time.Since(t0)
 
 	c.mu.Lock()
-	if _, ok := c.progs[hash]; !ok {
+	if _, ok := c.progs[key]; !ok && !IsCancellation(err) {
 		if len(c.progs) >= c.maxEntries && len(c.progOrder) > 0 {
 			delete(c.progs, c.progOrder[0])
 			c.progOrder = c.progOrder[1:]
 			c.stats.Evictions++
 		}
-		c.progs[hash] = progEntry{prog: prog, err: err}
-		c.progOrder = append(c.progOrder, hash)
+		c.progs[key] = progEntry{prog: prog, err: err}
+		c.progOrder = append(c.progOrder, key)
 	}
 	c.mu.Unlock()
 	return prog, elapsed, err

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"ethainter/internal/decompiler"
 	"ethainter/internal/u256"
 )
 
@@ -47,6 +48,14 @@ type Config struct {
 	// order deterministic — so this knob is deliberately excluded from
 	// Fingerprint and cache entries are shared across settings.
 	Parallelism int
+	// DecompileLimits is the decompilation work budget: max (block, depth)
+	// contexts, max value-set worklist steps, and max translated statements.
+	// The zero value selects the decompiler defaults (which reproduce the
+	// historical constants exactly). Unlike Parallelism, the limits change
+	// outcomes — a contract near a budget decompiles under one setting and
+	// fails under another — so they ARE folded into Fingerprint and cache
+	// entries never alias across budgets.
+	DecompileLimits decompiler.Limits
 }
 
 // DefaultConfig is the production Ethainter configuration.

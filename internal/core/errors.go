@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"ethainter/internal/decompiler"
+)
+
+// ErrInternal is the class of analysis failures caused by a defect in the
+// analyzer itself rather than by the input or the caller's budget: a panic
+// recovered at the AnalyzeBytecode* boundary. The serving layer maps it to
+// 500 and counts it separately, so operators can tell "our bug" from
+// "hostile input" from "client deadline" at a glance.
+var ErrInternal = errors.New("core: internal analyzer error")
+
+// PanicError wraps a panic recovered at the analysis boundary. It matches
+// ErrInternal via errors.Is and carries the panic value plus the stack at
+// recovery time for debugging.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: internal analyzer error: panic: %v", e.Value)
+}
+
+// Is classifies every recovered panic as ErrInternal.
+func (e *PanicError) Is(target error) bool { return target == ErrInternal }
+
+// recoverToError is deferred at the AnalyzeBytecode* boundary: it converts a
+// residual panic on hostile bytecode into a *PanicError so a single
+// poisonous input degrades to one failed request instead of taking down the
+// process. Reaching it is always an analyzer bug — the fuzzers treat any
+// PanicError as a failure — but a server must survive bugs it has not found
+// yet.
+func recoverToError(err *error) {
+	if v := recover(); v != nil {
+		*err = &PanicError{Value: v, Stack: debug.Stack()}
+	}
+}
+
+// IsCancellation reports whether err is a context cancellation or deadline
+// error — the class of analysis failures that reflect the caller's budget
+// rather than the bytecode, and that the Cache therefore never memoizes.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// IsBudgetExhaustion reports whether err is a deterministic decompilation
+// work-budget failure (decompiler.ErrBudgetExhausted). Unlike a
+// cancellation, the same bytecode under the same Config fails identically
+// every time, so the Cache memoizes these negatively.
+func IsBudgetExhaustion(err error) bool {
+	return errors.Is(err, decompiler.ErrBudgetExhausted)
+}
+
+// IsInternal reports whether err is a recovered analyzer panic.
+func IsInternal(err error) bool {
+	return errors.Is(err, ErrInternal)
+}

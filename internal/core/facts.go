@@ -267,6 +267,18 @@ func (f *facts) classifyStorage() {
 
 // classifyAddr resolves a storage address variable.
 func (f *facts) classifyAddr(v tac.VarID) addrClass {
+	return f.classifyAddrRec(v, nil)
+}
+
+// classifyAddrRec is classifyAddr with cycle detection: hostile bytecode can
+// tie a SHA3's slot word (through memory) or a phi chain back to the variable
+// being classified, and the recursion must bottom out as addrUnknown instead
+// of overflowing the stack — a stack overflow is a fatal runtime error the
+// analysis boundary's recover cannot convert.
+func (f *facts) classifyAddrRec(v tac.VarID, seen map[tac.VarID]bool) addrClass {
+	if seen[v] {
+		return addrClass{kind: addrUnknown}
+	}
 	if c, ok := f.constOf[v]; ok {
 		return addrClass{kind: addrConst, slot: c}
 	}
@@ -274,6 +286,10 @@ func (f *facts) classifyAddr(v tac.VarID) addrClass {
 	if def == nil {
 		return addrClass{kind: addrUnknown}
 	}
+	if seen == nil {
+		seen = map[tac.VarID]bool{}
+	}
+	seen[v] = true
 	switch def.Op {
 	case tac.Sha3:
 		// The Solidity mapping layout: SHA3 over [key (32) ++ slotWord (32)].
@@ -291,7 +307,7 @@ func (f *facts) classifyAddr(v tac.VarID) addrClass {
 			return addrClass{kind: addrElem, slot: base, keys: []tac.VarID{keyVar}}
 		}
 		// Nested mapping: the slot word is itself an element address.
-		inner := f.classifyAddr(slotVar)
+		inner := f.classifyAddrRec(slotVar, seen)
 		if inner.kind == addrElem {
 			keys := append(append([]tac.VarID{}, inner.keys...), keyVar)
 			return addrClass{kind: addrElem, slot: inner.slot, keys: keys}
@@ -304,7 +320,7 @@ func (f *facts) classifyAddr(v tac.VarID) addrClass {
 			if a == v {
 				continue
 			}
-			c := f.classifyAddr(a)
+			c := f.classifyAddrRec(a, seen)
 			if agg == nil {
 				cc := c
 				agg = &cc

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/decompiler"
+	"ethainter/internal/minisol"
+)
+
+// FuzzAnalyzeBytecode mutates full runtime bytecodes through the entire
+// pipeline — decompile, facts, guards, fixpoint, detect — under tight work
+// budgets and a hard deadline. It enforces the boundary contract the server
+// depends on:
+//
+//   - exactly one of (report, error) is set;
+//   - no input produces an internal (recovered-panic) error;
+//   - every non-cancellation failure is deterministic, so the negative cache
+//     cannot memoize an error that a retry would not reproduce.
+//
+// The committed seed corpus (testdata/fuzz/FuzzAnalyzeBytecode) holds
+// synthetic-corpus contracts plus the adversarial ctx-explosion inputs, so
+// plain `go test` already replays the interesting shapes; `make fuzz-smoke`
+// runs the mutation engine proper.
+func FuzzAnalyzeBytecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x60})                               // truncated PUSH1
+	f.Add([]byte{0x5b, 0x56})                         // JUMPDEST; JUMP (dynamic)
+	f.Add(minisol.MustCompile(minisol.VictimSource).Runtime)
+	for _, c := range corpus.Generate(corpus.DefaultProfile(4, 20200615)) {
+		f.Add(c.Runtime)
+	}
+
+	// Tight budgets keep the worst mutants to milliseconds; the deadline is a
+	// backstop that should never fire (a firing deadline is a missed
+	// cancellation poll, which the determinism check below would flag).
+	limits := decompiler.Limits{MaxContexts: 500, MaxWorklistSteps: 20000, MaxStatements: 50000}
+
+	f.Fuzz(func(t *testing.T, code []byte) {
+		if len(code) > 24576 {
+			t.Skip("beyond the EIP-170 deployed-code cap")
+		}
+		cfg := core.DefaultConfig()
+		cfg.DecompileLimits = limits
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+
+		rep, err := core.AnalyzeBytecodeContext(ctx, code, cfg)
+		if (rep == nil) == (err == nil) {
+			t.Fatalf("report/error invariant broken: rep=%v err=%v", rep, err)
+		}
+		if err == nil {
+			return
+		}
+		if core.IsInternal(err) {
+			t.Fatalf("recovered panic escaped the analyzer: %v", err)
+		}
+		if core.IsCancellation(err) {
+			return // the backstop fired; nothing deterministic to check
+		}
+		rep2, err2 := core.AnalyzeBytecodeContext(context.Background(), code, cfg)
+		if rep2 != nil || err2 == nil || err2.Error() != err.Error() {
+			t.Fatalf("non-cancellation error not deterministic: %q then (%v, %v)", err, rep2, err2)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ethainter/internal/core"
+	"ethainter/internal/decompiler"
+)
+
+// hostileBytecode loads one committed adversarial input from the decompiler's
+// corpus; these drive the value-set fixpoint into seconds of work before
+// exhausting the default contexts budget.
+func hostileBytecode(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "decompiler", "testdata", "hostile", name))
+	if err != nil {
+		t.Fatalf("hostile corpus: %v", err)
+	}
+	code, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}
+
+// TestHostileDeadlineRegression is the end-to-end serving-latency contract: a
+// full-pipeline analysis of the worst-case hostile input under a 50ms
+// deadline must return a cancellation error within 2x the deadline. Before
+// the decompiler polled its context, this input pinned a worker for the full
+// multi-second fixpoint regardless of the caller's deadline.
+func TestHostileDeadlineRegression(t *testing.T) {
+	code := hostileBytecode(t, "ctx-explosion-312b.hex")
+	const deadline = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+
+	start := time.Now()
+	rep, err := core.AnalyzeBytecodeContext(ctx, code, core.DefaultConfig())
+	elapsed := time.Since(start)
+
+	if rep != nil || !core.IsCancellation(err) {
+		t.Fatalf("got (%v, %v), want a cancellation error", rep, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 2*deadline {
+		t.Errorf("returned after %v, want <= %v (2x the deadline)", elapsed, 2*deadline)
+	}
+}
+
+// TestBudgetExhaustionNegativelyCached pins the error-memoization split: a
+// deterministic budget-exhaustion failure is served from the negative cache
+// on the second request (a hit, no re-analysis), while the cancellation path
+// exercised by TestCacheNeverMemoizesCancellation is never memoized. A tight
+// step budget makes the hostile input fail in milliseconds instead of
+// seconds.
+func TestBudgetExhaustionNegativelyCached(t *testing.T) {
+	code := hostileBytecode(t, "ctx-explosion-356b.hex")
+	cache := core.NewCache(0)
+	cfg := core.DefaultConfig()
+	cfg.DecompileLimits = decompiler.Limits{MaxWorklistSteps: 2000}
+
+	_, err := cache.AnalyzeBytecodeContext(context.Background(), code, cfg)
+	if !core.IsBudgetExhaustion(err) {
+		t.Fatalf("first request: err = %v, want budget exhaustion", err)
+	}
+	if core.IsCancellation(err) {
+		t.Fatalf("budget exhaustion misclassified as cancellation: %v", err)
+	}
+
+	_, err2 := cache.AnalyzeBytecodeContext(context.Background(), code, cfg)
+	if !core.IsBudgetExhaustion(err2) || err2.Error() != err.Error() {
+		t.Fatalf("second request: err = %v, want the memoized %v", err2, err)
+	}
+	s := cache.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want exactly 1 miss then 1 hit (negative cache)", s)
+	}
+}
+
+// TestBudgetScopedByConfig: the same bytecode under different budgets is a
+// different cache entry — a tight-budget failure must not shadow a
+// default-budget success, and vice versa.
+func TestBudgetScopedByConfig(t *testing.T) {
+	code := hostileBytecode(t, "ctx-explosion-356b.hex")
+	cache := core.NewCache(0)
+
+	tight := core.DefaultConfig()
+	tight.DecompileLimits = decompiler.Limits{MaxWorklistSteps: 2000}
+	if _, err := cache.AnalyzeBytecodeContext(context.Background(), code, tight); !core.IsBudgetExhaustion(err) {
+		t.Fatalf("tight budget: err = %v, want budget exhaustion", err)
+	}
+
+	var be *decompiler.BudgetError
+	loose := core.DefaultConfig()
+	_, err := cache.AnalyzeBytecodeContext(context.Background(), code, loose)
+	if !core.IsBudgetExhaustion(err) || !errors.As(err, &be) || be.Resource != "contexts" {
+		t.Fatalf("default budget: err = %v, want a contexts budget error", err)
+	}
+	if s := cache.Stats(); s.Hits != 0 || s.Misses != 2 {
+		t.Errorf("stats = %+v, want 2 misses (distinct configs must not share entries)", s)
+	}
+}

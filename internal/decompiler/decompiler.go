@@ -24,6 +24,7 @@
 package decompiler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -33,11 +34,10 @@ import (
 	"ethainter/internal/u256"
 )
 
-// Limits protecting against pathological bytecode.
-const (
-	maxConstSet = 16   // constants tracked per abstract stack slot
-	maxContexts = 6000 // (block, depth) specializations per contract
-)
+// maxConstSet bounds the constants tracked per abstract stack slot; past it a
+// slot widens to ⊤. Unlike the work budgets of Limits it changes *what* the
+// analysis derives, not how long it runs, so it stays a fixed constant.
+const maxConstSet = 16
 
 // Decompilation failure classes.
 var (
@@ -208,10 +208,24 @@ type resolver struct {
 	states   map[ctxKey][]absVal
 	preds    map[ctxKey]map[ctxKey]bool
 	worklist []ctxKey
+	budget   *budget
 }
 
-// Decompile lifts runtime bytecode into a tac.Program.
+// Decompile lifts runtime bytecode into a tac.Program under the default work
+// budgets and no cancellation — the historical entry point, byte-for-byte
+// equivalent to DecompileContext(context.Background(), code, Limits{}).
 func Decompile(code []byte) (*tac.Program, error) {
+	return DecompileContext(context.Background(), code, Limits{})
+}
+
+// DecompileContext lifts runtime bytecode into a tac.Program, polling ctx on
+// a cheap stride and charging every phase — the context-sensitive value-set
+// fixpoint, the translation to TAC, and function discovery — against the
+// given work budget. A cancelled or expired ctx surfaces as ctx.Err() within
+// microseconds of the poll stride; an exhausted budget surfaces as a
+// *BudgetError wrapping ErrBudgetExhausted, which is deterministic for the
+// (bytecode, limits) pair and therefore safe for callers to memoize.
+func DecompileContext(ctx context.Context, code []byte, limits Limits) (*tac.Program, error) {
 	raw, err := splitBlocks(code)
 	if err != nil {
 		return nil, err
@@ -222,6 +236,7 @@ func Decompile(code []byte) (*tac.Program, error) {
 		dests:  evm.JumpDests(code),
 		states: map[ctxKey][]absVal{},
 		preds:  map[ctxKey]map[ctxKey]bool{},
+		budget: newBudget(ctx, limits),
 	}
 	if err := r.fixpoint(); err != nil {
 		return nil, err
@@ -230,7 +245,9 @@ func Decompile(code []byte) (*tac.Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	discoverFunctions(prog)
+	if err := discoverFunctions(r.budget, prog); err != nil {
+		return nil, err
+	}
 	return prog, nil
 }
 
@@ -239,6 +256,9 @@ func (r *resolver) fixpoint() error {
 	r.states[entry] = nil
 	r.worklist = append(r.worklist, entry)
 	for len(r.worklist) > 0 {
+		if err := r.budget.chargeStep(); err != nil {
+			return err
+		}
 		key := r.worklist[len(r.worklist)-1]
 		r.worklist = r.worklist[:len(r.worklist)-1]
 		succs, exit, err := r.simulate(key, r.states[key])
@@ -261,8 +281,8 @@ func (r *resolver) propagate(from, to ctxKey, exit []absVal) error {
 	r.preds[to][from] = true
 	old, seen := r.states[to]
 	if !seen {
-		if len(r.states) >= maxContexts {
-			return fmt.Errorf("%w: more than %d (block, depth) contexts", ErrContextExplosion, maxContexts)
+		if len(r.states) >= r.budget.limits.MaxContexts {
+			return &BudgetError{Resource: "contexts", Limit: r.budget.limits.MaxContexts}
 		}
 		cp := append([]absVal{}, exit...)
 		r.states[to] = cp
@@ -435,7 +455,12 @@ func (r *resolver) translate() (*tac.Program, error) {
 	})
 	for i, k := range keys {
 		b := &tac.Block{ID: i, PC: k.pc, Depth: k.depth}
-		// One phi per entry stack slot; slot 0 is the bottom.
+		// One phi per entry stack slot; slot 0 is the bottom. Phis count
+		// against the statement budget: deep-stack hostile contexts can
+		// demand orders of magnitude more phis than real statements.
+		if err := r.budget.chargeStmts(k.depth); err != nil {
+			return nil, err
+		}
 		for s := 0; s < k.depth; s++ {
 			phi := &tac.Stmt{Op: tac.Phi, Def: t.fresh(), PC: k.pc, Block: b}
 			b.Phis = append(b.Phis, phi)
@@ -452,6 +477,9 @@ func (r *resolver) translate() (*tac.Program, error) {
 	for _, k := range keys {
 		succs, err := t.emitBlock(k)
 		if err != nil {
+			return nil, err
+		}
+		if err := r.budget.chargeStmts(len(t.blocks[k].Stmts)); err != nil {
 			return nil, err
 		}
 		for _, s := range succs {

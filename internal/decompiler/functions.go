@@ -10,11 +10,24 @@ import (
 // discoverFunctions finds public entry points by recognizing the standard
 // Solidity dispatch pattern: the 4-byte selector is extracted from
 // CALLDATALOAD(0) with SHR 224 (or DIV 2^224 in older compilers) and compared
-// against constants, each match jumping to a function body.
-func discoverFunctions(p *tac.Program) {
+// against constants, each match jumping to a function body. The pass is
+// linear in (budget-bounded) statements, but it still polls the budget's
+// context on a stride so an expired deadline aborts here too instead of
+// finishing a pass the caller no longer wants.
+func discoverFunctions(b *budget, p *tac.Program) error {
+	var pollCount int
+	var pollErr error
+	poll := func() bool {
+		pollCount++
+		if pollErr == nil && pollCount%1024 == 0 {
+			pollErr = b.ctx.Err()
+		}
+		return pollErr == nil
+	}
+
 	selectorVars := findSelectorVars(p)
 	if len(selectorVars) == 0 {
-		return
+		return b.ctx.Err()
 	}
 	// A variable "carries the selector" if it is one of the extraction
 	// results or a phi fed (transitively) by one.
@@ -47,7 +60,7 @@ func discoverFunctions(p *tac.Program) {
 	var found []entry
 	seen := map[int]bool{} // dedupe per target pc
 	p.AllStmts(func(s *tac.Stmt) {
-		if s.Op != tac.Jumpi {
+		if !poll() || s.Op != tac.Jumpi {
 			return
 		}
 		condDef := p.DefSite(s.Args[1])
@@ -81,10 +94,14 @@ func discoverFunctions(p *tac.Program) {
 			}
 		}
 	})
+	if pollErr != nil {
+		return pollErr
+	}
 	sort.Slice(found, func(i, j int) bool { return found[i].selector.Cmp(found[j].selector) < 0 })
 	for _, f := range found {
 		p.Functions = append(p.Functions, &tac.PublicFunction{Selector: f.selector, Entry: f.block})
 	}
+	return nil
 }
 
 // findSelectorVars locates variables that hold CALLDATALOAD(0) >> 224 (or the

@@ -1,0 +1,147 @@
+package decompiler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Default work budgets. MaxContexts keeps its historical value (the old
+// hard-coded constant), so the default Limits reproduce the pre-budget
+// decompiler bit-for-bit on every input that ever decompiled successfully.
+// The step and statement defaults are sized two orders of magnitude above
+// anything the synthetic corpus produces: a legitimate contract never grazes
+// them, while hostile bytecode that drives the value-set fixpoint into
+// repeated widening is cut off deterministically instead of burning seconds
+// of CPU per request.
+const (
+	DefaultMaxContexts      = 6000    // (block, depth) specializations per contract
+	DefaultMaxWorklistSteps = 1 << 21 // block simulations in the value-set fixpoint
+	DefaultMaxStatements    = 1 << 20 // TAC statements emitted by translation
+)
+
+// Limits is the decompilation work budget. Every phase of DecompileContext
+// charges against it: the context-sensitive value-set fixpoint against
+// MaxContexts and MaxWorklistSteps, the translation phase against
+// MaxStatements. A zero or negative field selects its default, so the zero
+// value means "default budgets" and Limits composes cleanly as a config
+// field. Exhausting any budget returns a *BudgetError wrapping
+// ErrBudgetExhausted — a deterministic property of the bytecode (given the
+// limits), unlike a context cancellation, and therefore safe to cache
+// negatively.
+type Limits struct {
+	// MaxContexts bounds (block, entry-depth) specializations — the old
+	// package-level maxContexts constant made configurable.
+	MaxContexts int
+	// MaxWorklistSteps bounds block simulations in the value-set fixpoint.
+	// Hostile bytecode can re-simulate the same few contexts thousands of
+	// times while constant sets widen; this cap bounds that CPU regardless
+	// of how few contexts exist.
+	MaxWorklistSteps int
+	// MaxStatements bounds TAC statements emitted during translation.
+	MaxStatements int
+}
+
+// DefaultLimits returns the production budgets.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxContexts:      DefaultMaxContexts,
+		MaxWorklistSteps: DefaultMaxWorklistSteps,
+		MaxStatements:    DefaultMaxStatements,
+	}
+}
+
+// Normalized resolves zero/negative fields to their defaults. Callers that
+// fingerprint or compare Limits must normalize first so that the zero value
+// and explicit defaults are interchangeable.
+func (l Limits) Normalized() Limits {
+	if l.MaxContexts <= 0 {
+		l.MaxContexts = DefaultMaxContexts
+	}
+	if l.MaxWorklistSteps <= 0 {
+		l.MaxWorklistSteps = DefaultMaxWorklistSteps
+	}
+	if l.MaxStatements <= 0 {
+		l.MaxStatements = DefaultMaxStatements
+	}
+	return l
+}
+
+// ErrBudgetExhausted is the class of deterministic resource-budget failures:
+// the bytecode demanded more work than the configured Limits allow. Unlike a
+// context cancellation, re-running the same bytecode under the same limits
+// fails identically, so callers may memoize this error.
+var ErrBudgetExhausted = errors.New("decompiler: work budget exhausted")
+
+// BudgetError reports which budget a decompilation exhausted. It matches
+// ErrBudgetExhausted via errors.Is; the contexts resource additionally
+// matches the legacy ErrContextExplosion.
+type BudgetError struct {
+	Resource string // "contexts", "worklist steps", or "statements"
+	Limit    int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("decompiler: %s budget exhausted (limit %d)", e.Resource, e.Limit)
+}
+
+// Is classifies the error: every BudgetError is an ErrBudgetExhausted, and
+// the contexts budget keeps matching ErrContextExplosion for callers that
+// predate configurable limits.
+func (e *BudgetError) Is(target error) bool {
+	if target == ErrBudgetExhausted {
+		return true
+	}
+	return e.Resource == "contexts" && target == ErrContextExplosion
+}
+
+// budget is the charging state threaded through one decompilation: the
+// normalized limits, monotone work counters, and the cancellation context,
+// polled on a cheap stride so a deadline aborts within microseconds of
+// expiring even mid-fixpoint.
+type budget struct {
+	ctx    context.Context
+	limits Limits
+	steps  int // worklist block simulations
+	stmts  int // translated TAC statements
+}
+
+// pollStride is how many work units pass between context polls. Each unit
+// (one block simulation, one emitted statement) costs microseconds at most,
+// so a stride of 32 keeps cancellation latency far below any realistic
+// deadline while making the poll itself unmeasurable.
+const pollStride = 32
+
+func newBudget(ctx context.Context, limits Limits) *budget {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &budget{ctx: ctx, limits: limits.Normalized()}
+}
+
+// chargeStep charges one value-set fixpoint iteration, polling the context
+// on the stride.
+func (b *budget) chargeStep() error {
+	if b.steps%pollStride == 0 {
+		if err := b.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	b.steps++
+	if b.steps > b.limits.MaxWorklistSteps {
+		return &BudgetError{Resource: "worklist steps", Limit: b.limits.MaxWorklistSteps}
+	}
+	return nil
+}
+
+// chargeStmts charges n translated statements, polling the context once.
+func (b *budget) chargeStmts(n int) error {
+	if err := b.ctx.Err(); err != nil {
+		return err
+	}
+	b.stmts += n
+	if b.stmts > b.limits.MaxStatements {
+		return &BudgetError{Resource: "statements", Limit: b.limits.MaxStatements}
+	}
+	return nil
+}

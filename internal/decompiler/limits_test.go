@@ -1,0 +1,201 @@
+package decompiler_test
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ethainter/internal/decompiler"
+	"ethainter/internal/minisol"
+)
+
+// hostileCorpus loads every committed adversarial bytecode from
+// testdata/hostile, keyed by file name.
+func hostileCorpus(t *testing.T) map[string][]byte {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "hostile", "*.hex"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("hostile corpus missing: paths=%v err=%v", paths, err)
+	}
+	out := map[string][]byte{}
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		out[filepath.Base(p)] = code
+	}
+	return out
+}
+
+func TestLimitsNormalized(t *testing.T) {
+	if got := (decompiler.Limits{}).Normalized(); got != decompiler.DefaultLimits() {
+		t.Errorf("zero value normalizes to %+v, want defaults %+v", got, decompiler.DefaultLimits())
+	}
+	explicit := decompiler.Limits{MaxContexts: 7, MaxWorklistSteps: 8, MaxStatements: 9}
+	if got := explicit.Normalized(); got != explicit {
+		t.Errorf("explicit limits changed by Normalized: %+v", got)
+	}
+	partial := decompiler.Limits{MaxContexts: 7, MaxWorklistSteps: -1}
+	want := decompiler.Limits{MaxContexts: 7, MaxWorklistSteps: decompiler.DefaultMaxWorklistSteps, MaxStatements: decompiler.DefaultMaxStatements}
+	if got := partial.Normalized(); got != want {
+		t.Errorf("partial limits: got %+v, want %+v", got, want)
+	}
+	// The default contexts budget is the pre-budget hard-coded constant; the
+	// differential guarantee (default budgets == seed behavior) depends on it.
+	if decompiler.DefaultMaxContexts != 6000 {
+		t.Errorf("DefaultMaxContexts = %d, want the historical 6000", decompiler.DefaultMaxContexts)
+	}
+}
+
+func TestBudgetErrorClassification(t *testing.T) {
+	ctxErr := &decompiler.BudgetError{Resource: "contexts", Limit: 6000}
+	if !errors.Is(ctxErr, decompiler.ErrBudgetExhausted) {
+		t.Error("contexts BudgetError does not match ErrBudgetExhausted")
+	}
+	if !errors.Is(ctxErr, decompiler.ErrContextExplosion) {
+		t.Error("contexts BudgetError lost compatibility with ErrContextExplosion")
+	}
+	stepErr := &decompiler.BudgetError{Resource: "worklist steps", Limit: 10}
+	if !errors.Is(stepErr, decompiler.ErrBudgetExhausted) {
+		t.Error("steps BudgetError does not match ErrBudgetExhausted")
+	}
+	if errors.Is(stepErr, decompiler.ErrContextExplosion) {
+		t.Error("steps BudgetError must not masquerade as a context explosion")
+	}
+	if !strings.Contains(stepErr.Error(), "worklist steps budget exhausted (limit 10)") {
+		t.Errorf("unexpected message: %q", stepErr.Error())
+	}
+}
+
+// TestTinyBudgets drives a legitimate contract into each budget separately and
+// checks the error names the exhausted resource.
+func TestTinyBudgets(t *testing.T) {
+	out, err := minisol.CompileSource(minisol.VictimSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		limits   decompiler.Limits
+		resource string
+	}{
+		{"contexts", decompiler.Limits{MaxContexts: 1}, "contexts"},
+		{"steps", decompiler.Limits{MaxWorklistSteps: 1}, "worklist steps"},
+		{"statements", decompiler.Limits{MaxStatements: 1}, "statements"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog, err := decompiler.DecompileContext(context.Background(), out.Runtime, c.limits)
+			if prog != nil || !errors.Is(err, decompiler.ErrBudgetExhausted) {
+				t.Fatalf("got (%v, %v), want budget exhaustion", prog, err)
+			}
+			var be *decompiler.BudgetError
+			if !errors.As(err, &be) || be.Resource != c.resource {
+				t.Errorf("error %v does not name resource %q", err, c.resource)
+			}
+		})
+	}
+}
+
+// TestDefaultBudgetsMatchDecompile pins the differential guarantee: with
+// default budgets, DecompileContext produces the same program as the
+// budget-free entry point.
+func TestDefaultBudgetsMatchDecompile(t *testing.T) {
+	out, err := minisol.CompileSource(minisol.VictimSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := decompiler.Decompile(out.Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := decompiler.DecompileContext(context.Background(), out.Runtime, decompiler.DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != budgeted.String() {
+		t.Error("default budgets changed the decompiled program")
+	}
+}
+
+// TestHostileCorpusStaysHostile pins the adversarial corpus: every committed
+// bytecode must exhaust a work budget under default limits — deterministically
+// and with an identical error across runs, because budget errors are
+// negatively cached. If one of these starts decompiling cleanly, the
+// decompiler got more robust; regenerate the corpus rather than weakening the
+// test.
+//
+// Regeneration probe: take corpus.Generate(corpus.DefaultProfile(400,
+// 20200615)), mutate 1–8 random bytes of each runtime over a few thousand
+// seeds, decompile each mutant with default budgets under a multi-second
+// deadline, and keep the slowest inputs that end in ErrBudgetExhausted.
+func TestHostileCorpusStaysHostile(t *testing.T) {
+	// The worst case burns ~2.7s before exhausting its budget; keep the
+	// cheap determinism re-run to the faster files.
+	rerun := map[string]bool{"ctx-explosion-356b.hex": true, "ctx-explosion-312b-2.hex": true}
+	for name, code := range hostileCorpus(t) {
+		code := code
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := decompiler.DecompileContext(context.Background(), code, decompiler.Limits{})
+			if prog != nil || !errors.Is(err, decompiler.ErrBudgetExhausted) {
+				t.Fatalf("no longer hostile: got (%v, %v), want budget exhaustion", prog, err)
+			}
+			if !rerun[name] {
+				return
+			}
+			_, err2 := decompiler.DecompileContext(context.Background(), code, decompiler.Limits{})
+			if err2 == nil || err.Error() != err2.Error() {
+				t.Errorf("budget error not deterministic: %q vs %q", err, err2)
+			}
+		})
+	}
+}
+
+// TestHostileDeadlineHonored is the decompiler half of the serving-latency
+// contract: a 50ms deadline on the worst-case hostile input must abort the
+// fixpoint within a small multiple of the deadline, returning the context's
+// error rather than a budget error.
+func TestHostileDeadlineHonored(t *testing.T) {
+	code := hostileCorpus(t)["ctx-explosion-312b.hex"]
+	if code == nil {
+		t.Fatal("worst-case hostile input missing")
+	}
+	const deadline = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	prog, err := decompiler.DecompileContext(ctx, code, decompiler.Limits{})
+	elapsed := time.Since(start)
+	if prog != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got (%v, %v), want deadline exceeded", prog, err)
+	}
+	if elapsed > 2*deadline {
+		t.Errorf("deadline overshoot: returned after %v, want <= %v", elapsed, 2*deadline)
+	}
+}
+
+// TestPreCancelledContext: a context cancelled before the call aborts before
+// any fixpoint work.
+func TestPreCancelledContext(t *testing.T) {
+	out, err := minisol.CompileSource(minisol.VictimSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	prog, derr := decompiler.DecompileContext(ctx, out.Runtime, decompiler.Limits{})
+	if prog != nil || !errors.Is(derr, context.Canceled) {
+		t.Errorf("got (%v, %v), want context.Canceled", prog, derr)
+	}
+}

@@ -86,15 +86,43 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// The shared deadline may have expired while this item sat
+				// queued behind slow siblings; starting a full analysis
+				// against a dead context would only burn a pool worker, so
+				// short-circuit it to a per-item deadline error.
+				if err := ctx.Err(); err != nil {
+					items[i] = BatchItemJSON{Index: i, Error: err.Error()}
+					s.metrics.recordFailure("/batch", failCancel)
+					continue
+				}
 				items[i] = s.analyzeBatchItem(ctx, i, inputs[i])
 			}
 		}()
 	}
+	// The feed loop itself also stops dispatching once the shared deadline is
+	// gone — without this select, every remaining item would still be handed
+	// to a worker after expiry.
+feed:
 	for i := range inputs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+
+	// Items never dispatched (the feed loop broke out) carry neither a report
+	// nor an error; fill them with the shared context's error.
+	if err := ctx.Err(); err != nil {
+		for i := range items {
+			if items[i].Report == nil && items[i].Error == "" {
+				items[i] = BatchItemJSON{Index: i, Error: err.Error()}
+				s.metrics.recordFailure("/batch", failCancel)
+			}
+		}
+	}
 
 	out := BatchJSON{Items: items}
 	for _, it := range items {
@@ -110,14 +138,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // fail its siblings.
 func (s *Server) analyzeBatchItem(ctx context.Context, i int, input string) BatchItemJSON {
 	if strings.TrimSpace(input) == "" {
+		s.metrics.recordFailure("/batch", failDecode)
 		return BatchItemJSON{Index: i, Error: "empty input"}
 	}
 	runtime, _, err := decodeInput([]byte(input))
 	if err != nil {
+		s.metrics.recordFailure("/batch", failDecode)
 		return BatchItemJSON{Index: i, Error: err.Error()}
 	}
 	rep, err := s.cache.AnalyzeBytecodeContext(ctx, runtime, s.cfg)
 	if err != nil {
+		s.metrics.recordFailure("/batch", classifyFailure(err))
 		return BatchItemJSON{Index: i, Error: err.Error()}
 	}
 	s.metrics.recordStages(rep.Stats.Timings)

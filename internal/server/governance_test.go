@@ -1,0 +1,179 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ethainter/internal/core"
+	"ethainter/internal/decompiler"
+	"ethainter/internal/server"
+)
+
+// hostileHex loads one adversarial bytecode from the decompiler's committed
+// corpus as a 0x-prefixed /analyze body.
+func hostileHex(t *testing.T, name string) string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "decompiler", "testdata", "hostile", name))
+	if err != nil {
+		t.Fatalf("hostile corpus: %v", err)
+	}
+	return "0x" + strings.TrimSpace(string(raw))
+}
+
+func getStats(t *testing.T, ts *httptest.Server) server.StatszJSON {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats server.StatszJSON
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decoding /statsz: %v", err)
+	}
+	return stats
+}
+
+// TestBatchShortCircuitAfterDeadline pins the /batch bugfix: once the shared
+// request deadline expires, the feed loop stops dispatching and workers
+// short-circuit queued items, so every remaining item gets a per-item
+// deadline error and no analysis is launched against the dead context — the
+// cache records zero lookups.
+func TestBatchShortCircuitAfterDeadline(t *testing.T) {
+	srv, ts := newServer(t, func(s *server.Server) {
+		s.Timeout = time.Nanosecond
+		s.BatchWorkers = 2
+	})
+	inputs := make([]string, 8)
+	for i := range inputs {
+		inputs[i] = killableHex(t)
+	}
+	payload, err := json.Marshal(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, ts, "/batch", string(payload))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out server.BatchJSON
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed != len(inputs) {
+		t.Fatalf("failed = %d, want all %d items (%s)", out.Failed, len(inputs), body)
+	}
+	for _, item := range out.Items {
+		if item.Report != nil || !strings.Contains(item.Error, "deadline") {
+			t.Errorf("item %d = %+v, want a deadline error", item.Index, item)
+		}
+	}
+	// The short-circuit must fire before decode and analysis: nothing reached
+	// the cache.
+	if s := srv.Cache().Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("cache touched despite expired deadline: %+v", s)
+	}
+	stats := getStats(t, ts)
+	if got := stats.Endpoints["/batch"].Failures.Cancellation; got != uint64(len(inputs)) {
+		t.Errorf("/batch cancellation failures = %d, want %d", got, len(inputs))
+	}
+}
+
+// TestStatszFailureTaxonomy drives one request into each failure class and
+// checks the per-endpoint counters that separate hostile input from client
+// impatience from malformed requests.
+func TestStatszFailureTaxonomy(t *testing.T) {
+	t.Run("decode", func(t *testing.T) {
+		_, ts := newServer(t, nil)
+		if resp, _ := post(t, ts, "/analyze", "0xzz"); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		if got := getStats(t, ts).Endpoints["/analyze"].Failures.Decode; got != 1 {
+			t.Errorf("decode failures = %d, want 1", got)
+		}
+	})
+
+	t.Run("cancellation", func(t *testing.T) {
+		_, ts := newServer(t, func(s *server.Server) { s.Timeout = time.Nanosecond })
+		if resp, _ := post(t, ts, "/analyze", killableHex(t)); resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("status %d, want 504", resp.StatusCode)
+		}
+		f := getStats(t, ts).Endpoints["/analyze"].Failures
+		if f.Cancellation != 1 || f.DecompileBudget != 0 {
+			t.Errorf("failures = %+v, want exactly 1 cancellation", f)
+		}
+	})
+
+	t.Run("budget", func(t *testing.T) {
+		// A tight step budget turns the hostile input into a fast,
+		// deterministic 422 — and the second identical request must be served
+		// from the negative cache while still counting as a budget failure.
+		cfg := core.DefaultConfig()
+		cfg.DecompileLimits = decompiler.Limits{MaxWorklistSteps: 2000}
+		srv := server.New(cfg)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+
+		body := hostileHex(t, "ctx-explosion-356b.hex")
+		for i := 0; i < 2; i++ {
+			resp, rbody := post(t, ts, "/analyze", body)
+			if resp.StatusCode != http.StatusUnprocessableEntity {
+				t.Fatalf("request %d: status %d, want 422 (%s)", i, resp.StatusCode, rbody)
+			}
+			if !strings.Contains(string(rbody), "budget exhausted") {
+				t.Errorf("request %d body %q does not name the budget", i, rbody)
+			}
+		}
+		if s := srv.Cache().Stats(); s.Hits != 1 || s.Misses != 1 {
+			t.Errorf("stats = %+v, want the second 422 served as a negative cache hit", s)
+		}
+		f := getStats(t, ts).Endpoints["/analyze"].Failures
+		if f.DecompileBudget != 2 || f.Cancellation != 0 {
+			t.Errorf("failures = %+v, want 2 budget / 0 cancellation", f)
+		}
+	})
+}
+
+// TestHostileAnalyzeTimesOutAndFreesWorker is the serving half of the
+// resource-governance contract: the worst-case hostile bytecode under a 50ms
+// per-request deadline gets a prompt 504 — and the in-flight slot it held is
+// released, so the server (capped at one concurrent analysis) immediately
+// serves a normal request afterwards.
+func TestHostileAnalyzeTimesOutAndFreesWorker(t *testing.T) {
+	const deadline = 50 * time.Millisecond
+	_, ts := newServer(t, func(s *server.Server) {
+		s.Timeout = deadline
+		s.MaxInFlight = 1
+	})
+
+	start := time.Now()
+	resp, body := post(t, ts, "/analyze", hostileHex(t, "ctx-explosion-312b.hex"))
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("hostile analyze: status %d, want 504 (%s)", resp.StatusCode, body)
+	}
+	// The decompiler aborts within 2x the deadline (pinned by the core-level
+	// regression test); allow generous HTTP slack on top.
+	if elapsed > 10*deadline {
+		t.Errorf("504 took %v, want well under %v", elapsed, 10*deadline)
+	}
+
+	// The slot is free: a legitimate request is admitted and completes.
+	resp, body = post(t, ts, "/analyze", killableHex(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up analyze: status %d, want 200 (%s)", resp.StatusCode, body)
+	}
+	stats := getStats(t, ts)
+	if stats.InFlight != 0 {
+		t.Errorf("inFlight = %d after requests drained", stats.InFlight)
+	}
+	if f := stats.Endpoints["/analyze"].Failures; f.Cancellation != 1 {
+		t.Errorf("failures = %+v, want 1 cancellation from the hostile 504", f)
+	}
+}

@@ -2,7 +2,9 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"log/slog"
 	"math"
 	"net/http"
@@ -12,6 +14,7 @@ import (
 	"testing"
 
 	"ethainter/internal/core"
+	"ethainter/internal/decompiler"
 )
 
 // TestLimiterShedsWhenSaturated drives the in-flight limiter to saturation
@@ -120,6 +123,44 @@ func TestAccessLogFields(t *testing.T) {
 	}
 	if rec["status"] != float64(http.StatusOK) || rec["route"] != "/healthz" {
 		t.Errorf("unexpected access log record: %v", rec)
+	}
+}
+
+// TestFailureClassification pins the error-taxonomy mapping both ways: the
+// failure class each analysis error lands in on /statsz, and the HTTP status
+// writeAnalysisError assigns it. A recovered analyzer panic is the one class
+// that cannot be provoked end to end without an analyzer bug, so the mapping
+// is pinned here directly.
+func TestFailureClassification(t *testing.T) {
+	cases := []struct {
+		name       string
+		err        error
+		wantClass  failureClass
+		wantStatus int
+	}{
+		{"deadline", context.DeadlineExceeded, failCancel, http.StatusGatewayTimeout},
+		{"cancel", context.Canceled, failCancel, http.StatusServiceUnavailable},
+		{"budget", &decompiler.BudgetError{Resource: "contexts", Limit: 1}, failBudget, http.StatusUnprocessableEntity},
+		{"panic", &core.PanicError{Value: "index out of range"}, failPanic, http.StatusInternalServerError},
+		{"other", errors.New("unresolved jump target"), failAnalysis, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := classifyFailure(c.err); got != c.wantClass {
+				t.Errorf("classifyFailure(%v) = %d, want %d", c.err, got, c.wantClass)
+			}
+			rw := httptest.NewRecorder()
+			writeAnalysisError(rw, c.err)
+			if rw.Code != c.wantStatus {
+				t.Errorf("writeAnalysisError(%v) status = %d, want %d", c.err, rw.Code, c.wantStatus)
+			}
+		})
+	}
+	// The 500 body must not leak the panic value to clients.
+	rw := httptest.NewRecorder()
+	writeAnalysisError(rw, &core.PanicError{Value: "secret internal state"})
+	if strings.Contains(rw.Body.String(), "secret") {
+		t.Errorf("500 body leaks the panic value: %s", rw.Body)
 	}
 }
 

@@ -50,11 +50,27 @@ func (h *histogram) observe(d time.Duration) {
 	h.total++
 }
 
+// failureClass buckets one failed analysis by cause — the error taxonomy of
+// /statsz. Operators read it to tell hostile-input load (budget) from client
+// impatience (cancellation) from analyzer defects (panic) from plain bad
+// requests (decode).
+type failureClass int
+
+const (
+	failDecode   failureClass = iota // undecodable input: bad hex, broken source
+	failBudget                       // decompilation work budget exhausted (deterministic)
+	failCancel                       // request deadline expired or client disconnected
+	failPanic                        // analyzer panic recovered at the boundary
+	failAnalysis                     // any other analysis failure (unresolved jumps, ...)
+	numFailureClasses
+)
+
 // endpointStats are the per-route counters.
 type endpointStats struct {
-	count   uint64
-	errors  uint64 // responses with status >= 400
-	latency histogram
+	count    uint64
+	errors   uint64 // responses with status >= 400
+	failures [numFailureClasses]uint64
+	latency  histogram
 }
 
 // metrics aggregates the serving counters exposed on /statsz. Safe for
@@ -90,16 +106,31 @@ func (m *metrics) recordStages(t core.StageTimings) {
 func (m *metrics) observe(route string, status int, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	es := m.endpoints[route]
-	if es == nil {
-		es = &endpointStats{}
-		m.endpoints[route] = es
-	}
+	es := m.endpoint(route)
 	es.count++
 	if status >= 400 {
 		es.errors++
 	}
 	es.latency.observe(d)
+}
+
+// recordFailure tallies one classified failure on a route. /batch records one
+// per failed item, so its failure counts can exceed its request count.
+func (m *metrics) recordFailure(route string, class failureClass) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.endpoint(route).failures[class]++
+}
+
+// endpoint returns the route's counters, creating them on first use. Callers
+// hold m.mu.
+func (m *metrics) endpoint(route string) *endpointStats {
+	es := m.endpoints[route]
+	if es == nil {
+		es = &endpointStats{}
+		m.endpoints[route] = es
+	}
+	return es
 }
 
 // BucketJSON is one histogram bucket: the count of requests at or under LeMs
@@ -118,11 +149,25 @@ type LatencyJSON struct {
 	OverMax uint64       `json:"over_max"`
 }
 
+// FailuresJSON is the wire form of one route's error taxonomy: failed
+// analyses bucketed by cause. Decode is malformed input, DecompileBudget the
+// deterministic work-budget exhaustion hostile bytecode trips, Cancellation
+// an expired deadline or dropped client, InternalPanic a recovered analyzer
+// defect, and Analysis everything else (unresolved jumps, stack underflow).
+type FailuresJSON struct {
+	Decode          uint64 `json:"decode"`
+	DecompileBudget uint64 `json:"decompile_budget"`
+	Cancellation    uint64 `json:"cancellation"`
+	InternalPanic   uint64 `json:"internal_panic"`
+	Analysis        uint64 `json:"analysis"`
+}
+
 // EndpointJSON is the wire form of one route's counters.
 type EndpointJSON struct {
-	Count   uint64      `json:"count"`
-	Errors  uint64      `json:"errors"`
-	Latency LatencyJSON `json:"latency"`
+	Count    uint64       `json:"count"`
+	Errors   uint64       `json:"errors"`
+	Failures FailuresJSON `json:"failures"`
+	Latency  LatencyJSON  `json:"latency"`
 }
 
 // CacheJSON is the wire form of the shared analysis cache's counters.
@@ -179,7 +224,18 @@ func (m *metrics) snapshot(cache *core.Cache) StatszJSON {
 				Count: es.latency.counts[i],
 			})
 		}
-		out.Endpoints[route] = EndpointJSON{Count: es.count, Errors: es.errors, Latency: lj}
+		out.Endpoints[route] = EndpointJSON{
+			Count:  es.count,
+			Errors: es.errors,
+			Failures: FailuresJSON{
+				Decode:          es.failures[failDecode],
+				DecompileBudget: es.failures[failBudget],
+				Cancellation:    es.failures[failCancel],
+				InternalPanic:   es.failures[failPanic],
+				Analysis:        es.failures[failAnalysis],
+			},
+			Latency: lj,
+		}
 	}
 	return out
 }

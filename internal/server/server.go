@@ -164,15 +164,33 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 
 // writeAnalysisError maps an analysis failure to a status: expired deadlines
 // are 504 (the server gave up), client disconnects 503 (logged, though the
-// client is gone), anything else a 422 on the bytecode itself.
+// client is gone), recovered analyzer panics 500 (our defect, not the
+// client's), anything else — including deterministic decompilation-budget
+// exhaustion — a 422 on the bytecode itself.
 func writeAnalysisError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, errors.New("analysis deadline exceeded"))
 	case errors.Is(err, context.Canceled):
 		writeError(w, http.StatusServiceUnavailable, errors.New("analysis cancelled"))
+	case core.IsInternal(err):
+		writeError(w, http.StatusInternalServerError, errors.New("internal analyzer error"))
 	default:
 		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// classifyFailure buckets a failed analysis for the /statsz error taxonomy.
+func classifyFailure(err error) failureClass {
+	switch {
+	case core.IsCancellation(err):
+		return failCancel
+	case core.IsBudgetExhaustion(err):
+		return failBudget
+	case core.IsInternal(err):
+		return failPanic
+	default:
+		return failAnalysis
 	}
 }
 
@@ -251,6 +269,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	runtime, _, err := decodeInput(body)
 	if err != nil {
+		s.metrics.recordFailure("/analyze", failDecode)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -258,6 +277,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	rep, err := s.cache.AnalyzeBytecodeContext(ctx, runtime, s.cfg)
 	if err != nil {
+		s.metrics.recordFailure("/analyze", classifyFailure(err))
 		writeAnalysisError(w, err)
 		return
 	}
@@ -287,6 +307,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	compiled, err := minisol.CompileSource(string(body))
 	if err != nil {
+		s.metrics.recordFailure("/compile", failDecode)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -323,6 +344,7 @@ func (s *Server) handleExploit(w http.ResponseWriter, r *http.Request) {
 	}
 	compiled, err := minisol.CompileSource(string(body))
 	if err != nil {
+		s.metrics.recordFailure("/exploit", failDecode)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -330,6 +352,7 @@ func (s *Server) handleExploit(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	rep, err := s.cache.AnalyzeBytecodeContext(ctx, compiled.Runtime, s.cfg)
 	if err != nil {
+		s.metrics.recordFailure("/exploit", classifyFailure(err))
 		writeAnalysisError(w, err)
 		return
 	}
