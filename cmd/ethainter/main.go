@@ -19,6 +19,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"ethainter"
 	"ethainter/internal/core"
@@ -34,7 +35,7 @@ func main() {
 		showAsm      = flag.Bool("disasm", false, "print the disassembly")
 		engine       = flag.String("engine", "go", "fixpoint engine: go (compiled worklist) or datalog (declarative rules)")
 		par          = flag.Int("parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core; go engine ignores it)")
-		timings      = flag.Bool("timings", false, "print the per-stage timing breakdown (datalog engine)")
+		timings      = flag.Bool("timings", false, "print the per-stage timing breakdown, including the decompiler's decode/value-set/translate/functions split")
 		maxContexts  = flag.Int("decompile-max-contexts", 0, "decompile budget: max (block, depth) contexts (0 = default)")
 		maxSteps     = flag.Int("decompile-max-steps", 0, "decompile budget: max value-set worklist steps (0 = default)")
 		maxStmts     = flag.Int("decompile-max-stmts", 0, "decompile budget: max translated statements (0 = default)")
@@ -85,7 +86,7 @@ func run(path string, cfg ethainter.Config, engine string, showIR, showAsm, timi
 	}
 	switch engine {
 	case "go":
-		return runGoEngine(code, cfg)
+		return runGoEngine(code, cfg, timings)
 	case "datalog":
 		return runDatalogEngine(code, cfg, timings)
 	default:
@@ -93,7 +94,7 @@ func run(path string, cfg ethainter.Config, engine string, showIR, showAsm, timi
 	}
 }
 
-func runGoEngine(code []byte, cfg ethainter.Config) error {
+func runGoEngine(code []byte, cfg ethainter.Config, timings bool) error {
 	report, err := ethainter.AnalyzeBytecode(code, cfg)
 	if err != nil {
 		return err
@@ -101,7 +102,6 @@ func runGoEngine(code []byte, cfg ethainter.Config) error {
 	fmt.Printf("public functions: %d\n", report.PublicFunctions)
 	if len(report.Warnings) == 0 {
 		fmt.Println("no vulnerabilities flagged")
-		return nil
 	}
 	for _, w := range report.Warnings {
 		fmt.Printf("[%s] pc=%d: %s\n", w.Kind, w.PC, w.Message)
@@ -116,6 +116,12 @@ func runGoEngine(code []byte, cfg ethainter.Config) error {
 			fmt.Println()
 		}
 	}
+	if timings {
+		t := report.Stats.Timings
+		fmt.Printf("timings: decompile %v (decode %v, value-set %v, translate %v, functions %v), facts %v, guards %v, fixpoint %v, detect %v\n",
+			t.Decompile, t.DecompileDecode, t.DecompileValueSet, t.DecompileTranslate, t.DecompileFunctions,
+			t.Facts, t.Guards, t.Fixpoint, t.Detect)
+	}
 	return nil
 }
 
@@ -123,7 +129,9 @@ func runGoEngine(code []byte, cfg ethainter.Config) error {
 // -parallelism knob fans out — and prints the (kind, pc) violations plus,
 // on request, the engine's stage breakdown.
 func runDatalogEngine(code []byte, cfg ethainter.Config, timings bool) error {
-	prog, err := decompiler.DecompileContext(context.Background(), code, cfg.DecompileLimits)
+	decompileStart := time.Now()
+	prog, dt, err := decompiler.DecompileTimed(context.Background(), code, cfg.DecompileLimits)
+	decompileTotal := time.Since(decompileStart)
 	if err != nil {
 		return err
 	}
@@ -147,7 +155,8 @@ func runDatalogEngine(code []byte, cfg ethainter.Config, timings bool) error {
 		fmt.Println("no vulnerabilities flagged")
 	}
 	if timings {
-		fmt.Printf("timings: facts %v, guards %v, fixpoint %v (index %v, join %v, merge %v)\n",
+		fmt.Printf("timings: decompile %v (decode %v, value-set %v, translate %v, functions %v), facts %v, guards %v, fixpoint %v (index %v, join %v, merge %v)\n",
+			decompileTotal, dt.Decode, dt.ValueSet, dt.Translate, dt.Functions,
 			t.Facts, t.Guards, t.Fixpoint, t.EngineIndex, t.EngineJoin, t.EngineMerge)
 	}
 	return nil

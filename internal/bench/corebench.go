@@ -23,6 +23,13 @@ type StageNS struct {
 	Fixpoint  int64 `json:"fixpoint_ns"`
 	Detect    int64 `json:"detect_ns"`
 
+	// The decompile sub-stages refine Decompile: bytecode decode, value-set
+	// fixpoint, TAC translation, and function discovery.
+	DecompileDecode    int64 `json:"decompile_decode_ns,omitempty"`
+	DecompileValueSet  int64 `json:"decompile_valueset_ns,omitempty"`
+	DecompileTranslate int64 `json:"decompile_translate_ns,omitempty"`
+	DecompileFunctions int64 `json:"decompile_functions_ns,omitempty"`
+
 	// The engine sub-stages refine Fixpoint when the Datalog engine ran it;
 	// the compiled Go fixpoint leaves them zero.
 	EngineIndex int64 `json:"engine_index_ns,omitempty"`
@@ -36,6 +43,10 @@ func (s *StageNS) add(t core.StageTimings) {
 	s.Guards += int64(t.Guards)
 	s.Fixpoint += int64(t.Fixpoint)
 	s.Detect += int64(t.Detect)
+	s.DecompileDecode += int64(t.DecompileDecode)
+	s.DecompileValueSet += int64(t.DecompileValueSet)
+	s.DecompileTranslate += int64(t.DecompileTranslate)
+	s.DecompileFunctions += int64(t.DecompileFunctions)
 	s.EngineIndex += int64(t.EngineIndex)
 	s.EngineJoin += int64(t.EngineJoin)
 	s.EngineMerge += int64(t.EngineMerge)
@@ -58,15 +69,20 @@ type SweepResult struct {
 // CoreBenchResult is the core performance experiment: the same corpus swept
 // without and with the content-addressed cache, with per-stage attribution.
 type CoreBenchResult struct {
-	Name            string      `json:"name"`
-	N               int         `json:"n"`
-	Seed            int64       `json:"seed"`
-	Workers         int         `json:"workers"`
-	Parallelism     int         `json:"parallelism"`
-	UniqueBytecodes int         `json:"unique_bytecodes"`
-	Uncached        SweepResult `json:"uncached"`
-	Cached          SweepResult `json:"cached"`
-	Speedup         float64     `json:"speedup"`
+	Name            string `json:"name"`
+	N               int    `json:"n"`
+	Seed            int64  `json:"seed"`
+	Workers         int    `json:"workers"`
+	Parallelism     int    `json:"parallelism"`
+	UniqueBytecodes int    `json:"unique_bytecodes"`
+	// GoMaxProcs and NumCPU pin the machine shape the numbers were taken on;
+	// comparisons across different CPU counts are apples-to-oranges for
+	// wall-clock, and bench_compare skips those checks when they differ.
+	GoMaxProcs int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu"`
+	Uncached   SweepResult `json:"uncached"`
+	Cached     SweepResult `json:"cached"`
+	Speedup    float64     `json:"speedup"`
 	// EngineScaling is the Datalog fixpoint scaling curve: the same
 	// transitive-closure workload at increasing intra-fixpoint worker counts.
 	EngineScaling []EngineScalingPoint `json:"engine_scaling"`
@@ -100,6 +116,8 @@ func CoreBench(n int, seed int64, workers, parallelism int, limits decompiler.Li
 		Workers:         workers,
 		Parallelism:     parallelism,
 		UniqueBytecodes: len(unique),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
 	}
 	res.Uncached = sweep(contracts, cfg, workers, nil)
 	cache := core.NewCache(0)
@@ -199,6 +217,10 @@ func (r *CoreBenchResult) Render() string {
 			100*float64(r.Uncached.Stages.Guards)/float64(tot),
 			100*float64(r.Uncached.Stages.Fixpoint)/float64(tot),
 			100*float64(r.Uncached.Stages.Detect)/float64(tot))
+	}
+	if s := r.Uncached.Stages; s.Decompile > 0 {
+		t.note("uncached decompile split: decode %s, value-set %s, translate %s, functions %s",
+			fmtNS(s.DecompileDecode), fmtNS(s.DecompileValueSet), fmtNS(s.DecompileTranslate), fmtNS(s.DecompileFunctions))
 	}
 	for _, p := range r.EngineScaling {
 		t.note("engine scaling: %d worker(s): wall %s (index %s, join %s, merge %s), %d tuples, %.2fx",

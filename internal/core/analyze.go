@@ -105,7 +105,7 @@ func AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
 func AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Config) (rep *Report, err error) {
 	defer recoverToError(&err)
 	t0 := time.Now()
-	prog, err := decompiler.DecompileContext(ctx, code, cfg.DecompileLimits)
+	prog, dt, err := decompiler.DecompileTimed(ctx, code, cfg.DecompileLimits)
 	if err != nil {
 		if IsCancellation(err) {
 			return nil, err
@@ -117,7 +117,7 @@ func AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Config) (rep *
 	if err != nil {
 		return nil, err
 	}
-	r.Stats.Timings.Decompile = decompileTime
+	r.Stats.Timings.setDecompile(decompileTime, dt)
 	return r, nil
 }
 
@@ -227,9 +227,9 @@ func detect(a *analysis, r *Report) {
 func checkStaticcall(a *analysis, s *tac.Stmt, add func(Warning)) {
 	f := a.f
 	// Args: gas, addr, inOff, inLen, outOff, outLen.
-	inOff, ok1 := f.constOf[s.Args[2]]
-	outOff, ok2 := f.constOf[s.Args[4]]
-	outLen, ok3 := f.constOf[s.Args[5]]
+	inOff, ok1 := f.constOf.get(s.Args[2])
+	outOff, ok2 := f.constOf.get(s.Args[4])
+	outLen, ok3 := f.constOf.get(s.Args[5])
 	if !ok1 || !ok2 || !ok3 {
 		return
 	}

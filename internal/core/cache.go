@@ -205,7 +205,7 @@ func (c *Cache) AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Con
 // the same guarantee the uncached AnalyzeBytecodeContext boundary makes.
 func (c *Cache) computeReport(ctx context.Context, key reportKey, code []byte, cfg Config) (rep *Report, err error) {
 	defer recoverToError(&err)
-	prog, decompileTime, err := c.decompile(ctx, key.code, code, cfg.DecompileLimits)
+	prog, decompileTime, dt, err := c.decompile(ctx, key.code, code, cfg.DecompileLimits)
 	if err != nil {
 		return nil, err
 	}
@@ -213,27 +213,27 @@ func (c *Cache) computeReport(ctx context.Context, key reportKey, code []byte, c
 	if err != nil {
 		return nil, err
 	}
-	rep.Stats.Timings.Decompile = decompileTime
+	rep.Stats.Timings.setDecompile(decompileTime, dt)
 	return rep, nil
 }
 
 // decompile returns the (shared, read-only) decompiled program for the
 // (bytecode, budget) pair, computing and memoizing it on first use. The
-// recorded duration is zero on a hit: the sweep did not pay for it again.
-// Deterministic failures — including budget exhaustion — are memoized;
-// cancellations are not, since they reflect the caller's deadline rather
-// than the bytecode.
-func (c *Cache) decompile(ctx context.Context, hash [32]byte, code []byte, limits decompiler.Limits) (*tac.Program, time.Duration, error) {
+// recorded durations — the stage total and its sub-breakdown — are zero on a
+// hit: the sweep did not pay for it again. Deterministic failures — including
+// budget exhaustion — are memoized; cancellations are not, since they reflect
+// the caller's deadline rather than the bytecode.
+func (c *Cache) decompile(ctx context.Context, hash [32]byte, code []byte, limits decompiler.Limits) (*tac.Program, time.Duration, decompiler.Timings, error) {
 	key := progKey{code: hash, limits: limits.Normalized()}
 	c.mu.Lock()
 	if e, ok := c.progs[key]; ok {
 		c.mu.Unlock()
-		return e.prog, 0, e.err
+		return e.prog, 0, decompiler.Timings{}, e.err
 	}
 	c.mu.Unlock()
 
 	t0 := time.Now()
-	prog, err := decompiler.DecompileContext(ctx, code, limits)
+	prog, dt, err := decompiler.DecompileTimed(ctx, code, limits)
 	elapsed := time.Since(t0)
 
 	c.mu.Lock()
@@ -247,7 +247,7 @@ func (c *Cache) decompile(ctx context.Context, hash [32]byte, code []byte, limit
 		c.progOrder = append(c.progOrder, key)
 	}
 	c.mu.Unlock()
-	return prog, elapsed, err
+	return prog, elapsed, dt, err
 }
 
 // storeReport inserts under c.mu, evicting the oldest entry past capacity.

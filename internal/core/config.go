@@ -146,9 +146,11 @@ type Stats struct {
 }
 
 // StageTimings is the per-stage wall-clock breakdown of one analysis. The
-// Engine* stages refine Fixpoint when the Datalog engine ran the fixpoint
-// (AnalyzeDatalog): index builds, delta joins, and barrier merges. The
-// compiled Go fixpoint leaves them zero.
+// Decompile* stages refine Decompile (bytecode decode, value-set fixpoint,
+// TAC translation, function discovery); the Engine* stages refine Fixpoint
+// when the Datalog engine ran the fixpoint (AnalyzeDatalog): index builds,
+// delta joins, and barrier merges. The compiled Go fixpoint leaves the
+// Engine* stages zero, and a cache hit leaves the Decompile* stages zero.
 type StageTimings struct {
 	Decompile time.Duration `json:"decompile_ns"`
 	Facts     time.Duration `json:"facts_ns"`
@@ -156,13 +158,19 @@ type StageTimings struct {
 	Fixpoint  time.Duration `json:"fixpoint_ns"`
 	Detect    time.Duration `json:"detect_ns"`
 
+	DecompileDecode    time.Duration `json:"decompile_decode_ns,omitempty"`
+	DecompileValueSet  time.Duration `json:"decompile_valueset_ns,omitempty"`
+	DecompileTranslate time.Duration `json:"decompile_translate_ns,omitempty"`
+	DecompileFunctions time.Duration `json:"decompile_functions_ns,omitempty"`
+
 	EngineIndex time.Duration `json:"engine_index_ns,omitempty"`
 	EngineJoin  time.Duration `json:"engine_join_ns,omitempty"`
 	EngineMerge time.Duration `json:"engine_merge_ns,omitempty"`
 }
 
-// Total sums the top-level stage timings. The Engine* stages are a
-// sub-breakdown of Fixpoint and are deliberately not re-added.
+// Total sums the top-level stage timings. The Decompile* and Engine* stages
+// are sub-breakdowns of Decompile and Fixpoint and are deliberately not
+// re-added.
 func (t StageTimings) Total() time.Duration {
 	return t.Decompile + t.Facts + t.Guards + t.Fixpoint + t.Detect
 }
@@ -174,9 +182,22 @@ func (t *StageTimings) Add(o StageTimings) {
 	t.Guards += o.Guards
 	t.Fixpoint += o.Fixpoint
 	t.Detect += o.Detect
+	t.DecompileDecode += o.DecompileDecode
+	t.DecompileValueSet += o.DecompileValueSet
+	t.DecompileTranslate += o.DecompileTranslate
+	t.DecompileFunctions += o.DecompileFunctions
 	t.EngineIndex += o.EngineIndex
 	t.EngineJoin += o.EngineJoin
 	t.EngineMerge += o.EngineMerge
+}
+
+// setDecompile records the decompile stage total and its sub-breakdown.
+func (t *StageTimings) setDecompile(total time.Duration, d decompiler.Timings) {
+	t.Decompile = total
+	t.DecompileDecode = d.Decode
+	t.DecompileValueSet = d.ValueSet
+	t.DecompileTranslate = d.Translate
+	t.DecompileFunctions = d.Functions
 }
 
 // Has reports whether the report contains a warning of the given kind.

@@ -238,7 +238,7 @@ func exportFacts(f *facts, g *guardInfo, dl *datalog.Program) error {
 		case tac.Caller:
 			fact("callerSrc", id, varTerm(s.Def))
 		case tac.Mload:
-			if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() {
+			if off, ok := f.constOf.get(s.Args[0]); ok && off.IsUint64() {
 				for _, st := range f.memSources(s, off.Uint64()) {
 					fact("flow1", varTerm(st.Args[1]), varTerm(s.Def))
 				}
@@ -271,7 +271,7 @@ func exportFacts(f *facts, g *guardInfo, dl *datalog.Program) error {
 			case addrElem:
 				fact("sstoreElem", id, slotTerm(cls.slot), varTerm(s.Args[1]))
 				for _, k := range cls.keys {
-					if f.senderDerived[k] {
+					if f.senderDerived.get(k) {
 						fact("elemKeySender", id)
 					}
 					fact("elemKey", id, varTerm(k))

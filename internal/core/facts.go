@@ -14,7 +14,7 @@ type facts struct {
 
 	// constOf holds variables resolved to constants (intra-procedural
 	// constant propagation; phi of equal constants folds).
-	constOf map[tac.VarID]u256.U256
+	constOf constTab
 
 	// memWrites lists MSTOREs by constant word offset; memUnknown lists
 	// MSTOREs whose offset is not constant.
@@ -32,8 +32,8 @@ type facts struct {
 	// senderDerived marks variables whose value derives from CALLER,
 	// including through sender-keyed data structure loads (DS), and dsaVar
 	// marks storage addresses keyed by the sender (DSA).
-	senderDerived map[tac.VarID]bool
-	dsaVar        map[tac.VarID]bool
+	senderDerived boolTab
+	dsaVar        boolTab
 
 	// funcsOf maps blocks to the public functions they belong to (a block
 	// shared between functions maps to several).
@@ -41,6 +41,55 @@ type facts struct {
 	// numArgs estimates, per public function, the number of calldata word
 	// arguments (from the maximum constant CALLDATALOAD offset).
 	numArgs []int
+}
+
+// constTab is a dense map from variable id to resolved constant, replacing a
+// map[tac.VarID]u256.U256 on the computeFacts hot path: SSA variable ids are
+// small and dense, so a pair of slices indexed by id turns every lookup into
+// an array load. Sized from Program.NumVars up front; set grows defensively
+// for hand-built programs that never filled NumVars in.
+type constTab struct {
+	has  []bool
+	vals []u256.U256
+}
+
+func newConstTab(n int) constTab {
+	return constTab{has: make([]bool, n), vals: make([]u256.U256, n)}
+}
+
+func (t *constTab) get(v tac.VarID) (u256.U256, bool) {
+	if v < 0 || int(v) >= len(t.has) || !t.has[v] {
+		return u256.Zero, false
+	}
+	return t.vals[v], true
+}
+
+func (t *constTab) set(v tac.VarID, c u256.U256) {
+	if int(v) >= len(t.has) {
+		has := make([]bool, int(v)+1)
+		vals := make([]u256.U256, int(v)+1)
+		copy(has, t.has)
+		copy(vals, t.vals)
+		t.has, t.vals = has, vals
+	}
+	t.has[v] = true
+	t.vals[v] = c
+}
+
+// boolTab is a dense variable-id set with the same growth discipline.
+type boolTab []bool
+
+func (t boolTab) get(v tac.VarID) bool {
+	return v >= 0 && int(v) < len(t) && t[v]
+}
+
+func (t *boolTab) set(v tac.VarID) {
+	if int(v) >= len(*t) {
+		grown := make([]bool, int(v)+1)
+		copy(grown, *t)
+		*t = grown
+	}
+	(*t)[v] = true
 }
 
 // addrKind classifies a storage address.
@@ -63,13 +112,13 @@ func computeFacts(prog *tac.Program) *facts {
 	f := &facts{
 		prog:          prog,
 		dom:           tac.ComputeDominators(prog),
-		constOf:       map[tac.VarID]u256.U256{},
+		constOf:       newConstTab(prog.NumVars),
 		memWrites:     map[uint64][]*tac.Stmt{},
 		memSrcMemo:    map[memSrcKey][]*tac.Stmt{},
 		hashMemo:      map[*tac.Stmt]hashWordsMemo{},
 		addrClass:     map[*tac.Stmt]addrClass{},
-		senderDerived: map[tac.VarID]bool{},
-		dsaVar:        map[tac.VarID]bool{},
+		senderDerived: make(boolTab, prog.NumVars),
+		dsaVar:        make(boolTab, prog.NumVars),
 		funcsOf:       map[*tac.Block][]int{},
 	}
 	f.propagateConstants()
@@ -89,40 +138,40 @@ func (f *facts) propagateConstants() {
 			if s.Def == tac.NoVar {
 				return
 			}
-			if _, done := f.constOf[s.Def]; done {
+			if _, done := f.constOf.get(s.Def); done {
 				return
 			}
 			switch s.Op {
 			case tac.Const:
-				f.constOf[s.Def] = s.Val
+				f.constOf.set(s.Def, s.Val)
 				changed = true
 			case tac.Phi:
 				if len(s.Args) == 0 {
 					return
 				}
-				first, ok := f.constOf[s.Args[0]]
+				first, ok := f.constOf.get(s.Args[0])
 				if !ok {
 					return
 				}
 				for _, a := range s.Args[1:] {
-					v, ok := f.constOf[a]
+					v, ok := f.constOf.get(a)
 					if !ok || v != first {
 						return
 					}
 				}
-				f.constOf[s.Def] = first
+				f.constOf.set(s.Def, first)
 				changed = true
 			default:
 				if !s.Op.IsArith() || len(s.Args) != 2 {
 					return
 				}
-				a, okA := f.constOf[s.Args[0]]
-				b, okB := f.constOf[s.Args[1]]
+				a, okA := f.constOf.get(s.Args[0])
+				b, okB := f.constOf.get(s.Args[1])
 				if !okA || !okB {
 					return
 				}
 				if v, ok := foldConst(s.Op, a, b); ok {
-					f.constOf[s.Def] = v
+					f.constOf.set(s.Def, v)
 					changed = true
 				}
 			}
@@ -174,7 +223,7 @@ func (f *facts) indexMemory() {
 		if s.Op != tac.Mstore && s.Op != tac.Mstore8 {
 			return
 		}
-		if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() {
+		if off, ok := f.constOf.get(s.Args[0]); ok && off.IsUint64() {
 			f.memWrites[off.Uint64()] = append(f.memWrites[off.Uint64()], s)
 		} else {
 			f.memUnknown = append(f.memUnknown, s)
@@ -237,8 +286,8 @@ func (f *facts) hashWordStores(s *tac.Stmt) ([][]*tac.Stmt, bool) {
 }
 
 func (f *facts) hashWordStoresUncached(s *tac.Stmt) ([][]*tac.Stmt, bool) {
-	off, okOff := f.constOf[s.Args[0]]
-	length, okLen := f.constOf[s.Args[1]]
+	off, okOff := f.constOf.get(s.Args[0])
+	length, okLen := f.constOf.get(s.Args[1])
 	if !okOff || !okLen || !off.IsUint64() || !length.IsUint64() {
 		return nil, false
 	}
@@ -279,7 +328,7 @@ func (f *facts) classifyAddrRec(v tac.VarID, seen map[tac.VarID]bool) addrClass 
 	if seen[v] {
 		return addrClass{kind: addrUnknown}
 	}
-	if c, ok := f.constOf[v]; ok {
+	if c, ok := f.constOf.get(v); ok {
 		return addrClass{kind: addrConst, slot: c}
 	}
 	def := f.prog.DefSite(v)
@@ -303,7 +352,7 @@ func (f *facts) classifyAddrRec(v tac.VarID, seen map[tac.VarID]bool) addrClass 
 		}
 		keyVar := keyStores[0].Args[1]
 		slotVar := slotStores[0].Args[1]
-		if base, ok := f.constOf[slotVar]; ok {
+		if base, ok := f.constOf.get(slotVar); ok {
 			return addrClass{kind: addrElem, slot: base, keys: []tac.VarID{keyVar}}
 		}
 		// Nested mapping: the slot word is itself an element address.
@@ -352,12 +401,12 @@ func (f *facts) computeSenderDerivation() {
 			}
 			switch s.Op {
 			case tac.Caller:
-				if !f.senderDerived[s.Def] {
-					f.senderDerived[s.Def] = true
+				if !f.senderDerived.get(s.Def) {
+					f.senderDerived.set(s.Def)
 					changed = true
 				}
 			case tac.Sha3:
-				if f.dsaVar[s.Def] {
+				if f.dsaVar.get(s.Def) {
 					return
 				}
 				words, ok := f.hashWordStores(s)
@@ -367,27 +416,27 @@ func (f *facts) computeSenderDerivation() {
 				for _, stores := range words {
 					for _, st := range stores {
 						val := st.Args[1]
-						if f.senderDerived[val] || f.dsaVar[val] {
-							f.dsaVar[s.Def] = true
+						if f.senderDerived.get(val) || f.dsaVar.get(val) {
+							f.dsaVar.set(s.Def)
 							changed = true
 							return
 						}
 					}
 				}
 			case tac.Sload:
-				if !f.senderDerived[s.Def] && f.dsaVar[s.Args[0]] {
-					f.senderDerived[s.Def] = true
+				if !f.senderDerived.get(s.Def) && f.dsaVar.get(s.Args[0]) {
+					f.senderDerived.set(s.Def)
 					changed = true
 				}
 			case tac.Mload:
 				// Sender values round-tripping through memory cells.
-				if f.senderDerived[s.Def] {
+				if f.senderDerived.get(s.Def) {
 					return
 				}
-				if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() {
+				if off, ok := f.constOf.get(s.Args[0]); ok && off.IsUint64() {
 					for _, st := range f.memSources(s, off.Uint64()) {
-						if f.senderDerived[st.Args[1]] {
-							f.senderDerived[s.Def] = true
+						if f.senderDerived.get(st.Args[1]) {
+							f.senderDerived.set(s.Def)
 							changed = true
 							return
 						}
@@ -398,12 +447,12 @@ func (f *facts) computeSenderDerivation() {
 					return
 				}
 				for _, a := range s.Args {
-					if f.senderDerived[a] && !f.senderDerived[s.Def] {
-						f.senderDerived[s.Def] = true
+					if f.senderDerived.get(a) && !f.senderDerived.get(s.Def) {
+						f.senderDerived.set(s.Def)
 						changed = true
 					}
-					if f.dsaVar[a] && !f.dsaVar[s.Def] {
-						f.dsaVar[s.Def] = true
+					if f.dsaVar.get(a) && !f.dsaVar.get(s.Def) {
+						f.dsaVar.set(s.Def)
 						changed = true
 					}
 				}
@@ -430,7 +479,7 @@ func (f *facts) attributeFunctions() {
 			f.funcsOf[b] = append(f.funcsOf[b], idx)
 			for _, s := range b.Stmts {
 				if s.Op == tac.Calldataload {
-					if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() && off.Uint64() >= 4 {
+					if off, ok := f.constOf.get(s.Args[0]); ok && off.IsUint64() && off.Uint64() >= 4 {
 						arg := int(off.Uint64()-4)/32 + 1
 						if arg > maxArg {
 							maxArg = arg

@@ -64,7 +64,7 @@ func computeGuards(f *facts, cfg Config) *guardInfo {
 	}
 	// Effectiveness and storage sources per condition.
 	for cond := range conds {
-		g.effective[cond] = cfg.ModelGuards && f.senderDerived[cond]
+		g.effective[cond] = cfg.ModelGuards && f.senderDerived.get(cond)
 		g.sources[cond] = storageSources(f, cond)
 	}
 	if cfg.InferOwnerSinks {
@@ -92,7 +92,7 @@ func storageSources(f *facts, root tac.VarID) []guardSource {
 		case def.Op == tac.Sload:
 			out = append(out, guardSource{class: f.addrClass[def]})
 		case def.Op == tac.Mload:
-			if off, ok := f.constOf[def.Args[0]]; ok && off.IsUint64() {
+			if off, ok := f.constOf.get(def.Args[0]); ok && off.IsUint64() {
 				for _, st := range f.memSources(def, off.Uint64()) {
 					walk(st.Args[1])
 				}
@@ -118,7 +118,7 @@ func (g *guardInfo) computeOwnerSlots(f *facts, conds map[tac.VarID]bool) {
 			continue
 		}
 		for _, pair := range [][2]tac.VarID{{def.Args[0], def.Args[1]}, {def.Args[1], def.Args[0]}} {
-			if !f.senderDerived[pair[0]] {
+			if !f.senderDerived.get(pair[0]) {
 				continue
 			}
 			// The other side must be loaded from a constant slot.

@@ -38,11 +38,17 @@ func hostileBytecode(t *testing.T, name string) []byte {
 func TestHostileDeadlineRegression(t *testing.T) {
 	code := hostileBytecode(t, "ctx-explosion-312b.hex")
 	const deadline = 50 * time.Millisecond
+	// Budgets far past the deadline's reach: the optimized decompiler can
+	// exhaust the default contexts budget on this input in tens of
+	// milliseconds, which would race the deadline; the regression under test
+	// is cancellation latency, so the deadline must be the only exit.
+	cfg := core.DefaultConfig()
+	cfg.DecompileLimits = decompiler.Limits{MaxContexts: 1 << 30, MaxWorklistSteps: 1 << 40, MaxStatements: 1 << 40}
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
 
 	start := time.Now()
-	rep, err := core.AnalyzeBytecodeContext(ctx, code, core.DefaultConfig())
+	rep, err := core.AnalyzeBytecodeContext(ctx, code, cfg)
 	elapsed := time.Since(start)
 
 	if rep != nil || !core.IsCancellation(err) {

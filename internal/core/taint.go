@@ -269,7 +269,7 @@ func (a *analysis) stepStmt(s *tac.Stmt) bool {
 			mark(a.taintVar(s.Def, taintSender, a.reachWitness(s.Block)))
 		}
 	case tac.Mload:
-		if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() {
+		if off, ok := f.constOf.get(s.Args[0]); ok && off.IsUint64() {
 			for _, st := range f.memSources(s, off.Uint64()) {
 				if k := a.varTaint[st.Args[1]]; k != 0 {
 					mark(a.taintVar(s.Def, k, a.witVar[st.Args[1]]))
@@ -351,7 +351,7 @@ func (a *analysis) stepStmt(s *tac.Stmt) bool {
 			keyControlled := false
 			var keyWit []Step
 			for _, k := range cls.keys {
-				if f.senderDerived[k] {
+				if f.senderDerived.get(k) {
 					keyControlled = true
 				}
 				if a.varTaint[k] != 0 {

@@ -56,7 +56,7 @@ func buildDeps(a *analysis) *depGraph {
 		case tac.Calldataload, tac.Callvalue, tac.Caller:
 			d.blockDeps[s.Block] = append(d.blockDeps[s.Block], idx)
 		case tac.Mload:
-			if off, ok := f.constOf[s.Args[0]]; ok && off.IsUint64() {
+			if off, ok := f.constOf.get(s.Args[0]); ok && off.IsUint64() {
 				for _, st := range f.memSources(s, off.Uint64()) {
 					onVar(st.Args[1], idx)
 				}

@@ -1,0 +1,54 @@
+package decompiler_test
+
+import (
+	"context"
+	"testing"
+
+	"ethainter/internal/decompiler"
+	"ethainter/internal/minisol"
+)
+
+// BenchmarkDecompile measures the optimized path on a realistic compiled
+// contract; BenchmarkDecompileReference is the same input through the oracle,
+// so the ratio between them is the interning/dense-table/priority-worklist
+// win in isolation.
+func BenchmarkDecompile(b *testing.B) {
+	code := minisol.MustCompile(minisol.SafeTokenSource).Runtime
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decompiler.DecompileContext(ctx, code, decompiler.Limits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompileReference(b *testing.B) {
+	code := minisol.MustCompile(minisol.SafeTokenSource).Runtime
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decompiler.DecompileReference(ctx, code, decompiler.Limits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompileHostile runs the adversarial ctx-explosion corpus to its
+// deterministic budget failure — the worst-case path a hostile request pays
+// before the negative cache absorbs repeats.
+func BenchmarkDecompileHostile(b *testing.B) {
+	ctx := context.Background()
+	for name, code := range hostileInputs(b) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := decompiler.DecompileContext(ctx, code, decompiler.Limits{}); err == nil {
+					b.Fatal("hostile input unexpectedly decompiled")
+				}
+			}
+		})
+	}
+}

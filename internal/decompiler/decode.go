@@ -1,0 +1,231 @@
+package decompiler
+
+import (
+	"ethainter/internal/evm"
+)
+
+// This file is the decode phase of the optimized decompiler: the bytecode is
+// disassembled exactly once into a flat instruction slice, split into basic
+// blocks held in a dense index-addressed table (a slice keyed by block index
+// rather than the reference path's map[int]*rawBlock), and ranked in an
+// approximate reverse post order that the priority worklist in fixpoint.go
+// uses to visit predecessors before successors. All buffers live in the
+// pooled scratch — a corpus sweep re-decodes every contract with near-zero
+// steady-state allocation.
+
+// denseBlock is one basic block of the decoded table. Its instructions are
+// the half-open range [first, first+count) of codeTable.instrs, so simulation
+// replays decoded ops with no per-context slicing or map lookups.
+type denseBlock struct {
+	pc           int   // byte offset of the leader
+	first, count int32 // instruction range in codeTable.instrs
+	fallsThrough bool  // control can continue to the next leader
+	nextPC       int   // leader after the block (valid when fallsThrough)
+	rpo          int32 // approximate reverse-post-order rank (see computeRPO)
+}
+
+// codeTable is the per-bytecode decoded program: every datum the fixpoint
+// and translator need, computed once up front and addressed by index.
+type codeTable struct {
+	instrs  []evm.Instruction
+	blocks  []denseBlock // ordered by pc
+	idxByPC []int32      // code offset -> block index, -1 if not a leader
+	isDest  []bool       // code offset -> valid JUMPDEST
+
+	// pushConst[i] is the interned singleton for instrs[i].Arg when instrs[i]
+	// is a PUSH, nil otherwise. Interning each PUSH once at decode time turns
+	// the hottest simulate/translate case into a plain load — the same PUSH is
+	// replayed once per visiting context, and re-hashing its 256-bit argument
+	// every replay was a measurable slice of the fixpoint.
+	pushConst []*aval
+}
+
+// block returns the block led by pc, or nil — the dense equivalent of the
+// reference path's raw-map lookup.
+func (ct *codeTable) block(pc int) *denseBlock {
+	if pc < 0 || pc >= len(ct.idxByPC) || ct.idxByPC[pc] < 0 {
+		return nil
+	}
+	return &ct.blocks[ct.idxByPC[pc]]
+}
+
+// resizeBools returns b resized to n with all elements false.
+func resizeBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}
+
+// decodeCode disassembles code and builds the dense block table in sc. The
+// leader and block-end rules replicate splitBlocks exactly: leaders are
+// offset 0, JUMPDESTs, and the instruction after a JUMPI, terminator, or
+// undefined opcode; a block falls through unless it ends in a terminator, an
+// undefined opcode, or the end of the code. (The fallthrough flag is set even
+// for JUMP-ending blocks — simulation returns at the JUMP before consulting
+// it, exactly as in the reference path.)
+func decodeCode(code []byte, sc *scratch) (*codeTable, error) {
+	if len(code) == 0 {
+		return nil, ErrEmptyCode
+	}
+	ct := &sc.ct
+	ct.instrs = evm.DisassembleInto(ct.instrs, code)
+	instrs := ct.instrs
+	sc.leader = resizeBools(sc.leader, len(code))
+	ct.isDest = resizeBools(ct.isDest, len(code))
+	leader, isDest := sc.leader, ct.isDest
+	if cap(ct.pushConst) < len(instrs) {
+		ct.pushConst = make([]*aval, len(instrs))
+	} else {
+		ct.pushConst = ct.pushConst[:len(instrs)]
+	}
+	leader[0] = true
+	nBlocks := 1
+	for i := range instrs {
+		ins := &instrs[i]
+		// Every slot is written (nil for non-PUSH), so stale pointers from the
+		// previous run never survive a decode.
+		if ins.Op.IsPush() {
+			ct.pushConst[i] = sc.in.constOf(ins.Arg)
+		} else {
+			ct.pushConst[i] = nil
+		}
+		if ins.Op == evm.JUMPDEST {
+			isDest[ins.PC] = true
+			if !leader[ins.PC] {
+				leader[ins.PC] = true
+				nBlocks++
+			}
+		}
+		if ins.Op == evm.JUMPI || ins.Op.IsTerminator() || !ins.Op.Defined() {
+			if i+1 < len(instrs) && !leader[instrs[i+1].PC] {
+				leader[instrs[i+1].PC] = true
+				nBlocks++
+			}
+		}
+	}
+	if cap(ct.blocks) < nBlocks {
+		ct.blocks = make([]denseBlock, 0, nBlocks)
+	} else {
+		ct.blocks = ct.blocks[:0]
+	}
+	if cap(ct.idxByPC) < len(code) {
+		ct.idxByPC = make([]int32, len(code))
+	} else {
+		ct.idxByPC = ct.idxByPC[:len(code)]
+	}
+	for i := range ct.idxByPC {
+		ct.idxByPC[i] = -1
+	}
+	cur := int32(-1)
+	for i := range instrs {
+		ins := &instrs[i]
+		if leader[ins.PC] {
+			ct.blocks = append(ct.blocks, denseBlock{pc: ins.PC, first: int32(i)})
+			cur = int32(len(ct.blocks) - 1)
+			ct.idxByPC[ins.PC] = cur
+		}
+		b := &ct.blocks[cur]
+		b.count++
+		last := i == len(instrs)-1
+		if !last && !leader[instrs[i+1].PC] {
+			continue
+		}
+		b.fallsThrough = !ins.Op.IsTerminator() && ins.Op.Defined() && !last
+		if b.fallsThrough {
+			b.nextPC = instrs[i+1].PC
+		}
+	}
+	computeRPO(ct, sc)
+	return ct, nil
+}
+
+// staticSuccs returns up to two statically evident successors of block bi:
+// the fallthrough block and, for a trailing `PUSH const; JUMP/JUMPI`, the
+// pushed destination. This is only an ordering heuristic for the priority
+// worklist — the fixpoint discovers the true context-sensitive edges — so it
+// can safely miss computed jumps.
+func staticSuccs(ct *codeTable, bi int32) (s0, s1 int32) {
+	s0, s1 = -1, -1
+	b := &ct.blocks[bi]
+	last := &ct.instrs[b.first+b.count-1]
+	if (last.Op == evm.JUMP || last.Op == evm.JUMPI) && b.count >= 2 {
+		prev := &ct.instrs[b.first+b.count-2]
+		if prev.Op.IsPush() && prev.Arg.IsUint64() {
+			if t := prev.Arg.Uint64(); t < uint64(len(ct.idxByPC)) {
+				s0 = ct.idxByPC[t]
+			}
+		}
+	}
+	if b.fallsThrough && last.Op != evm.JUMP {
+		if s0 < 0 {
+			s0 = ct.idxByPC[b.nextPC]
+		} else {
+			s1 = ct.idxByPC[b.nextPC]
+		}
+	}
+	return s0, s1
+}
+
+// rpoFrame is one iterative-DFS frame of computeRPO.
+type rpoFrame struct {
+	b      int32
+	s0, s1 int32
+	stage  int8
+}
+
+// computeRPO ranks blocks in reverse post order of the static successor
+// graph rooted at block 0 (iterative DFS); blocks the static approximation
+// does not reach are ranked after, in table order. The worklist pops lowest
+// rank first, so loop headers and early dispatch blocks stabilize before the
+// code they dominate, cutting redundant re-simulation.
+func computeRPO(ct *codeTable, sc *scratch) {
+	n := len(ct.blocks)
+	// Reuse the leader buffer (its job is done) as the visited set.
+	visited := resizeBools(sc.leader, n)
+	sc.leader = visited
+	post := sc.post[:0]
+	stack := sc.dfs[:0]
+	defer func() {
+		sc.post = post[:0]
+		sc.dfs = stack[:0]
+	}()
+	s0, s1 := staticSuccs(ct, 0)
+	visited[0] = true
+	stack = append(stack, rpoFrame{b: 0, s0: s0, s1: s1})
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		var next int32 = -1
+		for next < 0 && f.stage < 2 {
+			if f.stage == 0 {
+				next = f.s0
+			} else {
+				next = f.s1
+			}
+			f.stage++
+		}
+		if next >= 0 && !visited[next] {
+			visited[next] = true
+			c0, c1 := staticSuccs(ct, next)
+			stack = append(stack, rpoFrame{b: next, s0: c0, s1: c1})
+			continue
+		}
+		if f.stage >= 2 {
+			post = append(post, f.b)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	rank := int32(0)
+	for i := len(post) - 1; i >= 0; i-- {
+		ct.blocks[post[i]].rpo = rank
+		rank++
+	}
+	for i := range ct.blocks {
+		if !visited[i] {
+			ct.blocks[i].rpo = rank
+			rank++
+		}
+	}
+}

@@ -17,6 +17,15 @@
 //  4. Discover public functions from the 4-byte-selector dispatch pattern
 //     (SHR/DIV of CALLDATALOAD(0) compared against constants feeding JUMPIs).
 //
+// Two implementations of phases 1–3 coexist. The production path (decode.go,
+// intern.go, fixpoint.go, translate.go) decodes the bytecode once into a
+// dense index-addressed block table, hash-conses abstract values through a
+// per-run interner so joins are pointer comparisons, and drives the fixpoint
+// with a reverse-post-order priority worklist. The reference path
+// (reference.go) keeps the original map-based implementation as a
+// differential oracle; the two are bit-identical on every input where both
+// succeed (see the equivalence sweep and FuzzDecompileEquivalence).
+//
 // Bytecode that defeats the value-set analysis (unresolvable jump targets,
 // operand-stack underflow, context explosion) fails to decompile; the
 // evaluation counts such contracts the way the paper counts decompilation
@@ -26,12 +35,10 @@ package decompiler
 import (
 	"context"
 	"errors"
-	"fmt"
-	"sort"
+	"time"
 
 	"ethainter/internal/evm"
 	"ethainter/internal/tac"
-	"ethainter/internal/u256"
 )
 
 // maxConstSet bounds the constants tracked per abstract stack slot; past it a
@@ -47,168 +54,16 @@ var (
 	ErrEmptyCode        = errors.New("decompiler: empty code")
 )
 
-// --- abstract values: bounded constant sets ---
-
-type absVal struct {
-	top    bool
-	consts []u256.U256 // sorted, deduplicated, len <= maxConstSet
-}
-
-var topVal = absVal{top: true}
-
-func constVal(c u256.U256) absVal { return absVal{consts: []u256.U256{c}} }
-
-func (v absVal) singleton() (u256.U256, bool) {
-	if !v.top && len(v.consts) == 1 {
-		return v.consts[0], true
-	}
-	return u256.Zero, false
-}
-
-func joinVals(a, b absVal) absVal {
-	if a.top || b.top {
-		return topVal
-	}
-	merged := append(append([]u256.U256{}, a.consts...), b.consts...)
-	sort.Slice(merged, func(i, j int) bool { return merged[i].Cmp(merged[j]) < 0 })
-	out := merged[:0]
-	for i, c := range merged {
-		if i == 0 || c != merged[i-1] {
-			out = append(out, c)
-		}
-	}
-	if len(out) > maxConstSet {
-		return topVal
-	}
-	return absVal{consts: out}
-}
-
-func (v absVal) equal(o absVal) bool {
-	if v.top != o.top || len(v.consts) != len(o.consts) {
-		return false
-	}
-	for i := range v.consts {
-		if v.consts[i] != o.consts[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// foldBinary folds constant sets through the few operators that commonly
-// compute jump targets or dispatch values. Everything else yields ⊤.
-func foldBinary(op evm.Op, a, b absVal) absVal {
-	if a.top || b.top {
-		return topVal
-	}
-	var f func(x, y u256.U256) u256.U256
-	switch op {
-	case evm.ADD:
-		f = u256.U256.Add
-	case evm.SUB:
-		f = func(x, y u256.U256) u256.U256 { return x.Sub(y) }
-	case evm.MUL:
-		f = u256.U256.Mul
-	case evm.DIV:
-		f = u256.U256.Div
-	case evm.AND:
-		f = u256.U256.And
-	case evm.OR:
-		f = u256.U256.Or
-	case evm.SHL:
-		f = func(x, y u256.U256) u256.U256 {
-			if !x.IsUint64() || x.Uint64() > 255 {
-				return u256.Zero
-			}
-			return y.Shl(uint(x.Uint64()))
-		}
-	case evm.SHR:
-		f = func(x, y u256.U256) u256.U256 {
-			if !x.IsUint64() || x.Uint64() > 255 {
-				return u256.Zero
-			}
-			return y.Shr(uint(x.Uint64()))
-		}
-	case evm.EXP:
-		f = u256.U256.Exp
-	default:
-		return topVal
-	}
-	if len(a.consts)*len(b.consts) > maxConstSet {
-		return topVal
-	}
-	out := absVal{}
-	for _, x := range a.consts {
-		for _, y := range b.consts {
-			out = joinVals(out, constVal(f(x, y)))
-		}
-	}
-	return out
-}
-
-// --- raw blocks ---
-
-type rawBlock struct {
-	pc     int
-	instrs []evm.Instruction
-	// fallsThrough is true when control can continue to the next leader.
-	fallsThrough bool
-	nextPC       int // leader after the block (valid when fallsThrough)
-}
-
-func splitBlocks(code []byte) (map[int]*rawBlock, error) {
-	if len(code) == 0 {
-		return nil, ErrEmptyCode
-	}
-	instrs := evm.Disassemble(code)
-	leaders := map[int]bool{0: true}
-	for i, ins := range instrs {
-		if ins.Op == evm.JUMPDEST {
-			leaders[ins.PC] = true
-		}
-		if ins.Op == evm.JUMPI || ins.Op.IsTerminator() || !ins.Op.Defined() {
-			if i+1 < len(instrs) {
-				leaders[instrs[i+1].PC] = true
-			}
-		}
-	}
-	blocks := map[int]*rawBlock{}
-	var cur *rawBlock
-	for i, ins := range instrs {
-		if leaders[ins.PC] {
-			cur = &rawBlock{pc: ins.PC}
-			blocks[ins.PC] = cur
-		}
-		cur.instrs = append(cur.instrs, ins)
-		last := i == len(instrs)-1
-		endsBlock := ins.Op == evm.JUMPI || ins.Op.IsTerminator() || !ins.Op.Defined() ||
-			last || leaders[instrs[min(i+1, len(instrs)-1)].PC]
-		if endsBlock {
-			cur.fallsThrough = !ins.Op.IsTerminator() && ins.Op.Defined() && !last
-			if cur.fallsThrough {
-				cur.nextPC = instrs[i+1].PC
-			}
-			cur = nil
-		}
-	}
-	return blocks, nil
-}
-
-// --- phase 1: context-sensitive reachability and jump resolution ---
-
-type ctxKey struct {
-	pc    int
-	depth int
-}
-
-type resolver struct {
-	code     []byte
-	raw      map[int]*rawBlock
-	dests    map[int]bool
-	states   map[ctxKey][]absVal
-	preds    map[ctxKey]map[ctxKey]bool
-	worklist []ctxKey
-	budget   *budget
+// Timings is the per-phase wall-clock breakdown of one decompilation,
+// reported by DecompileTimed. Decode covers disassembly and block-table
+// construction, ValueSet the context-sensitive fixpoint, Translate the TAC
+// emission (including phi/edge wiring), Functions the selector-dispatch
+// function discovery. On failure the phases that ran are still populated.
+type Timings struct {
+	Decode    time.Duration
+	ValueSet  time.Duration
+	Translate time.Duration
+	Functions time.Duration
 }
 
 // Decompile lifts runtime bytecode into a tac.Program under the default work
@@ -226,433 +81,55 @@ func Decompile(code []byte) (*tac.Program, error) {
 // *BudgetError wrapping ErrBudgetExhausted, which is deterministic for the
 // (bytecode, limits) pair and therefore safe for callers to memoize.
 func DecompileContext(ctx context.Context, code []byte, limits Limits) (*tac.Program, error) {
-	raw, err := splitBlocks(code)
+	prog, _, err := DecompileTimed(ctx, code, limits)
+	return prog, err
+}
+
+// DecompileTimed is DecompileContext plus the per-phase timing breakdown. It
+// runs the optimized path: dense decoded block table, interned abstract
+// values, reverse-post-order priority worklist, pooled scratch.
+func DecompileTimed(ctx context.Context, code []byte, limits Limits) (*tac.Program, Timings, error) {
+	var tm Timings
+	sc := scratchPool.Get().(*scratch)
+	sc.acquire()
+	var r *fastResolver
+	defer func() {
+		if r != nil {
+			r.persist()
+		}
+		sc.release()
+		scratchPool.Put(sc)
+	}()
+
+	start := time.Now()
+	ct, err := decodeCode(code, sc)
+	tm.Decode = time.Since(start)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
-	r := &resolver{
-		code:   code,
-		raw:    raw,
-		dests:  evm.JumpDests(code),
-		states: map[ctxKey][]absVal{},
-		preds:  map[ctxKey]map[ctxKey]bool{},
-		budget: newBudget(ctx, limits),
+
+	start = time.Now()
+	r = newFastResolver(ct, sc, newBudget(ctx, limits))
+	err = r.fixpoint()
+	tm.ValueSet = time.Since(start)
+	if err != nil {
+		return nil, tm, err
 	}
-	if err := r.fixpoint(); err != nil {
-		return nil, err
-	}
+
+	start = time.Now()
 	prog, err := r.translate()
+	tm.Translate = time.Since(start)
 	if err != nil {
-		return nil, err
-	}
-	if err := discoverFunctions(r.budget, prog); err != nil {
-		return nil, err
-	}
-	return prog, nil
-}
-
-func (r *resolver) fixpoint() error {
-	entry := ctxKey{pc: 0, depth: 0}
-	r.states[entry] = nil
-	r.worklist = append(r.worklist, entry)
-	for len(r.worklist) > 0 {
-		if err := r.budget.chargeStep(); err != nil {
-			return err
-		}
-		key := r.worklist[len(r.worklist)-1]
-		r.worklist = r.worklist[:len(r.worklist)-1]
-		succs, exit, err := r.simulate(key, r.states[key])
-		if err != nil {
-			return err
-		}
-		for _, succ := range succs {
-			if err := r.propagate(key, succ, exit); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-func (r *resolver) propagate(from, to ctxKey, exit []absVal) error {
-	if r.preds[to] == nil {
-		r.preds[to] = map[ctxKey]bool{}
-	}
-	r.preds[to][from] = true
-	old, seen := r.states[to]
-	if !seen {
-		if len(r.states) >= r.budget.limits.MaxContexts {
-			return &BudgetError{Resource: "contexts", Limit: r.budget.limits.MaxContexts}
-		}
-		cp := append([]absVal{}, exit...)
-		r.states[to] = cp
-		r.worklist = append(r.worklist, to)
-		return nil
-	}
-	changed := false
-	joined := make([]absVal, len(old))
-	for i := range old {
-		joined[i] = joinVals(old[i], exit[i])
-		if !joined[i].equal(old[i]) {
-			changed = true
-		}
-	}
-	if changed {
-		r.states[to] = joined
-		r.worklist = append(r.worklist, to)
-	}
-	return nil
-}
-
-// simulate runs the abstract stack machine over the block, returning the
-// successor contexts and the exit stack.
-func (r *resolver) simulate(key ctxKey, entry []absVal) (succs []ctxKey, exit []absVal, err error) {
-	blk := r.raw[key.pc]
-	if blk == nil {
-		return nil, nil, fmt.Errorf("decompiler: jump into the middle of an instruction at %d", key.pc)
-	}
-	stack := append([]absVal{}, entry...)
-	pop := func() (absVal, error) {
-		if len(stack) == 0 {
-			return topVal, fmt.Errorf("%w: at pc %d", ErrStackUnderflow, key.pc)
-		}
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v, nil
-	}
-	for _, ins := range blk.instrs {
-		op := ins.Op
-		switch {
-		case !op.Defined():
-			return nil, stack, nil // behaves as INVALID: no successors
-		case op.IsPush():
-			stack = append(stack, constVal(ins.Arg))
-		case op.IsDup():
-			n := int(op-evm.DUP1) + 1
-			if len(stack) < n {
-				return nil, nil, fmt.Errorf("%w: DUP%d at pc %d", ErrStackUnderflow, n, ins.PC)
-			}
-			stack = append(stack, stack[len(stack)-n])
-		case op.IsSwap():
-			n := int(op-evm.SWAP1) + 1
-			if len(stack) < n+1 {
-				return nil, nil, fmt.Errorf("%w: SWAP%d at pc %d", ErrStackUnderflow, n, ins.PC)
-			}
-			top := len(stack) - 1
-			stack[top], stack[top-n] = stack[top-n], stack[top]
-		case op == evm.JUMP:
-			target, err := pop()
-			if err != nil {
-				return nil, nil, err
-			}
-			tgts, err := r.jumpTargets(target, ins.PC)
-			if err != nil {
-				return nil, nil, err
-			}
-			for _, t := range tgts {
-				succs = append(succs, ctxKey{pc: t, depth: len(stack)})
-			}
-			return succs, stack, nil
-		case op == evm.JUMPI:
-			target, err := pop()
-			if err != nil {
-				return nil, nil, err
-			}
-			if _, err := pop(); err != nil { // condition
-				return nil, nil, err
-			}
-			tgts, err := r.jumpTargets(target, ins.PC)
-			if err != nil {
-				return nil, nil, err
-			}
-			for _, t := range tgts {
-				succs = append(succs, ctxKey{pc: t, depth: len(stack)})
-			}
-			if blk.fallsThrough {
-				succs = append(succs, ctxKey{pc: blk.nextPC, depth: len(stack)})
-			}
-			return succs, stack, nil
-		case op.IsTerminator():
-			// STOP, RETURN, REVERT, INVALID, SELFDESTRUCT: consume operands,
-			// no successors.
-			for i := 0; i < op.Pops(); i++ {
-				if _, err := pop(); err != nil {
-					return nil, nil, err
-				}
-			}
-			return nil, stack, nil
-		case op == evm.JUMPDEST:
-			// no effect
-		default:
-			pops := op.Pops()
-			args := make([]absVal, pops)
-			for i := 0; i < pops; i++ {
-				a, err := pop()
-				if err != nil {
-					return nil, nil, err
-				}
-				args[i] = a
-			}
-			if op.Pushes() > 0 {
-				if pops == 2 {
-					stack = append(stack, foldBinary(op, args[0], args[1]))
-				} else {
-					stack = append(stack, topVal)
-				}
-			}
-		}
-	}
-	if blk.fallsThrough {
-		succs = append(succs, ctxKey{pc: blk.nextPC, depth: len(stack)})
-	}
-	return succs, stack, nil
-}
-
-func (r *resolver) jumpTargets(v absVal, pc int) ([]int, error) {
-	if v.top {
-		return nil, fmt.Errorf("%w: at pc %d", ErrUnresolvedJump, pc)
-	}
-	var out []int
-	for _, c := range v.consts {
-		if !c.IsUint64() || !r.dests[int(c.Uint64())] {
-			return nil, fmt.Errorf("%w: pc %d targets invalid destination %s", ErrUnresolvedJump, pc, c)
-		}
-		out = append(out, int(c.Uint64()))
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("%w: pc %d has no feasible target", ErrUnresolvedJump, pc)
-	}
-	return out, nil
-}
-
-// --- phase 2: translation to TAC ---
-
-type translator struct {
-	r       *resolver
-	prog    *tac.Program
-	blocks  map[ctxKey]*tac.Block
-	exits   map[ctxKey][]tac.VarID // exit variable stacks
-	nextVar tac.VarID
-}
-
-func (r *resolver) translate() (*tac.Program, error) {
-	t := &translator{
-		r:      r,
-		prog:   &tac.Program{},
-		blocks: map[ctxKey]*tac.Block{},
-		exits:  map[ctxKey][]tac.VarID{},
-	}
-	// Deterministic order: by pc, then depth.
-	keys := make([]ctxKey, 0, len(r.states))
-	for k := range r.states {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].pc != keys[j].pc {
-			return keys[i].pc < keys[j].pc
-		}
-		return keys[i].depth < keys[j].depth
-	})
-	for i, k := range keys {
-		b := &tac.Block{ID: i, PC: k.pc, Depth: k.depth}
-		// One phi per entry stack slot; slot 0 is the bottom. Phis count
-		// against the statement budget: deep-stack hostile contexts can
-		// demand orders of magnitude more phis than real statements.
-		if err := r.budget.chargeStmts(k.depth); err != nil {
-			return nil, err
-		}
-		for s := 0; s < k.depth; s++ {
-			phi := &tac.Stmt{Op: tac.Phi, Def: t.fresh(), PC: k.pc, Block: b}
-			b.Phis = append(b.Phis, phi)
-		}
-		t.blocks[k] = b
-		t.prog.Blocks = append(t.prog.Blocks, b)
-	}
-	t.prog.Entry = t.blocks[ctxKey{pc: 0, depth: 0}]
-	// Emit statements per block.
-	type edge struct {
-		from, to ctxKey
-	}
-	var edges []edge
-	for _, k := range keys {
-		succs, err := t.emitBlock(k)
-		if err != nil {
-			return nil, err
-		}
-		if err := r.budget.chargeStmts(len(t.blocks[k].Stmts)); err != nil {
-			return nil, err
-		}
-		for _, s := range succs {
-			edges = append(edges, edge{from: k, to: s})
-		}
-	}
-	// Wire edges and phi arguments (dedup parallel edges).
-	seen := map[edge]bool{}
-	for _, e := range edges {
-		if seen[e] {
-			continue
-		}
-		seen[e] = true
-		from, to := t.blocks[e.from], t.blocks[e.to]
-		from.Succs = append(from.Succs, to)
-		to.Preds = append(to.Preds, from)
-		exit := t.exits[e.from]
-		for s, phi := range to.Phis {
-			phi.Args = append(phi.Args, exit[s])
-		}
-	}
-	t.prog.NumVars = int(t.nextVar)
-	t.prog.BuildIndex()
-	return t.prog, nil
-}
-
-func (t *translator) fresh() tac.VarID {
-	v := t.nextVar
-	t.nextVar++
-	return v
-}
-
-// emitBlock symbolically executes the block's instructions over a stack of
-// SSA variables, appending statements, and returns successor contexts. The
-// final variable stack is recorded for phi wiring.
-func (t *translator) emitBlock(key ctxKey) ([]ctxKey, error) {
-	blk := t.r.raw[key.pc]
-	b := t.blocks[key]
-	stack := make([]tac.VarID, key.depth)
-	for i, phi := range b.Phis {
-		stack[i] = phi.Def
-	}
-	// Track abstract values alongside for jump resolution, mirroring phase 1
-	// (using the joined entry state so targets match the recorded edges).
-	abs := append([]absVal{}, t.r.states[key]...)
-
-	popVar := func() (tac.VarID, absVal, error) {
-		if len(stack) == 0 {
-			return tac.NoVar, topVal, fmt.Errorf("%w: at pc %d", ErrStackUnderflow, key.pc)
-		}
-		v, a := stack[len(stack)-1], abs[len(abs)-1]
-		stack = stack[:len(stack)-1]
-		abs = abs[:len(abs)-1]
-		return v, a, nil
-	}
-	emit := func(op tac.OpKind, def tac.VarID, pc int, args ...tac.VarID) *tac.Stmt {
-		s := &tac.Stmt{Op: op, Def: def, Args: args, PC: pc, Block: b, Idx: len(b.Stmts)}
-		b.Stmts = append(b.Stmts, s)
-		return s
-	}
-	finish := func(succs []ctxKey) []ctxKey {
-		t.exits[key] = append([]tac.VarID{}, stack...)
-		return succs
+		return nil, tm, err
 	}
 
-	for _, ins := range blk.instrs {
-		op := ins.Op
-		switch {
-		case !op.Defined():
-			emit(tac.Invalid, tac.NoVar, ins.PC)
-			return finish(nil), nil
-		case op.IsPush():
-			def := t.fresh()
-			s := emit(tac.Const, def, ins.PC)
-			s.Val = ins.Arg
-			stack = append(stack, def)
-			abs = append(abs, constVal(ins.Arg))
-		case op.IsDup():
-			n := int(op-evm.DUP1) + 1
-			if len(stack) < n {
-				return nil, fmt.Errorf("%w: DUP%d at pc %d", ErrStackUnderflow, n, ins.PC)
-			}
-			stack = append(stack, stack[len(stack)-n])
-			abs = append(abs, abs[len(abs)-n])
-		case op.IsSwap():
-			n := int(op-evm.SWAP1) + 1
-			if len(stack) < n+1 {
-				return nil, fmt.Errorf("%w: SWAP%d at pc %d", ErrStackUnderflow, n, ins.PC)
-			}
-			top := len(stack) - 1
-			stack[top], stack[top-n] = stack[top-n], stack[top]
-			abs[top], abs[top-n] = abs[top-n], abs[top]
-		case op == evm.POP:
-			if _, _, err := popVar(); err != nil {
-				return nil, err
-			}
-		case op == evm.JUMPDEST:
-			// no statement
-		case op == evm.JUMP:
-			tv, ta, err := popVar()
-			if err != nil {
-				return nil, err
-			}
-			emit(tac.Jump, tac.NoVar, ins.PC, tv)
-			tgts, err := t.r.jumpTargets(ta, ins.PC)
-			if err != nil {
-				return nil, err
-			}
-			var succs []ctxKey
-			for _, tg := range tgts {
-				succs = append(succs, ctxKey{pc: tg, depth: len(stack)})
-			}
-			return finish(succs), nil
-		case op == evm.JUMPI:
-			tv, ta, err := popVar()
-			if err != nil {
-				return nil, err
-			}
-			cv, _, err := popVar()
-			if err != nil {
-				return nil, err
-			}
-			emit(tac.Jumpi, tac.NoVar, ins.PC, tv, cv)
-			tgts, err := t.r.jumpTargets(ta, ins.PC)
-			if err != nil {
-				return nil, err
-			}
-			var succs []ctxKey
-			for _, tg := range tgts {
-				succs = append(succs, ctxKey{pc: tg, depth: len(stack)})
-			}
-			if blk.fallsThrough {
-				succs = append(succs, ctxKey{pc: blk.nextPC, depth: len(stack)})
-			}
-			return finish(succs), nil
-		default:
-			kind, ok := opKindOf(op)
-			if !ok {
-				return nil, fmt.Errorf("decompiler: unmapped opcode %s at pc %d", op, ins.PC)
-			}
-			pops := op.Pops()
-			args := make([]tac.VarID, pops)
-			absArgs := make([]absVal, pops)
-			for i := 0; i < pops; i++ {
-				v, a, err := popVar()
-				if err != nil {
-					return nil, err
-				}
-				args[i] = v
-				absArgs[i] = a
-			}
-			var def tac.VarID = tac.NoVar
-			if op.Pushes() > 0 {
-				def = t.fresh()
-			}
-			emit(kind, def, ins.PC, args...)
-			if def != tac.NoVar {
-				stack = append(stack, def)
-				if pops == 2 {
-					abs = append(abs, foldBinary(op, absArgs[0], absArgs[1]))
-				} else {
-					abs = append(abs, topVal)
-				}
-			}
-			if kind.IsTerminator() {
-				return finish(nil), nil
-			}
-		}
+	start = time.Now()
+	err = discoverFunctions(r.budget, prog)
+	tm.Functions = time.Since(start)
+	if err != nil {
+		return nil, tm, err
 	}
-	if blk.fallsThrough {
-		return finish([]ctxKey{{pc: blk.nextPC, depth: len(stack)}}), nil
-	}
-	return finish(nil), nil
+	return prog, tm, nil
 }
 
 // opKindOf maps EVM opcodes to TAC operation kinds (stack-shuffling and

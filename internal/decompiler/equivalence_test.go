@@ -1,0 +1,209 @@
+package decompiler_test
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ethainter/internal/corpus"
+	"ethainter/internal/decompiler"
+	"ethainter/internal/minisol"
+)
+
+// The optimized decompiler (dense tables, interned values, RPO priority
+// worklist) must be bit-identical to the retained reference path on every
+// input where both succeed: identical block ids, variable ids, statement
+// order, edges, phi arguments, and discovered functions. These tests enforce
+// that across the full synthetic corpus, the hand-written fixtures, and the
+// adversarial hostile inputs, at both default and tight budgets.
+
+// hostileInputs loads the committed ctx-explosion bytecodes.
+func hostileInputs(t testing.TB) map[string][]byte {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "hostile", "*.hex"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("hostile corpus missing: %v (%d files)", err, len(paths))
+	}
+	out := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		out[filepath.Base(p)] = code
+	}
+	return out
+}
+
+// checkEquivalent decompiles code with both paths under the same limits and
+// enforces the equivalence contract. The worklist-steps budget is the one
+// deliberately path-dependent resource (the priority worklist needs fewer
+// steps than the reference FIFO to reach the same fixpoint), so outcomes are
+// not compared when either path exhausts it; the contexts and statements
+// budgets are confluent — the context set and emitted statements are
+// properties of the least fixpoint, not the visit order — and must agree.
+func checkEquivalent(t *testing.T, code []byte, limits decompiler.Limits) {
+	t.Helper()
+	ctx := context.Background()
+	fast, fastErr := decompiler.DecompileContext(ctx, code, limits)
+	ref, refErr := decompiler.DecompileReference(ctx, code, limits)
+
+	if stepsExhausted(fastErr) || stepsExhausted(refErr) {
+		return
+	}
+	if (fastErr == nil) != (refErr == nil) {
+		t.Fatalf("success disagreement: fast err=%v, reference err=%v", fastErr, refErr)
+	}
+	if fastErr != nil {
+		// Both failed. Error classes may differ (visit order decides which
+		// defect surfaces first), but budget exhaustion is confluent, so the
+		// class must agree when either path reports it.
+		if errors.Is(fastErr, decompiler.ErrBudgetExhausted) != errors.Is(refErr, decompiler.ErrBudgetExhausted) {
+			t.Fatalf("budget-class disagreement: fast err=%v, reference err=%v", fastErr, refErr)
+		}
+		return
+	}
+	if fc, rc := fast.Canonical(), ref.Canonical(); fc != rc {
+		t.Fatalf("programs differ:\n--- fast ---\n%s\n--- reference ---\n%s", head(fc, rc), head(rc, fc))
+	}
+}
+
+// head trims a canonical dump to the first divergent region for readable
+// failures.
+func head(s, other string) string {
+	i := 0
+	for i < len(s) && i < len(other) && s[i] == other[i] {
+		i++
+	}
+	start := i - 200
+	if start < 0 {
+		start = 0
+	}
+	end := i + 200
+	if end > len(s) {
+		end = len(s)
+	}
+	return s[start:end]
+}
+
+func stepsExhausted(err error) bool {
+	var be *decompiler.BudgetError
+	return errors.As(err, &be) && be.Resource == "worklist steps"
+}
+
+// TestDecompileEquivalenceSweep decompiles every unique corpus contract plus
+// the hand-written fixtures with both paths, at default and tight limits.
+func TestDecompileEquivalenceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep in -short mode")
+	}
+	seen := map[string]bool{}
+	var codes [][]byte
+	add := func(code []byte) {
+		if len(code) == 0 || seen[string(code)] {
+			return
+		}
+		seen[string(code)] = true
+		codes = append(codes, code)
+	}
+	for _, src := range []string{minisol.VictimSource, minisol.SafeTokenSource} {
+		add(minisol.MustCompile(src).Runtime)
+	}
+	for _, c := range corpus.Generate(corpus.DefaultProfile(300, 20200615)) {
+		add(c.Runtime)
+	}
+	tight := decompiler.Limits{MaxContexts: 40, MaxWorklistSteps: 4000, MaxStatements: 2000}
+	t.Logf("sweeping %d unique bytecodes", len(codes))
+	for _, code := range codes {
+		checkEquivalent(t, code, decompiler.Limits{})
+		checkEquivalent(t, code, tight)
+	}
+}
+
+// TestDecompileEquivalenceHostile pins the adversarial inputs: both paths
+// must fail at default limits, and the production path must keep reporting
+// the contexts budget — the class the negative cache and the /statsz failure
+// taxonomy key on.
+func TestDecompileEquivalenceHostile(t *testing.T) {
+	for name, code := range hostileInputs(t) {
+		t.Run(name, func(t *testing.T) {
+			checkEquivalent(t, code, decompiler.Limits{})
+			_, err := decompiler.DecompileContext(context.Background(), code, decompiler.Limits{})
+			var be *decompiler.BudgetError
+			if !errors.As(err, &be) || be.Resource != "contexts" {
+				t.Fatalf("want contexts budget exhaustion, got %v", err)
+			}
+		})
+	}
+}
+
+// TestDecompileTimedPhases sanity-checks the sub-stage breakdown: phases that
+// ran must be populated and the entry points must agree with each other.
+func TestDecompileTimedPhases(t *testing.T) {
+	code := minisol.MustCompile(minisol.SafeTokenSource).Runtime
+	prog, tm, err := decompiler.DecompileTimed(context.Background(), code, decompiler.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog == nil || len(prog.Blocks) == 0 {
+		t.Fatal("empty program")
+	}
+	if tm.Decode <= 0 || tm.ValueSet <= 0 || tm.Translate <= 0 || tm.Functions < 0 {
+		t.Fatalf("unpopulated phase timings: %+v", tm)
+	}
+	prog2, err := decompiler.Decompile(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Canonical() != prog2.Canonical() {
+		t.Fatal("DecompileTimed and Decompile disagree")
+	}
+}
+
+// FuzzDecompileEquivalence is the differential fuzzer between the optimized
+// and reference decompilers, sharing seeds with FuzzAnalyzeBytecode's shapes:
+// empty, truncated-PUSH, dynamic-jump, real compiled contracts, and the
+// hostile corpus. The optimized path must also be self-deterministic — the
+// property the content-addressed cache relies on.
+func FuzzDecompileEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x60})       // truncated PUSH1
+	f.Add([]byte{0x5b, 0x56}) // JUMPDEST; JUMP (dynamic)
+	f.Add(minisol.MustCompile(minisol.VictimSource).Runtime)
+	f.Add(minisol.MustCompile(minisol.SafeTokenSource).Runtime)
+	for _, c := range corpus.Generate(corpus.DefaultProfile(4, 20200615)) {
+		f.Add(c.Runtime)
+	}
+	for _, code := range hostileInputs(f) {
+		f.Add(code)
+	}
+	limits := decompiler.Limits{MaxContexts: 500, MaxWorklistSteps: 20000, MaxStatements: 50000}
+	f.Fuzz(func(t *testing.T, code []byte) {
+		if len(code) > 24576 {
+			t.Skip("beyond the EIP-170 deployed-code cap")
+		}
+		checkEquivalent(t, code, limits)
+		// Self-determinism of the optimized path.
+		ctx := context.Background()
+		p1, err1 := decompiler.DecompileContext(ctx, code, limits)
+		p2, err2 := decompiler.DecompileContext(ctx, code, limits)
+		switch {
+		case (err1 == nil) != (err2 == nil):
+			t.Fatalf("nondeterministic outcome: %v vs %v", err1, err2)
+		case err1 != nil:
+			if err1.Error() != err2.Error() {
+				t.Fatalf("nondeterministic error: %q vs %q", err1, err2)
+			}
+		case p1.Canonical() != p2.Canonical():
+			t.Fatal("nondeterministic program")
+		}
+	})
+}

@@ -1,0 +1,400 @@
+package decompiler
+
+import (
+	"fmt"
+	"sync"
+
+	"ethainter/internal/evm"
+	"ethainter/internal/tac"
+)
+
+// This file is the value-set fixpoint of the optimized decompiler. Contexts
+// are dense int32 ids (keys/states are slices, with one map from ctxKey to
+// id), abstract states are slices of interned *aval so joins detect change by
+// pointer comparison, and the worklist is a binary min-heap ordered by the
+// block's reverse-post-order rank (then entry depth, then id) with membership
+// bits so a context is never queued twice. The computed least fixpoint — and
+// therefore the translated program — is identical to the reference path's
+// FIFO fixpoint: joins are monotone, so the final states and the discovered
+// context set do not depend on visit order; ordering only changes how many
+// re-simulations it takes to get there.
+
+type fastResolver struct {
+	ct     *codeTable
+	in     *interner
+	budget *budget
+
+	keys   []ctxKey  // ctx id -> (pc, depth)
+	states [][]*aval // ctx id -> entry state, len == depth
+	rpoOf  []int32   // ctx id -> block rpo rank (heap primary key)
+	ctxOf  map[ctxKey]int32
+
+	heap   []int32 // min-heap of ctx ids
+	inHeap []bool
+
+	sc *scratch
+}
+
+// scratch is the pooled per-run working set: the interner, the decoded code
+// table, the resolver's flat context arrays, and every reusable buffer the
+// fixpoint and translator thrash. Nothing in it outlives a run (the returned
+// program references only translator arenas), so a corpus sweep amortizes
+// nearly all decompilation allocations after warm-up.
+type scratch struct {
+	in *interner
+	ct codeTable
+
+	// decode buffers
+	leader []bool
+	post   []int32
+	dfs    []rpoFrame
+
+	// resolver context arrays
+	keys    []ctxKey
+	states  [][]*aval
+	rpoOf   []int32
+	heap    []int32
+	inHeap  []bool
+	avalBuf []*aval // slab backing the per-context entry states
+	ctxOf   map[ctxKey]int32
+
+	// simulation / translation buffers
+	stack    []*aval
+	succs    []ctxKey
+	targets  []int
+	ord      []int32
+	sortKeys []uint64
+	byCtx    []*tac.Block
+	exits    [][]tac.VarID
+	edges    []ctxEdge
+	edgeSeen map[ctxEdge]bool
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &scratch{} },
+}
+
+// acquire readies the scratch for a run. The interner is reused across runs
+// (allocated once per scratch); release leaves it reset, so acquire only has
+// to initialize a brand-new one — resetting in both places would memclr the
+// hash tables twice per run.
+func (sc *scratch) acquire() {
+	if sc.in == nil {
+		sc.in = new(interner)
+		sc.in.reset()
+	}
+}
+
+// release drops every per-run reference that must not pin memory while the
+// scratch sits in the pool: the state/stack buffers hold *aval pointers, and
+// the context map holds a run's worth of keys. The interner's reset rewinds
+// its (capped) slabs and memclrs its tables so pooled scratches do not pin a
+// dead run's avals and the next acquire finds it ready.
+func (sc *scratch) release() {
+	sc.in.reset()
+	clear(sc.states)
+	// allocAvals only ever writes [0:len), and Put-time slots past len are nil
+	// by induction, so a len-bounded clear is enough (cap can be much larger).
+	clear(sc.avalBuf)
+	sc.avalBuf = sc.avalBuf[:0]
+	// pushConst may point into slab chunks that reset just dropped; clear it so
+	// a pooled scratch cannot pin a hostile run's memory.
+	clear(sc.ct.pushConst)
+	clear(sc.stack[:cap(sc.stack)])
+	sc.stack = sc.stack[:0]
+	clear(sc.byCtx[:cap(sc.byCtx)])
+	sc.byCtx = sc.byCtx[:0]
+	clear(sc.exits[:cap(sc.exits)])
+	sc.exits = sc.exits[:0]
+	const maxRetainCtx = 1 << 15
+	if len(sc.ctxOf) > maxRetainCtx {
+		sc.ctxOf = nil
+	} else {
+		clear(sc.ctxOf)
+	}
+}
+
+// allocAvals hands out a zeroed []*aval of length n from the state slab.
+func (sc *scratch) allocAvals(n int) []*aval {
+	if len(sc.avalBuf)+n > cap(sc.avalBuf) {
+		sc.avalBuf = make([]*aval, 0, max(4096, n))
+	}
+	off := len(sc.avalBuf)
+	sc.avalBuf = sc.avalBuf[: off+n : cap(sc.avalBuf)]
+	return sc.avalBuf[off : off+n : off+n]
+}
+
+func newFastResolver(ct *codeTable, sc *scratch, b *budget) *fastResolver {
+	if sc.ctxOf == nil {
+		sc.ctxOf = make(map[ctxKey]int32, 64)
+	}
+	return &fastResolver{
+		ct:     ct,
+		in:     sc.in,
+		budget: b,
+		keys:   sc.keys[:0],
+		states: sc.states[:0],
+		rpoOf:  sc.rpoOf[:0],
+		heap:   sc.heap[:0],
+		inHeap: sc.inHeap[:0],
+		ctxOf:  sc.ctxOf,
+		sc:     sc,
+	}
+}
+
+// persist hands the (possibly grown) context arrays back to the scratch so
+// the next run reuses their capacity.
+func (r *fastResolver) persist() {
+	r.sc.keys = r.keys[:0]
+	r.sc.states = r.states
+	r.sc.rpoOf = r.rpoOf[:0]
+	r.sc.heap = r.heap[:0]
+	r.sc.inHeap = r.inHeap[:0]
+}
+
+// --- worklist heap: min by (block rpo, depth, id) ---
+
+func (r *fastResolver) less(a, b int32) bool {
+	if r.rpoOf[a] != r.rpoOf[b] {
+		return r.rpoOf[a] < r.rpoOf[b]
+	}
+	ka, kb := r.keys[a], r.keys[b]
+	if ka.depth != kb.depth {
+		return ka.depth < kb.depth
+	}
+	return a < b
+}
+
+func (r *fastResolver) push(id int32) {
+	r.inHeap[id] = true
+	r.heap = append(r.heap, id)
+	i := len(r.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !r.less(r.heap[i], r.heap[p]) {
+			break
+		}
+		r.heap[i], r.heap[p] = r.heap[p], r.heap[i]
+		i = p
+	}
+}
+
+func (r *fastResolver) pop() int32 {
+	top := r.heap[0]
+	last := len(r.heap) - 1
+	r.heap[0] = r.heap[last]
+	r.heap = r.heap[:last]
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		small := i
+		if l < last && r.less(r.heap[l], r.heap[small]) {
+			small = l
+		}
+		if rt < last && r.less(r.heap[rt], r.heap[small]) {
+			small = rt
+		}
+		if small == i {
+			break
+		}
+		r.heap[i], r.heap[small] = r.heap[small], r.heap[i]
+		i = small
+	}
+	r.inHeap[top] = false
+	return top
+}
+
+// newCtx registers a context and returns its id, enforcing MaxContexts with
+// the same threshold check as the reference path.
+func (r *fastResolver) newCtx(k ctxKey, state []*aval) (int32, error) {
+	if len(r.keys) >= r.budget.limits.MaxContexts {
+		return -1, &BudgetError{Resource: "contexts", Limit: r.budget.limits.MaxContexts}
+	}
+	id := int32(len(r.keys))
+	cp := r.sc.allocAvals(len(state))
+	copy(cp, state)
+	r.keys = append(r.keys, k)
+	r.states = append(r.states, cp)
+	rpo := int32(0)
+	if b := r.ct.block(k.pc); b != nil {
+		rpo = b.rpo
+	}
+	r.rpoOf = append(r.rpoOf, rpo)
+	r.inHeap = append(r.inHeap, false)
+	r.ctxOf[k] = id
+	return id, nil
+}
+
+func (r *fastResolver) fixpoint() error {
+	id, err := r.newCtx(ctxKey{pc: 0, depth: 0}, nil)
+	if err != nil {
+		return err
+	}
+	r.push(id)
+	for len(r.heap) > 0 {
+		if err := r.budget.chargeStep(); err != nil {
+			return err
+		}
+		id := r.pop()
+		succs, exit, err := r.simulate(r.keys[id], r.states[id])
+		if err != nil {
+			return err
+		}
+		for _, succ := range succs {
+			if err := r.propagate(succ, exit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *fastResolver) propagate(to ctxKey, exit []*aval) error {
+	id, seen := r.ctxOf[to]
+	if !seen {
+		id, err := r.newCtx(to, exit)
+		if err != nil {
+			return err
+		}
+		r.push(id)
+		return nil
+	}
+	old := r.states[id]
+	changed := false
+	for i := range old {
+		if nv := r.in.join(old[i], exit[i]); nv != old[i] {
+			old[i] = nv
+			changed = true
+		}
+	}
+	if changed && !r.inHeap[id] {
+		r.push(id)
+	}
+	return nil
+}
+
+// simulate runs the abstract stack machine over the decoded block, returning
+// successor contexts and the exit stack (both backed by reusable scratch;
+// callers must not retain them across simulations). The instruction handling,
+// error conditions, and error strings mirror the reference simulate exactly.
+func (r *fastResolver) simulate(key ctxKey, entry []*aval) (succs []ctxKey, exit []*aval, err error) {
+	blk := r.ct.block(key.pc)
+	if blk == nil {
+		return nil, nil, fmt.Errorf("decompiler: jump into the middle of an instruction at %d", key.pc)
+	}
+	stack := append(r.sc.stack[:0], entry...)
+	defer func() { r.sc.stack = stack[:0] }()
+	succs = r.sc.succs[:0]
+	defer func() { r.sc.succs = succs[:0] }()
+
+	pop := func() (*aval, error) {
+		if len(stack) == 0 {
+			return avalTop, fmt.Errorf("%w: at pc %d", ErrStackUnderflow, key.pc)
+		}
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v, nil
+	}
+	instrs := r.ct.instrs[blk.first : blk.first+blk.count]
+	for ii := range instrs {
+		ins := &instrs[ii]
+		op := ins.Op
+		switch {
+		case !op.Defined():
+			return nil, stack, nil // behaves as INVALID: no successors
+		case op.IsPush():
+			stack = append(stack, r.ct.pushConst[blk.first+int32(ii)])
+		case op.IsDup():
+			n := int(op-evm.DUP1) + 1
+			if len(stack) < n {
+				return nil, nil, fmt.Errorf("%w: DUP%d at pc %d", ErrStackUnderflow, n, ins.PC)
+			}
+			stack = append(stack, stack[len(stack)-n])
+		case op.IsSwap():
+			n := int(op-evm.SWAP1) + 1
+			if len(stack) < n+1 {
+				return nil, nil, fmt.Errorf("%w: SWAP%d at pc %d", ErrStackUnderflow, n, ins.PC)
+			}
+			top := len(stack) - 1
+			stack[top], stack[top-n] = stack[top-n], stack[top]
+		case op == evm.JUMP || op == evm.JUMPI:
+			target, err := pop()
+			if err != nil {
+				return nil, nil, err
+			}
+			if op == evm.JUMPI {
+				if _, err := pop(); err != nil { // condition
+					return nil, nil, err
+				}
+			}
+			tgts, err := r.jumpTargets(target, ins.PC)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, t := range tgts {
+				succs = append(succs, ctxKey{pc: t, depth: len(stack)})
+			}
+			if op == evm.JUMPI && blk.fallsThrough {
+				succs = append(succs, ctxKey{pc: blk.nextPC, depth: len(stack)})
+			}
+			return succs, stack, nil
+		case op.IsTerminator():
+			// STOP, RETURN, REVERT, INVALID, SELFDESTRUCT: consume operands,
+			// no successors.
+			for i := 0; i < op.Pops(); i++ {
+				if _, err := pop(); err != nil {
+					return nil, nil, err
+				}
+			}
+			return nil, stack, nil
+		case op == evm.JUMPDEST:
+			// no effect
+		default:
+			pops := op.Pops()
+			var a0, a1 *aval
+			for i := 0; i < pops; i++ {
+				a, err := pop()
+				if err != nil {
+					return nil, nil, err
+				}
+				if i == 0 {
+					a0 = a
+				} else if i == 1 {
+					a1 = a
+				}
+			}
+			if op.Pushes() > 0 {
+				if pops == 2 {
+					stack = append(stack, r.in.fold(op, a0, a1))
+				} else {
+					stack = append(stack, avalTop)
+				}
+			}
+		}
+	}
+	if blk.fallsThrough {
+		succs = append(succs, ctxKey{pc: blk.nextPC, depth: len(stack)})
+	}
+	return succs, stack, nil
+}
+
+// jumpTargets resolves an interned jump-target value against the JUMPDEST
+// table, with the reference path's exact error strings. The returned slice
+// is scratch; callers consume it before the next call.
+func (r *fastResolver) jumpTargets(v *aval, pc int) ([]int, error) {
+	if v.top {
+		return nil, fmt.Errorf("%w: at pc %d", ErrUnresolvedJump, pc)
+	}
+	out := r.sc.targets[:0]
+	defer func() { r.sc.targets = out[:0] }()
+	for _, c := range v.consts {
+		if !c.IsUint64() || c.Uint64() >= uint64(len(r.ct.isDest)) || !r.ct.isDest[c.Uint64()] {
+			return nil, fmt.Errorf("%w: pc %d targets invalid destination %s", ErrUnresolvedJump, pc, c)
+		}
+		out = append(out, int(c.Uint64()))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: pc %d has no feasible target", ErrUnresolvedJump, pc)
+	}
+	return out, nil
+}

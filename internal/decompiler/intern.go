@@ -1,0 +1,349 @@
+package decompiler
+
+import (
+	"sort"
+
+	"ethainter/internal/evm"
+	"ethainter/internal/u256"
+)
+
+// This file is the hash-consed abstract-value representation of the
+// optimized decompiler. Every distinct bounded constant set exists exactly
+// once per run as an *aval, so state comparison in propagate is pointer
+// equality per slot, joins short-circuit on identical operands, and repeated
+// constant folds over the same operand pair hit a memo instead of recomputing
+// the product. The lattice semantics — sorted dedup'd sets, widening to ⊤
+// past maxConstSet, the foldBinary product pre-check — replicate the
+// reference path's absVal exactly; only the representation differs.
+
+// aval is an interned abstract stack value: ⊤ or a sorted, deduplicated
+// constant set with len <= maxConstSet and a precomputed hash.
+type aval struct {
+	top    bool
+	consts []u256.U256
+	hash   uint64
+}
+
+// avalTop is the unique ⊤ value; pointer comparison against it is the top
+// test everywhere in the fast path.
+var avalTop = &aval{top: true, hash: 0x746f70} // arbitrary, never bucketed
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func hashConsts(consts []u256.U256) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range consts {
+		for _, w := range c {
+			h ^= w
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// foldKey memoizes foldBinary over interned operands: identical pointers
+// mean identical sets, so (op, a, b) fully determines the result.
+type foldKey struct {
+	op   evm.Op
+	a, b *aval
+}
+
+// interner hash-conses avals for one decompilation run. It is not safe for
+// concurrent use; each run owns one (see scratch / scratchPool). The interner
+// itself is reused across runs: reset memclrs the open-addressed tables and
+// rewinds the chunked slabs that back aval structs and their constant sets,
+// so a warm corpus sweep interns with near-zero steady-state allocation.
+// Open addressing (linear probing, power-of-two sizing) replaces Go maps here
+// because a table wipe is a pointer memclr instead of a bucket walk, and the
+// per-run wipe was a measurable slice of decompile time.
+type interner struct {
+	// hash-cons table: slot -> interned value, probed linearly on aval.hash.
+	table []*aval
+	mask  uint64
+	live  int
+
+	// fold memo: parallel key/value arrays probed on a mix of the operand
+	// hashes and the opcode. A nil value marks an empty slot.
+	foldKeys []foldKey
+	foldVals []*aval
+	foldMask uint64
+	foldLive int
+
+	merge []u256.U256  // scratch for join/fold set construction
+	one   [1]u256.U256 // scratch for singleton interning (the PUSH hot path)
+
+	// Chunked slabs: avals and const sets are handed out from fixed-capacity
+	// chunks so outstanding pointers never move, and reset rewinds the chunks
+	// in place. Nothing interned outlives a run (states, stacks, and memos are
+	// all cleared), so rewinding cannot create dangling references.
+	avalChunks  [][]aval
+	avalChunk   int
+	constChunks [][]u256.U256
+	constChunk  int
+}
+
+const (
+	internChunk      = 1024
+	internTableMin   = 1024    // initial slots; must be a power of two
+	internMaxRetain  = 1 << 16 // tables larger than this are dropped on reset
+	internChunkLimit = 32      // slab chunks retained across runs
+)
+
+// reset readies the interner for a new run, retaining table memory and slab
+// chunks for reuse. After an outsized (hostile) run the retention caps drop
+// everything instead, so one adversarial input cannot pin megabytes in the
+// scratch pool forever.
+func (in *interner) reset() {
+	if in.table == nil || len(in.table) > internMaxRetain {
+		in.table = make([]*aval, internTableMin)
+	} else {
+		clear(in.table)
+	}
+	in.mask = uint64(len(in.table) - 1)
+	in.live = 0
+	if in.foldVals == nil || len(in.foldVals) > internMaxRetain {
+		in.foldKeys = make([]foldKey, internTableMin)
+		in.foldVals = make([]*aval, internTableMin)
+	} else {
+		clear(in.foldKeys)
+		clear(in.foldVals)
+	}
+	in.foldMask = uint64(len(in.foldVals) - 1)
+	in.foldLive = 0
+	// Dropping both slabs together keeps every retained aval's consts header
+	// pointing at retained memory — a partial drop could pin freed chunks
+	// through stale headers.
+	if len(in.avalChunks) > internChunkLimit || len(in.constChunks) > internChunkLimit {
+		in.avalChunks, in.constChunks = nil, nil
+	}
+	for i := range in.avalChunks {
+		in.avalChunks[i] = in.avalChunks[i][:0]
+	}
+	in.avalChunk = 0
+	for i := range in.constChunks {
+		in.constChunks[i] = in.constChunks[i][:0]
+	}
+	in.constChunk = 0
+}
+
+// allocAval hands out one aval slot from the chunked slab.
+func (in *interner) allocAval() *aval {
+	for {
+		if in.avalChunk == len(in.avalChunks) {
+			in.avalChunks = append(in.avalChunks, make([]aval, 0, internChunk))
+		}
+		c := in.avalChunks[in.avalChunk]
+		if len(c) < cap(c) {
+			c = c[: len(c)+1 : cap(c)]
+			in.avalChunks[in.avalChunk] = c
+			return &c[len(c)-1]
+		}
+		in.avalChunk++
+	}
+}
+
+// allocConsts hands out a contiguous []u256.U256 of length n (n is at most
+// maxConstSet, far below internChunk, so a fresh chunk always fits it).
+func (in *interner) allocConsts(n int) []u256.U256 {
+	for {
+		if in.constChunk == len(in.constChunks) {
+			in.constChunks = append(in.constChunks, make([]u256.U256, 0, internChunk))
+		}
+		c := in.constChunks[in.constChunk]
+		if len(c)+n <= cap(c) {
+			off := len(c)
+			in.constChunks[in.constChunk] = c[: off+n : cap(c)]
+			return c[off : off+n : off+n]
+		}
+		in.constChunk++
+	}
+}
+
+// intern returns the canonical *aval for the sorted, deduplicated set in
+// consts, copying the slice only when inserting a new entry — callers may
+// pass reusable scratch.
+func (in *interner) intern(consts []u256.U256) *aval {
+	h := hashConsts(consts)
+	i := h & in.mask
+	for {
+		v := in.table[i]
+		if v == nil {
+			break
+		}
+		if v.hash == h && len(v.consts) == len(consts) {
+			same := true
+			for j := range consts {
+				if v.consts[j] != consts[j] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return v
+			}
+		}
+		i = (i + 1) & in.mask
+	}
+	cp := in.allocConsts(len(consts))
+	copy(cp, consts)
+	v := in.allocAval()
+	*v = aval{consts: cp, hash: h}
+	in.table[i] = v
+	in.live++
+	if uint64(in.live)*4 > uint64(len(in.table))*3 {
+		in.growTable()
+	}
+	return v
+}
+
+// growTable doubles the hash-cons table and reinserts every live entry.
+func (in *interner) growTable() {
+	old := in.table
+	in.table = make([]*aval, len(old)*2)
+	in.mask = uint64(len(in.table) - 1)
+	for _, v := range old {
+		if v == nil {
+			continue
+		}
+		i := v.hash & in.mask
+		for in.table[i] != nil {
+			i = (i + 1) & in.mask
+		}
+		in.table[i] = v
+	}
+}
+
+// constOf returns the interned singleton {c} — the PUSH hot path.
+func (in *interner) constOf(c u256.U256) *aval {
+	in.one[0] = c
+	return in.intern(in.one[:1])
+}
+
+// join returns the interned least upper bound of a and b. Identical pointers
+// and ⊤ short-circuit; otherwise a linear sorted merge-union, returning a or
+// b unchanged when one subsumes the other (so unchanged propagate slots keep
+// their pointer and the caller's change detection stays a pointer compare).
+func (in *interner) join(a, b *aval) *aval {
+	if a == b {
+		return a
+	}
+	if a.top || b.top {
+		return avalTop
+	}
+	out := in.merge[:0]
+	i, j := 0, 0
+	for i < len(a.consts) && j < len(b.consts) {
+		switch c := a.consts[i].Cmp(b.consts[j]); {
+		case c < 0:
+			out = append(out, a.consts[i])
+			i++
+		case c > 0:
+			out = append(out, b.consts[j])
+			j++
+		default:
+			out = append(out, a.consts[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a.consts[i:]...)
+	out = append(out, b.consts[j:]...)
+	in.merge = out[:0]
+	if len(out) > maxConstSet {
+		return avalTop
+	}
+	// Subsumption: the union equals whichever input already held every
+	// element (sets are canonical, so equal length means equal set).
+	if len(out) == len(a.consts) {
+		return a
+	}
+	if len(out) == len(b.consts) {
+		return b
+	}
+	return in.intern(out)
+}
+
+// fold replicates the reference foldBinary over interned values: ⊤ operands
+// and unfoldable opcodes yield ⊤, an operand-count product above maxConstSet
+// widens to ⊤ before any arithmetic, and otherwise the result is the sorted
+// dedup'd product set. Results are memoized per (op, a, b).
+func (in *interner) fold(op evm.Op, a, b *aval) *aval {
+	if a.top || b.top {
+		return avalTop
+	}
+	f, ok := foldFunc(op)
+	if !ok {
+		return avalTop
+	}
+	k := foldKey{op: op, a: a, b: b}
+	h := (a.hash ^ b.hash*fnvPrime ^ uint64(op)) * fnvPrime
+	i := h & in.foldMask
+	for {
+		v := in.foldVals[i]
+		if v == nil {
+			break
+		}
+		if in.foldKeys[i] == k {
+			return v
+		}
+		i = (i + 1) & in.foldMask
+	}
+	v := in.foldSlow(f, a, b)
+	// foldSlow interns (and may grow the cons table) but never touches the
+	// fold memo, so slot i is still the right insertion point.
+	in.foldKeys[i] = k
+	in.foldVals[i] = v
+	in.foldLive++
+	if uint64(in.foldLive)*4 > uint64(len(in.foldVals))*3 {
+		in.growFold()
+	}
+	return v
+}
+
+// growFold doubles the fold memo and reinserts every live entry.
+func (in *interner) growFold() {
+	oldK, oldV := in.foldKeys, in.foldVals
+	in.foldKeys = make([]foldKey, len(oldK)*2)
+	in.foldVals = make([]*aval, len(oldV)*2)
+	in.foldMask = uint64(len(in.foldVals) - 1)
+	for j, v := range oldV {
+		if v == nil {
+			continue
+		}
+		k := oldK[j]
+		h := (k.a.hash ^ k.b.hash*fnvPrime ^ uint64(k.op)) * fnvPrime
+		i := h & in.foldMask
+		for in.foldVals[i] != nil {
+			i = (i + 1) & in.foldMask
+		}
+		in.foldKeys[i] = k
+		in.foldVals[i] = v
+	}
+}
+
+func (in *interner) foldSlow(f func(x, y u256.U256) u256.U256, a, b *aval) *aval {
+	if len(a.consts)*len(b.consts) > maxConstSet {
+		return avalTop
+	}
+	out := in.merge[:0]
+	for _, x := range a.consts {
+		for _, y := range b.consts {
+			out = append(out, f(x, y))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cmp(out[j]) < 0 })
+	dedup := out[:0]
+	for i, c := range out {
+		if i == 0 || c != out[i-1] {
+			dedup = append(dedup, c)
+		}
+	}
+	in.merge = out[:0]
+	// The product pre-check bounds the raw product at maxConstSet, so the
+	// deduplicated set can never widen here — mirroring the reference, where
+	// joinVals over <= maxConstSet singletons cannot reach ⊤.
+	return in.intern(dedup)
+}

@@ -1,0 +1,617 @@
+package decompiler
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"ethainter/internal/evm"
+	"ethainter/internal/tac"
+	"ethainter/internal/u256"
+)
+
+// This file retains the original map-based decompiler as the differential-
+// testing oracle for the optimized path (decode.go / intern.go / fixpoint.go /
+// translate.go), in the spirit of core.AnalyzeReference: slower, simpler, and
+// bit-for-bit equivalent. The equivalence sweep and FuzzDecompileEquivalence
+// hold the optimized path to this implementation's output — same blocks, same
+// variable ids, same public functions.
+
+// DecompileReference lifts runtime bytecode with the original (pre-interning,
+// map-keyed, FIFO-worklist) decompiler. It exists purely as the differential
+// oracle: production callers use DecompileContext, which must produce a
+// bit-identical tac.Program whenever both paths succeed.
+func DecompileReference(ctx context.Context, code []byte, limits Limits) (*tac.Program, error) {
+	raw, err := splitBlocks(code)
+	if err != nil {
+		return nil, err
+	}
+	r := &resolver{
+		code:   code,
+		raw:    raw,
+		dests:  evm.JumpDests(code),
+		states: map[ctxKey][]absVal{},
+		preds:  map[ctxKey]map[ctxKey]bool{},
+		budget: newBudget(ctx, limits),
+	}
+	if err := r.fixpoint(); err != nil {
+		return nil, err
+	}
+	prog, err := r.translate()
+	if err != nil {
+		return nil, err
+	}
+	if err := discoverFunctions(r.budget, prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// --- abstract values: bounded constant sets (reference representation) ---
+
+type absVal struct {
+	top    bool
+	consts []u256.U256 // sorted, deduplicated, len <= maxConstSet
+}
+
+var topVal = absVal{top: true}
+
+func constVal(c u256.U256) absVal { return absVal{consts: []u256.U256{c}} }
+
+func joinVals(a, b absVal) absVal {
+	if a.top || b.top {
+		return topVal
+	}
+	merged := append(append([]u256.U256{}, a.consts...), b.consts...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Cmp(merged[j]) < 0 })
+	out := merged[:0]
+	for i, c := range merged {
+		if i == 0 || c != merged[i-1] {
+			out = append(out, c)
+		}
+	}
+	if len(out) > maxConstSet {
+		return topVal
+	}
+	return absVal{consts: out}
+}
+
+func (v absVal) equal(o absVal) bool {
+	if v.top != o.top || len(v.consts) != len(o.consts) {
+		return false
+	}
+	for i := range v.consts {
+		if v.consts[i] != o.consts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// foldBinary folds constant sets through the few operators that commonly
+// compute jump targets or dispatch values. Everything else yields ⊤.
+func foldBinary(op evm.Op, a, b absVal) absVal {
+	if a.top || b.top {
+		return topVal
+	}
+	f, ok := foldFunc(op)
+	if !ok {
+		return topVal
+	}
+	if len(a.consts)*len(b.consts) > maxConstSet {
+		return topVal
+	}
+	out := absVal{}
+	for _, x := range a.consts {
+		for _, y := range b.consts {
+			out = joinVals(out, constVal(f(x, y)))
+		}
+	}
+	return out
+}
+
+// foldFunc maps a foldable binary opcode to its concrete function; shared
+// between the reference and optimized paths so their arithmetic can never
+// diverge.
+func foldFunc(op evm.Op) (func(x, y u256.U256) u256.U256, bool) {
+	switch op {
+	case evm.ADD:
+		return u256.U256.Add, true
+	case evm.SUB:
+		return func(x, y u256.U256) u256.U256 { return x.Sub(y) }, true
+	case evm.MUL:
+		return u256.U256.Mul, true
+	case evm.DIV:
+		return u256.U256.Div, true
+	case evm.AND:
+		return u256.U256.And, true
+	case evm.OR:
+		return u256.U256.Or, true
+	case evm.SHL:
+		return func(x, y u256.U256) u256.U256 {
+			if !x.IsUint64() || x.Uint64() > 255 {
+				return u256.Zero
+			}
+			return y.Shl(uint(x.Uint64()))
+		}, true
+	case evm.SHR:
+		return func(x, y u256.U256) u256.U256 {
+			if !x.IsUint64() || x.Uint64() > 255 {
+				return u256.Zero
+			}
+			return y.Shr(uint(x.Uint64()))
+		}, true
+	case evm.EXP:
+		return u256.U256.Exp, true
+	}
+	return nil, false
+}
+
+// --- raw blocks (reference representation) ---
+
+type rawBlock struct {
+	pc     int
+	instrs []evm.Instruction
+	// fallsThrough is true when control can continue to the next leader.
+	fallsThrough bool
+	nextPC       int // leader after the block (valid when fallsThrough)
+}
+
+func splitBlocks(code []byte) (map[int]*rawBlock, error) {
+	if len(code) == 0 {
+		return nil, ErrEmptyCode
+	}
+	instrs := evm.Disassemble(code)
+	leaders := map[int]bool{0: true}
+	for i, ins := range instrs {
+		if ins.Op == evm.JUMPDEST {
+			leaders[ins.PC] = true
+		}
+		if ins.Op == evm.JUMPI || ins.Op.IsTerminator() || !ins.Op.Defined() {
+			if i+1 < len(instrs) {
+				leaders[instrs[i+1].PC] = true
+			}
+		}
+	}
+	blocks := map[int]*rawBlock{}
+	var cur *rawBlock
+	for i, ins := range instrs {
+		if leaders[ins.PC] {
+			cur = &rawBlock{pc: ins.PC}
+			blocks[ins.PC] = cur
+		}
+		cur.instrs = append(cur.instrs, ins)
+		last := i == len(instrs)-1
+		endsBlock := ins.Op == evm.JUMPI || ins.Op.IsTerminator() || !ins.Op.Defined() ||
+			last || leaders[instrs[min(i+1, len(instrs)-1)].PC]
+		if endsBlock {
+			cur.fallsThrough = !ins.Op.IsTerminator() && ins.Op.Defined() && !last
+			if cur.fallsThrough {
+				cur.nextPC = instrs[i+1].PC
+			}
+			cur = nil
+		}
+	}
+	return blocks, nil
+}
+
+// --- phase 1: context-sensitive reachability and jump resolution ---
+
+type ctxKey struct {
+	pc    int
+	depth int
+}
+
+type resolver struct {
+	code     []byte
+	raw      map[int]*rawBlock
+	dests    map[int]bool
+	states   map[ctxKey][]absVal
+	preds    map[ctxKey]map[ctxKey]bool
+	worklist []ctxKey
+	budget   *budget
+}
+
+func (r *resolver) fixpoint() error {
+	entry := ctxKey{pc: 0, depth: 0}
+	r.states[entry] = nil
+	r.worklist = append(r.worklist, entry)
+	for len(r.worklist) > 0 {
+		if err := r.budget.chargeStep(); err != nil {
+			return err
+		}
+		key := r.worklist[len(r.worklist)-1]
+		r.worklist = r.worklist[:len(r.worklist)-1]
+		succs, exit, err := r.simulate(key, r.states[key])
+		if err != nil {
+			return err
+		}
+		for _, succ := range succs {
+			if err := r.propagate(key, succ, exit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *resolver) propagate(from, to ctxKey, exit []absVal) error {
+	if r.preds[to] == nil {
+		r.preds[to] = map[ctxKey]bool{}
+	}
+	r.preds[to][from] = true
+	old, seen := r.states[to]
+	if !seen {
+		if len(r.states) >= r.budget.limits.MaxContexts {
+			return &BudgetError{Resource: "contexts", Limit: r.budget.limits.MaxContexts}
+		}
+		cp := append([]absVal{}, exit...)
+		r.states[to] = cp
+		r.worklist = append(r.worklist, to)
+		return nil
+	}
+	changed := false
+	joined := make([]absVal, len(old))
+	for i := range old {
+		joined[i] = joinVals(old[i], exit[i])
+		if !joined[i].equal(old[i]) {
+			changed = true
+		}
+	}
+	if changed {
+		r.states[to] = joined
+		r.worklist = append(r.worklist, to)
+	}
+	return nil
+}
+
+// simulate runs the abstract stack machine over the block, returning the
+// successor contexts and the exit stack.
+func (r *resolver) simulate(key ctxKey, entry []absVal) (succs []ctxKey, exit []absVal, err error) {
+	blk := r.raw[key.pc]
+	if blk == nil {
+		return nil, nil, fmt.Errorf("decompiler: jump into the middle of an instruction at %d", key.pc)
+	}
+	stack := append([]absVal{}, entry...)
+	pop := func() (absVal, error) {
+		if len(stack) == 0 {
+			return topVal, fmt.Errorf("%w: at pc %d", ErrStackUnderflow, key.pc)
+		}
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v, nil
+	}
+	for _, ins := range blk.instrs {
+		op := ins.Op
+		switch {
+		case !op.Defined():
+			return nil, stack, nil // behaves as INVALID: no successors
+		case op.IsPush():
+			stack = append(stack, constVal(ins.Arg))
+		case op.IsDup():
+			n := int(op-evm.DUP1) + 1
+			if len(stack) < n {
+				return nil, nil, fmt.Errorf("%w: DUP%d at pc %d", ErrStackUnderflow, n, ins.PC)
+			}
+			stack = append(stack, stack[len(stack)-n])
+		case op.IsSwap():
+			n := int(op-evm.SWAP1) + 1
+			if len(stack) < n+1 {
+				return nil, nil, fmt.Errorf("%w: SWAP%d at pc %d", ErrStackUnderflow, n, ins.PC)
+			}
+			top := len(stack) - 1
+			stack[top], stack[top-n] = stack[top-n], stack[top]
+		case op == evm.JUMP:
+			target, err := pop()
+			if err != nil {
+				return nil, nil, err
+			}
+			tgts, err := r.jumpTargets(target, ins.PC)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, t := range tgts {
+				succs = append(succs, ctxKey{pc: t, depth: len(stack)})
+			}
+			return succs, stack, nil
+		case op == evm.JUMPI:
+			target, err := pop()
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := pop(); err != nil { // condition
+				return nil, nil, err
+			}
+			tgts, err := r.jumpTargets(target, ins.PC)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, t := range tgts {
+				succs = append(succs, ctxKey{pc: t, depth: len(stack)})
+			}
+			if blk.fallsThrough {
+				succs = append(succs, ctxKey{pc: blk.nextPC, depth: len(stack)})
+			}
+			return succs, stack, nil
+		case op.IsTerminator():
+			// STOP, RETURN, REVERT, INVALID, SELFDESTRUCT: consume operands,
+			// no successors.
+			for i := 0; i < op.Pops(); i++ {
+				if _, err := pop(); err != nil {
+					return nil, nil, err
+				}
+			}
+			return nil, stack, nil
+		case op == evm.JUMPDEST:
+			// no effect
+		default:
+			pops := op.Pops()
+			args := make([]absVal, pops)
+			for i := 0; i < pops; i++ {
+				a, err := pop()
+				if err != nil {
+					return nil, nil, err
+				}
+				args[i] = a
+			}
+			if op.Pushes() > 0 {
+				if pops == 2 {
+					stack = append(stack, foldBinary(op, args[0], args[1]))
+				} else {
+					stack = append(stack, topVal)
+				}
+			}
+		}
+	}
+	if blk.fallsThrough {
+		succs = append(succs, ctxKey{pc: blk.nextPC, depth: len(stack)})
+	}
+	return succs, stack, nil
+}
+
+func (r *resolver) jumpTargets(v absVal, pc int) ([]int, error) {
+	if v.top {
+		return nil, fmt.Errorf("%w: at pc %d", ErrUnresolvedJump, pc)
+	}
+	var out []int
+	for _, c := range v.consts {
+		if !c.IsUint64() || !r.dests[int(c.Uint64())] {
+			return nil, fmt.Errorf("%w: pc %d targets invalid destination %s", ErrUnresolvedJump, pc, c)
+		}
+		out = append(out, int(c.Uint64()))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: pc %d has no feasible target", ErrUnresolvedJump, pc)
+	}
+	return out, nil
+}
+
+// --- phase 2: translation to TAC ---
+
+type translator struct {
+	r       *resolver
+	prog    *tac.Program
+	blocks  map[ctxKey]*tac.Block
+	exits   map[ctxKey][]tac.VarID // exit variable stacks
+	nextVar tac.VarID
+}
+
+func (r *resolver) translate() (*tac.Program, error) {
+	t := &translator{
+		r:      r,
+		prog:   &tac.Program{},
+		blocks: map[ctxKey]*tac.Block{},
+		exits:  map[ctxKey][]tac.VarID{},
+	}
+	// Deterministic order: by pc, then depth.
+	keys := make([]ctxKey, 0, len(r.states))
+	for k := range r.states {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pc != keys[j].pc {
+			return keys[i].pc < keys[j].pc
+		}
+		return keys[i].depth < keys[j].depth
+	})
+	for i, k := range keys {
+		b := &tac.Block{ID: i, PC: k.pc, Depth: k.depth}
+		// One phi per entry stack slot; slot 0 is the bottom. Phis count
+		// against the statement budget: deep-stack hostile contexts can
+		// demand orders of magnitude more phis than real statements.
+		if err := r.budget.chargeStmts(k.depth); err != nil {
+			return nil, err
+		}
+		for s := 0; s < k.depth; s++ {
+			phi := &tac.Stmt{Op: tac.Phi, Def: t.fresh(), PC: k.pc, Block: b}
+			b.Phis = append(b.Phis, phi)
+		}
+		t.blocks[k] = b
+		t.prog.Blocks = append(t.prog.Blocks, b)
+	}
+	t.prog.Entry = t.blocks[ctxKey{pc: 0, depth: 0}]
+	// Emit statements per block.
+	type edge struct {
+		from, to ctxKey
+	}
+	var edges []edge
+	for _, k := range keys {
+		succs, err := t.emitBlock(k)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.budget.chargeStmts(len(t.blocks[k].Stmts)); err != nil {
+			return nil, err
+		}
+		for _, s := range succs {
+			edges = append(edges, edge{from: k, to: s})
+		}
+	}
+	// Wire edges and phi arguments (dedup parallel edges).
+	seen := map[edge]bool{}
+	for _, e := range edges {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		from, to := t.blocks[e.from], t.blocks[e.to]
+		from.Succs = append(from.Succs, to)
+		to.Preds = append(to.Preds, from)
+		exit := t.exits[e.from]
+		for s, phi := range to.Phis {
+			phi.Args = append(phi.Args, exit[s])
+		}
+	}
+	t.prog.NumVars = int(t.nextVar)
+	t.prog.BuildIndex()
+	return t.prog, nil
+}
+
+func (t *translator) fresh() tac.VarID {
+	v := t.nextVar
+	t.nextVar++
+	return v
+}
+
+// emitBlock symbolically executes the block's instructions over a stack of
+// SSA variables, appending statements, and returns successor contexts. The
+// final variable stack is recorded for phi wiring.
+func (t *translator) emitBlock(key ctxKey) ([]ctxKey, error) {
+	blk := t.r.raw[key.pc]
+	b := t.blocks[key]
+	stack := make([]tac.VarID, key.depth)
+	for i, phi := range b.Phis {
+		stack[i] = phi.Def
+	}
+	// Track abstract values alongside for jump resolution, mirroring phase 1
+	// (using the joined entry state so targets match the recorded edges).
+	abs := append([]absVal{}, t.r.states[key]...)
+
+	popVar := func() (tac.VarID, absVal, error) {
+		if len(stack) == 0 {
+			return tac.NoVar, topVal, fmt.Errorf("%w: at pc %d", ErrStackUnderflow, key.pc)
+		}
+		v, a := stack[len(stack)-1], abs[len(abs)-1]
+		stack = stack[:len(stack)-1]
+		abs = abs[:len(abs)-1]
+		return v, a, nil
+	}
+	emit := func(op tac.OpKind, def tac.VarID, pc int, args ...tac.VarID) *tac.Stmt {
+		s := &tac.Stmt{Op: op, Def: def, Args: args, PC: pc, Block: b, Idx: len(b.Stmts)}
+		b.Stmts = append(b.Stmts, s)
+		return s
+	}
+	finish := func(succs []ctxKey) []ctxKey {
+		t.exits[key] = append([]tac.VarID{}, stack...)
+		return succs
+	}
+
+	for _, ins := range blk.instrs {
+		op := ins.Op
+		switch {
+		case !op.Defined():
+			emit(tac.Invalid, tac.NoVar, ins.PC)
+			return finish(nil), nil
+		case op.IsPush():
+			def := t.fresh()
+			s := emit(tac.Const, def, ins.PC)
+			s.Val = ins.Arg
+			stack = append(stack, def)
+			abs = append(abs, constVal(ins.Arg))
+		case op.IsDup():
+			n := int(op-evm.DUP1) + 1
+			if len(stack) < n {
+				return nil, fmt.Errorf("%w: DUP%d at pc %d", ErrStackUnderflow, n, ins.PC)
+			}
+			stack = append(stack, stack[len(stack)-n])
+			abs = append(abs, abs[len(abs)-n])
+		case op.IsSwap():
+			n := int(op-evm.SWAP1) + 1
+			if len(stack) < n+1 {
+				return nil, fmt.Errorf("%w: SWAP%d at pc %d", ErrStackUnderflow, n, ins.PC)
+			}
+			top := len(stack) - 1
+			stack[top], stack[top-n] = stack[top-n], stack[top]
+			abs[top], abs[top-n] = abs[top-n], abs[top]
+		case op == evm.POP:
+			if _, _, err := popVar(); err != nil {
+				return nil, err
+			}
+		case op == evm.JUMPDEST:
+			// no statement
+		case op == evm.JUMP:
+			tv, ta, err := popVar()
+			if err != nil {
+				return nil, err
+			}
+			emit(tac.Jump, tac.NoVar, ins.PC, tv)
+			tgts, err := t.r.jumpTargets(ta, ins.PC)
+			if err != nil {
+				return nil, err
+			}
+			var succs []ctxKey
+			for _, tg := range tgts {
+				succs = append(succs, ctxKey{pc: tg, depth: len(stack)})
+			}
+			return finish(succs), nil
+		case op == evm.JUMPI:
+			tv, ta, err := popVar()
+			if err != nil {
+				return nil, err
+			}
+			cv, _, err := popVar()
+			if err != nil {
+				return nil, err
+			}
+			emit(tac.Jumpi, tac.NoVar, ins.PC, tv, cv)
+			tgts, err := t.r.jumpTargets(ta, ins.PC)
+			if err != nil {
+				return nil, err
+			}
+			var succs []ctxKey
+			for _, tg := range tgts {
+				succs = append(succs, ctxKey{pc: tg, depth: len(stack)})
+			}
+			if blk.fallsThrough {
+				succs = append(succs, ctxKey{pc: blk.nextPC, depth: len(stack)})
+			}
+			return finish(succs), nil
+		default:
+			kind, ok := opKindOf(op)
+			if !ok {
+				return nil, fmt.Errorf("decompiler: unmapped opcode %s at pc %d", op, ins.PC)
+			}
+			pops := op.Pops()
+			args := make([]tac.VarID, pops)
+			absArgs := make([]absVal, pops)
+			for i := 0; i < pops; i++ {
+				v, a, err := popVar()
+				if err != nil {
+					return nil, err
+				}
+				args[i] = v
+				absArgs[i] = a
+			}
+			var def tac.VarID = tac.NoVar
+			if op.Pushes() > 0 {
+				def = t.fresh()
+			}
+			emit(kind, def, ins.PC, args...)
+			if def != tac.NoVar {
+				stack = append(stack, def)
+				if pops == 2 {
+					abs = append(abs, foldBinary(op, absArgs[0], absArgs[1]))
+				} else {
+					abs = append(abs, topVal)
+				}
+			}
+			if kind.IsTerminator() {
+				return finish(nil), nil
+			}
+		}
+	}
+	if blk.fallsThrough {
+		return finish([]ctxKey{{pc: blk.nextPC, depth: len(stack)}}), nil
+	}
+	return finish(nil), nil
+}

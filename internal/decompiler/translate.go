@@ -1,0 +1,443 @@
+package decompiler
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"ethainter/internal/evm"
+	"ethainter/internal/tac"
+)
+
+// This file is the translation phase of the optimized decompiler. It emits
+// the same tac.Program as the reference translator — block ids, variable ids,
+// statement order, edge order, phi arguments, everything — but allocates
+// statements and argument slices from chunked arenas instead of one heap
+// object per statement, and replays decoded instructions from the dense
+// table. Identical output follows from identical ordering decisions: blocks
+// are created in (pc, depth) order, phi variables are allocated block by
+// block before any statement variables, and blocks are emitted in that same
+// order, exactly as in the reference.
+
+// stmtChunk sizes the translation arenas. The slabs become part of the
+// returned program's backing memory, so they are not pooled.
+const stmtChunk = 512
+
+type fastTranslator struct {
+	r       *fastResolver
+	prog    *tac.Program
+	byCtx   []*tac.Block  // ctx id -> block
+	exits   [][]tac.VarID // ctx id -> exit variable stack
+	nextVar tac.VarID
+	stmts   []tac.Stmt  // current statement slab
+	ptrs    []*tac.Stmt // current statement-pointer slab (Phis/Stmts backing)
+	vars    []tac.VarID // current variable-id slab (Args/exits backing)
+	varStk  []tac.VarID // reusable symbolic stack
+
+	// Index bookkeeping, maintained as statements are emitted so the program's
+	// def/use index is installed via BuildIndexPrepared instead of re-walking
+	// every statement three times. defs[v] is the statement defining v — valid
+	// because fresh() is monotonic and every allocated variable is defined by
+	// exactly one phi or statement. useCnt[v] counts argument occurrences.
+	defs     []*tac.Stmt
+	useCnt   []int32
+	totalUse int
+}
+
+func (t *fastTranslator) fresh() tac.VarID {
+	v := t.nextVar
+	t.nextVar++
+	return v
+}
+
+// newStmt hands out one statement from the current slab. The slot is extended
+// by reslicing, not append(…, tac.Stmt{}): chunks come zeroed from make and
+// are never reused, so the append would redundantly zero-write a pointer-laden
+// struct (write-barrier traffic) that the caller immediately overwrites.
+func (t *fastTranslator) newStmt() *tac.Stmt {
+	if len(t.stmts) == cap(t.stmts) {
+		t.stmts = make([]tac.Stmt, 0, stmtChunk)
+	}
+	t.stmts = t.stmts[: len(t.stmts)+1 : cap(t.stmts)]
+	return &t.stmts[len(t.stmts)-1]
+}
+
+// allocPtrs hands out a zeroed []*tac.Stmt of length n with no spare
+// capacity, so append semantics match a fresh allocation.
+func (t *fastTranslator) allocPtrs(n int) []*tac.Stmt {
+	if n == 0 {
+		return nil
+	}
+	if len(t.ptrs)+n > cap(t.ptrs) {
+		t.ptrs = make([]*tac.Stmt, 0, max(stmtChunk, n))
+	}
+	off := len(t.ptrs)
+	t.ptrs = t.ptrs[: off+n : cap(t.ptrs)]
+	s := t.ptrs[off : off+n : off+n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// emptyVars matches the reference translator's make([]tac.VarID, 0) for
+// zero-operand value ops: non-nil, empty, allocation-free.
+var emptyVars = []tac.VarID{}
+
+// allocVars hands out a []tac.VarID of length n with no spare capacity.
+func (t *fastTranslator) allocVars(n int) []tac.VarID {
+	if n == 0 {
+		return emptyVars
+	}
+	if len(t.vars)+n > cap(t.vars) {
+		t.vars = make([]tac.VarID, 0, max(stmtChunk, n))
+	}
+	off := len(t.vars)
+	t.vars = t.vars[: off+n : cap(t.vars)]
+	return t.vars[off : off+n : off+n]
+}
+
+// ctxEdge is one (from, to) context edge recorded during translation wiring.
+type ctxEdge struct{ from, to int32 }
+
+// sortedCtxIDs returns the context ids ordered by (pc, depth) — the reference
+// translator's key sort; (pc, depth) pairs are unique, so no tie-break is
+// needed. When every pc and depth fits in 16 bits (always, for real
+// contracts) the sort runs over packed integer keys with no comparison
+// closure; the returned slice is scratch, consumed within the run.
+func (r *fastResolver) sortedCtxIDs() []int32 {
+	sc := r.sc
+	n := len(r.keys)
+	packable := true
+	for i := range r.keys {
+		if r.keys[i].pc >= 1<<16 || r.keys[i].depth >= 1<<16 {
+			packable = false
+			break
+		}
+	}
+	ord := sc.ord[:0]
+	if cap(ord) < n {
+		ord = make([]int32, 0, n)
+	}
+	if packable {
+		keys := sc.sortKeys[:0]
+		if cap(keys) < n {
+			keys = make([]uint64, 0, n)
+		}
+		for i := range r.keys {
+			k := &r.keys[i]
+			keys = append(keys, uint64(k.pc)<<48|uint64(k.depth)<<32|uint64(uint32(i)))
+		}
+		slices.Sort(keys)
+		for _, k := range keys {
+			ord = append(ord, int32(uint32(k)))
+		}
+		sc.sortKeys = keys[:0]
+	} else {
+		for i := 0; i < n; i++ {
+			ord = append(ord, int32(i))
+		}
+		sort.Slice(ord, func(i, j int) bool {
+			a, b := r.keys[ord[i]], r.keys[ord[j]]
+			if a.pc != b.pc {
+				return a.pc < b.pc
+			}
+			return a.depth < b.depth
+		})
+	}
+	sc.ord = ord[:0]
+	return ord
+}
+
+func (r *fastResolver) translate() (*tac.Program, error) {
+	sc := r.sc
+	n := len(r.keys)
+	// byCtx and exits are scratch-backed: every slot is assigned before any
+	// read (all blocks are created, then all blocks are emitted), and release
+	// clears them so pooled scratches do not pin a returned program.
+	if cap(sc.byCtx) < n {
+		sc.byCtx = make([]*tac.Block, n)
+	} else {
+		sc.byCtx = sc.byCtx[:n]
+	}
+	if cap(sc.exits) < n {
+		sc.exits = make([][]tac.VarID, n)
+	} else {
+		sc.exits = sc.exits[:n]
+	}
+	t := &fastTranslator{
+		r:     r,
+		prog:  &tac.Program{},
+		byCtx: sc.byCtx,
+		exits: sc.exits,
+	}
+	ord := r.sortedCtxIDs()
+	t.prog.Blocks = make([]*tac.Block, 0, len(ord))
+	blockArena := make([]tac.Block, len(ord))
+	// Exact-capacity def/use bookkeeping: every phi (one per entry-stack slot)
+	// and at most one statement per decoded instruction can define a variable,
+	// so presizing kills the append-grow chains in the emit hot loop.
+	capVars := 0
+	for _, id := range ord {
+		k := r.keys[id]
+		capVars += k.depth + int(r.ct.blocks[r.ct.idxByPC[k.pc]].count)
+	}
+	t.defs = make([]*tac.Stmt, 0, capVars)
+	t.useCnt = make([]int32, 0, capVars)
+	// capVars also bounds the statement count (phis + at most one statement
+	// per instruction) and is exactly the pointer-slab demand (every phi and
+	// statement slot), so one right-sized slab each replaces the fixed-size
+	// chunk chain — roughly a third of the bytes the old chunking allocated
+	// per program went unused past the final slab's high-water mark.
+	t.stmts = make([]tac.Stmt, 0, capVars)
+	t.ptrs = make([]*tac.Stmt, 0, capVars)
+	t.vars = make([]tac.VarID, 0, capVars)
+	for i, id := range ord {
+		k := r.keys[id]
+		b := &blockArena[i]
+		b.ID, b.PC, b.Depth = i, k.pc, k.depth
+		// One phi per entry stack slot; slot 0 is the bottom. Phis count
+		// against the statement budget: deep-stack hostile contexts can
+		// demand orders of magnitude more phis than real statements.
+		if err := r.budget.chargeStmts(k.depth); err != nil {
+			return nil, err
+		}
+		if k.depth > 0 {
+			b.Phis = t.allocPtrs(k.depth)
+			for s := 0; s < k.depth; s++ {
+				phi := t.newStmt()
+				phi.Op, phi.Def, phi.PC, phi.Block = tac.Phi, t.fresh(), k.pc, b
+				b.Phis[s] = phi
+				t.defs = append(t.defs, phi)
+				t.useCnt = append(t.useCnt, 0)
+			}
+		}
+		t.byCtx[id] = b
+		t.prog.Blocks = append(t.prog.Blocks, b)
+	}
+	t.prog.Entry = t.byCtx[r.ctxOf[ctxKey{pc: 0, depth: 0}]]
+	// Emit statements per block, in the same (pc, depth) order.
+	edges := sc.edges[:0]
+	for _, id := range ord {
+		succs, err := t.emitBlock(id)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.budget.chargeStmts(len(t.byCtx[id].Stmts)); err != nil {
+			return nil, err
+		}
+		for _, s := range succs {
+			edges = append(edges, ctxEdge{from: id, to: r.ctxOf[s]})
+		}
+	}
+	sc.edges = edges[:0]
+	// Wire edges and phi arguments (dedup parallel edges, first-seen order).
+	if sc.edgeSeen == nil {
+		sc.edgeSeen = make(map[ctxEdge]bool, 64)
+	} else {
+		clear(sc.edgeSeen)
+	}
+	seen := sc.edgeSeen
+	for _, e := range edges {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		from, to := t.byCtx[e.from], t.byCtx[e.to]
+		from.Succs = append(from.Succs, to)
+		to.Preds = append(to.Preds, from)
+		exit := t.exits[e.from]
+		for s, phi := range to.Phis {
+			phi.Args = append(phi.Args, exit[s])
+			if exit[s] >= 0 {
+				t.useCnt[exit[s]]++
+				t.totalUse++
+			}
+		}
+	}
+	t.prog.NumVars = int(t.nextVar)
+	if len(t.defs) == int(t.nextVar) {
+		t.prog.BuildIndexPrepared(t.defs, t.useCnt, t.totalUse)
+	} else {
+		// Unreachable when every fresh() is paired with a def, but a full
+		// rebuild is always correct — never install a short table.
+		t.prog.BuildIndex()
+	}
+	return t.prog, nil
+}
+
+// emitBlock symbolically executes the decoded block over a stack of SSA
+// variables, appending arena-allocated statements, and returns successor
+// contexts (scratch-backed; consumed by the caller before the next call).
+// It mirrors the reference emitBlock decision for decision.
+func (t *fastTranslator) emitBlock(id int32) ([]ctxKey, error) {
+	r := t.r
+	key := r.keys[id]
+	blk := r.ct.block(key.pc)
+	b := t.byCtx[id]
+	stack := t.varStk[:0]
+	for _, phi := range b.Phis {
+		stack = append(stack, phi.Def)
+	}
+	defer func() { t.varStk = stack[:0] }()
+	// Track abstract values alongside for jump resolution, mirroring phase 1
+	// (using the joined entry state so targets match the recorded edges).
+	abs := append(r.sc.stack[:0], r.states[id]...)
+	defer func() { r.sc.stack = abs[:0] }()
+	succs := r.sc.succs[:0]
+	defer func() { r.sc.succs = succs[:0] }()
+
+	popVar := func() (tac.VarID, *aval, error) {
+		if len(stack) == 0 {
+			return tac.NoVar, avalTop, fmt.Errorf("%w: at pc %d", ErrStackUnderflow, key.pc)
+		}
+		v, a := stack[len(stack)-1], abs[len(abs)-1]
+		stack = stack[:len(stack)-1]
+		abs = abs[:len(abs)-1]
+		return v, a, nil
+	}
+	emit := func(op tac.OpKind, def tac.VarID, pc int, args []tac.VarID) *tac.Stmt {
+		s := t.newStmt()
+		s.Op, s.Def, s.Args, s.PC, s.Block, s.Idx = op, def, args, pc, b, len(b.Stmts)
+		b.Stmts = append(b.Stmts, s)
+		if def != tac.NoVar {
+			t.defs = append(t.defs, s)
+			t.useCnt = append(t.useCnt, 0)
+		}
+		for _, a := range args {
+			if a >= 0 {
+				t.useCnt[a]++
+				t.totalUse++
+			}
+		}
+		return s
+	}
+	finish := func(sk []ctxKey) []ctxKey {
+		ex := t.allocVars(len(stack))
+		copy(ex, stack)
+		t.exits[id] = ex
+		return sk
+	}
+
+	if b.Stmts == nil && blk.count > 0 {
+		// Exact-capacity pointer backing: each instruction emits at most one
+		// statement.
+		b.Stmts = t.allocPtrs(int(blk.count))[:0]
+	}
+	instrs := r.ct.instrs[blk.first : blk.first+blk.count]
+	for ii := range instrs {
+		ins := &instrs[ii]
+		op := ins.Op
+		switch {
+		case !op.Defined():
+			emit(tac.Invalid, tac.NoVar, ins.PC, nil)
+			return finish(nil), nil
+		case op.IsPush():
+			def := t.fresh()
+			s := emit(tac.Const, def, ins.PC, nil)
+			s.Val = ins.Arg
+			stack = append(stack, def)
+			abs = append(abs, r.ct.pushConst[blk.first+int32(ii)])
+		case op.IsDup():
+			n := int(op-evm.DUP1) + 1
+			if len(stack) < n {
+				return nil, fmt.Errorf("%w: DUP%d at pc %d", ErrStackUnderflow, n, ins.PC)
+			}
+			stack = append(stack, stack[len(stack)-n])
+			abs = append(abs, abs[len(abs)-n])
+		case op.IsSwap():
+			n := int(op-evm.SWAP1) + 1
+			if len(stack) < n+1 {
+				return nil, fmt.Errorf("%w: SWAP%d at pc %d", ErrStackUnderflow, n, ins.PC)
+			}
+			top := len(stack) - 1
+			stack[top], stack[top-n] = stack[top-n], stack[top]
+			abs[top], abs[top-n] = abs[top-n], abs[top]
+		case op == evm.POP:
+			if _, _, err := popVar(); err != nil {
+				return nil, err
+			}
+		case op == evm.JUMPDEST:
+			// no statement
+		case op == evm.JUMP:
+			tv, ta, err := popVar()
+			if err != nil {
+				return nil, err
+			}
+			args := t.allocVars(1)
+			args[0] = tv
+			emit(tac.Jump, tac.NoVar, ins.PC, args)
+			tgts, err := r.jumpTargets(ta, ins.PC)
+			if err != nil {
+				return nil, err
+			}
+			for _, tg := range tgts {
+				succs = append(succs, ctxKey{pc: tg, depth: len(stack)})
+			}
+			return finish(succs), nil
+		case op == evm.JUMPI:
+			tv, ta, err := popVar()
+			if err != nil {
+				return nil, err
+			}
+			cv, _, err := popVar()
+			if err != nil {
+				return nil, err
+			}
+			args := t.allocVars(2)
+			args[0], args[1] = tv, cv
+			emit(tac.Jumpi, tac.NoVar, ins.PC, args)
+			tgts, err := r.jumpTargets(ta, ins.PC)
+			if err != nil {
+				return nil, err
+			}
+			for _, tg := range tgts {
+				succs = append(succs, ctxKey{pc: tg, depth: len(stack)})
+			}
+			if blk.fallsThrough {
+				succs = append(succs, ctxKey{pc: blk.nextPC, depth: len(stack)})
+			}
+			return finish(succs), nil
+		default:
+			kind, ok := opKindOf(op)
+			if !ok {
+				return nil, fmt.Errorf("decompiler: unmapped opcode %s at pc %d", op, ins.PC)
+			}
+			pops := op.Pops()
+			args := t.allocVars(pops)
+			var a0, a1 *aval
+			for i := 0; i < pops; i++ {
+				v, a, err := popVar()
+				if err != nil {
+					return nil, err
+				}
+				args[i] = v
+				if i == 0 {
+					a0 = a
+				} else if i == 1 {
+					a1 = a
+				}
+			}
+			var def tac.VarID = tac.NoVar
+			if op.Pushes() > 0 {
+				def = t.fresh()
+			}
+			emit(kind, def, ins.PC, args)
+			if def != tac.NoVar {
+				stack = append(stack, def)
+				if pops == 2 {
+					abs = append(abs, r.in.fold(op, a0, a1))
+				} else {
+					abs = append(abs, avalTop)
+				}
+			}
+			if kind.IsTerminator() {
+				return finish(nil), nil
+			}
+		}
+	}
+	if blk.fallsThrough {
+		return finish([]ctxKey{{pc: blk.nextPC, depth: len(stack)}}), nil
+	}
+	return finish(nil), nil
+}

@@ -29,16 +29,41 @@ func (ins Instruction) String() string {
 // off the end of the code are zero-padded, matching EVM execution semantics.
 // Undefined opcodes are kept (they behave as INVALID when executed).
 func Disassemble(code []byte) []Instruction {
-	var out []Instruction
+	return DisassembleInto(nil, code)
+}
+
+// DisassembleInto is Disassemble appending into dst (reset to length zero),
+// so hot callers can recycle the instruction buffer across bytecodes. A
+// counting pre-pass sizes the one growth allocation exactly.
+func DisassembleInto(dst []Instruction, code []byte) []Instruction {
+	n := 0
+	for pc := 0; pc < len(code); pc += 1 + Op(code[pc]).PushSize() {
+		n++
+	}
+	out := dst[:0]
+	if cap(out) < n {
+		out = make([]Instruction, 0, n)
+	}
 	for pc := 0; pc < len(code); {
 		op := Op(code[pc])
 		ins := Instruction{PC: pc, Op: op}
 		if n := op.PushSize(); n > 0 {
-			var imm [32]byte
 			end := pc + 1 + n
 			src := code[pc+1 : min(end, len(code))]
-			copy(imm[32-n:], src)
-			ins.Arg = u256.FromBytes32(imm)
+			if n <= 8 && len(src) == n {
+				// PUSH1..PUSH8 dominate real bytecode: assemble the single
+				// low limb directly instead of staging a 32-byte buffer and
+				// unpacking all four limbs.
+				var v uint64
+				for _, b := range src {
+					v = v<<8 | uint64(b)
+				}
+				ins.Arg = u256.FromUint64(v)
+			} else {
+				var imm [32]byte
+				copy(imm[32-n:], src)
+				ins.Arg = u256.FromBytes32(imm)
+			}
 			pc = end
 		} else {
 			pc++

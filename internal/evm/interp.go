@@ -286,10 +286,10 @@ func (f *frame) useGas(n uint64) error {
 // quadratic schedule, which naturally bounds allocation by the gas budget.
 func (f *frame) expandMem(off, size u256.U256) (int, int, error) {
 	if size.IsZero() {
-		if !off.IsUint64() {
-			return 0, 0, nil
-		}
-		return int(off.Uint64()), 0, nil
+		// A zero-size access touches no memory and costs nothing, so the
+		// offset is irrelevant — and must not be returned as-is: it can point
+		// far past the (unexpanded) buffer, and callers slice f.mem[o:o+s].
+		return 0, 0, nil
 	}
 	if !off.IsUint64() || !size.IsUint64() {
 		return 0, 0, ErrOutOfGas

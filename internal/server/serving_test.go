@@ -284,6 +284,11 @@ func TestStatszCounters(t *testing.T) {
 	if stats.Stages.Decompile <= 0 || stats.Stages.Fixpoint <= 0 {
 		t.Errorf("decompile/fixpoint stages not populated: %+v", stats.Stages.StageTimings)
 	}
+	// The decompile sub-breakdown rides along for fresh analyses (cache hits
+	// legitimately contribute zero, but at least one analysis here was fresh).
+	if stats.Stages.DecompileValueSet <= 0 || stats.Stages.DecompileTranslate <= 0 {
+		t.Errorf("decompile sub-stages not populated: %+v", stats.Stages.StageTimings)
+	}
 }
 
 // TestRepeatAnalyzeServedFromCache is the acceptance pin: a repeated /analyze

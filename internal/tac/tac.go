@@ -233,8 +233,11 @@ type Program struct {
 	Functions []*PublicFunction
 	NumVars   int
 
-	defSite map[VarID]*Stmt
-	uses    map[VarID][]*Stmt
+	// Dense, VarID-indexed def/use tables (built by BuildIndex). Variable ids
+	// are small consecutive integers allocated by the decompiler, so slices
+	// beat maps by a wide margin on the analysis hot path.
+	defSite []*Stmt
+	uses    [][]*Stmt
 }
 
 // AllStmts iterates over every statement (phis first per block) in block
@@ -250,26 +253,189 @@ func (p *Program) AllStmts(visit func(*Stmt)) {
 	}
 }
 
-// BuildIndex computes the def-site and use maps; call after construction or
-// mutation.
+// BuildIndex computes the dense def-site and use tables; call after
+// construction or mutation. The tables self-size by scanning for the largest
+// variable id, so hand-built programs that never set NumVars still index
+// correctly; use lists are packed into one flat backing array sized by a
+// counting pre-pass, so indexing allocates O(1) slices regardless of program
+// size.
 func (p *Program) BuildIndex() {
-	p.defSite = make(map[VarID]*Stmt)
-	p.uses = make(map[VarID][]*Stmt)
-	p.AllStmts(func(s *Stmt) {
+	// Manual nested loops instead of AllStmts: this runs once per decompiled
+	// program on the sweep hot path, and the per-statement closure calls of
+	// the visitor were a measurable fraction of translation time.
+	maxID := p.NumVars - 1
+	total := 0
+	for _, b := range p.Blocks {
+		for _, s := range b.Phis {
+			if int(s.Def) > maxID {
+				maxID = int(s.Def)
+			}
+			for _, a := range s.Args {
+				if int(a) > maxID {
+					maxID = int(a)
+				}
+			}
+			total += len(s.Args)
+		}
+		for _, s := range b.Stmts {
+			if int(s.Def) > maxID {
+				maxID = int(s.Def)
+			}
+			for _, a := range s.Args {
+				if int(a) > maxID {
+					maxID = int(a)
+				}
+			}
+			total += len(s.Args)
+		}
+	}
+	n := maxID + 1
+	p.defSite = make([]*Stmt, n)
+	p.uses = make([][]*Stmt, n)
+	counts := make([]int32, n)
+	index := func(s *Stmt) {
 		if s.Def != NoVar {
 			p.defSite[s.Def] = s
 		}
 		for _, a := range s.Args {
-			p.uses[a] = append(p.uses[a], s)
+			if a >= 0 {
+				counts[a]++
+			}
 		}
-	})
+	}
+	for _, b := range p.Blocks {
+		for _, s := range b.Phis {
+			index(s)
+		}
+		for _, s := range b.Stmts {
+			index(s)
+		}
+	}
+	flat := make([]*Stmt, total)
+	off := 0
+	for v := range counts {
+		c := int(counts[v])
+		p.uses[v] = flat[off : off : off+c]
+		off += c
+	}
+	for _, b := range p.Blocks {
+		for _, s := range b.Phis {
+			for _, a := range s.Args {
+				if a >= 0 {
+					p.uses[a] = append(p.uses[a], s)
+				}
+			}
+		}
+		for _, s := range b.Stmts {
+			for _, a := range s.Args {
+				if a >= 0 {
+					p.uses[a] = append(p.uses[a], s)
+				}
+			}
+		}
+	}
+}
+
+// BuildIndexPrepared installs a precomputed def-site table and fills the use
+// lists in a single pass — the builder (the decompiler's translator) already
+// knows every def site and per-variable use count at emission time, so the
+// max-id scan and counting pre-pass of BuildIndex are redundant work there.
+// Requirements: len(defSite) == len(useCounts) == NumVars, defSite[v] is the
+// unique statement defining v (nil if undefined), useCounts[v] is exactly the
+// number of occurrences of v across all statement and phi argument lists, and
+// totalUses is their sum. The use-list fill order is identical to BuildIndex:
+// block order, phis before statements.
+func (p *Program) BuildIndexPrepared(defSite []*Stmt, useCounts []int32, totalUses int) {
+	p.defSite = defSite
+	n := len(useCounts)
+	p.uses = make([][]*Stmt, n)
+	flat := make([]*Stmt, totalUses)
+	off := 0
+	for v := range useCounts {
+		c := int(useCounts[v])
+		p.uses[v] = flat[off : off : off+c]
+		off += c
+	}
+	for _, b := range p.Blocks {
+		for _, s := range b.Phis {
+			for _, a := range s.Args {
+				if a >= 0 {
+					p.uses[a] = append(p.uses[a], s)
+				}
+			}
+		}
+		for _, s := range b.Stmts {
+			for _, a := range s.Args {
+				if a >= 0 {
+					p.uses[a] = append(p.uses[a], s)
+				}
+			}
+		}
+	}
 }
 
 // DefSite returns the statement defining v, or nil.
-func (p *Program) DefSite(v VarID) *Stmt { return p.defSite[v] }
+func (p *Program) DefSite(v VarID) *Stmt {
+	if v < 0 || int(v) >= len(p.defSite) {
+		return nil
+	}
+	return p.defSite[v]
+}
 
 // Uses returns the statements using v.
-func (p *Program) Uses(v VarID) []*Stmt { return p.uses[v] }
+func (p *Program) Uses(v VarID) []*Stmt {
+	if v < 0 || int(v) >= len(p.uses) {
+		return nil
+	}
+	return p.uses[v]
+}
+
+// Canonical renders the program in a complete, deterministic form for
+// differential testing: every field that defines program identity — block
+// ids, pcs, depths, entry, statement ops/defs/args/vals/pcs/idxs, phi
+// arguments, edge lists, variable count, and discovered public functions —
+// appears in a fixed order. Two programs are bit-identical (up to index
+// tables, which are derived) iff their Canonical strings are equal.
+func (p *Program) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "numvars %d\n", p.NumVars)
+	if p.Entry != nil {
+		fmt.Fprintf(&b, "entry B%d\n", p.Entry.ID)
+	}
+	for _, blk := range p.Blocks {
+		fmt.Fprintf(&b, "block %d pc=%d depth=%d\n", blk.ID, blk.PC, blk.Depth)
+		b.WriteString(" preds")
+		for _, pr := range blk.Preds {
+			fmt.Fprintf(&b, " %d", pr.ID)
+		}
+		b.WriteString("\n succs")
+		for _, su := range blk.Succs {
+			fmt.Fprintf(&b, " %d", su.ID)
+		}
+		b.WriteString("\n")
+		for _, s := range blk.Phis {
+			fmt.Fprintf(&b, " phi v%d pc=%d :=", s.Def, s.PC)
+			for _, a := range s.Args {
+				fmt.Fprintf(&b, " v%d", a)
+			}
+			b.WriteString("\n")
+		}
+		for _, s := range blk.Stmts {
+			fmt.Fprintf(&b, " stmt %d pc=%d %s v%d", s.Idx, s.PC, s.Op, s.Def)
+			if s.Op == Const {
+				fmt.Fprintf(&b, " val=%s", s.Val)
+			}
+			for _, a := range s.Args {
+				fmt.Fprintf(&b, " v%d", a)
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, f := range p.Functions {
+		fmt.Fprintf(&b, "func sel=%s entry=B%d\n", f.Selector, f.Entry.ID)
+	}
+	return b.String()
+}
 
 // String renders the whole program for debugging.
 func (p *Program) String() string {
