@@ -3,7 +3,7 @@ GO ?= go
 # loose enough for shared CI runners; counts are always compared exactly).
 BENCH_TOLERANCE ?= 0.5
 
-.PHONY: all build test vet bench bench-json bench-check experiments examples serve-smoke fuzz-smoke clean
+.PHONY: all build test vet bench bench-json bench-check sweep-check experiments examples serve-smoke fuzz-smoke clean
 
 all: build vet test
 
@@ -35,6 +35,15 @@ bench-check:
 	$(GO) run ./cmd/ethainter-bench -exp core -n 2000 -seed 20200615 -json BENCH_fresh.json > /dev/null
 	$(GO) run ./scripts -baseline BENCH_core.json -fresh BENCH_fresh.json -tolerance $(BENCH_TOLERANCE)
 	rm -f BENCH_fresh.json
+
+# Cheap two-point sweep-scaling run (workers {1,4}): count equality at every
+# point and the unique-work-per-unique-bytecode invariant are enforced on any
+# machine; wall checks skip automatically when the CPU shape differs from the
+# committed baseline.
+sweep-check:
+	$(GO) run ./cmd/ethainter-bench -exp core -n 2000 -seed 20200615 -sweep-workers 4 -json BENCH_sweep.json > /dev/null
+	$(GO) run ./scripts -baseline BENCH_core.json -fresh BENCH_sweep.json -tolerance $(BENCH_TOLERANCE)
+	rm -f BENCH_sweep.json
 
 # Full-scale regeneration of every table and figure (EXPERIMENTS.md source).
 experiments:

@@ -7,11 +7,11 @@
 // Usage:
 //
 //	ethainter-serve [-addr :8545] [-timeout 30s] [-max-inflight 64]
-//	                [-cache-entries N] [-batch-workers N] [-parallelism P]
-//	                [-max-body N] [-read-timeout 10s] [-write-timeout 2m]
-//	                [-idle-timeout 2m] [-shutdown-grace 15s]
-//	                [-decompile-max-contexts N] [-decompile-max-steps N]
-//	                [-decompile-max-stmts N]
+//	                [-cache-entries N] [-cache-shards N] [-sweep-workers N]
+//	                [-parallelism P] [-max-body N] [-read-timeout 10s]
+//	                [-write-timeout 2m] [-idle-timeout 2m]
+//	                [-shutdown-grace 15s] [-decompile-max-contexts N]
+//	                [-decompile-max-steps N] [-decompile-max-stmts N]
 //
 // Endpoints: POST /analyze (hex runtime bytecode or mini-Solidity source),
 // POST /batch (JSON array of such inputs), POST /compile, POST /exploit,
@@ -45,7 +45,8 @@ type options struct {
 	grace        time.Duration
 	maxInFlight  int
 	cacheEntries int
-	batchWorkers int
+	cacheShards  int
+	sweepWorkers int
 	parallelism  int
 	maxBody      int64
 	limits       decompiler.Limits
@@ -62,7 +63,8 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&opts.grace, "shutdown-grace", 15*time.Second, "drain period for in-flight requests on SIGINT/SIGTERM")
 	fs.IntVar(&opts.maxInFlight, "max-inflight", 64, "max concurrently-served analysis requests; excess get 503 (0 = unlimited)")
 	fs.IntVar(&opts.cacheEntries, "cache-entries", 0, "report cache capacity (0 = default)")
-	fs.IntVar(&opts.batchWorkers, "batch-workers", 0, "per-request /batch worker pool size (0 = default)")
+	fs.IntVar(&opts.cacheShards, "cache-shards", 0, "report cache shard count, rounded down to a power of two (0 = default)")
+	fs.IntVar(&opts.sweepWorkers, "sweep-workers", 0, "server-wide /batch sweep scheduler pool size (0 = one per core)")
 	fs.IntVar(&opts.parallelism, "parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core); multiplies with -max-inflight request concurrency")
 	fs.Int64Var(&opts.maxBody, "max-body", 1<<20, "max request body bytes")
 	fs.IntVar(&opts.limits.MaxContexts, "decompile-max-contexts", 0, "decompile budget: max (block, depth) contexts per contract (0 = default); exhaustion is a deterministic 422, negatively cached")
@@ -82,10 +84,10 @@ func run(opts options, logger *slog.Logger, ready chan<- net.Addr, shutdown <-ch
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = opts.parallelism
 	cfg.DecompileLimits = opts.limits
-	srv := server.NewWithCache(cfg, core.NewCache(opts.cacheEntries))
+	srv := server.NewWithCache(cfg, core.NewCacheSharded(opts.cacheEntries, opts.cacheShards))
 	srv.Timeout = opts.timeout
 	srv.MaxInFlight = opts.maxInFlight
-	srv.BatchWorkers = opts.batchWorkers
+	srv.SweepWorkers = opts.sweepWorkers
 	if opts.maxBody > 0 {
 		srv.MaxBodyBytes = opts.maxBody
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	"ethainter/internal/corpus"
 	"ethainter/internal/crypto"
 	"ethainter/internal/decompiler"
+	"ethainter/internal/sched"
 )
 
 // StageNS is a per-stage wall-clock breakdown in nanoseconds, summed over a
@@ -56,7 +58,10 @@ func (s StageNS) total() int64 {
 	return s.Decompile + s.Facts + s.Guards + s.Fixpoint + s.Detect
 }
 
-// SweepResult is one pass over the corpus.
+// SweepResult is one pass over the corpus. Sched is populated when the pass
+// ran through the sweep scheduler: its unique_work/coalesced counts verify
+// that the sweep performed exactly one analysis per unique bytecode with the
+// remainder served by fan-out.
 type SweepResult struct {
 	WallNS   int64           `json:"wall_ns"`
 	Analyzed int             `json:"analyzed"`
@@ -64,6 +69,7 @@ type SweepResult struct {
 	Warnings int             `json:"warnings"`
 	Stages   StageNS         `json:"stage_ns"`
 	Cache    core.CacheStats `json:"cache,omitzero"`
+	Sched    sched.Stats     `json:"sched,omitzero"`
 }
 
 // CoreBenchResult is the core performance experiment: the same corpus swept
@@ -78,24 +84,57 @@ type CoreBenchResult struct {
 	// GoMaxProcs and NumCPU pin the machine shape the numbers were taken on;
 	// comparisons across different CPU counts are apples-to-oranges for
 	// wall-clock, and bench_compare skips those checks when they differ.
-	GoMaxProcs int         `json:"gomaxprocs"`
-	NumCPU     int         `json:"num_cpu"`
-	Uncached   SweepResult `json:"uncached"`
-	Cached     SweepResult `json:"cached"`
-	Speedup    float64     `json:"speedup"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// CacheShards is the shard count of the sweep caches (0 = default).
+	CacheShards int         `json:"cache_shards,omitempty"`
+	Uncached    SweepResult `json:"uncached"`
+	Cached      SweepResult `json:"cached"`
+	Speedup     float64     `json:"speedup"`
 	// EngineScaling is the Datalog fixpoint scaling curve: the same
 	// transitive-closure workload at increasing intra-fixpoint worker counts.
 	EngineScaling []EngineScalingPoint `json:"engine_scaling"`
+	// SweepScaling is the headline curve: the full corpus swept through the
+	// dedup-aware scheduler at increasing cross-contract worker counts, each
+	// point on a fresh cold cache so every point does identical unique work.
+	SweepScaling []SweepScalingPoint `json:"sweep_scaling"`
+}
+
+// SweepScalingPoint is one worker count on the cross-contract sweep curve.
+// The analysis is deterministic, so Analyzed/Failed/Warnings/UniqueWork must
+// be bit-identical at every worker count (bench_compare enforces it); only
+// the wall may move.
+type SweepScalingPoint struct {
+	Workers  int   `json:"workers"`
+	WallNS   int64 `json:"wall_ns"`
+	Analyzed int   `json:"analyzed"`
+	Failed   int   `json:"failed"`
+	Warnings int   `json:"warnings"`
+	// UniqueWork counts analyses actually dispatched (one per unique
+	// bytecode); Coalesced counts requests served by fan-out instead.
+	UniqueWork uint64 `json:"unique_work"`
+	Coalesced  uint64 `json:"coalesced"`
+	CacheHits  uint64 `json:"cache_hits"`
+	// ShardContended counts cache shard-lock acquisitions that had to block.
+	ShardContended uint64 `json:"shard_contended"`
+	// Speedup is the 1-worker wall / this wall (1.0 for the workers=1 point).
+	Speedup float64 `json:"speedup"`
 }
 
 // CoreBench generates the default corpus profile and sweeps it twice with the
 // production config: once analyzing every contract from scratch, once through
-// a core.Cache. The synthetic corpus reuses bytecodes across contracts the way
-// the chain does (the paper dedups ~2.5M deployed contracts down to ~240K
-// unique ones), so the cached sweep's hit rate is the headline number. The
+// the dedup-aware sweep scheduler over a sharded core.Cache. The synthetic
+// corpus reuses bytecodes across contracts the way the chain does (the paper
+// dedups ~2.5M deployed contracts down to ~240K unique ones), so the
+// scheduler's planned dedup — exactly one analysis per unique bytecode, the
+// rest fanned out — is the headline mechanism, and the sweep_scaling curve
+// (the scheduled sweep at increasing worker counts) the headline number. The
 // limits are the decompilation work budget (zero value = defaults), letting
 // the bench measure the cost of tighter budgets under real sweep load.
-func CoreBench(n int, seed int64, workers, parallelism int, limits decompiler.Limits) *CoreBenchResult {
+// sweepWorkers shapes the scaling curve's x axis (see
+// sweepScalingWorkerCounts); cacheShards sizes the sweep caches (0 =
+// default).
+func CoreBench(n int, seed int64, workers, parallelism, sweepWorkers, cacheShards int, limits decompiler.Limits) *CoreBenchResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -118,16 +157,98 @@ func CoreBench(n int, seed int64, workers, parallelism int, limits decompiler.Li
 		UniqueBytecodes: len(unique),
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
 		NumCPU:          runtime.NumCPU(),
+		CacheShards:     cacheShards,
 	}
 	res.Uncached = sweep(contracts, cfg, workers, nil)
-	cache := core.NewCache(0)
-	res.Cached = sweep(contracts, cfg, workers, cache)
-	res.Cached.Cache = cache.Stats()
+	res.Cached = sweepScheduled("sweep(cached)", contracts, cfg, workers, cacheShards)
 	if res.Cached.WallNS > 0 {
 		res.Speedup = float64(res.Uncached.WallNS) / float64(res.Cached.WallNS)
 	}
 	res.EngineScaling = EngineScaling(engineScalingN, scalingWorkerCounts(parallelism))
+	res.SweepScaling = SweepScaling(contracts, cfg, sweepScalingWorkerCounts(sweepWorkers), cacheShards)
 	return res
+}
+
+// sweepScalingWorkerCounts picks the sweep curve's x axis: {1, 2, 4, 8} by
+// default (the ISSUE's headline shape), or {1, requested} when an explicit
+// sweep worker count is given — CI uses that to run a cheap two-point curve.
+func sweepScalingWorkerCounts(sweepWorkers int) []int {
+	if sweepWorkers > 0 {
+		if sweepWorkers == 1 {
+			return []int{1}
+		}
+		return []int{1, sweepWorkers}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// SweepScaling sweeps the corpus through the scheduler once per worker count,
+// each point on a fresh cold cache so every point performs identical unique
+// work. Counts must be bit-identical across points — the scheduler changes
+// only who computes what when, never the result.
+func SweepScaling(contracts []*corpus.Contract, cfg core.Config, workerCounts []int, cacheShards int) []SweepScalingPoint {
+	out := make([]SweepScalingPoint, 0, len(workerCounts))
+	var baseWall int64
+	for _, workers := range workerCounts {
+		r := sweepScheduled(fmt.Sprintf("sweep_scaling(workers=%d)", workers), contracts, cfg, workers, cacheShards)
+		p := SweepScalingPoint{
+			Workers:        workers,
+			WallNS:         r.WallNS,
+			Analyzed:       r.Analyzed,
+			Failed:         r.Failed,
+			Warnings:       r.Warnings,
+			UniqueWork:     r.Sched.Unique,
+			Coalesced:      r.Sched.Coalesced,
+			CacheHits:      r.Sched.CacheHits,
+			ShardContended: r.Cache.Contended,
+		}
+		if workers == workerCounts[0] {
+			baseWall = p.WallNS
+		}
+		if baseWall > 0 && p.WallNS > 0 {
+			p.Speedup = float64(baseWall) / float64(p.WallNS)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// sweepScheduled analyzes every contract through a fresh scheduler over a
+// fresh sharded cache — the same code path /batch serves. Stage times are
+// summed per distinct report, so fanned-out (shared) reports are attributed
+// once, matching the work actually done.
+func sweepScheduled(label string, contracts []*corpus.Contract, cfg core.Config, workers, cacheShards int) SweepResult {
+	codes := make([][]byte, len(contracts))
+	for i, c := range contracts {
+		codes[i] = c.Runtime
+	}
+	cache := core.NewCacheSharded(0, cacheShards)
+	s := sched.New(cache, workers)
+	defer s.Close()
+
+	prog := newProgress(label, len(contracts))
+	start := time.Now()
+	results := s.Sweep(context.Background(), codes, cfg, func(int, sched.Result) { prog.step() })
+	out := SweepResult{WallNS: int64(time.Since(start))}
+	prog.finish()
+
+	seen := map[*core.Report]bool{}
+	for _, res := range results {
+		if res.Err != nil {
+			out.Failed++
+			continue
+		}
+		out.Analyzed++
+		out.Warnings += len(res.Report.Warnings)
+		if seen[res.Report] {
+			continue
+		}
+		seen[res.Report] = true
+		out.Stages.add(res.Report.Stats.Timings)
+	}
+	out.Cache = cache.Stats()
+	out.Sched = s.Stats()
+	return out
 }
 
 // sweep analyzes every contract, through the cache when one is given. Stage
@@ -207,8 +328,10 @@ func (r *CoreBenchResult) Render() string {
 	cs := r.Cached.Cache
 	t.note("corpus: %d contracts, %d unique bytecodes (%.1f%% duplication), seed %d, %d workers",
 		r.N, r.UniqueBytecodes, 100*(1-float64(r.UniqueBytecodes)/float64(max(r.N, 1))), r.Seed, r.Workers)
-	t.note("cache: %d hits / %d misses (%.1f%% hit rate), %d evictions, %d entries",
-		cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions, cs.Entries)
+	t.note("cache: %d hits / %d misses (%.1f%% hit rate), %d evictions, %d entries, %d shards",
+		cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions, cs.Entries, cs.Shards)
+	t.note("scheduler: %d unique analyses, %d requests coalesced by fan-out, %d fast-path hits",
+		r.Cached.Sched.Unique, r.Cached.Sched.Coalesced, r.Cached.Sched.CacheHits)
 	t.note("cached sweep speedup: %.2fx wall clock", r.Speedup)
 	if tot := r.Uncached.Stages.total(); tot > 0 {
 		t.note("uncached stage split: decompile %.0f%%, facts %.0f%%, guards %.0f%%, fixpoint %.0f%%, detect %.0f%%",
@@ -225,6 +348,10 @@ func (r *CoreBenchResult) Render() string {
 	for _, p := range r.EngineScaling {
 		t.note("engine scaling: %d worker(s): wall %s (index %s, join %s, merge %s), %d tuples, %.2fx",
 			p.Workers, fmtNS(p.WallNS), fmtNS(p.IndexNS), fmtNS(p.JoinNS), fmtNS(p.MergeNS), p.Tuples, p.Speedup)
+	}
+	for _, p := range r.SweepScaling {
+		t.note("sweep scaling: %d worker(s): wall %s, %d analyzed / %d failed / %d warnings, %d unique + %d coalesced, %d contended, %.2fx",
+			p.Workers, fmtNS(p.WallNS), p.Analyzed, p.Failed, p.Warnings, p.UniqueWork, p.Coalesced, p.ShardContended, p.Speedup)
 	}
 	return t.String()
 }

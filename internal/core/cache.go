@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/binary"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -42,12 +43,21 @@ func (c Config) Fingerprint() uint64 {
 	return binary.BigEndian.Uint64(h[:8])
 }
 
-// CacheStats are the counters of one Cache.
+// CacheStats are the counters of one Cache (or, from ShardStats, of one
+// shard). The merged view sums hits/misses/evictions/entries/contended over
+// every shard and reports the shard count.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
+	// Shards is the shard count in a merged Stats() snapshot (0 in a
+	// per-shard snapshot).
+	Shards int `json:"shards,omitempty"`
+	// Contended counts lock acquisitions that found the shard mutex already
+	// held and had to wait — the direct measure of cross-worker serialization
+	// the sharding exists to kill. Cheap (one TryLock) and monotone.
+	Contended uint64 `json:"contended,omitempty"`
 }
 
 // HitRate is hits / (hits + misses), or 0 before any lookup.
@@ -92,16 +102,14 @@ type inflight struct {
 	err  error
 }
 
-// Cache memoizes decompilation and full analysis Reports across a sweep —
-// the unique-contract deduplication behind the paper's 38 MLoC scalability
-// claim (Section 6: ~240K unique contracts stand in for millions deployed).
-// Reports are content-addressed by keccak-256 of the runtime bytecode plus a
-// Config fingerprint; decompiled programs are shared across configs (they
-// are read-only after construction). Both stores evict FIFO past a capacity
-// bound. Safe for concurrent use.
-type Cache struct {
+// cacheShard is one independently-locked slice of the cache. All state for a
+// given bytecode hash — report entries across configs, decompiled programs
+// across budgets, and in-flight computations — lives on the same shard, so
+// one contract's full lifecycle never takes more than one shard lock.
+type cacheShard struct {
 	mu         sync.Mutex
-	maxEntries int
+	contended  uint64 // TryLock failures; read under mu
+	maxEntries int    // per-store bound for this shard
 
 	reports     map[reportKey]reportEntry
 	reportOrder []reportKey
@@ -112,32 +120,140 @@ type Cache struct {
 	stats CacheStats
 }
 
+// lock acquires the shard mutex, counting the acquisitions that had to wait.
+// The TryLock fast path costs one CAS when uncontended; when it fails, the
+// blocking Lock below is charged to the contention counter.
+func (s *cacheShard) lock() {
+	if s.mu.TryLock() {
+		return
+	}
+	s.mu.Lock()
+	s.contended++
+}
+
+// Cache memoizes decompilation and full analysis Reports across a sweep —
+// the unique-contract deduplication behind the paper's 38 MLoC scalability
+// claim (Section 6: ~240K unique contracts stand in for millions deployed).
+// Reports are content-addressed by keccak-256 of the runtime bytecode plus a
+// Config fingerprint; decompiled programs are shared across configs (they
+// are read-only after construction). Both stores evict FIFO past a capacity
+// bound.
+//
+// The cache is sharded by bytecode hash: each shard carries its own mutex,
+// maps, and counters, so concurrent sweeps on different contracts never
+// serialize on one lock (the pre-sharding design did, and the single mutex
+// dominated multi-worker sweep profiles). Stats() merges the shards into one
+// view; ShardStats() exposes the split. Safe for concurrent use.
+type Cache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
 // DefaultCacheEntries bounds each cache store when NewCache is given a
 // non-positive capacity — comfortably above the unique-contract count of any
 // corpus profile shipped in this repository.
 const DefaultCacheEntries = 1 << 16
 
+// DefaultCacheShards is the shard count when NewCacheSharded is given a
+// non-positive one: enough to make lock collisions rare at any worker count
+// this repository's pools reach, small enough that a Stats() merge is free.
+const DefaultCacheShards = 16
+
 // NewCache returns a cache bounded to maxEntries reports (and as many
-// decompiled programs); maxEntries <= 0 selects DefaultCacheEntries.
+// decompiled programs) across DefaultCacheShards shards; maxEntries <= 0
+// selects DefaultCacheEntries.
 func NewCache(maxEntries int) *Cache {
+	return NewCacheSharded(maxEntries, 0)
+}
+
+// NewCacheSharded returns a cache bounded to maxEntries reports total,
+// partitioned over the given shard count. Non-positive values select the
+// defaults. The shard count is rounded down to a power of two (for mask
+// indexing) and clamped so every shard holds at least one entry — a
+// capacity-1 cache degenerates to one shard and keeps exact FIFO semantics.
+func NewCacheSharded(maxEntries, shards int) *Cache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultCacheEntries
 	}
-	return &Cache{
-		maxEntries: maxEntries,
-		reports:    map[reportKey]reportEntry{},
-		progs:      map[progKey]progEntry{},
-		pending:    map[reportKey]*inflight{},
+	if shards <= 0 {
+		shards = DefaultCacheShards
 	}
+	if shards > maxEntries {
+		shards = maxEntries
+	}
+	// Round down to a power of two so shard selection is a mask, not a mod.
+	shards = 1 << (bits.Len(uint(shards)) - 1)
+	perShard := maxEntries / shards
+	c := &Cache{shards: make([]cacheShard, shards), mask: uint64(shards - 1)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			maxEntries: perShard,
+			reports:    map[reportKey]reportEntry{},
+			progs:      map[progKey]progEntry{},
+			pending:    map[reportKey]*inflight{},
+		}
+	}
+	return c
 }
 
-// Stats returns a snapshot of the counters.
+// shardFor picks the shard owning a bytecode hash. Keccak output is uniform,
+// so any fixed 8 bytes index evenly; the low word is used.
+func (c *Cache) shardFor(hash [32]byte) *cacheShard {
+	return &c.shards[binary.BigEndian.Uint64(hash[24:])&c.mask]
+}
+
+// Shards returns the shard count.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// Stats returns a merged snapshot of the per-shard counters.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = len(c.reports)
-	return s
+	var out CacheStats
+	out.Shards = len(c.shards)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.lock()
+		out.Hits += s.stats.Hits
+		out.Misses += s.stats.Misses
+		out.Evictions += s.stats.Evictions
+		out.Entries += len(s.reports)
+		out.Contended += s.contended
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ShardStats returns one snapshot per shard — the hit/miss split behind the
+// merged Stats() view, for the /statsz observability surface and for
+// verifying that sharding actually spread the load.
+func (c *Cache) ShardStats() []CacheStats {
+	out := make([]CacheStats, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.lock()
+		out[i] = s.stats
+		out[i].Entries = len(s.reports)
+		out[i].Contended = s.contended
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Lookup returns the memoized report (or negatively-cached deterministic
+// error) for an already-hashed bytecode under cfg, without computing
+// anything. A found entry counts as a hit; an absent one counts nothing —
+// the caller is expected to follow up with AnalyzeHashedContext, which
+// records the miss when it computes. The sweep scheduler uses this as its
+// synchronous fast path so cache-resident work never occupies a pool worker.
+func (c *Cache) Lookup(hash [32]byte, cfg Config) (*Report, error, bool) {
+	key := reportKey{code: hash, cfg: cfg.Fingerprint()}
+	s := c.shardFor(hash)
+	s.lock()
+	e, ok := s.reports[key]
+	if ok {
+		s.stats.Hits++
+	}
+	s.mu.Unlock()
+	return e.rep, e.err, ok
 }
 
 // AnalyzeBytecode is the cached equivalent of the package-level
@@ -157,19 +273,27 @@ func (c *Cache) AnalyzeBytecode(code []byte, cfg Config) (*Report, error) {
 // coalesces onto a computation that is itself cancelled, the waiter retries
 // the analysis under its own context.
 func (c *Cache) AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Config) (*Report, error) {
-	key := reportKey{code: crypto.Keccak256(code), cfg: cfg.Fingerprint()}
+	return c.AnalyzeHashedContext(ctx, crypto.Keccak256(code), code, cfg)
+}
 
-	c.mu.Lock()
-	if e, ok := c.reports[key]; ok {
-		c.stats.Hits++
-		c.mu.Unlock()
+// AnalyzeHashedContext is AnalyzeBytecodeContext for callers that already
+// hold the bytecode's keccak-256 — the sweep scheduler hashes once during
+// dedup planning and never pays for it again.
+func (c *Cache) AnalyzeHashedContext(ctx context.Context, hash [32]byte, code []byte, cfg Config) (*Report, error) {
+	key := reportKey{code: hash, cfg: cfg.Fingerprint()}
+	s := c.shardFor(hash)
+
+	s.lock()
+	if e, ok := s.reports[key]; ok {
+		s.stats.Hits++
+		s.mu.Unlock()
 		return e.rep, e.err
 	}
-	if fl, ok := c.pending[key]; ok {
+	if fl, ok := s.pending[key]; ok {
 		// Another goroutine is computing this key; waiting for it is a hit —
 		// the work is not duplicated.
-		c.stats.Hits++
-		c.mu.Unlock()
+		s.stats.Hits++
+		s.mu.Unlock()
 		select {
 		case <-fl.done:
 		case <-ctx.Done():
@@ -178,23 +302,23 @@ func (c *Cache) AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Con
 		if IsCancellation(fl.err) {
 			// The computing request was cancelled; its failure says nothing
 			// about the bytecode. Redo the work under our own context.
-			return c.AnalyzeBytecodeContext(ctx, code, cfg)
+			return c.AnalyzeHashedContext(ctx, hash, code, cfg)
 		}
 		return fl.rep, fl.err
 	}
-	c.stats.Misses++
+	s.stats.Misses++
 	fl := &inflight{done: make(chan struct{})}
-	c.pending[key] = fl
-	c.mu.Unlock()
+	s.pending[key] = fl
+	s.mu.Unlock()
 
 	fl.rep, fl.err = c.computeReport(ctx, key, code, cfg)
 
-	c.mu.Lock()
+	s.lock()
 	if !IsCancellation(fl.err) {
-		c.storeReport(key, reportEntry{rep: fl.rep, err: fl.err})
+		s.storeReport(key, reportEntry{rep: fl.rep, err: fl.err})
 	}
-	delete(c.pending, key)
-	c.mu.Unlock()
+	delete(s.pending, key)
+	s.mu.Unlock()
 	close(fl.done)
 	return fl.rep, fl.err
 }
@@ -225,41 +349,43 @@ func (c *Cache) computeReport(ctx context.Context, key reportKey, code []byte, c
 // the caller's deadline rather than the bytecode.
 func (c *Cache) decompile(ctx context.Context, hash [32]byte, code []byte, limits decompiler.Limits) (*tac.Program, time.Duration, decompiler.Timings, error) {
 	key := progKey{code: hash, limits: limits.Normalized()}
-	c.mu.Lock()
-	if e, ok := c.progs[key]; ok {
-		c.mu.Unlock()
+	s := c.shardFor(hash)
+	s.lock()
+	if e, ok := s.progs[key]; ok {
+		s.mu.Unlock()
 		return e.prog, 0, decompiler.Timings{}, e.err
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 
 	t0 := time.Now()
 	prog, dt, err := decompiler.DecompileTimed(ctx, code, limits)
 	elapsed := time.Since(t0)
 
-	c.mu.Lock()
-	if _, ok := c.progs[key]; !ok && !IsCancellation(err) {
-		if len(c.progs) >= c.maxEntries && len(c.progOrder) > 0 {
-			delete(c.progs, c.progOrder[0])
-			c.progOrder = c.progOrder[1:]
-			c.stats.Evictions++
+	s.lock()
+	if _, ok := s.progs[key]; !ok && !IsCancellation(err) {
+		if len(s.progs) >= s.maxEntries && len(s.progOrder) > 0 {
+			delete(s.progs, s.progOrder[0])
+			s.progOrder = s.progOrder[1:]
+			s.stats.Evictions++
 		}
-		c.progs[key] = progEntry{prog: prog, err: err}
-		c.progOrder = append(c.progOrder, key)
+		s.progs[key] = progEntry{prog: prog, err: err}
+		s.progOrder = append(s.progOrder, key)
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	return prog, elapsed, dt, err
 }
 
-// storeReport inserts under c.mu, evicting the oldest entry past capacity.
-func (c *Cache) storeReport(key reportKey, e reportEntry) {
-	if _, ok := c.reports[key]; ok {
+// storeReport inserts under s.mu, evicting the shard's oldest entry past its
+// per-shard capacity (the total bound divided over the shards).
+func (s *cacheShard) storeReport(key reportKey, e reportEntry) {
+	if _, ok := s.reports[key]; ok {
 		return
 	}
-	if len(c.reports) >= c.maxEntries && len(c.reportOrder) > 0 {
-		delete(c.reports, c.reportOrder[0])
-		c.reportOrder = c.reportOrder[1:]
-		c.stats.Evictions++
+	if len(s.reports) >= s.maxEntries && len(s.reportOrder) > 0 {
+		delete(s.reports, s.reportOrder[0])
+		s.reportOrder = s.reportOrder[1:]
+		s.stats.Evictions++
 	}
-	c.reports[key] = e
-	c.reportOrder = append(c.reportOrder, key)
+	s.reports[key] = e
+	s.reportOrder = append(s.reportOrder, key)
 }

@@ -116,6 +116,70 @@ func TestCacheCounters(t *testing.T) {
 	}
 }
 
+// TestCacheShardedSaturation saturates an explicitly 8-sharded cache with 8
+// goroutines re-sweeping a duplicated corpus: the race detector checks the
+// per-shard locking, the merged Stats() view must equal the sum of the
+// per-shard split, and every cached result must equal fresh analysis — the
+// sharding changes lock granularity, never content.
+func TestCacheShardedSaturation(t *testing.T) {
+	contracts := corpus.Generate(corpus.DefaultProfile(24, 13))
+	cfg := core.DefaultConfig()
+	cache := core.NewCacheSharded(0, 8)
+	if got := cache.Shards(); got != 8 {
+		t.Fatalf("Shards() = %d, want 8", got)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				for i := range contracts {
+					c := contracts[(i+g)%len(contracts)]
+					cache.AnalyzeBytecode(c.Runtime, cfg)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	merged := cache.Stats()
+	split := cache.ShardStats()
+	if len(split) != 8 || merged.Shards != 8 {
+		t.Fatalf("per-shard split has %d entries, merged reports %d shards; want 8", len(split), merged.Shards)
+	}
+	var sum core.CacheStats
+	for _, sh := range split {
+		sum.Hits += sh.Hits
+		sum.Misses += sh.Misses
+		sum.Evictions += sh.Evictions
+		sum.Entries += sh.Entries
+		sum.Contended += sh.Contended
+	}
+	if sum.Hits != merged.Hits || sum.Misses != merged.Misses ||
+		sum.Entries != merged.Entries || sum.Contended != merged.Contended {
+		t.Errorf("per-shard sums %+v diverge from merged view %+v", sum, merged)
+	}
+	if merged.Hits == 0 {
+		t.Errorf("8 goroutines x 4 rounds over a duplicated corpus recorded no hits: %+v", merged)
+	}
+
+	for _, c := range contracts {
+		fresh, err := core.AnalyzeBytecode(c.Runtime, cfg)
+		if err != nil {
+			continue
+		}
+		cached, err := cache.AnalyzeBytecode(c.Runtime, cfg)
+		if err != nil {
+			t.Fatalf("%s#%d: cached err %v after saturation", c.Family, c.Index, err)
+		}
+		if !reflect.DeepEqual(stripTimings(fresh), stripTimings(cached)) {
+			t.Fatalf("%s#%d: sharded cache diverges from fresh", c.Family, c.Index)
+		}
+	}
+}
+
 // TestCacheConcurrent hammers one cache from many goroutines over a small
 // corpus; the race detector checks the locking, and every result must match
 // the fresh analysis.

@@ -24,6 +24,29 @@ func engineWorkers(parallelism int) int {
 	return parallelism
 }
 
+// parallelFactCutoff is the input-relation size below which the requested
+// intra-fixpoint parallelism is gated down to sequential. The heuristic is
+// measured, not guessed: BENCH_core.json's engine_scaling curve shows the
+// parallel fixpoint at <=0.93x sequential even on a ~160K-derived-tuple
+// closure — chunked delta joins never amortize the per-iteration barrier
+// merge and index prebuild at that scale — and contract-sized fact sets run
+// hundreds to a few thousand input tuples, an order of magnitude smaller
+// still. Requests only pay off (if ever) well past tens of thousands of
+// input tuples, so anything below this cutoff runs sequentially no matter
+// what Config.Parallelism asks for. The gate changes scheduling only, never
+// results, and Parallelism stays excluded from Config.Fingerprint.
+const parallelFactCutoff = 32768
+
+// datalogWorkers is the effective engine worker count for a run over
+// inputTuples input facts: the configured parallelism, gated to sequential
+// below parallelFactCutoff.
+func datalogWorkers(parallelism, inputTuples int) int {
+	if w := engineWorkers(parallelism); w <= 1 || inputTuples >= parallelFactCutoff {
+		return w
+	}
+	return 1
+}
+
 // This file expresses the production analysis as declarative rules on the
 // Datalog engine, in the style of the paper's Soufflé implementation
 // (Section 5, Figure 5). The Go fixpoint in taint.go is the "compiled"
@@ -107,7 +130,9 @@ violation("tainted-owner", S) :- sstoreConst(S, Slot, V), ownerSlot(Slot), anyTa
 // (kind, pc) pairs. It shares the auxiliary fact computation (constants,
 // memory model, storage classification, DS/DSA, guards) with Analyze — those
 // are the "previous stratum" of Figure 2. The engine evaluates with
-// cfg.Parallelism workers; the violation sets are identical at any setting.
+// cfg.Parallelism workers — gated to sequential below parallelFactCutoff
+// input tuples, where coordination overhead always loses; the violation sets
+// are identical at any setting.
 func AnalyzeDatalog(prog *tac.Program, cfg Config) (map[VulnKind]map[int]bool, error) {
 	out, _, err := AnalyzeDatalogTimed(prog, cfg)
 	return out, err
@@ -125,13 +150,17 @@ func AnalyzeDatalogTimed(prog *tac.Program, cfg Config) (map[VulnKind]map[int]bo
 	g := computeGuards(f, cfg)
 	t2 := time.Now()
 	dl := datalog.NewProgram()
-	dl.SetParallelism(engineWorkers(cfg.Parallelism))
 	if err := dl.Parse(ProductionRules); err != nil {
 		return nil, timings, err
 	}
-	if err := exportFacts(f, g, dl); err != nil {
+	tuples, err := exportFacts(f, g, dl)
+	if err != nil {
 		return nil, timings, err
 	}
+	// Parallelism is decided after export, when the input size is known:
+	// small fact sets always lose to coordination overhead (see
+	// parallelFactCutoff), so they run sequentially whatever cfg asks.
+	dl.SetParallelism(datalogWorkers(cfg.Parallelism, tuples))
 	t3 := time.Now()
 	if err := dl.Run(); err != nil {
 		return nil, timings, err
@@ -185,12 +214,15 @@ func slotTerm(slot u256.U256) string { return slot.Hex64() }
 func condTerm(c tac.VarID) string    { return varTerm(c) }
 
 // exportFacts encodes the program and the auxiliary relations as Datalog
-// input facts.
-func exportFacts(f *facts, g *guardInfo, dl *datalog.Program) error {
+// input facts, returning how many it added — the size signal the parallelism
+// gate runs on.
+func exportFacts(f *facts, g *guardInfo, dl *datalog.Program) (int, error) {
 	var err error
+	n := 0
 	fact := func(rel string, terms ...string) {
 		if err == nil {
 			err = dl.AddFact(rel, terms...)
+			n++
 		}
 	}
 
@@ -291,5 +323,5 @@ func exportFacts(f *facts, g *guardInfo, dl *datalog.Program) error {
 			}
 		}
 	})
-	return err
+	return n, err
 }

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestDatalogWorkersGate pins the parallelism heuristic: intra-fixpoint
+// workers are granted only when the input fact set is large enough to
+// amortize chunking and barrier merges (see parallelFactCutoff); below that,
+// any requested parallelism runs sequentially.
+func TestDatalogWorkersGate(t *testing.T) {
+	cases := []struct {
+		parallelism, tuples, want int
+	}{
+		{0, parallelFactCutoff * 2, 1}, // sequential stays sequential at any size
+		{1, parallelFactCutoff * 2, 1},
+		{4, parallelFactCutoff - 1, 1}, // contract-sized relations: gated off
+		{4, parallelFactCutoff, 4},     // at the cutoff: granted as requested
+		{-1, 100, 1},                   // per-core request, tiny input: gated off
+	}
+	for _, c := range cases {
+		if got := datalogWorkers(c.parallelism, c.tuples); got != c.want {
+			t.Errorf("datalogWorkers(%d, %d) = %d, want %d", c.parallelism, c.tuples, got, c.want)
+		}
+	}
+	if got, want := datalogWorkers(-1, parallelFactCutoff), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("datalogWorkers(-1, cutoff) = %d, want one per core (%d)", got, want)
+	}
+}

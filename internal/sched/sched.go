@@ -1,0 +1,345 @@
+// Package sched is the cross-contract sweep scheduler: the throughput layer
+// that turns "analyze this pile of contracts" into "analyze each unique
+// (bytecode, config) pair exactly once, concurrently, and fan the report out
+// to every requester".
+//
+// The paper's deployment story (Section 7) is whole-chain analysis, and real
+// chains are overwhelmingly duplicated — the seeded corpus is 87% clones, the
+// paper dedups ~2.5M deployed contracts to ~240K unique ones. Per-analysis
+// parallelism buys nothing on this workload (BENCH_core.json's engine_scaling
+// curve shows speedup <= 1 at any intra-fixpoint worker count), so the lever
+// is parallelism ACROSS contracts plus planned deduplication. The scheduler
+// extends core.Cache's singleflight — which coalesces only requests that
+// happen to collide mid-computation — into dedup-aware planning: duplicates
+// are grouped before any work is dispatched, so a sweep performs exactly one
+// analysis per unique work item no matter how the pool interleaves.
+//
+// Cancellation semantics (the PR 4 contract) are preserved under coalescing
+// by running every computation on a detached, reference-counted context: a
+// requester that cancels releases its reference and gets its own ctx error,
+// but the computation keeps running for the remaining requesters and is only
+// cancelled when the last reference is dropped. Cancelled computations are
+// never memoized (the cache already guarantees that), and a requester that
+// observes a dying computation resubmits under its own context.
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ethainter/internal/core"
+	"ethainter/internal/crypto"
+)
+
+// workKey identifies one unique work item: bytecode keccak-256 plus config
+// fingerprint — the same partitioning the cache uses, so scheduler dedup and
+// cache memoization never disagree about what "the same analysis" means.
+type workKey struct {
+	hash [32]byte
+	cfg  uint64
+}
+
+// item is one in-flight unique computation with its waiters' refcount.
+type item struct {
+	key  workKey
+	code []byte
+	cfg  core.Config
+
+	// ctx is the detached computation context: derived from the first
+	// requester's context values but not its cancellation (context
+	// .WithoutCancel), cancelled by the scheduler only when refs drops to
+	// zero — i.e. when every requester has given up.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// refs counts requesters still waiting on this item; guarded by
+	// Scheduler.mu.
+	refs int
+
+	done chan struct{}
+	rep  *core.Report
+	err  error
+}
+
+// Stats is a snapshot of the scheduler counters.
+type Stats struct {
+	// Submitted counts every request handed to the scheduler (one per swept
+	// contract / batch item that decoded successfully).
+	Submitted uint64 `json:"submitted"`
+	// CacheHits counts requests served synchronously from the cache fast
+	// path, without touching the pool.
+	CacheHits uint64 `json:"cache_hits"`
+	// Coalesced counts requests that attached to an existing unique work
+	// item instead of creating one — planned dedup within a sweep plus
+	// accidental cross-request collisions.
+	Coalesced uint64 `json:"coalesced"`
+	// Unique counts unique work items created (each is analyzed exactly
+	// once per sweep; the cache may still satisfy it without computing).
+	Unique uint64 `json:"unique_work"`
+	// InFlight is the gauge of unique items currently created-but-unfinished.
+	InFlight int64 `json:"in_flight"`
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+}
+
+// Scheduler runs unique analyses over a bounded worker pool in front of a
+// shared core.Cache. One Scheduler is meant to live as long as its cache —
+// the server shares one across all /batch requests so identical bytecode in
+// concurrent batches coalesces across request boundaries.
+type Scheduler struct {
+	cache   *core.Cache
+	workers int
+	queue   chan *item
+
+	mu       sync.Mutex
+	inflight map[workKey]*item
+
+	closeOnce sync.Once
+
+	submitted atomic.Uint64
+	cacheHits atomic.Uint64
+	coalesced atomic.Uint64
+	unique    atomic.Uint64
+	gauge     atomic.Int64
+
+	// analyze computes one unique item; tests override it to block and
+	// observe computations deterministically. Defaults to the cache.
+	analyze func(ctx context.Context, hash [32]byte, code []byte, cfg core.Config) (*core.Report, error)
+}
+
+// New returns a scheduler over the given cache with a pool of the given
+// size; workers <= 0 selects one worker per available CPU (cross-contract
+// analyses are independent and CPU-bound, so one per core is the saturation
+// point). The pool goroutines start immediately and run until Close.
+func New(cache *core.Cache, workers int) *Scheduler {
+	if cache == nil {
+		cache = core.NewCache(0)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{
+		cache:    cache,
+		workers:  workers,
+		queue:    make(chan *item, 64),
+		inflight: map[workKey]*item{},
+	}
+	s.analyze = s.cache.AnalyzeHashedContext
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Cache returns the cache the scheduler computes through.
+func (s *Scheduler) Cache() *core.Cache { return s.cache }
+
+// Workers returns the pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Close stops the pool once queued items drain. Items submitted after Close
+// panic (send on closed channel); a Scheduler is process-lifetime in the
+// server and sweep-lifetime in the bench, so there is no graceful-reject
+// path — callers own the ordering.
+func (s *Scheduler) Close() {
+	s.closeOnce.Do(func() { close(s.queue) })
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Submitted: s.submitted.Load(),
+		CacheHits: s.cacheHits.Load(),
+		Coalesced: s.coalesced.Load(),
+		Unique:    s.unique.Load(),
+		InFlight:  s.gauge.Load(),
+		Workers:   s.workers,
+	}
+}
+
+// Do analyzes one bytecode under cfg through the scheduler: served from the
+// cache when memoized, attached to an in-flight computation when one exists
+// (counting as coalesced), otherwise dispatched to the pool as a new unique
+// work item. Blocks until the report is available or ctx is done. A caller
+// whose ctx expires gets ctx.Err() immediately; the computation it may have
+// been waiting on continues for other requesters.
+func (s *Scheduler) Do(ctx context.Context, code []byte, cfg core.Config) (*core.Report, error) {
+	return s.do(ctx, crypto.Keccak256(code), code, cfg)
+}
+
+func (s *Scheduler) do(ctx context.Context, hash [32]byte, code []byte, cfg core.Config) (*core.Report, error) {
+	s.submitted.Add(1)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Fast path: memoized (positively or negatively) in the cache.
+		if rep, err, ok := s.cache.Lookup(hash, cfg); ok {
+			s.cacheHits.Add(1)
+			return rep, err
+		}
+
+		key := workKey{hash: hash, cfg: cfg.Fingerprint()}
+		s.mu.Lock()
+		it, ok := s.inflight[key]
+		if ok {
+			it.refs++
+			s.mu.Unlock()
+			s.coalesced.Add(1)
+		} else {
+			it = s.newItem(ctx, key, code, cfg)
+			s.mu.Unlock()
+			s.unique.Add(1)
+			select {
+			case s.queue <- it:
+			case <-ctx.Done():
+				// The item was registered but never enqueued: no worker will
+				// ever finish it, so the creator must. Unregister it and
+				// finish it with the cancellation; any requester that
+				// attached meanwhile observes a cancelled item and retries
+				// under its own (live) context.
+				s.mu.Lock()
+				delete(s.inflight, key)
+				s.mu.Unlock()
+				s.gauge.Add(-1)
+				it.err = ctx.Err()
+				close(it.done)
+				it.cancel()
+				return nil, ctx.Err()
+			}
+		}
+
+		rep, err, again := s.wait(ctx, it)
+		if !again {
+			return rep, err
+		}
+		// The item died of cancellation (every earlier requester gave up
+		// before we attached, or the computation observed a stale cancel)
+		// while our own ctx is still live: its failure says nothing about
+		// the bytecode. Resubmit under our own context.
+	}
+}
+
+// newItem creates and registers a unique work item. Callers hold s.mu. The
+// computation context keeps the first requester's values (tracing, etc.) but
+// detaches from its cancellation: only the scheduler cancels it, and only
+// when the last requester releases.
+func (s *Scheduler) newItem(ctx context.Context, key workKey, code []byte, cfg core.Config) *item {
+	cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	it := &item{
+		key:    key,
+		code:   code,
+		cfg:    cfg,
+		ctx:    cctx,
+		cancel: cancel,
+		refs:   1,
+		done:   make(chan struct{}),
+	}
+	s.inflight[key] = it
+	s.gauge.Add(1)
+	return it
+}
+
+// wait blocks until the item finishes or ctx is done. The third result asks
+// the caller to retry: the computation was cancelled (all requesters had
+// released) while this caller's ctx is still live.
+func (s *Scheduler) wait(ctx context.Context, it *item) (*core.Report, error, bool) {
+	select {
+	case <-it.done:
+		if core.IsCancellation(it.err) && ctx.Err() == nil {
+			return nil, nil, true
+		}
+		return it.rep, it.err, false
+	case <-ctx.Done():
+		s.release(it)
+		return nil, ctx.Err(), false
+	}
+}
+
+// release drops one requester's reference; the last one out cancels the
+// detached computation — nobody wants the result anymore, so burning more
+// CPU on it would only delay live work.
+func (s *Scheduler) release(it *item) {
+	s.mu.Lock()
+	it.refs--
+	last := it.refs == 0
+	s.mu.Unlock()
+	if last {
+		it.cancel()
+	}
+}
+
+// worker runs queued unique items to completion. An item whose detached
+// context is already dead (every requester released while it sat queued) is
+// short-circuited without touching the cache — the PR 4 batch semantics,
+// lifted to the pool.
+func (s *Scheduler) worker() {
+	for it := range s.queue {
+		if err := it.ctx.Err(); err != nil {
+			it.err = err
+		} else {
+			it.rep, it.err = s.analyze(it.ctx, it.key.hash, it.code, it.cfg)
+		}
+		s.mu.Lock()
+		delete(s.inflight, it.key)
+		s.mu.Unlock()
+		s.gauge.Add(-1)
+		close(it.done)
+		// The computation is finished; release the detached context's timer
+		// and goroutine resources. Waiters read it.rep/it.err, never it.ctx.
+		it.cancel()
+	}
+}
+
+// Result is one per-input outcome of a Sweep: exactly one of Report and Err
+// is meaningful.
+type Result struct {
+	Report *core.Report
+	Err    error
+}
+
+// Sweep analyzes a corpus through the scheduler with planned deduplication:
+// inputs are grouped by (bytecode hash, config fingerprint) up front, one
+// request per unique group is submitted, and each group's result is fanned
+// out to every index holding that bytecode. The each callback, when non-nil,
+// is invoked once per input index as its result lands (concurrently; the
+// callback must be safe for concurrent use — the bench uses it for progress
+// lines). All requesters share ctx: a sweep-wide deadline short-circuits
+// pending groups with ctx.Err() per item.
+func (s *Scheduler) Sweep(ctx context.Context, codes [][]byte, cfg core.Config, each func(int, Result)) []Result {
+	out := make([]Result, len(codes))
+
+	// Dedup plan: hash every input once, group indices by work key.
+	order := make([]workKey, 0, len(codes))
+	groups := make(map[workKey][]int, len(codes))
+	fp := cfg.Fingerprint()
+	for i, code := range codes {
+		key := workKey{hash: crypto.Keccak256(code), cfg: fp}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+
+	var wg sync.WaitGroup
+	for _, key := range order {
+		idxs := groups[key]
+		// Planned dedup: the duplicates never reach the pool at all.
+		s.submitted.Add(uint64(len(idxs) - 1))
+		s.coalesced.Add(uint64(len(idxs) - 1))
+		wg.Add(1)
+		go func(key workKey, idxs []int) {
+			defer wg.Done()
+			rep, err := s.do(ctx, key.hash, codes[idxs[0]], cfg)
+			for _, i := range idxs {
+				out[i] = Result{Report: rep, Err: err}
+				if each != nil {
+					each(i, out[i])
+				}
+			}
+		}(key, idxs)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,260 @@
+package sched
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/minisol"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// stripTimings zeroes the wall-clock stage breakdown for deep comparison.
+func stripTimings(r *core.Report) *core.Report {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.Stats.Timings = core.StageTimings{}
+	return &c
+}
+
+// TestSweepDedupExactlyOnce is the scheduler's core contract: a sweep over a
+// duplicated corpus performs exactly one analysis per unique bytecode, fans
+// the result out to every duplicate index, and the fanned-out reports equal
+// fresh analyses.
+func TestSweepDedupExactlyOnce(t *testing.T) {
+	contracts := corpus.Generate(corpus.DefaultProfile(60, 9))
+	cfg := core.DefaultConfig()
+	codes := make([][]byte, len(contracts))
+	unique := map[string]bool{}
+	for i, c := range contracts {
+		codes[i] = c.Runtime
+		unique[string(c.Runtime)] = true
+	}
+	if len(unique) == len(codes) {
+		t.Fatal("corpus profile lost its duplication — the test needs clones")
+	}
+
+	s := New(core.NewCacheSharded(0, 8), 4)
+	defer s.Close()
+	var delivered atomic.Int64
+	results := s.Sweep(context.Background(), codes, cfg, func(int, Result) { delivered.Add(1) })
+
+	for i, res := range results {
+		fresh, freshErr := core.AnalyzeBytecode(codes[i], cfg)
+		if (freshErr == nil) != (res.Err == nil) {
+			t.Fatalf("contract %d: fresh err %v, sweep err %v", i, freshErr, res.Err)
+		}
+		if freshErr == nil && !reflect.DeepEqual(stripTimings(fresh), stripTimings(res.Report)) {
+			t.Fatalf("contract %d: sweep report diverges from fresh", i)
+		}
+	}
+	if got := delivered.Load(); got != int64(len(codes)) {
+		t.Errorf("each callback fired %d times, want %d", got, len(codes))
+	}
+
+	st := s.Stats()
+	if st.Unique != uint64(len(unique)) {
+		t.Errorf("unique work = %d, want %d", st.Unique, len(unique))
+	}
+	if st.Coalesced != uint64(len(codes)-len(unique)) {
+		t.Errorf("coalesced = %d, want %d", st.Coalesced, len(codes)-len(unique))
+	}
+	if st.Submitted != uint64(len(codes)) {
+		t.Errorf("submitted = %d, want %d", st.Submitted, len(codes))
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight gauge = %d after sweep drained", st.InFlight)
+	}
+	if cs := s.Cache().Stats(); cs.Misses != uint64(len(unique)) {
+		t.Errorf("cache misses = %d, want exactly one per unique bytecode (%d)", cs.Misses, len(unique))
+	}
+
+	// A second (warm) sweep is served entirely by the cache fast path: no new
+	// unique work, one hit per unique group.
+	s.Sweep(context.Background(), codes, cfg, nil)
+	st2 := s.Stats()
+	if st2.Unique != st.Unique {
+		t.Errorf("warm sweep created %d new unique items", st2.Unique-st.Unique)
+	}
+	if st2.CacheHits != st.CacheHits+uint64(len(unique)) {
+		t.Errorf("warm sweep fast-path hits = %d, want %d more than %d",
+			st2.CacheHits, len(unique), st.CacheHits)
+	}
+}
+
+// TestCoalescedCancellation is the governance test for coalescing semantics:
+// requester A cancels mid-flight while requester B waits on the same
+// (hash, config) work item. B must still get the report, and the detached
+// computation context must NOT be cancelled by A's departure — only the last
+// requester out cancels it.
+func TestCoalescedCancellation(t *testing.T) {
+	s := New(core.NewCache(0), 2)
+	defer s.Close()
+
+	started := make(chan context.Context, 1)
+	release := make(chan struct{})
+	want := &core.Report{PublicFunctions: 42}
+	s.analyze = func(ctx context.Context, _ [32]byte, _ []byte, _ core.Config) (*core.Report, error) {
+		started <- ctx
+		select {
+		case <-release:
+			return want, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	code := []byte{0x60, 0x00}
+	cfg := core.DefaultConfig()
+	ctxA, cancelA := context.WithCancel(context.Background())
+	aErr := make(chan error, 1)
+	go func() {
+		_, err := s.Do(ctxA, code, cfg)
+		aErr <- err
+	}()
+	computeCtx := <-started
+
+	bDone := make(chan Result, 1)
+	go func() {
+		rep, err := s.Do(context.Background(), code, cfg)
+		bDone <- Result{Report: rep, Err: err}
+	}()
+	waitFor(t, "B to coalesce onto A's work item", func() bool { return s.Stats().Coalesced == 1 })
+
+	cancelA()
+	if err := <-aErr; err != context.Canceled {
+		t.Fatalf("A's error = %v, want context.Canceled immediately", err)
+	}
+	// B still holds a reference: the computation must keep running.
+	select {
+	case <-computeCtx.Done():
+		t.Fatal("computation context cancelled by A's departure while B waits")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	res := <-bDone
+	if res.Err != nil || res.Report != want {
+		t.Fatalf("B's result = (%v, %v), want the computed report", res.Report, res.Err)
+	}
+	if st := s.Stats(); st.Unique != 1 || st.Coalesced != 1 || st.InFlight != 0 {
+		t.Errorf("stats = %+v, want 1 unique / 1 coalesced / 0 in flight", st)
+	}
+}
+
+// TestAllRequestersCancelThenRecompute pins the other half of the refcount
+// contract: when EVERY requester releases, the detached computation is
+// cancelled (no orphaned work), and a later requester recomputes from
+// scratch and succeeds — the dead computation's cancellation is not
+// memoized anywhere.
+func TestAllRequestersCancelThenRecompute(t *testing.T) {
+	s := New(core.NewCache(0), 1)
+	defer s.Close()
+
+	started := make(chan context.Context, 1)
+	want := &core.Report{PublicFunctions: 7}
+	var calls atomic.Int32
+	s.analyze = func(ctx context.Context, _ [32]byte, _ []byte, _ core.Config) (*core.Report, error) {
+		if calls.Add(1) == 1 {
+			started <- ctx
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return want, nil
+	}
+
+	code := []byte{0x60, 0x01}
+	cfg := core.DefaultConfig()
+	ctxA, cancelA := context.WithCancel(context.Background())
+	aErr := make(chan error, 1)
+	go func() {
+		_, err := s.Do(ctxA, code, cfg)
+		aErr <- err
+	}()
+	computeCtx := <-started
+
+	cancelA()
+	if err := <-aErr; err != context.Canceled {
+		t.Fatalf("A's error = %v, want context.Canceled", err)
+	}
+	select {
+	case <-computeCtx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("last requester released but the computation was not cancelled")
+	}
+
+	rep, err := s.Do(context.Background(), code, cfg)
+	if err != nil || rep != want {
+		t.Fatalf("post-cancellation Do = (%v, %v), want a fresh successful report", rep, err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("analyze ran %d times, want 2 (cancelled + recomputed)", got)
+	}
+}
+
+// TestCancellationNotMemoizedEndToEnd runs the real pipeline: a request that
+// dies on its own deadline must not poison the (hash, config) key — the next
+// requester with a live context gets a real report.
+func TestCancellationNotMemoizedEndToEnd(t *testing.T) {
+	s := New(core.NewCacheSharded(0, 4), 2)
+	defer s.Close()
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	cfg := core.DefaultConfig()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Do(ctx, code, cfg); !core.IsCancellation(err) {
+		t.Fatalf("pre-cancelled Do error = %v, want a cancellation", err)
+	}
+
+	rep, err := s.Do(context.Background(), code, cfg)
+	if err != nil {
+		t.Fatalf("follow-up Do failed: %v", err)
+	}
+	fresh, _ := core.AnalyzeBytecode(code, cfg)
+	if !reflect.DeepEqual(stripTimings(fresh), stripTimings(rep)) {
+		t.Error("follow-up report diverges from fresh analysis")
+	}
+}
+
+// TestDoFastPathServesFromCache pins that memoized work never occupies a
+// pool worker: the second Do is a synchronous cache hit.
+func TestDoFastPathServesFromCache(t *testing.T) {
+	s := New(core.NewCache(0), 1)
+	defer s.Close()
+	code := minisol.MustCompile(minisol.AccessibleSelfdestructSource).Runtime
+	cfg := core.DefaultConfig()
+
+	first, err := s.Do(context.Background(), code, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Do(context.Background(), code, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("cached Do returned a different report pointer than the computed one")
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.Unique != 1 {
+		t.Errorf("stats = %+v, want 1 fast-path hit / 1 unique", st)
+	}
+}

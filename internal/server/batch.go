@@ -1,21 +1,16 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strings"
-	"sync"
 )
 
-// Defaults for the /batch endpoint; override via Server.BatchWorkers and
-// Server.MaxBatchItems.
-const (
-	defaultBatchWorkers  = 8
-	defaultMaxBatchItems = 256
-)
+// defaultMaxBatchItems bounds the number of inputs one /batch call may
+// carry; override via Server.MaxBatchItems.
+const defaultMaxBatchItems = 256
 
 // BatchItemJSON is one per-input result of a /batch call: exactly one of
 // Report and Error is set.
@@ -33,13 +28,6 @@ type BatchJSON struct {
 	Failed int             `json:"failed"`
 }
 
-func (s *Server) batchWorkers() int {
-	if s.BatchWorkers > 0 {
-		return s.BatchWorkers
-	}
-	return defaultBatchWorkers
-}
-
 func (s *Server) maxBatchItems() int {
 	if s.MaxBatchItems > 0 {
 		return s.MaxBatchItems
@@ -48,11 +36,12 @@ func (s *Server) maxBatchItems() int {
 }
 
 // handleBatch analyzes a JSON array of inputs (each hex bytecode or
-// mini-Solidity source, same as /analyze) over a bounded worker pool. All
-// items share the request's deadline and the server-wide cache, so a batch
-// of largely-duplicated bytecode — the dominant bulk workload per Section 6 —
-// costs one analysis per distinct contract; duplicates within one batch
-// coalesce through the cache's singleflight even when analyzed concurrently.
+// mini-Solidity source, same as /analyze) through the server-wide sweep
+// scheduler. All items share the request's deadline; duplicated bytecode —
+// the dominant bulk workload per Section 6 — is planned down to one analysis
+// per unique (bytecode, config) pair before any work is dispatched, and
+// identical bytecode in concurrent batches coalesces onto one computation
+// because every request shares the same scheduler.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	body, ok := s.readBody(w, r)
 	if !ok {
@@ -74,53 +63,45 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 
+	// Decode phase: items that fail to decode (or arrive after the shared
+	// deadline) resolve here; the rest are collected for the sweep. The
+	// deadline check precedes decode so an expired batch costs neither
+	// decode work nor cache traffic.
 	items := make([]BatchItemJSON, len(inputs))
-	workers := s.batchWorkers()
-	if workers > len(inputs) {
-		workers = len(inputs)
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for n := 0; n < workers; n++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				// The shared deadline may have expired while this item sat
-				// queued behind slow siblings; starting a full analysis
-				// against a dead context would only burn a pool worker, so
-				// short-circuit it to a per-item deadline error.
-				if err := ctx.Err(); err != nil {
-					items[i] = BatchItemJSON{Index: i, Error: err.Error()}
-					s.metrics.recordFailure("/batch", failCancel)
-					continue
-				}
-				items[i] = s.analyzeBatchItem(ctx, i, inputs[i])
-			}
-		}()
-	}
-	// The feed loop itself also stops dispatching once the shared deadline is
-	// gone — without this select, every remaining item would still be handed
-	// to a worker after expiry.
-feed:
-	for i := range inputs {
-		select {
-		case idx <- i:
-		case <-ctx.Done():
-			break feed
+	codes := make([][]byte, 0, len(inputs))
+	codeIdx := make([]int, 0, len(inputs))
+	for i, input := range inputs {
+		if err := ctx.Err(); err != nil {
+			items[i] = BatchItemJSON{Index: i, Error: err.Error()}
+			s.metrics.recordFailure("/batch", failCancel)
+			continue
 		}
+		if strings.TrimSpace(input) == "" {
+			items[i] = BatchItemJSON{Index: i, Error: "empty input"}
+			s.metrics.recordFailure("/batch", failDecode)
+			continue
+		}
+		runtime, _, err := decodeInput([]byte(input))
+		if err != nil {
+			items[i] = BatchItemJSON{Index: i, Error: err.Error()}
+			s.metrics.recordFailure("/batch", failDecode)
+			continue
+		}
+		codes = append(codes, runtime)
+		codeIdx = append(codeIdx, i)
 	}
-	close(idx)
-	wg.Wait()
 
-	// Items never dispatched (the feed loop broke out) carry neither a report
-	// nor an error; fill them with the shared context's error.
-	if err := ctx.Err(); err != nil {
-		for i := range items {
-			if items[i].Report == nil && items[i].Error == "" {
-				items[i] = BatchItemJSON{Index: i, Error: err.Error()}
-				s.metrics.recordFailure("/batch", failCancel)
+	if len(codes) > 0 {
+		for j, res := range s.scheduler().Sweep(ctx, codes, s.cfg, nil) {
+			i := codeIdx[j]
+			if res.Err != nil {
+				items[i] = BatchItemJSON{Index: i, Error: res.Err.Error()}
+				s.metrics.recordFailure("/batch", classifyFailure(res.Err))
+				continue
 			}
+			s.metrics.recordStages(res.Report.Stats.Timings)
+			rj := reportToJSON(res.Report)
+			items[i] = BatchItemJSON{Index: i, Report: &rj}
 		}
 	}
 
@@ -131,27 +112,4 @@ feed:
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
-}
-
-// analyzeBatchItem runs one batch input through decode + cached analysis,
-// folding every failure into the item's Error field so one bad input cannot
-// fail its siblings.
-func (s *Server) analyzeBatchItem(ctx context.Context, i int, input string) BatchItemJSON {
-	if strings.TrimSpace(input) == "" {
-		s.metrics.recordFailure("/batch", failDecode)
-		return BatchItemJSON{Index: i, Error: "empty input"}
-	}
-	runtime, _, err := decodeInput([]byte(input))
-	if err != nil {
-		s.metrics.recordFailure("/batch", failDecode)
-		return BatchItemJSON{Index: i, Error: err.Error()}
-	}
-	rep, err := s.cache.AnalyzeBytecodeContext(ctx, runtime, s.cfg)
-	if err != nil {
-		s.metrics.recordFailure("/batch", classifyFailure(err))
-		return BatchItemJSON{Index: i, Error: err.Error()}
-	}
-	s.metrics.recordStages(rep.Stats.Timings)
-	rj := reportToJSON(rep)
-	return BatchItemJSON{Index: i, Report: &rj}
 }

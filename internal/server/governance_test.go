@@ -41,14 +41,14 @@ func getStats(t *testing.T, ts *httptest.Server) server.StatszJSON {
 }
 
 // TestBatchShortCircuitAfterDeadline pins the /batch bugfix: once the shared
-// request deadline expires, the feed loop stops dispatching and workers
-// short-circuit queued items, so every remaining item gets a per-item
-// deadline error and no analysis is launched against the dead context — the
-// cache records zero lookups.
+// request deadline expires, remaining items are short-circuited before decode
+// and the scheduler refuses dead-context submissions, so every remaining item
+// gets a per-item deadline error and no analysis is launched against the dead
+// context — the cache records zero lookups.
 func TestBatchShortCircuitAfterDeadline(t *testing.T) {
 	srv, ts := newServer(t, func(s *server.Server) {
 		s.Timeout = time.Nanosecond
-		s.BatchWorkers = 2
+		s.SweepWorkers = 2
 	})
 	inputs := make([]string, 8)
 	for i := range inputs {
@@ -82,6 +82,45 @@ func TestBatchShortCircuitAfterDeadline(t *testing.T) {
 	stats := getStats(t, ts)
 	if got := stats.Endpoints["/batch"].Failures.Cancellation; got != uint64(len(inputs)) {
 		t.Errorf("/batch cancellation failures = %d, want %d", got, len(inputs))
+	}
+}
+
+// TestStatszSchedCounters pins the scheduler/shard observability of /statsz:
+// a duplicated /batch moves the submitted/unique/coalesced counters, the
+// in-flight gauge settles back to zero, and the cache section carries a
+// per-shard split that sums to the merged view.
+func TestStatszSchedCounters(t *testing.T) {
+	_, ts := newServer(t, nil)
+	dup := killableHex(t)
+	payload, err := json.Marshal([]string{dup, dup, dup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := post(t, ts, "/batch", string(payload)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d (%s)", resp.StatusCode, body)
+	}
+
+	stats := getStats(t, ts)
+	if stats.Sched.Submitted != 3 || stats.Sched.Unique != 1 || stats.Sched.Coalesced != 2 {
+		t.Errorf("sched counters = %+v, want 3 submitted / 1 unique / 2 coalesced", stats.Sched)
+	}
+	if stats.Sched.InFlight != 0 {
+		t.Errorf("sched in-flight gauge = %d after batch drained", stats.Sched.InFlight)
+	}
+	if stats.Sched.Workers <= 0 {
+		t.Errorf("sched workers = %d, want a positive pool size", stats.Sched.Workers)
+	}
+	if len(stats.Cache.PerShard) != stats.Cache.Shards || stats.Cache.Shards <= 0 {
+		t.Fatalf("per-shard split has %d entries, shard count %d", len(stats.Cache.PerShard), stats.Cache.Shards)
+	}
+	var hits, misses uint64
+	for _, sh := range stats.Cache.PerShard {
+		hits += sh.Hits
+		misses += sh.Misses
+	}
+	if hits != stats.Cache.Hits || misses != stats.Cache.Misses {
+		t.Errorf("per-shard sums (%d hits, %d misses) diverge from merged view (%d, %d)",
+			hits, misses, stats.Cache.Hits, stats.Cache.Misses)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ethainter/internal/core"
+	"ethainter/internal/sched"
 )
 
 // numLatencyBuckets is the bucket count of the latency histogram (excluding
@@ -170,10 +171,13 @@ type EndpointJSON struct {
 	Latency  LatencyJSON  `json:"latency"`
 }
 
-// CacheJSON is the wire form of the shared analysis cache's counters.
+// CacheJSON is the wire form of the shared analysis cache's counters: the
+// merged view plus the per-shard hit/miss split (one entry per shard, in
+// shard order), so operators can spot skewed key distributions.
 type CacheJSON struct {
 	core.CacheStats
-	HitRate float64 `json:"hitRate"`
+	HitRate  float64           `json:"hitRate"`
+	PerShard []core.CacheStats `json:"per_shard,omitempty"`
 }
 
 // StagesJSON is the wire form of the accumulated analysis stage breakdown:
@@ -185,10 +189,13 @@ type StagesJSON struct {
 	core.StageTimings
 }
 
-// StatszJSON is the /statsz response body.
+// StatszJSON is the /statsz response body. Sched carries the sweep
+// scheduler's counters: submitted/coalesced/unique-work request counts, the
+// cache fast-path hits, and the in-flight gauge of unique computations.
 type StatszJSON struct {
 	UptimeSeconds float64                 `json:"uptime_s"`
 	Cache         CacheJSON               `json:"cache"`
+	Sched         sched.Stats             `json:"sched"`
 	InFlight      int64                   `json:"inFlight"`
 	Rejected      uint64                  `json:"rejected"`
 	Stages        StagesJSON              `json:"stages"`
@@ -196,15 +203,16 @@ type StatszJSON struct {
 }
 
 // snapshot renders the counters for /statsz.
-func (m *metrics) snapshot(cache *core.Cache) StatszJSON {
+func (m *metrics) snapshot(cache *core.Cache, schedStats sched.Stats) StatszJSON {
 	out := StatszJSON{
 		UptimeSeconds: time.Since(m.start).Seconds(),
+		Sched:         schedStats,
 		InFlight:      m.inFlight.Load(),
 		Rejected:      m.rejected.Load(),
 		Endpoints:     map[string]EndpointJSON{},
 	}
 	cs := cache.Stats()
-	out.Cache = CacheJSON{CacheStats: cs, HitRate: cs.HitRate()}
+	out.Cache = CacheJSON{CacheStats: cs, HitRate: cs.HitRate(), PerShard: cache.ShardStats()}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -246,5 +254,5 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errGetRequired)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache))
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache, s.SchedStats()))
 }

@@ -5,13 +5,15 @@
 // endpoint runs the full Ethainter-Kill pipeline on an ephemeral testbed.
 //
 // The serving path is production-shaped: analysis requests share one
-// content-addressed core.Cache (repeat bytecode is served from memory, the
-// dominant real-world workload per Section 6), /batch fans a JSON array of
-// inputs over a bounded worker pool, every analysis runs under the request
-// context plus an optional per-request deadline, an in-flight limiter sheds
-// load with 503 when saturated, and /statsz exposes cache counters,
-// per-endpoint request/error counts, an in-flight gauge, and latency
-// histograms.
+// content-addressed, sharded core.Cache (repeat bytecode is served from
+// memory, the dominant real-world workload per Section 6), /batch plans its
+// inputs through a server-wide sched.Scheduler (unique (bytecode, config)
+// pairs analyzed exactly once over a bounded pool, duplicates fanned out —
+// including across concurrent requests), every analysis runs under the
+// request context plus an optional per-request deadline, an in-flight
+// limiter sheds load with 503 when saturated, and /statsz exposes cache,
+// scheduler, and shard counters, per-endpoint request/error counts, an
+// in-flight gauge, and latency histograms.
 package server
 
 import (
@@ -24,12 +26,14 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"ethainter/internal/chain"
 	"ethainter/internal/core"
 	"ethainter/internal/kill"
 	"ethainter/internal/minisol"
+	"ethainter/internal/sched"
 	"ethainter/internal/u256"
 )
 
@@ -49,9 +53,11 @@ type Server struct {
 	// MaxInFlight bounds concurrently-served analysis requests; excess
 	// requests are shed with 503. Zero or negative means unlimited.
 	MaxInFlight int
-	// BatchWorkers bounds the per-request worker pool of /batch
-	// (default defaultBatchWorkers).
-	BatchWorkers int
+	// SweepWorkers bounds the server-wide sweep scheduler's analysis pool,
+	// shared by every /batch request (non-positive selects one worker per
+	// CPU). Set it before the first request: the scheduler is created
+	// lazily on first use and the pool size is fixed from then on.
+	SweepWorkers int
 	// MaxBatchItems bounds the number of inputs one /batch call may carry
 	// (default defaultMaxBatchItems).
 	MaxBatchItems int
@@ -60,6 +66,9 @@ type Server struct {
 	Logger *slog.Logger
 
 	metrics *metrics
+
+	schedOnce sync.Once
+	sched     *sched.Scheduler
 }
 
 // New returns a server analyzing with the given configuration and a fresh
@@ -84,6 +93,21 @@ func NewWithCache(cfg core.Config, cache *core.Cache) *Server {
 
 // Cache returns the shared analysis cache (for stats inspection and tests).
 func (s *Server) Cache() *core.Cache { return s.cache }
+
+// scheduler returns the server-wide sweep scheduler, creating it (and its
+// worker pool) on first use. One scheduler serves every /batch request for
+// the server's lifetime, so identical bytecode in concurrent batches
+// coalesces onto one computation across request boundaries.
+func (s *Server) scheduler() *sched.Scheduler {
+	s.schedOnce.Do(func() {
+		s.sched = sched.New(s.cache, s.SweepWorkers)
+	})
+	return s.sched
+}
+
+// SchedStats returns a snapshot of the sweep scheduler's counters (creating
+// the scheduler if no request has yet) — the /statsz source and test hook.
+func (s *Server) SchedStats() sched.Stats { return s.scheduler().Stats() }
 
 // Handler returns the HTTP routing table with per-endpoint instrumentation:
 // analysis endpoints run behind the in-flight limiter; every endpoint is

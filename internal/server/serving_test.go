@@ -158,10 +158,15 @@ func TestBatchEndpoint(t *testing.T) {
 	if !strings.Contains(out.Items[2].Error, "invalid hex bytecode") {
 		t.Errorf("item 2 error = %q", out.Items[2].Error)
 	}
-	// The duplicate input was a cache hit (either a memoized report or a
-	// coalesced in-flight computation — both count as hits).
-	if s := srv.Cache().Stats(); s.Hits < 1 {
-		t.Errorf("duplicate batch input recorded no cache hit: %+v", s)
+	// The duplicate input never costs a second analysis: the scheduler's
+	// dedup plan coalesces it before dispatch (or, failing that, the cache
+	// serves it as a hit).
+	cs, ss := srv.Cache().Stats(), srv.SchedStats()
+	if cs.Hits+ss.Coalesced+ss.CacheHits < 1 {
+		t.Errorf("duplicate batch input was neither coalesced nor a cache hit: cache %+v sched %+v", cs, ss)
+	}
+	if ss.Unique != 2 {
+		t.Errorf("scheduler unique work = %d, want 2 (duplicate planned away)", ss.Unique)
 	}
 }
 

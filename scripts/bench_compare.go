@@ -11,15 +11,21 @@
 //     seed), the analyzed/failed/warning counts and the unique-bytecode count
 //     must match bit-for-bit — the analysis is deterministic, so any drift is
 //     a correctness bug, not noise. Within the fresh result, every engine
-//     scaling point must derive the identical tuple count: the parallel
-//     evaluator is exact at any worker count.
+//     scaling point must derive the identical tuple count (the parallel
+//     evaluator is exact at any worker count), and every sweep scaling point
+//     must report identical analyzed/failed/warnings/unique-work counts: the
+//     scheduler changes who computes what when, never the result, regardless
+//     of worker or shard counts. The scheduled sweeps must also perform
+//     exactly one analysis per unique bytecode, coalescing the rest.
 //
-//   - Timing: the fresh uncached and cached sweep walls — and the summed
-//     uncached decompile stage — may exceed the baseline by at most the
-//     fractional -tolerance (default 0.5, i.e. +50%, loose enough for shared
-//     CI runners). Timing checks are skipped when the corpora differ, and
-//     also when the recorded CPU counts differ (or the baseline predates
-//     recording them): wall-clock across machine shapes is not comparable.
+//   - Timing: the fresh uncached and cached sweep walls, the summed uncached
+//     decompile stage, and the 1-worker sweep scaling wall may exceed the
+//     baseline by at most the fractional -tolerance (default 0.5, i.e. +50%,
+//     loose enough for shared CI runners). Timing checks are skipped when the
+//     corpora differ, and also when the recorded CPU counts differ (or the
+//     baseline predates recording them): wall-clock across machine shapes is
+//     not comparable — which is also why multi-worker sweep walls are never
+//     compared against the baseline.
 package main
 
 import (
@@ -134,6 +140,25 @@ func compare(baseline, fresh *bench.CoreBenchResult, tolerance float64) []string
 			checkWall("uncached sweep wall", fresh.Uncached.WallNS, baseline.Uncached.WallNS)
 			checkWall("cached sweep wall", fresh.Cached.WallNS, baseline.Cached.WallNS)
 			checkWall("uncached decompile stage", fresh.Uncached.Stages.Decompile, baseline.Uncached.Stages.Decompile)
+			// Only the sequential sweep wall is machine-comparable; the
+			// multi-worker points measure scaling, which CI runner noise and
+			// core-count differences dominate.
+			if f, b := sweepPointAt(fresh, 1), sweepPointAt(baseline, 1); f != nil && b != nil {
+				checkWall("1-worker sweep scaling wall", f.WallNS, b.WallNS)
+			}
+		}
+
+		// The scheduled sweep's dedup invariant: exactly one analysis per
+		// unique bytecode, every other request coalesced onto it.
+		if s := fresh.Cached.Sched; s.Unique > 0 {
+			if s.Unique != uint64(fresh.UniqueBytecodes) {
+				bad("cached sweep dispatched %d unique analyses, want one per unique bytecode (%d)",
+					s.Unique, fresh.UniqueBytecodes)
+			}
+			if got := s.Coalesced + s.CacheHits; got != uint64(fresh.N)-s.Unique {
+				bad("cached sweep coalesced+hit %d requests, want the full remainder (%d)",
+					got, uint64(fresh.N)-s.Unique)
+			}
 		}
 	}
 
@@ -147,7 +172,53 @@ func compare(baseline, fresh *bench.CoreBenchResult, tolerance float64) []string
 			}
 		}
 	}
+
+	// The sweep scheduler is exact: every worker count must produce
+	// bit-identical counts — analyzed, failed, warnings, and the unique-work
+	// plan. Shard and worker counts change contention, never results.
+	if len(fresh.SweepScaling) > 0 {
+		want := fresh.SweepScaling[0]
+		for _, p := range fresh.SweepScaling[1:] {
+			if p.Analyzed != want.Analyzed || p.Failed != want.Failed || p.Warnings != want.Warnings {
+				bad("sweep scaling at %d workers counted %d/%d/%d analyzed/failed/warnings, %d workers counted %d/%d/%d — scheduling changed results",
+					p.Workers, p.Analyzed, p.Failed, p.Warnings,
+					want.Workers, want.Analyzed, want.Failed, want.Warnings)
+			}
+			if p.UniqueWork != want.UniqueWork {
+				bad("sweep scaling at %d workers planned %d unique items, %d workers planned %d — dedup is not deterministic",
+					p.Workers, p.UniqueWork, want.Workers, want.UniqueWork)
+			}
+		}
+		for _, p := range fresh.SweepScaling {
+			if p.Analyzed+p.Failed != fresh.N {
+				bad("sweep scaling at %d workers covered %d contracts, corpus has %d",
+					p.Workers, p.Analyzed+p.Failed, fresh.N)
+			}
+			if p.UniqueWork != uint64(fresh.UniqueBytecodes) {
+				bad("sweep scaling at %d workers dispatched %d unique analyses, want one per unique bytecode (%d)",
+					p.Workers, p.UniqueWork, fresh.UniqueBytecodes)
+			}
+		}
+		if sameCorpus && len(baseline.SweepScaling) > 0 {
+			b := baseline.SweepScaling[0]
+			if want.Analyzed != b.Analyzed || want.Failed != b.Failed || want.Warnings != b.Warnings {
+				bad("sweep scaling counts %d/%d/%d analyzed/failed/warnings, baseline %d/%d/%d",
+					want.Analyzed, want.Failed, want.Warnings, b.Analyzed, b.Failed, b.Warnings)
+			}
+		}
+	}
 	return problems
+}
+
+// sweepPointAt finds the sweep scaling point at the given worker count, nil
+// when the result has none (old baselines predate the curve).
+func sweepPointAt(r *bench.CoreBenchResult, workers int) *bench.SweepScalingPoint {
+	for i := range r.SweepScaling {
+		if r.SweepScaling[i].Workers == workers {
+			return &r.SweepScaling[i]
+		}
+	}
+	return nil
 }
 
 func fmtNS(ns int64) string {
