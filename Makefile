@@ -3,7 +3,7 @@ GO ?= go
 # loose enough for shared CI runners; counts are always compared exactly).
 BENCH_TOLERANCE ?= 0.5
 
-.PHONY: all build test vet bench bench-json bench-check sweep-check experiments examples serve-smoke fuzz-smoke clean
+.PHONY: all build test vet bench bench-json bench-check sweep-check warm-check experiments examples serve-smoke fuzz-smoke clean
 
 all: build vet test
 
@@ -44,6 +44,16 @@ sweep-check:
 	$(GO) run ./cmd/ethainter-bench -exp core -n 2000 -seed 20200615 -sweep-workers 4 -json BENCH_sweep.json > /dev/null
 	$(GO) run ./scripts -baseline BENCH_core.json -fresh BENCH_sweep.json -tolerance $(BENCH_TOLERANCE)
 	rm -f BENCH_sweep.json
+
+# Cold→warm double process start over the persistent cache tier, then
+# bench_compare's warm_restart assertions: the warm start must perform zero
+# analyses and zero decompilations with a result digest bit-identical to the
+# cold start's. Machine-independent (the checks are exact counts and digests,
+# not walls), so this is a blocking CI step.
+warm-check:
+	$(GO) run ./cmd/ethainter-bench -exp core -n 2000 -seed 20200615 -sweep-workers 1 -json BENCH_warm.json > /dev/null
+	$(GO) run ./scripts -baseline BENCH_core.json -fresh BENCH_warm.json -tolerance $(BENCH_TOLERANCE)
+	rm -f BENCH_warm.json
 
 # Full-scale regeneration of every table and figure (EXPERIMENTS.md source).
 experiments:

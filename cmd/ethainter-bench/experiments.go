@@ -12,10 +12,10 @@ import (
 // Scales are tuned per experiment the way the paper's were (the inspection
 // sample is 40; the Securify sample 2K; Figure 7 needs enough source-
 // compatible contracts).
-func experimentRunners(n int, seed int64, workers, parallelism, sweepWorkers, cacheShards int, jsonPath string, limits decompiler.Limits) map[string]func() string {
+func experimentRunners(n int, seed int64, workers, parallelism, sweepWorkers, cacheShards int, cacheDir, jsonPath string, limits decompiler.Limits) map[string]func() string {
 	return map[string]func() string{
 		"core": func() string {
-			r := bench.CoreBench(n, seed, workers, parallelism, sweepWorkers, cacheShards, limits)
+			r := bench.CoreBench(n, seed, workers, parallelism, sweepWorkers, cacheShards, cacheDir, limits)
 			out := r.Render()
 			if jsonPath != "" {
 				data, err := r.JSON()

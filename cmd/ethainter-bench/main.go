@@ -4,7 +4,8 @@
 // Usage:
 //
 //	ethainter-bench [-n N] [-seed S] [-workers W] [-parallelism P]
-//	                [-sweep-workers W] [-cache-shards N] [-exp name]
+//	                [-sweep-workers W] [-cache-shards N] [-cache-dir DIR]
+//	                [-exp name]
 //	                [-progress] [-json file] [-cpuprofile file] [-memprofile file]
 //
 // Experiments: exp1, table2, fig6, securify, fig7, teether, rq2, fig8,
@@ -31,6 +32,7 @@ func main() {
 		par         = flag.Int("parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core)")
 		sweepW      = flag.Int("sweep-workers", 0, "sweep_scaling curve shape: 0 = workers {1,2,4,8}, W>0 = {1,W} (core experiment)")
 		shards      = flag.Int("cache-shards", 0, "analysis cache shard count, rounded down to a power of two (0 = default; core experiment)")
+		cacheDir    = flag.String("cache-dir", "", "directory for the warm-restart persistent tier (empty = throwaway temp dir; core experiment)")
 		progress    = flag.Bool("progress", false, "draw sweep progress lines on stderr")
 		exp         = flag.String("exp", "all", "experiment: exp1|table2|fig6|securify|fig7|teether|rq2|fig8|core|all")
 		jsonPath    = flag.String("json", "BENCH_core.json", "output path for the core experiment's JSON result")
@@ -60,7 +62,7 @@ func main() {
 		defer f.Close()
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*exp, *n, *seed, *workers, *par, *sweepW, *shards, *jsonPath, limits); err != nil {
+	if err := run(*exp, *n, *seed, *workers, *par, *sweepW, *shards, *cacheDir, *jsonPath, limits); err != nil {
 		fatal(err)
 	}
 	if *memProfile != "" {
@@ -81,8 +83,8 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(exp string, n int, seed int64, workers, parallelism, sweepWorkers, cacheShards int, jsonPath string, limits decompiler.Limits) error {
-	runners := experimentRunners(n, seed, workers, parallelism, sweepWorkers, cacheShards, jsonPath, limits)
+func run(exp string, n int, seed int64, workers, parallelism, sweepWorkers, cacheShards int, cacheDir, jsonPath string, limits decompiler.Limits) error {
+	runners := experimentRunners(n, seed, workers, parallelism, sweepWorkers, cacheShards, cacheDir, jsonPath, limits)
 	if exp != "all" {
 		r, ok := runners[exp]
 		if !ok {

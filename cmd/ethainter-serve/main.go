@@ -7,7 +7,8 @@
 // Usage:
 //
 //	ethainter-serve [-addr :8545] [-timeout 30s] [-max-inflight 64]
-//	                [-cache-entries N] [-cache-shards N] [-sweep-workers N]
+//	                [-cache-entries N] [-cache-shards N] [-cache-dir DIR]
+//	                [-sweep-workers N]
 //	                [-parallelism P] [-max-body N] [-read-timeout 10s]
 //	                [-write-timeout 2m] [-idle-timeout 2m]
 //	                [-shutdown-grace 15s] [-decompile-max-contexts N]
@@ -46,6 +47,7 @@ type options struct {
 	maxInFlight  int
 	cacheEntries int
 	cacheShards  int
+	cacheDir     string
 	sweepWorkers int
 	parallelism  int
 	maxBody      int64
@@ -64,6 +66,7 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&opts.maxInFlight, "max-inflight", 64, "max concurrently-served analysis requests; excess get 503 (0 = unlimited)")
 	fs.IntVar(&opts.cacheEntries, "cache-entries", 0, "report cache capacity (0 = default)")
 	fs.IntVar(&opts.cacheShards, "cache-shards", 0, "report cache shard count, rounded down to a power of two (0 = default)")
+	fs.StringVar(&opts.cacheDir, "cache-dir", "", "persistent cache directory: reports and deterministic failures survive restarts (empty = memory-only)")
 	fs.IntVar(&opts.sweepWorkers, "sweep-workers", 0, "server-wide /batch sweep scheduler pool size (0 = one per core)")
 	fs.IntVar(&opts.parallelism, "parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core); multiplies with -max-inflight request concurrency")
 	fs.Int64Var(&opts.maxBody, "max-body", 1<<20, "max request body bytes")
@@ -84,7 +87,21 @@ func run(opts options, logger *slog.Logger, ready chan<- net.Addr, shutdown <-ch
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = opts.parallelism
 	cfg.DecompileLimits = opts.limits
-	srv := server.NewWithCache(cfg, core.NewCacheSharded(opts.cacheEntries, opts.cacheShards))
+	cache := core.NewCacheSharded(opts.cacheEntries, opts.cacheShards)
+	if opts.cacheDir != "" {
+		tier, err := core.OpenDiskTier(opts.cacheDir)
+		if err != nil {
+			return err
+		}
+		// Flush the write-behind queue after the HTTP drain, so reports
+		// computed right up to shutdown are durable for the next start.
+		defer tier.Close()
+		cache.SetDiskTier(tier)
+		ds := tier.Stats()
+		logger.Info("disk cache tier open", "dir", opts.cacheDir,
+			"entries", ds.Entries, "scrubbed", ds.Scrubbed)
+	}
+	srv := server.NewWithCache(cfg, cache)
 	srv.Timeout = opts.timeout
 	srv.MaxInFlight = opts.maxInFlight
 	srv.SweepWorkers = opts.sweepWorkers

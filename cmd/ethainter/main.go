@@ -8,7 +8,10 @@
 // The file is mini-Solidity source (.msol/.sol) or hex runtime bytecode
 // (.hex, with or without 0x prefix). Flags select the Figure 8 ablations,
 // the fixpoint engine (-engine go|datalog, with -parallelism workers for the
-// Datalog one), and output detail.
+// Datalog one), and output detail. With -cache-dir, go-engine analyses are
+// served from and persisted to a durable result store, so re-running the CLI
+// over bytecode it has seen before (under the same config) skips the whole
+// pipeline.
 package main
 
 import (
@@ -39,6 +42,7 @@ func main() {
 		maxContexts  = flag.Int("decompile-max-contexts", 0, "decompile budget: max (block, depth) contexts (0 = default)")
 		maxSteps     = flag.Int("decompile-max-steps", 0, "decompile budget: max value-set worklist steps (0 = default)")
 		maxStmts     = flag.Int("decompile-max-stmts", 0, "decompile budget: max translated statements (0 = default)")
+		cacheDir     = flag.String("cache-dir", "", "persistent result cache directory; repeated runs over known bytecode skip analysis (-engine go only)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ethainter [flags] <contract.msol | contract.hex>\n")
@@ -59,13 +63,13 @@ func main() {
 		MaxWorklistSteps: *maxSteps,
 		MaxStatements:    *maxStmts,
 	}
-	if err := run(flag.Arg(0), cfg, *engine, *showIR, *showAsm, *timings); err != nil {
+	if err := run(flag.Arg(0), cfg, *engine, *cacheDir, *showIR, *showAsm, *timings); err != nil {
 		fmt.Fprintf(os.Stderr, "ethainter: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, cfg ethainter.Config, engine string, showIR, showAsm, timings bool) error {
+func run(path string, cfg ethainter.Config, engine, cacheDir string, showIR, showAsm, timings bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -86,16 +90,19 @@ func run(path string, cfg ethainter.Config, engine string, showIR, showAsm, timi
 	}
 	switch engine {
 	case "go":
-		return runGoEngine(code, cfg, timings)
+		return runGoEngine(code, cfg, cacheDir, timings)
 	case "datalog":
+		if cacheDir != "" {
+			return fmt.Errorf("-cache-dir requires -engine go (the datalog path reports per-pc relations, not cacheable Reports)")
+		}
 		return runDatalogEngine(code, cfg, timings)
 	default:
 		return fmt.Errorf("unknown engine %q (want go or datalog)", engine)
 	}
 }
 
-func runGoEngine(code []byte, cfg ethainter.Config, timings bool) error {
-	report, err := ethainter.AnalyzeBytecode(code, cfg)
+func runGoEngine(code []byte, cfg ethainter.Config, cacheDir string, timings bool) error {
+	report, err := analyzeMaybeCached(code, cfg, cacheDir)
 	if err != nil {
 		return err
 	}
@@ -123,6 +130,27 @@ func runGoEngine(code []byte, cfg ethainter.Config, timings bool) error {
 			t.Facts, t.Guards, t.Fixpoint, t.Detect)
 	}
 	return nil
+}
+
+// analyzeMaybeCached runs the go-engine analysis, routed through a
+// disk-backed cache when -cache-dir is set. Closing the tier before
+// returning flushes the write-behind queue, so the very next invocation of
+// the CLI over the same bytecode is already warm.
+func analyzeMaybeCached(code []byte, cfg ethainter.Config, cacheDir string) (*ethainter.Report, error) {
+	if cacheDir == "" {
+		return ethainter.AnalyzeBytecode(code, cfg)
+	}
+	tier, err := core.OpenDiskTier(cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	cache := core.NewCache(0)
+	cache.SetDiskTier(tier)
+	report, aerr := cache.AnalyzeBytecode(code, cfg)
+	if cerr := tier.Close(); cerr != nil && aerr == nil {
+		return nil, cerr
+	}
+	return report, aerr
 }
 
 // runDatalogEngine analyzes through the declarative rules — the path the

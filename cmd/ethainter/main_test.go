@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ethainter"
+	"ethainter/internal/core"
 )
 
 const vulnerableSrc = `
@@ -27,12 +28,12 @@ func writeTemp(t *testing.T, name, content string) string {
 
 func TestRunOnSource(t *testing.T) {
 	p := writeTemp(t, "w.msol", vulnerableSrc)
-	if err := run(p, ethainter.DefaultConfig(), "go", false, false, false); err != nil {
+	if err := run(p, ethainter.DefaultConfig(), "go", "", false, false, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// Ablation flags work too.
 	ablated := ethainter.Config{}
-	if err := run(p, ablated, "go", true, true, false); err != nil {
+	if err := run(p, ablated, "go", "", true, true, false); err != nil {
 		t.Fatalf("run with flags: %v", err)
 	}
 }
@@ -43,7 +44,7 @@ func TestRunOnHexBytecode(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := writeTemp(t, "w.hex", "0x"+hex.EncodeToString(compiled.Runtime))
-	if err := run(p, ethainter.DefaultConfig(), "go", false, false, false); err != nil {
+	if err := run(p, ethainter.DefaultConfig(), "go", "", false, false, false); err != nil {
 		t.Fatalf("run on hex: %v", err)
 	}
 }
@@ -55,26 +56,26 @@ func TestRunDatalogEngine(t *testing.T) {
 	for _, workers := range []int{0, 2, -1} {
 		cfg := ethainter.DefaultConfig()
 		cfg.Parallelism = workers
-		if err := run(p, cfg, "datalog", false, false, true); err != nil {
+		if err := run(p, cfg, "datalog", "", false, false, true); err != nil {
 			t.Fatalf("datalog run (parallelism=%d): %v", workers, err)
 		}
 	}
-	if err := run(p, ethainter.DefaultConfig(), "prolog", false, false, false); err == nil {
+	if err := run(p, ethainter.DefaultConfig(), "prolog", "", false, false, false); err == nil {
 		t.Error("unknown engine should error")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	cfg := ethainter.DefaultConfig()
-	if err := run(filepath.Join(t.TempDir(), "absent"), cfg, "go", false, false, false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "absent"), cfg, "go", "", false, false, false); err == nil {
 		t.Error("missing file should error")
 	}
 	bad := writeTemp(t, "bad.msol", "contract {")
-	if err := run(bad, cfg, "go", false, false, false); err == nil {
+	if err := run(bad, cfg, "go", "", false, false, false); err == nil {
 		t.Error("unparseable source should error")
 	}
 	badHex := writeTemp(t, "bad.hex", "0x60zz")
-	if err := run(badHex, cfg, "go", false, false, false); err == nil {
+	if err := run(badHex, cfg, "go", "", false, false, false); err == nil {
 		t.Error("bad hex should error")
 	}
 }
@@ -88,5 +89,29 @@ func TestLooksHex(t *testing.T) {
 		if got := looksHex(in); got != want {
 			t.Errorf("looksHex(%q) = %v", in, got)
 		}
+	}
+}
+
+// TestRunWithCacheDir: two invocations with -cache-dir share one persistent
+// store — the second run is served from disk (the tier reports one intact
+// entry on reopen) — and -cache-dir composes only with the go engine.
+func TestRunWithCacheDir(t *testing.T) {
+	p := writeTemp(t, "w.msol", vulnerableSrc)
+	dir := filepath.Join(t.TempDir(), "cache")
+	for i := 0; i < 2; i++ {
+		if err := run(p, ethainter.DefaultConfig(), "go", dir, false, false, false); err != nil {
+			t.Fatalf("run %d with cache dir: %v", i, err)
+		}
+	}
+	tier, err := core.OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	if st := tier.Stats(); st.Entries != 1 || st.Scrubbed != 0 {
+		t.Fatalf("tier stats = %+v, want exactly the one persisted report", st)
+	}
+	if err := run(p, ethainter.DefaultConfig(), "datalog", dir, false, false, false); err == nil {
+		t.Fatal("datalog engine accepted -cache-dir")
 	}
 }

@@ -206,3 +206,36 @@ func TestRQ2Runs(t *testing.T) {
 	}
 	_ = r.Render()
 }
+
+// TestWarmRestartContract runs the cold→warm double start at unit scale and
+// pins the same invariants bench_compare enforces on the full corpus: the
+// warm pass does zero pipeline work, reproduces the cold counts, and yields
+// a bit-identical result digest.
+func TestWarmRestartContract(t *testing.T) {
+	contracts := corpus.Generate(corpus.DefaultProfile(testN, testSeed))
+	wr, err := WarmRestart(contracts, core.DefaultConfig(), 4, 0, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, warm := wr.Cold, wr.Warm
+	if cold.Analyzed+cold.Failed != testN {
+		t.Fatalf("cold pass covered %d contracts, want %d", cold.Analyzed+cold.Failed, testN)
+	}
+	if cold.Analyses == 0 || cold.DiskWrites == 0 {
+		t.Fatalf("cold pass stats = %+v, want analyses performed and persisted", cold)
+	}
+	if warm.Analyses != 0 || warm.Decompiles != 0 || warm.UniqueWork != 0 {
+		t.Fatalf("warm pass did work: %+v, want everything served from disk", warm)
+	}
+	if warm.Analyzed != cold.Analyzed || warm.Failed != cold.Failed || warm.Warnings != cold.Warnings {
+		t.Fatalf("warm counts %d/%d/%d diverge from cold %d/%d/%d",
+			warm.Analyzed, warm.Failed, warm.Warnings, cold.Analyzed, cold.Failed, cold.Warnings)
+	}
+	if warm.Digest == "" || warm.Digest != cold.Digest {
+		t.Fatalf("warm digest %q != cold digest %q", warm.Digest, cold.Digest)
+	}
+	if warm.DiskHits != cold.DiskMisses {
+		t.Fatalf("warm served %d from disk, cold established %d entries' worth of misses",
+			warm.DiskHits, cold.DiskMisses)
+	}
+}

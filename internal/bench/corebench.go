@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -98,6 +99,11 @@ type CoreBenchResult struct {
 	// dedup-aware scheduler at increasing cross-contract worker counts, each
 	// point on a fresh cold cache so every point does identical unique work.
 	SweepScaling []SweepScalingPoint `json:"sweep_scaling"`
+	// WarmRestart is the cold→warm double process start over the persistent
+	// cache tier: the warm run must perform zero analyses and zero
+	// decompilations with a result digest bit-identical to the cold run's
+	// (bench_compare enforces it). Nil when the double start failed.
+	WarmRestart *WarmRestartResult `json:"warm_restart,omitempty"`
 }
 
 // SweepScalingPoint is one worker count on the cross-contract sweep curve.
@@ -133,8 +139,9 @@ type SweepScalingPoint struct {
 // the bench measure the cost of tighter budgets under real sweep load.
 // sweepWorkers shapes the scaling curve's x axis (see
 // sweepScalingWorkerCounts); cacheShards sizes the sweep caches (0 =
-// default).
-func CoreBench(n int, seed int64, workers, parallelism, sweepWorkers, cacheShards int, limits decompiler.Limits) *CoreBenchResult {
+// default). cacheDir pins where the warm-restart double start keeps its
+// persistent tier ("" = a throwaway temp directory).
+func CoreBench(n int, seed int64, workers, parallelism, sweepWorkers, cacheShards int, cacheDir string, limits decompiler.Limits) *CoreBenchResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -166,6 +173,15 @@ func CoreBench(n int, seed int64, workers, parallelism, sweepWorkers, cacheShard
 	}
 	res.EngineScaling = EngineScaling(engineScalingN, scalingWorkerCounts(parallelism))
 	res.SweepScaling = SweepScaling(contracts, cfg, sweepScalingWorkerCounts(sweepWorkers), cacheShards)
+	if dir, cleanup, err := warmRestartDir(cacheDir); err != nil {
+		fmt.Fprintf(os.Stderr, "warm_restart: %v\n", err)
+	} else {
+		res.WarmRestart, err = WarmRestart(contracts, cfg, workers, cacheShards, dir)
+		cleanup()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warm_restart: %v\n", err)
+		}
+	}
 	return res
 }
 
@@ -352,6 +368,16 @@ func (r *CoreBenchResult) Render() string {
 	for _, p := range r.SweepScaling {
 		t.note("sweep scaling: %d worker(s): wall %s, %d analyzed / %d failed / %d warnings, %d unique + %d coalesced, %d contended, %.2fx",
 			p.Workers, fmtNS(p.WallNS), p.Analyzed, p.Failed, p.Warnings, p.UniqueWork, p.Coalesced, p.ShardContended, p.Speedup)
+	}
+	if wr := r.WarmRestart; wr != nil {
+		t.note("warm restart: cold %s (%d analyses, %d decompiles, %d disk writes) -> warm %s (%d analyses, %d decompiles, %d disk hits)",
+			fmtNS(wr.Cold.WallNS), wr.Cold.Analyses, wr.Cold.Decompiles, wr.Cold.DiskWrites,
+			fmtNS(wr.Warm.WallNS), wr.Warm.Analyses, wr.Warm.Decompiles, wr.Warm.DiskHits)
+		if wr.Cold.WallNS > 0 && wr.Warm.WallNS > 0 {
+			t.note("warm restart speedup: %.2fx wall clock, digests %s",
+				float64(wr.Cold.WallNS)/float64(wr.Warm.WallNS),
+				map[bool]string{true: "identical", false: "DIVERGENT"}[wr.Cold.Digest == wr.Warm.Digest])
+		}
 	}
 	return t.String()
 }

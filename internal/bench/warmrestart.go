@@ -1,0 +1,148 @@
+package bench
+
+// Cold-vs-warm process-start benchmark for the persistent cache tier. Two
+// "processes" — a fresh cache + scheduler + tier handle each — sweep the same
+// corpus against the same directory. The cold pass computes and persists
+// everything; the warm pass must perform zero analyses and zero
+// decompilations, serving every unique group from disk on the scheduler's
+// Lookup fast path, and its result digest must be bit-identical to the cold
+// pass's. bench_compare enforces exactly that from the emitted
+// `warm_restart` section of BENCH_core.json.
+
+import (
+	"context"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/crypto"
+	"ethainter/internal/sched"
+)
+
+// WarmRestartRun is one process start over the corpus: its wall clock,
+// per-result counts, and the cache/scheduler counters that prove where the
+// work happened. Digest is a keccak-256 over every per-index outcome in
+// corpus order (report content with timings zeroed, or the error text), so
+// cold and warm runs are comparable bit-for-bit.
+type WarmRestartRun struct {
+	WallNS   int64 `json:"wall_ns"`
+	Analyzed int   `json:"analyzed"`
+	Failed   int   `json:"failed"`
+	Warnings int   `json:"warnings"`
+	// Analyses/Decompiles count pipeline work actually performed — both must
+	// be zero on the warm run.
+	Analyses   uint64 `json:"analyses"`
+	Decompiles uint64 `json:"decompiles"`
+	// MemoryHits/MemoryMisses are the in-memory tier's counters; DiskHits/
+	// DiskMisses the persistent tier's read-side split; DiskWrites/
+	// DiskScrubbed its write/scrub side (final, after the tier flushed).
+	MemoryHits   uint64 `json:"memory_hits"`
+	MemoryMisses uint64 `json:"memory_misses"`
+	DiskHits     uint64 `json:"disk_hits"`
+	DiskMisses   uint64 `json:"disk_misses"`
+	DiskWrites   uint64 `json:"disk_writes"`
+	DiskScrubbed uint64 `json:"disk_scrubbed"`
+	// UniqueWork counts analyses the scheduler dispatched to its pool — zero
+	// on the warm run, where the Lookup fast path serves everything.
+	UniqueWork uint64 `json:"unique_work"`
+	Digest     string `json:"digest"`
+}
+
+// WarmRestartResult is the cold→warm double start over one directory.
+type WarmRestartResult struct {
+	Cold WarmRestartRun `json:"cold"`
+	Warm WarmRestartRun `json:"warm"`
+}
+
+// WarmRestart runs the cold→warm double start. dir must start empty (or not
+// exist): the cold pass populates it, the warm pass re-opens it.
+func WarmRestart(contracts []*corpus.Contract, cfg core.Config, workers, cacheShards int, dir string) (*WarmRestartResult, error) {
+	out := &WarmRestartResult{}
+	var err error
+	if out.Cold, err = warmRestartPass("warm_restart(cold)", contracts, cfg, workers, cacheShards, dir); err != nil {
+		return nil, err
+	}
+	if out.Warm, err = warmRestartPass("warm_restart(warm)", contracts, cfg, workers, cacheShards, dir); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// warmRestartPass is one simulated process start: open the tier, sweep the
+// corpus through a fresh scheduler, close the scheduler, then close the tier
+// so the write-behind queue is flushed before the counters are read.
+func warmRestartPass(label string, contracts []*corpus.Contract, cfg core.Config, workers, cacheShards int, dir string) (WarmRestartRun, error) {
+	var run WarmRestartRun
+	tier, err := core.OpenDiskTier(dir)
+	if err != nil {
+		return run, err
+	}
+	cache := core.NewCacheSharded(0, cacheShards)
+	cache.SetDiskTier(tier)
+	s := sched.New(cache, workers)
+
+	codes := make([][]byte, len(contracts))
+	for i, c := range contracts {
+		codes[i] = c.Runtime
+	}
+	prog := newProgress(label, len(contracts))
+	start := time.Now()
+	results := s.Sweep(context.Background(), codes, cfg, func(int, sched.Result) { prog.step() })
+	run.WallNS = int64(time.Since(start))
+	prog.finish()
+	run.UniqueWork = s.Stats().Unique
+	s.Close()
+	if err := tier.Close(); err != nil {
+		return run, err
+	}
+
+	// Counters only after the tier drained: DiskWrites must be final.
+	cs := cache.Stats()
+	run.Analyses = cs.Analyses
+	run.Decompiles = cs.Decompiles
+	run.MemoryHits = cs.Hits
+	run.MemoryMisses = cs.Misses
+	run.DiskHits = cs.DiskHits
+	run.DiskMisses = cs.DiskMisses
+	run.DiskWrites = cs.DiskWrites
+	run.DiskScrubbed = cs.DiskScrubbed
+
+	var digest []byte
+	for _, res := range results {
+		if res.Err != nil {
+			run.Failed++
+			digest = append(digest, 1)
+			digest = append(digest, res.Err.Error()...)
+			continue
+		}
+		run.Analyzed++
+		run.Warnings += len(res.Report.Warnings)
+		d := res.Report.Digest()
+		digest = append(digest, 0)
+		digest = append(digest, d[:]...)
+	}
+	sum := crypto.Keccak256(digest)
+	run.Digest = hex.EncodeToString(sum[:])
+	return run, nil
+}
+
+// warmRestartDir resolves where the double start runs: a throwaway temp
+// directory by default (removed by cleanup), or <cacheDir>/warm_restart when
+// the caller pinned one — wiped first, because the cold pass must be cold.
+func warmRestartDir(cacheDir string) (dir string, cleanup func(), err error) {
+	if cacheDir == "" {
+		dir, err = os.MkdirTemp("", "ethainter-warm-")
+		if err != nil {
+			return "", nil, err
+		}
+		return dir, func() { os.RemoveAll(dir) }, nil
+	}
+	dir = filepath.Join(cacheDir, "warm_restart")
+	if err := os.RemoveAll(dir); err != nil {
+		return "", nil, err
+	}
+	return dir, func() {}, nil
+}

@@ -12,6 +12,14 @@ import (
 	"ethainter/internal/tac"
 )
 
+// fingerprintScheme names the config-fingerprint scheme. It is folded into
+// every fingerprint AND into every persistent cache entry's header: bumping
+// the scheme (because a new behavior-affecting Config field was added)
+// automatically invalidates every on-disk entry written under the old one —
+// the startup scrub drops them instead of mis-decoding reports computed under
+// a config the old fingerprint could not distinguish.
+const fingerprintScheme = "ethainter-config-v2"
+
 // Fingerprint returns a stable digest of the configuration. Cache entries
 // are partitioned by it: reports computed under different configs never
 // alias. Every behavior-affecting Config field must be folded in here —
@@ -39,13 +47,23 @@ func (c Config) Fingerprint() uint64 {
 	binary.BigEndian.PutUint64(limBytes[0:], uint64(lim.MaxContexts))
 	binary.BigEndian.PutUint64(limBytes[8:], uint64(lim.MaxWorklistSteps))
 	binary.BigEndian.PutUint64(limBytes[16:], uint64(lim.MaxStatements))
-	h := crypto.Keccak256([]byte("ethainter-config-v2"), []byte{bits}, limBytes[:])
+	h := crypto.Keccak256([]byte(fingerprintScheme), []byte{bits}, limBytes[:])
 	return binary.BigEndian.Uint64(h[:8])
 }
 
 // CacheStats are the counters of one Cache (or, from ShardStats, of one
-// shard). The merged view sums hits/misses/evictions/entries/contended over
-// every shard and reports the shard count.
+// shard). The merged view sums the per-shard counters over every shard,
+// reports the shard count, and — when a disk tier is attached — adds the
+// tier-level write/scrub counters, which have no per-shard split.
+//
+// The counting contract: every logical request that resolves to a report or
+// a memoized error counts exactly one memory Hit or exactly one memory Miss —
+// never both, no matter how many internal retries a cancelled coalesced
+// computation forces — so Hits+Misses equals the number of resolved logical
+// lookups. Disk probes happen only on memory misses, and each computing miss
+// counts exactly one DiskHit or DiskMiss when a tier is attached. Analyses
+// and Decompiles count work actually performed (compute attempts and real
+// decompiler invocations), so a fully warm restart shows both at zero.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
@@ -58,6 +76,27 @@ type CacheStats struct {
 	// held and had to wait — the direct measure of cross-worker serialization
 	// the sharding exists to kill. Cheap (one TryLock) and monotone.
 	Contended uint64 `json:"contended,omitempty"`
+
+	// DiskHits counts memory misses served by the disk tier; DiskMisses
+	// counts memory misses that probed the disk tier and had to compute.
+	// Both stay zero when no tier is attached.
+	DiskHits   uint64 `json:"disk_hits,omitempty"`
+	DiskMisses uint64 `json:"disk_misses,omitempty"`
+	// Analyses counts compute attempts (a report computed or a deterministic
+	// failure established by actually running the pipeline); Decompiles
+	// counts real decompiler invocations (program singleflight waiters and
+	// program-memo hits don't re-decompile). A warm restart over a fully
+	// persisted corpus keeps both at zero.
+	Analyses   uint64 `json:"analyses,omitempty"`
+	Decompiles uint64 `json:"decompiles,omitempty"`
+
+	// Tier-level disk counters, merged view only (per-shard snapshots leave
+	// them zero): durable entry writes, failed writes, entries dropped by the
+	// startup/lazy scrub, and live on-disk entries.
+	DiskWrites      uint64 `json:"disk_writes,omitempty"`
+	DiskWriteErrors uint64 `json:"disk_write_errors,omitempty"`
+	DiskScrubbed    uint64 `json:"disk_scrubbed,omitempty"`
+	DiskEntries     int64  `json:"disk_entries,omitempty"`
 }
 
 // HitRate is hits / (hits + misses), or 0 before any lookup.
@@ -94,11 +133,21 @@ type progEntry struct {
 	err  error
 }
 
-// inflight tracks one in-progress computation so concurrent lookups of the
-// same key wait for it instead of duplicating the work.
+// inflight tracks one in-progress report computation so concurrent lookups
+// of the same key wait for it instead of duplicating the work.
 type inflight struct {
 	done chan struct{}
 	rep  *Report
+	err  error
+}
+
+// progInflight tracks one in-progress decompilation — the program-level
+// mirror of the report singleflight. Without it, two concurrent report
+// misses under different configs (distinct report keys, same program key)
+// both ran the full decompiler.
+type progInflight struct {
+	done chan struct{}
+	prog *tac.Program
 	err  error
 }
 
@@ -116,6 +165,7 @@ type cacheShard struct {
 	progs       map[progKey]progEntry
 	progOrder   []progKey
 	pending     map[reportKey]*inflight
+	progPending map[progKey]*progInflight
 
 	stats CacheStats
 }
@@ -144,9 +194,19 @@ func (s *cacheShard) lock() {
 // serialize on one lock (the pre-sharding design did, and the single mutex
 // dominated multi-worker sweep profiles). Stats() merges the shards into one
 // view; ShardStats() exposes the split. Safe for concurrent use.
+//
+// An optional DiskTier (SetDiskTier) adds a durable, content-addressed store
+// below the in-memory shards: memory misses probe it read-through before
+// computing, and computed results — including deterministic negative entries
+// — are written behind asynchronously, so a process restart over the same
+// corpus performs zero decompilations and zero analyses.
 type Cache struct {
 	shards []cacheShard
 	mask   uint64
+
+	// disk is the optional persistent tier. Set once via SetDiskTier before
+	// the cache serves requests; read without synchronization afterwards.
+	disk *DiskTier
 }
 
 // DefaultCacheEntries bounds each cache store when NewCache is given a
@@ -171,6 +231,9 @@ func NewCache(maxEntries int) *Cache {
 // defaults. The shard count is rounded down to a power of two (for mask
 // indexing) and clamped so every shard holds at least one entry — a
 // capacity-1 cache degenerates to one shard and keeps exact FIFO semantics.
+// The capacity remainder (maxEntries mod shards) is distributed one entry
+// per low-numbered shard, so the per-shard bounds always sum to exactly
+// maxEntries — integer truncation must never silently shrink the cache.
 func NewCacheSharded(maxEntries, shards int) *Cache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultCacheEntries
@@ -184,17 +247,34 @@ func NewCacheSharded(maxEntries, shards int) *Cache {
 	// Round down to a power of two so shard selection is a mask, not a mod.
 	shards = 1 << (bits.Len(uint(shards)) - 1)
 	perShard := maxEntries / shards
+	remainder := maxEntries % shards
 	c := &Cache{shards: make([]cacheShard, shards), mask: uint64(shards - 1)}
 	for i := range c.shards {
+		per := perShard
+		if i < remainder {
+			per++
+		}
 		c.shards[i] = cacheShard{
-			maxEntries: perShard,
-			reports:    map[reportKey]reportEntry{},
-			progs:      map[progKey]progEntry{},
-			pending:    map[reportKey]*inflight{},
+			maxEntries:  per,
+			reports:     map[reportKey]reportEntry{},
+			progs:       map[progKey]progEntry{},
+			pending:     map[reportKey]*inflight{},
+			progPending: map[progKey]*progInflight{},
 		}
 	}
 	return c
 }
+
+// SetDiskTier attaches a persistent tier below the in-memory shards. Must be
+// called before the cache serves its first request (the field is read
+// without synchronization on the hot path); the caller keeps ownership of
+// the tier and must Close it — after the cache's last user is done — to
+// flush the write-behind queue.
+func (c *Cache) SetDiskTier(t *DiskTier) { c.disk = t }
+
+// Disk returns the attached persistent tier, nil when the cache is
+// memory-only.
+func (c *Cache) Disk() *DiskTier { return c.disk }
 
 // shardFor picks the shard owning a bytecode hash. Keccak output is uniform,
 // so any fixed 8 bytes index evenly; the low word is used.
@@ -205,7 +285,8 @@ func (c *Cache) shardFor(hash [32]byte) *cacheShard {
 // Shards returns the shard count.
 func (c *Cache) Shards() int { return len(c.shards) }
 
-// Stats returns a merged snapshot of the per-shard counters.
+// Stats returns a merged snapshot of the per-shard counters plus, when a
+// disk tier is attached, its tier-level write/scrub counters.
 func (c *Cache) Stats() CacheStats {
 	var out CacheStats
 	out.Shards = len(c.shards)
@@ -217,14 +298,27 @@ func (c *Cache) Stats() CacheStats {
 		out.Evictions += s.stats.Evictions
 		out.Entries += len(s.reports)
 		out.Contended += s.contended
+		out.DiskHits += s.stats.DiskHits
+		out.DiskMisses += s.stats.DiskMisses
+		out.Analyses += s.stats.Analyses
+		out.Decompiles += s.stats.Decompiles
 		s.mu.Unlock()
+	}
+	if c.disk != nil {
+		ds := c.disk.Stats()
+		out.DiskWrites = ds.Writes
+		out.DiskWriteErrors = ds.WriteErrors
+		out.DiskScrubbed = ds.Scrubbed
+		out.DiskEntries = ds.Entries
 	}
 	return out
 }
 
-// ShardStats returns one snapshot per shard — the hit/miss split behind the
-// merged Stats() view, for the /statsz observability surface and for
-// verifying that sharding actually spread the load.
+// ShardStats returns one snapshot per shard — the hit/miss split (memory and
+// disk) behind the merged Stats() view, for the /statsz observability
+// surface and for verifying that sharding actually spread the load. The
+// tier-level disk write/scrub counters have no per-shard split and appear
+// only in the merged view.
 func (c *Cache) ShardStats() []CacheStats {
 	out := make([]CacheStats, len(c.shards))
 	for i := range c.shards {
@@ -240,20 +334,39 @@ func (c *Cache) ShardStats() []CacheStats {
 
 // Lookup returns the memoized report (or negatively-cached deterministic
 // error) for an already-hashed bytecode under cfg, without computing
-// anything. A found entry counts as a hit; an absent one counts nothing —
-// the caller is expected to follow up with AnalyzeHashedContext, which
-// records the miss when it computes. The sweep scheduler uses this as its
-// synchronous fast path so cache-resident work never occupies a pool worker.
+// anything. The memory shards are probed first; on a memory miss the disk
+// tier (when attached) is probed synchronously — a file read, cheap enough
+// for the caller's own goroutine, which is how the sweep scheduler serves
+// warm-disk requests without occupying a pool worker — and a disk hit is
+// promoted into the memory shard. A memory hit counts Hits, a disk hit
+// DiskHits; an entry found nowhere counts nothing — the caller is expected
+// to follow up with AnalyzeHashedContext, which records the miss when it
+// computes.
 func (c *Cache) Lookup(hash [32]byte, cfg Config) (*Report, error, bool) {
 	key := reportKey{code: hash, cfg: cfg.Fingerprint()}
 	s := c.shardFor(hash)
 	s.lock()
-	e, ok := s.reports[key]
-	if ok {
+	if e, ok := s.reports[key]; ok {
 		s.stats.Hits++
+		s.mu.Unlock()
+		return e.rep, e.err, true
 	}
 	s.mu.Unlock()
-	return e.rep, e.err, ok
+	if c.disk == nil {
+		return nil, nil, false
+	}
+	// Probe the disk tier outside the shard lock — file IO must not
+	// serialize the shard. A concurrent probe of the same key reads the same
+	// immutable entry; promotion below is idempotent.
+	e, ok := c.disk.get(key, cfg.DecompileLimits.Normalized())
+	if !ok {
+		return nil, nil, false
+	}
+	s.lock()
+	s.stats.DiskHits++
+	s.storeReport(key, e)
+	s.mu.Unlock()
+	return e.rep, e.err, true
 }
 
 // AnalyzeBytecode is the cached equivalent of the package-level
@@ -279,48 +392,96 @@ func (c *Cache) AnalyzeBytecodeContext(ctx context.Context, code []byte, cfg Con
 // AnalyzeHashedContext is AnalyzeBytecodeContext for callers that already
 // hold the bytecode's keccak-256 — the sweep scheduler hashes once during
 // dedup planning and never pays for it again.
+//
+// Counting: each call records exactly one Hit (served from memory or from a
+// finished in-flight computation) or exactly one Miss (this call probed the
+// disk tier and/or computed), regardless of how many times a cancelled
+// coalesced computation forces it to retry. A call that returns its own
+// ctx.Err() while coalescing records neither — it never consumed a probe or
+// a computation.
 func (c *Cache) AnalyzeHashedContext(ctx context.Context, hash [32]byte, code []byte, cfg Config) (*Report, error) {
 	key := reportKey{code: hash, cfg: cfg.Fingerprint()}
 	s := c.shardFor(hash)
+	for {
+		s.lock()
+		if e, ok := s.reports[key]; ok {
+			s.stats.Hits++
+			s.mu.Unlock()
+			return e.rep, e.err
+		}
+		if fl, ok := s.pending[key]; ok {
+			// Another goroutine is computing this key; wait for it. Nothing
+			// is counted until the wait resolves — counting here inflated
+			// Hits on the cancellation-retry path (a waiter counted a Hit,
+			// observed the computation was cancelled, recursed, and counted
+			// again).
+			s.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if IsCancellation(fl.err) {
+				// The computing request was cancelled; its failure says
+				// nothing about the bytecode. Redo the work under our own
+				// context. Still nothing counted for this logical request.
+				continue
+			}
+			s.lock()
+			s.stats.Hits++
+			s.mu.Unlock()
+			return fl.rep, fl.err
+		}
+		s.stats.Misses++
+		fl := &inflight{done: make(chan struct{})}
+		s.pending[key] = fl
+		s.mu.Unlock()
 
-	s.lock()
-	if e, ok := s.reports[key]; ok {
-		s.stats.Hits++
-		s.mu.Unlock()
-		return e.rep, e.err
-	}
-	if fl, ok := s.pending[key]; ok {
-		// Another goroutine is computing this key; waiting for it is a hit —
-		// the work is not duplicated.
-		s.stats.Hits++
-		s.mu.Unlock()
-		select {
-		case <-fl.done:
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		// Read-through: probe the disk tier before computing. The probe runs
+		// under the singleflight, so concurrent misses on one key cost one
+		// file read, and coalesced waiters above never touch the disk.
+		fromDisk := false
+		if c.disk != nil {
+			if e, ok := c.disk.get(key, cfg.DecompileLimits.Normalized()); ok {
+				fl.rep, fl.err = e.rep, e.err
+				fromDisk = true
+			}
 		}
-		if IsCancellation(fl.err) {
-			// The computing request was cancelled; its failure says nothing
-			// about the bytecode. Redo the work under our own context.
-			return c.AnalyzeHashedContext(ctx, hash, code, cfg)
+		if !fromDisk {
+			fl.rep, fl.err = c.computeReport(ctx, key, code, cfg)
 		}
+
+		s.lock()
+		if c.disk != nil {
+			if fromDisk {
+				s.stats.DiskHits++
+			} else {
+				s.stats.DiskMisses++
+			}
+		}
+		if !IsCancellation(fl.err) {
+			s.storeReport(key, reportEntry{rep: fl.rep, err: fl.err})
+			if !fromDisk && c.disk != nil && persistable(fl.err) {
+				// Write-behind: serialize now (the entry is immutable), hand
+				// the durable write to the tier's writer goroutine.
+				c.disk.put(key, cfg.DecompileLimits.Normalized(), reportEntry{rep: fl.rep, err: fl.err})
+			}
+		}
+		delete(s.pending, key)
+		s.mu.Unlock()
+		close(fl.done)
 		return fl.rep, fl.err
 	}
-	s.stats.Misses++
-	fl := &inflight{done: make(chan struct{})}
-	s.pending[key] = fl
-	s.mu.Unlock()
+}
 
-	fl.rep, fl.err = c.computeReport(ctx, key, code, cfg)
-
-	s.lock()
-	if !IsCancellation(fl.err) {
-		s.storeReport(key, reportEntry{rep: fl.rep, err: fl.err})
-	}
-	delete(s.pending, key)
-	s.mu.Unlock()
-	close(fl.done)
-	return fl.rep, fl.err
+// persistable reports whether a memoized outcome may be written to the disk
+// tier: successful reports and deterministic failures (budget exhaustion,
+// unresolvable bytecode) persist; cancellations are never memoized at all,
+// and recovered analyzer panics stay memory-only — they are our defect, not
+// a property of the bytecode, and must not outlive the process that carried
+// the bug.
+func persistable(err error) bool {
+	return err == nil || (!IsCancellation(err) && !IsInternal(err))
 }
 
 // computeReport runs decompile + analysis under ctx and cfg's budgets. The
@@ -328,6 +489,10 @@ func (c *Cache) AnalyzeHashedContext(ctx context.Context, hash [32]byte, code []
 // ErrInternal so one poisonous input can never take down a serving process —
 // the same guarantee the uncached AnalyzeBytecodeContext boundary makes.
 func (c *Cache) computeReport(ctx context.Context, key reportKey, code []byte, cfg Config) (rep *Report, err error) {
+	s := c.shardFor(key.code)
+	s.lock()
+	s.stats.Analyses++
+	s.mu.Unlock()
 	defer recoverToError(&err)
 	prog, decompileTime, dt, err := c.decompile(ctx, key.code, code, cfg.DecompileLimits)
 	if err != nil {
@@ -342,37 +507,62 @@ func (c *Cache) computeReport(ctx context.Context, key reportKey, code []byte, c
 }
 
 // decompile returns the (shared, read-only) decompiled program for the
-// (bytecode, budget) pair, computing and memoizing it on first use. The
-// recorded durations — the stage total and its sub-breakdown — are zero on a
-// hit: the sweep did not pay for it again. Deterministic failures — including
-// budget exhaustion — are memoized; cancellations are not, since they reflect
-// the caller's deadline rather than the bytecode.
+// (bytecode, budget) pair, computing and memoizing it on first use. In-flight
+// decompilations are tracked like in-flight reports: concurrent misses on the
+// same (hash, limits) — e.g. one bytecode analyzed under two configs at once
+// — run the decompiler exactly once, with the waiters attaching to the
+// singleflight. The recorded durations — the stage total and its
+// sub-breakdown — are zero on a memo hit and for waiters: they did not pay
+// for the work. Deterministic failures — including budget exhaustion — are
+// memoized; cancellations are not, since they reflect the caller's deadline
+// rather than the bytecode, and a waiter observing a cancelled decompilation
+// retries under its own context.
 func (c *Cache) decompile(ctx context.Context, hash [32]byte, code []byte, limits decompiler.Limits) (*tac.Program, time.Duration, decompiler.Timings, error) {
 	key := progKey{code: hash, limits: limits.Normalized()}
 	s := c.shardFor(hash)
-	s.lock()
-	if e, ok := s.progs[key]; ok {
-		s.mu.Unlock()
-		return e.prog, 0, decompiler.Timings{}, e.err
-	}
-	s.mu.Unlock()
-
-	t0 := time.Now()
-	prog, dt, err := decompiler.DecompileTimed(ctx, code, limits)
-	elapsed := time.Since(t0)
-
-	s.lock()
-	if _, ok := s.progs[key]; !ok && !IsCancellation(err) {
-		if len(s.progs) >= s.maxEntries && len(s.progOrder) > 0 {
-			delete(s.progs, s.progOrder[0])
-			s.progOrder = s.progOrder[1:]
-			s.stats.Evictions++
+	for {
+		s.lock()
+		if e, ok := s.progs[key]; ok {
+			s.mu.Unlock()
+			return e.prog, 0, decompiler.Timings{}, e.err
 		}
-		s.progs[key] = progEntry{prog: prog, err: err}
-		s.progOrder = append(s.progOrder, key)
+		if fl, ok := s.progPending[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, 0, decompiler.Timings{}, ctx.Err()
+			}
+			if IsCancellation(fl.err) {
+				continue
+			}
+			return fl.prog, 0, decompiler.Timings{}, fl.err
+		}
+		fl := &progInflight{done: make(chan struct{})}
+		s.progPending[key] = fl
+		s.stats.Decompiles++
+		s.mu.Unlock()
+
+		t0 := time.Now()
+		var dt decompiler.Timings
+		fl.prog, dt, fl.err = decompiler.DecompileTimed(ctx, code, limits)
+		elapsed := time.Since(t0)
+
+		s.lock()
+		if _, ok := s.progs[key]; !ok && !IsCancellation(fl.err) {
+			if len(s.progs) >= s.maxEntries && len(s.progOrder) > 0 {
+				delete(s.progs, s.progOrder[0])
+				s.progOrder = s.progOrder[1:]
+				s.stats.Evictions++
+			}
+			s.progs[key] = progEntry{prog: fl.prog, err: fl.err}
+			s.progOrder = append(s.progOrder, key)
+		}
+		delete(s.progPending, key)
+		s.mu.Unlock()
+		close(fl.done)
+		return fl.prog, elapsed, dt, fl.err
 	}
-	s.mu.Unlock()
-	return prog, elapsed, dt, err
 }
 
 // storeReport inserts under s.mu, evicting the shard's oldest entry past its

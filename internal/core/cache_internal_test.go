@@ -1,0 +1,266 @@
+package core
+
+// White-box tests for the cache-layer counting and capacity contracts: the
+// per-shard capacity split must sum to the requested bound, every resolved
+// logical request must count exactly one hit or one miss (even across the
+// cancellation-retry path), and decompilation must singleflight across
+// configs. These need access to shard internals (to plant in-flight
+// computations and inspect per-shard bounds), hence package core.
+
+import (
+	"context"
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"ethainter/internal/crypto"
+	"ethainter/internal/minisol"
+)
+
+// TestCacheShardedCapacitySums pins the capacity-accounting contract: the
+// per-shard bounds sum to exactly the requested total. The old
+// maxEntries/shards truncation silently shrank the cache — NewCacheSharded
+// (20, 16) held 16 entries, not 20.
+func TestCacheShardedCapacitySums(t *testing.T) {
+	cases := []struct {
+		maxEntries, shards int
+		wantShards         int
+	}{
+		{20, 16, 16}, // the motivating case: remainder 4 was silently dropped
+		{17, 4, 4},
+		{1, 16, 1}, // shard count clamps to capacity
+		{5, 8, 4},  // clamp to 5, then round down to the power of two below
+		{64, 16, 16},
+		{100, 3, 2},
+	}
+	for _, tc := range cases {
+		c := NewCacheSharded(tc.maxEntries, tc.shards)
+		if got := len(c.shards); got != tc.wantShards {
+			t.Errorf("NewCacheSharded(%d, %d): %d shards, want %d",
+				tc.maxEntries, tc.shards, got, tc.wantShards)
+			continue
+		}
+		sum, min := 0, int(^uint(0)>>1)
+		for i := range c.shards {
+			sum += c.shards[i].maxEntries
+			if c.shards[i].maxEntries < min {
+				min = c.shards[i].maxEntries
+			}
+		}
+		if sum != tc.maxEntries {
+			t.Errorf("NewCacheSharded(%d, %d): shard bounds sum to %d, want %d",
+				tc.maxEntries, tc.shards, sum, tc.maxEntries)
+		}
+		if min < 1 {
+			t.Errorf("NewCacheSharded(%d, %d): a shard got capacity %d, want >= 1",
+				tc.maxEntries, tc.shards, min)
+		}
+	}
+}
+
+// hashForShard crafts a bytecode hash that shardFor maps to shard index i.
+func hashForShard(i uint64, salt byte) [32]byte {
+	var h [32]byte
+	h[0] = salt
+	binary.BigEndian.PutUint64(h[24:], i)
+	return h
+}
+
+// TestCacheShardedHoldsFullCapacity fills every shard to its individual bound
+// and asserts the cache holds the full requested capacity with zero
+// evictions — the behavioral face of the accounting fix.
+func TestCacheShardedHoldsFullCapacity(t *testing.T) {
+	const maxEntries, shards = 20, 16
+	c := NewCacheSharded(maxEntries, shards)
+	for i := range c.shards {
+		s := &c.shards[i]
+		for j := 0; j < s.maxEntries; j++ {
+			key := reportKey{code: hashForShard(uint64(i), byte(j)), cfg: uint64(j)}
+			if c.shardFor(key.code) != s {
+				t.Fatalf("hashForShard(%d) landed on the wrong shard", i)
+			}
+			s.lock()
+			s.storeReport(key, reportEntry{rep: &Report{}})
+			s.mu.Unlock()
+		}
+	}
+	st := c.Stats()
+	if st.Entries != maxEntries || st.Evictions != 0 {
+		t.Fatalf("after filling to bound: Entries = %d, Evictions = %d, want %d and 0",
+			st.Entries, st.Evictions, maxEntries)
+	}
+}
+
+// TestCacheHitMissInvariant pins hits + misses == resolved logical lookups,
+// sequentially and under concurrent coalescing. With singleflight, each
+// unique key records exactly one miss (the computing request); every other
+// resolved request records exactly one hit.
+func TestCacheHitMissInvariant(t *testing.T) {
+	codes := [][]byte{
+		minisol.MustCompile(minisol.VictimSource).Runtime,
+		minisol.MustCompile(minisol.TaintedOwnerSource).Runtime,
+		minisol.MustCompile(minisol.AccessibleSelfdestructSource).Runtime,
+	}
+	cfg := DefaultConfig()
+
+	c := NewCache(0)
+	const rounds = 4
+	for r := 0; r < rounds; r++ {
+		for _, code := range codes {
+			if _, err := c.AnalyzeBytecode(code, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := c.Stats()
+	requests := uint64(rounds * len(codes))
+	if st.Hits+st.Misses != requests || st.Misses != uint64(len(codes)) {
+		t.Fatalf("sequential: Hits = %d, Misses = %d, want sum %d with %d misses",
+			st.Hits, st.Misses, requests, len(codes))
+	}
+
+	c = NewCache(0)
+	const workers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for _, code := range codes {
+				if _, err := c.AnalyzeBytecode(code, cfg); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	st = c.Stats()
+	requests = uint64(workers * len(codes))
+	if st.Hits+st.Misses != requests {
+		t.Fatalf("concurrent: Hits = %d, Misses = %d, want sum %d",
+			st.Hits, st.Misses, requests)
+	}
+	if st.Misses != uint64(len(codes)) || st.Analyses != uint64(len(codes)) {
+		t.Fatalf("concurrent: Misses = %d, Analyses = %d, want %d each (one computing request per key)",
+			st.Misses, st.Analyses, len(codes))
+	}
+}
+
+// TestCacheCancelledInflightRetryCountsOnce plants a pending computation that
+// resolves as cancelled and asserts the coalesced waiter — which must retry
+// and compute the report itself — records exactly one miss and zero hits.
+// Before the fix, the waiter counted a hit at attach time, observed the
+// cancellation, retried, and counted again: two counts for one request.
+func TestCacheCancelledInflightRetryCountsOnce(t *testing.T) {
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	hash := crypto.Keccak256(code)
+	cfg := DefaultConfig()
+	key := reportKey{code: hash, cfg: cfg.Fingerprint()}
+
+	c := NewCache(0)
+	s := c.shardFor(hash)
+	fl := &inflight{done: make(chan struct{})}
+	s.lock()
+	s.pending[key] = fl
+	s.mu.Unlock()
+
+	result := make(chan error, 1)
+	go func() {
+		_, err := c.AnalyzeHashedContext(context.Background(), hash, code, cfg)
+		result <- err
+	}()
+
+	// Let the waiter attach to the planted inflight, then resolve it as
+	// cancelled — exactly what a deadline-killed computing request does.
+	time.Sleep(20 * time.Millisecond)
+	fl.err = context.Canceled
+	s.lock()
+	delete(s.pending, key)
+	s.mu.Unlock()
+	close(fl.done)
+
+	if err := <-result; err != nil {
+		t.Fatalf("retried analysis: %v", err)
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 1 || st.Analyses != 1 {
+		t.Fatalf("Hits = %d, Misses = %d, Analyses = %d, want 0/1/1 (one logical request, one count)",
+			st.Hits, st.Misses, st.Analyses)
+	}
+}
+
+// TestCacheWaiterOwnCancellationCountsNothing: a request that gives up on its
+// own context while coalescing consumed neither a probe nor a computation and
+// must leave every counter untouched.
+func TestCacheWaiterOwnCancellationCountsNothing(t *testing.T) {
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	hash := crypto.Keccak256(code)
+	cfg := DefaultConfig()
+	key := reportKey{code: hash, cfg: cfg.Fingerprint()}
+
+	c := NewCache(0)
+	s := c.shardFor(hash)
+	fl := &inflight{done: make(chan struct{})} // never resolves
+	s.lock()
+	s.pending[key] = fl
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.AnalyzeHashedContext(ctx, hash, code, cfg); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Analyses != 0 {
+		t.Fatalf("Hits = %d, Misses = %d, Analyses = %d, want all zero",
+			st.Hits, st.Misses, st.Analyses)
+	}
+}
+
+// TestCacheDecompileSingleflight: concurrent misses under two configs share
+// one program key, so the decompiler must run exactly once no matter how the
+// requests interleave — the program-level mirror of the report singleflight.
+// Run under -race this also exercises the progPending synchronization.
+func TestCacheDecompileSingleflight(t *testing.T) {
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	def := DefaultConfig()
+	noGuards := DefaultConfig()
+	noGuards.ModelGuards = false
+	if def.Fingerprint() == noGuards.Fingerprint() {
+		t.Fatal("configs must have distinct fingerprints for this test")
+	}
+
+	c := NewCache(0)
+	const perConfig = 4
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for _, cfg := range []Config{def, noGuards} {
+		for i := 0; i < perConfig; i++ {
+			wg.Add(1)
+			go func(cfg Config) {
+				defer wg.Done()
+				<-start
+				if _, err := c.AnalyzeBytecode(code, cfg); err != nil {
+					t.Error(err)
+				}
+			}(cfg)
+		}
+	}
+	close(start)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Decompiles != 1 {
+		t.Fatalf("Decompiles = %d, want 1 (two configs share one program)", st.Decompiles)
+	}
+	if st.Analyses != 2 || st.Misses != 2 {
+		t.Fatalf("Analyses = %d, Misses = %d, want 2 each (one per config)", st.Analyses, st.Misses)
+	}
+	if st.Hits+st.Misses != 2*perConfig {
+		t.Fatalf("Hits = %d, Misses = %d, want sum %d", st.Hits, st.Misses, 2*perConfig)
+	}
+}

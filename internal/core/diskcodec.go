@@ -1,0 +1,282 @@
+package core
+
+// This file is the persistent cache entry codec: a versioned, checksummed
+// binary format for one memoized analysis outcome — a full Report or a
+// deterministic negative entry — keyed by (bytecode keccak-256, config
+// fingerprint, normalized decompilation limits).
+//
+// Layout (all integers big-endian):
+//
+//	magic            8 bytes  "ETHDISK1"
+//	format version   u32      diskFormatVersion
+//	scheme           u8 len + bytes   fingerprintScheme (ties the on-disk
+//	                                  format to the fingerprint scheme: a
+//	                                  scheme bump orphans old entries)
+//	bytecode hash    32 bytes  key echo, verified on read
+//	config fp        u64       key echo
+//	limits           3 × u64   normalized MaxContexts/MaxWorklistSteps/
+//	                           MaxStatements — belt-and-braces echo of what
+//	                           the fingerprint already folds in
+//	payload          entry kind byte + body (report or error)
+//	checksum         32 bytes  keccak-256 of everything above
+//
+// The trailing checksum is what makes the startup scrub cheap to reason
+// about: any torn write — a truncated file, a partially flushed page — fails
+// the checksum and the entry is dropped, never mis-decoded.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"ethainter/internal/crypto"
+	"ethainter/internal/decompiler"
+	"ethainter/internal/u256"
+)
+
+const (
+	diskMagic         = "ETHDISK1"
+	diskFormatVersion = uint32(1)
+)
+
+// Entry payload kinds.
+const (
+	entryKindReport     = byte(0) // successful analysis: serialized Report
+	entryKindBudgetErr  = byte(1) // deterministic decompilation-budget failure
+	entryKindGenericErr = byte(2) // other deterministic failure, message only
+)
+
+var errBadEntry = errors.New("core: malformed disk cache entry")
+
+// encodeEntry serializes one memoized outcome. The caller guarantees
+// persistable(e.err): cancellations and recovered panics never reach here.
+func encodeEntry(key reportKey, limits decompiler.Limits, e reportEntry) []byte {
+	b := make([]byte, 0, 256)
+	b = append(b, diskMagic...)
+	b = binary.BigEndian.AppendUint32(b, diskFormatVersion)
+	b = append(b, byte(len(fingerprintScheme)))
+	b = append(b, fingerprintScheme...)
+	b = append(b, key.code[:]...)
+	b = binary.BigEndian.AppendUint64(b, key.cfg)
+	b = binary.BigEndian.AppendUint64(b, uint64(limits.MaxContexts))
+	b = binary.BigEndian.AppendUint64(b, uint64(limits.MaxWorklistSteps))
+	b = binary.BigEndian.AppendUint64(b, uint64(limits.MaxStatements))
+	switch {
+	case e.err == nil:
+		b = append(b, entryKindReport)
+		b = appendReport(b, e.rep)
+	default:
+		var be *decompiler.BudgetError
+		if errors.As(e.err, &be) {
+			b = append(b, entryKindBudgetErr)
+			b = appendString(b, be.Resource)
+			b = binary.BigEndian.AppendUint64(b, uint64(be.Limit))
+		} else {
+			b = append(b, entryKindGenericErr)
+			b = appendString(b, e.err.Error())
+		}
+	}
+	sum := crypto.Keccak256(b)
+	return append(b, sum[:]...)
+}
+
+// decodeEntry parses and verifies one entry. It returns the embedded key and
+// limits (callers verify them against what they asked for) and the decoded
+// outcome. Any structural defect — wrong magic, unknown version, fingerprint
+// scheme mismatch, failed checksum, truncation, trailing garbage — returns
+// an error; the tier treats every such entry as scrub fodder.
+func decodeEntry(data []byte) (reportKey, decompiler.Limits, reportEntry, error) {
+	var key reportKey
+	var limits decompiler.Limits
+	if len(data) < len(diskMagic)+4+1+32 {
+		return key, limits, reportEntry{}, errBadEntry
+	}
+	body, sum := data[:len(data)-32], data[len(data)-32:]
+	if got := crypto.Keccak256(body); [32]byte(sum) != got {
+		return key, limits, reportEntry{}, fmt.Errorf("%w: checksum mismatch", errBadEntry)
+	}
+	r := &entryReader{b: body}
+	if string(r.take(len(diskMagic))) != diskMagic {
+		return key, limits, reportEntry{}, fmt.Errorf("%w: bad magic", errBadEntry)
+	}
+	if v := r.u32(); v != diskFormatVersion {
+		return key, limits, reportEntry{}, fmt.Errorf("%w: format version %d, want %d", errBadEntry, v, diskFormatVersion)
+	}
+	if scheme := r.str8(); scheme != fingerprintScheme {
+		return key, limits, reportEntry{}, fmt.Errorf("%w: fingerprint scheme %q, want %q", errBadEntry, scheme, fingerprintScheme)
+	}
+	copy(key.code[:], r.take(32))
+	key.cfg = r.u64()
+	limits.MaxContexts = int(r.u64())
+	limits.MaxWorklistSteps = int(r.u64())
+	limits.MaxStatements = int(r.u64())
+	var e reportEntry
+	switch kind := r.byte(); kind {
+	case entryKindReport:
+		e.rep = readReport(r)
+	case entryKindBudgetErr:
+		e.err = &decompiler.BudgetError{Resource: r.str32(), Limit: int(r.u64())}
+	case entryKindGenericErr:
+		e.err = errors.New(r.str32())
+	default:
+		return key, limits, reportEntry{}, fmt.Errorf("%w: entry kind %d", errBadEntry, kind)
+	}
+	if r.failed || r.off != len(r.b) {
+		return key, limits, reportEntry{}, fmt.Errorf("%w: truncated or oversized payload", errBadEntry)
+	}
+	return key, limits, e, nil
+}
+
+// appendReport serializes a Report, stage timings included — a disk hit
+// returns the memoized breakdown of the original computation, exactly like a
+// memory hit does.
+func appendReport(b []byte, r *Report) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(r.PublicFunctions))
+	st := r.Stats
+	for _, v := range []int{
+		st.Blocks, st.Statements, st.ReachableBlocks, st.TaintedVars,
+		st.TaintedSlots, st.BypassedGuards, st.EffectiveGuards,
+		st.FixpointPasses, st.InferredOwnerSlot,
+	} {
+		b = binary.BigEndian.AppendUint64(b, uint64(v))
+	}
+	t := st.Timings
+	for _, d := range []time.Duration{
+		t.Decompile, t.Facts, t.Guards, t.Fixpoint, t.Detect,
+		t.DecompileDecode, t.DecompileValueSet, t.DecompileTranslate, t.DecompileFunctions,
+		t.EngineIndex, t.EngineJoin, t.EngineMerge,
+	} {
+		b = binary.BigEndian.AppendUint64(b, uint64(d))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Warnings)))
+	for _, w := range r.Warnings {
+		b = append(b, byte(w.Kind))
+		b = binary.BigEndian.AppendUint64(b, uint64(w.PC))
+		for i := 0; i < 4; i++ {
+			b = binary.BigEndian.AppendUint64(b, w.Slot[i])
+		}
+		b = appendString(b, w.Message)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(w.Witness)))
+		for _, s := range w.Witness {
+			b = append(b, s.Selector[:]...)
+			b = binary.BigEndian.AppendUint32(b, uint32(s.NumArgs))
+		}
+	}
+	return b
+}
+
+func readReport(r *entryReader) *Report {
+	rep := &Report{}
+	rep.PublicFunctions = int(r.u64())
+	st := &rep.Stats
+	for _, p := range []*int{
+		&st.Blocks, &st.Statements, &st.ReachableBlocks, &st.TaintedVars,
+		&st.TaintedSlots, &st.BypassedGuards, &st.EffectiveGuards,
+		&st.FixpointPasses, &st.InferredOwnerSlot,
+	} {
+		*p = int(r.u64())
+	}
+	t := &st.Timings
+	for _, p := range []*time.Duration{
+		&t.Decompile, &t.Facts, &t.Guards, &t.Fixpoint, &t.Detect,
+		&t.DecompileDecode, &t.DecompileValueSet, &t.DecompileTranslate, &t.DecompileFunctions,
+		&t.EngineIndex, &t.EngineJoin, &t.EngineMerge,
+	} {
+		*p = time.Duration(r.u64())
+	}
+	n := int(r.u32())
+	if r.failed || n < 0 || n > r.remaining() {
+		r.failed = true
+		return rep
+	}
+	for i := 0; i < n && !r.failed; i++ {
+		var w Warning
+		w.Kind = VulnKind(r.byte())
+		w.PC = int(r.u64())
+		var slot u256.U256
+		for j := 0; j < 4; j++ {
+			slot[j] = r.u64()
+		}
+		w.Slot = slot
+		w.Message = r.str32()
+		steps := int(r.u32())
+		if r.failed || steps < 0 || steps > r.remaining() {
+			r.failed = true
+			break
+		}
+		for j := 0; j < steps; j++ {
+			var s Step
+			copy(s.Selector[:], r.take(4))
+			s.NumArgs = int(r.u32())
+			w.Witness = append(w.Witness, s)
+		}
+		rep.Warnings = append(rep.Warnings, w)
+	}
+	return rep
+}
+
+// Digest returns a deterministic content digest of the report — the
+// serialized form with the wall-clock stage timings zeroed, hashed with
+// keccak-256. Two analyses of the same bytecode under the same config yield
+// the same digest no matter which process, tier, or worker computed them;
+// the warm-restart benchmark uses it to assert disk-served reports are
+// bit-identical to freshly computed ones.
+func (r *Report) Digest() [32]byte {
+	cp := *r
+	cp.Stats.Timings = StageTimings{}
+	return crypto.Keccak256(appendReport(make([]byte, 0, 256), &cp))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// entryReader is a bounds-checked sequential reader; any out-of-range access
+// sets failed and yields zero values, so decoders can parse straight through
+// and check failed once.
+type entryReader struct {
+	b      []byte
+	off    int
+	failed bool
+}
+
+func (r *entryReader) remaining() int { return len(r.b) - r.off }
+
+func (r *entryReader) take(n int) []byte {
+	if r.failed || n < 0 || r.off+n > len(r.b) {
+		r.failed = true
+		return make([]byte, max(n, 0))
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *entryReader) byte() byte {
+	return r.take(1)[0]
+}
+
+func (r *entryReader) u32() uint32 {
+	return binary.BigEndian.Uint32(r.take(4))
+}
+
+func (r *entryReader) u64() uint64 {
+	return binary.BigEndian.Uint64(r.take(8))
+}
+
+// str8 reads a string with a one-byte length prefix.
+func (r *entryReader) str8() string {
+	return string(r.take(int(r.byte())))
+}
+
+// str32 reads a string with a four-byte length prefix.
+func (r *entryReader) str32() string {
+	n := int(r.u32())
+	if n > r.remaining() {
+		r.failed = true
+		return ""
+	}
+	return string(r.take(n))
+}

@@ -1,0 +1,277 @@
+package core
+
+// This file is the persistent tier below the in-memory cache shards: a
+// hash-keyed, one-file-per-key store (fanned out over 256 directories by the
+// first byte of the bytecode hash) holding serialized Reports and
+// deterministic negative entries. It is what turns a process restart from
+// "re-analyze the world" into "re-open the world": the paper's deployment
+// story is whole-chain analysis over ~240K unique contracts, and durable
+// content-addressed results are how Gigahorse-style pipelines amortize that
+// cost across runs.
+//
+// Write protocol (crash-safe): serialize, write to <final>.tmp, fsync the
+// file, rename over the final name, fsync the directory. A crash at any
+// point leaves either the old state, a stray .tmp (removed by the next
+// scrub), or the complete new entry — never a half-entry under the final
+// name. The trailing checksum inside each entry catches whatever a
+// filesystem still manages to tear.
+//
+// Startup scrub: Open walks the store and drops every .tmp leftover and
+// every entry that fails validation — bad magic, unknown format version,
+// fingerprint-scheme mismatch, failed checksum, truncated payload. Version
+// and scheme mismatches are expected after an upgrade (the format version is
+// tied to the fingerprint scheme); dropping them re-computes those entries
+// rather than mis-decoding them.
+
+import (
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"ethainter/internal/decompiler"
+)
+
+// diskEntryExt is the filename suffix of a committed entry; temp files add
+// ".tmp" on top and are never read as entries.
+const diskEntryExt = ".ent"
+
+// diskQueueDepth bounds the write-behind queue. Puts beyond it block the
+// computing goroutine — backpressure, not loss: a dropped write would turn
+// the next restart's "zero analyses" warm start into silent recomputation.
+const diskQueueDepth = 256
+
+// DiskTierStats is a snapshot of the tier-level counters. The read-side
+// hit/miss split lives on the cache shards (CacheStats.DiskHits/DiskMisses);
+// these cover the write and scrub side, which has no per-shard structure.
+type DiskTierStats struct {
+	// Entries is the live committed entry count: entries that survived the
+	// startup scrub plus new writes since.
+	Entries int64 `json:"entries"`
+	// Writes counts entries durably committed (fsync + rename completed).
+	Writes uint64 `json:"writes"`
+	// WriteErrors counts write-behind attempts that failed; the entry simply
+	// stays memory-only and the next restart recomputes it.
+	WriteErrors uint64 `json:"write_errors"`
+	// Scrubbed counts entries dropped as torn, stale-format, or mismatched —
+	// at startup or lazily when a read trips over one.
+	Scrubbed uint64 `json:"scrubbed"`
+}
+
+// DiskTier is the durable cache tier. One tier owns one directory; a single
+// process (and within it, a single writer goroutine) writes at a time —
+// concurrent readers are safe, concurrent writers from multiple processes
+// are not supported (the scrub would race their temp files).
+//
+// Get is synchronous (one file read); Put is write-behind through a bounded
+// queue drained by a dedicated writer goroutine. Close flushes the queue and
+// must be called before discarding the tier, or entries computed near
+// shutdown may not persist.
+type DiskTier struct {
+	dir string
+
+	entries     atomic.Int64
+	writes      atomic.Uint64
+	writeErrors atomic.Uint64
+	scrubbed    atomic.Uint64
+
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+	queue  chan diskWrite
+	done   chan struct{}
+}
+
+type diskWrite struct {
+	path string
+	data []byte
+}
+
+// OpenDiskTier opens (creating if needed) the persistent tier rooted at dir,
+// scrubbing torn and version-mismatched entries before returning. The
+// returned tier is ready to attach to a Cache via SetDiskTier.
+func OpenDiskTier(dir string) (*DiskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: opening disk cache tier: %w", err)
+	}
+	t := &DiskTier{
+		dir:   dir,
+		queue: make(chan diskWrite, diskQueueDepth),
+		done:  make(chan struct{}),
+	}
+	if err := t.scrub(); err != nil {
+		return nil, fmt.Errorf("core: scrubbing disk cache tier: %w", err)
+	}
+	go t.writer()
+	return t, nil
+}
+
+// Dir returns the tier's root directory.
+func (t *DiskTier) Dir() string { return t.dir }
+
+// Stats returns a snapshot of the tier-level counters. Valid after Close.
+func (t *DiskTier) Stats() DiskTierStats {
+	return DiskTierStats{
+		Entries:     t.entries.Load(),
+		Writes:      t.writes.Load(),
+		WriteErrors: t.writeErrors.Load(),
+		Scrubbed:    t.scrubbed.Load(),
+	}
+}
+
+// Close drains the write-behind queue and stops the writer. Puts arriving
+// after Close are dropped (counted as write errors). Idempotent.
+func (t *DiskTier) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		<-t.done
+		return nil
+	}
+	t.closed = true
+	close(t.queue)
+	t.mu.Unlock()
+	<-t.done
+	return nil
+}
+
+// scrub walks the store once at startup: stray temp files are removed, and
+// every committed entry is fully validated (header, version, fingerprint
+// scheme, checksum, payload decode) — the invalid ones deleted and counted.
+// Intact entries are counted into the live-entry gauge and left untouched.
+func (t *DiskTier) scrub() error {
+	return filepath.WalkDir(t.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if filepath.Ext(path) == ".tmp" {
+			os.Remove(path)
+			t.scrubbed.Add(1)
+			return nil
+		}
+		if filepath.Ext(path) != diskEntryExt {
+			return nil // not ours; leave foreign files alone
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			os.Remove(path)
+			t.scrubbed.Add(1)
+			return nil
+		}
+		if _, _, _, derr := decodeEntry(data); derr != nil {
+			os.Remove(path)
+			t.scrubbed.Add(1)
+			return nil
+		}
+		t.entries.Add(1)
+		return nil
+	})
+}
+
+// pathFor maps a report key to its entry file: fanned out by the first hash
+// byte so no single directory collects the whole chain, named by the full
+// bytecode hash plus the config fingerprint so distinct configs never alias.
+func (t *DiskTier) pathFor(key reportKey) string {
+	return filepath.Join(t.dir,
+		hex.EncodeToString(key.code[:1]),
+		hex.EncodeToString(key.code[:])+"-"+fmt.Sprintf("%016x", key.cfg)+diskEntryExt)
+}
+
+// get reads one entry, fully validating it. A missing file is a plain miss;
+// a present-but-invalid file (torn write that survived a crash, stale
+// format, or — never expected — a key echo that disagrees with the filename)
+// is lazily scrubbed and reported as a miss so the caller recomputes.
+func (t *DiskTier) get(key reportKey, limits decompiler.Limits) (reportEntry, bool) {
+	path := t.pathFor(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return reportEntry{}, false
+	}
+	gotKey, gotLimits, e, derr := decodeEntry(data)
+	if derr != nil || gotKey != key || gotLimits != limits {
+		os.Remove(path)
+		t.scrubbed.Add(1)
+		t.entries.Add(-1)
+		return reportEntry{}, false
+	}
+	return e, true
+}
+
+// put serializes the entry on the caller's goroutine (the outcome is
+// immutable, so this races with nothing) and hands the durable write to the
+// writer. Blocks only when the queue is full — backpressure over loss.
+func (t *DiskTier) put(key reportKey, limits decompiler.Limits, e reportEntry) {
+	w := diskWrite{path: t.pathFor(key), data: encodeEntry(key, limits, e)}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		t.writeErrors.Add(1)
+		return
+	}
+	t.queue <- w
+}
+
+// writer drains the write-behind queue until Close, committing each entry
+// with the crash-safe temp + fsync + rename protocol.
+func (t *DiskTier) writer() {
+	defer close(t.done)
+	for w := range t.queue {
+		if err := t.commit(w); err != nil {
+			t.writeErrors.Add(1)
+		} else {
+			t.writes.Add(1)
+		}
+	}
+}
+
+// commit durably writes one entry. Failures leave no temp debris behind
+// (best effort) and never corrupt an existing committed entry: the final
+// name only ever changes via an atomic rename of a fully synced file.
+func (t *DiskTier) commit(w diskWrite) error {
+	dir := filepath.Dir(w.path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	_, statErr := os.Lstat(w.path)
+	existed := statErr == nil
+
+	tmp := w.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(w.data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Persist the rename itself: fsync the containing directory. Failure
+	// here is tolerable (the entry is still visible; a crash may lose it,
+	// and the next cold run recomputes), so it is not an error.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	if !existed {
+		t.entries.Add(1)
+	}
+	return nil
+}

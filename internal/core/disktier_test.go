@@ -1,0 +1,423 @@
+package core
+
+// White-box tests for the persistent tier: warm restarts serve everything
+// from disk with zero analyses and zero decompilations, the startup scrub
+// drops exactly the torn and stale-format entries, and the codec
+// round-trips reports and deterministic negative entries bit-for-bit. These
+// manipulate entry files and internal keys directly, hence package core.
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ethainter/internal/crypto"
+	"ethainter/internal/decompiler"
+	"ethainter/internal/minisol"
+)
+
+// newWarmDir analyzes the given bytecodes into a fresh tier at dir and
+// flushes it, returning the digests of the successful reports by index.
+func newWarmDir(t *testing.T, dir string, codes [][]byte, cfg Config) map[int][32]byte {
+	t.Helper()
+	tier, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(0)
+	c.SetDiskTier(tier)
+	digests := map[int][32]byte{}
+	for i, code := range codes {
+		rep, err := c.AnalyzeBytecode(code, cfg)
+		if err != nil {
+			t.Fatalf("cold analysis %d: %v", i, err)
+		}
+		digests[i] = rep.Digest()
+	}
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := tier.Stats(); st.Writes != uint64(len(codes)) || st.Entries != int64(len(codes)) {
+		t.Fatalf("cold tier stats = %+v, want %d writes and entries", st, len(codes))
+	}
+	return digests
+}
+
+// entryFiles returns every committed entry file under dir, sorted by path.
+func entryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == diskEntryExt {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+var warmTestSources = []string{
+	minisol.VictimSource,
+	minisol.TaintedOwnerSource,
+	minisol.AccessibleSelfdestructSource,
+}
+
+// TestDiskTierWarmRestart is the tentpole contract in miniature: a second
+// process over the same corpus performs zero analyses and zero
+// decompilations, serves every request from the disk tier, and returns
+// reports bit-identical (modulo wall-clock timings) to the cold run.
+func TestDiskTierWarmRestart(t *testing.T) {
+	var codes [][]byte
+	for _, src := range warmTestSources {
+		codes = append(codes, minisol.MustCompile(src).Runtime)
+	}
+	cfg := DefaultConfig()
+	dir := t.TempDir()
+	digests := newWarmDir(t, dir, codes, cfg)
+
+	tier, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	if st := tier.Stats(); st.Entries != int64(len(codes)) || st.Scrubbed != 0 {
+		t.Fatalf("reopened tier stats = %+v, want %d intact entries, none scrubbed", st, len(codes))
+	}
+	c := NewCache(0)
+	c.SetDiskTier(tier)
+	for i, code := range codes {
+		rep, err := c.AnalyzeBytecode(code, cfg)
+		if err != nil {
+			t.Fatalf("warm analysis %d: %v", i, err)
+		}
+		if rep.Digest() != digests[i] {
+			t.Fatalf("warm report %d differs from cold run", i)
+		}
+	}
+	st := c.Stats()
+	if st.Analyses != 0 || st.Decompiles != 0 {
+		t.Fatalf("warm restart: Analyses = %d, Decompiles = %d, want 0/0", st.Analyses, st.Decompiles)
+	}
+	if st.DiskHits != uint64(len(codes)) || st.Misses != uint64(len(codes)) || st.Hits != 0 {
+		t.Fatalf("warm restart: DiskHits = %d, Misses = %d, Hits = %d, want %d/%d/0",
+			st.DiskHits, st.Misses, st.Hits, len(codes), len(codes))
+	}
+}
+
+// TestDiskTierPersistsNegativeEntries: a deterministic budget failure is
+// written to disk and a warm restart re-serves it without re-running the
+// decompiler — the negative-caching contract extended to the durable tier.
+func TestDiskTierPersistsNegativeEntries(t *testing.T) {
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	cfg := DefaultConfig()
+	cfg.DecompileLimits = decompiler.Limits{MaxWorklistSteps: 1}
+	dir := t.TempDir()
+
+	tier, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(0)
+	c.SetDiskTier(tier)
+	_, coldErr := c.AnalyzeBytecode(code, cfg)
+	if !IsBudgetExhaustion(coldErr) {
+		t.Fatalf("cold: err = %v, want budget exhaustion", coldErr)
+	}
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := tier.Stats(); st.Writes != 1 {
+		t.Fatalf("tier stats = %+v, want the negative entry written", st)
+	}
+
+	tier2, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier2.Close()
+	c2 := NewCache(0)
+	c2.SetDiskTier(tier2)
+	_, warmErr := c2.AnalyzeBytecode(code, cfg)
+	var be *decompiler.BudgetError
+	if !IsBudgetExhaustion(warmErr) || !errors.As(warmErr, &be) {
+		t.Fatalf("warm: err = %v, want a budget error", warmErr)
+	}
+	if warmErr.Error() != coldErr.Error() {
+		t.Fatalf("warm error %q differs from cold %q", warmErr, coldErr)
+	}
+	if st := c2.Stats(); st.Analyses != 0 || st.Decompiles != 0 || st.DiskHits != 1 {
+		t.Fatalf("warm stats = %+v, want the failure served from disk", st)
+	}
+}
+
+// TestDiskTierScrubDropsTornEntries simulates a crash mid-write: one entry
+// truncated under its final name (a torn page the rename protocol itself
+// cannot cause, but the checksum must still catch) and one stray temp file.
+// The reopen scrub must drop exactly those two, keep every intact entry, and
+// recompute only the torn key.
+func TestDiskTierScrubDropsTornEntries(t *testing.T) {
+	var codes [][]byte
+	for _, src := range warmTestSources {
+		codes = append(codes, minisol.MustCompile(src).Runtime)
+	}
+	cfg := DefaultConfig()
+	dir := t.TempDir()
+	newWarmDir(t, dir, codes, cfg)
+
+	files := entryFiles(t, dir)
+	if len(files) != len(codes) {
+		t.Fatalf("%d entry files, want %d", len(files), len(codes))
+	}
+	torn := files[0]
+	data, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(filepath.Dir(torn), "deadbeef.ent.tmp")
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tier, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	if st := tier.Stats(); st.Scrubbed != 2 || st.Entries != int64(len(codes)-1) {
+		t.Fatalf("scrub stats = %+v, want exactly 2 scrubbed and %d survivors", st, len(codes)-1)
+	}
+	if _, err := os.Lstat(torn); !os.IsNotExist(err) {
+		t.Fatalf("torn entry still on disk: %v", err)
+	}
+	if _, err := os.Lstat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stray temp file still on disk: %v", err)
+	}
+
+	c := NewCache(0)
+	c.SetDiskTier(tier)
+	for i, code := range codes {
+		if _, err := c.AnalyzeBytecode(code, cfg); err != nil {
+			t.Fatalf("post-scrub analysis %d: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.Analyses != 1 || st.DiskHits != uint64(len(codes)-1) || st.DiskMisses != 1 {
+		t.Fatalf("post-scrub stats = %+v, want exactly the torn key recomputed", st)
+	}
+}
+
+// TestDiskTierScrubDropsStaleFormat bumps the format version inside an
+// otherwise-valid entry (re-checksummed, so only the version check can
+// reject it) and asserts the scrub drops it rather than mis-decoding a
+// report written under a different format.
+func TestDiskTierScrubDropsStaleFormat(t *testing.T) {
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	cfg := DefaultConfig()
+	dir := t.TempDir()
+	newWarmDir(t, dir, [][]byte{code}, cfg)
+
+	files := entryFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("%d entry files, want 1", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bump the u32 format version right after the magic and re-checksum.
+	data[len(diskMagic)+3]++
+	body := data[:len(data)-32]
+	sum := crypto.Keccak256(body)
+	if err := os.WriteFile(files[0], append(body, sum[:]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tier, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	if st := tier.Stats(); st.Scrubbed != 1 || st.Entries != 0 {
+		t.Fatalf("scrub stats = %+v, want the stale-format entry dropped", st)
+	}
+}
+
+// TestDiskTierLazyScrubOnRead: an entry that rots after the startup scrub
+// (torn in place) is dropped by the read path and reported as a miss, never
+// mis-decoded.
+func TestDiskTierLazyScrubOnRead(t *testing.T) {
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	cfg := DefaultConfig()
+	dir := t.TempDir()
+	newWarmDir(t, dir, [][]byte{code}, cfg)
+
+	tier, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	files := entryFiles(t, dir)
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	key := reportKey{code: crypto.Keccak256(code), cfg: cfg.Fingerprint()}
+	if _, ok := tier.get(key, cfg.DecompileLimits.Normalized()); ok {
+		t.Fatal("torn entry served as a hit")
+	}
+	if st := tier.Stats(); st.Scrubbed != 1 || st.Entries != 0 {
+		t.Fatalf("lazy scrub stats = %+v, want the torn entry dropped", st)
+	}
+	if _, ok := tier.get(key, cfg.DecompileLimits.Normalized()); ok {
+		t.Fatal("dropped entry came back")
+	}
+}
+
+// TestCacheLookupDiskFastPath: Lookup — the scheduler's no-worker fast path —
+// must serve a warm-disk entry directly, promote it into memory, and count
+// one DiskHit; the second Lookup is then a pure memory hit.
+func TestCacheLookupDiskFastPath(t *testing.T) {
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	cfg := DefaultConfig()
+	dir := t.TempDir()
+	digests := newWarmDir(t, dir, [][]byte{code}, cfg)
+
+	tier, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	c := NewCache(0)
+	c.SetDiskTier(tier)
+	hash := crypto.Keccak256(code)
+
+	rep, repErr, ok := c.Lookup(hash, cfg)
+	if !ok || repErr != nil || rep.Digest() != digests[0] {
+		t.Fatalf("warm Lookup: ok = %v, err = %v, want the cold report", ok, repErr)
+	}
+	if st := c.Stats(); st.DiskHits != 1 || st.Hits != 0 || st.Misses != 0 || st.Analyses != 0 {
+		t.Fatalf("after warm Lookup: stats = %+v, want exactly one disk hit", st)
+	}
+	if _, _, ok := c.Lookup(hash, cfg); !ok {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if st := c.Stats(); st.Hits != 1 || st.DiskHits != 1 {
+		t.Fatalf("after second Lookup: stats = %+v, want one memory hit", st)
+	}
+}
+
+// TestDiskCodecRoundTrip pins the entry codec: reports with warnings and
+// witnesses, budget errors, and generic deterministic errors all survive an
+// encode/decode cycle, and structural damage is rejected.
+func TestDiskCodecRoundTrip(t *testing.T) {
+	key := reportKey{cfg: 0x0123456789abcdef}
+	copy(key.code[:], []byte("some-32-byte-bytecode-hash......"))
+	limits := decompiler.DefaultLimits()
+
+	rep := &Report{PublicFunctions: 3}
+	rep.Stats.Blocks = 41
+	rep.Stats.FixpointPasses = 2
+	rep.Warnings = []Warning{{
+		Kind:    TaintedOwner,
+		PC:      0x42,
+		Message: "owner slot tainted",
+		Witness: []Step{{Selector: [4]byte{0xde, 0xad, 0xbe, 0xef}, NumArgs: 2}},
+	}}
+	rep.Warnings[0].Slot[0] = 7
+
+	cases := []reportEntry{
+		{rep: rep},
+		{err: &decompiler.BudgetError{Resource: "contexts", Limit: 6000}},
+		{err: errors.New("decompiler: unresolvable jump target")},
+	}
+	for i, e := range cases {
+		data := encodeEntry(key, limits, e)
+		gotKey, gotLimits, got, err := decodeEntry(data)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if gotKey != key || gotLimits != limits {
+			t.Fatalf("case %d: key/limits echo mismatch", i)
+		}
+		switch {
+		case e.rep != nil:
+			if got.rep == nil || got.rep.Digest() != e.rep.Digest() || got.err != nil {
+				t.Fatalf("case %d: report did not round-trip", i)
+			}
+		default:
+			if got.err == nil || got.err.Error() != e.err.Error() {
+				t.Fatalf("case %d: err = %v, want %v", i, got.err, e.err)
+			}
+			var wantBE, gotBE *decompiler.BudgetError
+			if errors.As(e.err, &wantBE) {
+				if !errors.As(got.err, &gotBE) || *gotBE != *wantBE {
+					t.Fatalf("case %d: budget error did not round-trip: %v", i, got.err)
+				}
+			}
+		}
+
+		// Truncation at any point must fail the checksum, never mis-decode.
+		if _, _, _, err := decodeEntry(data[:len(data)-1]); err == nil {
+			t.Fatalf("case %d: truncated entry decoded", i)
+		}
+		// Trailing garbage inside a valid checksum must still be rejected.
+		padded := append(append([]byte{}, data[:len(data)-32]...), 0)
+		sum := crypto.Keccak256(padded)
+		if _, _, _, err := decodeEntry(append(padded, sum[:]...)); err == nil {
+			t.Fatalf("case %d: oversized entry decoded", i)
+		}
+	}
+}
+
+// TestDiskTierNeverPersistsCancellation pins the persistence policy at both
+// layers: persistable rejects cancellations and internal panics, and a
+// cancelled analysis leaves the tier empty.
+func TestDiskTierNeverPersistsCancellation(t *testing.T) {
+	if persistable(context.Canceled) || persistable(context.DeadlineExceeded) {
+		t.Fatal("cancellations must not persist")
+	}
+	if persistable(&PanicError{}) {
+		t.Fatal("internal panics must not persist")
+	}
+	if !persistable(nil) || !persistable(&decompiler.BudgetError{Resource: "contexts", Limit: 1}) {
+		t.Fatal("reports and deterministic failures must persist")
+	}
+
+	dir := t.TempDir()
+	tier, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(0)
+	c.SetDiskTier(tier)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	if _, err := c.AnalyzeBytecodeContext(ctx, code, DefaultConfig()); !IsCancellation(err) {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := tier.Stats(); st.Writes != 0 || st.Entries != 0 {
+		t.Fatalf("tier stats = %+v, want nothing persisted", st)
+	}
+	if files := entryFiles(t, dir); len(files) != 0 {
+		t.Fatalf("entry files on disk after cancellation: %v", files)
+	}
+}

@@ -174,7 +174,10 @@ func (s *Scheduler) do(ctx context.Context, hash [32]byte, code []byte, cfg core
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		// Fast path: memoized (positively or negatively) in the cache.
+		// Fast path: memoized (positively or negatively) in the cache. When a
+		// disk tier is attached, Lookup also probes it — one file read on the
+		// requester's own goroutine — so a warm-disk sweep serves every
+		// request right here without ever occupying a pool worker.
 		if rep, err, ok := s.cache.Lookup(hash, cfg); ok {
 			s.cacheHits.Add(1)
 			return rep, err

@@ -258,3 +258,71 @@ func TestDoFastPathServesFromCache(t *testing.T) {
 		t.Errorf("stats = %+v, want 1 fast-path hit / 1 unique", st)
 	}
 }
+
+// TestSweepWarmDiskServesWithoutWorkers: with a warm disk tier underneath the
+// cache, a fresh process's sweep resolves every group on the Lookup fast
+// path — zero unique work items ever reach the pool, zero analyses and zero
+// decompilations run — and the disk-served reports equal the cold run's.
+func TestSweepWarmDiskServesWithoutWorkers(t *testing.T) {
+	contracts := corpus.Generate(corpus.DefaultProfile(30, 11))
+	cfg := core.DefaultConfig()
+	codes := make([][]byte, len(contracts))
+	unique := map[string]bool{}
+	for i, c := range contracts {
+		codes[i] = c.Runtime
+		unique[string(c.Runtime)] = true
+	}
+	dir := t.TempDir()
+
+	// Cold process: analyze the corpus into the tier and flush it.
+	tier, err := core.OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldCache := core.NewCacheSharded(0, 8)
+	coldCache.SetDiskTier(tier)
+	cold := New(coldCache, 4)
+	coldResults := cold.Sweep(context.Background(), codes, cfg, nil)
+	cold.Close()
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm process: fresh cache, fresh scheduler, same directory.
+	tier2, err := core.OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier2.Close()
+	warmCache := core.NewCacheSharded(0, 8)
+	warmCache.SetDiskTier(tier2)
+	warm := New(warmCache, 4)
+	defer warm.Close()
+	warmResults := warm.Sweep(context.Background(), codes, cfg, nil)
+
+	for i := range codes {
+		if (coldResults[i].Err == nil) != (warmResults[i].Err == nil) {
+			t.Fatalf("contract %d: cold err %v, warm err %v", i, coldResults[i].Err, warmResults[i].Err)
+		}
+		if coldResults[i].Err == nil &&
+			!reflect.DeepEqual(stripTimings(coldResults[i].Report), stripTimings(warmResults[i].Report)) {
+			t.Fatalf("contract %d: warm report diverges from cold", i)
+		}
+	}
+
+	st := warm.Stats()
+	if st.Unique != 0 {
+		t.Errorf("warm sweep dispatched %d unique items to the pool, want 0", st.Unique)
+	}
+	if st.CacheHits != uint64(len(unique)) {
+		t.Errorf("warm fast-path hits = %d, want one per unique group (%d)", st.CacheHits, len(unique))
+	}
+	cs := warmCache.Stats()
+	if cs.Analyses != 0 || cs.Decompiles != 0 {
+		t.Errorf("warm sweep ran %d analyses / %d decompiles, want 0/0", cs.Analyses, cs.Decompiles)
+	}
+	if cs.DiskHits != uint64(len(unique)) || cs.Misses != 0 {
+		t.Errorf("warm sweep: DiskHits = %d, Misses = %d, want %d disk hits and no misses",
+			cs.DiskHits, cs.Misses, len(unique))
+	}
+}

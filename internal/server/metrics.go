@@ -173,7 +173,10 @@ type EndpointJSON struct {
 
 // CacheJSON is the wire form of the shared analysis cache's counters: the
 // merged view plus the per-shard hit/miss split (one entry per shard, in
-// shard order), so operators can spot skewed key distributions.
+// shard order), so operators can spot skewed key distributions. When the
+// server runs with -cache-dir, the embedded CacheStats also carries the disk
+// tier's counters — per-shard disk hits/misses and the merged-view write,
+// write-error, scrub, and live-entry totals.
 type CacheJSON struct {
 	core.CacheStats
 	HitRate  float64           `json:"hitRate"`

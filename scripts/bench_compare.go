@@ -16,7 +16,13 @@
 //     must report identical analyzed/failed/warnings/unique-work counts: the
 //     scheduler changes who computes what when, never the result, regardless
 //     of worker or shard counts. The scheduled sweeps must also perform
-//     exactly one analysis per unique bytecode, coalescing the rest.
+//     exactly one analysis per unique bytecode, coalescing the rest. The
+//     warm_restart section has its own exactness contract, checked within the
+//     fresh result alone: the warm process start performs zero analyses and
+//     zero decompilations, dispatches nothing to the pool, serves every
+//     unique bytecode from the disk tier, and reproduces the cold run's
+//     result digest bit-for-bit. A baseline with a warm_restart section also
+//     pins its presence: a fresh result without one is a regression.
 //
 //   - Timing: the fresh uncached and cached sweep walls, the summed uncached
 //     decompile stage, and the 1-worker sweep scaling wall may exceed the
@@ -146,6 +152,10 @@ func compare(baseline, fresh *bench.CoreBenchResult, tolerance float64) []string
 			if f, b := sweepPointAt(fresh, 1), sweepPointAt(baseline, 1); f != nil && b != nil {
 				checkWall("1-worker sweep scaling wall", f.WallNS, b.WallNS)
 			}
+			if fw, bw := fresh.WarmRestart, baseline.WarmRestart; fw != nil && bw != nil {
+				checkWall("warm restart cold wall", fw.Cold.WallNS, bw.Cold.WallNS)
+				checkWall("warm restart warm wall", fw.Warm.WallNS, bw.Warm.WallNS)
+			}
 		}
 
 		// The scheduled sweep's dedup invariant: exactly one analysis per
@@ -206,6 +216,42 @@ func compare(baseline, fresh *bench.CoreBenchResult, tolerance float64) []string
 					want.Analyzed, want.Failed, want.Warnings, b.Analyzed, b.Failed, b.Warnings)
 			}
 		}
+	}
+
+	// The warm-restart contract, internal to the fresh result: the second
+	// process start over the persisted tier does zero pipeline work and
+	// reproduces the cold run exactly.
+	if wr := fresh.WarmRestart; wr != nil {
+		cold, warm := wr.Cold, wr.Warm
+		if warm.Analyses != 0 || warm.Decompiles != 0 {
+			bad("warm restart ran %d analyses and %d decompilations, want zero of each — the disk tier failed to serve the corpus",
+				warm.Analyses, warm.Decompiles)
+		}
+		if warm.UniqueWork != 0 {
+			bad("warm restart dispatched %d unique items to the scheduler pool, want everything served on the Lookup fast path",
+				warm.UniqueWork)
+		}
+		if warm.Analyzed != cold.Analyzed || warm.Failed != cold.Failed || warm.Warnings != cold.Warnings {
+			bad("warm restart counted %d/%d/%d analyzed/failed/warnings, cold run counted %d/%d/%d",
+				warm.Analyzed, warm.Failed, warm.Warnings, cold.Analyzed, cold.Failed, cold.Warnings)
+		}
+		if warm.Digest == "" || warm.Digest != cold.Digest {
+			bad("warm restart digest %q differs from cold digest %q — disk-served results are not bit-identical",
+				warm.Digest, cold.Digest)
+		}
+		if cold.Analyzed+cold.Failed != fresh.N {
+			bad("warm restart cold pass covered %d contracts, corpus has %d", cold.Analyzed+cold.Failed, fresh.N)
+		}
+		if cold.Analyses != uint64(fresh.UniqueBytecodes) {
+			bad("warm restart cold pass ran %d analyses, want one per unique bytecode (%d)",
+				cold.Analyses, fresh.UniqueBytecodes)
+		}
+		if warm.DiskHits != uint64(fresh.UniqueBytecodes) {
+			bad("warm restart served %d unique bytecodes from disk, want all of them (%d)",
+				warm.DiskHits, fresh.UniqueBytecodes)
+		}
+	} else if baseline.WarmRestart != nil {
+		bad("fresh result has no warm_restart section but the baseline does — the cold→warm double start went missing")
 	}
 	return problems
 }
