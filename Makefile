@@ -3,7 +3,7 @@ GO ?= go
 # loose enough for shared CI runners; counts are always compared exactly).
 BENCH_TOLERANCE ?= 0.5
 
-.PHONY: all build test vet bench bench-json bench-check sweep-check warm-check experiments examples serve-smoke fuzz-smoke clean
+.PHONY: all build test vet bench bench-json bench-check sweep-check warm-check analysis-check experiments examples serve-smoke fuzz-smoke clean
 
 all: build vet test
 
@@ -54,6 +54,20 @@ warm-check:
 	$(GO) run ./cmd/ethainter-bench -exp core -n 2000 -seed 20200615 -sweep-workers 1 -json BENCH_warm.json > /dev/null
 	$(GO) run ./scripts -baseline BENCH_core.json -fresh BENCH_warm.json -tolerance $(BENCH_TOLERANCE)
 	rm -f BENCH_warm.json
+
+# Shared-facts and fixpoint-equivalence gate, blocking: the dirty-queue
+# worklist must reproduce the reference fixpoint bit-for-bit on the committed
+# fuzz seed corpus, the shared-facts path must be race-clean under concurrent
+# multi-config analysis, and bench_compare's config_sweep invariant must hold
+# (N configs through one cache => exactly one facts computation per unique
+# decompilable bytecode; the facts/guards/fixpoint stage walls are also held
+# to BENCH_TOLERANCE when the CPU shape matches the baseline).
+analysis-check:
+	$(GO) test -run 'TestWorklistMatchesReferenceCorpus|FuzzFixpointEquivalence|TestCacheFactsComputedOncePerProgram|TestCacheWarmDiskColdConfigFactsOnce' ./internal/core
+	$(GO) test -race -run 'TestSharedFactsConcurrentConfigs|TestCacheDecompileSingleflight' ./internal/core
+	$(GO) run ./cmd/ethainter-bench -exp core -n 2000 -seed 20200615 -sweep-workers 1 -json BENCH_analysis.json > /dev/null
+	$(GO) run ./scripts -baseline BENCH_core.json -fresh BENCH_analysis.json -tolerance $(BENCH_TOLERANCE)
+	rm -f BENCH_analysis.json
 
 # Full-scale regeneration of every table and figure (EXPERIMENTS.md source).
 experiments:

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/crypto"
+)
+
+// ConfigSweepPoint is one configuration's pass over the corpus through the
+// shared cache. The first point pays for decompilation and the facts stratum;
+// every later point reanalyzes on the shared facts and runs only the
+// config-dependent guards + taint fixpoint per unique bytecode — Speedup is
+// the first point's wall over this point's wall.
+type ConfigSweepPoint struct {
+	Config   string `json:"config"`
+	WallNS   int64  `json:"wall_ns"`
+	Analyzed int    `json:"analyzed"`
+	Failed   int    `json:"failed"`
+	Warnings int    `json:"warnings"`
+	// FactsComputed/FactsHits are this pass's deltas of the cache's
+	// FactsMisses/FactsHits counters: the first pass computes facts once per
+	// unique decompilable bytecode, every later pass must compute zero.
+	FactsComputed uint64  `json:"facts_computed"`
+	FactsHits     uint64  `json:"facts_hits"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// ConfigSweepResult is the shared-facts reanalysis experiment: the corpus
+// analyzed under the default config and every Figure 8 ablation variant
+// through ONE cache. The invariant bench_compare enforces: no matter how many
+// configs run, the facts stratum is computed exactly once per unique
+// decompilable bytecode — FactsComputed == UniqueOK, and every pass after the
+// first computes zero.
+type ConfigSweepResult struct {
+	// UniqueOK counts unique bytecodes that decompiled successfully — the
+	// population that has a facts stratum at all.
+	UniqueOK int `json:"unique_ok"`
+	// FactsComputed is the cache's final FactsMisses: total facts strata
+	// computed across every config.
+	FactsComputed uint64 `json:"facts_computed"`
+	// FactsHits is the cache's final FactsHits: analyses that reused a
+	// memoized stratum.
+	FactsHits uint64 `json:"facts_hits"`
+	// ReanalysisSpeedup is the first config's wall over the mean wall of the
+	// subsequent configs — the headline gain of sharing facts.
+	ReanalysisSpeedup float64            `json:"reanalysis_speedup"`
+	Configs           []ConfigSweepPoint `json:"configs"`
+}
+
+// configSweepVariants is the ordered config list: default first (it pays the
+// cold facts cost), then the Figure 8 ablation variants.
+func configSweepVariants() []struct {
+	name string
+	cfg  core.Config
+} {
+	noGuards := core.DefaultConfig()
+	noGuards.ModelGuards = false
+	noStorage := core.DefaultConfig()
+	noStorage.ModelStorageTaint = false
+	conservative := core.DefaultConfig()
+	conservative.ConservativeStorage = true
+	noOwner := core.DefaultConfig()
+	noOwner.InferOwnerSinks = false
+	return []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"default", core.DefaultConfig()},
+		{"noGuards", noGuards},
+		{"noStorage", noStorage},
+		{"conservative", conservative},
+		{"noOwnerSinks", noOwner},
+	}
+}
+
+// ConfigSweep runs the corpus under every variant through one shared cache.
+// base contributes the decompilation budget and parallelism, which every
+// variant inherits (they are fingerprint-relevant, so varying them would
+// defeat the program sharing being measured).
+func ConfigSweep(contracts []*corpus.Contract, base core.Config, workers, cacheShards int) *ConfigSweepResult {
+	cache := core.NewCacheSharded(0, cacheShards)
+	variants := configSweepVariants()
+	out := &ConfigSweepResult{Configs: make([]ConfigSweepPoint, 0, len(variants))}
+
+	var prev core.CacheStats
+	uniqueOK := map[[32]byte]bool{}
+	for vi, v := range variants {
+		cfg := v.cfg
+		cfg.Parallelism = base.Parallelism
+		cfg.DecompileLimits = base.DecompileLimits
+
+		errs := make([]error, len(contracts))
+		reports := make([]*core.Report, len(contracts))
+		prog := newProgress(fmt.Sprintf("config_sweep(%s)", v.name), len(contracts))
+		start := time.Now()
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					reports[i], errs[i] = cache.AnalyzeBytecode(contracts[i].Runtime, cfg)
+					prog.step()
+				}
+			}()
+		}
+		for i := range contracts {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		p := ConfigSweepPoint{Config: v.name, WallNS: int64(time.Since(start))}
+		prog.finish()
+
+		for i, rep := range reports {
+			if errs[i] != nil {
+				p.Failed++
+				continue
+			}
+			p.Analyzed++
+			p.Warnings += len(rep.Warnings)
+			if vi == 0 {
+				uniqueOK[crypto.Keccak256(contracts[i].Runtime)] = true
+			}
+		}
+		st := cache.Stats()
+		p.FactsComputed = st.FactsMisses - prev.FactsMisses
+		p.FactsHits = st.FactsHits - prev.FactsHits
+		prev = st
+		if first := out.Configs; len(first) > 0 && p.WallNS > 0 {
+			p.Speedup = float64(first[0].WallNS) / float64(p.WallNS)
+		} else {
+			p.Speedup = 1
+		}
+		out.Configs = append(out.Configs, p)
+	}
+
+	st := cache.Stats()
+	out.UniqueOK = len(uniqueOK)
+	out.FactsComputed = st.FactsMisses
+	out.FactsHits = st.FactsHits
+	if len(out.Configs) > 1 {
+		var sum int64
+		for _, p := range out.Configs[1:] {
+			sum += p.WallNS
+		}
+		if mean := float64(sum) / float64(len(out.Configs)-1); mean > 0 {
+			out.ReanalysisSpeedup = float64(out.Configs[0].WallNS) / mean
+		}
+	}
+	return out
+}

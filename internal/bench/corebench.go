@@ -104,6 +104,10 @@ type CoreBenchResult struct {
 	// decompilations with a result digest bit-identical to the cold run's
 	// (bench_compare enforces it). Nil when the double start failed.
 	WarmRestart *WarmRestartResult `json:"warm_restart,omitempty"`
+	// ConfigSweep is the shared-facts reanalysis experiment: every ablation
+	// config over one cache, facts computed exactly once per unique bytecode
+	// (bench_compare enforces it). Nil in baselines that predate the section.
+	ConfigSweep *ConfigSweepResult `json:"config_sweep,omitempty"`
 }
 
 // SweepScalingPoint is one worker count on the cross-contract sweep curve.
@@ -173,6 +177,7 @@ func CoreBench(n int, seed int64, workers, parallelism, sweepWorkers, cacheShard
 	}
 	res.EngineScaling = EngineScaling(engineScalingN, scalingWorkerCounts(parallelism))
 	res.SweepScaling = SweepScaling(contracts, cfg, sweepScalingWorkerCounts(sweepWorkers), cacheShards)
+	res.ConfigSweep = ConfigSweep(contracts, cfg, workers, cacheShards)
 	if dir, cleanup, err := warmRestartDir(cacheDir); err != nil {
 		fmt.Fprintf(os.Stderr, "warm_restart: %v\n", err)
 	} else {
@@ -368,6 +373,14 @@ func (r *CoreBenchResult) Render() string {
 	for _, p := range r.SweepScaling {
 		t.note("sweep scaling: %d worker(s): wall %s, %d analyzed / %d failed / %d warnings, %d unique + %d coalesced, %d contended, %.2fx",
 			p.Workers, fmtNS(p.WallNS), p.Analyzed, p.Failed, p.Warnings, p.UniqueWork, p.Coalesced, p.ShardContended, p.Speedup)
+	}
+	if sw := r.ConfigSweep; sw != nil {
+		for _, p := range sw.Configs {
+			t.note("config sweep: %-12s wall %s, %d analyzed / %d failed / %d warnings, %d facts computed + %d reused, %.2fx",
+				p.Config, fmtNS(p.WallNS), p.Analyzed, p.Failed, p.Warnings, p.FactsComputed, p.FactsHits, p.Speedup)
+		}
+		t.note("config sweep: %d unique decompilable bytecodes, %d facts computed total, %d reuses, reanalysis speedup %.2fx",
+			sw.UniqueOK, sw.FactsComputed, sw.FactsHits, sw.ReanalysisSpeedup)
 	}
 	if wr := r.WarmRestart; wr != nil {
 		t.note("warm restart: cold %s (%d analyses, %d decompiles, %d disk writes) -> warm %s (%d analyses, %d decompiles, %d disk hits)",

@@ -34,11 +34,22 @@ func AnalyzeReference(prog *tac.Program, cfg Config) *Report {
 }
 
 func analyze(ctx context.Context, prog *tac.Program, cfg Config, reference bool) (*Report, error) {
+	t0 := time.Now()
+	f := computeFacts(prog)
+	return analyzeOnFacts(ctx, f, time.Since(t0), cfg, reference)
+}
+
+// analyzeOnFacts runs the config-dependent tail of the analysis — guards,
+// taint fixpoint, detectors — over precomputed (possibly cache-shared) facts.
+// factsTime is whatever facts work this caller actually performed: the real
+// computeFacts wall for a fresh computation, zero when the facts came out of
+// the cache's program memo (mirroring how memoized decompile time is
+// attributed).
+func analyzeOnFacts(ctx context.Context, f *facts, factsTime time.Duration, cfg Config, reference bool) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	t0 := time.Now()
-	f := computeFacts(prog)
+	prog := f.prog
 	t1 := time.Now()
 	g := computeGuards(f, cfg)
 	t2 := time.Now()
@@ -51,6 +62,7 @@ func analyze(ctx context.Context, prog *tac.Program, cfg Config, reference bool)
 		runErr = a.run()
 	}
 	if runErr != nil {
+		a.release()
 		return nil, runErr
 	}
 	t3 := time.Now()
@@ -58,29 +70,26 @@ func analyze(ctx context.Context, prog *tac.Program, cfg Config, reference bool)
 	r := &Report{PublicFunctions: len(prog.Functions)}
 	detect(a, r)
 	t4 := time.Now()
-	r.Stats.Timings.Facts = t1.Sub(t0)
+	r.Stats.Timings.Facts = factsTime
 	r.Stats.Timings.Guards = t2.Sub(t1)
 	r.Stats.Timings.Fixpoint = t3.Sub(t2)
 	r.Stats.Timings.Detect = t4.Sub(t3)
 
 	// Stats.
 	r.Stats.Blocks = len(prog.Blocks)
-	prog.AllStmts(func(*tac.Stmt) { r.Stats.Statements++ })
+	r.Stats.Statements = len(f.stmts)
 	for _, b := range prog.Blocks {
 		if a.reachable(b) {
 			r.Stats.ReachableBlocks++
 		}
 	}
-	r.Stats.TaintedVars = len(a.varTaint)
-	r.Stats.TaintedSlots = len(a.slotTainted)
-	r.Stats.BypassedGuards = len(a.bypassed)
-	for _, eff := range g.effective {
-		if eff {
-			r.Stats.EffectiveGuards++
-		}
-	}
+	r.Stats.TaintedVars = a.taintedVarCount
+	r.Stats.TaintedSlots = a.slotTaintedCount
+	r.Stats.BypassedGuards = a.bypassedCount
+	r.Stats.EffectiveGuards = g.numEffective
 	r.Stats.FixpointPasses = a.passes
-	r.Stats.InferredOwnerSlot = len(g.ownerSlots)
+	r.Stats.InferredOwnerSlot = g.ownerSlotCount
+	a.release()
 	return r, nil
 }
 
@@ -151,12 +160,12 @@ func detect(a *analysis, r *Report) {
 	// taint counts only when the sink is attacker-reachable (an effective
 	// guard sanitizes it — Guard-2); storage taint always counts (Guard-1).
 	taintedSinkArg := func(s *tac.Stmt, arg tac.VarID) ([]Step, bool) {
-		k := a.varTaint[arg]
+		k := a.taintOf(arg)
 		if k&taintSt != 0 {
-			return a.witVar[arg], true
+			return a.witVarOf(arg), true
 		}
 		if k&(taintIn|taintSender) != 0 && a.reachable(s.Block) {
-			return a.witVar[arg], true
+			return a.witVarOf(arg), true
 		}
 		return nil, false
 	}
@@ -190,17 +199,17 @@ func detect(a *analysis, r *Report) {
 				})
 			}
 		case tac.Sstore:
-			cls := f.addrClass[s]
-			if cls.kind != addrConst || !a.g.ownerSlots[cls.slot] {
+			cls := f.addrClassAt(s)
+			if cls.kind != addrConst || !a.g.isOwnerSlot(cls.sid) {
 				return
 			}
 			if !a.reachable(s.Block) {
 				return
 			}
-			if a.varTaint[s.Args[1]] == 0 {
+			if a.taintOf(s.Args[1]) == 0 {
 				return
 			}
-			wit := appendSteps(a.reachWitness(s.Block), a.witVar[s.Args[1]])
+			wit := appendSteps(a.reachWitness(s.Block), a.witVarOf(s.Args[1]))
 			add(Warning{
 				Kind:    TaintedOwner,
 				PC:      s.PC,
@@ -240,13 +249,15 @@ func checkStaticcall(a *analysis, s *tac.Stmt, add func(Warning)) {
 		return
 	}
 	// The input region (or the callee address) must be attacker-influenced.
-	influenced := a.varTaint[s.Args[1]] != 0
+	influenced := a.taintOf(s.Args[1]) != 0
 	var wit []Step
-	if !influenced && inOff.IsUint64() {
-		for _, st := range f.memSources(s, inOff.Uint64()) {
-			if a.varTaint[st.Args[1]] != 0 {
-				influenced = true
-				wit = a.witVar[st.Args[1]]
+	if !influenced {
+		if srcs, ok := f.memSrcAt(s); ok {
+			for _, st := range srcs {
+				if a.taintOf(st.Args[1]) != 0 {
+					influenced = true
+					wit = a.witVarOf(st.Args[1])
+				}
 			}
 		}
 	}

@@ -90,6 +90,16 @@ type CacheStats struct {
 	Analyses   uint64 `json:"analyses,omitempty"`
 	Decompiles uint64 `json:"decompiles,omitempty"`
 
+	// FactsMisses counts facts strata actually computed — once per unique
+	// successfully-decompiled program, inside the program singleflight, no
+	// matter how many configs the program is analyzed under. FactsHits
+	// counts analyses that reused a memoized facts stratum (a program-memo
+	// hit or a singleflight waiter) and ran only the config-dependent
+	// guards+fixpoint tail. Report-level hits (memory or disk) touch
+	// neither counter: they never reached the facts layer at all.
+	FactsHits   uint64 `json:"facts_hits,omitempty"`
+	FactsMisses uint64 `json:"facts_misses,omitempty"`
+
 	// Tier-level disk counters, merged view only (per-shard snapshots leave
 	// them zero): durable entry writes, failed writes, entries dropped by the
 	// startup/lazy scrub, and live on-disk entries.
@@ -128,9 +138,18 @@ type progKey struct {
 	limits decompiler.Limits
 }
 
+// progEntry memoizes the config-independent prefix of the pipeline: the
+// decompiled program AND its facts stratum (constants, memory model, storage
+// classification, sender derivation — see facts.go). Facts are computed once
+// inside the program singleflight and shared read-only across every config
+// the program is analyzed under; per-config analysis then runs only
+// computeGuards + the taint fixpoint. facts is non-nil exactly when err is
+// nil: both are produced together under the singleflight, and a facts-stage
+// panic resolves the entry as an error without memoizing it.
 type progEntry struct {
-	prog *tac.Program
-	err  error
+	prog  *tac.Program
+	facts *facts
+	err   error
 }
 
 // inflight tracks one in-progress report computation so concurrent lookups
@@ -146,9 +165,10 @@ type inflight struct {
 // misses under different configs (distinct report keys, same program key)
 // both ran the full decompiler.
 type progInflight struct {
-	done chan struct{}
-	prog *tac.Program
-	err  error
+	done  chan struct{}
+	prog  *tac.Program
+	facts *facts
+	err   error
 }
 
 // cacheShard is one independently-locked slice of the cache. All state for a
@@ -302,6 +322,8 @@ func (c *Cache) Stats() CacheStats {
 		out.DiskMisses += s.stats.DiskMisses
 		out.Analyses += s.stats.Analyses
 		out.Decompiles += s.stats.Decompiles
+		out.FactsHits += s.stats.FactsHits
+		out.FactsMisses += s.stats.FactsMisses
 		s.mu.Unlock()
 	}
 	if c.disk != nil {
@@ -488,80 +510,122 @@ func persistable(err error) bool {
 // deferred recover converts any residual panic on hostile bytecode into
 // ErrInternal so one poisonous input can never take down a serving process —
 // the same guarantee the uncached AnalyzeBytecodeContext boundary makes.
+//
+// The decompile call below yields the shared facts stratum along with the
+// program (facts is non-nil whenever err is nil — they are memoized
+// together), so only the config-dependent guards + fixpoint tail runs here.
 func (c *Cache) computeReport(ctx context.Context, key reportKey, code []byte, cfg Config) (rep *Report, err error) {
 	s := c.shardFor(key.code)
 	s.lock()
 	s.stats.Analyses++
 	s.mu.Unlock()
 	defer recoverToError(&err)
-	prog, decompileTime, dt, err := c.decompile(ctx, key.code, code, cfg.DecompileLimits)
+	f, times, err := c.decompile(ctx, key.code, code, cfg.DecompileLimits)
 	if err != nil {
 		return nil, err
 	}
-	rep, err = AnalyzeContext(ctx, prog, cfg)
+	rep, err = analyzeOnFacts(ctx, f, times.facts, cfg, false)
 	if err != nil {
 		return nil, err
 	}
-	rep.Stats.Timings.setDecompile(decompileTime, dt)
+	rep.Stats.Timings.setDecompile(times.decompile, times.sub)
 	return rep, nil
 }
 
-// decompile returns the (shared, read-only) decompiled program for the
-// (bytecode, budget) pair, computing and memoizing it on first use. In-flight
-// decompilations are tracked like in-flight reports: concurrent misses on the
-// same (hash, limits) — e.g. one bytecode analyzed under two configs at once
-// — run the decompiler exactly once, with the waiters attaching to the
-// singleflight. The recorded durations — the stage total and its
-// sub-breakdown — are zero on a memo hit and for waiters: they did not pay
-// for the work. Deterministic failures — including budget exhaustion — are
-// memoized; cancellations are not, since they reflect the caller's deadline
-// rather than the bytecode, and a waiter observing a cancelled decompilation
-// retries under its own context.
-func (c *Cache) decompile(ctx context.Context, hash [32]byte, code []byte, limits decompiler.Limits) (*tac.Program, time.Duration, decompiler.Timings, error) {
+// progTimes carries the stage attribution out of the program singleflight:
+// the decompile wall and its sub-breakdown, plus the facts wall. All zero
+// for memo hits and singleflight waiters — they did not pay for the work.
+type progTimes struct {
+	decompile time.Duration
+	sub       decompiler.Timings
+	facts     time.Duration
+}
+
+// decompile returns the (shared, read-only) facts stratum — which carries the
+// decompiled program — for the (bytecode, budget) pair, computing and
+// memoizing both on first use. In-flight computations are tracked like
+// in-flight reports: concurrent misses on the same (hash, limits) — e.g. one
+// bytecode analyzed under two configs at once — run the decompiler and the
+// facts pipeline exactly once, with the waiters attaching to the
+// singleflight. The recorded durations are zero on a memo hit and for
+// waiters: they did not pay for the work. Deterministic failures — including
+// budget exhaustion — are memoized; cancellations are not, since they reflect
+// the caller's deadline rather than the bytecode, and a waiter observing a
+// cancelled decompilation retries under its own context.
+//
+// Facts are computed inside the singleflight under a local recover: a panic
+// in the facts pipeline must resolve the inflight entry (waiters would hang
+// on done otherwise) before surfacing as an ErrInternal. Such an entry is
+// not memoized — a recovered panic is our defect, not a property of the
+// bytecode, and must not outlive the request that hit it.
+func (c *Cache) decompile(ctx context.Context, hash [32]byte, code []byte, limits decompiler.Limits) (*facts, progTimes, error) {
 	key := progKey{code: hash, limits: limits.Normalized()}
 	s := c.shardFor(hash)
 	for {
 		s.lock()
 		if e, ok := s.progs[key]; ok {
+			if e.err == nil {
+				s.stats.FactsHits++
+			}
 			s.mu.Unlock()
-			return e.prog, 0, decompiler.Timings{}, e.err
+			return e.facts, progTimes{}, e.err
 		}
 		if fl, ok := s.progPending[key]; ok {
 			s.mu.Unlock()
 			select {
 			case <-fl.done:
 			case <-ctx.Done():
-				return nil, 0, decompiler.Timings{}, ctx.Err()
+				return nil, progTimes{}, ctx.Err()
 			}
 			if IsCancellation(fl.err) {
 				continue
 			}
-			return fl.prog, 0, decompiler.Timings{}, fl.err
+			if fl.err == nil {
+				s.lock()
+				s.stats.FactsHits++
+				s.mu.Unlock()
+			}
+			return fl.facts, progTimes{}, fl.err
 		}
 		fl := &progInflight{done: make(chan struct{})}
 		s.progPending[key] = fl
 		s.stats.Decompiles++
 		s.mu.Unlock()
 
+		var times progTimes
+		var factsPanic error
 		t0 := time.Now()
-		var dt decompiler.Timings
-		fl.prog, dt, fl.err = decompiler.DecompileTimed(ctx, code, limits)
-		elapsed := time.Since(t0)
+		fl.prog, times.sub, fl.err = decompiler.DecompileTimed(ctx, code, limits)
+		times.decompile = time.Since(t0)
+		if fl.err == nil {
+			f0 := time.Now()
+			func() {
+				defer recoverToError(&factsPanic)
+				fl.facts = computeFacts(fl.prog)
+			}()
+			times.facts = time.Since(f0)
+			if factsPanic != nil {
+				fl.prog, fl.facts, fl.err = nil, nil, factsPanic
+			}
+		}
 
 		s.lock()
-		if _, ok := s.progs[key]; !ok && !IsCancellation(fl.err) {
+		if fl.err == nil {
+			s.stats.FactsMisses++
+		}
+		if _, ok := s.progs[key]; !ok && !IsCancellation(fl.err) && factsPanic == nil {
 			if len(s.progs) >= s.maxEntries && len(s.progOrder) > 0 {
 				delete(s.progs, s.progOrder[0])
 				s.progOrder = s.progOrder[1:]
 				s.stats.Evictions++
 			}
-			s.progs[key] = progEntry{prog: fl.prog, err: fl.err}
+			s.progs[key] = progEntry{prog: fl.prog, facts: fl.facts, err: fl.err}
 			s.progOrder = append(s.progOrder, key)
 		}
 		delete(s.progPending, key)
 		s.mu.Unlock()
 		close(fl.done)
-		return fl.prog, elapsed, dt, fl.err
+		return fl.facts, times, fl.err
 	}
 }
 

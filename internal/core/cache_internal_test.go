@@ -263,4 +263,131 @@ func TestCacheDecompileSingleflight(t *testing.T) {
 	if st.Hits+st.Misses != 2*perConfig {
 		t.Fatalf("Hits = %d, Misses = %d, want sum %d", st.Hits, st.Misses, 2*perConfig)
 	}
+	if st.FactsMisses != 1 || st.FactsHits != 1 {
+		t.Fatalf("FactsMisses = %d, FactsHits = %d, want 1/1 (facts computed once, second config reuses)",
+			st.FactsMisses, st.FactsHits)
+	}
+}
+
+// factsTestConfigs returns distinct-fingerprint configs spanning the ablation
+// space, for exercising the shared-facts path across N configs.
+func factsTestConfigs(t *testing.T) []Config {
+	t.Helper()
+	def := DefaultConfig()
+	noGuards := DefaultConfig()
+	noGuards.ModelGuards = false
+	noStorage := DefaultConfig()
+	noStorage.ModelStorageTaint = false
+	conservative := DefaultConfig()
+	conservative.ConservativeStorage = true
+	noInfer := DefaultConfig()
+	noInfer.InferOwnerSinks = false
+	cfgs := []Config{def, noGuards, noStorage, conservative, noInfer}
+	seen := map[uint64]bool{}
+	for _, c := range cfgs {
+		fp := c.Fingerprint()
+		if seen[fp] {
+			t.Fatal("ablation configs must have pairwise-distinct fingerprints")
+		}
+		seen[fp] = true
+	}
+	return cfgs
+}
+
+// TestCacheFactsComputedOncePerProgram pins the shared-facts invariant:
+// analyzing a corpus under N configs computes the facts stratum exactly once
+// per unique program — FactsMisses == unique bytecodes regardless of config
+// count — with every other analysis reusing the memo, and the reports stay
+// bit-identical to the uncached pipeline.
+func TestCacheFactsComputedOncePerProgram(t *testing.T) {
+	codes := [][]byte{
+		minisol.MustCompile(minisol.VictimSource).Runtime,
+		minisol.MustCompile(minisol.TaintedOwnerSource).Runtime,
+		minisol.MustCompile(minisol.AccessibleSelfdestructSource).Runtime,
+	}
+	cfgs := factsTestConfigs(t)
+
+	c := NewCache(0)
+	for _, cfg := range cfgs {
+		for i, code := range codes {
+			got, err := c.AnalyzeBytecode(code, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := AnalyzeBytecode(code, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Digest() != want.Digest() {
+				t.Fatalf("config %d, code %d: cached report digest diverges from uncached", i, len(cfgs))
+			}
+		}
+	}
+	st := c.Stats()
+	if st.FactsMisses != uint64(len(codes)) {
+		t.Fatalf("FactsMisses = %d, want %d (one facts computation per unique program, %d configs notwithstanding)",
+			st.FactsMisses, len(codes), len(cfgs))
+	}
+	wantHits := uint64((len(cfgs) - 1) * len(codes))
+	if st.FactsHits != wantHits {
+		t.Fatalf("FactsHits = %d, want %d (every non-first config reuses the memo)", st.FactsHits, wantHits)
+	}
+	if st.Decompiles != uint64(len(codes)) {
+		t.Fatalf("Decompiles = %d, want %d", st.Decompiles, len(codes))
+	}
+}
+
+// TestCacheWarmDiskColdConfigFactsOnce pins the disk-tier interaction: a
+// warm-disk report hit bypasses the facts layer entirely (no program in
+// memory, no facts computed), and the next cold config then computes facts
+// exactly once — the disk hit must not have poisoned or duplicated the
+// program memo. Facts computed stays == unique programs actually analyzed.
+func TestCacheWarmDiskColdConfigFactsOnce(t *testing.T) {
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	cfgA := DefaultConfig()
+	cfgB := DefaultConfig()
+	cfgB.ModelGuards = false
+	cfgC := DefaultConfig()
+	cfgC.ConservativeStorage = true
+
+	dir := t.TempDir()
+	newWarmDir(t, dir, [][]byte{code}, cfgA)
+
+	tier, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	c := NewCache(0)
+	c.SetDiskTier(tier)
+
+	// Warm-disk hit under cfgA: served from the tier, no decompile, no facts.
+	if _, err := c.AnalyzeBytecode(code, cfgA); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.DiskHits != 1 || st.Decompiles != 0 || st.FactsMisses != 0 || st.FactsHits != 0 {
+		t.Fatalf("after warm hit: DiskHits=%d Decompiles=%d FactsMisses=%d FactsHits=%d, want 1/0/0/0",
+			st.DiskHits, st.Decompiles, st.FactsMisses, st.FactsHits)
+	}
+
+	// First cold config after the warm hit: one decompile, one facts
+	// computation.
+	if _, err := c.AnalyzeBytecode(code, cfgB); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Decompiles != 1 || st.FactsMisses != 1 {
+		t.Fatalf("after first cold config: Decompiles=%d FactsMisses=%d, want 1/1", st.Decompiles, st.FactsMisses)
+	}
+
+	// Second cold config: program and facts both served from the memo.
+	if _, err := c.AnalyzeBytecode(code, cfgC); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Decompiles != 1 || st.FactsMisses != 1 || st.FactsHits != 1 {
+		t.Fatalf("after second cold config: Decompiles=%d FactsMisses=%d FactsHits=%d, want 1/1/1",
+			st.Decompiles, st.FactsMisses, st.FactsHits)
+	}
 }

@@ -213,3 +213,47 @@ func TestCacheConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedFactsConcurrentConfigs races every ablation config against one
+// bytecode through one cache: all configs land on the same program key, so
+// one goroutine computes the shared facts stratum inside the singleflight and
+// the rest analyze concurrently on top of it. Under -race this is the proof
+// that facts are safely shareable — any residual mutation of the stratum
+// during guards/fixpoint is a detected data race — and every report must
+// still match the uncached pipeline bit-for-bit.
+func TestSharedFactsConcurrentConfigs(t *testing.T) {
+	contracts := corpus.Generate(corpus.DefaultProfile(12, 20200617))
+	configs := ablationConfigs()
+	for _, c := range contracts {
+		cache := core.NewCache(0)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for name, cfg := range configs {
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func(name string, cfg core.Config) {
+					defer wg.Done()
+					<-start
+					got, err := cache.AnalyzeBytecode(c.Runtime, cfg)
+					if err != nil {
+						return // decompile failures are uniform across configs
+					}
+					want, err := core.AnalyzeBytecode(c.Runtime, cfg)
+					if err != nil {
+						t.Errorf("%s %s#%d: fresh analysis failed after cached succeeded: %v", name, c.Family, c.Index, err)
+						return
+					}
+					if !reflect.DeepEqual(stripTimings(got), stripTimings(want)) {
+						t.Errorf("%s %s#%d: shared-facts report diverges from fresh", name, c.Family, c.Index)
+					}
+				}(name, cfg)
+			}
+		}
+		close(start)
+		wg.Wait()
+		if st := cache.Stats(); st.FactsMisses > 1 {
+			t.Fatalf("%s#%d: FactsMisses = %d, want at most 1 (one program, one facts computation)",
+				c.Family, c.Index, st.FactsMisses)
+		}
+	}
+}

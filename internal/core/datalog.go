@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"time"
 
 	"ethainter/internal/datalog"
@@ -229,21 +228,19 @@ func exportFacts(f *facts, g *guardInfo, dl *datalog.Program) (int, error) {
 	// Blocks and guards.
 	for _, b := range f.prog.Blocks {
 		fact("block", blockTerm(b))
-		for _, c := range g.guardsOf[b] {
-			fact("guardOf", blockTerm(b), condTerm(c))
+		if b.ID >= 0 && b.ID < len(g.guardsOf) {
+			for _, c := range g.guardsOf[b.ID] {
+				fact("guardOf", blockTerm(b), condTerm(c))
+			}
 		}
 	}
-	conds := make([]tac.VarID, 0, len(g.effective))
-	for c := range g.effective {
-		conds = append(conds, c)
-	}
-	sort.Slice(conds, func(i, j int) bool { return conds[i] < conds[j] })
-	for _, c := range conds {
+	// g.conds is already deduplicated and sorted ascending.
+	for ci, c := range g.conds {
 		fact("cond", condTerm(c))
-		if g.effective[c] {
+		if g.effective.get(c) {
 			fact("effective", condTerm(c))
 		}
-		for _, src := range g.sources[c] {
+		for _, src := range g.condSources(ci) {
 			switch src.class.kind {
 			case addrConst:
 				fact("guardSrcConst", condTerm(c), slotTerm(src.class.slot))
@@ -252,8 +249,10 @@ func exportFacts(f *facts, g *guardInfo, dl *datalog.Program) (int, error) {
 			}
 		}
 	}
-	for slot := range g.ownerSlots {
-		fact("ownerSlot", slotTerm(slot))
+	for sid, owner := range g.ownerSlot {
+		if owner {
+			fact("ownerSlot", slotTerm(f.slotVals[sid]))
+		}
 	}
 
 	// Statements: sources, sinks, storage ops, and one-step flows.
@@ -270,8 +269,8 @@ func exportFacts(f *facts, g *guardInfo, dl *datalog.Program) (int, error) {
 		case tac.Caller:
 			fact("callerSrc", id, varTerm(s.Def))
 		case tac.Mload:
-			if off, ok := f.constOf.get(s.Args[0]); ok && off.IsUint64() {
-				for _, st := range f.memSources(s, off.Uint64()) {
+			if srcs, ok := f.memSrcAt(s); ok {
+				for _, st := range srcs {
 					fact("flow1", varTerm(st.Args[1]), varTerm(s.Def))
 				}
 			} else {
@@ -280,7 +279,7 @@ func exportFacts(f *facts, g *guardInfo, dl *datalog.Program) (int, error) {
 				}
 			}
 		case tac.Sha3:
-			if words, ok := f.hashWordStores(s); ok {
+			if words, ok := f.hashWordsAt(s); ok {
 				for _, stores := range words {
 					for _, st := range stores {
 						fact("flow1", varTerm(st.Args[1]), varTerm(s.Def))
@@ -288,7 +287,7 @@ func exportFacts(f *facts, g *guardInfo, dl *datalog.Program) (int, error) {
 				}
 			}
 		case tac.Sload:
-			cls := f.addrClass[s]
+			cls := f.addrClassAt(s)
 			switch cls.kind {
 			case addrConst:
 				fact("sloadConst", id, slotTerm(cls.slot), varTerm(s.Def))
@@ -296,7 +295,7 @@ func exportFacts(f *facts, g *guardInfo, dl *datalog.Program) (int, error) {
 				fact("sloadElem", id, slotTerm(cls.slot), varTerm(s.Def))
 			}
 		case tac.Sstore:
-			cls := f.addrClass[s]
+			cls := f.addrClassAt(s)
 			switch cls.kind {
 			case addrConst:
 				fact("sstoreConst", id, slotTerm(cls.slot), varTerm(s.Args[1]))

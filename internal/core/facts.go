@@ -8,26 +8,55 @@ import (
 // facts holds the taint-independent auxiliary relations — the "previous
 // stratum" of Figure 2: constant values, the local memory model, storage
 // address classification, and sender-derivation (DS/DSA).
+//
+// All relations are fully precomputed by computeFacts and addressed by dense
+// indices (Stmt.GIdx, Block.ID, VarID, or interned slot id) instead of
+// map[*tac.Stmt]/map[u256.U256] hashing. After computeFacts returns, a facts
+// value is strictly immutable: the cache shares one instance across
+// concurrently running per-config analyses (guards + fixpoint re-run per
+// config, facts do not).
 type facts struct {
 	prog *tac.Program
 	dom  *tac.Dominators
+
+	// stmts is the dense statement table in Stmt.GIdx order (program order,
+	// phis first per block) — the iteration order of both fixpoint drivers.
+	stmts []*tac.Stmt
 
 	// constOf holds variables resolved to constants (intra-procedural
 	// constant propagation; phi of equal constants folds).
 	constOf constTab
 
 	// memWrites lists MSTOREs by constant word offset; memUnknown lists
-	// MSTOREs whose offset is not constant.
+	// MSTOREs whose offset is not constant. memWrites is only consulted while
+	// building the per-statement memory-source tables below.
 	memWrites  map[uint64][]*tac.Stmt
 	memUnknown []*tac.Stmt
-	// memSrcMemo and hashMemo cache memSources / hashWordStores results;
-	// both are pure functions of the (static) memory model, and the fixpoint
-	// re-asks them every time a load or hash statement is re-evaluated.
-	memSrcMemo map[memSrcKey][]*tac.Stmt
-	hashMemo   map[*tac.Stmt]hashWordsMemo
 
-	// addrClass classifies each SLOAD/SSTORE address expression.
-	addrClass map[*tac.Stmt]addrClass
+	// memSrcOf[g] lists the MSTOREs the statement with GIdx g may observe at
+	// its (constant) queried offset: the MLOAD address, or a STATICCALL's
+	// input-buffer offset. memSrcConst[g] records that the offset was a
+	// constant uint64 — false means the statement falls back to the
+	// unknown-offset handling (memUnknown for loads, nothing for staticcalls).
+	memSrcOf    [][]*tac.Stmt
+	memSrcConst []bool
+
+	// hashWordsOf[g]/hashOK[g] hold the SHA3 word-store resolution for the
+	// statement with GIdx g: one store set per 32-byte word of the hashed
+	// region when offset and length are constants of modeled shape.
+	hashWordsOf [][][]*tac.Stmt
+	hashOK      []bool
+
+	// addrClassOf[g] classifies the address expression of the SLOAD/SSTORE
+	// with GIdx g; the zero value (addrUnknown) for every other statement.
+	addrClassOf []addrClass
+
+	// slotIDs interns every distinct storage slot (constant slots and
+	// mapping-family bases) into a small dense id, assigned in classification
+	// order; slotVals is the inverse table. Analysis state and guard relations
+	// index by slot id instead of hashing 32-byte values.
+	slotIDs  map[u256.U256]int32
+	slotVals []u256.U256
 
 	// senderDerived marks variables whose value derives from CALLER,
 	// including through sender-keyed data structure loads (DS), and dsaVar
@@ -35,9 +64,9 @@ type facts struct {
 	senderDerived boolTab
 	dsaVar        boolTab
 
-	// funcsOf maps blocks to the public functions they belong to (a block
-	// shared between functions maps to several).
-	funcsOf map[*tac.Block][]int
+	// funcsOf lists, per Block.ID, the public functions the block belongs to
+	// (a block shared between functions lists several).
+	funcsOf [][]int32
 	// numArgs estimates, per public function, the number of calldata word
 	// arguments (from the maximum constant CALLDATALOAD offset).
 	numArgs []int
@@ -46,7 +75,7 @@ type facts struct {
 // constTab is a dense map from variable id to resolved constant, replacing a
 // map[tac.VarID]u256.U256 on the computeFacts hot path: SSA variable ids are
 // small and dense, so a pair of slices indexed by id turns every lookup into
-// an array load. Sized from Program.NumVars up front; set grows defensively
+// an array load. Sized from Program.NumVars up front; set grows geometrically
 // for hand-built programs that never filled NumVars in.
 type constTab struct {
 	has  []bool
@@ -66,8 +95,12 @@ func (t *constTab) get(v tac.VarID) (u256.U256, bool) {
 
 func (t *constTab) set(v tac.VarID, c u256.U256) {
 	if int(v) >= len(t.has) {
-		has := make([]bool, int(v)+1)
-		vals := make([]u256.U256, int(v)+1)
+		n := int(v) + 1
+		if d := 2 * len(t.has); d > n {
+			n = d
+		}
+		has := make([]bool, n)
+		vals := make([]u256.U256, n)
 		copy(has, t.has)
 		copy(vals, t.vals)
 		t.has, t.vals = has, vals
@@ -76,7 +109,8 @@ func (t *constTab) set(v tac.VarID, c u256.U256) {
 	t.vals[v] = c
 }
 
-// boolTab is a dense variable-id set with the same growth discipline.
+// boolTab is a dense variable-id set with the same geometric growth
+// discipline.
 type boolTab []bool
 
 func (t boolTab) get(v tac.VarID) bool {
@@ -85,7 +119,11 @@ func (t boolTab) get(v tac.VarID) bool {
 
 func (t *boolTab) set(v tac.VarID) {
 	if int(v) >= len(*t) {
-		grown := make([]bool, int(v)+1)
+		n := int(v) + 1
+		if d := 2 * len(*t); d > n {
+			n = d
+		}
+		grown := make([]bool, n)
 		copy(grown, *t)
 		*t = grown
 	}
@@ -105,41 +143,70 @@ const (
 type addrClass struct {
 	kind addrKind
 	slot u256.U256   // addrConst: the slot; addrElem: the base slot
+	sid  int32       // interned id of slot; -1 when kind is addrUnknown
 	keys []tac.VarID // addrElem: key variables, outermost first
 }
 
 func computeFacts(prog *tac.Program) *facts {
+	if prog.NumStmts() == 0 && len(prog.Blocks) > 0 {
+		// Hand-built programs (tests) may not have indexed; the decompiler
+		// always has. BuildIndex assigns the GIdx table everything below
+		// addresses by.
+		prog.BuildIndex()
+	}
 	f := &facts{
 		prog:          prog,
 		dom:           tac.ComputeDominators(prog),
 		constOf:       newConstTab(prog.NumVars),
 		memWrites:     map[uint64][]*tac.Stmt{},
-		memSrcMemo:    map[memSrcKey][]*tac.Stmt{},
-		hashMemo:      map[*tac.Stmt]hashWordsMemo{},
-		addrClass:     map[*tac.Stmt]addrClass{},
+		slotIDs:       map[u256.U256]int32{},
 		senderDerived: make(boolTab, prog.NumVars),
 		dsaVar:        make(boolTab, prog.NumVars),
-		funcsOf:       map[*tac.Block][]int{},
 	}
+	n := prog.NumStmts()
+	f.stmts = make([]*tac.Stmt, 0, n)
+	prog.AllStmts(func(s *tac.Stmt) { f.stmts = append(f.stmts, s) })
+	f.memSrcOf = make([][]*tac.Stmt, n)
+	f.memSrcConst = make([]bool, n)
+	f.hashWordsOf = make([][][]*tac.Stmt, n)
+	f.hashOK = make([]bool, n)
+	f.addrClassOf = make([]addrClass, n)
+
 	f.propagateConstants()
 	f.indexMemory()
+	f.precomputeMemoryModel()
 	f.classifyStorage()
 	f.computeSenderDerivation()
 	f.attributeFunctions()
 	return f
 }
 
+// internSlot returns the dense id of a storage slot, assigning the next id on
+// first sight. Only computeFacts calls it; ids are fixed afterwards.
+func (f *facts) internSlot(slot u256.U256) int32 {
+	if id, ok := f.slotIDs[slot]; ok {
+		return id
+	}
+	id := int32(len(f.slotVals))
+	f.slotIDs[slot] = id
+	f.slotVals = append(f.slotVals, slot)
+	return id
+}
+
+// numSlots is the interned-slot count; analysis state sized by it.
+func (f *facts) numSlots() int { return len(f.slotVals) }
+
 // propagateConstants folds constants through pure ops and phis of equal
 // constants, iterating to fixpoint (the CFG is small).
 func (f *facts) propagateConstants() {
 	for changed := true; changed; {
 		changed = false
-		f.prog.AllStmts(func(s *tac.Stmt) {
+		for _, s := range f.stmts {
 			if s.Def == tac.NoVar {
-				return
+				continue
 			}
 			if _, done := f.constOf.get(s.Def); done {
-				return
+				continue
 			}
 			switch s.Op {
 			case tac.Const:
@@ -147,35 +214,40 @@ func (f *facts) propagateConstants() {
 				changed = true
 			case tac.Phi:
 				if len(s.Args) == 0 {
-					return
+					continue
 				}
 				first, ok := f.constOf.get(s.Args[0])
 				if !ok {
-					return
+					continue
 				}
+				agree := true
 				for _, a := range s.Args[1:] {
 					v, ok := f.constOf.get(a)
 					if !ok || v != first {
-						return
+						agree = false
+						break
 					}
+				}
+				if !agree {
+					continue
 				}
 				f.constOf.set(s.Def, first)
 				changed = true
 			default:
 				if !s.Op.IsArith() || len(s.Args) != 2 {
-					return
+					continue
 				}
 				a, okA := f.constOf.get(s.Args[0])
 				b, okB := f.constOf.get(s.Args[1])
 				if !okA || !okB {
-					return
+					continue
 				}
 				if v, ok := foldConst(s.Op, a, b); ok {
 					f.constOf.set(s.Def, v)
 					changed = true
 				}
 			}
-		})
+		}
 	}
 }
 
@@ -219,39 +291,50 @@ func foldConst(op tac.OpKind, a, b u256.U256) (u256.U256, bool) {
 
 // indexMemory groups MSTOREs by constant offset.
 func (f *facts) indexMemory() {
-	f.prog.AllStmts(func(s *tac.Stmt) {
+	for _, s := range f.stmts {
 		if s.Op != tac.Mstore && s.Op != tac.Mstore8 {
-			return
+			continue
 		}
 		if off, ok := f.constOf.get(s.Args[0]); ok && off.IsUint64() {
 			f.memWrites[off.Uint64()] = append(f.memWrites[off.Uint64()], s)
 		} else {
 			f.memUnknown = append(f.memUnknown, s)
 		}
-	})
-}
-
-// memSrcKey identifies one memoized memSources query.
-type memSrcKey struct {
-	at  *tac.Stmt
-	off uint64
-}
-
-// hashWordsMemo is one memoized hashWordStores result.
-type hashWordsMemo struct {
-	words [][]*tac.Stmt
-	ok    bool
-}
-
-// memSources returns the MSTORE statements an MLOAD (or hash word read) at
-// the given offset may observe: same-block latest store first if present,
-// otherwise every store to that offset plus unknown-offset stores. Results
-// are memoized (the model is static); callers must not mutate them.
-func (f *facts) memSources(at *tac.Stmt, off uint64) []*tac.Stmt {
-	key := memSrcKey{at: at, off: off}
-	if out, ok := f.memSrcMemo[key]; ok {
-		return out
 	}
+}
+
+// precomputeMemoryModel resolves every memory-source and hash-word query up
+// front: MLOADs and STATICCALLs ask memSources at one constant offset each,
+// SHA3s ask one store set per hashed word. The former lazily-memoized maps
+// become per-statement slices, and — crucially for the shared-facts cache —
+// no query path mutates facts at analysis time.
+func (f *facts) precomputeMemoryModel() {
+	for _, s := range f.stmts {
+		switch s.Op {
+		case tac.Mload:
+			if off, ok := f.constOf.get(s.Args[0]); ok && off.IsUint64() {
+				f.memSrcConst[s.GIdx] = true
+				f.memSrcOf[s.GIdx] = f.memSourcesAt(s, off.Uint64())
+			}
+		case tac.Staticcall:
+			// Args: gas, addr, inOff, inLen, outOff, outLen.
+			if off, ok := f.constOf.get(s.Args[2]); ok && off.IsUint64() {
+				f.memSrcConst[s.GIdx] = true
+				f.memSrcOf[s.GIdx] = f.memSourcesAt(s, off.Uint64())
+			}
+		case tac.Sha3:
+			words, ok := f.hashWordStoresAt(s)
+			f.hashWordsOf[s.GIdx] = words
+			f.hashOK[s.GIdx] = ok
+		}
+	}
+}
+
+// memSourcesAt returns the MSTORE statements a read at the given offset may
+// observe: same-block latest store first if present, otherwise every store to
+// that offset plus unknown-offset stores. Build-time only; results live in
+// memSrcOf/hashWordsOf and must not be mutated.
+func (f *facts) memSourcesAt(at *tac.Stmt, off uint64) []*tac.Stmt {
 	// Prefer the nearest preceding store in the same block (the precise,
 	// "local" modeling the paper describes).
 	var latest *tac.Stmt
@@ -262,30 +345,27 @@ func (f *facts) memSources(at *tac.Stmt, off uint64) []*tac.Stmt {
 			}
 		}
 	}
-	var out []*tac.Stmt
 	if latest != nil {
-		out = []*tac.Stmt{latest}
-	} else {
-		out = append([]*tac.Stmt{}, f.memWrites[off]...)
-		out = append(out, f.memUnknown...)
+		return []*tac.Stmt{latest}
 	}
-	f.memSrcMemo[key] = out
-	return out
+	out := append([]*tac.Stmt{}, f.memWrites[off]...)
+	return append(out, f.memUnknown...)
 }
 
-// hashWordStores resolves the MSTOREs feeding a SHA3(off, len) when both are
-// constants: one store set per 32-byte word of the hashed region. Results are
-// memoized; callers must not mutate them.
-func (f *facts) hashWordStores(s *tac.Stmt) ([][]*tac.Stmt, bool) {
-	if m, ok := f.hashMemo[s]; ok {
-		return m.words, m.ok
-	}
-	words, ok := f.hashWordStoresUncached(s)
-	f.hashMemo[s] = hashWordsMemo{words: words, ok: ok}
-	return words, ok
+// memSrcAt returns the precomputed memory sources of an MLOAD or STATICCALL
+// statement; ok is false when its queried offset was not a constant uint64.
+func (f *facts) memSrcAt(s *tac.Stmt) ([]*tac.Stmt, bool) {
+	return f.memSrcOf[s.GIdx], f.memSrcConst[s.GIdx]
 }
 
-func (f *facts) hashWordStoresUncached(s *tac.Stmt) ([][]*tac.Stmt, bool) {
+// hashWordsAt returns the precomputed SHA3 word-store resolution.
+func (f *facts) hashWordsAt(s *tac.Stmt) ([][]*tac.Stmt, bool) {
+	return f.hashWordsOf[s.GIdx], f.hashOK[s.GIdx]
+}
+
+// hashWordStoresAt resolves the MSTOREs feeding a SHA3(off, len) when both
+// are constants: one store set per 32-byte word of the hashed region.
+func (f *facts) hashWordStoresAt(s *tac.Stmt) ([][]*tac.Stmt, bool) {
 	off, okOff := f.constOf.get(s.Args[0])
 	length, okLen := f.constOf.get(s.Args[1])
 	if !okOff || !okLen || !off.IsUint64() || !length.IsUint64() {
@@ -297,21 +377,32 @@ func (f *facts) hashWordStoresUncached(s *tac.Stmt) ([][]*tac.Stmt, bool) {
 	}
 	var words [][]*tac.Stmt
 	for w := uint64(0); w < n/32; w++ {
-		words = append(words, f.memSources(s, off.Uint64()+32*w))
+		words = append(words, f.memSourcesAt(s, off.Uint64()+32*w))
 	}
 	return words, true
 }
 
 // classifyStorage resolves the address operand of every SLOAD/SSTORE into a
 // constant slot, a mapping-element address (keccak of key ++ base), or
-// unknown.
+// unknown, interning the slot of every resolved class.
 func (f *facts) classifyStorage() {
-	f.prog.AllStmts(func(s *tac.Stmt) {
+	for _, s := range f.stmts {
 		if s.Op != tac.Sload && s.Op != tac.Sstore {
-			return
+			continue
 		}
-		f.addrClass[s] = f.classifyAddr(s.Args[0])
-	})
+		c := f.classifyAddr(s.Args[0])
+		if c.kind == addrUnknown {
+			c.sid = -1
+		} else {
+			c.sid = f.internSlot(c.slot)
+		}
+		f.addrClassOf[s.GIdx] = c
+	}
+}
+
+// addrClassAt returns the storage-address classification of an SLOAD/SSTORE.
+func (f *facts) addrClassAt(s *tac.Stmt) addrClass {
+	return f.addrClassOf[s.GIdx]
 }
 
 // classifyAddr resolves a storage address variable.
@@ -342,7 +433,7 @@ func (f *facts) classifyAddrRec(v tac.VarID, seen map[tac.VarID]bool) addrClass 
 	switch def.Op {
 	case tac.Sha3:
 		// The Solidity mapping layout: SHA3 over [key (32) ++ slotWord (32)].
-		words, ok := f.hashWordStores(def)
+		words, ok := f.hashWordsAt(def)
 		if !ok || len(words) != 2 {
 			return addrClass{kind: addrUnknown}
 		}
@@ -395,9 +486,9 @@ func (f *facts) classifyAddrRec(v tac.VarID, seen map[tac.VarID]bool) addrClass 
 func (f *facts) computeSenderDerivation() {
 	for changed := true; changed; {
 		changed = false
-		f.prog.AllStmts(func(s *tac.Stmt) {
+		for _, s := range f.stmts {
 			if s.Def == tac.NoVar {
-				return
+				continue
 			}
 			switch s.Op {
 			case tac.Caller:
@@ -407,19 +498,20 @@ func (f *facts) computeSenderDerivation() {
 				}
 			case tac.Sha3:
 				if f.dsaVar.get(s.Def) {
-					return
+					continue
 				}
-				words, ok := f.hashWordStores(s)
+				words, ok := f.hashWordsAt(s)
 				if !ok {
-					return
+					continue
 				}
+			sha3Words:
 				for _, stores := range words {
 					for _, st := range stores {
 						val := st.Args[1]
 						if f.senderDerived.get(val) || f.dsaVar.get(val) {
 							f.dsaVar.set(s.Def)
 							changed = true
-							return
+							break sha3Words
 						}
 					}
 				}
@@ -431,20 +523,20 @@ func (f *facts) computeSenderDerivation() {
 			case tac.Mload:
 				// Sender values round-tripping through memory cells.
 				if f.senderDerived.get(s.Def) {
-					return
+					continue
 				}
-				if off, ok := f.constOf.get(s.Args[0]); ok && off.IsUint64() {
-					for _, st := range f.memSources(s, off.Uint64()) {
+				if srcs, ok := f.memSrcAt(s); ok {
+					for _, st := range srcs {
 						if f.senderDerived.get(st.Args[1]) {
 							f.senderDerived.set(s.Def)
 							changed = true
-							return
+							break
 						}
 					}
 				}
 			default:
 				if !s.Op.IsArith() {
-					return
+					continue
 				}
 				for _, a := range s.Args {
 					if f.senderDerived.get(a) && !f.senderDerived.get(s.Def) {
@@ -457,26 +549,50 @@ func (f *facts) computeSenderDerivation() {
 					}
 				}
 			}
-		})
+		}
 	}
 }
 
 // attributeFunctions assigns blocks to the public functions that can reach
-// them (forward CFG walk from each entry) and estimates argument counts.
+// them (forward CFG walk from each entry) and estimates argument counts. The
+// per-function visited set is one epoch-stamped array instead of a fresh map
+// per function.
 func (f *facts) attributeFunctions() {
+	maxID := -1
+	for _, b := range f.prog.Blocks {
+		if b.ID > maxID {
+			maxID = b.ID
+		}
+		for _, s := range b.Succs {
+			if s.ID > maxID {
+				maxID = s.ID
+			}
+		}
+	}
+	for _, fn := range f.prog.Functions {
+		if fn.Entry.ID > maxID {
+			maxID = fn.Entry.ID
+		}
+	}
+	f.funcsOf = make([][]int32, maxID+1)
 	f.numArgs = make([]int, len(f.prog.Functions))
+	visited := make([]int32, maxID+1)
+	for i := range visited {
+		visited[i] = -1
+	}
+	var stack []*tac.Block
 	for idx, fn := range f.prog.Functions {
-		seen := map[*tac.Block]bool{}
-		stack := []*tac.Block{fn.Entry}
+		epoch := int32(idx)
+		stack = append(stack[:0], fn.Entry)
 		maxArg := 0
 		for len(stack) > 0 {
 			b := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			if seen[b] {
+			if visited[b.ID] == epoch {
 				continue
 			}
-			seen[b] = true
-			f.funcsOf[b] = append(f.funcsOf[b], idx)
+			visited[b.ID] = epoch
+			f.funcsOf[b.ID] = append(f.funcsOf[b.ID], int32(idx))
 			for _, s := range b.Stmts {
 				if s.Op == tac.Calldataload {
 					if off, ok := f.constOf.get(s.Args[0]); ok && off.IsUint64() && off.Uint64() >= 4 {
@@ -496,7 +612,10 @@ func (f *facts) attributeFunctions() {
 // stepFor builds the witness step invoking the function that owns the block
 // (first owner wins; ok=false for dispatcher-only blocks).
 func (f *facts) stepFor(b *tac.Block) (Step, bool) {
-	owners := f.funcsOf[b]
+	if b.ID < 0 || b.ID >= len(f.funcsOf) {
+		return Step{}, false
+	}
+	owners := f.funcsOf[b.ID]
 	if len(owners) == 0 {
 		return Step{}, false
 	}

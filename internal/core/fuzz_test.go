@@ -2,6 +2,8 @@ package core_test
 
 import (
 	"context"
+	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -64,6 +66,53 @@ func FuzzAnalyzeBytecode(f *testing.F) {
 		rep2, err2 := core.AnalyzeBytecodeContext(context.Background(), code, cfg)
 		if rep2 != nil || err2 == nil || err2.Error() != err.Error() {
 			t.Fatalf("non-cancellation error not deterministic: %q then (%v, %v)", err, rep2, err2)
+		}
+	})
+}
+
+// FuzzFixpointEquivalence differentially pins the dirty-queue worklist
+// fixpoint to the reference (global re-pass) fixpoint on mutated bytecodes:
+// for every decompilable input and every ablation config, the two must
+// produce bit-identical reports — warnings, full witness chains, and stats
+// including the fixpoint pass count. This is the fuzz-shaped sibling of
+// TestWorklistMatchesReferenceCorpus: the corpus test pins the equivalence on
+// realistic contracts, the fuzzer hunts for degenerate CFG/phi shapes the
+// generator never emits. The committed seed corpus
+// (testdata/fuzz/FuzzFixpointEquivalence) replays synthetic-corpus contracts
+// under plain `go test`.
+func FuzzFixpointEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x5b, 0x34, 0x15, 0x60, 0x00, 0x57, 0xff}) // guarded SELFDESTRUCT skeleton
+	f.Add(minisol.MustCompile(minisol.VictimSource).Runtime)
+	f.Add(minisol.MustCompile(minisol.TaintedOwnerSource).Runtime)
+	for _, c := range corpus.Generate(corpus.DefaultProfile(4, 20200616)) {
+		f.Add(c.Runtime)
+	}
+
+	limits := decompiler.Limits{MaxContexts: 500, MaxWorklistSteps: 20000, MaxStatements: 50000}
+	configs := ablationConfigs()
+	names := make([]string, 0, len(configs))
+	for name := range configs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	f.Fuzz(func(t *testing.T, code []byte) {
+		if len(code) > 24576 {
+			t.Skip("beyond the EIP-170 deployed-code cap")
+		}
+		prog, err := decompiler.DecompileContext(context.Background(), code, limits)
+		if err != nil {
+			return // not decompilable; FuzzAnalyzeBytecode owns the error contract
+		}
+		for _, name := range names {
+			cfg := configs[name]
+			want := stripTimings(core.AnalyzeReference(prog, cfg))
+			got := stripTimings(core.Analyze(prog, cfg))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("[%s] worklist report diverges from reference\nworklist:  %+v\nreference: %+v",
+					name, got, want)
+			}
 		}
 	})
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"sort"
+	"sync"
+
 	"ethainter/internal/tac"
-	"ethainter/internal/u256"
 )
 
 // guardInfo describes the guards of the program: which condition variables
@@ -10,90 +12,190 @@ import (
 // scrutinize the sender (the under-approximate effectiveness test built on
 // DS/DSA), what storage each guard condition reads, and which constant slots
 // behave as owner variables (Section 4.5).
+//
+// guardInfo is per-config (effectiveness depends on cfg.ModelGuards, owner
+// slots on cfg.InferOwnerSinks) and is recomputed for every analysis run; all
+// relations are dense — Block.ID, VarID, or interned slot id indexed — and
+// flat-packed where per-block lists are involved.
 type guardInfo struct {
-	// guardsOf lists the condition variables guarding each block.
-	guardsOf map[*tac.Block][]tac.VarID
-	// effective marks sender-scrutinizing conditions.
-	effective map[tac.VarID]bool
-	// sources lists the storage reads in each guard condition's def cone.
-	sources map[tac.VarID][]guardSource
-	// ownerSlots are constant slots whose loaded value is compared against
-	// the sender in some guard — the inferred sinks of Section 4.5.
-	ownerSlots map[u256.U256]bool
+	// guardsOf lists the condition variables guarding each block, indexed by
+	// Block.ID; segments share one flat backing array. The per-block order is
+	// the dominator walk order (the block's own entry guards first), which
+	// witness assembly depends on.
+	guardsOf [][]tac.VarID
+	// conds lists every JUMPI condition variable, deduplicated and sorted
+	// ascending — the deterministic iteration order of the guard sweep and of
+	// the Datalog fact export.
+	conds []tac.VarID
+	// effective marks sender-scrutinizing conditions (indexed by VarID);
+	// numEffective counts them.
+	effective    boolTab
+	numEffective int
+	// sources lists the storage reads in each condition's def cone, parallel
+	// to conds.
+	sources [][]guardSource
+	// ownerSlot marks, by interned slot id, constant slots whose loaded value
+	// is compared against the sender in some guard — the inferred sinks of
+	// Section 4.5.
+	ownerSlot      []bool
+	ownerSlotCount int
 }
+
+// isOwnerSlot reports whether the interned slot id is an inferred owner slot.
+func (g *guardInfo) isOwnerSlot(sid int32) bool {
+	return sid >= 0 && int(sid) < len(g.ownerSlot) && g.ownerSlot[sid]
+}
+
+// condSources returns the storage sources of a condition by its index in
+// g.conds.
+func (g *guardInfo) condSources(ci int) []guardSource { return g.sources[ci] }
 
 // guardSource is one storage read feeding a guard condition.
 type guardSource struct {
 	class addrClass
 }
 
+// guardScratch holds the epoch-stamped visited array behind storageSources'
+// def-cone walks, pooled across computeGuards calls.
+type guardScratch struct {
+	visited []int32
+	epoch   int32
+}
+
+var guardScratchPool = sync.Pool{New: func() any { return &guardScratch{} }}
+
+// reset prepares the scratch for a program with n variables.
+func (sc *guardScratch) reset(n int) {
+	if cap(sc.visited) < n {
+		sc.visited = make([]int32, n)
+		sc.epoch = 0
+	}
+	sc.visited = sc.visited[:n]
+}
+
+// begin starts a new walk epoch, recycling the visited array without
+// clearing it (entries from older epochs read as unvisited).
+func (sc *guardScratch) begin() {
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: clear and restart
+		clear(sc.visited)
+		sc.epoch = 1
+	}
+}
+
+func (sc *guardScratch) seen(v tac.VarID) bool {
+	if v < 0 || int(v) >= len(sc.visited) {
+		return false
+	}
+	if sc.visited[v] == sc.epoch {
+		return true
+	}
+	sc.visited[v] = sc.epoch
+	return false
+}
+
 func computeGuards(f *facts, cfg Config) *guardInfo {
+	nb := len(f.funcsOf) // covers every Block.ID (sized by attributeFunctions)
+	nv := indexedVars(f.prog)
 	g := &guardInfo{
-		guardsOf:   map[*tac.Block][]tac.VarID{},
-		effective:  map[tac.VarID]bool{},
-		sources:    map[tac.VarID][]guardSource{},
-		ownerSlots: map[u256.U256]bool{},
+		effective: make(boolTab, nv),
+		ownerSlot: make([]bool, f.numSlots()),
 	}
 	// guardEntry: blocks with a unique predecessor ending in JUMPI are
 	// guarded by that branch's condition from their entry onward.
-	guardEntry := map[*tac.Block][]tac.VarID{}
-	conds := map[tac.VarID]bool{}
+	guardEntry := make([][]tac.VarID, nb)
+	condSeen := make(boolTab, nv)
 	for _, b := range f.prog.Blocks {
 		term := b.Terminator()
 		if term == nil || term.Op != tac.Jumpi {
 			continue
 		}
 		cond := term.Args[1]
-		conds[cond] = true
+		if cond >= 0 && !condSeen.get(cond) {
+			condSeen.set(cond)
+			g.conds = append(g.conds, cond)
+		}
 		for _, succ := range b.Succs {
 			if len(succ.Preds) == 1 {
-				guardEntry[succ] = append(guardEntry[succ], cond)
+				guardEntry[succ.ID] = append(guardEntry[succ.ID], cond)
 			}
 		}
 	}
-	// guardsOf(x) = union of guardEntry over x's dominators.
+	sort.Slice(g.conds, func(i, j int) bool { return g.conds[i] < g.conds[j] })
+
+	// guardsOf(x) = union of guardEntry over x's dominators, flat-packed via
+	// a counting pass (walk order preserved: x's own entry guards first).
+	g.guardsOf = make([][]tac.VarID, nb)
+	total := 0
+	counts := make([]int32, nb)
 	for _, b := range f.prog.Blocks {
-		var acc []tac.VarID
+		c := 0
+		f.dom.Walk(b, func(d *tac.Block) bool { c += len(guardEntry[d.ID]); return true })
+		counts[b.ID] = int32(c)
+		total += c
+	}
+	flat := make([]tac.VarID, 0, total)
+	for _, b := range f.prog.Blocks {
+		c := int(counts[b.ID])
+		if c == 0 {
+			continue
+		}
+		start := len(flat)
 		f.dom.Walk(b, func(d *tac.Block) bool {
-			acc = append(acc, guardEntry[d]...)
+			flat = append(flat, guardEntry[d.ID]...)
 			return true
 		})
-		if len(acc) > 0 {
-			g.guardsOf[b] = acc
-		}
+		g.guardsOf[b.ID] = flat[start : start+c : start+c]
 	}
+
 	// Effectiveness and storage sources per condition.
-	for cond := range conds {
-		g.effective[cond] = cfg.ModelGuards && f.senderDerived.get(cond)
-		g.sources[cond] = storageSources(f, cond)
+	sc := guardScratchPool.Get().(*guardScratch)
+	sc.reset(nv)
+	g.sources = make([][]guardSource, len(g.conds))
+	for ci, cond := range g.conds {
+		if cfg.ModelGuards && f.senderDerived.get(cond) {
+			g.effective.set(cond)
+			g.numEffective++
+		}
+		g.sources[ci] = storageSources(f, cond, sc)
 	}
 	if cfg.InferOwnerSinks {
-		g.computeOwnerSlots(f, conds)
+		g.computeOwnerSlots(f, sc)
 	}
+	guardScratchPool.Put(sc)
 	return g
+}
+
+// indexedVars is the variable-id space an analysis must cover: NumVars, or
+// the def/use index size when a hand-built program outgrew it.
+func indexedVars(p *tac.Program) int {
+	n := p.NumVars
+	if iv := p.IndexedVars(); iv > n {
+		n = iv
+	}
+	return n
 }
 
 // storageSources walks the condition's definition cone (through value ops,
 // phis, and constant-offset memory cells) collecting storage reads.
-func storageSources(f *facts, root tac.VarID) []guardSource {
+func storageSources(f *facts, root tac.VarID, sc *guardScratch) []guardSource {
 	var out []guardSource
-	seen := map[tac.VarID]bool{}
+	sc.begin()
 	var walk func(v tac.VarID)
 	walk = func(v tac.VarID) {
-		if seen[v] {
+		if sc.seen(v) {
 			return
 		}
-		seen[v] = true
 		def := f.prog.DefSite(v)
 		if def == nil {
 			return
 		}
 		switch {
 		case def.Op == tac.Sload:
-			out = append(out, guardSource{class: f.addrClass[def]})
+			out = append(out, guardSource{class: f.addrClassAt(def)})
 		case def.Op == tac.Mload:
-			if off, ok := f.constOf.get(def.Args[0]); ok && off.IsUint64() {
-				for _, st := range f.memSources(def, off.Uint64()) {
+			if srcs, ok := f.memSrcAt(def); ok {
+				for _, st := range srcs {
 					walk(st.Args[1])
 				}
 			}
@@ -110,8 +212,8 @@ func storageSources(f *facts, root tac.VarID) []guardSource {
 // computeOwnerSlots finds constant storage slots z with a guard of the shape
 // sender == z (through ISZERO chains): per Section 4.5, "a variable that
 // determines a potentially-sanitizing guard is by itself a sink".
-func (g *guardInfo) computeOwnerSlots(f *facts, conds map[tac.VarID]bool) {
-	for cond := range conds {
+func (g *guardInfo) computeOwnerSlots(f *facts, sc *guardScratch) {
+	for _, cond := range g.conds {
 		base := peelIszero(f, cond)
 		def := f.prog.DefSite(base)
 		if def == nil || def.Op != tac.Eq {
@@ -122,9 +224,10 @@ func (g *guardInfo) computeOwnerSlots(f *facts, conds map[tac.VarID]bool) {
 				continue
 			}
 			// The other side must be loaded from a constant slot.
-			for _, src := range storageSources(f, pair[1]) {
-				if src.class.kind == addrConst {
-					g.ownerSlots[src.class.slot] = true
+			for _, src := range storageSources(f, pair[1], sc) {
+				if src.class.kind == addrConst && src.class.sid >= 0 && !g.ownerSlot[src.class.sid] {
+					g.ownerSlot[src.class.sid] = true
+					g.ownerSlotCount++
 				}
 			}
 		}

@@ -2,9 +2,9 @@ package core
 
 import (
 	"context"
+	"sync"
 
 	"ethainter/internal/tac"
-	"ethainter/internal/u256"
 )
 
 // Taint kinds, bit-ored: input taint is sanitized by effective guards,
@@ -26,6 +26,11 @@ const (
 // analysis is the mutable fixpoint state implementing the Figure 5 mutual
 // recursion between TaintedFlow, AttackerModelInfoflow and
 // ReachableByAttacker.
+//
+// All state is dense: variable-keyed relations index by VarID, storage-keyed
+// relations by the facts' interned slot id. The whole object — including the
+// witness tables and the depGraph it drags along — is pooled: newAnalysis
+// draws from a sync.Pool and release() returns it once the report is built.
 type analysis struct {
 	cfg Config
 	f   *facts
@@ -35,67 +40,160 @@ type analysis struct {
 	// pass boundary instead of running to convergence.
 	ctx context.Context
 
-	// stmts is every statement in program order — the iteration order of both
-	// fixpoint drivers, so first-derivation witnesses agree bit-for-bit.
+	// stmts is every statement in program order (shared with facts) — the
+	// iteration order of both fixpoint drivers, so first-derivation witnesses
+	// agree bit-for-bit.
 	stmts []*tac.Stmt
 	// deps, when non-nil, receives change notifications and drives the
-	// worklist fixpoint; the reference fixpoint leaves it nil.
-	deps *depGraph
+	// worklist fixpoint; the reference fixpoint leaves it nil. pooledDeps
+	// keeps the depGraph arenas across runs either way.
+	deps       *depGraph
+	pooledDeps *depGraph
 
-	varTaint map[tac.VarID]uint8
-	// slotTainted marks constant storage slots holding attacker-influenced
-	// values (↓T S(v)).
-	slotTainted map[u256.U256]bool
+	// varTaint[v] is the taint-kind mask of variable v; taintedVarCount
+	// counts variables with a nonzero mask (Stats.TaintedVars).
+	varTaint        []uint8
+	taintedVarCount int
+	// slotTainted marks (by slot id) constant storage slots holding
+	// attacker-influenced values (↓T S(v)).
+	slotTainted      []bool
+	slotTaintedCount int
 	// elemValueTainted marks mapping families into which an attacker-
 	// reachable store put a tainted value.
-	elemValueTainted map[u256.U256]bool
+	elemValueTainted []bool
+	elemValueCount   int
 	// elemWritable marks mapping families whose membership the attacker
 	// controls: an attacker-reachable store whose key is the sender or
 	// tainted. Guards looking permissions up in such a family are bypassable
 	// — the mechanism behind the paper's Section 2 composite escalation.
-	elemWritable map[u256.U256]bool
+	elemWritable []bool
 	// allTainted is rule StorageWrite-2 (or conservative mode): every slot
 	// and family is considered attacker-influenced.
 	allTainted bool
-	// bypassed marks guard conditions the attacker can satisfy.
-	bypassed map[tac.VarID]bool
+	// bypassed marks (by VarID) guard conditions the attacker can satisfy.
+	bypassed      []bool
+	bypassedCount int
 
-	// Witnesses: the first-derivation escalation chain per fact.
-	witVar   map[tac.VarID][]Step
-	witSlot  map[u256.U256][]Step
-	witElemW map[u256.U256][]Step
-	witElemV map[u256.U256][]Step
-	witByp   map[tac.VarID][]Step
+	// Witnesses: the first-derivation escalation chain per fact. witVar[v] is
+	// meaningful iff varTaint[v] != 0 (set exactly on the 0 → nonzero edge),
+	// witByp[c] iff bypassed[c]; the slot tables parallel their bool tables.
+	witVar   [][]Step
+	witSlot  [][]Step
+	witElemW [][]Step
+	witElemV [][]Step
+	witByp   [][]Step
 	witAll   []Step
 
 	passes int
 }
 
+var analysisPool = sync.Pool{New: func() any { return new(analysis) }}
+
+// grownU8 / grownBools / grownSteps recycle a pooled backing array: reslice
+// when capacity suffices (clearing the live region), reallocate otherwise.
+func grownU8(buf []uint8, n int) []uint8 {
+	if cap(buf) < n {
+		return make([]uint8, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+func grownBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+func grownSteps(buf [][]Step, n int) [][]Step {
+	if cap(buf) < n {
+		return make([][]Step, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+func grownI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
 func newAnalysis(cfg Config, f *facts, g *guardInfo) *analysis {
-	a := &analysis{
+	a := analysisPool.Get().(*analysis)
+	nv := indexedVars(f.prog)
+	ns := f.numSlots()
+	*a = analysis{
 		cfg: cfg, f: f, g: g,
 		ctx:              context.Background(),
-		varTaint:         map[tac.VarID]uint8{},
-		slotTainted:      map[u256.U256]bool{},
-		elemValueTainted: map[u256.U256]bool{},
-		elemWritable:     map[u256.U256]bool{},
-		bypassed:         map[tac.VarID]bool{},
-		witVar:           map[tac.VarID][]Step{},
-		witSlot:          map[u256.U256][]Step{},
-		witElemW:         map[u256.U256][]Step{},
-		witElemV:         map[u256.U256][]Step{},
-		witByp:           map[tac.VarID][]Step{},
+		stmts:            f.stmts,
+		pooledDeps:       a.pooledDeps,
+		varTaint:         grownU8(a.varTaint, nv),
+		slotTainted:      grownBools(a.slotTainted, ns),
+		elemValueTainted: grownBools(a.elemValueTainted, ns),
+		elemWritable:     grownBools(a.elemWritable, ns),
+		bypassed:         grownBools(a.bypassed, nv),
+		witVar:           grownSteps(a.witVar, nv),
+		witSlot:          grownSteps(a.witSlot, ns),
+		witElemW:         grownSteps(a.witElemW, ns),
+		witElemV:         grownSteps(a.witElemV, ns),
+		witByp:           grownSteps(a.witByp, nv),
 	}
-	f.prog.AllStmts(func(s *tac.Stmt) { a.stmts = append(a.stmts, s) })
 	return a
+}
+
+// release returns the analysis (and its depGraph arenas) to the pool. The
+// report never aliases pooled memory: every witness chain it keeps was copied
+// through appendSteps into fresh slices.
+func (a *analysis) release() {
+	d := a.pooledDeps
+	if d != nil {
+		d.releaseRefs()
+	}
+	a.f, a.g, a.stmts, a.deps = nil, nil, nil, nil
+	a.ctx = nil
+	a.witAll = nil
+	analysisPool.Put(a)
+}
+
+// taintOf is the bounds-checked taint-mask read (args can be NoVar).
+func (a *analysis) taintOf(v tac.VarID) uint8 {
+	if v < 0 || int(v) >= len(a.varTaint) {
+		return 0
+	}
+	return a.varTaint[v]
+}
+
+// witVarOf is the bounds-checked witness read; meaningful when taintOf != 0.
+func (a *analysis) witVarOf(v tac.VarID) []Step {
+	if v < 0 || int(v) >= len(a.witVar) {
+		return nil
+	}
+	return a.witVar[v]
+}
+
+// isBypassed is the bounds-checked bypass read.
+func (a *analysis) isBypassed(v tac.VarID) bool {
+	return v >= 0 && int(v) < len(a.bypassed) && a.bypassed[v]
 }
 
 // reachable implements ReachableByAttacker at block granularity: every
 // effective guard on the block must be bypassed. (Blocks are all behind the
 // public dispatcher; non-sender guards do not restrict the attacker.)
 func (a *analysis) reachable(b *tac.Block) bool {
-	for _, g := range a.g.guardsOf[b] {
-		if a.g.effective[g] && !a.bypassed[g] {
+	if b.ID < 0 || b.ID >= len(a.g.guardsOf) {
+		return true
+	}
+	for _, gv := range a.g.guardsOf[b.ID] {
+		if a.g.effective.get(gv) && !a.isBypassed(gv) {
 			return false
 		}
 	}
@@ -105,9 +203,12 @@ func (a *analysis) reachable(b *tac.Block) bool {
 // reachWitness collects the escalation steps that made the block reachable.
 func (a *analysis) reachWitness(b *tac.Block) []Step {
 	var out []Step
-	for _, g := range a.g.guardsOf[b] {
-		if a.g.effective[g] {
-			out = appendSteps(out, a.witByp[g])
+	if b.ID < 0 || b.ID >= len(a.g.guardsOf) {
+		return out
+	}
+	for _, gv := range a.g.guardsOf[b.ID] {
+		if a.g.effective.get(gv) {
+			out = appendSteps(out, a.witByp[gv])
 		}
 	}
 	return out
@@ -135,40 +236,51 @@ func appendSteps(dst []Step, src []Step) []Step {
 // --- worklist learns about exactly the facts that changed.
 
 func (a *analysis) taintVar(v tac.VarID, kind uint8, wit []Step) bool {
-	if a.varTaint[v]&kind == kind {
+	if v < 0 || int(v) >= len(a.varTaint) {
 		return false
 	}
-	if _, has := a.witVar[v]; !has {
-		a.witVar[v] = wit
+	cur := a.varTaint[v]
+	if cur&kind == kind {
+		return false
 	}
-	a.varTaint[v] |= kind
+	if cur == 0 {
+		a.witVar[v] = wit
+		a.taintedVarCount++
+	}
+	a.varTaint[v] = cur | kind
 	if a.deps != nil {
 		a.deps.varChanged(v)
 	}
 	return true
 }
 
-func (a *analysis) setSlotTainted(slot u256.U256, wit []Step) {
-	a.slotTainted[slot] = true
-	a.witSlot[slot] = wit
+func (a *analysis) setSlotTainted(sid int32, wit []Step) {
+	if !a.slotTainted[sid] {
+		a.slotTaintedCount++
+	}
+	a.slotTainted[sid] = true
+	a.witSlot[sid] = wit
 	if a.deps != nil {
-		a.deps.slotChanged(slot)
+		a.deps.slotChanged(sid)
 	}
 }
 
-func (a *analysis) setElemValueTainted(slot u256.U256, wit []Step) {
-	a.elemValueTainted[slot] = true
-	a.witElemV[slot] = wit
+func (a *analysis) setElemValueTainted(sid int32, wit []Step) {
+	if !a.elemValueTainted[sid] {
+		a.elemValueCount++
+	}
+	a.elemValueTainted[sid] = true
+	a.witElemV[sid] = wit
 	if a.deps != nil {
-		a.deps.elemValChanged(slot)
+		a.deps.elemValChanged(sid)
 	}
 }
 
-func (a *analysis) setElemWritable(slot u256.U256, wit []Step) {
+func (a *analysis) setElemWritable(sid int32, wit []Step) {
 	// Only the guard sweep reads elemWritable, and it runs in full every
 	// round, so no statements need re-marking.
-	a.elemWritable[slot] = true
-	a.witElemW[slot] = wit
+	a.elemWritable[sid] = true
+	a.witElemW[sid] = wit
 }
 
 func (a *analysis) setAllTainted(wit []Step) {
@@ -180,6 +292,12 @@ func (a *analysis) setAllTainted(wit []Step) {
 }
 
 func (a *analysis) setBypassed(cond tac.VarID, wit []Step) {
+	if cond < 0 || int(cond) >= len(a.bypassed) {
+		return
+	}
+	if !a.bypassed[cond] {
+		a.bypassedCount++
+	}
 	a.bypassed[cond] = true
 	a.witByp[cond] = wit
 	if a.deps != nil {
@@ -194,11 +312,23 @@ func (a *analysis) setBypassed(cond tac.VarID, wit []Step) {
 // witnesses and the round count — match the reference global re-pass
 // fixpoint bit-for-bit, because a statement with unchanged inputs cannot
 // derive anything new (every rule is a monotone function of its read set).
+//
+// Pending statements live in an order-preserving dirty queue (a min-heap of
+// statement indices plus a next-round list) instead of a dirty[] bool array
+// scanned in full every round, so a round costs O(dirty·log dirty) rather
+// than O(stmts). The queue replicates the array-scan semantics exactly: a
+// statement marked at index j while the round is at index cur joins the
+// current round iff j > cur (the scan had not passed it yet), otherwise the
+// next round; guard-sweep marks always join the next round.
 func (a *analysis) run() error {
 	a.deps = buildDeps(a)
 	d := a.deps
-	for i := range d.dirty {
-		d.dirty[i] = true
+	n := len(a.stmts)
+	// Round 1 evaluates everything, ascending: a sorted array is a min-heap.
+	d.heap = d.heap[:0]
+	for i := 0; i < n; i++ {
+		d.heap = append(d.heap, int32(i))
+		d.inQueue[i] = true
 	}
 	for {
 		if err := a.ctx.Err(); err != nil {
@@ -206,21 +336,25 @@ func (a *analysis) run() error {
 		}
 		a.passes++
 		changed := false
-		for i, s := range a.stmts {
-			if !d.dirty[i] {
-				continue
-			}
-			d.dirty[i] = false
-			if a.stepStmt(s) {
+		for len(d.heap) > 0 {
+			i := d.heapPop()
+			d.cur = i
+			d.inQueue[i] = false
+			if a.stepStmt(a.stmts[i]) {
 				changed = true
 			}
 		}
+		d.cur = curSentinel // marks from the guard sweep go to the next round
 		if a.stepGuards() {
 			changed = true
 		}
 		if !changed {
 			return nil
 		}
+		for _, i := range d.next {
+			d.heapPush(i)
+		}
+		d.next = d.next[:0]
 	}
 }
 
@@ -269,42 +403,42 @@ func (a *analysis) stepStmt(s *tac.Stmt) bool {
 			mark(a.taintVar(s.Def, taintSender, a.reachWitness(s.Block)))
 		}
 	case tac.Mload:
-		if off, ok := f.constOf.get(s.Args[0]); ok && off.IsUint64() {
-			for _, st := range f.memSources(s, off.Uint64()) {
-				if k := a.varTaint[st.Args[1]]; k != 0 {
-					mark(a.taintVar(s.Def, k, a.witVar[st.Args[1]]))
+		if srcs, ok := f.memSrcAt(s); ok {
+			for _, st := range srcs {
+				if k := a.taintOf(st.Args[1]); k != 0 {
+					mark(a.taintVar(s.Def, k, a.witVarOf(st.Args[1])))
 				}
 			}
 		} else {
 			// Unknown offset: reads any tainted memory word.
 			for _, st := range f.memUnknown {
-				if k := a.varTaint[st.Args[1]]; k != 0 {
-					mark(a.taintVar(s.Def, k, a.witVar[st.Args[1]]))
+				if k := a.taintOf(st.Args[1]); k != 0 {
+					mark(a.taintVar(s.Def, k, a.witVarOf(st.Args[1])))
 				}
 			}
 		}
 	case tac.Sha3:
 		// Taint of hashed memory words propagates to the hash (address
 		// taint for StorageWrite-2-style reasoning).
-		if words, ok := f.hashWordStores(s); ok {
+		if words, ok := f.hashWordsAt(s); ok {
 			for _, stores := range words {
 				for _, st := range stores {
-					if k := a.varTaint[st.Args[1]]; k != 0 {
-						mark(a.taintVar(s.Def, k, a.witVar[st.Args[1]]))
+					if k := a.taintOf(st.Args[1]); k != 0 {
+						mark(a.taintVar(s.Def, k, a.witVarOf(st.Args[1])))
 					}
 				}
 			}
 		}
 	case tac.Sload:
-		cls := f.addrClass[s]
+		cls := f.addrClassAt(s)
 		switch cls.kind {
 		case addrConst:
-			if a.slotTainted[cls.slot] {
-				mark(a.taintVar(s.Def, taintSt, a.witSlot[cls.slot]))
+			if a.slotTainted[cls.sid] {
+				mark(a.taintVar(s.Def, taintSt, a.witSlot[cls.sid]))
 			}
 		case addrElem:
-			if a.elemValueTainted[cls.slot] {
-				mark(a.taintVar(s.Def, taintSt, a.witElemV[cls.slot]))
+			if a.elemValueTainted[cls.sid] {
+				mark(a.taintVar(s.Def, taintSt, a.witElemV[cls.sid]))
 			}
 		case addrUnknown:
 			if a.cfg.ConservativeStorage && a.anySlotTainted() {
@@ -321,8 +455,8 @@ func (a *analysis) stepStmt(s *tac.Stmt) bool {
 		if !a.reachable(s.Block) {
 			return false
 		}
-		valTaint := a.varTaint[s.Args[1]]
-		keyTaint := a.varTaint[s.Args[0]]
+		valTaint := a.taintOf(s.Args[1])
+		keyTaint := a.taintOf(s.Args[0])
 		reachWit := a.reachWitness(s.Block)
 		step, hasStep := f.stepFor(s.Block)
 		withStep := func(wit []Step) []Step {
@@ -333,16 +467,16 @@ func (a *analysis) stepStmt(s *tac.Stmt) bool {
 			}
 			return out
 		}
-		cls := f.addrClass[s]
+		cls := f.addrClassAt(s)
 		switch cls.kind {
 		case addrConst:
-			if valTaint != 0 && !a.slotTainted[cls.slot] {
-				a.setSlotTainted(cls.slot, withStep(a.witVar[s.Args[1]]))
+			if valTaint != 0 && !a.slotTainted[cls.sid] {
+				a.setSlotTainted(cls.sid, withStep(a.witVarOf(s.Args[1])))
 				mark(true)
 			}
 		case addrElem:
-			if valTaint != 0 && !a.elemValueTainted[cls.slot] {
-				a.setElemValueTainted(cls.slot, withStep(a.witVar[s.Args[1]]))
+			if valTaint != 0 && !a.elemValueTainted[cls.sid] {
+				a.setElemValueTainted(cls.sid, withStep(a.witVarOf(s.Args[1])))
 				mark(true)
 			}
 			// Membership control: the attacker chooses which element is
@@ -354,13 +488,13 @@ func (a *analysis) stepStmt(s *tac.Stmt) bool {
 				if f.senderDerived.get(k) {
 					keyControlled = true
 				}
-				if a.varTaint[k] != 0 {
+				if a.taintOf(k) != 0 {
 					keyControlled = true
-					keyWit = a.witVar[k]
+					keyWit = a.witVarOf(k)
 				}
 			}
-			if keyControlled && !a.elemWritable[cls.slot] {
-				a.setElemWritable(cls.slot, withStep(keyWit))
+			if keyControlled && !a.elemWritable[cls.sid] {
+				a.setElemWritable(cls.sid, withStep(keyWit))
 				mark(true)
 			}
 		case addrUnknown:
@@ -368,15 +502,15 @@ func (a *analysis) stepStmt(s *tac.Stmt) bool {
 			// everything statically known. Conservative mode does so for
 			// any tainted value at an unknown address.
 			if valTaint != 0 && (keyTaint != 0 || a.cfg.ConservativeStorage) && !a.allTainted {
-				a.setAllTainted(withStep(a.witVar[s.Args[1]]))
+				a.setAllTainted(withStep(a.witVarOf(s.Args[1])))
 				mark(true)
 			}
 		}
 	default:
 		if s.Op.IsArith() && s.Def != tac.NoVar {
 			for _, arg := range s.Args {
-				if k := a.varTaint[arg]; k != 0 && a.varTaint[s.Def]&k != k {
-					mark(a.taintVar(s.Def, k, a.witVar[arg]))
+				if k := a.taintOf(arg); k != 0 && a.taintOf(s.Def)&k != k {
+					mark(a.taintVar(s.Def, k, a.witVarOf(arg)))
 				}
 			}
 		}
@@ -387,32 +521,34 @@ func (a *analysis) stepStmt(s *tac.Stmt) bool {
 // stepGuards applies the guard-bypass rules (Uguard-T generalized): a guard
 // falls when its condition value is tainted, or when its storage sources are
 // attacker-writable. The sweep is over guard conditions — a small set — so
-// both fixpoints run it in full every round.
+// both fixpoints run it in full every round. Each condition's decision reads
+// only pre-sweep fixpoint state, so the (sorted) iteration order cannot
+// change the outcome.
 func (a *analysis) stepGuards() bool {
 	changed := false
-	for cond, eff := range a.g.effective {
-		if !eff || a.bypassed[cond] {
+	for ci, cond := range a.g.conds {
+		if !a.g.effective.get(cond) || a.isBypassed(cond) {
 			continue
 		}
-		if a.varTaint[cond]&guardBypassTaint != 0 {
-			a.setBypassed(cond, a.witVar[cond])
+		if a.taintOf(cond)&guardBypassTaint != 0 {
+			a.setBypassed(cond, a.witVarOf(cond))
 			changed = true
 			continue
 		}
-		for _, src := range a.g.sources[cond] {
+		for _, src := range a.g.condSources(ci) {
 			bypass := false
 			var wit []Step
 			switch src.class.kind {
 			case addrConst:
-				if a.slotTainted[src.class.slot] {
-					bypass, wit = true, a.witSlot[src.class.slot]
+				if a.slotTainted[src.class.sid] {
+					bypass, wit = true, a.witSlot[src.class.sid]
 				}
 			case addrElem:
-				if a.elemWritable[src.class.slot] {
-					bypass, wit = true, a.witElemW[src.class.slot]
+				if a.elemWritable[src.class.sid] {
+					bypass, wit = true, a.witElemW[src.class.sid]
 				}
-				if a.elemValueTainted[src.class.slot] {
-					bypass, wit = true, a.witElemV[src.class.slot]
+				if a.elemValueTainted[src.class.sid] {
+					bypass, wit = true, a.witElemV[src.class.sid]
 				}
 			case addrUnknown:
 				// Conservative mode: an unresolved guard source may read any
@@ -435,5 +571,5 @@ func (a *analysis) stepGuards() bool {
 }
 
 func (a *analysis) anySlotTainted() bool {
-	return a.allTainted || len(a.slotTainted) > 0 || len(a.elemValueTainted) > 0
+	return a.allTainted || a.slotTaintedCount > 0 || a.elemValueCount > 0
 }

@@ -2,62 +2,85 @@ package core
 
 import (
 	"ethainter/internal/tac"
-	"ethainter/internal/u256"
 )
+
+// curSentinel is depGraph.cur outside statement processing (guard sweep,
+// round boundaries): no statement index exceeds it, so every mark defers to
+// the next round.
+const curSentinel = int32(1) << 30
 
 // depGraph inverts every statement's fixpoint read set: which statements must
 // be re-evaluated when a variable's taint, a storage slot, a mapping family,
-// or the reachability of a block changes. It is the index behind the worklist
-// fixpoint — a fact change dirties exactly its dependents instead of
+// or the reachability of their block changes. It is the index behind the
+// worklist fixpoint — a fact change dirties exactly its dependents instead of
 // triggering a whole-program re-pass.
+//
+// All relations are dense — VarID, interned slot id, or Block.ID indexed —
+// and the per-key dependent lists are flat-packed into one backing array by a
+// counting pass. Pending statements live in an order-preserving dirty queue:
+// a min-heap of statement indices for the current round plus an unordered
+// next-round list, replicating the retired dirty[]-scan semantics exactly
+// (see analysis.run). The whole object is pooled via analysis.pooledDeps.
 //
 // The guard-bypass sweep is not tracked here: it runs in full every round
 // (guard conditions are few), and a bypass feeds back into statements through
 // bypassChanged → block reachability.
 type depGraph struct {
-	// dirty[i] marks stmts[i] (program order, as held by analysis.stmts) for
-	// re-evaluation in the current or next round.
-	dirty []bool
+	// inQueue[i] marks stmts[i] pending (in heap or next); the dedup gate.
+	inQueue []bool
+	// heap is the min-heap of statement indices still to process this round.
+	heap []int32
+	// next collects indices marked at-or-before the current scan position;
+	// they run next round.
+	next []int32
+	// cur is the index being processed; marks ≤ cur defer to the next round.
+	cur int32
 
-	// varDeps lists the statements reading varTaint[v].
-	varDeps map[tac.VarID][]int32
-	// slotDeps lists the statements reading slotTainted[slot].
-	slotDeps map[u256.U256][]int32
-	// elemValDeps lists the statements reading elemValueTainted[family].
-	elemValDeps map[u256.U256][]int32
+	// varDeps lists the statements reading varTaint[v], by VarID.
+	varDeps [][]int32
+	// slotDeps lists the statements reading slotTainted, by slot id.
+	slotDeps [][]int32
+	// elemValDeps lists the statements reading elemValueTainted, by slot id.
+	elemValDeps [][]int32
 	// anyDeps lists the statements reading anySlotTainted (conservative-mode
 	// loads from unknown storage addresses).
 	anyDeps []int32
 	// allDeps lists the statements reading allTainted (every SLOAD).
 	allDeps []int32
-	// blockDeps lists the statements whose rules condition on reachable(b).
-	blockDeps map[*tac.Block][]int32
+	// blockDeps lists the statements whose rules condition on reachable(b),
+	// by Block.ID.
+	blockDeps [][]int32
 	// condBlocks lists the blocks whose reachability an effective guard
-	// condition gates.
-	condBlocks map[tac.VarID][]*tac.Block
+	// condition gates, by VarID.
+	condBlocks [][]*tac.Block
+
+	// Backing arenas: flat holds every dep list, condFlat every condBlocks
+	// list, counts the counting-pass scratch.
+	flat     []int32
+	condFlat []*tac.Block
+	counts   []int32
 }
 
-// buildDeps scans the program once, mirroring the read set of each stepStmt
-// case.
-func buildDeps(a *analysis) *depGraph {
+// scanDeps mirrors the read set of each stepStmt case, emitting one callback
+// per (key, statement) edge. buildDeps runs it twice: once counting, once
+// filling — the flat-packed lists need exact sizes up front.
+func scanDeps(a *analysis,
+	onVar func(tac.VarID, int32),
+	onSlot, onElemVal func(int32, int32),
+	onAny, onAll func(int32),
+	onBlock func(int, int32),
+) {
 	f := a.f
-	d := &depGraph{
-		dirty:       make([]bool, len(a.stmts)),
-		varDeps:     map[tac.VarID][]int32{},
-		slotDeps:    map[u256.U256][]int32{},
-		elemValDeps: map[u256.U256][]int32{},
-		blockDeps:   map[*tac.Block][]int32{},
-		condBlocks:  map[tac.VarID][]*tac.Block{},
-	}
-	onVar := func(v tac.VarID, i int32) { d.varDeps[v] = append(d.varDeps[v], i) }
 	for i, s := range a.stmts {
 		idx := int32(i)
 		switch s.Op {
 		case tac.Calldataload, tac.Callvalue, tac.Caller:
-			d.blockDeps[s.Block] = append(d.blockDeps[s.Block], idx)
+			if s.Block != nil {
+				onBlock(s.Block.ID, idx)
+			}
 		case tac.Mload:
-			if off, ok := f.constOf.get(s.Args[0]); ok && off.IsUint64() {
-				for _, st := range f.memSources(s, off.Uint64()) {
+			if srcs, ok := f.memSrcAt(s); ok {
+				for _, st := range srcs {
 					onVar(st.Args[1], idx)
 				}
 			} else {
@@ -66,7 +89,7 @@ func buildDeps(a *analysis) *depGraph {
 				}
 			}
 		case tac.Sha3:
-			if words, ok := f.hashWordStores(s); ok {
+			if words, ok := f.hashWordsAt(s); ok {
 				for _, stores := range words {
 					for _, st := range stores {
 						onVar(st.Args[1], idx)
@@ -74,25 +97,27 @@ func buildDeps(a *analysis) *depGraph {
 				}
 			}
 		case tac.Sload:
-			switch cls := f.addrClass[s]; cls.kind {
+			switch cls := f.addrClassAt(s); cls.kind {
 			case addrConst:
-				d.slotDeps[cls.slot] = append(d.slotDeps[cls.slot], idx)
+				onSlot(cls.sid, idx)
 			case addrElem:
-				d.elemValDeps[cls.slot] = append(d.elemValDeps[cls.slot], idx)
+				onElemVal(cls.sid, idx)
 			case addrUnknown:
 				if a.cfg.ConservativeStorage {
-					d.anyDeps = append(d.anyDeps, idx)
+					onAny(idx)
 				}
 			}
-			d.allDeps = append(d.allDeps, idx)
+			onAll(idx)
 		case tac.Sstore:
 			if !a.cfg.ModelStorageTaint {
 				break
 			}
-			d.blockDeps[s.Block] = append(d.blockDeps[s.Block], idx)
+			if s.Block != nil {
+				onBlock(s.Block.ID, idx)
+			}
 			onVar(s.Args[0], idx)
 			onVar(s.Args[1], idx)
-			if cls := f.addrClass[s]; cls.kind == addrElem {
+			if cls := f.addrClassAt(s); cls.kind == addrElem {
 				for _, k := range cls.keys {
 					onVar(k, idx)
 				}
@@ -105,9 +130,145 @@ func buildDeps(a *analysis) *depGraph {
 			}
 		}
 	}
-	for b, conds := range a.g.guardsOf {
+}
+
+// grownI32Slices recycles a pooled [][]int32 header array.
+func grownI32Slices(buf [][]int32, n int) [][]int32 {
+	if cap(buf) < n {
+		return make([][]int32, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// grownBlockSlices recycles a pooled [][]*tac.Block header array.
+func grownBlockSlices(buf [][]*tac.Block, n int) [][]*tac.Block {
+	if cap(buf) < n {
+		return make([][]*tac.Block, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// buildDeps scans the program twice — counting, then filling exact-sized
+// flat-packed lists — reusing the analysis' pooled depGraph arenas.
+func buildDeps(a *analysis) *depGraph {
+	d := a.pooledDeps
+	if d == nil {
+		d = &depGraph{}
+		a.pooledDeps = d
+	}
+	n := len(a.stmts)
+	nv := len(a.varTaint)
+	ns := a.f.numSlots()
+	nb := len(a.g.guardsOf)
+
+	d.cur = curSentinel
+	d.inQueue = grownBools(d.inQueue, n)
+	d.heap = d.heap[:0]
+	d.next = d.next[:0]
+
+	// Counting pass. One scratch buffer, partitioned per key space: vars,
+	// slots (x2), blocks, conds.
+	cnt := grownI32(d.counts, nv+ns+ns+nb+nv)
+	d.counts = cnt
+	slotOff, elemOff, blockOff, condOff := nv, nv+ns, nv+ns+ns, nv+ns+ns+nb
+	total := 0
+	anyCnt, allCnt := 0, 0
+	scanDeps(a,
+		func(v tac.VarID, _ int32) {
+			if v >= 0 && int(v) < nv {
+				cnt[v]++
+				total++
+			}
+		},
+		func(sid, _ int32) { cnt[slotOff+int(sid)]++; total++ },
+		func(sid, _ int32) { cnt[elemOff+int(sid)]++; total++ },
+		func(_ int32) { anyCnt++; total++ },
+		func(_ int32) { allCnt++; total++ },
+		func(bid int, _ int32) {
+			if bid >= 0 && bid < nb {
+				cnt[blockOff+bid]++
+				total++
+			}
+		},
+	)
+	condTotal := 0
+	for _, conds := range a.g.guardsOf {
 		for _, c := range conds {
-			if a.g.effective[c] {
+			if a.g.effective.get(c) {
+				cnt[condOff+int(c)]++
+				condTotal++
+			}
+		}
+	}
+
+	// Carve the flat arenas into per-key headers.
+	if cap(d.flat) < total {
+		d.flat = make([]int32, total)
+	}
+	flat := d.flat[:0]
+	d.varDeps = grownI32Slices(d.varDeps, nv)
+	d.slotDeps = grownI32Slices(d.slotDeps, ns)
+	d.elemValDeps = grownI32Slices(d.elemValDeps, ns)
+	d.blockDeps = grownI32Slices(d.blockDeps, nb)
+	off := 0
+	carve := func(c int) []int32 {
+		seg := flat[off : off : off+c]
+		off += c
+		return seg
+	}
+	for v := 0; v < nv; v++ {
+		d.varDeps[v] = carve(int(cnt[v]))
+	}
+	for s := 0; s < ns; s++ {
+		d.slotDeps[s] = carve(int(cnt[slotOff+s]))
+	}
+	for s := 0; s < ns; s++ {
+		d.elemValDeps[s] = carve(int(cnt[elemOff+s]))
+	}
+	for b := 0; b < nb; b++ {
+		d.blockDeps[b] = carve(int(cnt[blockOff+b]))
+	}
+	d.anyDeps = carve(anyCnt)
+	d.allDeps = carve(allCnt)
+
+	// Fill pass: append into the exact-capacity headers.
+	scanDeps(a,
+		func(v tac.VarID, i int32) {
+			if v >= 0 && int(v) < nv {
+				d.varDeps[v] = append(d.varDeps[v], i)
+			}
+		},
+		func(sid, i int32) { d.slotDeps[sid] = append(d.slotDeps[sid], i) },
+		func(sid, i int32) { d.elemValDeps[sid] = append(d.elemValDeps[sid], i) },
+		func(i int32) { d.anyDeps = append(d.anyDeps, i) },
+		func(i int32) { d.allDeps = append(d.allDeps, i) },
+		func(bid int, i int32) {
+			if bid >= 0 && bid < nb {
+				d.blockDeps[bid] = append(d.blockDeps[bid], i)
+			}
+		},
+	)
+
+	// condBlocks: invert guardsOf restricted to effective conditions.
+	if cap(d.condFlat) < condTotal {
+		d.condFlat = make([]*tac.Block, condTotal)
+	}
+	condFlat := d.condFlat[:0]
+	d.condBlocks = grownBlockSlices(d.condBlocks, nv)
+	coff := 0
+	for c := 0; c < nv; c++ {
+		n := int(cnt[condOff+c])
+		d.condBlocks[c] = condFlat[coff : coff : coff+n]
+		coff += n
+	}
+	for bid, conds := range a.g.guardsOf {
+		b := blockByID(a, bid)
+		for _, c := range conds {
+			if a.g.effective.get(c) {
 				d.condBlocks[c] = append(d.condBlocks[c], b)
 			}
 		}
@@ -115,21 +276,102 @@ func buildDeps(a *analysis) *depGraph {
 	return d
 }
 
-func (d *depGraph) markAll(ids []int32) {
-	for _, i := range ids {
-		d.dirty[i] = true
+// blockByID resolves a Block.ID back to its block for condBlocks. Block ids
+// are dense and equal to their position for decompiled programs; fall back to
+// a scan otherwise.
+func blockByID(a *analysis, id int) *tac.Block {
+	blocks := a.f.prog.Blocks
+	if id >= 0 && id < len(blocks) && blocks[id].ID == id {
+		return blocks[id]
+	}
+	for _, b := range blocks {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}
+
+// releaseRefs drops pointer references held by the pooled arenas so a parked
+// depGraph does not retain a whole program.
+func (d *depGraph) releaseRefs() {
+	clear(d.condFlat[:cap(d.condFlat)])
+}
+
+// mark queues statement i: current round when the scan has not passed it yet
+// (i > cur), next round otherwise. Already-pending statements stay put — the
+// exact dirty[i]=true semantics of the retired array scan.
+func (d *depGraph) mark(i int32) {
+	if d.inQueue[i] {
+		return
+	}
+	d.inQueue[i] = true
+	if i > d.cur {
+		d.heapPush(i)
+	} else {
+		d.next = append(d.next, i)
 	}
 }
 
-func (d *depGraph) varChanged(v tac.VarID) { d.markAll(d.varDeps[v]) }
+func (d *depGraph) heapPush(i int32) {
+	h := append(d.heap, i)
+	j := len(h) - 1
+	for j > 0 {
+		p := (j - 1) / 2
+		if h[p] <= h[j] {
+			break
+		}
+		h[p], h[j] = h[j], h[p]
+		j = p
+	}
+	d.heap = h
+}
 
-func (d *depGraph) slotChanged(slot u256.U256) {
-	d.markAll(d.slotDeps[slot])
+func (d *depGraph) heapPop() int32 {
+	h := d.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	j := 0
+	for {
+		l, r := 2*j+1, 2*j+2
+		m := j
+		if l < len(h) && h[l] < h[m] {
+			m = l
+		}
+		if r < len(h) && h[r] < h[m] {
+			m = r
+		}
+		if m == j {
+			break
+		}
+		h[j], h[m] = h[m], h[j]
+		j = m
+	}
+	d.heap = h
+	return top
+}
+
+func (d *depGraph) markAll(ids []int32) {
+	for _, i := range ids {
+		d.mark(i)
+	}
+}
+
+func (d *depGraph) varChanged(v tac.VarID) {
+	if int(v) < len(d.varDeps) {
+		d.markAll(d.varDeps[v])
+	}
+}
+
+func (d *depGraph) slotChanged(sid int32) {
+	d.markAll(d.slotDeps[sid])
 	d.markAll(d.anyDeps)
 }
 
-func (d *depGraph) elemValChanged(slot u256.U256) {
-	d.markAll(d.elemValDeps[slot])
+func (d *depGraph) elemValChanged(sid int32) {
+	d.markAll(d.elemValDeps[sid])
 	d.markAll(d.anyDeps)
 }
 
@@ -139,7 +381,12 @@ func (d *depGraph) allChanged() {
 }
 
 func (d *depGraph) bypassChanged(cond tac.VarID) {
+	if int(cond) >= len(d.condBlocks) {
+		return
+	}
 	for _, b := range d.condBlocks[cond] {
-		d.markAll(d.blockDeps[b])
+		if b != nil {
+			d.markAll(d.blockDeps[b.ID])
+		}
 	}
 }

@@ -2,24 +2,47 @@ package tac
 
 // Dominators holds the immediate-dominator tree of a Program's CFG and
 // answers dominance queries. Blocks unreachable from the entry have no idom
-// and dominate nothing.
+// and dominate nothing. Storage is dense by Block.ID — the decompiler assigns
+// consecutive ids, so slices replace the former map[*Block] tables on the
+// analysis hot path.
 type Dominators struct {
-	idom  map[*Block]*Block
-	depth map[*Block]int
+	idom  []*Block // by Block.ID; nil marks unreachable
+	depth []int32  // by Block.ID; dominator-tree depth, entry = 0
 }
 
 // ComputeDominators builds the dominator tree with the iterative
 // Cooper-Harper-Kennedy algorithm over a reverse-postorder numbering.
 func ComputeDominators(p *Program) *Dominators {
+	maxID := -1
+	for _, b := range p.Blocks {
+		if b.ID > maxID {
+			maxID = b.ID
+		}
+		for _, s := range b.Succs {
+			if s.ID > maxID {
+				maxID = s.ID
+			}
+		}
+		for _, pr := range b.Preds {
+			if pr.ID > maxID {
+				maxID = pr.ID
+			}
+		}
+	}
+	if p.Entry != nil && p.Entry.ID > maxID {
+		maxID = p.Entry.ID
+	}
+	n := maxID + 1
+
 	// Reverse postorder over reachable blocks.
-	var order []*Block
-	index := map[*Block]int{}
-	seen := map[*Block]bool{}
+	order := make([]*Block, 0, len(p.Blocks))
+	index := make([]int32, n)
+	seen := make([]bool, n)
 	var dfs func(b *Block)
 	dfs = func(b *Block) {
-		seen[b] = true
+		seen[b.ID] = true
 		for _, s := range b.Succs {
-			if !seen[s] {
+			if !seen[s.ID] {
 				dfs(s)
 			}
 		}
@@ -33,20 +56,20 @@ func ComputeDominators(p *Program) *Dominators {
 		order[i], order[j] = order[j], order[i]
 	}
 	for i, b := range order {
-		index[b] = i
+		index[b.ID] = int32(i)
 	}
 
-	idom := map[*Block]*Block{}
+	idom := make([]*Block, n)
 	if p.Entry != nil {
-		idom[p.Entry] = p.Entry
+		idom[p.Entry.ID] = p.Entry
 	}
 	intersect := func(a, b *Block) *Block {
 		for a != b {
-			for index[a] > index[b] {
-				a = idom[a]
+			for index[a.ID] > index[b.ID] {
+				a = idom[a.ID]
 			}
-			for index[b] > index[a] {
-				b = idom[b]
+			for index[b.ID] > index[a.ID] {
+				b = idom[b.ID]
 			}
 		}
 		return a
@@ -60,7 +83,7 @@ func ComputeDominators(p *Program) *Dominators {
 			}
 			var newIdom *Block
 			for _, pred := range b.Preds {
-				if idom[pred] == nil {
+				if pred.ID >= n || idom[pred.ID] == nil {
 					continue // unreachable or not yet processed
 				}
 				if newIdom == nil {
@@ -69,45 +92,47 @@ func ComputeDominators(p *Program) *Dominators {
 					newIdom = intersect(pred, newIdom)
 				}
 			}
-			if newIdom != nil && idom[b] != newIdom {
-				idom[b] = newIdom
+			if newIdom != nil && idom[b.ID] != newIdom {
+				idom[b.ID] = newIdom
 				changed = true
 			}
 		}
 	}
 
-	d := &Dominators{idom: idom, depth: map[*Block]int{}}
-	var depthOf func(b *Block) int
-	depthOf = func(b *Block) int {
+	d := &Dominators{idom: idom, depth: make([]int32, n)}
+	// order is reverse postorder, so every reachable block's idom precedes it;
+	// one forward pass fills depths without recursion.
+	for _, b := range order {
 		if b == p.Entry {
-			return 0
+			d.depth[b.ID] = 0
+			continue
 		}
-		if dep, ok := d.depth[b]; ok {
-			return dep
+		if ib := idom[b.ID]; ib != nil {
+			d.depth[b.ID] = d.depth[ib.ID] + 1
 		}
-		d.depth[b] = depthOf(idom[b]) + 1
-		return d.depth[b]
-	}
-	for b := range idom {
-		depthOf(b)
 	}
 	return d
 }
 
 // Idom returns the immediate dominator of b (entry's idom is itself), or nil
 // for unreachable blocks.
-func (d *Dominators) Idom(b *Block) *Block { return d.idom[b] }
+func (d *Dominators) Idom(b *Block) *Block {
+	if b == nil || b.ID < 0 || b.ID >= len(d.idom) {
+		return nil
+	}
+	return d.idom[b.ID]
+}
 
 // Dominates reports whether a dominates b (reflexively).
 func (d *Dominators) Dominates(a, b *Block) bool {
-	if d.idom[b] == nil || d.idom[a] == nil {
+	if d.Idom(b) == nil || d.Idom(a) == nil {
 		return false
 	}
 	for {
 		if a == b {
 			return true
 		}
-		next := d.idom[b]
+		next := d.idom[b.ID]
 		if next == b {
 			return false // reached entry
 		}
@@ -117,14 +142,14 @@ func (d *Dominators) Dominates(a, b *Block) bool {
 
 // Walk visits b and each of its dominators up to the entry.
 func (d *Dominators) Walk(b *Block, visit func(*Block) bool) {
-	if d.idom[b] == nil {
+	if d.Idom(b) == nil {
 		return
 	}
 	for {
 		if !visit(b) {
 			return
 		}
-		next := d.idom[b]
+		next := d.idom[b.ID]
 		if next == b {
 			return
 		}

@@ -168,6 +168,11 @@ type Stmt struct {
 	PC    int       // originating bytecode offset
 	Block *Block
 	Idx   int // position within Block.Stmts (phis excluded)
+
+	// GIdx is the dense program-wide statement index in AllStmts order (block
+	// order, phis first), assigned by BuildIndex/BuildIndexPrepared. Analysis
+	// relations index by it instead of hashing *Stmt pointers.
+	GIdx int32
 }
 
 func (s *Stmt) String() string {
@@ -238,7 +243,20 @@ type Program struct {
 	// beat maps by a wide margin on the analysis hot path.
 	defSite []*Stmt
 	uses    [][]*Stmt
+
+	// numStmts is the total statement count (phis included), set alongside
+	// GIdx by BuildIndex/BuildIndexPrepared. Stmt-indexed relations size by it.
+	numStmts int
 }
+
+// NumStmts returns the total statement count (phis included) as indexed by
+// Stmt.GIdx. Zero until BuildIndex/BuildIndexPrepared has run.
+func (p *Program) NumStmts() int { return p.numStmts }
+
+// IndexedVars returns the size of the variable-id space covered by the
+// def/use index — at least NumVars, larger when a hand-built program used ids
+// beyond it (BuildIndex self-sizes by scanning).
+func (p *Program) IndexedVars() int { return len(p.defSite) }
 
 // AllStmts iterates over every statement (phis first per block) in block
 // order.
@@ -265,8 +283,11 @@ func (p *Program) BuildIndex() {
 	// the visitor were a measurable fraction of translation time.
 	maxID := p.NumVars - 1
 	total := 0
+	gidx := int32(0)
 	for _, b := range p.Blocks {
 		for _, s := range b.Phis {
+			s.GIdx = gidx
+			gidx++
 			if int(s.Def) > maxID {
 				maxID = int(s.Def)
 			}
@@ -278,6 +299,8 @@ func (p *Program) BuildIndex() {
 			total += len(s.Args)
 		}
 		for _, s := range b.Stmts {
+			s.GIdx = gidx
+			gidx++
 			if int(s.Def) > maxID {
 				maxID = int(s.Def)
 			}
@@ -289,6 +312,7 @@ func (p *Program) BuildIndex() {
 			total += len(s.Args)
 		}
 	}
+	p.numStmts = int(gidx)
 	n := maxID + 1
 	p.defSite = make([]*Stmt, n)
 	p.uses = make([][]*Stmt, n)
@@ -356,8 +380,11 @@ func (p *Program) BuildIndexPrepared(defSite []*Stmt, useCounts []int32, totalUs
 		p.uses[v] = flat[off : off : off+c]
 		off += c
 	}
+	gidx := int32(0)
 	for _, b := range p.Blocks {
 		for _, s := range b.Phis {
+			s.GIdx = gidx
+			gidx++
 			for _, a := range s.Args {
 				if a >= 0 {
 					p.uses[a] = append(p.uses[a], s)
@@ -365,6 +392,8 @@ func (p *Program) BuildIndexPrepared(defSite []*Stmt, useCounts []int32, totalUs
 			}
 		}
 		for _, s := range b.Stmts {
+			s.GIdx = gidx
+			gidx++
 			for _, a := range s.Args {
 				if a >= 0 {
 					p.uses[a] = append(p.uses[a], s)
@@ -372,6 +401,7 @@ func (p *Program) BuildIndexPrepared(defSite []*Stmt, useCounts []int32, totalUs
 			}
 		}
 	}
+	p.numStmts = int(gidx)
 }
 
 // DefSite returns the statement defining v, or nil.

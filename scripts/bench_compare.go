@@ -146,6 +146,11 @@ func compare(baseline, fresh *bench.CoreBenchResult, tolerance float64) []string
 			checkWall("uncached sweep wall", fresh.Uncached.WallNS, baseline.Uncached.WallNS)
 			checkWall("cached sweep wall", fresh.Cached.WallNS, baseline.Cached.WallNS)
 			checkWall("uncached decompile stage", fresh.Uncached.Stages.Decompile, baseline.Uncached.Stages.Decompile)
+			// The analysis stages the dense-layout work targets: each summed
+			// stage wall is held to the same tolerance as the decompile stage.
+			checkWall("uncached facts stage", fresh.Uncached.Stages.Facts, baseline.Uncached.Stages.Facts)
+			checkWall("uncached guards stage", fresh.Uncached.Stages.Guards, baseline.Uncached.Stages.Guards)
+			checkWall("uncached fixpoint stage", fresh.Uncached.Stages.Fixpoint, baseline.Uncached.Stages.Fixpoint)
 			// Only the sequential sweep wall is machine-comparable; the
 			// multi-worker points measure scaling, which CI runner noise and
 			// core-count differences dominate.
@@ -216,6 +221,45 @@ func compare(baseline, fresh *bench.CoreBenchResult, tolerance float64) []string
 					want.Analyzed, want.Failed, want.Warnings, b.Analyzed, b.Failed, b.Warnings)
 			}
 		}
+	}
+
+	// The shared-facts contract, internal to the fresh result: no matter how
+	// many configs the corpus is swept under through one cache, the facts
+	// stratum is computed exactly once per unique decompilable bytecode — all
+	// of it during the first config's pass, with every later pass reusing the
+	// memo and running only guards + fixpoint.
+	if sw := fresh.ConfigSweep; sw != nil {
+		if sw.FactsComputed != uint64(sw.UniqueOK) {
+			bad("config sweep computed %d facts strata over %d configs, want exactly one per unique decompilable bytecode (%d)",
+				sw.FactsComputed, len(sw.Configs), sw.UniqueOK)
+		}
+		for i, p := range sw.Configs {
+			if p.Analyzed+p.Failed != fresh.N {
+				bad("config sweep [%s] covered %d contracts, corpus has %d", p.Config, p.Analyzed+p.Failed, fresh.N)
+			}
+			if i == 0 {
+				continue
+			}
+			if p.FactsComputed != 0 {
+				bad("config sweep [%s] recomputed %d facts strata, want zero — facts sharing across configs is broken",
+					p.Config, p.FactsComputed)
+			}
+			if p.Analyzed != sw.Configs[0].Analyzed || p.Failed != sw.Configs[0].Failed {
+				bad("config sweep [%s] counted %d/%d analyzed/failed, first config counted %d/%d — decompilability must be config-independent",
+					p.Config, p.Analyzed, p.Failed, sw.Configs[0].Analyzed, sw.Configs[0].Failed)
+			}
+		}
+		// The default-config point re-derives the uncached sweep's results
+		// through the shared-facts path; the counts must agree bit-for-bit.
+		if len(sw.Configs) > 0 && sw.Configs[0].Config == "default" {
+			d := sw.Configs[0]
+			if d.Analyzed != fresh.Uncached.Analyzed || d.Failed != fresh.Uncached.Failed || d.Warnings != fresh.Uncached.Warnings {
+				bad("config sweep default pass counted %d/%d/%d analyzed/failed/warnings, uncached sweep %d/%d/%d — shared-facts analysis diverges",
+					d.Analyzed, d.Failed, d.Warnings, fresh.Uncached.Analyzed, fresh.Uncached.Failed, fresh.Uncached.Warnings)
+			}
+		}
+	} else if baseline.ConfigSweep != nil {
+		bad("fresh result has no config_sweep section but the baseline does — the shared-facts experiment went missing")
 	}
 
 	// The warm-restart contract, internal to the fresh result: the second
