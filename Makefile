@@ -3,7 +3,7 @@ GO ?= go
 # loose enough for shared CI runners; counts are always compared exactly).
 BENCH_TOLERANCE ?= 0.5
 
-.PHONY: all build test vet bench bench-json bench-check sweep-check warm-check analysis-check experiments examples serve-smoke fuzz-smoke clean
+.PHONY: all build test vet bench bench-json bench-check sweep-check warm-check analysis-check experiments examples serve-smoke sync-smoke fuzz-smoke clean
 
 all: build vet test
 
@@ -77,6 +77,13 @@ experiments:
 # /statsz, then assert clean SIGTERM drain.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Short chain follow over a seeded chain, cold then warm against one
+# -cache-dir: asserts findings are indexed with zero duplicate analyses, and
+# that the warm restart reproduces the cold findings digest with zero new
+# analyses/decompilations. Exact counts and digests only — blocking in CI.
+sync-smoke:
+	sh scripts/sync_smoke.sh
 
 # Short mutation-fuzz run of the full analysis pipeline (decompile through
 # detect) under tight work budgets. The committed seed corpus already replays

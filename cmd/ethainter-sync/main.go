@@ -1,0 +1,266 @@
+// Command ethainter-sync runs the chain-follow analysis daemon: the
+// reproduction's analog of the paper's continuous whole-chain deployment,
+// where every newly created contract is analyzed as it appears and the
+// findings index is "updated in quasi-real time" (Section 7).
+//
+// The daemon seeds a simulated chain from the synthetic corpus, follows it
+// from a cursor — detecting contract creations in the receipts, analyzing
+// each new runtime bytecode exactly once through the shared scheduler/cache
+// path — and serves the live findings index over HTTP. With -cache-dir the
+// report cache persists across restarts: a restarted follower re-indexes the
+// whole chain from genesis without performing a single new analysis.
+//
+// Usage:
+//
+//	ethainter-sync [-addr :8546] [-corpus N] [-seed S]
+//	               [-cache-entries N] [-cache-shards N] [-cache-dir DIR]
+//	               [-workers N] [-poll 50ms] [-batch N] [-start-block N]
+//	               [-deploy-interval D] [-deploy-count N]
+//	               [-shutdown-grace 15s] [-oneshot]
+//	               [-parallelism P] [-decompile-max-contexts N]
+//	               [-decompile-max-steps N] [-decompile-max-stmts N]
+//
+// In -oneshot mode the command catches up on the seeded chain, prints a JSON
+// summary (blocks, creations, analyses launched/coalesced, cache work
+// counters, findings, index digest) to stdout, and exits — the mode the
+// sync-smoke CI check drives twice against one -cache-dir to assert that a
+// warm restart reproduces the cold index with zero re-analyses.
+//
+// Endpoints (daemon mode): GET /findings (filters: kind, address, from, to,
+// findings=1), GET /healthz, GET /statsz (cache, scheduler, and follow-loop
+// counters).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ethainter/internal/chain"
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/decompiler"
+	"ethainter/internal/follow"
+	"ethainter/internal/sched"
+	"ethainter/internal/server"
+	"ethainter/internal/u256"
+)
+
+// options carries the parsed follower configuration.
+type options struct {
+	addr         string
+	corpusN      int
+	seed         int64
+	cacheEntries int
+	cacheShards  int
+	cacheDir     string
+	workers      int
+	poll         time.Duration
+	batch        int
+	startBlock   uint64
+	deployEvery  time.Duration
+	deployCount  int
+	grace        time.Duration
+	oneshot      bool
+	parallelism  int
+	limits       decompiler.Limits
+}
+
+func parseFlags(args []string) (options, error) {
+	var opts options
+	fs := flag.NewFlagSet("ethainter-sync", flag.ContinueOnError)
+	fs.StringVar(&opts.addr, "addr", ":8546", "listen address for the findings/stats endpoints (daemon mode)")
+	fs.IntVar(&opts.corpusN, "corpus", 50, "synthetic contracts deployed onto the chain before following starts")
+	fs.Int64Var(&opts.seed, "seed", 1, "corpus generation seed (same seed = same chain = same findings digest)")
+	fs.IntVar(&opts.cacheEntries, "cache-entries", 0, "report cache capacity (0 = default)")
+	fs.IntVar(&opts.cacheShards, "cache-shards", 0, "report cache shard count, rounded down to a power of two (0 = default)")
+	fs.StringVar(&opts.cacheDir, "cache-dir", "", "persistent cache directory: a warm restart re-indexes the chain with zero new analyses (empty = memory-only)")
+	fs.IntVar(&opts.workers, "workers", 0, "analysis scheduler pool size (0 = one per core)")
+	fs.DurationVar(&opts.poll, "poll", follow.DefaultPoll, "chain poll interval (daemon mode)")
+	fs.IntVar(&opts.batch, "batch", 0, "max receipts ingested per poll step (0 = default)")
+	fs.Uint64Var(&opts.startBlock, "start-block", 0, "cursor start block (0 = genesis)")
+	fs.DurationVar(&opts.deployEvery, "deploy-interval", 0, "keep deploying corpus contracts at this interval while the daemon runs (0 = seed only)")
+	fs.IntVar(&opts.deployCount, "deploy-count", 0, "stop live deploys after this many (0 = unbounded)")
+	fs.DurationVar(&opts.grace, "shutdown-grace", 15*time.Second, "drain period for in-flight analyses and requests on SIGINT/SIGTERM")
+	fs.BoolVar(&opts.oneshot, "oneshot", false, "catch up on the seeded chain, print a JSON summary, exit")
+	fs.IntVar(&opts.parallelism, "parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core)")
+	fs.IntVar(&opts.limits.MaxContexts, "decompile-max-contexts", 0, "decompile budget: max (block, depth) contexts per contract (0 = default); exhaustion is a deterministic indexed failure, never retried hot")
+	fs.IntVar(&opts.limits.MaxWorklistSteps, "decompile-max-steps", 0, "decompile budget: max value-set worklist steps (0 = default)")
+	fs.IntVar(&opts.limits.MaxStatements, "decompile-max-stmts", 0, "decompile budget: max translated statements (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return opts, err
+	}
+	return opts, nil
+}
+
+// summary is the -oneshot stdout report: the follow-loop counters joined with
+// the cache's work counters and the canonical index digest. The sync-smoke
+// check compares two of these — cold and warm over one -cache-dir — for
+// identical digests with CacheAnalyses and CacheDecompiles zero on the warm
+// side.
+type summary struct {
+	follow.Stats
+	CacheAnalyses   uint64 `json:"cache_analyses"`
+	CacheDecompiles uint64 `json:"cache_decompiles"`
+	Digest          string `json:"digest"`
+}
+
+// seedChain deploys n corpus contracts onto a fresh chain. Generation is
+// seed-deterministic, so two runs with the same -corpus/-seed produce
+// byte-identical chains.
+func seedChain(n int, seed int64) (*chain.Chain, []*corpus.Contract) {
+	ch := chain.New()
+	contracts := corpus.Generate(corpus.DefaultProfile(n, seed))
+	for _, c := range contracts {
+		ch.DeployRuntime(c.Runtime, u256.Zero)
+	}
+	return ch, contracts
+}
+
+// run follows the chain until a signal arrives on shutdown (daemon mode) or
+// the catch-up completes (-oneshot), then drains. When ready is non-nil it
+// receives the bound address once the listener is up; oneshot output lands on
+// out.
+func run(opts options, logger *slog.Logger, out io.Writer, ready chan<- net.Addr, shutdown <-chan os.Signal) error {
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = opts.parallelism
+	cfg.DecompileLimits = opts.limits
+	cache := core.NewCacheSharded(opts.cacheEntries, opts.cacheShards)
+	if opts.cacheDir != "" {
+		tier, err := core.OpenDiskTier(opts.cacheDir)
+		if err != nil {
+			return err
+		}
+		// Flush the write-behind queue after the drain, so reports computed
+		// right up to shutdown are durable for the next start.
+		defer tier.Close()
+		cache.SetDiskTier(tier)
+		ds := tier.Stats()
+		logger.Info("disk cache tier open", "dir", opts.cacheDir,
+			"entries", ds.Entries, "scrubbed", ds.Scrubbed)
+	}
+	sc := sched.New(cache, opts.workers)
+	defer sc.Close()
+
+	ch, contracts := seedChain(opts.corpusN, opts.seed)
+	logger.Info("chain seeded", "contracts", opts.corpusN, "seed", opts.seed, "head", ch.Head())
+
+	f := follow.New(follow.Options{
+		Source:        ch,
+		Scheduler:     sc,
+		Config:        cfg,
+		BatchReceipts: opts.batch,
+		StartBlock:    opts.startBlock,
+	})
+
+	if opts.oneshot {
+		if err := f.CatchUp(context.Background()); err != nil {
+			return err
+		}
+		s := f.Stats()
+		cs := cache.Stats()
+		logger.Info("caught up", "blocks", s.Blocks, "creations", s.Creations,
+			"launched", s.Launched, "coalesced", s.Coalesced,
+			"findings", s.Findings, "failed", s.Failed)
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(summary{
+			Stats:           s,
+			CacheAnalyses:   cs.Analyses,
+			CacheDecompiles: cs.Decompiles,
+			Digest:          fmt.Sprintf("0x%x", f.Digest()),
+		})
+	}
+
+	// Daemon mode: follow loop + optional live deployer + HTTP surface.
+	srv := server.NewWithCache(cfg, cache)
+	srv.UseScheduler(sc)
+	srv.Follow = f
+	srv.Logger = logger
+
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("listening", "addr", ln.Addr().String(), "poll", opts.poll.String())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadTimeout: 10 * time.Second, IdleTimeout: 2 * time.Minute}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+
+	followCtx, stopFollow := context.WithCancel(context.Background())
+	defer stopFollow()
+	followDone := make(chan error, 1)
+	go func() { followDone <- f.Run(followCtx, opts.poll) }()
+
+	// The live deployer simulates chain growth: one goroutine applies
+	// transactions while the follower reads receipts concurrently.
+	deployDone := make(chan struct{})
+	if opts.deployEvery > 0 {
+		go func() {
+			defer close(deployDone)
+			t := time.NewTicker(opts.deployEvery)
+			defer t.Stop()
+			for i := 0; opts.deployCount <= 0 || i < opts.deployCount; i++ {
+				select {
+				case <-followCtx.Done():
+					return
+				case <-t.C:
+					ch.DeployRuntime(contracts[i%len(contracts)].Runtime, u256.Zero)
+				}
+			}
+		}()
+	} else {
+		close(deployDone)
+	}
+
+	select {
+	case err := <-httpErr:
+		stopFollow()
+		<-followDone
+		return err
+	case sig := <-shutdown:
+		logger.Info("shutting down", "signal", fmt.Sprint(sig), "grace", opts.grace.String())
+		// Stop the deployer and drain the follow loop first — cancelled
+		// analyses are dropped from the index, settled ones flushed to the
+		// disk tier on exit — then drain HTTP.
+		stopFollow()
+		<-deployDone
+		<-followDone
+		ctx, cancel := context.WithTimeout(context.Background(), opts.grace)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		s := f.Stats()
+		logger.Info("drained, exiting", "entries", s.Entries, "findings", s.Findings,
+			"launched", s.Launched, "coalesced", s.Coalesced, "cancelled", s.Cancelled)
+		return nil
+	}
+}
+
+func main() {
+	opts, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	shutdown := make(chan os.Signal, 1)
+	signal.Notify(shutdown, os.Interrupt, syscall.SIGTERM)
+	if err := run(opts, logger, os.Stdout, nil, shutdown); err != nil {
+		fmt.Fprintf(os.Stderr, "ethainter-sync: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	opts, err := parseFlags([]string{"-corpus", "7", "-seed", "42", "-oneshot", "-poll", "10ms", "-cache-dir", "/tmp/x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.corpusN != 7 || opts.seed != 42 || !opts.oneshot || opts.poll != 10*time.Millisecond || opts.cacheDir != "/tmp/x" {
+		t.Errorf("opts = %+v", opts)
+	}
+	if _, err := parseFlags([]string{"-poll", "soon"}); err == nil {
+		t.Error("bad duration parsed without error")
+	}
+}
+
+// oneshot runs one -oneshot follow and decodes its summary.
+func oneshot(t *testing.T, args ...string) summary {
+	t.Helper()
+	opts, err := parseFlags(append([]string{"-oneshot"}, args...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	if err := run(opts, logger, &buf, nil, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var s summary
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("decoding summary %s: %v", buf.Bytes(), err)
+	}
+	return s
+}
+
+// TestOneshotColdThenWarm is the acceptance criterion in miniature: a cold
+// follow and a restarted warm follow over the same -cache-dir produce
+// identical findings digests, and the warm run performs zero decompilations
+// and zero analyses.
+func TestOneshotColdThenWarm(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-corpus", "30", "-seed", "6", "-cache-dir", dir}
+
+	cold := oneshot(t, args...)
+	if cold.Creations == 0 || cold.Launched == 0 {
+		t.Fatalf("cold run saw no work: %+v", cold)
+	}
+	if cold.CacheAnalyses != cold.Launched {
+		t.Errorf("cold run: %d launches but %d analyses — duplicates analyzed twice", cold.Launched, cold.CacheAnalyses)
+	}
+	if cold.Entries != cold.Analyzed+cold.Failed {
+		t.Errorf("cold index not settled: %+v", cold)
+	}
+
+	warm := oneshot(t, args...)
+	if warm.CacheAnalyses != 0 || warm.CacheDecompiles != 0 {
+		t.Errorf("warm restart did work: analyses = %d, decompiles = %d", warm.CacheAnalyses, warm.CacheDecompiles)
+	}
+	if warm.Digest != cold.Digest {
+		t.Errorf("warm digest %s != cold digest %s", warm.Digest, cold.Digest)
+	}
+	if warm.Findings != cold.Findings || warm.Entries != cold.Entries {
+		t.Errorf("warm index diverges: %+v vs %+v", warm, cold)
+	}
+}
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port with a live
+// deployer, waits for the follower to catch up past the seed, reads /findings
+// and /statsz, then delivers SIGTERM and asserts a clean drain.
+func TestDaemonLifecycle(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-corpus", "10", "-seed", "3",
+		"-poll", "5ms", "-deploy-interval", "2ms", "-deploy-count", "5",
+		"-shutdown-grace", "5s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ready := make(chan net.Addr, 1)
+	shutdown := make(chan os.Signal, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(opts, logger, io.Discard, ready, shutdown) }()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr.String()
+	case err := <-errCh:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+
+	// Wait until the follower has indexed the seed plus the live deploys.
+	deadline := time.Now().Add(30 * time.Second)
+	var statsz struct {
+		Follow *struct {
+			Entries   uint64 `json:"entries"`
+			Analyzed  uint64 `json:"analyzed"`
+			Failed    uint64 `json:"failed"`
+			Creations uint64 `json:"creations_seen"`
+			InFlight  int64  `json:"in_flight"`
+		} `json:"follow"`
+	}
+	for {
+		resp, err := http.Get(base + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&statsz)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := statsz.Follow
+		if fs != nil && fs.Creations >= 15 && fs.Entries == fs.Analyzed+fs.Failed && fs.Entries >= 15 && fs.InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %+v", statsz.Follow)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/findings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var findings struct {
+		Count int `json:"count"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&findings)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings.Count < 15 {
+		t.Errorf("/findings count = %d, want >= 15", findings.Count)
+	}
+
+	shutdown <- syscall.SIGTERM
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+}

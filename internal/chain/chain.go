@@ -3,6 +3,8 @@ package chain
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"ethainter/internal/evm"
 	"ethainter/internal/u256"
@@ -12,7 +14,9 @@ import (
 // any corpus contract, small enough to kill runaway loops quickly.
 const DefaultGas = 2_000_000
 
-// Receipt records the outcome of one applied transaction.
+// Receipt records the outcome of one applied transaction. Receipts are
+// immutable once returned: the chain appends each to its receipt log, and
+// block followers read them concurrently with later transactions.
 type Receipt struct {
 	From      evm.Address
 	To        evm.Address // zero for creation
@@ -21,11 +25,26 @@ type Receipt struct {
 	GasUsed   uint64
 	Err       error
 	Trace     []TraceEntry
-	Destroyed []evm.Address // contracts that self-destructed in this tx
+	Destroyed []evm.Address // contracts whose self-destruction finalized in this tx
+	// Block and Time identify the block the transaction landed in (every
+	// transaction gets its own block on this chain).
+	Block uint64
+	Time  uint64
+	// Creations lists every contract-code install that survived to the end
+	// of the transaction: the outer creation, inner CREATE/CREATE2 frames,
+	// and direct DeployRuntime installs. Reverted creations and contracts
+	// destroyed within the same transaction are excluded.
+	Creations []Creation
 }
 
 // Succeeded reports whether the transaction completed without error.
 func (r *Receipt) Succeeded() bool { return r.Err == nil }
+
+// Creation is one finalized contract-code install observed by a transaction.
+type Creation struct {
+	Address evm.Address
+	Code    []byte
+}
 
 // TraceEntry is one executed instruction, as recorded by the tracer.
 type TraceEntry struct {
@@ -35,12 +54,14 @@ type TraceEntry struct {
 	Op       evm.Op
 }
 
-// tracer accumulates the instruction trace and the set of contracts on which
-// SELFDESTRUCT actually executed — the paper's Ethainter-Kill verifies
-// destruction "by analyzing the exact VM instruction trace".
+// tracer accumulates the instruction trace, the contracts on which
+// SELFDESTRUCT executed, and the contracts created — all recorded at
+// execution time, so entries from inner frames that later revert are still
+// present and must be filtered against final state in finish.
 type tracer struct {
 	entries   []TraceEntry
 	destroyed []evm.Address
+	created   []Creation
 	limit     int
 }
 
@@ -53,12 +74,24 @@ func (t *tracer) OnOp(depth int, contract evm.Address, pc int, op evm.Op) {
 	}
 }
 
+func (t *tracer) OnCreate(_ int, _, created evm.Address, _ []byte) {
+	t.created = append(t.created, Creation{Address: created})
+}
+
 // Chain is a single-node blockchain simulator: a world state plus a block
-// counter. Every transaction gets its own "block" for simplicity.
+// counter and an append-only receipt log. Every transaction gets its own
+// "block" for simplicity.
+//
+// Concurrency: one goroutine applies transactions; any number may
+// concurrently read the log through Head and ReceiptsFrom (the mutex guards
+// the log and block counter, and receipts are immutable once appended).
 type Chain struct {
 	State   *State
 	block   evm.BlockContext
 	nextKey uint64
+
+	mu  sync.RWMutex
+	log []*Receipt
 }
 
 // New returns a chain with an empty state at block 1.
@@ -117,8 +150,14 @@ func (c *Chain) Deploy(from evm.Address, initCode []byte, value u256.U256) *Rece
 
 // DeployRuntime installs runtime code directly at a fresh address without
 // running a constructor — convenient for corpus deployment where constructor
-// effects are applied via SetState.
+// effects are applied via SetState. The install is a real transaction: it
+// advances the block and records a receipt, so block followers observe it.
 func (c *Chain) DeployRuntime(runtime []byte, balance u256.U256) evm.Address {
+	return c.DeployRuntimeTx(runtime, balance).Created
+}
+
+// DeployRuntimeTx is DeployRuntime returning the full receipt.
+func (c *Chain) DeployRuntimeTx(runtime []byte, balance u256.U256) *Receipt {
 	c.nextKey++
 	var a evm.Address
 	k := c.nextKey
@@ -131,8 +170,9 @@ func (c *Chain) DeployRuntime(runtime []byte, balance u256.U256) evm.Address {
 	if !balance.IsZero() {
 		c.State.AddBalance(a, balance)
 	}
-	c.State.Finalize()
-	return a
+	r := &Receipt{Created: a}
+	c.finish(r, &tracer{}, nil)
+	return r
 }
 
 // Call applies a message-call transaction.
@@ -145,16 +185,107 @@ func (c *Chain) Call(from, to evm.Address, input []byte, value u256.U256) *Recei
 	return r
 }
 
+// finish seals one transaction: stamps the receipt with its block, settles
+// the tracer's execution-time records against final state, finalizes the
+// world state, and appends the receipt to the log under the new block number.
 func (c *Chain) finish(r *Receipt, tr *tracer, err error) {
+	r.Block = c.block.Number
+	r.Time = c.block.Timestamp
+	if err == nil {
+		r.Destroyed = c.finalizedDestructions(tr.destroyed)
+		r.Creations = c.finalizedCreations(r.Created, tr.created)
+	}
+	// On error the EVM already reverted state; Finalize drops any journal
+	// remnants either way and erases self-destructed accounts.
+	c.State.Finalize()
+	c.mu.Lock()
 	c.block.Number++
 	c.block.Timestamp += 15
-	if err != nil {
-		// The EVM already reverted state; drop any journal remnants.
-		c.State.Finalize()
-		return
+	c.log = append(c.log, r)
+	c.mu.Unlock()
+}
+
+// finalizedDestructions settles the tracer's SELFDESTRUCT records against
+// final state. The tracer records at execution time, but State.Suicide is
+// journal-reverted: an inner frame can execute SELFDESTRUCT and then be
+// unwound by a reverting caller while the outer transaction still succeeds.
+// Receipt.Destroyed feeds Ethainter-Kill's trace-based exploit confirmation,
+// so an unfiltered record is a false confirmation. Runs before Finalize and
+// dedupes (a contract can self-destruct more than once in one transaction —
+// its code is only erased at finalization).
+func (c *Chain) finalizedDestructions(candidates []evm.Address) []evm.Address {
+	if len(candidates) == 0 {
+		return nil
 	}
-	r.Destroyed = tr.destroyed
-	c.State.Finalize()
+	var out []evm.Address
+	seen := make(map[evm.Address]bool, len(candidates))
+	for _, a := range candidates {
+		if seen[a] || !c.State.HasSuicided(a) {
+			continue
+		}
+		seen[a] = true
+		out = append(out, a)
+	}
+	return out
+}
+
+// finalizedCreations settles creation records against final state: a
+// creation whose enclosing frame reverted was journal-deleted (or had its
+// code install undone) and is dropped, as is a contract created and
+// destroyed within the same transaction. The surviving runtime code is
+// captured here, before Finalize erases self-destructed accounts, so block
+// followers never need to read chain state.
+func (c *Chain) finalizedCreations(outer evm.Address, traced []Creation) []Creation {
+	var zero evm.Address
+	cands := traced
+	if outer != zero {
+		// Deploy's outer creation also fires the tracer's OnCreate;
+		// DeployRuntime runs no EVM and registers its install here.
+		cands = append(cands, Creation{Address: outer})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	var out []Creation
+	seen := make(map[evm.Address]bool, len(cands))
+	for _, cr := range cands {
+		if seen[cr.Address] {
+			continue
+		}
+		seen[cr.Address] = true
+		code := c.State.GetCode(cr.Address)
+		if len(code) == 0 || c.State.HasSuicided(cr.Address) {
+			continue
+		}
+		out = append(out, Creation{Address: cr.Address, Code: code})
+	}
+	return out
+}
+
+// Head returns the number of the last completed block — zero when no
+// transaction has been applied yet. Safe for concurrent use with appliers.
+func (c *Chain) Head() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.block.Number - 1
+}
+
+// ReceiptsFrom returns up to max receipts from blocks numbered >= from, in
+// block order (all of them when max <= 0). The returned receipts are shared
+// and must not be mutated. Safe for concurrent use with appliers — the
+// cursor interface block followers poll.
+func (c *Chain) ReceiptsFrom(from uint64, max int) []*Receipt {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	i := sort.Search(len(c.log), func(i int) bool { return c.log[i].Block >= from })
+	rest := c.log[i:]
+	if max > 0 && len(rest) > max {
+		rest = rest[:max]
+	}
+	if len(rest) == 0 {
+		return nil
+	}
+	return append([]*Receipt(nil), rest...)
 }
 
 // CallView runs a call and reverts all its state effects, returning only the
@@ -185,8 +316,16 @@ func (c *Chain) RequireCode(a evm.Address) ([]byte, error) {
 	return code, nil
 }
 
-// Fork returns an independent copy of the chain (state deep-copied), sharing
-// nothing with the original — the "private fork" Ethainter-Kill attacks.
+// Fork returns an independent copy of the chain (state deep-copied, receipt
+// log snapshotted), sharing nothing mutable with the original — the "private
+// fork" Ethainter-Kill attacks.
 func (c *Chain) Fork() *Chain {
-	return &Chain{State: c.State.Copy(), block: c.block, nextKey: c.nextKey}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return &Chain{
+		State:   c.State.Copy(),
+		block:   c.block,
+		nextKey: c.nextKey,
+		log:     append([]*Receipt(nil), c.log...),
+	}
 }

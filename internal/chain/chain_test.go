@@ -208,3 +208,243 @@ func TestForkPreservesExistingState(t *testing.T) {
 		t.Error("code slices aliased between fork and primary")
 	}
 }
+
+// callAsm assembles a CALL to target forwarding no input and all gas, leaving
+// the success flag on the stack.
+func callAsm(target evm.Address) string {
+	return `
+		PUSH1 0x00     ; outLen
+		PUSH1 0x00     ; outOff
+		PUSH1 0x00     ; inLen
+		PUSH1 0x00     ; inOff
+		PUSH1 0x00     ; value
+		PUSH20 ` + target.Word().String() + `
+		GAS
+		CALL
+	`
+}
+
+// TestRevertedInnerSelfdestructNotInReceipt is the regression test for the
+// false-exploit-confirmation bug: an inner frame executes SELFDESTRUCT, a
+// caller above it reverts (journal-undoing the suicide), and the outer
+// transaction still succeeds. The tracer recorded the SELFDESTRUCT at
+// execution time, so an unfiltered Receipt.Destroyed would report a
+// destruction that never finalized.
+func TestRevertedInnerSelfdestructNotInReceipt(t *testing.T) {
+	c := New()
+	caller := c.NewAccount(u256.FromUint64(1000))
+	// victim self-destructs to its caller.
+	victim := c.DeployRuntime(evm.MustAssemble(`
+		CALLER
+		SELFDESTRUCT
+	`), u256.Zero)
+	// mid calls victim (the SELFDESTRUCT executes and is traced), then
+	// reverts — undoing the suicide.
+	mid := c.DeployRuntime(evm.MustAssemble(callAsm(victim)+`
+		POP
+		PUSH1 0x00
+		PUSH1 0x00
+		REVERT
+	`), u256.Zero)
+	// outer calls mid, ignores the failure, and succeeds.
+	outer := c.DeployRuntime(evm.MustAssemble(callAsm(mid)+`
+		POP
+		STOP
+	`), u256.Zero)
+
+	r := c.Call(caller, outer, nil, u256.Zero)
+	if r.Err != nil {
+		t.Fatalf("outer tx should succeed: %v", r.Err)
+	}
+	sawSelfdestruct := false
+	for _, e := range r.Trace {
+		if e.Op == evm.SELFDESTRUCT {
+			sawSelfdestruct = true
+		}
+	}
+	if !sawSelfdestruct {
+		t.Fatal("test is vacuous: no SELFDESTRUCT executed in the trace")
+	}
+	if len(r.Destroyed) != 0 {
+		t.Fatalf("Destroyed = %v, want empty: the suicide was reverted", r.Destroyed)
+	}
+	if c.IsDestroyed(victim) {
+		t.Fatal("victim must survive the reverted inner frame")
+	}
+	// And the victim is still callable: a real destruction finalizes next tx.
+	r2 := c.Call(caller, victim, nil, u256.Zero)
+	if r2.Err != nil {
+		t.Fatalf("victim call: %v", r2.Err)
+	}
+	if len(r2.Destroyed) != 1 || r2.Destroyed[0] != victim {
+		t.Fatalf("finalized destruction missing: %v", r2.Destroyed)
+	}
+}
+
+// TestSelfdestructDeduped: a contract destroyed twice within one transaction
+// (its code is only erased at finalization) appears once in the receipt.
+func TestSelfdestructDeduped(t *testing.T) {
+	c := New()
+	caller := c.NewAccount(u256.FromUint64(1000))
+	victim := c.DeployRuntime(evm.MustAssemble(`
+		CALLER
+		SELFDESTRUCT
+	`), u256.Zero)
+	double := c.DeployRuntime(evm.MustAssemble(callAsm(victim)+`
+		POP
+	`+callAsm(victim)+`
+		POP
+		STOP
+	`), u256.Zero)
+	r := c.Call(caller, double, nil, u256.Zero)
+	if r.Err != nil {
+		t.Fatalf("call: %v", r.Err)
+	}
+	if len(r.Destroyed) != 1 || r.Destroyed[0] != victim {
+		t.Fatalf("Destroyed = %v, want exactly [%s]", r.Destroyed, victim)
+	}
+}
+
+func TestDeployRuntimeIsARealTransaction(t *testing.T) {
+	c := New()
+	if c.Head() != 0 {
+		t.Fatalf("fresh chain head = %d", c.Head())
+	}
+	code := []byte{byte(evm.STOP)}
+	r := c.DeployRuntimeTx(code, u256.FromUint64(5))
+	if r.Block != 1 || c.Head() != 1 {
+		t.Fatalf("install block = %d, head = %d, want 1/1", r.Block, c.Head())
+	}
+	if len(r.Creations) != 1 || r.Creations[0].Address != r.Created {
+		t.Fatalf("Creations = %v", r.Creations)
+	}
+	if string(r.Creations[0].Code) != string(code) {
+		t.Fatalf("creation code = %x", r.Creations[0].Code)
+	}
+	// The next real tx gets its own block.
+	caller := c.NewAccount(u256.FromUint64(100))
+	r2 := c.Call(caller, r.Created, nil, u256.Zero)
+	if r2.Block != 2 {
+		t.Fatalf("next tx block = %d, want 2", r2.Block)
+	}
+}
+
+func TestDeployRecordsCreation(t *testing.T) {
+	c := New()
+	deployer := c.NewAccount(u256.FromUint64(1000))
+	// Init code returning a 1-byte STOP runtime (memory is zero-filled).
+	r := c.Deploy(deployer, evm.MustAssemble(`
+		PUSH1 0x01
+		PUSH1 0x00
+		RETURN
+	`), u256.Zero)
+	if r.Err != nil {
+		t.Fatalf("deploy: %v", r.Err)
+	}
+	if len(r.Creations) != 1 || r.Creations[0].Address != r.Created {
+		t.Fatalf("Creations = %v, Created = %s", r.Creations, r.Created)
+	}
+	if len(r.Creations[0].Code) != 1 || r.Creations[0].Code[0] != byte(evm.STOP) {
+		t.Fatalf("creation code = %x", r.Creations[0].Code)
+	}
+}
+
+// TestInnerCreateRecorded: a CREATE executed inside a message call shows up
+// in the receipt's Creations; one inside a reverted frame does not.
+func TestInnerCreateRecorded(t *testing.T) {
+	c := New()
+	caller := c.NewAccount(u256.FromUint64(1000))
+	// Factory stores the 5-byte init code 6001 6000 f3 (PUSH1 1, PUSH1 0,
+	// RETURN — yields a 1-byte STOP runtime) and CREATEs it.
+	factoryAsm := `
+		PUSH5 0x60016000f3
+		PUSH1 0x00
+		MSTORE
+		PUSH1 0x05     ; size
+		PUSH1 0x1b     ; offset 27 (right-aligned in the word)
+		PUSH1 0x00     ; value
+		CREATE
+		POP
+	`
+	factory := c.DeployRuntime(evm.MustAssemble(factoryAsm+"STOP"), u256.Zero)
+	r := c.Call(caller, factory, nil, u256.Zero)
+	if r.Err != nil {
+		t.Fatalf("factory call: %v", r.Err)
+	}
+	if len(r.Creations) != 1 {
+		t.Fatalf("Creations = %v, want one inner create", r.Creations)
+	}
+	child := r.Creations[0]
+	if len(child.Code) != 1 || child.Code[0] != byte(evm.STOP) {
+		t.Fatalf("child code = %x", child.Code)
+	}
+	if len(c.State.GetCode(child.Address)) != 1 {
+		t.Fatal("child code not installed on chain")
+	}
+
+	// Same factory behind a reverting proxy: the create is unwound and must
+	// not be reported.
+	reverter := c.DeployRuntime(evm.MustAssemble(factoryAsm+`
+		PUSH1 0x00
+		PUSH1 0x00
+		REVERT
+	`), u256.Zero)
+	outer := c.DeployRuntime(evm.MustAssemble(callAsm(reverter)+`
+		POP
+		STOP
+	`), u256.Zero)
+	r2 := c.Call(caller, outer, nil, u256.Zero)
+	if r2.Err != nil {
+		t.Fatalf("outer call: %v", r2.Err)
+	}
+	if len(r2.Creations) != 0 {
+		t.Fatalf("Creations = %v, want none: the create was reverted", r2.Creations)
+	}
+}
+
+func TestReceiptLogCursor(t *testing.T) {
+	c := New()
+	var want []evm.Address
+	for i := 0; i < 5; i++ {
+		want = append(want, c.DeployRuntime([]byte{byte(evm.STOP)}, u256.Zero))
+	}
+	if c.Head() != 5 {
+		t.Fatalf("head = %d, want 5", c.Head())
+	}
+	// Page through with max 2.
+	var got []evm.Address
+	cursor := uint64(0)
+	for {
+		rcs := c.ReceiptsFrom(cursor, 2)
+		if len(rcs) == 0 {
+			break
+		}
+		for _, r := range rcs {
+			got = append(got, r.Created)
+		}
+		cursor = rcs[len(rcs)-1].Block + 1
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paged %d receipts, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("receipt %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+	// A cursor past the head returns nothing.
+	if rcs := c.ReceiptsFrom(6, 0); len(rcs) != 0 {
+		t.Fatalf("past-head cursor returned %d receipts", len(rcs))
+	}
+	// Failed transactions are in the log too (their block advanced).
+	caller := c.NewAccount(u256.FromUint64(10))
+	bad := c.DeployRuntime(evm.MustAssemble("INVALID"), u256.Zero)
+	r := c.Call(caller, bad, nil, u256.Zero)
+	if r.Err == nil {
+		t.Fatal("expected failure")
+	}
+	rcs := c.ReceiptsFrom(r.Block, 0)
+	if len(rcs) != 1 || rcs[0].Err == nil {
+		t.Fatalf("failed tx missing from log: %v", rcs)
+	}
+}

@@ -71,6 +71,16 @@ type Tracer interface {
 	OnOp(depth int, contract Address, pc int, op Op)
 }
 
+// CreateTracer is an optional Tracer extension: implementations are told
+// about every successful contract creation — outer creation transactions and
+// inner CREATE/CREATE2 frames alike — with the runtime code that was
+// installed. A creation reported here can still be undone when an enclosing
+// frame later reverts; consumers needing finalized truth must re-check state
+// after the transaction completes.
+type CreateTracer interface {
+	OnCreate(depth int, creator, created Address, code []byte)
+}
+
 // Execution errors.
 var (
 	ErrOutOfGas          = errors.New("evm: out of gas")
@@ -224,6 +234,9 @@ func (e *EVM) create(caller Address, initCode []byte, value u256.U256, gas uint6
 		return Address{}, nil, 0, ErrCodeSizeExceeded
 	}
 	e.State.SetCode(addr, ret)
+	if t, ok := e.Tracer.(CreateTracer); ok {
+		t.OnCreate(depth, caller, addr, ret)
+	}
 	return addr, ret, f.gas, nil
 }
 

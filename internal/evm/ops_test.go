@@ -152,8 +152,9 @@ func TestEnvOpcodes(t *testing.T) {
 	if r.Err != nil {
 		t.Fatalf("call: %v", r.Err)
 	}
-	// 1 (eq) + block 1 + ts 1500000000 + chain 3 + gaslimit 10000000.
-	want := u256.FromUint64(1 + 1 + 1_500_000_000 + 3 + 10_000_000)
+	// 1 (eq) + block 2 + ts 1500000015 + chain 3 + gaslimit 10000000 (the
+	// runtime install is block 1; the call lands in block 2).
+	want := u256.FromUint64(1 + 2 + 1_500_000_015 + 3 + 10_000_000)
 	if got := u256.FromBytes(r.Output); got != want {
 		t.Errorf("env sum = %s, want %s", got, want)
 	}

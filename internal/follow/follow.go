@@ -1,0 +1,340 @@
+// Package follow is the chain-follow ingestion loop: the component that
+// turns the one-shot analyzer into the continuously operating service the
+// paper deploys (Section 7 — analyzing all of mainnet as it grows, results
+// "updated in quasi-real time").
+//
+// A Follower polls a block source from a cursor, detects contract creations
+// in the receipts (outer creations, inner CREATE/CREATE2 frames, and direct
+// runtime installs — the chain settles all three into Receipt.Creations),
+// pushes each new runtime bytecode through the shared scheduler/cache path,
+// and maintains a live, mutex-guarded findings index served over HTTP as
+// GET /findings.
+//
+// Deduplication happens at three layers, cheapest first: the follower
+// coalesces repeat bytecode it has already seen (one launch per unique
+// keccak, every later install attaches to the outcome), the scheduler
+// coalesces concurrent in-flight work across serving surfaces, and the cache
+// memoizes across time — including the -cache-dir disk tier, so a restarted
+// follower re-indexes a whole chain without performing a single new analysis.
+//
+// The PR 4 cancellation/budget contract holds under sustained load:
+// deterministic failures (budget exhaustion, undecompilable bytecode) are
+// recorded in the index and never retried hot, while cancellations (graceful
+// drain mid-follow) are dropped from both the index and the coalescing map —
+// they say nothing about the bytecode and must not poison later retries.
+package follow
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ethainter/internal/chain"
+	"ethainter/internal/core"
+	"ethainter/internal/crypto"
+	"ethainter/internal/evm"
+	"ethainter/internal/sched"
+)
+
+// Source is the block feed a Follower cursors over. *chain.Chain implements
+// it; tests may substitute a replayable fixture. Implementations must be
+// safe for concurrent use with whatever goroutine applies transactions.
+type Source interface {
+	// Head returns the number of the last completed block (0 = empty chain).
+	Head() uint64
+	// ReceiptsFrom returns up to max receipts from blocks >= from, in block
+	// order (all of them when max <= 0). Returned receipts are immutable.
+	ReceiptsFrom(from uint64, max int) []*chain.Receipt
+}
+
+// Options configures a Follower.
+type Options struct {
+	// Source is the block feed. Required.
+	Source Source
+	// Scheduler runs the analyses (sharing its cache's memoization and disk
+	// tier). Required.
+	Scheduler *sched.Scheduler
+	// Config is the analysis configuration.
+	Config core.Config
+	// BatchReceipts bounds receipts ingested per poll step (default 256).
+	BatchReceipts int
+	// StartBlock is the initial cursor (default 0 = genesis).
+	StartBlock uint64
+}
+
+// DefaultPoll is the Run poll interval when none is given.
+const DefaultPoll = 50 * time.Millisecond
+
+// outcome is the analysis result of one unique bytecode; every install of
+// that bytecode attaches to it. done is closed exactly once, after rep/err
+// are set.
+type outcome struct {
+	done chan struct{}
+	rep  *core.Report
+	err  error
+}
+
+// Follower ingests a chain and maintains the findings index. Create with
+// New; drive with Run (daemon) or CatchUp (one-shot). All exported methods
+// are safe for concurrent use.
+type Follower struct {
+	src   Source
+	sch   *sched.Scheduler
+	cfg   core.Config
+	batch int
+
+	// wg tracks in-flight analysis and resolution goroutines; Run and
+	// CatchUp wait on it so a drained follower leaves nothing running.
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	cursor   uint64
+	entries  map[evm.Address]*entry
+	outcomes map[[32]byte]*outcome
+
+	head      atomic.Uint64
+	blocks    atomic.Uint64
+	receipts  atomic.Uint64
+	creations atomic.Uint64
+	launched  atomic.Uint64
+	coalesced atomic.Uint64
+	analyzed  atomic.Uint64
+	failed    atomic.Uint64
+	budget    atomic.Uint64
+	cancelled atomic.Uint64
+	findings  atomic.Uint64
+	inFlight  atomic.Int64
+}
+
+// New returns a follower over the given source and scheduler. It does not
+// start polling; call Run or CatchUp.
+func New(o Options) *Follower {
+	if o.Source == nil {
+		panic("follow: Options.Source is required")
+	}
+	if o.Scheduler == nil {
+		panic("follow: Options.Scheduler is required")
+	}
+	batch := o.BatchReceipts
+	if batch <= 0 {
+		batch = 256
+	}
+	f := &Follower{
+		src:      o.Source,
+		sch:      o.Scheduler,
+		cfg:      o.Config,
+		batch:    batch,
+		entries:  map[evm.Address]*entry{},
+		outcomes: map[[32]byte]*outcome{},
+	}
+	f.cursor = o.StartBlock
+	return f
+}
+
+// Step ingests at most one batch of receipts, returning whether the cursor
+// advanced. Analyses launch asynchronously; Step does not wait for them.
+// Steps must not run concurrently with each other (Run and CatchUp serialize
+// them); concurrent readers of the index and stats are fine.
+func (f *Follower) Step(ctx context.Context) bool {
+	head := f.src.Head()
+	f.head.Store(head)
+	f.mu.Lock()
+	cur := f.cursor
+	f.mu.Unlock()
+	if cur > head {
+		return false
+	}
+	rcs := f.src.ReceiptsFrom(cur, f.batch)
+	// When the batch filled, later blocks may remain unread: advance only
+	// past the last block actually seen. An undersized batch read
+	// everything up to the head observed above.
+	next := head + 1
+	if len(rcs) == f.batch {
+		next = rcs[len(rcs)-1].Block + 1
+	}
+	for _, r := range rcs {
+		f.receipts.Add(1)
+		for _, cr := range r.Creations {
+			f.ingest(ctx, r.Block, cr)
+		}
+	}
+	f.blocks.Add(next - cur)
+	f.mu.Lock()
+	f.cursor = next
+	f.mu.Unlock()
+	return true
+}
+
+// ingest routes one contract creation into the index: first install of a
+// bytecode launches an analysis, repeats coalesce onto the existing outcome
+// (in-flight or resolved — deterministic failures are never retried hot).
+func (f *Follower) ingest(ctx context.Context, block uint64, cr chain.Creation) {
+	f.creations.Add(1)
+	if len(cr.Code) == 0 {
+		return
+	}
+	hash := crypto.Keccak256(cr.Code)
+	e := &entry{addr: cr.Address, block: block, hash: hash}
+
+	f.mu.Lock()
+	oc := f.outcomes[hash]
+	if oc == nil {
+		oc = &outcome{done: make(chan struct{})}
+		f.outcomes[hash] = oc
+		f.launched.Add(1)
+		f.inFlight.Add(1)
+		f.wg.Add(1)
+		go f.compute(ctx, hash, cr.Code, oc)
+	} else {
+		f.coalesced.Add(1)
+	}
+	f.entries[e.addr] = e
+	f.mu.Unlock()
+
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		<-oc.done
+		f.resolve(e, oc)
+	}()
+}
+
+// compute runs one unique analysis through the scheduler. A cancelled
+// analysis is forgotten (removed from the coalescing map) so a later ingest
+// retries under a live context — deterministic failures stay memoized.
+func (f *Follower) compute(ctx context.Context, hash [32]byte, code []byte, oc *outcome) {
+	defer f.wg.Done()
+	defer f.inFlight.Add(-1)
+	oc.rep, oc.err = f.sch.Do(ctx, code, f.cfg)
+	close(oc.done)
+	if oc.err != nil && core.IsCancellation(oc.err) {
+		f.mu.Lock()
+		if f.outcomes[hash] == oc {
+			delete(f.outcomes, hash)
+		}
+		f.mu.Unlock()
+	}
+}
+
+// resolve records one install's outcome in the index. Cancellations drop the
+// pending entry entirely: a drained follower's index holds only settled
+// truth, and a restarted follower re-discovers the contract from its cursor.
+func (f *Follower) resolve(e *entry, oc *outcome) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if oc.err != nil {
+		if core.IsCancellation(oc.err) {
+			if f.entries[e.addr] == e {
+				delete(f.entries, e.addr)
+			}
+			f.cancelled.Add(1)
+			return
+		}
+		e.status = statusFailed
+		e.errText = oc.err.Error()
+		e.budget = core.IsBudgetExhaustion(oc.err)
+		f.failed.Add(1)
+		if e.budget {
+			f.budget.Add(1)
+		}
+		return
+	}
+	e.status = statusAnalyzed
+	e.report = oc.rep
+	f.analyzed.Add(1)
+	f.findings.Add(uint64(len(oc.rep.Warnings)))
+}
+
+// CatchUp ingests until the cursor passes the source head, then waits for
+// every launched analysis to resolve. Returns ctx.Err() when interrupted.
+func (f *Follower) CatchUp(ctx context.Context) error {
+	for f.Step(ctx) {
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	f.wg.Wait()
+	return ctx.Err()
+}
+
+// Run follows the source until ctx is cancelled, polling every poll interval
+// (DefaultPoll when <= 0), then drains: in-flight analyses resolve — the
+// cancelled ones dropped from the index, never recorded as failures — before
+// Run returns with ctx.Err().
+func (f *Follower) Run(ctx context.Context, poll time.Duration) error {
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		for f.Step(ctx) {
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		select {
+		case <-ctx.Done():
+			f.wg.Wait()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Stats is a snapshot of the follow-loop counters, exposed on /statsz.
+type Stats struct {
+	// Cursor is the next block the follower will read; Head the source head
+	// at the last poll; Lag how many completed blocks remain unread.
+	Cursor uint64 `json:"cursor"`
+	Head   uint64 `json:"head"`
+	Lag    uint64 `json:"lag"`
+	// Blocks/Receipts/Creations count what the loop has seen.
+	Blocks    uint64 `json:"blocks_seen"`
+	Receipts  uint64 `json:"receipts_seen"`
+	Creations uint64 `json:"creations_seen"`
+	// Launched counts unique-bytecode analyses started; Coalesced installs
+	// that attached to an existing outcome instead.
+	Launched  uint64 `json:"analyses_launched"`
+	Coalesced uint64 `json:"analyses_coalesced"`
+	InFlight  int64  `json:"in_flight"`
+	// Entries is the index size; Analyzed/Failed/BudgetFailed its settled
+	// split; Cancelled counts drained analyses (never indexed).
+	Entries      uint64 `json:"entries"`
+	Analyzed     uint64 `json:"analyzed"`
+	Failed       uint64 `json:"failed"`
+	BudgetFailed uint64 `json:"budget_failed"`
+	Cancelled    uint64 `json:"cancelled"`
+	// Findings is the total warning count across analyzed entries.
+	Findings uint64 `json:"findings"`
+}
+
+// Stats returns a snapshot of the counters.
+func (f *Follower) Stats() Stats {
+	f.mu.Lock()
+	cursor := f.cursor
+	entries := uint64(len(f.entries))
+	f.mu.Unlock()
+	head := f.head.Load()
+	s := Stats{
+		Cursor:       cursor,
+		Head:         head,
+		Blocks:       f.blocks.Load(),
+		Receipts:     f.receipts.Load(),
+		Creations:    f.creations.Load(),
+		Launched:     f.launched.Load(),
+		Coalesced:    f.coalesced.Load(),
+		InFlight:     f.inFlight.Load(),
+		Entries:      entries,
+		Analyzed:     f.analyzed.Load(),
+		Failed:       f.failed.Load(),
+		BudgetFailed: f.budget.Load(),
+		Cancelled:    f.cancelled.Load(),
+		Findings:     f.findings.Load(),
+	}
+	if head+1 > cursor {
+		s.Lag = head + 1 - cursor
+	}
+	return s
+}

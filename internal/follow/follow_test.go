@@ -1,0 +1,414 @@
+package follow_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ethainter/internal/chain"
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/crypto"
+	"ethainter/internal/decompiler"
+	"ethainter/internal/follow"
+	"ethainter/internal/minisol"
+	"ethainter/internal/sched"
+	"ethainter/internal/u256"
+)
+
+// The chain simulator must satisfy the follower's source interface.
+var _ follow.Source = (*chain.Chain)(nil)
+
+func newFollower(t *testing.T, ch *chain.Chain, opts follow.Options) (*follow.Follower, *core.Cache) {
+	t.Helper()
+	cache := core.NewCacheSharded(0, 4)
+	sc := sched.New(cache, 4)
+	t.Cleanup(sc.Close)
+	opts.Source = ch
+	opts.Scheduler = sc
+	if opts.Config == (core.Config{}) {
+		opts.Config = core.DefaultConfig()
+	}
+	return follow.New(opts), cache
+}
+
+// TestCatchUpIndexesDeployments: deploy N contracts (with repeats), then catch
+// up from genesis. Every install lands in the index, exactly one analysis
+// launches per unique bytecode, and the cache performed exactly that much work.
+func TestCatchUpIndexesDeployments(t *testing.T) {
+	ch := chain.New()
+	killable := minisol.MustCompile(minisol.AccessibleSelfdestructSource).Runtime
+	safe := minisol.MustCompile(minisol.SafeTokenSource).Runtime
+	victim := minisol.MustCompile(minisol.VictimSource).Runtime
+	installs := [][]byte{killable, safe, victim, killable, safe, killable}
+	unique := map[string]bool{}
+	for _, code := range installs {
+		ch.DeployRuntime(code, u256.Zero)
+		unique[string(code)] = true
+	}
+
+	f, cache := newFollower(t, ch, follow.Options{})
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatalf("catch up: %v", err)
+	}
+
+	s := f.Stats()
+	if s.Entries != uint64(len(installs)) {
+		t.Errorf("entries = %d, want %d", s.Entries, len(installs))
+	}
+	if s.Creations != uint64(len(installs)) {
+		t.Errorf("creations = %d, want %d", s.Creations, len(installs))
+	}
+	if s.Launched != uint64(len(unique)) {
+		t.Errorf("launched = %d, want %d unique", s.Launched, len(unique))
+	}
+	if want := uint64(len(installs) - len(unique)); s.Coalesced != want {
+		t.Errorf("coalesced = %d, want %d", s.Coalesced, want)
+	}
+	if s.Analyzed != s.Entries || s.Failed != 0 {
+		t.Errorf("analyzed/failed = %d/%d, want %d/0", s.Analyzed, s.Failed, s.Entries)
+	}
+	if s.Findings == 0 {
+		t.Error("expected findings from the killable/victim contracts")
+	}
+	if s.Lag != 0 || s.InFlight != 0 {
+		t.Errorf("after catch-up: lag = %d, in-flight = %d", s.Lag, s.InFlight)
+	}
+	if cs := cache.Stats(); cs.Analyses != uint64(len(unique)) {
+		t.Errorf("cache analyses = %d, want %d", cs.Analyses, len(unique))
+	}
+
+	// A second catch-up over the same ground is a no-op: the cursor is past
+	// the head.
+	if f.Step(context.Background()) {
+		t.Error("step past head should not advance")
+	}
+}
+
+// TestCatchUpIndexesDeployedCreations: creations made by running init code
+// through Deploy (not just direct runtime installs) are picked up too.
+func TestCatchUpIndexesDeployedCreations(t *testing.T) {
+	ch := chain.New()
+	from := ch.NewAccount(u256.FromUint64(1000))
+	compiled := minisol.MustCompile(minisol.AccessibleSelfdestructSource)
+	r := ch.Deploy(from, compiled.Deploy, u256.Zero)
+	if r.Err != nil {
+		t.Fatalf("deploy: %v", r.Err)
+	}
+
+	f, _ := newFollower(t, ch, follow.Options{})
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatalf("catch up: %v", err)
+	}
+	got := f.Snapshot(follow.Filter{})
+	if len(got) != 1 {
+		t.Fatalf("indexed %d entries, want 1", len(got))
+	}
+	if got[0].Address != r.Created.String() {
+		t.Errorf("indexed %s, want %s", got[0].Address, r.Created)
+	}
+	if got[0].Status != "analyzed" || len(got[0].Warnings) == 0 {
+		t.Errorf("entry = %+v, want analyzed with warnings", got[0])
+	}
+}
+
+// TestLiveFollowConcurrentDeploys: the follower daemon polls while another
+// goroutine keeps deploying — every install is eventually indexed, and the
+// drain on cancel leaves nothing in flight. Exercises the chain's reader/
+// applier locking under -race.
+func TestLiveFollowConcurrentDeploys(t *testing.T) {
+	ch := chain.New()
+	f, _ := newFollower(t, ch, follow.Options{BatchReceipts: 3})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- f.Run(ctx, time.Millisecond) }()
+
+	const n = 20
+	contracts := corpus.Generate(corpus.DefaultProfile(n, 7))
+	go func() {
+		for _, c := range contracts {
+			ch.DeployRuntime(c.Runtime, u256.Zero)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	deadline := time.After(30 * time.Second)
+	for {
+		s := f.Stats()
+		if s.Creations == n && s.InFlight == 0 && s.Analyzed+s.Failed == s.Entries && s.Entries == n {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("follower never caught up: %+v", f.Stats())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-runDone; err != context.Canceled {
+		t.Errorf("run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestWarmRestartReanalyzesNothing: a follower restarted from genesis against
+// the same -cache-dir disk tier rebuilds an identical index without a single
+// new analysis or decompilation — the acceptance criterion for warm restarts.
+func TestWarmRestartReanalyzesNothing(t *testing.T) {
+	ch := chain.New()
+	contracts := corpus.Generate(corpus.DefaultProfile(25, 3))
+	for _, c := range contracts {
+		ch.DeployRuntime(c.Runtime, u256.Zero)
+	}
+	dir := t.TempDir()
+	cfg := core.DefaultConfig()
+
+	// Cold process: follow the whole chain into the tier and flush it.
+	tier, err := core.OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldCache := core.NewCacheSharded(0, 4)
+	coldCache.SetDiskTier(tier)
+	coldSched := sched.New(coldCache, 4)
+	cold := follow.New(follow.Options{Source: ch, Scheduler: coldSched, Config: cfg})
+	if err := cold.CatchUp(context.Background()); err != nil {
+		t.Fatalf("cold catch up: %v", err)
+	}
+	coldSched.Close()
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+	coldStats := cold.Stats()
+	if coldStats.Launched == 0 || coldCache.Stats().Analyses == 0 {
+		t.Fatalf("cold run did no work: %+v", coldStats)
+	}
+
+	// Warm process: fresh cache, fresh scheduler, fresh follower, same dir.
+	tier2, err := core.OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier2.Close()
+	warmCache := core.NewCacheSharded(0, 4)
+	warmCache.SetDiskTier(tier2)
+	warmSched := sched.New(warmCache, 4)
+	defer warmSched.Close()
+	warm := follow.New(follow.Options{Source: ch, Scheduler: warmSched, Config: cfg})
+	if err := warm.CatchUp(context.Background()); err != nil {
+		t.Fatalf("warm catch up: %v", err)
+	}
+
+	if cs := warmCache.Stats(); cs.Analyses != 0 || cs.Decompiles != 0 {
+		t.Errorf("warm restart did work: analyses = %d, decompiles = %d", cs.Analyses, cs.Decompiles)
+	}
+	warmStats := warm.Stats()
+	if warmStats.Entries != coldStats.Entries || warmStats.Findings != coldStats.Findings {
+		t.Errorf("warm index diverges: %+v vs cold %+v", warmStats, coldStats)
+	}
+	if warm.Digest() != cold.Digest() {
+		t.Error("warm index digest diverges from cold")
+	}
+}
+
+// TestSnapshotFilters: the /findings query dimensions — vulnerability class,
+// address, block range, findings-only — select the right entries.
+func TestSnapshotFilters(t *testing.T) {
+	ch := chain.New()
+	killable := ch.DeployRuntime(minisol.MustCompile(minisol.AccessibleSelfdestructSource).Runtime, u256.Zero) // block 1
+	safe := ch.DeployRuntime(minisol.MustCompile(minisol.SafeTokenSource).Runtime, u256.Zero)                  // block 2
+	owner := ch.DeployRuntime(minisol.MustCompile(minisol.TaintedOwnerSource).Runtime, u256.Zero)              // block 3
+
+	f, _ := newFollower(t, ch, follow.Options{})
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatalf("catch up: %v", err)
+	}
+
+	all := f.Snapshot(follow.Filter{})
+	if len(all) != 3 {
+		t.Fatalf("unfiltered snapshot has %d entries, want 3", len(all))
+	}
+	// Sorted by block: install order.
+	for i, want := range []string{killable.String(), safe.String(), owner.String()} {
+		if all[i].Address != want {
+			t.Errorf("entry %d = %s, want %s", i, all[i].Address, want)
+		}
+	}
+
+	byKind := f.Snapshot(follow.Filter{Kind: "tainted owner variable"})
+	if len(byKind) != 1 || byKind[0].Address != owner.String() {
+		t.Errorf("kind filter: %+v, want only %s", byKind, owner)
+	}
+	if !follow.KnownKind("tainted owner variable") || follow.KnownKind("no such kind") {
+		t.Error("KnownKind misclassifies")
+	}
+
+	byAddr := f.Snapshot(follow.Filter{Address: strings.ToUpper(safe.String())})
+	if len(byAddr) != 1 || byAddr[0].Address != safe.String() {
+		t.Errorf("address filter (case-insensitive): %+v, want only %s", byAddr, safe)
+	}
+
+	byBlock := f.Snapshot(follow.Filter{FromBlock: 2, ToBlock: 2})
+	if len(byBlock) != 1 || byBlock[0].Address != safe.String() {
+		t.Errorf("block filter: %+v, want only block 2", byBlock)
+	}
+
+	flagged := f.Snapshot(follow.Filter{WithFindings: true})
+	for _, e := range flagged {
+		if len(e.Warnings) == 0 {
+			t.Errorf("findings-only snapshot includes warning-free %s", e.Address)
+		}
+		if e.Address == safe.String() {
+			t.Error("findings-only snapshot includes the safe token")
+		}
+	}
+	if len(flagged) != 2 {
+		t.Errorf("findings-only snapshot has %d entries, want 2", len(flagged))
+	}
+}
+
+// TestBudgetFailureSettles: an analysis that exhausts its work budget is
+// recorded as a deterministic failure — indexed, counted, and never retried
+// hot (the second install of the same bytecode coalesces onto the outcome).
+func TestBudgetFailureSettles(t *testing.T) {
+	ch := chain.New()
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	ch.DeployRuntime(code, u256.Zero)
+	ch.DeployRuntime(code, u256.Zero)
+
+	cfg := core.DefaultConfig()
+	cfg.DecompileLimits = decompiler.Limits{MaxWorklistSteps: 1}
+	f, cache := newFollower(t, ch, follow.Options{Config: cfg})
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatalf("catch up: %v", err)
+	}
+
+	s := f.Stats()
+	if s.Launched != 1 || s.Coalesced != 1 {
+		t.Errorf("launched/coalesced = %d/%d, want 1/1", s.Launched, s.Coalesced)
+	}
+	if s.Failed != 2 || s.BudgetFailed != 2 || s.Analyzed != 0 {
+		t.Errorf("failed/budget/analyzed = %d/%d/%d, want 2/2/0", s.Failed, s.BudgetFailed, s.Analyzed)
+	}
+	if cs := cache.Stats(); cs.Analyses != 1 {
+		t.Errorf("cache analyses = %d, want 1 (deterministic failure memoized)", cs.Analyses)
+	}
+	for _, e := range f.Snapshot(follow.Filter{}) {
+		if e.Status != "failed" || !e.Budget || e.Error == "" {
+			t.Errorf("entry %+v, want settled budget failure", e)
+		}
+	}
+}
+
+// TestDrainDropsCancelledAnalyses: following under an already-cancelled
+// context ingests the creations but resolves every analysis as a
+// cancellation — dropped from the index, not recorded as failures, so a
+// restarted follower re-discovers them cleanly.
+func TestDrainDropsCancelledAnalyses(t *testing.T) {
+	ch := chain.New()
+	code := minisol.MustCompile(minisol.AccessibleSelfdestructSource).Runtime
+	ch.DeployRuntime(code, u256.Zero)
+	ch.DeployRuntime(code, u256.Zero)
+
+	f, cache := newFollower(t, ch, follow.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := f.CatchUp(ctx); err != context.Canceled {
+		t.Fatalf("catch up under cancelled ctx returned %v", err)
+	}
+
+	s := f.Stats()
+	if s.Cancelled != 2 || s.Entries != 0 || s.Failed != 0 {
+		t.Errorf("cancelled/entries/failed = %d/%d/%d, want 2/0/0", s.Cancelled, s.Entries, s.Failed)
+	}
+	if cs := cache.Stats(); cs.Analyses != 0 {
+		t.Errorf("cancelled run performed %d analyses", cs.Analyses)
+	}
+	if len(f.Snapshot(follow.Filter{})) != 0 {
+		t.Error("cancelled analyses leaked into the index")
+	}
+
+	// A fresh catch-up under a live context analyzes it for real.
+	f2 := follow.New(follow.Options{Source: ch, Scheduler: mustSched(t, cache), Config: core.DefaultConfig()})
+	if err := f2.CatchUp(context.Background()); err != nil {
+		t.Fatalf("retry catch up: %v", err)
+	}
+	if s := f2.Stats(); s.Analyzed != 2 {
+		t.Errorf("retry analyzed = %d, want 2", s.Analyzed)
+	}
+}
+
+func mustSched(t *testing.T, cache *core.Cache) *sched.Scheduler {
+	t.Helper()
+	sc := sched.New(cache, 2)
+	t.Cleanup(sc.Close)
+	return sc
+}
+
+// TestEmptyCreationsSkipped: a receipt stream with no creations (plain calls,
+// failed deploys) indexes nothing but still advances the cursor.
+func TestEmptyCreationsSkipped(t *testing.T) {
+	ch := chain.New()
+	from := ch.NewAccount(u256.FromUint64(1000))
+	target := ch.DeployRuntime(minisol.MustCompile(minisol.SafeTokenSource).Runtime, u256.Zero)
+	ch.Call(from, target, []byte{0xde, 0xad, 0xbe, 0xef}, u256.Zero)
+	ch.Call(from, target, nil, u256.Zero)
+
+	f, _ := newFollower(t, ch, follow.Options{})
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatalf("catch up: %v", err)
+	}
+	s := f.Stats()
+	if s.Entries != 1 || s.Creations != 1 {
+		t.Errorf("entries/creations = %d/%d, want 1/1", s.Entries, s.Creations)
+	}
+	if s.Receipts != 3 {
+		t.Errorf("receipts = %d, want 3", s.Receipts)
+	}
+	if s.Cursor != ch.Head()+1 {
+		t.Errorf("cursor = %d, want %d", s.Cursor, ch.Head()+1)
+	}
+}
+
+// TestDigestIgnoresIndexingOrder: two followers over the same chain with
+// different batch sizes (hence different ingestion interleavings) settle on
+// the same digest.
+func TestDigestIgnoresIndexingOrder(t *testing.T) {
+	ch := chain.New()
+	contracts := corpus.Generate(corpus.DefaultProfile(15, 9))
+	for _, c := range contracts {
+		ch.DeployRuntime(c.Runtime, u256.Zero)
+	}
+	a, _ := newFollower(t, ch, follow.Options{BatchReceipts: 1})
+	b, _ := newFollower(t, ch, follow.Options{BatchReceipts: 100})
+	if err := a.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Error("digest depends on batch size")
+	}
+	if a.Digest() == crypto.Keccak256(nil) && len(contracts) > 0 {
+		t.Error("digest of a populated index equals the empty digest")
+	}
+}
+
+// TestStartBlockSkipsHistory: a follower started mid-chain only indexes
+// creations from its start block onward.
+func TestStartBlockSkipsHistory(t *testing.T) {
+	ch := chain.New()
+	ch.DeployRuntime(minisol.MustCompile(minisol.AccessibleSelfdestructSource).Runtime, u256.Zero) // block 1
+	late := ch.DeployRuntime(minisol.MustCompile(minisol.SafeTokenSource).Runtime, u256.Zero)      // block 2
+
+	f, _ := newFollower(t, ch, follow.Options{StartBlock: 2})
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := f.Snapshot(follow.Filter{})
+	if len(got) != 1 || got[0].Address != late.String() {
+		t.Errorf("snapshot = %+v, want only the block-2 install", got)
+	}
+}

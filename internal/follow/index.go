@@ -1,0 +1,172 @@
+package follow
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ethainter/internal/core"
+	"ethainter/internal/crypto"
+	"ethainter/internal/evm"
+)
+
+// entry is one indexed contract. Guarded by Follower.mu; status is "" while
+// the analysis is pending and the entry is invisible to snapshots.
+type entry struct {
+	addr    evm.Address
+	block   uint64
+	hash    [32]byte
+	status  string
+	errText string
+	budget  bool
+	report  *core.Report // shared, immutable
+}
+
+// Entry statuses.
+const (
+	statusAnalyzed = "analyzed"
+	statusFailed   = "failed"
+)
+
+// Warning is the wire form of one indexed warning.
+type Warning struct {
+	Kind    string   `json:"kind"`
+	PC      int      `json:"pc"`
+	Message string   `json:"message"`
+	Slot    string   `json:"slot,omitempty"`
+	Witness []string `json:"witness,omitempty"`
+}
+
+// Entry is the wire form of one indexed contract.
+type Entry struct {
+	Address  string `json:"address"`
+	Block    uint64 `json:"block"`
+	CodeHash string `json:"codeHash"`
+	// Status is "analyzed" or "failed"; failed entries carry Error (and
+	// Budget when the failure was deterministic budget exhaustion — these
+	// are settled outcomes, never retried hot).
+	Status          string    `json:"status"`
+	Error           string    `json:"error,omitempty"`
+	Budget          bool      `json:"budget,omitempty"`
+	PublicFunctions int       `json:"publicFunctions,omitempty"`
+	Warnings        []Warning `json:"warnings,omitempty"`
+}
+
+// Filter selects index entries for Snapshot. The zero value matches every
+// settled entry.
+type Filter struct {
+	// Kind restricts to entries with at least one warning of the named
+	// vulnerability class (core.VulnKind.String() form).
+	Kind string
+	// Address restricts to one contract (0x-prefixed hex, case-insensitive).
+	Address string
+	// FromBlock/ToBlock bound the install block (ToBlock 0 = unbounded).
+	FromBlock uint64
+	ToBlock   uint64
+	// WithFindings restricts to entries with at least one warning.
+	WithFindings bool
+}
+
+// KnownKind reports whether kind names a vulnerability class.
+func KnownKind(kind string) bool {
+	for k := core.VulnKind(0); k < core.NumVulnKinds; k++ {
+		if k.String() == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot renders the settled index entries matching the filter, sorted by
+// (block, address) — the GET /findings payload.
+func (f *Follower) Snapshot(filter Filter) []Entry {
+	wantAddr := strings.TrimPrefix(strings.ToLower(filter.Address), "0x")
+	f.mu.Lock()
+	matched := make([]*entry, 0, len(f.entries))
+	for _, e := range f.entries {
+		if e.status == "" {
+			continue
+		}
+		if e.block < filter.FromBlock || (filter.ToBlock > 0 && e.block > filter.ToBlock) {
+			continue
+		}
+		if wantAddr != "" && hex.EncodeToString(e.addr[:]) != wantAddr {
+			continue
+		}
+		if filter.WithFindings && (e.report == nil || len(e.report.Warnings) == 0) {
+			continue
+		}
+		if filter.Kind != "" && !hasKind(e.report, filter.Kind) {
+			continue
+		}
+		matched = append(matched, e)
+	}
+	f.mu.Unlock()
+
+	sort.Slice(matched, func(i, j int) bool {
+		if matched[i].block != matched[j].block {
+			return matched[i].block < matched[j].block
+		}
+		return bytes.Compare(matched[i].addr[:], matched[j].addr[:]) < 0
+	})
+	out := make([]Entry, 0, len(matched))
+	for _, e := range matched {
+		out = append(out, renderEntry(e))
+	}
+	return out
+}
+
+func hasKind(rep *core.Report, kind string) bool {
+	if rep == nil {
+		return false
+	}
+	for _, w := range rep.Warnings {
+		if w.Kind.String() == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func renderEntry(e *entry) Entry {
+	out := Entry{
+		Address:  e.addr.String(),
+		Block:    e.block,
+		CodeHash: "0x" + hex.EncodeToString(e.hash[:]),
+		Status:   e.status,
+		Error:    e.errText,
+		Budget:   e.budget,
+	}
+	if e.report != nil {
+		out.PublicFunctions = e.report.PublicFunctions
+		for _, w := range e.report.Warnings {
+			wj := Warning{Kind: w.Kind.String(), PC: w.PC, Message: w.Message}
+			if w.Kind == core.TaintedOwner {
+				wj.Slot = w.Slot.String()
+			}
+			for _, step := range w.Witness {
+				wj.Witness = append(wj.Witness, fmt.Sprintf("0x%x", step.Selector))
+			}
+			out.Warnings = append(out.Warnings, wj)
+		}
+	}
+	return out
+}
+
+// Digest returns a keccak-256 over the canonical serialization of every
+// settled index entry — two follows that indexed the same chain to the same
+// conclusions produce identical digests, regardless of analysis order or
+// cache temperature. Pending entries are excluded; call after CatchUp (or a
+// drain) for a stable value.
+func (f *Follower) Digest() [32]byte {
+	var buf bytes.Buffer
+	for _, e := range f.Snapshot(Filter{}) {
+		fmt.Fprintf(&buf, "%s|%d|%s|%s|%s|%d\n", e.Address, e.Block, e.CodeHash, e.Status, e.Error, e.PublicFunctions)
+		for _, w := range e.Warnings {
+			fmt.Fprintf(&buf, "  %s|%d|%s|%s|%s\n", w.Kind, w.PC, w.Slot, w.Message, strings.Join(w.Witness, ","))
+		}
+	}
+	return crypto.Keccak256(buf.Bytes())
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ethainter/internal/follow"
+)
+
+// FindingsJSON is the GET /findings response body: the settled entries of the
+// attached follower's index matching the query, sorted by (block, address).
+type FindingsJSON struct {
+	Count   int            `json:"count"`
+	Entries []follow.Entry `json:"entries"`
+}
+
+// handleFindings serves the live findings index of the attached chain
+// follower. Query parameters: kind (vulnerability class name), address
+// (0x-prefixed contract address), from/to (install block range, inclusive),
+// findings=1 (entries with at least one warning only).
+func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errGetRequired)
+		return
+	}
+	if s.Follow == nil {
+		writeError(w, http.StatusNotFound, errors.New("no chain follower attached to this server"))
+		return
+	}
+	q := r.URL.Query()
+	var f follow.Filter
+	if kind := q.Get("kind"); kind != "" {
+		if !follow.KnownKind(kind) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown vulnerability kind %q", kind))
+			return
+		}
+		f.Kind = kind
+	}
+	f.Address = q.Get("address")
+	var err error
+	if f.FromBlock, err = blockParam(q.Get("from")); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if f.ToBlock, err = blockParam(q.Get("to")); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	f.WithFindings = q.Get("findings") == "1" || q.Get("findings") == "true"
+
+	entries := s.Follow.Snapshot(f)
+	if entries == nil {
+		entries = []follow.Entry{}
+	}
+	writeJSON(w, http.StatusOK, FindingsJSON{Count: len(entries), Entries: entries})
+}
+
+// blockParam parses one optional block-number query parameter.
+func blockParam(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid block number %q", s)
+	}
+	return n, nil
+}

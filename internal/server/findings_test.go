@@ -1,0 +1,170 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ethainter/internal/chain"
+	"ethainter/internal/core"
+	"ethainter/internal/follow"
+	"ethainter/internal/minisol"
+	"ethainter/internal/sched"
+	"ethainter/internal/server"
+	"ethainter/internal/u256"
+)
+
+// newFollowServer builds a server with an attached, caught-up follower over a
+// three-contract chain, sharing one scheduler between the HTTP surface and
+// the follow loop.
+func newFollowServer(t *testing.T) (*httptest.Server, *follow.Follower, []string) {
+	t.Helper()
+	ch := chain.New()
+	addrs := []string{
+		ch.DeployRuntime(minisol.MustCompile(minisol.AccessibleSelfdestructSource).Runtime, u256.Zero).String(), // block 1
+		ch.DeployRuntime(minisol.MustCompile(minisol.SafeTokenSource).Runtime, u256.Zero).String(),              // block 2
+		ch.DeployRuntime(minisol.MustCompile(minisol.TaintedOwnerSource).Runtime, u256.Zero).String(),           // block 3
+	}
+	srv := server.New(core.DefaultConfig())
+	sc := sched.New(srv.Cache(), 2)
+	t.Cleanup(sc.Close)
+	srv.UseScheduler(sc)
+	f := follow.New(follow.Options{Source: ch, Scheduler: sc, Config: core.DefaultConfig()})
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatalf("catch up: %v", err)
+	}
+	srv.Follow = f
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, f, addrs
+}
+
+func getFindings(t *testing.T, ts *httptest.Server, query string) (int, server.FindingsJSON) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/findings" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var out server.FindingsJSON
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("decoding %s: %v", body, err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+func TestFindingsEndpoint(t *testing.T) {
+	ts, _, addrs := newFollowServer(t)
+
+	status, all := getFindings(t, ts, "")
+	if status != http.StatusOK || all.Count != 3 || len(all.Entries) != 3 {
+		t.Fatalf("GET /findings = %d, count %d", status, all.Count)
+	}
+	for i, want := range addrs {
+		if all.Entries[i].Address != want {
+			t.Errorf("entry %d = %s, want %s (block order)", i, all.Entries[i].Address, want)
+		}
+	}
+
+	status, byKind := getFindings(t, ts, "?kind=tainted+owner+variable")
+	if status != http.StatusOK || byKind.Count != 1 || byKind.Entries[0].Address != addrs[2] {
+		t.Errorf("kind filter = %d, %+v", status, byKind)
+	}
+
+	status, byAddr := getFindings(t, ts, "?address="+addrs[1])
+	if status != http.StatusOK || byAddr.Count != 1 || byAddr.Entries[0].Address != addrs[1] {
+		t.Errorf("address filter = %d, %+v", status, byAddr)
+	}
+
+	status, byBlock := getFindings(t, ts, "?from=2&to=3")
+	if status != http.StatusOK || byBlock.Count != 2 {
+		t.Errorf("block filter = %d, count %d, want 2", status, byBlock.Count)
+	}
+
+	status, flagged := getFindings(t, ts, "?findings=1")
+	if status != http.StatusOK || flagged.Count != 2 {
+		t.Errorf("findings filter = %d, count %d, want 2", status, flagged.Count)
+	}
+	for _, e := range flagged.Entries {
+		if len(e.Warnings) == 0 {
+			t.Errorf("findings-only entry %s has no warnings", e.Address)
+		}
+	}
+}
+
+func TestFindingsEndpointErrors(t *testing.T) {
+	ts, _, _ := newFollowServer(t)
+
+	if status, _ := getFindings(t, ts, "?kind=nonsense"); status != http.StatusBadRequest {
+		t.Errorf("unknown kind = %d, want 400", status)
+	}
+	if status, _ := getFindings(t, ts, "?from=abc"); status != http.StatusBadRequest {
+		t.Errorf("bad block = %d, want 400", status)
+	}
+	resp, err := http.Post(ts.URL+"/findings", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /findings = %d, want 405", resp.StatusCode)
+	}
+
+	// A server without a follower 404s instead of panicking.
+	bare := httptest.NewServer(server.New(core.DefaultConfig()).Handler())
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/findings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /findings without follower = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestStatszFollowSection(t *testing.T) {
+	ts, f, _ := newFollowServer(t)
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out server.StatszJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Follow == nil {
+		t.Fatal("/statsz has no follow section despite an attached follower")
+	}
+	want := f.Stats()
+	if out.Follow.Entries != want.Entries || out.Follow.Launched != want.Launched {
+		t.Errorf("follow section %+v, want %+v", out.Follow, want)
+	}
+	if out.Follow.Lag != 0 || out.Follow.Cursor != want.Cursor {
+		t.Errorf("caught-up follower: lag %d, cursor %d", out.Follow.Lag, out.Follow.Cursor)
+	}
+
+	// Without a follower, the section is omitted entirely.
+	bare := httptest.NewServer(server.New(core.DefaultConfig()).Handler())
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := m["follow"]; present {
+		t.Error("/statsz carries a follow section without a follower")
+	}
+}

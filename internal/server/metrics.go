@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ethainter/internal/core"
+	"ethainter/internal/follow"
 	"ethainter/internal/sched"
 )
 
@@ -195,10 +196,14 @@ type StagesJSON struct {
 // StatszJSON is the /statsz response body. Sched carries the sweep
 // scheduler's counters: submitted/coalesced/unique-work request counts, the
 // cache fast-path hits, and the in-flight gauge of unique computations.
+// Follow, present when a chain follower is attached, carries the follow-loop
+// counters: cursor/head/lag, blocks and creations seen, analyses launched vs
+// coalesced, and the settled index split.
 type StatszJSON struct {
 	UptimeSeconds float64                 `json:"uptime_s"`
 	Cache         CacheJSON               `json:"cache"`
 	Sched         sched.Stats             `json:"sched"`
+	Follow        *follow.Stats           `json:"follow,omitempty"`
 	InFlight      int64                   `json:"inFlight"`
 	Rejected      uint64                  `json:"rejected"`
 	Stages        StagesJSON              `json:"stages"`
@@ -206,13 +211,17 @@ type StatszJSON struct {
 }
 
 // snapshot renders the counters for /statsz.
-func (m *metrics) snapshot(cache *core.Cache, schedStats sched.Stats) StatszJSON {
+func (m *metrics) snapshot(cache *core.Cache, schedStats sched.Stats, fol *follow.Follower) StatszJSON {
 	out := StatszJSON{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Sched:         schedStats,
 		InFlight:      m.inFlight.Load(),
 		Rejected:      m.rejected.Load(),
 		Endpoints:     map[string]EndpointJSON{},
+	}
+	if fol != nil {
+		fs := fol.Stats()
+		out.Follow = &fs
 	}
 	cs := cache.Stats()
 	out.Cache = CacheJSON{CacheStats: cs, HitRate: cs.HitRate(), PerShard: cache.ShardStats()}
@@ -257,5 +266,5 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errGetRequired)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache, s.SchedStats()))
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache, s.SchedStats(), s.Follow))
 }

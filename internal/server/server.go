@@ -31,6 +31,7 @@ import (
 
 	"ethainter/internal/chain"
 	"ethainter/internal/core"
+	"ethainter/internal/follow"
 	"ethainter/internal/kill"
 	"ethainter/internal/minisol"
 	"ethainter/internal/sched"
@@ -64,6 +65,10 @@ type Server struct {
 	// Logger, when non-nil, receives one structured access-log record per
 	// request (method, route, status, duration, bytes, encode errors).
 	Logger *slog.Logger
+	// Follow, when non-nil, is the chain follower whose live findings index
+	// backs GET /findings and whose loop counters appear on /statsz. Set it
+	// before serving.
+	Follow *follow.Follower
 
 	metrics *metrics
 
@@ -105,6 +110,15 @@ func (s *Server) scheduler() *sched.Scheduler {
 	return s.sched
 }
 
+// UseScheduler installs an externally-owned scheduler as the server-wide
+// sweep scheduler, so a process embedding both the HTTP surface and a chain
+// follower coalesces identical bytecode across the two. Call before the first
+// request; a later call (or one after the lazy default was created) is a
+// no-op. The caller keeps ownership and closes the scheduler itself.
+func (s *Server) UseScheduler(sc *sched.Scheduler) {
+	s.schedOnce.Do(func() { s.sched = sc })
+}
+
 // SchedStats returns a snapshot of the sweep scheduler's counters (creating
 // the scheduler if no request has yet) — the /statsz source and test hook.
 func (s *Server) SchedStats() sched.Stats { return s.scheduler().Stats() }
@@ -121,6 +135,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/compile", s.instrument("/compile", lim, s.handleCompile))
 	mux.Handle("/exploit", s.instrument("/exploit", lim, s.handleExploit))
 	mux.Handle("/batch", s.instrument("/batch", lim, s.handleBatch))
+	mux.Handle("/findings", s.instrument("/findings", nil, s.handleFindings))
 	mux.Handle("/", s.instrument("/", nil, s.handleIndex))
 	return mux
 }

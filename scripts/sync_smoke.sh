@@ -1,0 +1,52 @@
+#!/bin/sh
+# sync_smoke.sh — build ethainter-sync and run a short follow over a seeded
+# chain, twice against one -cache-dir: the cold run must index findings with
+# exactly one analysis per unique bytecode (zero duplicate analyses), and the
+# warm restart must reproduce the identical findings digest with zero new
+# analyses and zero decompilations. Run via `make sync-smoke`.
+set -eu
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+BIN="$TMP/ethainter-sync"
+CACHE="$TMP/cache"
+
+go build -o "$BIN" ./cmd/ethainter-sync
+
+# jsonfield FILE KEY -> numeric/string value (summary JSON is one key per line).
+jsonfield() {
+    sed -n "s/^  \"$2\": \"\{0,1\}\([^\",]*\)\"\{0,1\},\{0,1\}\$/\1/p" "$1"
+}
+
+echo "== cold follow"
+"$BIN" -oneshot -corpus 50 -seed 1 -cache-dir "$CACHE" > "$TMP/cold.json" 2> /dev/null
+cat "$TMP/cold.json"
+
+COLD_FINDINGS="$(jsonfield "$TMP/cold.json" findings)"
+COLD_LAUNCHED="$(jsonfield "$TMP/cold.json" analyses_launched)"
+COLD_ANALYSES="$(jsonfield "$TMP/cold.json" cache_analyses)"
+COLD_DIGEST="$(jsonfield "$TMP/cold.json" digest)"
+
+[ "$COLD_FINDINGS" -ge 1 ] || { echo "sync-smoke: cold follow found no findings" >&2; exit 1; }
+# Zero duplicate analyses: every launched analysis was for a unique bytecode,
+# so the cache computed exactly once per launch.
+[ "$COLD_ANALYSES" = "$COLD_LAUNCHED" ] || {
+    echo "sync-smoke: duplicate analyses (launched $COLD_LAUNCHED, computed $COLD_ANALYSES)" >&2; exit 1; }
+
+echo "== warm restart (same -cache-dir)"
+"$BIN" -oneshot -corpus 50 -seed 1 -cache-dir "$CACHE" > "$TMP/warm.json" 2> /dev/null
+cat "$TMP/warm.json"
+
+WARM_FINDINGS="$(jsonfield "$TMP/warm.json" findings)"
+WARM_ANALYSES="$(jsonfield "$TMP/warm.json" cache_analyses)"
+WARM_DECOMPILES="$(jsonfield "$TMP/warm.json" cache_decompiles)"
+WARM_DIGEST="$(jsonfield "$TMP/warm.json" digest)"
+
+[ "$WARM_ANALYSES" = 0 ] || { echo "sync-smoke: warm restart performed $WARM_ANALYSES analyses" >&2; exit 1; }
+[ "$WARM_DECOMPILES" = 0 ] || { echo "sync-smoke: warm restart performed $WARM_DECOMPILES decompilations" >&2; exit 1; }
+[ "$WARM_FINDINGS" = "$COLD_FINDINGS" ] || {
+    echo "sync-smoke: findings diverged (cold $COLD_FINDINGS, warm $WARM_FINDINGS)" >&2; exit 1; }
+[ "$WARM_DIGEST" = "$COLD_DIGEST" ] || {
+    echo "sync-smoke: digest diverged (cold $COLD_DIGEST, warm $WARM_DIGEST)" >&2; exit 1; }
+
+echo "sync-smoke: cold indexed $COLD_FINDINGS findings, warm restart reproduced digest with zero re-analyses"
