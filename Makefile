@@ -3,7 +3,7 @@ GO ?= go
 # loose enough for shared CI runners; counts are always compared exactly).
 BENCH_TOLERANCE ?= 0.5
 
-.PHONY: all build test vet bench bench-json bench-check sweep-check warm-check analysis-check experiments examples serve-smoke sync-smoke fuzz-smoke clean
+.PHONY: all build test vet bench bench-json bench-check sweep-check warm-check replica-check analysis-check experiments examples serve-smoke sync-smoke fuzz-smoke clean
 
 all: build vet test
 
@@ -14,7 +14,7 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # One Go benchmark per paper table/figure (reduced scale).
 bench:
@@ -55,6 +55,21 @@ warm-check:
 	$(GO) run ./scripts -baseline BENCH_core.json -fresh BENCH_warm.json -tolerance $(BENCH_TOLERANCE)
 	rm -f BENCH_warm.json
 
+# Two-replica peer-fill gate, blocking: the failure-injection and multi-writer
+# tests first (unreachable/corrupt peers must degrade to local compute with
+# every rejected entry counted, two tier handles over one directory must not
+# corrupt counters), then the two-replica sweep itself: each replica
+# cold-analyzes half the corpus and sweeps the other half entirely over the
+# peer-fill protocol — bench_compare's replica_sweep assertions require zero
+# analyses and zero decompilations on both warm passes, exact peer-hit
+# accounting, and digests bit-identical across replicas. Exact counts and
+# digests only, so machine-independent.
+replica-check:
+	$(GO) test -race -run 'TestRemoteTier|TestPeerFill|TestDiskTierMultiWriter|TestReplicaSweepContract' ./internal/core ./internal/sched ./internal/bench
+	$(GO) run ./cmd/ethainter-bench -exp core -n 2000 -seed 20200615 -sweep-workers 1 -json BENCH_replica.json > /dev/null
+	$(GO) run ./scripts -baseline BENCH_core.json -fresh BENCH_replica.json -tolerance $(BENCH_TOLERANCE)
+	rm -f BENCH_replica.json
+
 # Shared-facts and fixpoint-equivalence gate, blocking: the dirty-queue
 # worklist must reproduce the reference fixpoint bit-for-bit on the committed
 # fuzz seed corpus, the shared-facts path must be race-clean under concurrent
@@ -85,11 +100,15 @@ serve-smoke:
 sync-smoke:
 	sh scripts/sync_smoke.sh
 
-# Short mutation-fuzz run of the full analysis pipeline (decompile through
-# detect) under tight work budgets. The committed seed corpus already replays
-# on every plain `go test`; this exercises the mutation engine itself.
+# Short mutation-fuzz runs: the full analysis pipeline (decompile through
+# detect) under tight work budgets, then the disk-entry decoder against
+# arbitrary and bit-flipped bytes (it must never panic and never accept a
+# checksum-failing entry — the peer-fill protocol feeds it network input).
+# The committed seed corpora already replay on every plain `go test`; this
+# exercises the mutation engine itself.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzAnalyzeBytecode -fuzztime=20s ./internal/core
+	$(GO) test -fuzz=FuzzDiskEntryDecode -fuzztime=10s ./internal/core
 
 examples:
 	$(GO) run ./examples/quickstart

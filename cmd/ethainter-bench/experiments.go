@@ -5,17 +5,18 @@ import (
 	"os"
 
 	"ethainter/internal/bench"
-	"ethainter/internal/decompiler"
 )
 
 // experimentRunners binds every experiment to a renderer at the given scale.
 // Scales are tuned per experiment the way the paper's were (the inspection
 // sample is 40; the Securify sample 2K; Figure 7 needs enough source-
-// compatible contracts).
-func experimentRunners(n int, seed int64, workers, parallelism, sweepWorkers, cacheShards int, cacheDir, jsonPath string, limits decompiler.Limits) map[string]func() string {
+// compatible contracts). The core experiment takes the options verbatim; the
+// rest use only the corpus shape and worker count.
+func experimentRunners(opts bench.CoreOptions, jsonPath string) map[string]func() string {
+	n, seed, workers := opts.N, opts.Seed, opts.Workers
 	return map[string]func() string{
 		"core": func() string {
-			r := bench.CoreBench(n, seed, workers, parallelism, sweepWorkers, cacheShards, cacheDir, limits)
+			r := bench.CoreBench(opts)
 			out := r.Render()
 			if jsonPath != "" {
 				data, err := r.JSON()

@@ -5,7 +5,8 @@
 //
 //	ethainter-bench [-n N] [-seed S] [-workers W] [-parallelism P]
 //	                [-sweep-workers W] [-cache-shards N] [-cache-dir DIR]
-//	                [-exp name]
+//	                [-cache-max-disk-bytes N] [-cache-peers host:port,...]
+//	                [-cache-peer-timeout D] [-exp name]
 //	                [-progress] [-json file] [-cpuprofile file] [-memprofile file]
 //
 // Experiments: exp1, table2, fig6, securify, fig7, teether, rq2, fig8,
@@ -19,6 +20,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"ethainter/internal/bench"
 	"ethainter/internal/decompiler"
@@ -32,7 +34,10 @@ func main() {
 		par         = flag.Int("parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core)")
 		sweepW      = flag.Int("sweep-workers", 0, "sweep_scaling curve shape: 0 = workers {1,2,4,8}, W>0 = {1,W} (core experiment)")
 		shards      = flag.Int("cache-shards", 0, "analysis cache shard count, rounded down to a power of two (0 = default; core experiment)")
-		cacheDir    = flag.String("cache-dir", "", "directory for the warm-restart persistent tier (empty = throwaway temp dir; core experiment)")
+		cacheDir    = flag.String("cache-dir", "", "directory for the warm-restart and replica-sweep persistent tiers (empty = throwaway temp dirs; core experiment)")
+		maxDisk     = flag.Int64("cache-max-disk-bytes", 0, "size budget for those persistent tiers, oldest entries evicted first (0 = unbounded; core experiment)")
+		peers       = flag.String("cache-peers", "", "comma-separated replica addresses the cached sweep peer-fills from; ad-hoc measurement only — warm peers change the dedup invariants (core experiment)")
+		peerTimeout = flag.Duration("cache-peer-timeout", 0, "per-probe timeout for peer cache fills (0 = default; core experiment)")
 		progress    = flag.Bool("progress", false, "draw sweep progress lines on stderr")
 		exp         = flag.String("exp", "all", "experiment: exp1|table2|fig6|securify|fig7|teether|rq2|fig8|core|all")
 		jsonPath    = flag.String("json", "BENCH_core.json", "output path for the core experiment's JSON result")
@@ -43,10 +48,22 @@ func main() {
 		maxStmts    = flag.Int("decompile-max-stmts", 0, "decompile budget: max translated statements (0 = default; core experiment)")
 	)
 	flag.Parse()
-	limits := decompiler.Limits{
-		MaxContexts:      *maxContexts,
-		MaxWorklistSteps: *maxSteps,
-		MaxStatements:    *maxStmts,
+	opts := bench.CoreOptions{
+		N:            *n,
+		Seed:         *seed,
+		Workers:      *workers,
+		Parallelism:  *par,
+		SweepWorkers: *sweepW,
+		CacheShards:  *shards,
+		CacheDir:     *cacheDir,
+		MaxDiskBytes: *maxDisk,
+		Peers:        splitPeers(*peers),
+		PeerTimeout:  *peerTimeout,
+		Limits: decompiler.Limits{
+			MaxContexts:      *maxContexts,
+			MaxWorklistSteps: *maxSteps,
+			MaxStatements:    *maxStmts,
+		},
 	}
 	if *progress {
 		bench.SetProgressOutput(os.Stderr)
@@ -62,7 +79,7 @@ func main() {
 		defer f.Close()
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*exp, *n, *seed, *workers, *par, *sweepW, *shards, *cacheDir, *jsonPath, limits); err != nil {
+	if err := run(*exp, opts, *jsonPath); err != nil {
 		fatal(err)
 	}
 	if *memProfile != "" {
@@ -83,8 +100,20 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(exp string, n int, seed int64, workers, parallelism, sweepWorkers, cacheShards int, cacheDir, jsonPath string, limits decompiler.Limits) error {
-	runners := experimentRunners(n, seed, workers, parallelism, sweepWorkers, cacheShards, cacheDir, jsonPath, limits)
+// splitPeers parses the comma-separated -cache-peers value, dropping empty
+// elements so a trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func run(exp string, opts bench.CoreOptions, jsonPath string) error {
+	runners := experimentRunners(opts, jsonPath)
 	if exp != "all" {
 		r, ok := runners[exp]
 		if !ok {

@@ -5,7 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
-	"ethainter/internal/decompiler"
+	"ethainter/internal/bench"
 )
 
 // Each experiment runner executes end to end at a tiny scale. The core
@@ -14,7 +14,9 @@ func TestRunnersExecute(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "BENCH_core.json")
 	// sweep-workers 2 keeps the scaling curve at two points ({1,2}) so the
 	// tiny-scale run stays fast; 4 shards exercise the sharded cache path.
-	runners := experimentRunners(60, 5, 2, 2, 2, 4, "", jsonPath, decompiler.Limits{})
+	runners := experimentRunners(bench.CoreOptions{
+		N: 60, Seed: 5, Workers: 2, Parallelism: 2, SweepWorkers: 2, CacheShards: 4,
+	}, jsonPath)
 	for _, name := range []string{"exp1", "table2", "fig6", "securify", "rq2", "fig8", "core"} {
 		out := runners[name]()
 		if len(out) == 0 {
@@ -27,10 +29,10 @@ func TestRunnersExecute(t *testing.T) {
 }
 
 func TestRunDispatch(t *testing.T) {
-	if err := run("nosuch", 10, 1, 1, 0, 1, 0, "", "", decompiler.Limits{}); err == nil {
+	if err := run("nosuch", bench.CoreOptions{N: 10, Seed: 1, Workers: 1}, ""); err == nil {
 		t.Error("unknown experiment should error")
 	}
-	if err := run("table2", 40, 1, 2, 0, 1, 0, "", "", decompiler.Limits{}); err != nil {
+	if err := run("table2", bench.CoreOptions{N: 40, Seed: 1, Workers: 2}, ""); err != nil {
 		t.Errorf("table2: %v", err)
 	}
 }

@@ -8,7 +8,8 @@
 //
 //	ethainter-serve [-addr :8545] [-timeout 30s] [-max-inflight 64]
 //	                [-cache-entries N] [-cache-shards N] [-cache-dir DIR]
-//	                [-sweep-workers N]
+//	                [-cache-max-disk-bytes N] [-cache-peers host:port,...]
+//	                [-cache-peer-timeout 250ms] [-sweep-workers N]
 //	                [-parallelism P] [-max-body N] [-read-timeout 10s]
 //	                [-write-timeout 2m] [-idle-timeout 2m]
 //	                [-shutdown-grace 15s] [-decompile-max-contexts N]
@@ -28,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +50,9 @@ type options struct {
 	cacheEntries int
 	cacheShards  int
 	cacheDir     string
+	maxDiskBytes int64
+	cachePeers   string
+	peerTimeout  time.Duration
 	sweepWorkers int
 	parallelism  int
 	maxBody      int64
@@ -66,7 +71,10 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&opts.maxInFlight, "max-inflight", 64, "max concurrently-served analysis requests; excess get 503 (0 = unlimited)")
 	fs.IntVar(&opts.cacheEntries, "cache-entries", 0, "report cache capacity (0 = default)")
 	fs.IntVar(&opts.cacheShards, "cache-shards", 0, "report cache shard count, rounded down to a power of two (0 = default)")
-	fs.StringVar(&opts.cacheDir, "cache-dir", "", "persistent cache directory: reports and deterministic failures survive restarts (empty = memory-only)")
+	fs.StringVar(&opts.cacheDir, "cache-dir", "", "persistent cache directory: reports and deterministic failures survive restarts (empty = memory-only); safe to share between replicas")
+	fs.Int64Var(&opts.maxDiskBytes, "cache-max-disk-bytes", 0, "persistent cache size budget: scrubs evict oldest entries first above it (0 = unbounded)")
+	fs.StringVar(&opts.cachePeers, "cache-peers", "", "comma-separated replica base URLs (host:port or http://host:port) probed for cache entries on local misses; peers that are down degrade to plain misses")
+	fs.DurationVar(&opts.peerTimeout, "cache-peer-timeout", 0, "per-probe timeout for peer cache fills (0 = default 250ms)")
 	fs.IntVar(&opts.sweepWorkers, "sweep-workers", 0, "server-wide /batch sweep scheduler pool size (0 = one per core)")
 	fs.IntVar(&opts.parallelism, "parallelism", 0, "Datalog engine workers inside one fixpoint (0/1 sequential, -1 = one per core); multiplies with -max-inflight request concurrency")
 	fs.Int64Var(&opts.maxBody, "max-body", 1<<20, "max request body bytes")
@@ -79,6 +87,18 @@ func parseFlags(args []string) (options, error) {
 	return opts, nil
 }
 
+// splitPeers parses the comma-separated -cache-peers value, dropping empty
+// elements so a trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // run serves until the listener fails or a signal arrives on shutdown, then
 // drains in-flight requests for at most opts.grace. When ready is non-nil it
 // receives the bound address once the listener is up (the smoke tests bind
@@ -89,7 +109,7 @@ func run(opts options, logger *slog.Logger, ready chan<- net.Addr, shutdown <-ch
 	cfg.DecompileLimits = opts.limits
 	cache := core.NewCacheSharded(opts.cacheEntries, opts.cacheShards)
 	if opts.cacheDir != "" {
-		tier, err := core.OpenDiskTier(opts.cacheDir)
+		tier, err := core.OpenDiskTierBudget(opts.cacheDir, opts.maxDiskBytes)
 		if err != nil {
 			return err
 		}
@@ -99,7 +119,13 @@ func run(opts options, logger *slog.Logger, ready chan<- net.Addr, shutdown <-ch
 		cache.SetDiskTier(tier)
 		ds := tier.Stats()
 		logger.Info("disk cache tier open", "dir", opts.cacheDir,
-			"entries", ds.Entries, "scrubbed", ds.Scrubbed)
+			"entries", ds.Entries, "scrubbed", ds.Scrubbed,
+			"bytes", ds.Bytes, "evicted", ds.Evictions)
+	}
+	if remote := core.NewRemoteTier(splitPeers(opts.cachePeers), opts.peerTimeout); remote != nil {
+		defer remote.Close()
+		cache.SetRemoteTier(remote)
+		logger.Info("remote cache tier attached", "peers", remote.Peers())
 	}
 	srv := server.NewWithCache(cfg, cache)
 	srv.Timeout = opts.timeout

@@ -14,6 +14,8 @@
 //
 //	ethainter-sync [-addr :8546] [-corpus N] [-seed S]
 //	               [-cache-entries N] [-cache-shards N] [-cache-dir DIR]
+//	               [-cache-max-disk-bytes N] [-cache-peers host:port,...]
+//	               [-cache-peer-timeout 250ms]
 //	               [-workers N] [-poll 50ms] [-batch N] [-start-block N]
 //	               [-deploy-interval D] [-deploy-count N]
 //	               [-shutdown-grace 15s] [-oneshot]
@@ -42,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,6 +66,9 @@ type options struct {
 	cacheEntries int
 	cacheShards  int
 	cacheDir     string
+	maxDiskBytes int64
+	cachePeers   string
+	peerTimeout  time.Duration
 	workers      int
 	poll         time.Duration
 	batch        int
@@ -83,7 +89,10 @@ func parseFlags(args []string) (options, error) {
 	fs.Int64Var(&opts.seed, "seed", 1, "corpus generation seed (same seed = same chain = same findings digest)")
 	fs.IntVar(&opts.cacheEntries, "cache-entries", 0, "report cache capacity (0 = default)")
 	fs.IntVar(&opts.cacheShards, "cache-shards", 0, "report cache shard count, rounded down to a power of two (0 = default)")
-	fs.StringVar(&opts.cacheDir, "cache-dir", "", "persistent cache directory: a warm restart re-indexes the chain with zero new analyses (empty = memory-only)")
+	fs.StringVar(&opts.cacheDir, "cache-dir", "", "persistent cache directory: a warm restart re-indexes the chain with zero new analyses (empty = memory-only); safe to share between replicas")
+	fs.Int64Var(&opts.maxDiskBytes, "cache-max-disk-bytes", 0, "persistent cache size budget: scrubs evict oldest entries first above it (0 = unbounded)")
+	fs.StringVar(&opts.cachePeers, "cache-peers", "", "comma-separated replica base URLs (host:port or http://host:port) probed for cache entries on local misses; peers that are down degrade to plain misses")
+	fs.DurationVar(&opts.peerTimeout, "cache-peer-timeout", 0, "per-probe timeout for peer cache fills (0 = default 250ms)")
 	fs.IntVar(&opts.workers, "workers", 0, "analysis scheduler pool size (0 = one per core)")
 	fs.DurationVar(&opts.poll, "poll", follow.DefaultPoll, "chain poll interval (daemon mode)")
 	fs.IntVar(&opts.batch, "batch", 0, "max receipts ingested per poll step (0 = default)")
@@ -114,6 +123,18 @@ type summary struct {
 	Digest          string `json:"digest"`
 }
 
+// splitPeers parses the comma-separated -cache-peers value, dropping empty
+// elements so a trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // seedChain deploys n corpus contracts onto a fresh chain. Generation is
 // seed-deterministic, so two runs with the same -corpus/-seed produce
 // byte-identical chains.
@@ -136,7 +157,7 @@ func run(opts options, logger *slog.Logger, out io.Writer, ready chan<- net.Addr
 	cfg.DecompileLimits = opts.limits
 	cache := core.NewCacheSharded(opts.cacheEntries, opts.cacheShards)
 	if opts.cacheDir != "" {
-		tier, err := core.OpenDiskTier(opts.cacheDir)
+		tier, err := core.OpenDiskTierBudget(opts.cacheDir, opts.maxDiskBytes)
 		if err != nil {
 			return err
 		}
@@ -146,7 +167,13 @@ func run(opts options, logger *slog.Logger, out io.Writer, ready chan<- net.Addr
 		cache.SetDiskTier(tier)
 		ds := tier.Stats()
 		logger.Info("disk cache tier open", "dir", opts.cacheDir,
-			"entries", ds.Entries, "scrubbed", ds.Scrubbed)
+			"entries", ds.Entries, "scrubbed", ds.Scrubbed,
+			"bytes", ds.Bytes, "evicted", ds.Evictions)
+	}
+	if remote := core.NewRemoteTier(splitPeers(opts.cachePeers), opts.peerTimeout); remote != nil {
+		defer remote.Close()
+		cache.SetRemoteTier(remote)
+		logger.Info("remote cache tier attached", "peers", remote.Peers())
 	}
 	sc := sched.New(cache, opts.workers)
 	defer sc.Close()

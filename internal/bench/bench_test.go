@@ -213,7 +213,7 @@ func TestRQ2Runs(t *testing.T) {
 // a bit-identical result digest.
 func TestWarmRestartContract(t *testing.T) {
 	contracts := corpus.Generate(corpus.DefaultProfile(testN, testSeed))
-	wr, err := WarmRestart(contracts, core.DefaultConfig(), 4, 0, t.TempDir())
+	wr, err := WarmRestart(contracts, core.DefaultConfig(), 4, 0, t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,5 +237,73 @@ func TestWarmRestartContract(t *testing.T) {
 	if warm.DiskHits != cold.DiskMisses {
 		t.Fatalf("warm served %d from disk, cold established %d entries' worth of misses",
 			warm.DiskHits, cold.DiskMisses)
+	}
+}
+
+// TestReplicaSweepContract runs the two-replica experiment at unit scale and
+// pins the same invariants bench_compare enforces on the full corpus: the
+// warm passes do zero pipeline work, every peer fill is accounted for
+// exactly, and each warm digest is bit-identical to the other replica's cold
+// digest.
+func TestReplicaSweepContract(t *testing.T) {
+	contracts := corpus.Generate(corpus.DefaultProfile(testN, testSeed))
+	rs, err := ReplicaSweep(contracts, core.DefaultConfig(), 4, 0, t.TempDir(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.HalfA+rs.HalfB != testN {
+		t.Fatalf("halves %d+%d don't cover the corpus of %d", rs.HalfA, rs.HalfB, testN)
+	}
+	if rs.SharedUnique == 0 {
+		t.Fatalf("corpus split shares no bytecodes; the cross-fill path went unexercised")
+	}
+	for name, p := range map[string]ReplicaSweepRun{
+		"cold A": rs.ColdA, "cold B": rs.ColdB, "warm A": rs.WarmA, "warm B": rs.WarmB,
+	} {
+		if p.PeerErrors != 0 {
+			t.Errorf("%s: %d peer errors on healthy loopback replicas", name, p.PeerErrors)
+		}
+	}
+	// Cold A runs against an empty peer; cold B peer-fills exactly the
+	// bytecodes the halves share.
+	if rs.ColdA.PeerHits != 0 {
+		t.Errorf("cold A peer hits = %d, want 0 (peer was empty)", rs.ColdA.PeerHits)
+	}
+	if rs.ColdA.Analyses != uint64(rs.UniqueA) {
+		t.Errorf("cold A analyses = %d, want one per unique bytecode (%d)", rs.ColdA.Analyses, rs.UniqueA)
+	}
+	if rs.ColdB.PeerHits != uint64(rs.SharedUnique) {
+		t.Errorf("cold B peer hits = %d, want the shared uniques (%d)", rs.ColdB.PeerHits, rs.SharedUnique)
+	}
+	if rs.ColdB.Analyses != uint64(rs.UniqueB-rs.SharedUnique) {
+		t.Errorf("cold B analyses = %d, want %d", rs.ColdB.Analyses, rs.UniqueB-rs.SharedUnique)
+	}
+	// The warm passes must be pure peer-fill + local reuse: zero pipeline
+	// work, and peer hits covering exactly the uniques the replica lacked.
+	for name, p := range map[string]ReplicaSweepRun{"warm A": rs.WarmA, "warm B": rs.WarmB} {
+		if p.Analyses != 0 || p.Decompiles != 0 || p.UniqueWork != 0 {
+			t.Errorf("%s did pipeline work: %+v", name, p)
+		}
+	}
+	if want := uint64(rs.UniqueB - rs.SharedUnique); rs.WarmA.PeerHits != want {
+		t.Errorf("warm A peer hits = %d, want %d", rs.WarmA.PeerHits, want)
+	}
+	if want := uint64(rs.UniqueA - rs.SharedUnique); rs.WarmB.PeerHits != want {
+		t.Errorf("warm B peer hits = %d, want %d", rs.WarmB.PeerHits, want)
+	}
+	if rs.WarmA.PeerHits > 0 && rs.WarmA.PeerFillBytes == 0 {
+		t.Errorf("warm A filled %d entries but counted no bytes", rs.WarmA.PeerHits)
+	}
+	// Each warm digest reproduces the other replica's cold digest over the
+	// same half, bit for bit.
+	if rs.WarmA.Digest == "" || rs.WarmA.Digest != rs.ColdB.Digest {
+		t.Errorf("warm A digest %q != cold B digest %q", rs.WarmA.Digest, rs.ColdB.Digest)
+	}
+	if rs.WarmB.Digest == "" || rs.WarmB.Digest != rs.ColdA.Digest {
+		t.Errorf("warm B digest %q != cold A digest %q", rs.WarmB.Digest, rs.ColdA.Digest)
+	}
+	if rs.WarmA.Analyzed != rs.ColdB.Analyzed || rs.WarmA.Failed != rs.ColdB.Failed {
+		t.Errorf("warm A counts %d/%d diverge from cold B %d/%d",
+			rs.WarmA.Analyzed, rs.WarmA.Failed, rs.ColdB.Analyzed, rs.ColdB.Failed)
 	}
 }

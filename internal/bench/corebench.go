@@ -104,6 +104,12 @@ type CoreBenchResult struct {
 	// decompilations with a result digest bit-identical to the cold run's
 	// (bench_compare enforces it). Nil when the double start failed.
 	WarmRestart *WarmRestartResult `json:"warm_restart,omitempty"`
+	// ReplicaSweep is the two-replica cache-sharing benchmark: each replica
+	// cold-analyzes half the corpus, then sweeps the other half served
+	// entirely over the peer-fill protocol — zero analyses, zero
+	// decompilations, digests bit-identical to the cold passes
+	// (bench_compare enforces it). Nil when the double boot failed.
+	ReplicaSweep *ReplicaSweepResult `json:"replica_sweep,omitempty"`
 	// ConfigSweep is the shared-facts reanalysis experiment: every ablation
 	// config over one cache, facts computed exactly once per unique bytecode
 	// (bench_compare enforces it). Nil in baselines that predate the section.
@@ -131,6 +137,40 @@ type SweepScalingPoint struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// CoreOptions parameterizes the core experiment. The zero value of every
+// field is a sensible default; callers set only what they pin.
+type CoreOptions struct {
+	// N and Seed shape the synthetic corpus (DefaultProfile).
+	N    int
+	Seed int64
+	// Workers is the cross-contract pool size (<= 0 = one per core);
+	// Parallelism the intra-fixpoint Datalog worker count.
+	Workers     int
+	Parallelism int
+	// SweepWorkers shapes the sweep_scaling curve's x axis (see
+	// sweepScalingWorkerCounts); CacheShards sizes the sweep caches (0 =
+	// default).
+	SweepWorkers int
+	CacheShards  int
+	// CacheDir pins where the warm-restart and replica-sweep double starts
+	// keep their persistent tiers ("" = throwaway temp directories).
+	CacheDir string
+	// MaxDiskBytes caps those persistent tiers' on-disk size (0 = unbounded).
+	// Budgets small enough to evict mid-benchmark will break the zero-work
+	// warm-pass invariants bench_compare enforces — use for ad-hoc
+	// measurement, not the committed baseline.
+	MaxDiskBytes int64
+	// Peers attaches a remote peer-fill tier to the headline cached sweep,
+	// probing live replicas at these addresses on local misses. Warm peers
+	// change the sweep's dedup invariants, so this too is for ad-hoc
+	// measurement only; the replica_sweep section always wires its own two
+	// loopback replicas regardless.
+	Peers       []string
+	PeerTimeout time.Duration
+	// Limits is the decompilation work budget (zero value = defaults).
+	Limits decompiler.Limits
+}
+
 // CoreBench generates the default corpus profile and sweeps it twice with the
 // production config: once analyzing every contract from scratch, once through
 // the dedup-aware sweep scheduler over a sharded core.Cache. The synthetic
@@ -138,21 +178,16 @@ type SweepScalingPoint struct {
 // dedups ~2.5M deployed contracts down to ~240K unique ones), so the
 // scheduler's planned dedup — exactly one analysis per unique bytecode, the
 // rest fanned out — is the headline mechanism, and the sweep_scaling curve
-// (the scheduled sweep at increasing worker counts) the headline number. The
-// limits are the decompilation work budget (zero value = defaults), letting
-// the bench measure the cost of tighter budgets under real sweep load.
-// sweepWorkers shapes the scaling curve's x axis (see
-// sweepScalingWorkerCounts); cacheShards sizes the sweep caches (0 =
-// default). cacheDir pins where the warm-restart double start keeps its
-// persistent tier ("" = a throwaway temp directory).
-func CoreBench(n int, seed int64, workers, parallelism, sweepWorkers, cacheShards int, cacheDir string, limits decompiler.Limits) *CoreBenchResult {
+// (the scheduled sweep at increasing worker counts) the headline number.
+func CoreBench(o CoreOptions) *CoreBenchResult {
+	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	contracts := corpus.Generate(corpus.DefaultProfile(n, seed))
+	contracts := corpus.Generate(corpus.DefaultProfile(o.N, o.Seed))
 	cfg := core.DefaultConfig()
-	cfg.Parallelism = parallelism
-	cfg.DecompileLimits = limits
+	cfg.Parallelism = o.Parallelism
+	cfg.DecompileLimits = o.Limits
 
 	unique := map[[32]byte]bool{}
 	for _, c := range contracts {
@@ -161,30 +196,39 @@ func CoreBench(n int, seed int64, workers, parallelism, sweepWorkers, cacheShard
 
 	res := &CoreBenchResult{
 		Name:            "core",
-		N:               n,
-		Seed:            seed,
+		N:               o.N,
+		Seed:            o.Seed,
 		Workers:         workers,
-		Parallelism:     parallelism,
+		Parallelism:     o.Parallelism,
 		UniqueBytecodes: len(unique),
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
 		NumCPU:          runtime.NumCPU(),
-		CacheShards:     cacheShards,
+		CacheShards:     o.CacheShards,
 	}
 	res.Uncached = sweep(contracts, cfg, workers, nil)
-	res.Cached = sweepScheduled("sweep(cached)", contracts, cfg, workers, cacheShards)
+	res.Cached = sweepScheduled("sweep(cached)", contracts, cfg, workers, o.CacheShards, o.Peers, o.PeerTimeout)
 	if res.Cached.WallNS > 0 {
 		res.Speedup = float64(res.Uncached.WallNS) / float64(res.Cached.WallNS)
 	}
-	res.EngineScaling = EngineScaling(engineScalingN, scalingWorkerCounts(parallelism))
-	res.SweepScaling = SweepScaling(contracts, cfg, sweepScalingWorkerCounts(sweepWorkers), cacheShards)
-	res.ConfigSweep = ConfigSweep(contracts, cfg, workers, cacheShards)
-	if dir, cleanup, err := warmRestartDir(cacheDir); err != nil {
+	res.EngineScaling = EngineScaling(engineScalingN, scalingWorkerCounts(o.Parallelism))
+	res.SweepScaling = SweepScaling(contracts, cfg, sweepScalingWorkerCounts(o.SweepWorkers), o.CacheShards)
+	res.ConfigSweep = ConfigSweep(contracts, cfg, workers, o.CacheShards)
+	if dir, cleanup, err := benchDir(o.CacheDir, "warm_restart"); err != nil {
 		fmt.Fprintf(os.Stderr, "warm_restart: %v\n", err)
 	} else {
-		res.WarmRestart, err = WarmRestart(contracts, cfg, workers, cacheShards, dir)
+		res.WarmRestart, err = WarmRestart(contracts, cfg, workers, o.CacheShards, dir, o.MaxDiskBytes)
 		cleanup()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "warm_restart: %v\n", err)
+		}
+	}
+	if dir, cleanup, err := benchDir(o.CacheDir, "replica_sweep"); err != nil {
+		fmt.Fprintf(os.Stderr, "replica_sweep: %v\n", err)
+	} else {
+		res.ReplicaSweep, err = ReplicaSweep(contracts, cfg, workers, o.CacheShards, dir, o.MaxDiskBytes, o.PeerTimeout)
+		cleanup()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replica_sweep: %v\n", err)
 		}
 	}
 	return res
@@ -211,7 +255,7 @@ func SweepScaling(contracts []*corpus.Contract, cfg core.Config, workerCounts []
 	out := make([]SweepScalingPoint, 0, len(workerCounts))
 	var baseWall int64
 	for _, workers := range workerCounts {
-		r := sweepScheduled(fmt.Sprintf("sweep_scaling(workers=%d)", workers), contracts, cfg, workers, cacheShards)
+		r := sweepScheduled(fmt.Sprintf("sweep_scaling(workers=%d)", workers), contracts, cfg, workers, cacheShards, nil, 0)
 		p := SweepScalingPoint{
 			Workers:        workers,
 			WallNS:         r.WallNS,
@@ -237,13 +281,19 @@ func SweepScaling(contracts []*corpus.Contract, cfg core.Config, workerCounts []
 // sweepScheduled analyzes every contract through a fresh scheduler over a
 // fresh sharded cache — the same code path /batch serves. Stage times are
 // summed per distinct report, so fanned-out (shared) reports are attributed
-// once, matching the work actually done.
-func sweepScheduled(label string, contracts []*corpus.Contract, cfg core.Config, workers, cacheShards int) SweepResult {
+// once, matching the work actually done. When peers is non-empty a remote
+// peer-fill tier is attached, so local misses probe live replicas the way a
+// serving process with -cache-peers would.
+func sweepScheduled(label string, contracts []*corpus.Contract, cfg core.Config, workers, cacheShards int, peers []string, peerTimeout time.Duration) SweepResult {
 	codes := make([][]byte, len(contracts))
 	for i, c := range contracts {
 		codes[i] = c.Runtime
 	}
 	cache := core.NewCacheSharded(0, cacheShards)
+	if remote := core.NewRemoteTier(peers, peerTimeout); remote != nil {
+		cache.SetRemoteTier(remote)
+		defer remote.Close()
+	}
 	s := sched.New(cache, workers)
 	defer s.Close()
 
@@ -392,12 +442,39 @@ func (r *CoreBenchResult) Render() string {
 				map[bool]string{true: "identical", false: "DIVERGENT"}[wr.Cold.Digest == wr.Warm.Digest])
 		}
 	}
+	if rs := r.ReplicaSweep; rs != nil {
+		t.note("replica sweep: halves %d+%d contracts, %d+%d unique (%d shared), peer timeout %s",
+			rs.HalfA, rs.HalfB, rs.UniqueA, rs.UniqueB, rs.SharedUnique, fmtNS(rs.PeerTimeoutNS))
+		rrow := func(name string, p ReplicaSweepRun) {
+			t.note("replica sweep %-12s wall %s, %d analyses, %d decompiles, %d peer hits (%s filled), %d peer errors",
+				name+":", fmtNS(p.WallNS), p.Analyses, p.Decompiles, p.PeerHits, fmtBytes(int64(p.PeerFillBytes)), p.PeerErrors)
+		}
+		rrow("cold A", rs.ColdA)
+		rrow("cold B", rs.ColdB)
+		rrow("warm A<-B", rs.WarmA)
+		rrow("warm B<-A", rs.WarmB)
+		t.note("replica sweep digests: A<-B %s, B<-A %s",
+			map[bool]string{true: "identical", false: "DIVERGENT"}[rs.WarmA.Digest == rs.ColdB.Digest],
+			map[bool]string{true: "identical", false: "DIVERGENT"}[rs.WarmB.Digest == rs.ColdA.Digest])
+	}
 	return t.String()
 }
 
 // JSON serializes the result for BENCH_core.json.
 func (r *CoreBenchResult) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 func fmtNS(ns int64) string {

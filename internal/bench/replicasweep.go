@@ -1,0 +1,212 @@
+package bench
+
+// Two-replica cache-sharing benchmark for the peer-fill protocol. Two
+// replicas — each a full serving stack: persistent disk tier, sharded cache,
+// real HTTP server on a loopback port — are cross-wired as each other's cache
+// peers. Each replica cold-analyzes half the corpus, then sweeps the OTHER
+// half: every unique group of that second pass must be served over the
+// peer-fill protocol (or from entries the replica already holds), performing
+// zero analyses and zero decompilations, with a result digest bit-identical
+// to the other replica's cold pass. bench_compare enforces exactly that from
+// the emitted `replica_sweep` section of BENCH_core.json.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+	"ethainter/internal/crypto"
+	"ethainter/internal/sched"
+	"ethainter/internal/server"
+)
+
+// ReplicaSweepRun is one pass of one replica over one half of the corpus:
+// wall clock, per-result counts, the pass's share of the replica's cache
+// counters (before/after snapshot difference — the cache persists across both
+// of a replica's passes, the way a process's does), and the digest over the
+// half in input order (same formula as warm_restart, so digests are
+// comparable across replicas bit-for-bit).
+type ReplicaSweepRun struct {
+	WallNS   int64 `json:"wall_ns"`
+	Analyzed int   `json:"analyzed"`
+	Failed   int   `json:"failed"`
+	Warnings int   `json:"warnings"`
+	// Analyses/Decompiles count pipeline work performed during this pass —
+	// both must be zero on the warm passes.
+	Analyses   uint64 `json:"analyses"`
+	Decompiles uint64 `json:"decompiles"`
+	// MemoryHits/DiskHits locate local serving; PeerHits counts entries
+	// filled from the other replica (PeerMisses its clean all-miss probes,
+	// PeerErrors its failed ones — always zero on healthy loopback).
+	MemoryHits    uint64 `json:"memory_hits"`
+	DiskHits      uint64 `json:"disk_hits"`
+	PeerHits      uint64 `json:"peer_hits"`
+	PeerMisses    uint64 `json:"peer_misses"`
+	PeerErrors    uint64 `json:"peer_errors"`
+	PeerFillBytes uint64 `json:"peer_fill_bytes"`
+	// UniqueWork counts analyses the scheduler dispatched to its pool — zero
+	// on the warm passes, where the Lookup fast path serves everything.
+	UniqueWork uint64 `json:"unique_work"`
+	Digest     string `json:"digest"`
+}
+
+// ReplicaSweepResult is the four-pass, two-replica experiment: A and B each
+// analyze their own half cold, then each sweeps the other half warm over the
+// peer-fill protocol.
+type ReplicaSweepResult struct {
+	// HalfA/HalfB are the contract counts of the two halves; UniqueA/UniqueB
+	// their unique-bytecode counts; SharedUnique the bytecodes present in
+	// both halves (the synthetic corpus duplicates across the split, so the
+	// second cold pass already peer-fills the shared ones).
+	HalfA         int   `json:"half_a"`
+	HalfB         int   `json:"half_b"`
+	UniqueA       int   `json:"unique_a"`
+	UniqueB       int   `json:"unique_b"`
+	SharedUnique  int   `json:"shared_unique"`
+	PeerTimeoutNS int64 `json:"peer_timeout_ns"`
+
+	ColdA ReplicaSweepRun `json:"cold_a"`
+	ColdB ReplicaSweepRun `json:"cold_b"`
+	WarmA ReplicaSweepRun `json:"warm_a"`
+	WarmB ReplicaSweepRun `json:"warm_b"`
+}
+
+// replica is one simulated serving process: its own cache directory, disk
+// tier, sharded cache, and HTTP server listening on a loopback port; after
+// cross-wiring, a remote tier pointed at the other replica.
+type replica struct {
+	tier   *core.DiskTier
+	cache  *core.Cache
+	remote *core.RemoteTier
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// startReplica boots one replica and begins serving its cache (including the
+// peer-fill endpoint) on 127.0.0.1:0.
+func startReplica(dir string, cfg core.Config, cacheShards int, maxBytes int64) (*replica, error) {
+	tier, err := core.OpenDiskTierBudget(dir, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	cache := core.NewCacheSharded(0, cacheShards)
+	cache.SetDiskTier(tier)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tier.Close()
+		return nil, err
+	}
+	srv := &http.Server{Handler: server.NewWithCache(cfg, cache).Handler()}
+	go srv.Serve(ln)
+	return &replica{tier: tier, cache: cache, ln: ln, srv: srv}, nil
+}
+
+// addr is the replica's peer address, as another replica's -cache-peers
+// entry would name it.
+func (r *replica) addr() string { return r.ln.Addr().String() }
+
+func (r *replica) stop() {
+	r.srv.Close()
+	if r.remote != nil {
+		r.remote.Close()
+	}
+	r.tier.Close()
+}
+
+// ReplicaSweep runs the four-pass experiment. dir must start empty; each
+// replica keeps its tier under its own subdirectory. maxBytes budgets the
+// tiers (0 = unbounded; a budget that evicts mid-run breaks the zero-work
+// invariants). peerTimeout bounds each peer probe (0 = DefaultPeerTimeout).
+func ReplicaSweep(contracts []*corpus.Contract, cfg core.Config, workers, cacheShards int, dir string, maxBytes int64, peerTimeout time.Duration) (*ReplicaSweepResult, error) {
+	if peerTimeout <= 0 {
+		peerTimeout = core.DefaultPeerTimeout
+	}
+	half := len(contracts) / 2
+	halfA, halfB := contracts[:half], contracts[half:]
+
+	uniq := func(cs []*corpus.Contract) map[[32]byte]bool {
+		m := map[[32]byte]bool{}
+		for _, c := range cs {
+			m[crypto.Keccak256(c.Runtime)] = true
+		}
+		return m
+	}
+	ua, ub := uniq(halfA), uniq(halfB)
+	shared := 0
+	for h := range ua {
+		if ub[h] {
+			shared++
+		}
+	}
+
+	ra, err := startReplica(dir+"/replica_a", cfg, cacheShards, maxBytes)
+	if err != nil {
+		return nil, fmt.Errorf("replica A: %w", err)
+	}
+	defer ra.stop()
+	rb, err := startReplica(dir+"/replica_b", cfg, cacheShards, maxBytes)
+	if err != nil {
+		return nil, fmt.Errorf("replica B: %w", err)
+	}
+	defer rb.stop()
+
+	// Cross-wire after both replicas serve and before any analysis, so even
+	// the cold passes run with a live (mostly-missing) peer — the production
+	// shape, and what makes ColdB's shared-bytecode peer fills possible.
+	ra.remote = core.NewRemoteTier([]string{rb.addr()}, peerTimeout)
+	ra.cache.SetRemoteTier(ra.remote)
+	rb.remote = core.NewRemoteTier([]string{ra.addr()}, peerTimeout)
+	rb.cache.SetRemoteTier(rb.remote)
+
+	res := &ReplicaSweepResult{
+		HalfA:         len(halfA),
+		HalfB:         len(halfB),
+		UniqueA:       len(ua),
+		UniqueB:       len(ub),
+		SharedUnique:  shared,
+		PeerTimeoutNS: int64(peerTimeout),
+	}
+	res.ColdA = replicaPass("replica_sweep(cold A)", ra, halfA, cfg, workers)
+	res.ColdB = replicaPass("replica_sweep(cold B)", rb, halfB, cfg, workers)
+	res.WarmA = replicaPass("replica_sweep(warm A<-B)", ra, halfB, cfg, workers)
+	res.WarmB = replicaPass("replica_sweep(warm B<-A)", rb, halfA, cfg, workers)
+	return res, nil
+}
+
+// replicaPass sweeps one half through a fresh scheduler over the replica's
+// long-lived cache. Counters are reported as the difference of Stats
+// snapshots taken around the pass, attributing exactly this pass's work; the
+// peer-fill serving side reads entries memory-first, so the pass needs no
+// tier flush before its peer can serve what it computed.
+func replicaPass(label string, r *replica, contracts []*corpus.Contract, cfg core.Config, workers int) ReplicaSweepRun {
+	var run ReplicaSweepRun
+	before := r.cache.Stats()
+	s := sched.New(r.cache, workers)
+	codes := make([][]byte, len(contracts))
+	for i, c := range contracts {
+		codes[i] = c.Runtime
+	}
+	prog := newProgress(label, len(contracts))
+	start := time.Now()
+	results := s.Sweep(context.Background(), codes, cfg, func(int, sched.Result) { prog.step() })
+	run.WallNS = int64(time.Since(start))
+	prog.finish()
+	run.UniqueWork = s.Stats().Unique
+	s.Close()
+
+	after := r.cache.Stats()
+	run.Analyses = after.Analyses - before.Analyses
+	run.Decompiles = after.Decompiles - before.Decompiles
+	run.MemoryHits = after.Hits - before.Hits
+	run.DiskHits = after.DiskHits - before.DiskHits
+	run.PeerHits = after.PeerHits - before.PeerHits
+	run.PeerMisses = after.PeerMisses - before.PeerMisses
+	run.PeerErrors = after.PeerErrors - before.PeerErrors
+	run.PeerFillBytes = after.PeerFillBytes - before.PeerFillBytes
+	run.Analyzed, run.Failed, run.Warnings, run.Digest = digestResults(results)
+	return run
+}

@@ -58,14 +58,16 @@ type WarmRestartResult struct {
 }
 
 // WarmRestart runs the cold→warm double start. dir must start empty (or not
-// exist): the cold pass populates it, the warm pass re-opens it.
-func WarmRestart(contracts []*corpus.Contract, cfg core.Config, workers, cacheShards int, dir string) (*WarmRestartResult, error) {
+// exist): the cold pass populates it, the warm pass re-opens it. maxBytes
+// budgets the tier (0 = unbounded); a budget that evicts mid-run breaks the
+// zero-work warm invariant, so baselines always pass 0.
+func WarmRestart(contracts []*corpus.Contract, cfg core.Config, workers, cacheShards int, dir string, maxBytes int64) (*WarmRestartResult, error) {
 	out := &WarmRestartResult{}
 	var err error
-	if out.Cold, err = warmRestartPass("warm_restart(cold)", contracts, cfg, workers, cacheShards, dir); err != nil {
+	if out.Cold, err = warmRestartPass("warm_restart(cold)", contracts, cfg, workers, cacheShards, dir, maxBytes); err != nil {
 		return nil, err
 	}
-	if out.Warm, err = warmRestartPass("warm_restart(warm)", contracts, cfg, workers, cacheShards, dir); err != nil {
+	if out.Warm, err = warmRestartPass("warm_restart(warm)", contracts, cfg, workers, cacheShards, dir, maxBytes); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -74,9 +76,9 @@ func WarmRestart(contracts []*corpus.Contract, cfg core.Config, workers, cacheSh
 // warmRestartPass is one simulated process start: open the tier, sweep the
 // corpus through a fresh scheduler, close the scheduler, then close the tier
 // so the write-behind queue is flushed before the counters are read.
-func warmRestartPass(label string, contracts []*corpus.Contract, cfg core.Config, workers, cacheShards int, dir string) (WarmRestartRun, error) {
+func warmRestartPass(label string, contracts []*corpus.Contract, cfg core.Config, workers, cacheShards int, dir string, maxBytes int64) (WarmRestartRun, error) {
 	var run WarmRestartRun
-	tier, err := core.OpenDiskTier(dir)
+	tier, err := core.OpenDiskTierBudget(dir, maxBytes)
 	if err != nil {
 		return run, err
 	}
@@ -110,37 +112,46 @@ func warmRestartPass(label string, contracts []*corpus.Contract, cfg core.Config
 	run.DiskWrites = cs.DiskWrites
 	run.DiskScrubbed = cs.DiskScrubbed
 
-	var digest []byte
-	for _, res := range results {
-		if res.Err != nil {
-			run.Failed++
-			digest = append(digest, 1)
-			digest = append(digest, res.Err.Error()...)
-			continue
-		}
-		run.Analyzed++
-		run.Warnings += len(res.Report.Warnings)
-		d := res.Report.Digest()
-		digest = append(digest, 0)
-		digest = append(digest, d[:]...)
-	}
-	sum := crypto.Keccak256(digest)
-	run.Digest = hex.EncodeToString(sum[:])
+	run.Analyzed, run.Failed, run.Warnings, run.Digest = digestResults(results)
 	return run, nil
 }
 
-// warmRestartDir resolves where the double start runs: a throwaway temp
-// directory by default (removed by cleanup), or <cacheDir>/warm_restart when
-// the caller pinned one — wiped first, because the cold pass must be cold.
-func warmRestartDir(cacheDir string) (dir string, cleanup func(), err error) {
+// digestResults folds per-index sweep outcomes, in input order, into counts
+// and a canonical digest: keccak-256 over a tagged concatenation of report
+// digests (timings zeroed) and error texts. Two sweeps over the same inputs
+// agree bit-for-bit exactly when every outcome does.
+func digestResults(results []sched.Result) (analyzed, failed, warnings int, digest string) {
+	var buf []byte
+	for _, res := range results {
+		if res.Err != nil {
+			failed++
+			buf = append(buf, 1)
+			buf = append(buf, res.Err.Error()...)
+			continue
+		}
+		analyzed++
+		warnings += len(res.Report.Warnings)
+		d := res.Report.Digest()
+		buf = append(buf, 0)
+		buf = append(buf, d[:]...)
+	}
+	sum := crypto.Keccak256(buf)
+	return analyzed, failed, warnings, hex.EncodeToString(sum[:])
+}
+
+// benchDir resolves where a double-start benchmark keeps its persistent
+// state: a throwaway temp directory by default (removed by cleanup), or
+// <cacheDir>/<name> when the caller pinned one — wiped first, because the
+// cold passes must be cold.
+func benchDir(cacheDir, name string) (dir string, cleanup func(), err error) {
 	if cacheDir == "" {
-		dir, err = os.MkdirTemp("", "ethainter-warm-")
+		dir, err = os.MkdirTemp("", "ethainter-"+name+"-")
 		if err != nil {
 			return "", nil, err
 		}
 		return dir, func() { os.RemoveAll(dir) }, nil
 	}
-	dir = filepath.Join(cacheDir, "warm_restart")
+	dir = filepath.Join(cacheDir, name)
 	if err := os.RemoveAll(dir); err != nil {
 		return "", nil, err
 	}

@@ -60,8 +60,10 @@ func (c Config) Fingerprint() uint64 {
 // a memoized error counts exactly one memory Hit or exactly one memory Miss —
 // never both, no matter how many internal retries a cancelled coalesced
 // computation forces — so Hits+Misses equals the number of resolved logical
-// lookups. Disk probes happen only on memory misses, and each computing miss
-// counts exactly one DiskHit or DiskMiss when a tier is attached. Analyses
+// lookups. Tier probes happen only on memory misses, and each computing miss
+// counts exactly one DiskHit or DiskMiss when a disk tier is attached — a
+// miss served by a remote peer still counts a DiskMiss, because the local
+// disk was probed first and had nothing. Analyses
 // and Decompiles count work actually performed (compute attempts and real
 // decompiler invocations), so a fully warm restart shows both at zero.
 type CacheStats struct {
@@ -102,11 +104,27 @@ type CacheStats struct {
 
 	// Tier-level disk counters, merged view only (per-shard snapshots leave
 	// them zero): durable entry writes, failed writes, entries dropped by the
-	// startup/lazy scrub, and live on-disk entries.
+	// startup/lazy scrub, live on-disk entries, their total byte size, and
+	// entries removed by the size-budget eviction sweep.
 	DiskWrites      uint64 `json:"disk_writes,omitempty"`
 	DiskWriteErrors uint64 `json:"disk_write_errors,omitempty"`
 	DiskScrubbed    uint64 `json:"disk_scrubbed,omitempty"`
 	DiskEntries     int64  `json:"disk_entries,omitempty"`
+	DiskBytes       int64  `json:"disk_bytes,omitempty"`
+	DiskEvictions   uint64 `json:"disk_evictions,omitempty"`
+
+	// Peer-fill counters, merged view only. PeerHits counts local
+	// (memory+disk) misses served by a peer replica's cache over the
+	// peer-fill protocol; PeerMisses counts remote probes that found the
+	// entry on no configured peer; PeerFillBytes totals the verified entry
+	// bytes installed from peers; PeerErrors counts failed peer probes —
+	// transport errors, timeouts, unexpected statuses, and entries rejected
+	// by the checksum/key/scheme verification. All zero when no remote tier
+	// is attached.
+	PeerHits      uint64 `json:"peer_hits,omitempty"`
+	PeerMisses    uint64 `json:"peer_misses,omitempty"`
+	PeerFillBytes uint64 `json:"peer_fill_bytes,omitempty"`
+	PeerErrors    uint64 `json:"peer_errors,omitempty"`
 }
 
 // HitRate is hits / (hits + misses), or 0 before any lookup.
@@ -127,6 +145,11 @@ type reportKey struct {
 type reportEntry struct {
 	rep *Report
 	err error
+	// limits is the normalized decompilation budget the outcome was computed
+	// under — the third component of the persistent entry format's key echo.
+	// Carrying it on the in-memory entry lets EntryBytes re-serialize a
+	// memory-resident outcome for a peer without knowing the caller's Config.
+	limits decompiler.Limits
 }
 
 // progKey addresses one decompiled program: bytecode hash plus the
@@ -215,18 +238,45 @@ func (s *cacheShard) lock() {
 // dominated multi-worker sweep profiles). Stats() merges the shards into one
 // view; ShardStats() exposes the split. Safe for concurrent use.
 //
-// An optional DiskTier (SetDiskTier) adds a durable, content-addressed store
-// below the in-memory shards: memory misses probe it read-through before
-// computing, and computed results — including deterministic negative entries
-// — are written behind asynchronously, so a process restart over the same
-// corpus performs zero decompilations and zero analyses.
+// Optional tiers extend the cache below the in-memory shards. A DiskTier
+// (SetDiskTier) adds a durable, content-addressed store: memory misses probe
+// it read-through before computing, and computed results — including
+// deterministic negative entries — are written behind asynchronously, so a
+// process restart over the same corpus performs zero decompilations and zero
+// analyses. A RemoteTier (SetRemoteTier) extends the probe chain across the
+// process boundary: a local memory+disk miss asks peer replicas for their
+// serialized entry before computing, so a fleet behaves like one warm cache.
 type Cache struct {
 	shards []cacheShard
 	mask   uint64
 
-	// disk is the optional persistent tier. Set once via SetDiskTier before
-	// the cache serves requests; read without synchronization afterwards.
-	disk *DiskTier
+	// disk is the optional persistent tier; remote the optional peer-fill
+	// tier. Both are set once via SetDiskTier/SetRemoteTier before the cache
+	// serves requests and read without synchronization afterwards. tiers is
+	// the derived probe order — always local disk before remote peers, so a
+	// shared or pre-warmed -cache-dir short-circuits network probes.
+	disk   *DiskTier
+	remote *RemoteTier
+	tiers  []Tier
+}
+
+// Tier is a persistent or remote store below the in-memory cache shards.
+// Tiers are probed in order on a memory miss; a hit from a lower tier is
+// back-filled (write-behind) into the tiers above it, and computed results
+// are offered to every tier via put. The interface is sealed — its methods
+// traffic in the package's internal entry representation — with DiskTier and
+// RemoteTier as the two implementations.
+type Tier interface {
+	// get probes the tier for one memoized outcome. The limits are the
+	// caller's normalized decompilation budget; implementations must verify
+	// the stored entry's key and limits echo and report a mismatch as a miss.
+	get(key reportKey, limits decompiler.Limits) (reportEntry, bool)
+	// put offers one immutable, persistable outcome. Implementations may
+	// drop it (a remote tier is fill-only); they must not block beyond
+	// bounded write-behind backpressure.
+	put(key reportKey, limits decompiler.Limits, e reportEntry)
+	// Close releases the tier's resources, flushing any write-behind queue.
+	Close() error
 }
 
 // DefaultCacheEntries bounds each cache store when NewCache is given a
@@ -290,11 +340,37 @@ func NewCacheSharded(maxEntries, shards int) *Cache {
 // without synchronization on the hot path); the caller keeps ownership of
 // the tier and must Close it — after the cache's last user is done — to
 // flush the write-behind queue.
-func (c *Cache) SetDiskTier(t *DiskTier) { c.disk = t }
+func (c *Cache) SetDiskTier(t *DiskTier) {
+	c.disk = t
+	c.rebuildTiers()
+}
+
+// SetRemoteTier attaches a peer-fill tier below the disk tier (or directly
+// below memory when no disk tier is attached). Same discipline as
+// SetDiskTier: set before the first request, caller owns and closes it.
+func (c *Cache) SetRemoteTier(t *RemoteTier) {
+	c.remote = t
+	c.rebuildTiers()
+}
+
+// rebuildTiers derives the probe order from the attached tiers: local disk
+// first (a file read), remote peers last (a network round trip).
+func (c *Cache) rebuildTiers() {
+	c.tiers = c.tiers[:0]
+	if c.disk != nil {
+		c.tiers = append(c.tiers, c.disk)
+	}
+	if c.remote != nil {
+		c.tiers = append(c.tiers, c.remote)
+	}
+}
 
 // Disk returns the attached persistent tier, nil when the cache is
 // memory-only.
 func (c *Cache) Disk() *DiskTier { return c.disk }
+
+// Remote returns the attached peer-fill tier, nil when none is configured.
+func (c *Cache) Remote() *RemoteTier { return c.remote }
 
 // shardFor picks the shard owning a bytecode hash. Keccak output is uniform,
 // so any fixed 8 bytes index evenly; the low word is used.
@@ -332,6 +408,15 @@ func (c *Cache) Stats() CacheStats {
 		out.DiskWriteErrors = ds.WriteErrors
 		out.DiskScrubbed = ds.Scrubbed
 		out.DiskEntries = ds.Entries
+		out.DiskBytes = ds.Bytes
+		out.DiskEvictions = ds.Evictions
+	}
+	if c.remote != nil {
+		rs := c.remote.Stats()
+		out.PeerHits = rs.Hits
+		out.PeerMisses = rs.Misses
+		out.PeerFillBytes = rs.FillBytes
+		out.PeerErrors = rs.Errors
 	}
 	return out
 }
@@ -354,16 +439,47 @@ func (c *Cache) ShardStats() []CacheStats {
 	return out
 }
 
+// tierHit is one successful probe of the tier chain: the entry plus which
+// kind of tier served it, for the shard-level counter split.
+type tierHit struct {
+	e    reportEntry
+	disk bool // served by the local disk tier (else by a remote peer)
+}
+
+// tierGet probes the attached tiers in order — local disk, then remote peers
+// — and back-fills a hit from a lower tier into every tier above it
+// (write-behind), so a peer-filled entry lands in the local disk tier and
+// the next restart never re-asks the network. Runs outside any shard lock:
+// file and network IO must not serialize a shard, and concurrent probes of
+// one key read the same immutable entry, making the back-fill idempotent.
+func (c *Cache) tierGet(key reportKey, limits decompiler.Limits) (tierHit, bool) {
+	for i, t := range c.tiers {
+		e, ok := t.get(key, limits)
+		if !ok {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if persistable(e.err) {
+				c.tiers[j].put(key, limits, e)
+			}
+		}
+		return tierHit{e: e, disk: c.disk != nil && i == 0}, true
+	}
+	return tierHit{}, false
+}
+
 // Lookup returns the memoized report (or negatively-cached deterministic
 // error) for an already-hashed bytecode under cfg, without computing
-// anything. The memory shards are probed first; on a memory miss the disk
-// tier (when attached) is probed synchronously — a file read, cheap enough
-// for the caller's own goroutine, which is how the sweep scheduler serves
-// warm-disk requests without occupying a pool worker — and a disk hit is
+// anything. The memory shards are probed first; on a memory miss the tier
+// chain (when attached) is probed synchronously on the caller's own
+// goroutine — a file read for the disk tier, a bounded-timeout peer probe
+// for the remote tier; this is how the sweep scheduler serves warm-disk and
+// peer-filled requests without occupying a pool worker — and a tier hit is
 // promoted into the memory shard. A memory hit counts Hits, a disk hit
-// DiskHits; an entry found nowhere counts nothing — the caller is expected
-// to follow up with AnalyzeHashedContext, which records the miss when it
-// computes.
+// DiskHits, a peer hit PeerHits (and DiskMisses when a disk tier was probed
+// on the way); an entry found nowhere counts nothing — the caller is
+// expected to follow up with AnalyzeHashedContext, which records the miss
+// when it computes.
 func (c *Cache) Lookup(hash [32]byte, cfg Config) (*Report, error, bool) {
 	key := reportKey{code: hash, cfg: cfg.Fingerprint()}
 	s := c.shardFor(hash)
@@ -374,21 +490,46 @@ func (c *Cache) Lookup(hash [32]byte, cfg Config) (*Report, error, bool) {
 		return e.rep, e.err, true
 	}
 	s.mu.Unlock()
-	if c.disk == nil {
+	if len(c.tiers) == 0 {
 		return nil, nil, false
 	}
-	// Probe the disk tier outside the shard lock — file IO must not
-	// serialize the shard. A concurrent probe of the same key reads the same
-	// immutable entry; promotion below is idempotent.
-	e, ok := c.disk.get(key, cfg.DecompileLimits.Normalized())
+	h, ok := c.tierGet(key, cfg.DecompileLimits.Normalized())
 	if !ok {
 		return nil, nil, false
 	}
 	s.lock()
-	s.stats.DiskHits++
-	s.storeReport(key, e)
+	if h.disk {
+		s.stats.DiskHits++
+	} else if c.disk != nil {
+		s.stats.DiskMisses++
+	}
+	s.storeReport(key, h.e)
 	s.mu.Unlock()
-	return e.rep, e.err, true
+	return h.e.rep, h.e.err, true
+}
+
+// EntryBytes returns the serialized, checksummed persistent-format entry for
+// one (bytecode hash, config fingerprint) — the peer-fill serving path
+// behind GET /cache/{hash}/{fp}. Memory-resident outcomes are re-encoded;
+// on a memory miss the raw bytes come straight from the disk tier. The
+// remote tier is deliberately never probed: a replica serves only what it
+// holds locally, so two peers pointed at each other can never proxy-loop a
+// miss. Non-persistable outcomes (recovered panics) are never served.
+func (c *Cache) EntryBytes(hash [32]byte, fp uint64) ([]byte, bool) {
+	key := reportKey{code: hash, cfg: fp}
+	s := c.shardFor(hash)
+	s.lock()
+	e, ok := s.reports[key]
+	s.mu.Unlock()
+	if ok && persistable(e.err) {
+		return encodeEntry(key, e.limits, e), true
+	}
+	if c.disk != nil {
+		if data, ok := c.disk.getRaw(key); ok {
+			return data, true
+		}
+	}
+	return nil, false
 }
 
 // AnalyzeBytecode is the cached equivalent of the package-level
@@ -459,17 +600,20 @@ func (c *Cache) AnalyzeHashedContext(ctx context.Context, hash [32]byte, code []
 		s.pending[key] = fl
 		s.mu.Unlock()
 
-		// Read-through: probe the disk tier before computing. The probe runs
-		// under the singleflight, so concurrent misses on one key cost one
-		// file read, and coalesced waiters above never touch the disk.
-		fromDisk := false
-		if c.disk != nil {
-			if e, ok := c.disk.get(key, cfg.DecompileLimits.Normalized()); ok {
-				fl.rep, fl.err = e.rep, e.err
-				fromDisk = true
+		// Read-through: probe the tier chain (disk, then peers) before
+		// computing. The probe runs under the singleflight, so concurrent
+		// misses on one key cost one probe sequence, and coalesced waiters
+		// above never touch the tiers. tierGet back-fills cross-tier hits;
+		// only freshly computed outcomes are offered to the disk tier below.
+		lim := cfg.DecompileLimits.Normalized()
+		fromTier, fromDisk := false, false
+		if len(c.tiers) > 0 {
+			if h, ok := c.tierGet(key, lim); ok {
+				fl.rep, fl.err = h.e.rep, h.e.err
+				fromTier, fromDisk = true, h.disk
 			}
 		}
-		if !fromDisk {
+		if !fromTier {
 			fl.rep, fl.err = c.computeReport(ctx, key, code, cfg)
 		}
 
@@ -482,11 +626,11 @@ func (c *Cache) AnalyzeHashedContext(ctx context.Context, hash [32]byte, code []
 			}
 		}
 		if !IsCancellation(fl.err) {
-			s.storeReport(key, reportEntry{rep: fl.rep, err: fl.err})
-			if !fromDisk && c.disk != nil && persistable(fl.err) {
+			s.storeReport(key, reportEntry{rep: fl.rep, err: fl.err, limits: lim})
+			if !fromTier && c.disk != nil && persistable(fl.err) {
 				// Write-behind: serialize now (the entry is immutable), hand
 				// the durable write to the tier's writer goroutine.
-				c.disk.put(key, cfg.DecompileLimits.Normalized(), reportEntry{rep: fl.rep, err: fl.err})
+				c.disk.put(key, lim, reportEntry{rep: fl.rep, err: fl.err, limits: lim})
 			}
 		}
 		delete(s.pending, key)

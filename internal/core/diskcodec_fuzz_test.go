@@ -1,0 +1,143 @@
+package core
+
+// Fuzz coverage for the disk-entry decoder. The decoder's inputs are not
+// just local files anymore: the peer-fill protocol feeds it bytes received
+// from the network, so it must never panic and never accept an entry whose
+// trailing checksum doesn't match — on any input, not just torn local
+// writes. The committed seed corpus (testdata/fuzz/FuzzDiskEntryDecode)
+// replays on every plain `go test`; `make fuzz-smoke` runs the mutation
+// engine proper.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"ethainter/internal/crypto"
+	"ethainter/internal/decompiler"
+)
+
+// diskEntrySeeds builds the seed inputs: the three valid entry kinds
+// (report, budget error, generic error), damaged variants of the first
+// (checksum flip, payload flip, truncation), and structural junk.
+func diskEntrySeeds() [][]byte {
+	var key reportKey
+	copy(key.code[:], []byte("fuzz-seed-bytecode-hash-32-bytes"))
+	key.cfg = 0xfeedface01020304
+	limits := decompiler.DefaultLimits()
+
+	rep := &Report{PublicFunctions: 2}
+	rep.Stats.Blocks = 17
+	rep.Warnings = []Warning{{
+		Kind:    TaintedOwner,
+		PC:      0x40,
+		Message: "owner slot tainted",
+		Witness: []Step{{Selector: [4]byte{1, 2, 3, 4}, NumArgs: 1}},
+	}}
+
+	valid := encodeEntry(key, limits, reportEntry{rep: rep})
+	budget := encodeEntry(key, limits, reportEntry{err: &decompiler.BudgetError{Resource: "contexts", Limit: 6000}})
+	generic := encodeEntry(key, limits, reportEntry{err: errors.New("decompiler: unresolvable jump target")})
+
+	flipChecksum := append([]byte(nil), valid...)
+	flipChecksum[len(flipChecksum)-1] ^= 0x01
+	flipPayload := append([]byte(nil), valid...)
+	flipPayload[len(flipPayload)/2] ^= 0x80
+
+	return [][]byte{
+		valid,
+		budget,
+		generic,
+		flipChecksum,
+		flipPayload,
+		valid[:len(valid)/2],
+		valid[:len(valid)-1],
+		{},
+		[]byte("ETHDISK1"),
+		bytes.Repeat([]byte{0xff}, 64),
+	}
+}
+
+// FuzzDiskEntryDecode feeds arbitrary bytes — and mutations of valid,
+// bit-flipped, and truncated entries — through decodeEntry and enforces the
+// trust-boundary contract:
+//
+//   - no input panics the decoder;
+//   - an input only decodes when its trailing keccak-256 checksum verifies,
+//     so a flipped or truncated entry can never yield a report;
+//   - anything that decodes re-encodes canonically and round-trips.
+func FuzzDiskEntryDecode(f *testing.F) {
+	for _, seed := range diskEntrySeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, limits, e, err := decodeEntry(data)
+		if err != nil {
+			return
+		}
+		// Accepted ⇒ the checksum must actually verify: the decoder may never
+		// hand out a report whose bytes don't hash to their trailer.
+		if len(data) < 32 {
+			t.Fatalf("decoded %d bytes, shorter than a checksum", len(data))
+		}
+		sum := crypto.Keccak256(data[:len(data)-32])
+		if !bytes.Equal(sum[:], data[len(data)-32:]) {
+			t.Fatal("decoder accepted an entry with a failing checksum")
+		}
+		// Exactly one of report and error is meaningful.
+		if (e.rep == nil) == (e.err == nil) {
+			t.Fatalf("decoded entry breaks the rep/err invariant: rep=%v err=%v", e.rep, e.err)
+		}
+		// Whatever decodes must re-encode and round-trip bit-for-bit — the
+		// promotion path re-serializes peer-filled entries into local tiers.
+		re := encodeEntry(key, limits, e)
+		key2, limits2, e2, err2 := decodeEntry(re)
+		if err2 != nil {
+			t.Fatalf("re-encoded entry does not decode: %v", err2)
+		}
+		if key2 != key || limits2 != limits {
+			t.Fatal("key/limits do not round-trip through re-encode")
+		}
+		if (e.rep == nil) != (e2.rep == nil) {
+			t.Fatal("entry kind does not round-trip through re-encode")
+		}
+		if e.rep != nil && e.rep.Digest() != e2.rep.Digest() {
+			t.Fatal("report digest does not round-trip through re-encode")
+		}
+		if e.err != nil && e.err.Error() != e2.err.Error() {
+			t.Fatal("error text does not round-trip through re-encode")
+		}
+	})
+}
+
+// TestWriteDiskEntrySeedCorpus regenerates the committed seed corpus files
+// from diskEntrySeeds when WRITE_FUZZ_SEEDS is set; otherwise it verifies
+// the committed files are present and replayable, so the corpus cannot
+// silently drift from the generator.
+func TestWriteDiskEntrySeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDiskEntryDecode")
+	seeds := diskEntrySeeds()
+	if os.Getenv("WRITE_FUZZ_SEEDS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+			path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for i := range seeds {
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("seed corpus file missing (regenerate with WRITE_FUZZ_SEEDS=1): %v", err)
+		}
+	}
+}

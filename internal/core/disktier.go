@@ -9,19 +9,39 @@ package core
 // content-addressed results are how Gigahorse-style pipelines amortize that
 // cost across runs.
 //
-// Write protocol (crash-safe): serialize, write to <final>.tmp, fsync the
-// file, rename over the final name, fsync the directory. A crash at any
-// point leaves either the old state, a stray .tmp (removed by the next
-// scrub), or the complete new entry — never a half-entry under the final
-// name. The trailing checksum inside each entry catches whatever a
-// filesystem still manages to tear.
+// Write protocol (crash-safe): serialize, write to a uniquely-named temp file
+// next to the final name, fsync the file, rename over the final name, fsync
+// the directory. A crash at any point leaves either the old state, a stray
+// temp file (removed by the next scrub), or the complete new entry — never a
+// half-entry under the final name. The trailing checksum inside each entry
+// catches whatever a filesystem still manages to tear.
 //
-// Startup scrub: Open walks the store and drops every .tmp leftover and
+// Multi-writer: several processes may share one directory. Entries are
+// content-addressed and the codec is deterministic, so two writers racing on
+// one key rename byte-identical files — last-writer-wins is a no-op. Temp
+// names embed the pid plus a process-local sequence number, so concurrent
+// commits never collide on a temp file. The entry/byte gauges are therefore
+// only ever estimates between scrubs: a foreign writer adds files this
+// process never counts, a foreign eviction removes files it still counts.
+// Every scrub and every eviction sweep recounts the directory from scratch
+// (Store, not Add), and the incremental decrements in between are clamped at
+// zero — the gauges drift, they never go negative, and they re-converge on
+// the next sweep.
+//
+// Startup scrub: Open walks the store and drops every temp-file leftover and
 // every entry that fails validation — bad magic, unknown format version,
 // fingerprint-scheme mismatch, failed checksum, truncated payload. Version
 // and scheme mismatches are expected after an upgrade (the format version is
 // tied to the fingerprint scheme); dropping them re-computes those entries
-// rather than mis-decoding them.
+// rather than mis-decoding them. Removing another live writer's in-flight
+// temp file here is possible but harmless: its rename fails, the write is
+// counted as a WriteError, and the entry is simply recomputed next restart.
+//
+// Size budget: an optional byte budget (OpenDiskTierBudget) caps the store.
+// When a commit pushes the total past the budget, the writer goroutine
+// sweeps the directory oldest-first (modification time, then path) down to
+// a low-water mark below the budget — hysteresis, so one sweep buys many
+// writes before the next. The scrub applies the same policy at startup.
 
 import (
 	"encoding/hex"
@@ -29,14 +49,15 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"ethainter/internal/decompiler"
 )
 
-// diskEntryExt is the filename suffix of a committed entry; temp files add
-// ".tmp" on top and are never read as entries.
+// diskEntryExt is the filename suffix of a committed entry; temp files use
+// ".tmp" and are never read as entries.
 const diskEntryExt = ".ent"
 
 // diskQueueDepth bounds the write-behind queue. Puts beyond it block the
@@ -44,13 +65,21 @@ const diskEntryExt = ".ent"
 // the next restart's "zero analyses" warm start into silent recomputation.
 const diskQueueDepth = 256
 
+// diskTmpSeq distinguishes concurrent commits inside one process; the pid in
+// the temp name distinguishes processes sharing the directory.
+var diskTmpSeq atomic.Uint64
+
 // DiskTierStats is a snapshot of the tier-level counters. The read-side
 // hit/miss split lives on the cache shards (CacheStats.DiskHits/DiskMisses);
 // these cover the write and scrub side, which has no per-shard structure.
 type DiskTierStats struct {
-	// Entries is the live committed entry count: entries that survived the
-	// startup scrub plus new writes since.
+	// Entries is the live committed entry count as of the last recount,
+	// adjusted by this process's writes and lazy scrubs since. Exact for a
+	// single writer; an estimate (never negative) when the directory is
+	// shared.
 	Entries int64 `json:"entries"`
+	// Bytes is the committed entry bytes under the same accounting.
+	Bytes int64 `json:"bytes"`
 	// Writes counts entries durably committed (fsync + rename completed).
 	Writes uint64 `json:"writes"`
 	// WriteErrors counts write-behind attempts that failed; the entry simply
@@ -59,24 +88,30 @@ type DiskTierStats struct {
 	// Scrubbed counts entries dropped as torn, stale-format, or mismatched —
 	// at startup or lazily when a read trips over one.
 	Scrubbed uint64 `json:"scrubbed"`
+	// Evictions counts intact entries removed oldest-first to keep the store
+	// under its byte budget.
+	Evictions uint64 `json:"evictions"`
 }
 
-// DiskTier is the durable cache tier. One tier owns one directory; a single
-// process (and within it, a single writer goroutine) writes at a time —
-// concurrent readers are safe, concurrent writers from multiple processes
-// are not supported (the scrub would race their temp files).
+// DiskTier is the durable cache tier. One tier owns one directory, with one
+// writer goroutine per process; multiple processes may share the directory —
+// the rename commit is last-writer-wins idempotent and the counters recount
+// on every sweep (see the file comment for the exact guarantees).
 //
 // Get is synchronous (one file read); Put is write-behind through a bounded
-// queue drained by a dedicated writer goroutine. Close flushes the queue and
-// must be called before discarding the tier, or entries computed near
-// shutdown may not persist.
+// queue drained by the writer goroutine. Close flushes the queue and must be
+// called before discarding the tier, or entries computed near shutdown may
+// not persist.
 type DiskTier struct {
-	dir string
+	dir      string
+	maxBytes int64 // 0 = unbounded
 
 	entries     atomic.Int64
+	bytes       atomic.Int64
 	writes      atomic.Uint64
 	writeErrors atomic.Uint64
 	scrubbed    atomic.Uint64
+	evictions   atomic.Uint64
 
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
@@ -89,17 +124,28 @@ type diskWrite struct {
 	data []byte
 }
 
-// OpenDiskTier opens (creating if needed) the persistent tier rooted at dir,
-// scrubbing torn and version-mismatched entries before returning. The
-// returned tier is ready to attach to a Cache via SetDiskTier.
+// OpenDiskTier opens (creating if needed) the persistent tier rooted at dir
+// with no size budget, scrubbing torn and version-mismatched entries before
+// returning. The returned tier is ready to attach to a Cache via SetDiskTier.
 func OpenDiskTier(dir string) (*DiskTier, error) {
+	return OpenDiskTierBudget(dir, 0)
+}
+
+// OpenDiskTierBudget is OpenDiskTier with a byte budget: when maxBytes > 0,
+// the store is kept under it by evicting intact entries oldest-first (the
+// -cache-max-disk-bytes flag on the daemons). maxBytes <= 0 means unbounded.
+func OpenDiskTierBudget(dir string, maxBytes int64) (*DiskTier, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: opening disk cache tier: %w", err)
 	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
 	t := &DiskTier{
-		dir:   dir,
-		queue: make(chan diskWrite, diskQueueDepth),
-		done:  make(chan struct{}),
+		dir:      dir,
+		maxBytes: maxBytes,
+		queue:    make(chan diskWrite, diskQueueDepth),
+		done:     make(chan struct{}),
 	}
 	if err := t.scrub(); err != nil {
 		return nil, fmt.Errorf("core: scrubbing disk cache tier: %w", err)
@@ -115,9 +161,11 @@ func (t *DiskTier) Dir() string { return t.dir }
 func (t *DiskTier) Stats() DiskTierStats {
 	return DiskTierStats{
 		Entries:     t.entries.Load(),
+		Bytes:       t.bytes.Load(),
 		Writes:      t.writes.Load(),
 		WriteErrors: t.writeErrors.Load(),
 		Scrubbed:    t.scrubbed.Load(),
+		Evictions:   t.evictions.Load(),
 	}
 }
 
@@ -137,13 +185,24 @@ func (t *DiskTier) Close() error {
 	return nil
 }
 
-// scrub walks the store once at startup: stray temp files are removed, and
-// every committed entry is fully validated (header, version, fingerprint
-// scheme, checksum, payload decode) — the invalid ones deleted and counted.
-// Intact entries are counted into the live-entry gauge and left untouched.
-func (t *DiskTier) scrub() error {
-	return filepath.WalkDir(t.dir, func(path string, d fs.DirEntry, err error) error {
+// diskFile is one committed entry seen by a directory sweep.
+type diskFile struct {
+	path  string
+	size  int64
+	mtime int64 // UnixNano; eviction order is oldest-first, path tiebreak
+}
+
+// sweep walks the store once, removing temp leftovers and invalid entries
+// (counted as scrubbed), and returns the surviving intact entries.
+func (t *DiskTier) sweep() ([]diskFile, error) {
+	var files []diskFile
+	err := filepath.WalkDir(t.dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
+			// A file deleted under the walk by a concurrent scrub or eviction
+			// is not our problem; skip it rather than aborting the sweep.
+			if os.IsNotExist(err) {
+				return nil
+			}
 			return err
 		}
 		if d.IsDir() {
@@ -159,6 +218,9 @@ func (t *DiskTier) scrub() error {
 		}
 		data, rerr := os.ReadFile(path)
 		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				return nil // lost a race with a concurrent remover
+			}
 			os.Remove(path)
 			t.scrubbed.Add(1)
 			return nil
@@ -168,9 +230,73 @@ func (t *DiskTier) scrub() error {
 			t.scrubbed.Add(1)
 			return nil
 		}
-		t.entries.Add(1)
+		info, ierr := d.Info()
+		var mtime int64
+		if ierr == nil {
+			mtime = info.ModTime().UnixNano()
+		}
+		files = append(files, diskFile{path: path, size: int64(len(data)), mtime: mtime})
 		return nil
 	})
+	return files, err
+}
+
+// scrub recounts the store from scratch — stray temp files removed, every
+// committed entry fully validated (header, version, fingerprint scheme,
+// checksum, payload decode), invalid ones deleted and counted — applies the
+// byte budget, and Stores the resulting entry/byte totals, replacing
+// whatever the incremental gauges had drifted to.
+func (t *DiskTier) scrub() error {
+	files, err := t.sweep()
+	if err != nil {
+		return err
+	}
+	files = t.evictToBudget(files)
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	t.entries.Store(int64(len(files)))
+	t.bytes.Store(total)
+	return nil
+}
+
+// diskLowWaterNum/Den set the eviction target below the budget (9/10): a
+// sweep frees a tranche of headroom instead of one entry's worth, so the
+// full-directory walk amortizes over many subsequent writes.
+const (
+	diskLowWaterNum = 9
+	diskLowWaterDen = 10
+)
+
+// evictToBudget removes intact entries oldest-first until the total is at or
+// under the low-water mark, returning the survivors. No-op without a budget
+// or under it.
+func (t *DiskTier) evictToBudget(files []diskFile) []diskFile {
+	if t.maxBytes <= 0 {
+		return files
+	}
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	if total <= t.maxBytes {
+		return files
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mtime != files[j].mtime {
+			return files[i].mtime < files[j].mtime
+		}
+		return files[i].path < files[j].path
+	})
+	target := t.maxBytes * diskLowWaterNum / diskLowWaterDen
+	i := 0
+	for ; i < len(files) && total > target; i++ {
+		os.Remove(files[i].path)
+		t.evictions.Add(1)
+		total -= files[i].size
+	}
+	return files[i:]
 }
 
 // pathFor maps a report key to its entry file: fanned out by the first hash
@@ -180,6 +306,28 @@ func (t *DiskTier) pathFor(key reportKey) string {
 	return filepath.Join(t.dir,
 		hex.EncodeToString(key.code[:1]),
 		hex.EncodeToString(key.code[:])+"-"+fmt.Sprintf("%016x", key.cfg)+diskEntryExt)
+}
+
+// dropCounted adjusts the gauges for one lazily-scrubbed or foreign-removed
+// entry, clamped at zero — a foreign writer may have deleted entries this
+// process counted, and the gauges must drift, not underflow.
+func (t *DiskTier) dropCounted(size int64) {
+	addClamped(&t.entries, -1)
+	addClamped(&t.bytes, -size)
+}
+
+// addClamped is an atomic add that floors the result at zero.
+func addClamped(v *atomic.Int64, delta int64) {
+	for {
+		cur := v.Load()
+		next := cur + delta
+		if next < 0 {
+			next = 0
+		}
+		if v.CompareAndSwap(cur, next) {
+			return
+		}
+	}
 }
 
 // get reads one entry, fully validating it. A missing file is a plain miss;
@@ -196,10 +344,31 @@ func (t *DiskTier) get(key reportKey, limits decompiler.Limits) (reportEntry, bo
 	if derr != nil || gotKey != key || gotLimits != limits {
 		os.Remove(path)
 		t.scrubbed.Add(1)
-		t.entries.Add(-1)
+		t.dropCounted(int64(len(data)))
 		return reportEntry{}, false
 	}
+	e.limits = gotLimits
 	return e, true
+}
+
+// getRaw reads one entry's serialized bytes, validating structure and key
+// echo but not the caller's limits — the peer-fill serving path, where the
+// requesting replica re-verifies everything (checksum included) itself.
+// Invalid files are lazily scrubbed exactly as in get.
+func (t *DiskTier) getRaw(key reportKey) ([]byte, bool) {
+	path := t.pathFor(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	gotKey, _, _, derr := decodeEntry(data)
+	if derr != nil || gotKey != key {
+		os.Remove(path)
+		t.scrubbed.Add(1)
+		t.dropCounted(int64(len(data)))
+		return nil, false
+	}
+	return data, true
 }
 
 // put serializes the entry on the caller's goroutine (the outcome is
@@ -217,30 +386,52 @@ func (t *DiskTier) put(key reportKey, limits decompiler.Limits, e reportEntry) {
 }
 
 // writer drains the write-behind queue until Close, committing each entry
-// with the crash-safe temp + fsync + rename protocol.
+// with the crash-safe temp + fsync + rename protocol and running the
+// eviction sweep whenever a commit pushes the store past its budget.
 func (t *DiskTier) writer() {
 	defer close(t.done)
 	for w := range t.queue {
 		if err := t.commit(w); err != nil {
 			t.writeErrors.Add(1)
-		} else {
-			t.writes.Add(1)
+			continue
+		}
+		t.writes.Add(1)
+		if t.maxBytes > 0 && t.bytes.Load() > t.maxBytes {
+			// Over budget: full recount + oldest-first eviction down to the
+			// low-water mark. Runs on this goroutine — commits queue behind
+			// it, which is the backpressure we want while over budget — and
+			// doubles as the drift-healing recount for shared directories.
+			if files, err := t.sweep(); err == nil {
+				files = t.evictToBudget(files)
+				var total int64
+				for _, f := range files {
+					total += f.size
+				}
+				t.entries.Store(int64(len(files)))
+				t.bytes.Store(total)
+			}
 		}
 	}
 }
 
 // commit durably writes one entry. Failures leave no temp debris behind
 // (best effort) and never corrupt an existing committed entry: the final
-// name only ever changes via an atomic rename of a fully synced file.
+// name only ever changes via an atomic rename of a fully synced file, and
+// temp names are unique per (process, commit) so concurrent writers sharing
+// the directory never clobber each other mid-write.
 func (t *DiskTier) commit(w diskWrite) error {
 	dir := filepath.Dir(w.path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	_, statErr := os.Lstat(w.path)
+	var oldSize int64
+	info, statErr := os.Lstat(w.path)
 	existed := statErr == nil
+	if existed {
+		oldSize = info.Size()
+	}
 
-	tmp := w.path + ".tmp"
+	tmp := fmt.Sprintf("%s.%d-%d.tmp", w.path, os.Getpid(), diskTmpSeq.Add(1))
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
@@ -273,5 +464,6 @@ func (t *DiskTier) commit(w diskWrite) error {
 	if !existed {
 		t.entries.Add(1)
 	}
+	addClamped(&t.bytes, int64(len(w.data))-oldSize)
 	return nil
 }

@@ -1,0 +1,211 @@
+package core
+
+// This file is the remote peer-fill tier: the cross-replica extension of the
+// cache hierarchy. On a local memory+disk miss, the cache asks each
+// configured peer replica — over the same HTTP surface that serves analysis
+// requests — for its serialized entry, verifies it end to end, and installs
+// it locally. Entries are content-addressed by (bytecode keccak-256, config
+// fingerprint), so there is nothing to invalidate and no coherence protocol
+// to run: any intact entry a peer holds for the key is *the* answer, no
+// matter which replica computed it or when.
+//
+// The protocol is one GET per probe:
+//
+//	GET /cache/{bytecodeHash}/{configFingerprint}
+//	200 -> the peer's ETHDISK1 entry bytes, exactly as the disk tier stores
+//	       them; 404 -> the peer doesn't have it; anything else -> error.
+//
+// Trust model: peers are replicas, not authorities. The client re-verifies
+// everything the disk tier verifies on a local read — trailing keccak-256
+// checksum, magic, format version, the ethainter-config-v2 fingerprint
+// scheme, and the (hash, fingerprint, limits) key echo against what it asked
+// for — before the entry is allowed into the local tiers. A corrupt,
+// truncated, or mismatched response is counted in PeerErrors and treated as
+// a miss on that peer.
+//
+// Failure model: fail-open, always. A peer being down, slow, or wrong must
+// never fail an analysis or stall it beyond the probe timeout — every probe
+// carries a per-request deadline, and any failure just falls through to the
+// next peer and finally to local compute.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ethainter/internal/decompiler"
+)
+
+// DefaultPeerTimeout bounds one peer probe (connect + request + body) when
+// the caller doesn't set one: long enough for a LAN round trip serving a
+// few-KiB entry, short against the ~300ms cold analysis it tries to avoid.
+const DefaultPeerTimeout = 250 * time.Millisecond
+
+// maxPeerEntryBytes bounds a peer response body. Real entries are a few
+// hundred bytes to a few KiB; the bound keeps a misbehaving peer from
+// feeding a filler stream into memory. Oversized responses are PeerErrors.
+const maxPeerEntryBytes = 4 << 20
+
+// RemoteTierStats is a snapshot of the peer-probe counters.
+type RemoteTierStats struct {
+	// Hits counts probes a peer answered with a verified entry; Misses
+	// counts probes no configured peer could answer (one per probe, not per
+	// peer). Hits + Misses is the number of resolved remote probes.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Errors counts per-peer failures: transport errors and timeouts,
+	// unexpected HTTP statuses, oversized bodies, and entries that failed
+	// checksum/scheme/key verification. A probe can count several (one bad
+	// peer each) and still end in a Hit from a later peer.
+	Errors uint64 `json:"errors"`
+	// FillBytes totals the verified entry bytes installed from peers.
+	FillBytes uint64 `json:"fill_bytes"`
+}
+
+// RemoteTier probes peer replicas for cache entries over HTTP. It is
+// fill-only (put is a no-op — peers pull from each other, nobody pushes),
+// safe for concurrent use, and strictly fail-open: every failure mode
+// degrades to a miss. Attach with Cache.SetRemoteTier.
+type RemoteTier struct {
+	peers   []string
+	timeout time.Duration
+	client  *http.Client
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	errors    atomic.Uint64
+	fillBytes atomic.Uint64
+}
+
+// NewRemoteTier returns a tier probing the given peer base URLs in order
+// (e.g. "http://replica-2:8545"; a bare host:port gets http://). timeout <= 0
+// selects DefaultPeerTimeout. Returns nil when peers is empty — attaching a
+// nil *RemoteTier is the same as attaching none.
+func NewRemoteTier(peers []string, timeout time.Duration) *RemoteTier {
+	var clean []string
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		clean = append(clean, strings.TrimRight(p, "/"))
+	}
+	if len(clean) == 0 {
+		return nil
+	}
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	return &RemoteTier{
+		peers:   clean,
+		timeout: timeout,
+		// A dedicated client so per-host idle pooling is tuned for a small,
+		// fixed peer set and CloseIdleConnections on Close affects nobody
+		// else. The per-probe deadline lives on the request context, not
+		// here: it must cover the body read too.
+		client: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}},
+	}
+}
+
+// Peers returns the normalized peer base URLs.
+func (t *RemoteTier) Peers() []string { return t.peers }
+
+// Stats returns a snapshot of the probe counters.
+func (t *RemoteTier) Stats() RemoteTierStats {
+	return RemoteTierStats{
+		Hits:      t.hits.Load(),
+		Misses:    t.misses.Load(),
+		Errors:    t.errors.Load(),
+		FillBytes: t.fillBytes.Load(),
+	}
+}
+
+// PeerCachePath is the request path for one cache entry — shared by this
+// client and the server handler so the two can never drift.
+func PeerCachePath(hash [32]byte, fp uint64) string {
+	return fmt.Sprintf("/cache/%x/%016x", hash, fp)
+}
+
+// get probes the peers in order, returning the first fully verified entry.
+// Total added latency is bounded by len(peers) probe timeouts; any single
+// peer contributes at most one timeout before the probe moves on.
+func (t *RemoteTier) get(key reportKey, limits decompiler.Limits) (reportEntry, bool) {
+	path := PeerCachePath(key.code, key.cfg)
+	for _, peer := range t.peers {
+		data, ok := t.fetch(peer+path, key, limits)
+		if !ok {
+			continue
+		}
+		// Re-decode for the caller. fetch already verified the bytes, so
+		// this cannot fail — but decode defensively anyway; the function
+		// boundary is the trust boundary.
+		gotKey, gotLimits, e, err := decodeEntry(data)
+		if err != nil || gotKey != key || gotLimits != limits {
+			t.errors.Add(1)
+			continue
+		}
+		e.limits = gotLimits
+		t.hits.Add(1)
+		t.fillBytes.Add(uint64(len(data)))
+		return e, true
+	}
+	t.misses.Add(1)
+	return reportEntry{}, false
+}
+
+// fetch performs one bounded probe against one peer, returning the verified
+// entry bytes. Every failure — transport, timeout, status, size, checksum,
+// scheme, key echo — counts one error and reports a miss; a clean 404 counts
+// nothing (the peer simply doesn't have the entry).
+func (t *RemoteTier) fetch(url string, key reportKey, limits decompiler.Limits) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), t.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.errors.Add(1)
+		return nil, false
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		t.errors.Add(1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		return nil, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.errors.Add(1)
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerEntryBytes+1))
+	if err != nil || len(data) > maxPeerEntryBytes {
+		t.errors.Add(1)
+		return nil, false
+	}
+	gotKey, gotLimits, _, derr := decodeEntry(data)
+	if derr != nil || gotKey != key || gotLimits != limits {
+		t.errors.Add(1)
+		return nil, false
+	}
+	return data, true
+}
+
+// put is a no-op: the peer-fill protocol is pull-only. A replica's own
+// computed results reach peers when the peers ask for them.
+func (t *RemoteTier) put(reportKey, decompiler.Limits, reportEntry) {}
+
+// Close releases idle peer connections. Safe to call at any time;
+// in-flight probes complete normally.
+func (t *RemoteTier) Close() error {
+	t.client.CloseIdleConnections()
+	return nil
+}

@@ -1,0 +1,431 @@
+package core
+
+// White-box tests for the remote peer-fill tier and the multi-writer disk
+// tier: peer entries are verified end to end before installation, every
+// failure mode (down peer, corrupt entry, truncated body, wrong status)
+// degrades to local compute with the rejection counted, and two tier handles
+// sharing one directory never corrupt each other's files or drive the
+// counters negative. These serve entries straight from Cache.EntryBytes over
+// httptest servers — the same bytes the production /cache handler ships.
+
+import (
+	"encoding/hex"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ethainter/internal/crypto"
+	"ethainter/internal/decompiler"
+	"ethainter/internal/minisol"
+)
+
+// parsePeerKey decodes the {hash}/{fp} path components of a peer cache
+// request the way the production handler does.
+func parsePeerKey(r *http.Request) (hash [32]byte, fp uint64, ok bool) {
+	hb, err := hex.DecodeString(r.PathValue("hash"))
+	if err != nil || len(hb) != 32 {
+		return hash, 0, false
+	}
+	copy(hash[:], hb)
+	fp, err = strconv.ParseUint(r.PathValue("fp"), 16, 64)
+	return hash, fp, err == nil
+}
+
+// peerCacheServer serves src's cache entries the way a replica's /cache
+// endpoint does: parse the key out of the PeerCachePath shape, ship the
+// serialized entry bytes, 404 on a miss.
+func peerCacheServer(t *testing.T, src *Cache) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cache/{hash}/{fp}", func(w http.ResponseWriter, r *http.Request) {
+		hash, fp, ok := parsePeerKey(r)
+		if !ok {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		data, ok := src.EntryBytes(hash, fp)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(data)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// unreachableAddr returns a loopback address that refuses connections: bind
+// an ephemeral port, then close it before anyone dials.
+func unreachableAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestRemoteTierPeerFill: a cold replica with only a remote tier serves an
+// analysis entirely from its peer — zero local analyses, zero decompiles,
+// one verified peer hit, bit-identical report. Deterministic failures
+// peer-fill the same way.
+func TestRemoteTierPeerFill(t *testing.T) {
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	cfg := DefaultConfig()
+
+	source := NewCache(0)
+	wantRep, err := source.AnalyzeBytecode(code, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := peerCacheServer(t, source)
+
+	remote := NewRemoteTier([]string{srv.URL}, time.Second)
+	defer remote.Close()
+	c := NewCache(0)
+	c.SetRemoteTier(remote)
+	rep, err := c.AnalyzeBytecode(code, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Digest() != wantRep.Digest() {
+		t.Fatal("peer-filled report diverges from the peer's own")
+	}
+	st := c.Stats()
+	if st.Analyses != 0 || st.Decompiles != 0 {
+		t.Fatalf("stats = %+v, want the analysis served by the peer", st)
+	}
+	if st.PeerHits != 1 || st.PeerErrors != 0 || st.PeerFillBytes == 0 {
+		t.Fatalf("stats = %+v, want exactly one verified peer fill", st)
+	}
+
+	// A deterministic failure peer-fills too: negative entries are entries.
+	tight := cfg
+	tight.DecompileLimits = decompiler.Limits{MaxWorklistSteps: 1}
+	if _, err := source.AnalyzeBytecode(code, tight); !IsBudgetExhaustion(err) {
+		t.Fatalf("source: err = %v, want budget exhaustion", err)
+	}
+	if _, err := c.AnalyzeBytecode(code, tight); !IsBudgetExhaustion(err) {
+		t.Fatalf("filled: err = %v, want budget exhaustion", err)
+	}
+	if st := c.Stats(); st.Analyses != 0 || st.PeerHits != 2 {
+		t.Fatalf("stats = %+v, want the failure peer-filled as well", st)
+	}
+}
+
+// TestRemoteTierFailureInjection is the fail-open contract: with one peer
+// refusing connections and one feeding corrupt and truncated entries, every
+// analysis still completes via local compute, every rejected response is
+// counted in PeerErrors, nothing corrupt is ever installed, and the added
+// latency stays bounded by the probe timeouts.
+func TestRemoteTierFailureInjection(t *testing.T) {
+	var codes [][]byte
+	for _, src := range []string{
+		minisol.VictimSource,
+		minisol.TaintedOwnerSource,
+		minisol.AccessibleSelfdestructSource,
+	} {
+		codes = append(codes, minisol.MustCompile(src).Runtime)
+	}
+	cfg := DefaultConfig()
+
+	source := NewCache(0)
+	for _, code := range codes {
+		if _, err := source.AnalyzeBytecode(code, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The hostile peer serves real entries with the last checksum byte
+	// flipped for even requests and the body cut in half for odd ones: both
+	// must fail verification client-side.
+	var requests atomic.Int64
+	hostileMux := http.NewServeMux()
+	hostileMux.HandleFunc("GET /cache/{hash}/{fp}", func(w http.ResponseWriter, r *http.Request) {
+		hash, fp, ok := parsePeerKey(r)
+		if !ok {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		data, ok := source.EntryBytes(hash, fp)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		if requests.Add(1)%2 == 0 {
+			corrupt := append([]byte(nil), data...)
+			corrupt[len(corrupt)-1] ^= 0xff
+			w.Write(corrupt)
+			return
+		}
+		w.Write(data[:len(data)/2])
+	})
+	hostile := httptest.NewServer(hostileMux)
+	defer hostile.Close()
+
+	timeout := 200 * time.Millisecond
+	remote := NewRemoteTier([]string{unreachableAddr(t), hostile.URL}, timeout)
+	defer remote.Close()
+	c := NewCache(0)
+	c.SetRemoteTier(remote)
+
+	start := time.Now()
+	for i, code := range codes {
+		rep, err := c.AnalyzeBytecode(code, cfg)
+		if err != nil {
+			t.Fatalf("analysis %d under hostile peers: %v", i, err)
+		}
+		want, _ := source.AnalyzeBytecode(code, cfg)
+		if rep.Digest() != want.Digest() {
+			t.Fatalf("analysis %d diverges under hostile peers", i)
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := c.Stats()
+	if st.Analyses != uint64(len(codes)) {
+		t.Fatalf("stats = %+v, want every analysis computed locally", st)
+	}
+	if st.PeerHits != 0 || st.PeerFillBytes != 0 {
+		t.Fatalf("stats = %+v, want no corrupt entry accepted", st)
+	}
+	if st.PeerErrors < uint64(len(codes)) {
+		t.Fatalf("stats = %+v, want at least one counted rejection per probe", st)
+	}
+	// Bound: each analysis performs at most two probes (Lookup + compute
+	// path), each bounded by two peers' timeouts, plus the local compute
+	// itself. Generous headroom for CI; catches an unbounded retry/hang.
+	if limit := time.Duration(len(codes))*4*timeout + 10*time.Second; elapsed > limit {
+		t.Fatalf("hostile peers stalled analysis: %v elapsed, limit %v", elapsed, limit)
+	}
+}
+
+// TestRemoteTierPromotesToDisk: a peer-filled entry is installed into the
+// local disk tier, so the fill survives a restart — the replica only ever
+// pays the network once per key.
+func TestRemoteTierPromotesToDisk(t *testing.T) {
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	cfg := DefaultConfig()
+	source := NewCache(0)
+	if _, err := source.AnalyzeBytecode(code, cfg); err != nil {
+		t.Fatal(err)
+	}
+	srv := peerCacheServer(t, source)
+
+	dir := t.TempDir()
+	tier, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := NewRemoteTier([]string{srv.URL}, time.Second)
+	defer remote.Close()
+	c := NewCache(0)
+	c.SetDiskTier(tier)
+	c.SetRemoteTier(remote)
+	if _, err := c.AnalyzeBytecode(code, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.PeerHits != 1 || st.Analyses != 0 {
+		t.Fatalf("stats = %+v, want the entry peer-filled", st)
+	}
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with no peers: the promoted entry serves from disk alone.
+	tier2, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier2.Close()
+	if st := tier2.Stats(); st.Entries != 1 {
+		t.Fatalf("reopened tier stats = %+v, want the promoted entry on disk", st)
+	}
+	c2 := NewCache(0)
+	c2.SetDiskTier(tier2)
+	if _, err := c2.AnalyzeBytecode(code, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.Analyses != 0 || st.DiskHits != 1 {
+		t.Fatalf("restart stats = %+v, want the fill served from disk", st)
+	}
+}
+
+// TestDiskTierMultiWriterCounters: two tier handles over one directory — the
+// shared -cache-dir deployment — each persist their own work, a reopen
+// recounts the union exactly, and foreign deletions can only drift the
+// gauges toward zero, never below it.
+func TestDiskTierMultiWriterCounters(t *testing.T) {
+	dir := t.TempDir()
+	var codes [][]byte
+	for _, src := range []string{
+		minisol.VictimSource,
+		minisol.TaintedOwnerSource,
+		minisol.AccessibleSelfdestructSource,
+	} {
+		codes = append(codes, minisol.MustCompile(src).Runtime)
+	}
+	cfg := DefaultConfig()
+
+	t1, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := NewCache(0), NewCache(0)
+	c1.SetDiskTier(t1)
+	c2.SetDiskTier(t2)
+
+	// Writer 1 takes the first two codes, writer 2 the last two: one key is
+	// written by both (last-writer-wins on byte-identical files).
+	for _, code := range codes[:2] {
+		if _, err := c1.AnalyzeBytecode(code, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, code := range codes[1:] {
+		if _, err := c2.AnalyzeBytecode(code, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := t1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if files := entryFiles(t, dir); len(files) != len(codes) {
+		t.Fatalf("%d entry files after two writers, want %d", len(files), len(codes))
+	}
+
+	// A fresh handle recounts the union exactly.
+	t3, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := t3.Stats(); st.Entries != int64(len(codes)) || st.Bytes <= 0 {
+		t.Fatalf("recount stats = %+v, want %d entries", st, len(codes))
+	}
+
+	// Simulate a foreign eviction: delete every entry behind t3's back, then
+	// make t3 discover each via its read path. The gauges must clamp at
+	// zero even though t3 double-counts discoveries it never wrote.
+	for _, f := range entryFiles(t, dir) {
+		if err := os.Remove(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lim := cfg.DecompileLimits.Normalized()
+	for _, code := range codes {
+		key := reportKey{code: crypto.Keccak256(code), cfg: cfg.Fingerprint()}
+		if _, ok := t3.get(key, lim); ok {
+			t.Fatal("deleted entry served as a hit")
+		}
+	}
+	st := t3.Stats()
+	if st.Entries < 0 || st.Bytes < 0 {
+		t.Fatalf("stats went negative under foreign deletions: %+v", st)
+	}
+	if err := t3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the next recount converges back to the truth: an empty store.
+	t4, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t4.Close()
+	if st := t4.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("post-deletion recount = %+v, want an empty store", st)
+	}
+}
+
+// TestDiskTierBudgetEviction: a byte budget evicts intact entries oldest
+// first down to the low-water mark, both at scrub time and when the writer
+// crosses the budget mid-run, and the byte gauge converges to the truth.
+func TestDiskTierBudgetEviction(t *testing.T) {
+	dir := t.TempDir()
+	tier, err := OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic entries with distinct keys and a fat payload so a small
+	// budget is meaningful.
+	limits := decompiler.DefaultLimits()
+	mkKey := func(i byte) reportKey {
+		var key reportKey
+		key.code[0] = i
+		key.cfg = 42
+		return key
+	}
+	entry := reportEntry{err: &decompiler.BudgetError{Resource: "contexts", Limit: 6000}}
+	const n = 8
+	for i := byte(0); i < n; i++ {
+		tier.put(mkKey(i), limits, entry)
+	}
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+	total := tier.Stats().Bytes
+	if total <= 0 {
+		t.Fatalf("stats = %+v, want bytes accounted", tier.Stats())
+	}
+	// Age the first half so eviction order is deterministic.
+	files := entryFiles(t, dir)
+	if len(files) != n {
+		t.Fatalf("%d entry files, want %d", len(files), n)
+	}
+	old := time.Now().Add(-time.Hour)
+	for i := byte(0); i < n/2; i++ {
+		if err := os.Chtimes(tier.pathFor(mkKey(i)), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reopen with a budget of half the store: the scrub must evict down to
+	// the low-water mark, oldest entries first.
+	budget := total / 2
+	t2, err := OpenDiskTierBudget(dir, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := t2.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("stats = %+v, want the store under its %d-byte budget", st, budget)
+	}
+	if st.Evictions == 0 || st.Scrubbed != 0 {
+		t.Fatalf("stats = %+v, want evictions (not scrubs) to have shrunk the store", st)
+	}
+	for i := byte(0); i < n/2; i++ {
+		if _, err := os.Lstat(t2.pathFor(mkKey(i))); !os.IsNotExist(err) {
+			t.Fatalf("aged entry %d survived eviction under newer ones", i)
+		}
+	}
+	survivors := entryFiles(t, dir)
+	if len(survivors) == 0 || len(survivors) >= n {
+		t.Fatalf("%d survivors of %d, want a proper subset", len(survivors), n)
+	}
+
+	// Writer-side eviction: push the store back over budget and let the
+	// write-behind sweep bring it down again.
+	for i := byte(n); i < 2*n; i++ {
+		t2.put(mkKey(i), limits, entry)
+	}
+	if err := t2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := t2.Stats(); st.Bytes > budget {
+		t.Fatalf("stats = %+v, want the writer sweep to hold the %d-byte budget", st, budget)
+	}
+}

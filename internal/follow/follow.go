@@ -105,6 +105,15 @@ type Follower struct {
 	cancelled atomic.Uint64
 	findings  atomic.Uint64
 	inFlight  atomic.Int64
+
+	// gen counts index mutations; the Digest memo is keyed by it, so an
+	// unchanged index serves a cached digest — the GET /findings ETag fast
+	// path costs no re-serialization while nothing settles.
+	gen       atomic.Uint64
+	digestMu  sync.Mutex
+	digestGen uint64
+	digestSet bool
+	digestVal [32]byte
 }
 
 // New returns a follower over the given source and scheduler. It does not
@@ -223,6 +232,7 @@ func (f *Follower) compute(ctx context.Context, hash [32]byte, code []byte, oc *
 func (f *Follower) resolve(e *entry, oc *outcome) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	defer f.gen.Add(1) // any resolution may change the settled index
 	if oc.err != nil {
 		if core.IsCancellation(oc.err) {
 			if f.entries[e.addr] == e {

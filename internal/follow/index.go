@@ -160,7 +160,22 @@ func renderEntry(e *entry) Entry {
 // conclusions produce identical digests, regardless of analysis order or
 // cache temperature. Pending entries are excluded; call after CatchUp (or a
 // drain) for a stable value.
+//
+// The digest is memoized per index generation: while nothing settles,
+// repeated calls (every /findings request computes one for its ETag) return
+// the cached value without re-serializing the index. The generation is read
+// before the snapshot, so a concurrent settle at worst tags the memo one
+// generation too old — an extra recompute later, never a stale digest.
 func (f *Follower) Digest() [32]byte {
+	gen := f.gen.Load()
+	f.digestMu.Lock()
+	if f.digestSet && f.digestGen == gen {
+		v := f.digestVal
+		f.digestMu.Unlock()
+		return v
+	}
+	f.digestMu.Unlock()
+
 	var buf bytes.Buffer
 	for _, e := range f.Snapshot(Filter{}) {
 		fmt.Fprintf(&buf, "%s|%d|%s|%s|%s|%d\n", e.Address, e.Block, e.CodeHash, e.Status, e.Error, e.PublicFunctions)
@@ -168,5 +183,12 @@ func (f *Follower) Digest() [32]byte {
 			fmt.Fprintf(&buf, "  %s|%d|%s|%s|%s\n", w.Kind, w.PC, w.Slot, w.Message, strings.Join(w.Witness, ","))
 		}
 	}
-	return crypto.Keccak256(buf.Bytes())
+	v := crypto.Keccak256(buf.Bytes())
+
+	f.digestMu.Lock()
+	if !f.digestSet || f.digestGen <= gen {
+		f.digestGen, f.digestVal, f.digestSet = gen, v, true
+	}
+	f.digestMu.Unlock()
+	return v
 }

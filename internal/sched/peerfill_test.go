@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"context"
+	"encoding/hex"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"ethainter/internal/core"
+	"ethainter/internal/corpus"
+)
+
+// peerFillServer exposes src's cache entries the way a replica's /cache
+// endpoint does, so a RemoteTier pointed at it exercises the real protocol
+// shape (route, hex key encoding, 404-as-miss) without booting a full server.
+func peerFillServer(t *testing.T, src *core.Cache) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cache/{hash}/{fp}", func(w http.ResponseWriter, r *http.Request) {
+		hb, err := hex.DecodeString(r.PathValue("hash"))
+		if err != nil || len(hb) != 32 {
+			http.Error(w, "bad hash", http.StatusBadRequest)
+			return
+		}
+		fp, err := strconv.ParseUint(r.PathValue("fp"), 16, 64)
+		if err != nil {
+			http.Error(w, "bad fingerprint", http.StatusBadRequest)
+			return
+		}
+		data, ok := src.EntryBytes([32]byte(hb), fp)
+		if !ok {
+			http.Error(w, "miss", http.StatusNotFound)
+			return
+		}
+		w.Write(data)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestPeerFillSweepServesWithoutWorkers: the peer-filled analogue of the
+// warm-disk sweep test. A cold replica sweeps a corpus another replica has
+// already analyzed, with no local disk tier — only a RemoteTier pointed at
+// the warm replica. Every group must resolve on the scheduler's Lookup fast
+// path: zero unique items reach the pool, zero analyses and decompilations
+// run locally, every unique group is a peer hit, and the peer-served
+// reports equal the source replica's.
+func TestPeerFillSweepServesWithoutWorkers(t *testing.T) {
+	contracts := corpus.Generate(corpus.DefaultProfile(30, 11))
+	cfg := core.DefaultConfig()
+	codes := make([][]byte, len(contracts))
+	unique := map[string]bool{}
+	for i, c := range contracts {
+		codes[i] = c.Runtime
+		unique[string(c.Runtime)] = true
+	}
+
+	// Warm replica: analyze the corpus into a memory-only cache and serve it.
+	srcCache := core.NewCacheSharded(0, 8)
+	src := New(srcCache, 4)
+	srcResults := src.Sweep(context.Background(), codes, cfg, nil)
+	src.Close()
+	peer := peerFillServer(t, srcCache)
+
+	// Cold replica: fresh cache whose only lower tier is the peer.
+	coldCache := core.NewCacheSharded(0, 8)
+	remote := core.NewRemoteTier([]string{peer.URL}, 0)
+	defer remote.Close()
+	coldCache.SetRemoteTier(remote)
+	cold := New(coldCache, 4)
+	defer cold.Close()
+	coldResults := cold.Sweep(context.Background(), codes, cfg, nil)
+
+	for i := range codes {
+		if (srcResults[i].Err == nil) != (coldResults[i].Err == nil) {
+			t.Fatalf("contract %d: source err %v, peer-filled err %v", i, srcResults[i].Err, coldResults[i].Err)
+		}
+		if srcResults[i].Err == nil &&
+			!reflect.DeepEqual(stripTimings(srcResults[i].Report), stripTimings(coldResults[i].Report)) {
+			t.Fatalf("contract %d: peer-filled report diverges from the source replica's", i)
+		}
+	}
+
+	st := cold.Stats()
+	if st.Unique != 0 {
+		t.Errorf("peer-filled sweep dispatched %d unique items to the pool, want 0", st.Unique)
+	}
+	if st.CacheHits != uint64(len(unique)) {
+		t.Errorf("fast-path hits = %d, want one per unique group (%d)", st.CacheHits, len(unique))
+	}
+	cs := coldCache.Stats()
+	if cs.Analyses != 0 || cs.Decompiles != 0 {
+		t.Errorf("peer-filled sweep ran %d analyses / %d decompiles, want 0/0", cs.Analyses, cs.Decompiles)
+	}
+	if cs.PeerHits != uint64(len(unique)) || cs.Misses != 0 {
+		t.Errorf("PeerHits = %d, Misses = %d, want %d peer hits and no misses",
+			cs.PeerHits, cs.Misses, len(unique))
+	}
+	if cs.PeerErrors != 0 {
+		t.Errorf("PeerErrors = %d, want 0 against a healthy peer", cs.PeerErrors)
+	}
+	if cs.PeerFillBytes == 0 {
+		t.Error("PeerFillBytes = 0 despite peer-filling the whole corpus")
+	}
+}

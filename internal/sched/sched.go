@@ -174,10 +174,12 @@ func (s *Scheduler) do(ctx context.Context, hash [32]byte, code []byte, cfg core
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		// Fast path: memoized (positively or negatively) in the cache. When a
-		// disk tier is attached, Lookup also probes it — one file read on the
-		// requester's own goroutine — so a warm-disk sweep serves every
-		// request right here without ever occupying a pool worker.
+		// Fast path: memoized (positively or negatively) in the cache. When
+		// persistent tiers are attached, Lookup also probes them — a file
+		// read for the disk tier, a bounded-timeout peer probe for the
+		// remote tier, both on the requester's own goroutine — so a
+		// warm-disk or peer-filled sweep serves every request right here
+		// without ever occupying a pool worker.
 		if rep, err, ok := s.cache.Lookup(hash, cfg); ok {
 			s.cacheHits.Add(1)
 			return rep, err

@@ -1,0 +1,96 @@
+package server_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ethainter/internal/chain"
+	"ethainter/internal/core"
+	"ethainter/internal/follow"
+	"ethainter/internal/minisol"
+	"ethainter/internal/sched"
+	"ethainter/internal/server"
+	"ethainter/internal/u256"
+)
+
+// getWithETag performs GET /findings+query with an optional If-None-Match
+// header and returns the status and the ETag response header.
+func getWithETag(t *testing.T, ts *httptest.Server, query, ifNoneMatch string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/findings"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("ETag")
+}
+
+// TestFindingsETag pins the conditional-GET contract on /findings: a tag is
+// always served, presenting it back yields a body-free 304, and a new
+// settle invalidates it — the next conditional GET is a full 200 under a
+// fresh tag. Stale and unrelated tags never shortcut to 304.
+func TestFindingsETag(t *testing.T) {
+	ch := chain.New()
+	ch.DeployRuntime(minisol.MustCompile(minisol.TaintedOwnerSource).Runtime, u256.Zero)
+	srv := server.New(core.DefaultConfig())
+	sc := sched.New(srv.Cache(), 2)
+	t.Cleanup(sc.Close)
+	srv.UseScheduler(sc)
+	f := follow.New(follow.Options{Source: ch, Scheduler: sc, Config: core.DefaultConfig()})
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatalf("catch up: %v", err)
+	}
+	srv.Follow = f
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	status, tag := getWithETag(t, ts, "", "")
+	if status != http.StatusOK || tag == "" {
+		t.Fatalf("unconditional GET = %d, ETag %q; want 200 with a tag", status, tag)
+	}
+
+	// Matching tag => 304; so do a tag list and a wildcard.
+	if s, _ := getWithETag(t, ts, "", tag); s != http.StatusNotModified {
+		t.Errorf("If-None-Match exact = %d, want 304", s)
+	}
+	if s, _ := getWithETag(t, ts, "", `"bogus", `+tag); s != http.StatusNotModified {
+		t.Errorf("If-None-Match list = %d, want 304", s)
+	}
+	if s, _ := getWithETag(t, ts, "", "*"); s != http.StatusNotModified {
+		t.Errorf("If-None-Match wildcard = %d, want 304", s)
+	}
+	// Non-matching tag => full response, same tag.
+	if s, got := getWithETag(t, ts, "", `"something-else"`); s != http.StatusOK || got != tag {
+		t.Errorf("stale tag GET = %d, ETag %q; want 200 with %q", s, got, tag)
+	}
+	// The tag is filter-independent: a filtered view serves the index tag.
+	if s, got := getWithETag(t, ts, "?findings=1", tag); s != http.StatusNotModified || got != tag {
+		t.Errorf("filtered conditional GET = %d, ETag %q; want 304 with %q", s, got, tag)
+	}
+
+	// A new settle must invalidate: deploy one more contract, catch up, and
+	// the previously-fresh tag now misses into a 200 under a new tag.
+	ch.DeployRuntime(minisol.MustCompile(minisol.AccessibleSelfdestructSource).Runtime, u256.Zero)
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatalf("second catch up: %v", err)
+	}
+	status, tag2 := getWithETag(t, ts, "", tag)
+	if status != http.StatusOK {
+		t.Fatalf("conditional GET after settle = %d, want 200 (tag must be invalidated)", status)
+	}
+	if tag2 == tag || tag2 == "" {
+		t.Fatalf("ETag after settle = %q, want a fresh tag != %q", tag2, tag)
+	}
+	if s, _ := getWithETag(t, ts, "", tag2); s != http.StatusNotModified {
+		t.Errorf("fresh tag after settle = %d, want 304", s)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"ethainter/internal/follow"
 )
@@ -51,11 +52,46 @@ func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
 	}
 	f.WithFindings = q.Get("findings") == "1" || q.Get("findings") == "true"
 
+	// Conditional GET on the index digest: the ETag covers the whole settled
+	// index, so it is conservative for filtered views — any settle refreshes
+	// every filter's tag, never the reverse — and distinct filters live at
+	// distinct URLs, so caches never cross-serve them. Pollers that present
+	// the tag back via If-None-Match pay zero body bytes while nothing new
+	// settles; the digest itself is memoized per index generation, so the
+	// fast path costs no re-serialization either.
+	etag := fmt.Sprintf(`"0x%x"`, s.Follow.Digest())
+	w.Header().Set("ETag", etag)
+	if ifNoneMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
 	entries := s.Follow.Snapshot(f)
 	if entries == nil {
 		entries = []follow.Entry{}
 	}
 	writeJSON(w, http.StatusOK, FindingsJSON{Count: len(entries), Entries: entries})
+}
+
+// ifNoneMatch reports whether the If-None-Match header value matches the
+// entity tag: "*", the exact tag, or any member of a comma-separated list
+// (weak-comparison W/ prefixes tolerated — the digest tag is content-exact,
+// so weak and strong comparison coincide here).
+func ifNoneMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // blockParam parses one optional block-number query parameter.

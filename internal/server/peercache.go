@@ -1,0 +1,41 @@
+package server
+
+// The peer-fill serving side of the cross-replica cache protocol: GET
+// /cache/{hash}/{fp} returns the serialized, checksummed persistent-format
+// entry for one (bytecode keccak-256, config fingerprint) from this
+// replica's cache — memory first, disk tier second, never its own peers (a
+// replica serves only what it holds, so mutually-configured peers cannot
+// proxy-loop a miss). The requesting replica re-verifies the entry end to
+// end (core.RemoteTier), so this handler ships bytes, not trust.
+
+import (
+	"encoding/hex"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// handlePeerCache serves one cache entry to a peer replica. The hash is 64
+// hex chars (no 0x prefix), the fingerprint 16 — exactly what
+// core.PeerCachePath emits. Malformed components are 400; an entry this
+// replica doesn't hold is 404, which the peer treats as a plain miss.
+func (s *Server) handlePeerCache(w http.ResponseWriter, r *http.Request) {
+	hb, err := hex.DecodeString(r.PathValue("hash"))
+	if err != nil || len(hb) != 32 {
+		writeError(w, http.StatusBadRequest, errors.New("bad bytecode hash: want 64 hex characters"))
+		return
+	}
+	fp, err := strconv.ParseUint(r.PathValue("fp"), 16, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errors.New("bad config fingerprint: want hex u64"))
+		return
+	}
+	data, ok := s.cache.EntryBytes([32]byte(hb), fp)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no cache entry for this key"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}

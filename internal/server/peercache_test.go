@@ -1,0 +1,76 @@
+package server_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ethainter/internal/core"
+	"ethainter/internal/crypto"
+	"ethainter/internal/minisol"
+	"ethainter/internal/server"
+)
+
+// TestPeerCacheEndpoint exercises GET /cache/{hash}/{fp} end to end: a held
+// entry round-trips byte-for-byte at the path core.PeerCachePath emits, a
+// key this replica doesn't hold is a clean 404, and malformed components
+// are 400s rather than lookups.
+func TestPeerCacheEndpoint(t *testing.T) {
+	cfg := core.DefaultConfig()
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code := minisol.MustCompile(minisol.VictimSource).Runtime
+	if _, err := srv.Cache().AnalyzeBytecode(code, cfg); err != nil {
+		t.Fatalf("seeding cache: %v", err)
+	}
+	hash := crypto.Keccak256(code)
+	fp := cfg.Fingerprint()
+
+	resp, err := http.Get(ts.URL + core.PeerCachePath(hash, fp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET held entry = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("Content-Type = %q, want application/octet-stream", ct)
+	}
+	want, ok := srv.Cache().EntryBytes(hash, fp)
+	if !ok || !bytes.Equal(body, want) {
+		t.Fatalf("served %d bytes, want the %d EntryBytes bytes exactly", len(body), len(want))
+	}
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if s := status(core.PeerCachePath(hash, fp+1)); s != http.StatusNotFound {
+		t.Errorf("unheld fingerprint = %d, want 404", s)
+	}
+	var missing [32]byte
+	if s := status(core.PeerCachePath(missing, fp)); s != http.StatusNotFound {
+		t.Errorf("unheld hash = %d, want 404", s)
+	}
+	if s := status("/cache/deadbeef/0000000000000000"); s != http.StatusBadRequest {
+		t.Errorf("short hash = %d, want 400", s)
+	}
+	if s := status("/cache/" + strings.Repeat("zz", 32) + "/0000000000000000"); s != http.StatusBadRequest {
+		t.Errorf("non-hex hash = %d, want 400", s)
+	}
+	if s := status("/cache/" + strings.Repeat("ab", 32) + "/nothex"); s != http.StatusBadRequest {
+		t.Errorf("non-hex fingerprint = %d, want 400", s)
+	}
+}

@@ -136,6 +136,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/exploit", s.instrument("/exploit", lim, s.handleExploit))
 	mux.Handle("/batch", s.instrument("/batch", lim, s.handleBatch))
 	mux.Handle("/findings", s.instrument("/findings", nil, s.handleFindings))
+	// Peer-fill: replicas configured with -cache-peers fetch entries here on
+	// local cache misses. Outside the in-flight limiter — serving a cached
+	// entry is a map lookup or one file read, and shedding it would force the
+	// peer to recompute, the exact work the protocol exists to avoid.
+	mux.Handle("GET /cache/{hash}/{fp}", s.instrument("/cache", nil, s.handlePeerCache))
 	mux.Handle("/", s.instrument("/", nil, s.handleIndex))
 	return mux
 }

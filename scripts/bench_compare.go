@@ -22,7 +22,11 @@
 //     zero decompilations, dispatches nothing to the pool, serves every
 //     unique bytecode from the disk tier, and reproduces the cold run's
 //     result digest bit-for-bit. A baseline with a warm_restart section also
-//     pins its presence: a fresh result without one is a regression.
+//     pins its presence: a fresh result without one is a regression. The
+//     replica_sweep section likewise: each replica's warm pass over the other
+//     replica's half performs zero analyses and zero decompilations, its peer
+//     hits cover exactly the unique bytecodes it lacked, and its digest is
+//     bit-identical to the other replica's cold pass.
 //
 //   - Timing: the fresh uncached and cached sweep walls, the summed uncached
 //     decompile stage, and the 1-worker sweep scaling wall may exceed the
@@ -161,6 +165,15 @@ func compare(baseline, fresh *bench.CoreBenchResult, tolerance float64) []string
 				checkWall("warm restart cold wall", fw.Cold.WallNS, bw.Cold.WallNS)
 				checkWall("warm restart warm wall", fw.Warm.WallNS, bw.Warm.WallNS)
 			}
+			if fr, br := fresh.ReplicaSweep, baseline.ReplicaSweep; fr != nil && br != nil {
+				// The individual passes — the warm ones especially — are
+				// ~100ms of loopback HTTP, where connection-setup jitter
+				// alone can exceed any sane tolerance; only the whole
+				// experiment's wall is stable enough to gate on.
+				checkWall("replica sweep total wall",
+					fr.ColdA.WallNS+fr.ColdB.WallNS+fr.WarmA.WallNS+fr.WarmB.WallNS,
+					br.ColdA.WallNS+br.ColdB.WallNS+br.WarmA.WallNS+br.WarmB.WallNS)
+			}
 		}
 
 		// The scheduled sweep's dedup invariant: exactly one analysis per
@@ -296,6 +309,80 @@ func compare(baseline, fresh *bench.CoreBenchResult, tolerance float64) []string
 		}
 	} else if baseline.WarmRestart != nil {
 		bad("fresh result has no warm_restart section but the baseline does — the cold→warm double start went missing")
+	}
+
+	// The replica-sweep contract, internal to the fresh result: after each
+	// replica cold-analyzes its own half, sweeping the other half is pure
+	// peer fill — zero analyses, zero decompilations, nothing dispatched to
+	// the pool, peer hits covering exactly the uniques the replica lacked,
+	// and each warm digest bit-identical to the other replica's cold digest.
+	if rs := fresh.ReplicaSweep; rs != nil {
+		if rs.HalfA+rs.HalfB != fresh.N {
+			bad("replica sweep halves cover %d+%d contracts, corpus has %d", rs.HalfA, rs.HalfB, fresh.N)
+		}
+		for _, p := range []struct {
+			name string
+			run  bench.ReplicaSweepRun
+			half int
+		}{
+			{"cold A", rs.ColdA, rs.HalfA},
+			{"cold B", rs.ColdB, rs.HalfB},
+			{"warm A", rs.WarmA, rs.HalfB},
+			{"warm B", rs.WarmB, rs.HalfA},
+		} {
+			if p.run.Analyzed+p.run.Failed != p.half {
+				bad("replica sweep %s covered %d contracts, its half has %d", p.name, p.run.Analyzed+p.run.Failed, p.half)
+			}
+			if p.run.PeerErrors != 0 {
+				bad("replica sweep %s counted %d peer errors between healthy loopback replicas", p.name, p.run.PeerErrors)
+			}
+		}
+		if rs.ColdA.PeerHits != 0 {
+			bad("replica sweep cold A peer-filled %d entries from an empty peer", rs.ColdA.PeerHits)
+		}
+		if rs.ColdA.Analyses != uint64(rs.UniqueA) {
+			bad("replica sweep cold A ran %d analyses, want one per unique bytecode in its half (%d)",
+				rs.ColdA.Analyses, rs.UniqueA)
+		}
+		if rs.ColdB.PeerHits != uint64(rs.SharedUnique) {
+			bad("replica sweep cold B peer-filled %d entries, want exactly the bytecodes the halves share (%d)",
+				rs.ColdB.PeerHits, rs.SharedUnique)
+		}
+		if rs.ColdB.Analyses != uint64(rs.UniqueB-rs.SharedUnique) {
+			bad("replica sweep cold B ran %d analyses, want its half's uniques minus the shared ones (%d)",
+				rs.ColdB.Analyses, rs.UniqueB-rs.SharedUnique)
+		}
+		for _, p := range []struct {
+			name string
+			run  bench.ReplicaSweepRun
+		}{{"warm A", rs.WarmA}, {"warm B", rs.WarmB}} {
+			if p.run.Analyses != 0 || p.run.Decompiles != 0 {
+				bad("replica sweep %s ran %d analyses and %d decompilations, want zero of each — the peer-fill tier failed to serve its half",
+					p.name, p.run.Analyses, p.run.Decompiles)
+			}
+			if p.run.UniqueWork != 0 {
+				bad("replica sweep %s dispatched %d unique items to the scheduler pool, want everything served on the Lookup fast path",
+					p.name, p.run.UniqueWork)
+			}
+		}
+		if want := uint64(rs.UniqueB - rs.SharedUnique); rs.WarmA.PeerHits != want {
+			bad("replica sweep warm A peer-filled %d entries, want exactly the uniques it lacked (%d)",
+				rs.WarmA.PeerHits, want)
+		}
+		if want := uint64(rs.UniqueA - rs.SharedUnique); rs.WarmB.PeerHits != want {
+			bad("replica sweep warm B peer-filled %d entries, want exactly the uniques it lacked (%d)",
+				rs.WarmB.PeerHits, want)
+		}
+		if rs.WarmA.Digest == "" || rs.WarmA.Digest != rs.ColdB.Digest {
+			bad("replica sweep warm A digest %q differs from cold B digest %q — peer-served results are not bit-identical",
+				rs.WarmA.Digest, rs.ColdB.Digest)
+		}
+		if rs.WarmB.Digest == "" || rs.WarmB.Digest != rs.ColdA.Digest {
+			bad("replica sweep warm B digest %q differs from cold A digest %q — peer-served results are not bit-identical",
+				rs.WarmB.Digest, rs.ColdA.Digest)
+		}
+	} else if baseline.ReplicaSweep != nil {
+		bad("fresh result has no replica_sweep section but the baseline does — the two-replica experiment went missing")
 	}
 	return problems
 }
